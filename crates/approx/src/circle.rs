@@ -1,0 +1,186 @@
+//! Circles: the shape behind the minimum bounding circle (MBC) and the
+//! maximum enclosed circle (MEC).
+
+use msj_geom::{Point, Rect};
+
+/// A circle given by center and radius (3 parameters, the cheapest
+//  approximation the paper considers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    pub center: Point,
+    pub radius: f64,
+}
+
+impl Circle {
+    pub fn new(center: Point, radius: f64) -> Self {
+        Circle { center, radius }
+    }
+
+    /// Enclosed area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Whether `p` lies in the closed disk.
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        // Small tolerance: miniball support points must test as contained.
+        self.center.dist_sq(p) <= self.radius * self.radius * (1.0 + 1e-12) + 1e-30
+    }
+
+    /// Closed disk-disk intersection test.
+    #[inline]
+    pub fn intersects_circle(&self, other: &Circle) -> bool {
+        let d = self.center.dist(other.center);
+        d <= self.radius + other.radius
+    }
+
+    /// Closed disk vs axis-parallel rectangle intersection test.
+    pub fn intersects_rect(&self, rect: &Rect) -> bool {
+        rect.dist_to_point(self.center) <= self.radius
+    }
+
+    /// Closed disk vs convex polygon (CCW ring) intersection test.
+    pub fn intersects_convex(&self, ring: &[Point]) -> bool {
+        if ring.is_empty() {
+            return false;
+        }
+        if msj_geom::convex_contains_point(ring, self.center) {
+            return true;
+        }
+        let n = ring.len();
+        (0..n).any(|i| {
+            msj_geom::Segment::new(ring[i], ring[(i + 1) % n]).dist_to_point(self.center)
+                <= self.radius
+        })
+    }
+
+    /// The axis-parallel bounding rectangle of the circle.
+    pub fn mbr(&self) -> Rect {
+        Rect::from_bounds(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+    }
+
+    /// Inscribed regular `n`-gon (vertices on the circle). Because it is
+    /// inscribed, its area under-approximates the disk — the safe direction
+    /// for the hit-identifying false-area test.
+    pub fn polygonize(&self, n: usize) -> Vec<Point> {
+        let n = n.max(3);
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64 * std::f64::consts::TAU;
+                self.center + Point::new(t.cos(), t.sin()) * self.radius
+            })
+            .collect()
+    }
+
+    /// Area of the intersection of two disks (closed form).
+    pub fn intersection_area(&self, other: &Circle) -> f64 {
+        let d = self.center.dist(other.center);
+        let (r1, r2) = (self.radius, other.radius);
+        if d >= r1 + r2 {
+            return 0.0;
+        }
+        if d <= (r1 - r2).abs() {
+            let r = r1.min(r2);
+            return std::f64::consts::PI * r * r;
+        }
+        let alpha = ((d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1)).clamp(-1.0, 1.0).acos();
+        let beta = ((d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2)).clamp(-1.0, 1.0).acos();
+        r1 * r1 * (alpha - alpha.sin() * alpha.cos())
+            + r2 * r2 * (beta - beta.sin() * beta.cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_and_area() {
+        let c = Circle::new(Point::new(1.0, 1.0), 2.0);
+        assert!(c.contains_point(Point::new(1.0, 1.0)));
+        assert!(c.contains_point(Point::new(3.0, 1.0))); // on boundary
+        assert!(!c.contains_point(Point::new(3.5, 1.0)));
+        assert!((c.area() - std::f64::consts::PI * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circle_circle_intersection() {
+        let a = Circle::new(Point::new(0.0, 0.0), 1.0);
+        assert!(a.intersects_circle(&Circle::new(Point::new(1.5, 0.0), 1.0)));
+        assert!(a.intersects_circle(&Circle::new(Point::new(2.0, 0.0), 1.0))); // tangent
+        assert!(!a.intersects_circle(&Circle::new(Point::new(2.1, 0.0), 1.0)));
+        // Containment counts.
+        assert!(a.intersects_circle(&Circle::new(Point::new(0.1, 0.0), 0.2)));
+    }
+
+    #[test]
+    fn circle_rect_intersection() {
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        assert!(c.intersects_rect(&Rect::from_bounds(0.5, -0.5, 2.0, 0.5)));
+        assert!(c.intersects_rect(&Rect::from_bounds(1.0, -0.5, 2.0, 0.5))); // tangent
+        assert!(!c.intersects_rect(&Rect::from_bounds(1.1, -0.5, 2.0, 0.5)));
+        // Circle inside rect.
+        assert!(c.intersects_rect(&Rect::from_bounds(-5.0, -5.0, 5.0, 5.0)));
+        // Rect corner barely outside reach.
+        assert!(!c.intersects_rect(&Rect::from_bounds(0.8, 0.8, 2.0, 2.0)));
+    }
+
+    #[test]
+    fn circle_convex_intersection() {
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let tri = vec![Point::new(0.5, 0.0), Point::new(3.0, 0.0), Point::new(0.5, 3.0)];
+        assert!(c.intersects_convex(&tri)); // vertex inside disk
+        let far = vec![Point::new(5.0, 0.0), Point::new(6.0, 0.0), Point::new(5.0, 1.0)];
+        assert!(!c.intersects_convex(&far));
+        // Disk center inside polygon.
+        let big = vec![
+            Point::new(-10.0, -10.0),
+            Point::new(10.0, -10.0),
+            Point::new(10.0, 10.0),
+            Point::new(-10.0, 10.0),
+        ];
+        assert!(c.intersects_convex(&big));
+    }
+
+    #[test]
+    fn polygonize_is_inscribed() {
+        let c = Circle::new(Point::new(2.0, -1.0), 3.0);
+        let ring = c.polygonize(64);
+        assert_eq!(ring.len(), 64);
+        for &p in &ring {
+            assert!((p.dist(c.center) - 3.0).abs() < 1e-12);
+        }
+        let poly_area = msj_geom::ring_area(&ring);
+        assert!(poly_area < c.area());
+        assert!(poly_area > 0.99 * c.area());
+    }
+
+    #[test]
+    fn intersection_area_cases() {
+        let a = Circle::new(Point::new(0.0, 0.0), 1.0);
+        // Disjoint.
+        assert_eq!(a.intersection_area(&Circle::new(Point::new(3.0, 0.0), 1.0)), 0.0);
+        // Contained.
+        let small = Circle::new(Point::new(0.2, 0.0), 0.3);
+        assert!((a.intersection_area(&small) - small.area()).abs() < 1e-12);
+        // Same circle.
+        assert!((a.intersection_area(&a) - a.area()).abs() < 1e-12);
+        // Half-overlap sanity: symmetric lens, monotone in distance.
+        let l1 = a.intersection_area(&Circle::new(Point::new(0.5, 0.0), 1.0));
+        let l2 = a.intersection_area(&Circle::new(Point::new(1.0, 0.0), 1.0));
+        assert!(l1 > l2 && l2 > 0.0);
+    }
+
+    #[test]
+    fn mbr_of_circle() {
+        let c = Circle::new(Point::new(1.0, 2.0), 0.5);
+        assert_eq!(c.mbr(), Rect::from_bounds(0.5, 1.5, 1.5, 2.5));
+    }
+}

@@ -1,0 +1,266 @@
+//! Ellipses: the shape behind the minimum bounding ellipse (MBE).
+
+use crate::circle::Circle;
+use msj_geom::{Point, Rect};
+
+/// An ellipse given by center, semi-axes and rotation (5 parameters, like
+/// the paper's MBE).
+///
+/// The region is `{ c + R(angle)·(a·cosθ·e₁ + b·sinθ·e₂) }` with `a ≥ b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ellipse {
+    pub center: Point,
+    /// Major semi-axis length.
+    pub a: f64,
+    /// Minor semi-axis length.
+    pub b: f64,
+    /// Rotation of the major axis, radians CCW.
+    pub angle: f64,
+}
+
+impl Ellipse {
+    pub fn new(center: Point, a: f64, b: f64, angle: f64) -> Self {
+        if a >= b {
+            Ellipse { center, a, b, angle }
+        } else {
+            Ellipse {
+                center,
+                a: b,
+                b: a,
+                angle: angle + std::f64::consts::FRAC_PI_2,
+            }
+        }
+    }
+
+    /// A circle as the special case `a = b`.
+    pub fn from_circle(c: Circle) -> Self {
+        Ellipse::new(c.center, c.radius, c.radius, 0.0)
+    }
+
+    /// Enclosed area `π a b`.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.a * self.b
+    }
+
+    /// Maps a point into the ellipse's *whitened* frame, where the ellipse
+    /// becomes the unit disk at the origin.
+    #[inline]
+    pub fn whiten(&self, p: Point) -> Point {
+        let d = (p - self.center).rotated(-self.angle);
+        Point::new(d.x / self.a, d.y / self.b)
+    }
+
+    /// Inverse of [`Ellipse::whiten`].
+    #[inline]
+    pub fn unwhiten(&self, q: Point) -> Point {
+        self.center + Point::new(q.x * self.a, q.y * self.b).rotated(self.angle)
+    }
+
+    /// Whether `p` lies in the closed elliptical region.
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.whiten(p).norm_sq() <= 1.0 + 1e-9
+    }
+
+    /// The boundary point at ellipse parameter `t`.
+    #[inline]
+    pub fn boundary_point(&self, t: f64) -> Point {
+        self.unwhiten(Point::new(t.cos(), t.sin()))
+    }
+
+    /// Inscribed `n`-gon (vertices on the boundary).
+    pub fn polygonize(&self, n: usize) -> Vec<Point> {
+        let n = n.max(3);
+        (0..n)
+            .map(|i| self.boundary_point(i as f64 / n as f64 * std::f64::consts::TAU))
+            .collect()
+    }
+
+    /// Axis-parallel bounding rectangle (closed form).
+    pub fn mbr(&self) -> Rect {
+        let (s, c) = self.angle.sin_cos();
+        let ex = ((self.a * c).powi(2) + (self.b * s).powi(2)).sqrt();
+        let ey = ((self.a * s).powi(2) + (self.b * c).powi(2)).sqrt();
+        Rect::from_bounds(
+            self.center.x - ex,
+            self.center.y - ey,
+            self.center.x + ex,
+            self.center.y + ey,
+        )
+    }
+
+    /// Minimum Euclidean norm over the boundary image of another ellipse in
+    /// this ellipse's whitened frame: used for the ellipse-ellipse test.
+    fn min_whitened_dist_to(&self, other: &Ellipse) -> f64 {
+        // Dense scan plus golden-section refinement of |whiten(other(t))|².
+        let f = |t: f64| self.whiten(other.boundary_point(t)).norm_sq();
+        let samples = 96;
+        let tau = std::f64::consts::TAU;
+        let mut best_t = 0.0;
+        let mut best = f64::INFINITY;
+        for i in 0..samples {
+            let t = i as f64 / samples as f64 * tau;
+            let v = f(t);
+            if v < best {
+                best = v;
+                best_t = t;
+            }
+        }
+        // Golden-section search in the bracket around the best sample.
+        let step = tau / samples as f64;
+        let (mut lo, mut hi) = (best_t - step, best_t + step);
+        let phi = 0.618_033_988_749_894_9;
+        for _ in 0..60 {
+            let m1 = hi - phi * (hi - lo);
+            let m2 = lo + phi * (hi - lo);
+            if f(m1) <= f(m2) {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        f(0.5 * (lo + hi)).min(best).sqrt()
+    }
+
+    /// Closed ellipse-ellipse intersection test.
+    ///
+    /// Exact up to the 1D numeric minimization (tolerance ≪ 1e-9 of the
+    /// whitened radius); ties are resolved toward "intersecting", which is
+    /// the safe direction for a conservative filter.
+    pub fn intersects_ellipse(&self, other: &Ellipse) -> bool {
+        // Centers inside each other → certainly intersecting.
+        if self.contains_point(other.center) || other.contains_point(self.center) {
+            return true;
+        }
+        // Otherwise the regions intersect iff the other boundary reaches
+        // the unit disk in the whitened frame (or vice versa).
+        self.min_whitened_dist_to(other) <= 1.0 + 1e-9
+            || other.min_whitened_dist_to(self) <= 1.0 + 1e-9
+    }
+
+    /// Closed ellipse-circle intersection test.
+    pub fn intersects_circle(&self, c: &Circle) -> bool {
+        self.intersects_ellipse(&Ellipse::from_circle(*c))
+    }
+
+    /// Closed ellipse vs convex polygon test via fine polygonization of the
+    /// ellipse (128-gon inscribed + tolerance biased toward intersecting).
+    pub fn intersects_convex(&self, ring: &[Point]) -> bool {
+        if ring.is_empty() {
+            return false;
+        }
+        // Whiten the polygon: ellipse becomes unit disk.
+        let wring: Vec<Point> = ring.iter().map(|&p| self.whiten(p)).collect();
+        Circle::new(Point::ORIGIN, 1.0).intersects_convex(&wring)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_normalization() {
+        let e = Ellipse::new(Point::ORIGIN, 1.0, 2.0, 0.0);
+        assert!(e.a >= e.b);
+        assert!((e.a - 2.0).abs() < 1e-12);
+        // Region unchanged: point on original minor axis still on boundary.
+        assert!(e.contains_point(Point::new(1.0, 0.0)));
+        assert!(e.contains_point(Point::new(0.0, 2.0)));
+        assert!(!e.contains_point(Point::new(1.1, 0.0)));
+    }
+
+    #[test]
+    fn containment_rotated() {
+        let e = Ellipse::new(Point::new(1.0, 1.0), 2.0, 1.0, std::f64::consts::FRAC_PI_4);
+        // Along the rotated major axis.
+        let d = Point::new(1.0, 1.0) + Point::new(2.0, 0.0).rotated(std::f64::consts::FRAC_PI_4);
+        assert!(e.contains_point(d));
+        assert!(e.contains_point(e.center));
+        assert!(!e.contains_point(Point::new(3.5, 1.0)));
+    }
+
+    #[test]
+    fn area_and_mbr() {
+        let e = Ellipse::new(Point::ORIGIN, 3.0, 1.0, 0.0);
+        assert!((e.area() - 3.0 * std::f64::consts::PI).abs() < 1e-12);
+        let m = e.mbr();
+        assert!((m.width() - 6.0).abs() < 1e-12);
+        assert!((m.height() - 2.0).abs() < 1e-12);
+        // Rotated by 90°, the MBR flips.
+        let r = Ellipse::new(Point::ORIGIN, 3.0, 1.0, std::f64::consts::FRAC_PI_2);
+        let mr = r.mbr();
+        assert!((mr.width() - 2.0).abs() < 1e-9);
+        assert!((mr.height() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mbr_bounds_polygonization() {
+        let e = Ellipse::new(Point::new(2.0, -1.0), 3.0, 1.5, 0.77);
+        let m = e.mbr();
+        for p in e.polygonize(256) {
+            assert!(m.contains_point(p));
+        }
+    }
+
+    #[test]
+    fn ellipse_ellipse_disjoint_and_touching() {
+        let e1 = Ellipse::new(Point::ORIGIN, 2.0, 1.0, 0.0);
+        let e2 = Ellipse::new(Point::new(5.0, 0.0), 2.0, 1.0, 0.0);
+        assert!(!e1.intersects_ellipse(&e2));
+        // Tangent along the x axis: centers 4 apart, semi-major 2 each.
+        let e3 = Ellipse::new(Point::new(4.0, 0.0), 2.0, 1.0, 0.0);
+        assert!(e1.intersects_ellipse(&e3));
+        // Overlapping.
+        let e4 = Ellipse::new(Point::new(3.0, 0.0), 2.0, 1.0, 0.0);
+        assert!(e1.intersects_ellipse(&e4));
+    }
+
+    #[test]
+    fn ellipse_ellipse_containment() {
+        let big = Ellipse::new(Point::ORIGIN, 5.0, 4.0, 0.3);
+        let small = Ellipse::new(Point::new(0.5, 0.5), 1.0, 0.5, 1.0);
+        assert!(big.intersects_ellipse(&small));
+        assert!(small.intersects_ellipse(&big));
+    }
+
+    #[test]
+    fn thin_rotated_ellipses_near_miss() {
+        // Two thin ellipses, perpendicular, offset so they miss.
+        let e1 = Ellipse::new(Point::ORIGIN, 3.0, 0.2, 0.0);
+        let e2 = Ellipse::new(Point::new(0.0, 2.0), 3.0, 0.2, 0.0);
+        assert!(!e1.intersects_ellipse(&e2));
+        // Crossing at right angles through each other's center region.
+        let e3 = Ellipse::new(Point::new(0.0, 0.5), 3.0, 0.2, std::f64::consts::FRAC_PI_2);
+        assert!(e1.intersects_ellipse(&e3));
+    }
+
+    #[test]
+    fn ellipse_circle_and_convex() {
+        let e = Ellipse::new(Point::ORIGIN, 2.0, 1.0, 0.0);
+        assert!(e.intersects_circle(&Circle::new(Point::new(2.5, 0.0), 0.6)));
+        assert!(!e.intersects_circle(&Circle::new(Point::new(3.0, 0.0), 0.5)));
+        let sq = vec![
+            Point::new(1.5, -0.5),
+            Point::new(3.0, -0.5),
+            Point::new(3.0, 0.5),
+            Point::new(1.5, 0.5),
+        ];
+        assert!(e.intersects_convex(&sq));
+        let far = vec![
+            Point::new(4.0, 4.0),
+            Point::new(5.0, 4.0),
+            Point::new(5.0, 5.0),
+        ];
+        assert!(!e.intersects_convex(&far));
+    }
+
+    #[test]
+    fn whiten_roundtrip() {
+        let e = Ellipse::new(Point::new(1.0, 2.0), 3.0, 0.5, 0.9);
+        let p = Point::new(2.5, 2.2);
+        let q = e.unwhiten(e.whiten(p));
+        assert!((q - p).norm() < 1e-12);
+    }
+}

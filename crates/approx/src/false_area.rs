@@ -1,0 +1,162 @@
+//! The false-area test (§3.3): a hit-identifying test on *conservative*
+//! approximations.
+//!
+//! For conservative approximations `Appr(obj)` define the false area
+//! `fa(obj) = area(Appr(obj)) − area(obj)`. If
+//!
+//! ```text
+//! area(Appr(obj1) ∩ Appr(obj2)) > fa(obj1) + fa(obj2)
+//! ```
+//!
+//! then the objects themselves must intersect: the intersection of the
+//! approximations is too large to consist of false area alone.
+
+use crate::kinds::Conservative;
+use msj_geom::{clip_convex, ring_area};
+
+/// Resolution used when a curved approximation (circle / ellipse) must be
+/// polygonized for an area computation. Inscribed polygonization
+/// under-approximates the area, which keeps the test sound.
+pub const AREA_RESOLUTION: usize = 96;
+
+/// Area of the intersection of two conservative approximations.
+///
+/// Exact for the polygonal kinds (MBR, RMBR, m-corner, hull); for circles
+/// and ellipses an inscribed 96-gon is clipped, under-approximating by
+/// < 0.3 %, in the sound direction.
+pub fn conservative_intersection_area(a: &Conservative, b: &Conservative) -> f64 {
+    if let (Conservative::Mbc(c1), Conservative::Mbc(c2)) = (a, b) {
+        return c1.intersection_area(c2); // closed form
+    }
+    if let (Conservative::Mbr(r1), Conservative::Mbr(r2)) = (a, b) {
+        return r1.intersection_area(r2);
+    }
+    let ra = a.to_ring(AREA_RESOLUTION);
+    let rb = b.to_ring(AREA_RESOLUTION);
+    if ra.len() < 3 || rb.len() < 3 {
+        return 0.0;
+    }
+    ring_area(&clip_convex(&ra, &rb))
+}
+
+/// The stored per-object input of the false-area test.
+#[derive(Debug, Clone)]
+pub struct FalseAreaEntry {
+    pub approx: Conservative,
+    /// `area(approx) − area(object)` — one extra stored parameter.
+    pub false_area: f64,
+}
+
+impl FalseAreaEntry {
+    pub fn new(approx: Conservative, object_area: f64) -> Self {
+        let false_area = (approx.area() - object_area).max(0.0);
+        FalseAreaEntry { approx, false_area }
+    }
+}
+
+/// The false-area test: `true` means the objects certainly intersect.
+/// `false` is inconclusive.
+pub fn false_area_test(a: &FalseAreaEntry, b: &FalseAreaEntry) -> bool {
+    let inter = conservative_intersection_area(&a.approx, &b.approx);
+    inter > a.false_area + b.false_area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinds::ConservativeKind;
+    use msj_geom::{Point, Polygon, Rect, SpatialObject};
+
+    fn object(coords: &[(f64, f64)]) -> SpatialObject {
+        SpatialObject::new(
+            0,
+            Polygon::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect())
+                .unwrap()
+                .into(),
+        )
+    }
+
+    #[test]
+    fn identical_squares_pass_with_mbr() {
+        // Two identical squares: MBR = object, false area 0, intersection
+        // area = full square > 0 → definite hit.
+        let a = object(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]);
+        let ea = FalseAreaEntry::new(
+            Conservative::compute(ConservativeKind::Mbr, &a),
+            a.area(),
+        );
+        assert_eq!(ea.false_area, 0.0);
+        assert!(false_area_test(&ea, &ea.clone()));
+    }
+
+    #[test]
+    fn thin_diagonal_objects_fail_with_mbr() {
+        // Two thin diagonal strips in the same bounding square: MBRs
+        // overlap fully, but the false areas are huge → inconclusive.
+        let a = object(&[(0.0, 0.0), (0.2, 0.0), (4.0, 3.8), (3.8, 4.0)]);
+        let b = object(&[(4.0, 0.2), (3.8, 0.0), (0.0, 3.8), (0.2, 4.0)]);
+        let ea = FalseAreaEntry::new(Conservative::compute(ConservativeKind::Mbr, &a), a.area());
+        let eb = FalseAreaEntry::new(Conservative::compute(ConservativeKind::Mbr, &b), b.area());
+        // The strips do cross, but the test cannot see it.
+        assert!(!false_area_test(&ea, &eb));
+    }
+
+    #[test]
+    fn tighter_approximation_identifies_more() {
+        // A convex object equals its hull: false area 0 → deep overlap is
+        // identified by the hull but not necessarily by the MBR.
+        let a = object(&[(0.0, 0.0), (4.0, 0.0), (2.0, 3.0)]);
+        let b = object(&[(0.0, 1.0), (4.0, 1.0), (2.0, -2.0)]);
+        let hull_a = FalseAreaEntry::new(
+            Conservative::compute(ConservativeKind::ConvexHull, &a),
+            a.area(),
+        );
+        let hull_b = FalseAreaEntry::new(
+            Conservative::compute(ConservativeKind::ConvexHull, &b),
+            b.area(),
+        );
+        assert!(hull_a.false_area < 1e-9);
+        assert!(false_area_test(&hull_a, &hull_b));
+    }
+
+    #[test]
+    fn soundness_on_disjoint_objects() {
+        // Disjoint objects must never be claimed as hits, whatever the
+        // approximation.
+        let a = object(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]);
+        let b = object(&[(5.0, 5.0), (6.0, 5.0), (6.0, 6.0), (5.0, 6.0)]);
+        for kind in ConservativeKind::ALL {
+            let ea = FalseAreaEntry::new(Conservative::compute(kind, &a), a.area());
+            let eb = FalseAreaEntry::new(Conservative::compute(kind, &b), b.area());
+            assert!(!false_area_test(&ea, &eb), "{} falsely claims a hit", kind.name());
+        }
+    }
+
+    #[test]
+    fn intersection_area_of_circles_uses_closed_form() {
+        use crate::circle::Circle;
+        let c1 = Conservative::Mbc(Circle::new(Point::new(0.0, 0.0), 1.0));
+        let c2 = Conservative::Mbc(Circle::new(Point::new(0.0, 0.0), 1.0));
+        let a = conservative_intersection_area(&c1, &c2);
+        assert!((a - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_area_of_rects_is_exact() {
+        let r1 = Conservative::Mbr(Rect::from_bounds(0.0, 0.0, 2.0, 2.0));
+        let r2 = Conservative::Mbr(Rect::from_bounds(1.0, 1.0, 3.0, 3.0));
+        assert_eq!(conservative_intersection_area(&r1, &r2), 1.0);
+    }
+
+    #[test]
+    fn mixed_kind_intersection_area() {
+        use crate::circle::Circle;
+        // Unit disk inside a large square: intersection ≈ disk area
+        // (slightly less due to inscribed polygonization).
+        let c = Conservative::Mbc(Circle::new(Point::new(2.0, 2.0), 1.0));
+        let r = Conservative::Mbr(Rect::from_bounds(0.0, 0.0, 4.0, 4.0));
+        let a = conservative_intersection_area(&c, &r);
+        assert!(a <= std::f64::consts::PI);
+        assert!(a > 0.99 * std::f64::consts::PI);
+    }
+}

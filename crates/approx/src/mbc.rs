@@ -1,0 +1,179 @@
+//! Minimum bounding circle (MBC) via Welzl's move-to-front algorithm
+//! (expected linear time, as used in the paper via [Wel 91]).
+
+use crate::circle::Circle;
+use msj_geom::Point;
+
+/// Computes the minimum enclosing circle of a point set.
+///
+/// Deterministic variant of Welzl's algorithm: instead of random shuffling
+/// it uses the move-to-front heuristic, which has the same expected
+/// behaviour on non-adversarial input and keeps the library free of hidden
+/// randomness. Returns `None` for an empty set.
+pub fn min_bounding_circle(points: &[Point]) -> Option<Circle> {
+    if points.is_empty() {
+        return None;
+    }
+    let mut pts: Vec<Point> = points.to_vec();
+    let mut circle = Circle::new(pts[0], 0.0);
+    for i in 1..pts.len() {
+        if circle.contains_point(pts[i]) {
+            continue;
+        }
+        // pts[i] must be on the boundary.
+        let mut c1 = Circle::new(pts[i], 0.0);
+        for j in 0..i {
+            if c1.contains_point(pts[j]) {
+                continue;
+            }
+            // pts[i] and pts[j] on the boundary.
+            let mut c2 = circle_from_2(pts[i], pts[j]);
+            for k in 0..j {
+                if c2.contains_point(pts[k]) {
+                    continue;
+                }
+                c2 = circle_from_3(pts[i], pts[j], pts[k]);
+            }
+            c1 = c2;
+        }
+        circle = c1;
+        // Move-to-front: keep hard points early.
+        pts.swap(0, i);
+    }
+    Some(circle)
+}
+
+/// Smallest circle through two points (diameter circle).
+fn circle_from_2(a: Point, b: Point) -> Circle {
+    let center = a.midpoint(b);
+    Circle::new(center, center.dist(a))
+}
+
+/// Circumcircle of three points; falls back to the diametral circle of the
+/// farthest pair when (numerically) collinear.
+fn circle_from_3(a: Point, b: Point, c: Point) -> Circle {
+    let d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+    if d.abs() < 1e-30 {
+        // Collinear: take the two farthest apart.
+        let (p, q) = farthest_pair(a, b, c);
+        return circle_from_2(p, q);
+    }
+    let ux = (a.norm_sq() * (b.y - c.y) + b.norm_sq() * (c.y - a.y) + c.norm_sq() * (a.y - b.y)) / d;
+    let uy = (a.norm_sq() * (c.x - b.x) + b.norm_sq() * (a.x - c.x) + c.norm_sq() * (b.x - a.x)) / d;
+    let center = Point::new(ux, uy);
+    let r = center.dist(a).max(center.dist(b)).max(center.dist(c));
+    Circle::new(center, r)
+}
+
+fn farthest_pair(a: Point, b: Point, c: Point) -> (Point, Point) {
+    let ab = a.dist_sq(b);
+    let ac = a.dist_sq(c);
+    let bc = b.dist_sq(c);
+    if ab >= ac && ab >= bc {
+        (a, b)
+    } else if ac >= bc {
+        (a, c)
+    } else {
+        (b, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers_all(c: &Circle, pts: &[Point]) -> bool {
+        pts.iter().all(|&p| c.center.dist(p) <= c.radius * (1.0 + 1e-9) + 1e-12)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(min_bounding_circle(&[]).is_none());
+        let c = min_bounding_circle(&[Point::new(3.0, 4.0)]).unwrap();
+        assert_eq!(c.center, Point::new(3.0, 4.0));
+        assert_eq!(c.radius, 0.0);
+    }
+
+    #[test]
+    fn two_points_diametral() {
+        let c = min_bounding_circle(&[Point::new(0.0, 0.0), Point::new(2.0, 0.0)]).unwrap();
+        assert!((c.center.x - 1.0).abs() < 1e-12);
+        assert!((c.radius - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equilateral_triangle_uses_circumcircle() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 3f64.sqrt() / 2.0),
+        ];
+        let c = min_bounding_circle(&pts).unwrap();
+        // Circumradius of a unit equilateral triangle is 1/√3.
+        assert!((c.radius - 1.0 / 3f64.sqrt()).abs() < 1e-9);
+        assert!(covers_all(&c, &pts));
+    }
+
+    #[test]
+    fn obtuse_triangle_uses_diameter() {
+        // For an obtuse triangle the MBC is the diametral circle of the
+        // longest side.
+        let pts = [Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(2.0, 0.1)];
+        let c = min_bounding_circle(&pts).unwrap();
+        assert!((c.radius - 2.0).abs() < 1e-6);
+        assert!(covers_all(&c, &pts));
+    }
+
+    #[test]
+    fn square_mbc() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        let c = min_bounding_circle(&pts).unwrap();
+        assert!((c.radius - 2f64.sqrt()).abs() < 1e-9);
+        assert!((c.center.x - 1.0).abs() < 1e-9);
+        assert!(covers_all(&c, &pts));
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(3.0, 3.0),
+        ];
+        let c = min_bounding_circle(&pts).unwrap();
+        assert!(covers_all(&c, &pts));
+        assert!((c.radius - pts[0].dist(pts[3]) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pseudo_random_points_covered_and_tight() {
+        // Deterministic LCG points.
+        let mut pts = Vec::new();
+        let mut x: u64 = 88172645463325252;
+        for _ in 0..300 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let a = (x >> 11) as f64 / (1u64 << 53) as f64 * 20.0 - 10.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let b = (x >> 11) as f64 / (1u64 << 53) as f64 * 20.0 - 10.0;
+            pts.push(Point::new(a, b));
+        }
+        let c = min_bounding_circle(&pts).unwrap();
+        assert!(covers_all(&c, &pts));
+        // Tightness: at least two points are (nearly) on the boundary.
+        let on_boundary = pts
+            .iter()
+            .filter(|p| (c.center.dist(**p) - c.radius).abs() < 1e-6 * c.radius)
+            .count();
+        assert!(on_boundary >= 2, "support points on boundary: {on_boundary}");
+    }
+}

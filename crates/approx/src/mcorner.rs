@@ -1,0 +1,187 @@
+//! Minimum bounding m-corner (4-C, 5-C): a convex circumscribing polygon
+//! with a fixed number of edges (§3.2).
+//!
+//! The paper cites Dori & Ben-Bassat [DB 83]. We implement the standard
+//! greedy edge-elimination variant: starting from the convex hull, the
+//! edge whose removal (extending its two neighbours to their intersection)
+//! adds the least area is removed until `m` edges remain. The result is a
+//! convex superset of the hull with exactly `m` vertices (fewer if the
+//! hull already has fewer).
+
+use msj_geom::{convex_hull, orient2d_raw, Point, Segment};
+
+/// Computes the minimum bounding `m`-corner of a point set.
+///
+/// Returns the CCW vertex ring of a convex polygon with at most `m`
+/// vertices that contains every input point, or `None` when the hull is
+/// degenerate (fewer than 3 non-collinear points) or `m < 3`.
+pub fn min_bounding_corner(points: &[Point], m: usize) -> Option<Vec<Point>> {
+    if m < 3 {
+        return None;
+    }
+    let hull = convex_hull(points);
+    if hull.len() < 3 {
+        return None;
+    }
+    let mut ring = hull;
+    while ring.len() > m {
+        let n = ring.len();
+        let mut best: Option<(usize, Point, f64)> = None;
+        for i in 0..n {
+            if let Some((q, cost)) = edge_removal(&ring, i) {
+                if best.is_none_or(|(_, _, c)| cost < c) {
+                    best = Some((i, q, cost));
+                }
+            }
+        }
+        match best {
+            Some((i, q, _)) => {
+                // Remove edge i (between ring[i] and ring[i+1]); replace
+                // the two endpoints with the intersection point q.
+                let n = ring.len();
+                let j = (i + 1) % n;
+                if j > i {
+                    ring[i] = q;
+                    ring.remove(j);
+                } else {
+                    // i is the last index, j == 0.
+                    ring[i] = q;
+                    ring.remove(0);
+                }
+            }
+            // No edge is removable (pathological parallel neighbours):
+            // stop early with the current ring, which is still a valid
+            // conservative approximation.
+            None => break,
+        }
+    }
+    Some(ring)
+}
+
+/// Tries to remove edge `i` (from `ring[i]` to `ring[i+1]`): extends the
+/// previous edge and the next edge until they meet at `q`. Returns the
+/// intersection point and the added area, or `None` when the neighbour
+/// edges do not converge outside the polygon.
+fn edge_removal(ring: &[Point], i: usize) -> Option<(Point, f64)> {
+    let n = ring.len();
+    let a = ring[(i + n - 1) % n]; // previous vertex
+    let b = ring[i]; // edge start
+    let c = ring[(i + 1) % n]; // edge end
+    let d = ring[(i + 2) % n]; // next vertex
+    let q = Segment::new(a, b).line_intersection(&Segment::new(d, c))?;
+    // q must lie beyond b on the ray a->b, and beyond c on the ray d->c;
+    // otherwise the neighbours diverge and removal is impossible.
+    let t1 = (q - a).dot(b - a);
+    let len1 = (b - a).norm_sq();
+    let t2 = (q - d).dot(c - d);
+    let len2 = (c - d).norm_sq();
+    if t1 <= len1 || t2 <= len2 {
+        return None;
+    }
+    // Added area = triangle (b, q, c); for a CCW ring q lies right of the
+    // directed edge b->c (outside), making the signed area negative — take
+    // the absolute value.
+    let cost = 0.5 * orient2d_raw(b, c, q).abs();
+    Some((q, cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msj_geom::{convex_contains_point, ring_area};
+
+    fn regular_ngon(n: usize, r: f64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64 * std::f64::consts::TAU;
+                Point::new(r * t.cos(), r * t.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn m_less_than_three_is_none() {
+        assert!(min_bounding_corner(&regular_ngon(8, 1.0), 2).is_none());
+    }
+
+    #[test]
+    fn degenerate_hull_is_none() {
+        let collinear = [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        assert!(min_bounding_corner(&collinear, 5).is_none());
+    }
+
+    #[test]
+    fn hull_smaller_than_m_is_returned_unchanged() {
+        let tri = regular_ngon(3, 1.0);
+        let c5 = min_bounding_corner(&tri, 5).unwrap();
+        assert_eq!(c5.len(), 3);
+    }
+
+    #[test]
+    fn octagon_reduces_to_5_and_4_corners() {
+        let oct = regular_ngon(8, 1.0);
+        let c5 = min_bounding_corner(&oct, 5).unwrap();
+        assert_eq!(c5.len(), 5);
+        let c4 = min_bounding_corner(&oct, 4).unwrap();
+        assert_eq!(c4.len(), 4);
+        // Areas grow as vertices shrink but stay below the bounding box of
+        // the circumscribed square (side 2·cos(π/8) for an octagon).
+        let a8 = ring_area(&oct);
+        let a5 = ring_area(&c5);
+        let a4 = ring_area(&c4);
+        assert!(a5 >= a8 && a4 >= a5, "areas {a8} {a5} {a4}");
+    }
+
+    #[test]
+    fn corner_contains_all_points() {
+        // A wavy blob of deterministic points.
+        let pts: Vec<Point> = (0..150)
+            .map(|i| {
+                let t = i as f64 / 150.0 * std::f64::consts::TAU;
+                let r = 5.0 + 1.5 * (3.0 * t).sin() + 0.8 * (9.0 * t).cos();
+                Point::new(r * t.cos() * 1.4 + 2.0, r * t.sin() - 1.0)
+            })
+            .collect();
+        for m in [4usize, 5, 6, 8] {
+            let ring = min_bounding_corner(&pts, m).unwrap();
+            assert!(ring.len() <= m);
+            for &p in &pts {
+                assert!(convex_contains_point(&ring, p), "m={m}: {p:?} escaped");
+            }
+        }
+    }
+
+    #[test]
+    fn corner_is_convex_and_ccw() {
+        let pts = regular_ngon(12, 2.0);
+        let ring = min_bounding_corner(&pts, 5).unwrap();
+        let n = ring.len();
+        for i in 0..n {
+            let o = orient2d_raw(ring[i], ring[(i + 1) % n], ring[(i + 2) % n]);
+            assert!(o > 0.0, "non-convex corner at {i}");
+        }
+    }
+
+    #[test]
+    fn five_corner_tighter_than_four_corner() {
+        // On average (and for a regular 12-gon certainly) the 5-corner has
+        // less false area than the 4-corner.
+        let pts = regular_ngon(12, 2.0);
+        let a5 = ring_area(&min_bounding_corner(&pts, 5).unwrap());
+        let a4 = ring_area(&min_bounding_corner(&pts, 4).unwrap());
+        assert!(a5 < a4);
+    }
+
+    #[test]
+    fn square_4corner_is_square_itself() {
+        let sq = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        let c4 = min_bounding_corner(&sq, 4).unwrap();
+        assert_eq!(c4.len(), 4);
+        assert!((ring_area(&c4) - 4.0).abs() < 1e-12);
+    }
+}

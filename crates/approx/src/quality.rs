@@ -1,0 +1,179 @@
+//! Approximation quality metrics (§3.1, §3.2, §3.4).
+//!
+//! * **normalized false area** (Table 1): `(area(appr) − area(obj)) /
+//!   area(obj)`;
+//! * **MBR-based false area** (Figure 4): the approximation is first
+//!   intersected with the MBR (which is always tested first), then the
+//!   false area of that intersection is normalized to the object area;
+//! * **area extension** (Figure 9 / §3.4): x-extension · y-extension of
+//!   the approximation's own bounding box, which governs R*-tree page
+//!   regions when the approximation replaces the MBR as the key;
+//! * **progressive quality** (Figure 8): `area(prog) / area(obj)`.
+
+use crate::false_area::AREA_RESOLUTION;
+use crate::kinds::{Conservative, Progressive};
+use msj_geom::{clip_convex, ring_area, SpatialObject};
+
+/// `(area(appr) − area(obj)) / area(obj)` — Table 1's measure.
+pub fn normalized_false_area(object: &SpatialObject, approx: &Conservative) -> f64 {
+    let a = object.area();
+    (approx.area() - a) / a
+}
+
+/// The MBR-based false area of Figure 4, normalized to the object area:
+/// `(area(appr ∩ MBR) − area(obj)) / area(obj)`.
+///
+/// Clamped at 0 from below: the clipped approximation always contains the
+/// object, so a negative value can only arise from polygonization
+/// round-off.
+pub fn mbr_based_false_area(object: &SpatialObject, approx: &Conservative) -> f64 {
+    let mbr_ring = object.mbr().corners().to_vec();
+    let appr_ring = approx.to_ring(AREA_RESOLUTION);
+    let clipped_area = if appr_ring.len() < 3 {
+        0.0
+    } else {
+        ring_area(&clip_convex(&appr_ring, &mbr_ring))
+    };
+    let a = object.area();
+    ((clipped_area - a) / a).max(0.0)
+}
+
+/// Area extension: the area of the approximation's own axis-parallel
+/// bounding box (`x-extension · y-extension`, §3.4).
+pub fn area_extension(approx: &Conservative) -> f64 {
+    approx.aabb().area()
+}
+
+/// Relative area-extension overhead versus the MBR:
+/// `area_extension(appr) / area(MBR) − 1` (the +21 % / +44 % / +51 % /
+/// +22 % numbers of §3.4).
+pub fn area_extension_overhead(object: &SpatialObject, approx: &Conservative) -> f64 {
+    area_extension(approx) / object.mbr().area() - 1.0
+}
+
+/// `area(prog) / area(obj)` — Figure 8's measure (≈ 0.42 for MEC,
+/// ≈ 0.44 for MER in the paper).
+pub fn progressive_quality(object: &SpatialObject, prog: &Progressive) -> f64 {
+    prog.area() / object.area()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinds::{ConservativeKind, ProgressiveKind};
+    use msj_geom::{Point, Polygon, SpatialObject};
+
+    fn object(coords: &[(f64, f64)]) -> SpatialObject {
+        SpatialObject::new(
+            0,
+            Polygon::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect())
+                .unwrap()
+                .into(),
+        )
+    }
+
+    /// A cross/plus shape: area 5, MBR area 9 → NFA = 0.8.
+    fn plus() -> SpatialObject {
+        object(&[
+            (1.0, 0.0),
+            (2.0, 0.0),
+            (2.0, 1.0),
+            (3.0, 1.0),
+            (3.0, 2.0),
+            (2.0, 2.0),
+            (2.0, 3.0),
+            (1.0, 3.0),
+            (1.0, 2.0),
+            (0.0, 2.0),
+            (0.0, 1.0),
+            (1.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn nfa_of_mbr_on_plus_shape() {
+        let p = plus();
+        let mbr = Conservative::compute(ConservativeKind::Mbr, &p);
+        assert!((normalized_false_area(&p, &mbr) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nfa_of_square_is_zero() {
+        let sq = object(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]);
+        let mbr = Conservative::compute(ConservativeKind::Mbr, &sq);
+        assert!(normalized_false_area(&sq, &mbr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mbr_based_false_area_never_exceeds_plain_nfa() {
+        // Intersecting with the MBR can only reduce the approximation.
+        let p = plus();
+        for kind in ConservativeKind::ALL {
+            let a = Conservative::compute(kind, &p);
+            let plain = normalized_false_area(&p, &a).max(0.0);
+            let based = mbr_based_false_area(&p, &a);
+            assert!(
+                based <= plain + 1e-9,
+                "{}: MBR-based {} > plain {}",
+                kind.name(),
+                based,
+                plain
+            );
+            assert!(based >= 0.0);
+        }
+    }
+
+    #[test]
+    fn figure4_ordering_hull_tightest() {
+        let p = plus();
+        let ch = mbr_based_false_area(&p, &Conservative::compute(ConservativeKind::ConvexHull, &p));
+        let c5 = mbr_based_false_area(&p, &Conservative::compute(ConservativeKind::FiveCorner, &p));
+        let mbr = mbr_based_false_area(&p, &Conservative::compute(ConservativeKind::Mbr, &p));
+        assert!(ch <= c5 + 1e-9);
+        assert!(c5 <= mbr + 1e-9);
+    }
+
+    #[test]
+    fn area_extension_of_mbr_is_identity() {
+        let p = plus();
+        let mbr = Conservative::compute(ConservativeKind::Mbr, &p);
+        assert!((area_extension(&mbr) - p.mbr().area()).abs() < 1e-12);
+        assert!(area_extension_overhead(&p, &mbr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_extension_overhead_nonnegative_for_circumscribed_kinds() {
+        // Any conservative approximation's AABB contains the object's MBR.
+        let p = plus();
+        for kind in ConservativeKind::ALL {
+            let a = Conservative::compute(kind, &p);
+            assert!(
+                area_extension_overhead(&p, &a) >= -1e-9,
+                "{} has negative overhead",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn progressive_quality_in_unit_range() {
+        let p = plus();
+        for kind in ProgressiveKind::ALL {
+            let prog = Progressive::compute(kind, &p);
+            let q = progressive_quality(&p, &prog);
+            assert!(q > 0.0 && q <= 1.0, "{} quality {}", kind.name(), q);
+        }
+    }
+
+    #[test]
+    fn progressive_quality_of_square_is_high() {
+        // For a square both MEC and MER are large fractions of the area.
+        let sq = object(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]);
+        let mer = Progressive::compute(ProgressiveKind::Mer, &sq);
+        assert!(progressive_quality(&sq, &mer) > 0.99);
+        let mec = Progressive::compute(ProgressiveKind::Mec, &sq);
+        // Inscribed circle of a square: π/4 ≈ 0.785.
+        let q = progressive_quality(&sq, &mec);
+        assert!((q - std::f64::consts::FRAC_PI_4).abs() < 0.02, "quality {q}");
+    }
+}

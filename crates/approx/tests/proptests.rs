@@ -1,0 +1,189 @@
+//! Property tests: the containment invariants that make the geometric
+//! filter *sound* must hold on arbitrary generated shapes.
+
+use msj_approx::{
+    false_area_test, is_conservative_for, Conservative, ConservativeKind, FalseAreaEntry,
+    Progressive, ProgressiveKind,
+};
+use msj_datagen::{blob, BlobParams};
+use msj_geom::{Point, SpatialObject};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a deterministic blob object from a proptest-chosen seed.
+fn blob_object(seed: u64, vertices: usize, cx: f64, cy: f64) -> SpatialObject {
+    let params = BlobParams {
+        vertices,
+        radius: 3.0,
+        ..BlobParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    SpatialObject::new(0, blob(&mut rng, Point::new(cx, cy), &params).into())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conservative_kinds_contain_all_vertices(
+        seed in 0u64..5000,
+        vertices in 8usize..64,
+    ) {
+        let obj = blob_object(seed, vertices, 0.0, 0.0);
+        for kind in ConservativeKind::ALL {
+            let a = Conservative::compute(kind, &obj);
+            prop_assert!(
+                is_conservative_for(&a, &obj.region),
+                "{} not conservative (seed {seed})", kind.name()
+            );
+            // Conservative area is at least the object area.
+            prop_assert!(a.area() >= obj.area() * (1.0 - 1e-9));
+        }
+    }
+
+    #[test]
+    fn progressive_kinds_stay_inside(seed in 0u64..5000, vertices in 8usize..48) {
+        let obj = blob_object(seed, vertices, 0.0, 0.0);
+        for kind in ProgressiveKind::ALL {
+            match Progressive::compute(kind, &obj) {
+                Progressive::Mec(c) => {
+                    for i in 0..16 {
+                        let t = i as f64 / 16.0 * std::f64::consts::TAU;
+                        let p = c.center + Point::new(t.cos(), t.sin()) * (c.radius * 0.99);
+                        prop_assert!(obj.region.contains_point(p), "MEC escaped (seed {seed})");
+                    }
+                }
+                Progressive::Mer(r) => {
+                    for i in 0..=3 {
+                        for j in 0..=3 {
+                            let p = Point::new(
+                                r.xmin() + r.width() * i as f64 / 3.0,
+                                r.ymin() + r.height() * j as f64 / 3.0,
+                            ).lerp(r.center(), 1e-7);
+                            prop_assert!(obj.region.contains_point(p), "MER escaped (seed {seed})");
+                        }
+                    }
+                }
+                Progressive::Empty => {} // permissible degenerate outcome
+            }
+        }
+    }
+
+    /// Soundness of the conservative filter: when the conservative test
+    /// reports "disjoint approximations", the *objects* must be disjoint.
+    /// We check the contrapositive on pairs with a known shared point.
+    #[test]
+    fn conservative_test_never_separates_overlapping_objects(
+        seed in 0u64..2000,
+        vertices in 8usize..40,
+        dx in -1.0f64..1.0,
+        dy in -1.0f64..1.0,
+    ) {
+        let a = blob_object(seed, vertices, 0.0, 0.0);
+        // Small offset: the blobs (radius ~3) certainly overlap.
+        let b = blob_object(seed.wrapping_add(1), vertices, dx, dy);
+        // Verify overlap via a shared sample point (centroid of one inside
+        // the other, or midpoint inside both); skip inconclusive cases.
+        let witness = [
+            a.region.outer().centroid(),
+            b.region.outer().centroid(),
+            Point::new(0.5 * dx, 0.5 * dy),
+        ]
+        .into_iter()
+        .find(|&p| a.region.contains_point(p) && b.region.contains_point(p));
+        if witness.is_some() {
+            for kind in ConservativeKind::ALL {
+                let ca = Conservative::compute(kind, &a);
+                let cb = Conservative::compute(kind, &b);
+                prop_assert!(
+                    ca.intersects(&cb),
+                    "{} separated overlapping objects (seed {seed})", kind.name()
+                );
+            }
+        }
+    }
+
+    /// Soundness of the progressive test: if progressive approximations
+    /// intersect, a shared point exists inside both objects.
+    #[test]
+    fn progressive_hit_implies_true_intersection(
+        seed in 0u64..2000,
+        vertices in 8usize..40,
+        dx in -8.0f64..8.0,
+        dy in -8.0f64..8.0,
+    ) {
+        let a = blob_object(seed, vertices, 0.0, 0.0);
+        let b = blob_object(seed.wrapping_add(7), vertices, dx, dy);
+        for kind in ProgressiveKind::ALL {
+            let pa = Progressive::compute(kind, &a);
+            let pb = Progressive::compute(kind, &b);
+            if pa.intersects(&pb) {
+                // The progressive regions are inside the objects; any
+                // point of their (non-empty) intersection witnesses an
+                // object intersection. Sample one.
+                let witness = match (pa, pb) {
+                    (Progressive::Mec(c1), Progressive::Mec(c2)) => {
+                        let d = c2.center - c1.center;
+                        let dist = d.norm();
+                        if dist > 0.0 { c1.center + d * (c1.radius / (c1.radius + c2.radius).max(1e-12)).min(1.0) } else { c1.center }
+                    }
+                    (Progressive::Mer(r1), Progressive::Mer(r2)) => {
+                        r1.intersection(&r2).map(|r| r.center()).unwrap_or(r1.center())
+                    }
+                    _ => unreachable!("same-kind comparison"),
+                };
+                prop_assert!(
+                    a.region.contains_point(witness) || b.region.contains_point(witness),
+                    "{} hit without witness (seed {seed})", kind.name()
+                );
+            }
+        }
+    }
+
+    /// Soundness of the false-area test: a claimed hit implies the objects
+    /// really do share area (checked by sampling the approximation
+    /// intersection region).
+    #[test]
+    fn false_area_test_soundness(seed in 0u64..1500, dx in -2.0f64..2.0, dy in -2.0f64..2.0) {
+        let a = blob_object(seed, 24, 0.0, 0.0);
+        let b = blob_object(seed.wrapping_add(3), 24, dx, dy);
+        for kind in [ConservativeKind::FiveCorner, ConservativeKind::ConvexHull, ConservativeKind::Mbr] {
+            let ea = FalseAreaEntry::new(Conservative::compute(kind, &a), a.area());
+            let eb = FalseAreaEntry::new(Conservative::compute(kind, &b), b.area());
+            if false_area_test(&ea, &eb) {
+                // Dense-sample the overlap of the two MBRs for a shared
+                // interior point.
+                let overlap = a.mbr().intersection(&b.mbr());
+                prop_assert!(overlap.is_some(), "{}: hit without MBR overlap", kind.name());
+                let r = overlap.unwrap();
+                let mut found = false;
+                'outer: for i in 0..=24 {
+                    for j in 0..=24 {
+                        let p = Point::new(
+                            r.xmin() + r.width() * i as f64 / 24.0,
+                            r.ymin() + r.height() * j as f64 / 24.0,
+                        );
+                        if a.region.contains_point(p) && b.region.contains_point(p) {
+                            found = true;
+                            break 'outer;
+                        }
+                    }
+                }
+                prop_assert!(found, "{}: false-area hit refuted by sampling (seed {seed})", kind.name());
+            }
+        }
+    }
+
+    /// The approximation-quality ordering of Figure 4 holds per object:
+    /// hull ⊆ 5-corner ⊆ 4-corner (by area).
+    #[test]
+    fn corner_hierarchy_ordering(seed in 0u64..5000, vertices in 10usize..64) {
+        let obj = blob_object(seed, vertices, 0.0, 0.0);
+        let ch = Conservative::compute(ConservativeKind::ConvexHull, &obj).area();
+        let c5 = Conservative::compute(ConservativeKind::FiveCorner, &obj).area();
+        let c4 = Conservative::compute(ConservativeKind::FourCorner, &obj).area();
+        prop_assert!(ch <= c5 * (1.0 + 1e-9));
+        prop_assert!(c5 <= c4 * (1.0 + 1e-9));
+    }
+}

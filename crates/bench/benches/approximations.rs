@@ -1,0 +1,63 @@
+//! Wall-clock companion to Figures 3/4/8: computing each approximation
+//! kind at insertion time, and the per-pair filter tests of the geometric
+//! filter (Tables 3/5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msj_approx::{Conservative, ConservativeKind, Progressive, ProgressiveKind};
+use msj_datagen::{blob, BlobParams};
+use msj_geom::{Point, SpatialObject};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn blob_object(seed: u64, vertices: usize, cx: f64) -> SpatialObject {
+    let params = BlobParams { vertices, radius: 4.0, ..BlobParams::default() };
+    SpatialObject::new(
+        0,
+        blob(&mut StdRng::seed_from_u64(seed), Point::new(cx, 0.0), &params).into(),
+    )
+}
+
+fn bench_compute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approximation_construction");
+    let obj = blob_object(5, 128, 0.0);
+    for kind in ConservativeKind::ALL {
+        group.bench_with_input(BenchmarkId::new("conservative", kind.name()), &obj, |b, o| {
+            b.iter(|| black_box(Conservative::compute(kind, o)))
+        });
+    }
+    for kind in ProgressiveKind::ALL {
+        group.bench_with_input(BenchmarkId::new("progressive", kind.name()), &obj, |b, o| {
+            b.iter(|| black_box(Progressive::compute(kind, o)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter_tests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_pair_test");
+    let a = blob_object(7, 128, 0.0);
+    let b_ = blob_object(8, 128, 5.0);
+    for kind in ConservativeKind::ALL {
+        let ca = Conservative::compute(kind, &a);
+        let cb = Conservative::compute(kind, &b_);
+        group.bench_with_input(
+            BenchmarkId::new("conservative_intersects", kind.name()),
+            &(&ca, &cb),
+            |bench, (x, y)| bench.iter(|| black_box(x.intersects(y))),
+        );
+    }
+    for kind in ProgressiveKind::ALL {
+        let pa = Progressive::compute(kind, &a);
+        let pb = Progressive::compute(kind, &b_);
+        group.bench_with_input(
+            BenchmarkId::new("progressive_intersects", kind.name()),
+            &(pa, pb),
+            |bench, (x, y)| bench.iter(|| black_box(x.intersects(y))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compute, bench_filter_tests);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Wall-clock companion to Table 2 / the MBR-join step: synchronized
+//! R*-tree traversal vs the nested-loops baseline, plus index build cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msj_geom::{ObjectId, Rect};
+use msj_sam::{nested_loops_join, tree_join, LruBuffer, PageLayout, RStarTree};
+use std::hint::black_box;
+
+fn grid_items(n: usize, offset: f64) -> Vec<(Rect, ObjectId)> {
+    let side = (n as f64).sqrt().ceil() as usize;
+    (0..n)
+        .map(|i| {
+            let x = (i % side) as f64 * 10.0 + offset;
+            let y = (i / side) as f64 * 10.0 + offset;
+            (Rect::from_bounds(x, y, x + 11.0, y + 11.0), i as u32)
+        })
+        .collect()
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mbr_join");
+    for &n in &[500usize, 2000] {
+        let ia = grid_items(n, 0.0);
+        let ib = grid_items(n, 4.0);
+        let ta = RStarTree::bulk_insert(PageLayout::baseline(4096), ia.iter().copied());
+        let tb = RStarTree::bulk_insert(PageLayout::baseline(4096), ib.iter().copied());
+
+        group.bench_with_input(BenchmarkId::new("rstar_tree_join", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buffer = LruBuffer::with_bytes(128 * 1024, 4096);
+                let mut count = 0u64;
+                tree_join(&ta, &tb, &mut buffer, |_, _| count += 1);
+                black_box(count)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("nested_loops", n), &n, |b, _| {
+            b.iter(|| {
+                let mut count = 0u64;
+                nested_loops_join(&ia, &ib, |_, _| count += 1);
+                black_box(count)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rstar_build");
+    group.sample_size(10);
+    for &n in &[1000usize, 5000] {
+        let items = grid_items(n, 0.0);
+        group.bench_with_input(BenchmarkId::new("insert", n), &items, |b, items| {
+            b.iter(|| black_box(RStarTree::bulk_insert(PageLayout::baseline(4096), items.iter().copied())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Wall-clock companion to Figure 18: the complete multi-step join in its
+//! three §5 versions (including all preprocessing) on a carto workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msj_core::{JoinConfig, MultiStepJoin};
+use std::hint::black_box;
+
+fn bench_versions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_step_join");
+    group.sample_size(10);
+    let a = msj_datagen::small_carto(100, 32.0, 61);
+    let b = msj_datagen::small_carto(100, 32.0, 62);
+    for (name, config) in [
+        ("version1_sweep", JoinConfig::version1()),
+        ("version2_5c_mer_sweep", JoinConfig::version2()),
+        ("version3_5c_mer_trstar", JoinConfig::version3()),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, "100x100"), &config, |bench, cfg| {
+            bench.iter(|| black_box(MultiStepJoin::new(*cfg).execute(&a, &b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_versions);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! # msj-bench — the reproduction harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section.
+//! The `repro` binary dispatches on [`experiments::registry`]; Criterion
+//! micro-benchmarks live under `benches/`.
+//!
+//! ```text
+//! cargo run -p msj-bench --release --bin repro -- all
+//! cargo run -p msj-bench --release --bin repro -- table7 --scale quick
+//! ```
+
+pub mod data;
+pub mod experiments;
+pub mod report;
+
+pub use data::SeriesData;
+pub use experiments::{registry, ExpConfig, Experiment, Scale};

@@ -1,0 +1,114 @@
+//! Configuration of the multi-step join processor.
+
+use msj_approx::{ConservativeKind, ProgressiveKind};
+use msj_exact::ExactAlgorithm;
+
+/// Complete configuration of one spatial-join execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinConfig {
+    /// R*-tree page size in bytes (the paper uses 2 KB and 4 KB).
+    pub page_size: usize,
+    /// LRU buffer size in bytes (128 KB in §3.4; 32 pages in §5).
+    pub buffer_bytes: usize,
+    /// Conservative approximation stored in addition to the MBR; `None`
+    /// disables the false-hit filter (version 1 of §5).
+    pub conservative: Option<ConservativeKind>,
+    /// Progressive approximation stored in addition; `None` disables the
+    /// hit filter.
+    pub progressive: Option<ProgressiveKind>,
+    /// Whether to run the false-area test (§3.3) on candidates that the
+    /// progressive test could not identify.
+    pub false_area_test: bool,
+    /// Exact geometry algorithm for the final step.
+    pub exact: ExactAlgorithm,
+}
+
+impl Default for JoinConfig {
+    /// The paper's recommended configuration (§3.6, §5 version 3):
+    /// 5-corner + MER in addition to the MBR, TR*-trees with M = 3 for
+    /// the exact step, 4 KB pages, 128 KB LRU buffer.
+    fn default() -> Self {
+        JoinConfig {
+            page_size: 4096,
+            buffer_bytes: 128 * 1024,
+            conservative: Some(ConservativeKind::FiveCorner),
+            progressive: Some(ProgressiveKind::Mer),
+            false_area_test: false,
+            exact: ExactAlgorithm::TrStar { max_entries: 3 },
+        }
+    }
+}
+
+impl JoinConfig {
+    /// §5 "version 1": no additional approximations, plane-sweep exact
+    /// step.
+    pub fn version1() -> Self {
+        JoinConfig {
+            conservative: None,
+            progressive: None,
+            false_area_test: false,
+            exact: ExactAlgorithm::PlaneSweep { restrict: true },
+            ..JoinConfig::default()
+        }
+    }
+
+    /// §5 "version 2": 5-C and MER approximations, plane-sweep exact step.
+    pub fn version2() -> Self {
+        JoinConfig {
+            conservative: Some(ConservativeKind::FiveCorner),
+            progressive: Some(ProgressiveKind::Mer),
+            false_area_test: false,
+            exact: ExactAlgorithm::PlaneSweep { restrict: true },
+            ..JoinConfig::default()
+        }
+    }
+
+    /// §5 "version 3": 5-C + MER, TR*-tree exact step — the paper's final
+    /// recommendation.
+    pub fn version3() -> Self {
+        JoinConfig::default()
+    }
+
+    /// Extra leaf-entry bytes for the stored approximations (MBR itself
+    /// and the 32-byte object info are part of the baseline layout).
+    pub fn extra_leaf_bytes(&self) -> usize {
+        let cons = self
+            .conservative
+            .map_or(0, |k| msj_approx::conservative_bytes(k, None));
+        let prog = self.progressive.map_or(0, msj_approx::progressive_bytes);
+        cons + prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_version3() {
+        assert_eq!(JoinConfig::default(), JoinConfig::version3());
+        let c = JoinConfig::default();
+        assert_eq!(c.conservative, Some(ConservativeKind::FiveCorner));
+        assert_eq!(c.progressive, Some(ProgressiveKind::Mer));
+        assert_eq!(c.exact, ExactAlgorithm::TrStar { max_entries: 3 });
+    }
+
+    #[test]
+    fn version1_has_no_filter() {
+        let c = JoinConfig::version1();
+        assert!(c.conservative.is_none());
+        assert!(c.progressive.is_none());
+        assert_eq!(c.extra_leaf_bytes(), 0);
+    }
+
+    #[test]
+    fn extra_bytes_follow_storage_model() {
+        // 5-C (40 B) + MER (16 B) = 56 B extra per leaf entry.
+        assert_eq!(JoinConfig::version2().extra_leaf_bytes(), 56);
+        let rmbr_mer = JoinConfig {
+            conservative: Some(ConservativeKind::Rmbr),
+            ..JoinConfig::default()
+        };
+        assert_eq!(rmbr_mer.extra_leaf_bytes(), 20 + 16);
+    }
+}

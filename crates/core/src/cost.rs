@@ -1,0 +1,170 @@
+//! The §5 total-cost model behind Figures 11 and 18.
+//!
+//! The paper converts measured counts into time with fixed constants:
+//! a page access costs 10 ms; the exact investigation of one candidate
+//! pair costs 25 ms with the plane sweep and 1 ms with the TR*-tree
+//! (averages from §4.3); the TR*-tree representation inflates object
+//! fetches by 1.5×; and — "very cautiously" — every pair the geometric
+//! filter identifies saves exactly one object page access.
+
+use crate::stats::MultiStepStats;
+
+/// The §5 cost constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModelParams {
+    /// Cost of one page access in milliseconds.
+    pub page_access_ms: f64,
+    /// Exact test cost per candidate pair, plane sweep (ms).
+    pub sweep_exact_ms: f64,
+    /// Exact test cost per candidate pair, TR*-tree (ms).
+    pub trstar_exact_ms: f64,
+    /// Object-access inflation of the TR*-tree representation.
+    pub trstar_access_factor: f64,
+}
+
+impl Default for CostModelParams {
+    fn default() -> Self {
+        CostModelParams {
+            page_access_ms: 10.0,
+            sweep_exact_ms: 25.0,
+            trstar_exact_ms: 1.0,
+            trstar_access_factor: 1.5,
+        }
+    }
+}
+
+/// Stacked cost of one join configuration (one bar of Figure 18),
+/// in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// MBR-join page accesses.
+    pub mbr_join_s: f64,
+    /// Fetching exact object representations for unidentified pairs.
+    pub object_access_s: f64,
+    /// Exact intersection tests.
+    pub exact_test_s: f64,
+}
+
+impl CostBreakdown {
+    pub fn total_s(&self) -> f64 {
+        self.mbr_join_s + self.object_access_s + self.exact_test_s
+    }
+}
+
+/// Which exact step the cost model assumes (§5 only compares these two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExactCostKind {
+    PlaneSweep,
+    TrStar,
+}
+
+/// Evaluates the §5 model for a measured join run.
+pub fn figure18_cost(
+    stats: &MultiStepStats,
+    exact: ExactCostKind,
+    params: &CostModelParams,
+) -> CostBreakdown {
+    let access_factor = match exact {
+        ExactCostKind::PlaneSweep => 1.0,
+        ExactCostKind::TrStar => params.trstar_access_factor,
+    };
+    let per_pair_ms = match exact {
+        ExactCostKind::PlaneSweep => params.sweep_exact_ms,
+        ExactCostKind::TrStar => params.trstar_exact_ms,
+    };
+    let unidentified = stats.unidentified() as f64;
+    CostBreakdown {
+        mbr_join_s: stats.mbr_join.io.physical as f64 * params.page_access_ms / 1000.0,
+        object_access_s: unidentified * params.page_access_ms * access_factor / 1000.0,
+        exact_test_s: unidentified * per_pair_ms / 1000.0,
+    }
+}
+
+/// The Figure 11 loss/gain accounting for storing approximations:
+/// `loss` = extra MBR-join page accesses caused by the larger entries,
+/// `gain` = pairs identified by the filter × one page access each.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossGain {
+    /// Additional MBR-join page accesses (approximation layout vs
+    /// baseline layout).
+    pub loss_pages: i64,
+    /// Page accesses saved by filter-identified pairs.
+    pub gain_pages: i64,
+}
+
+impl LossGain {
+    /// Net saved page accesses (positive = the approximations pay off).
+    pub fn total_pages(&self) -> i64 {
+        self.gain_pages - self.loss_pages
+    }
+}
+
+/// Computes Figure 11's loss/gain from a baseline run (MBR only) and an
+/// approximation run (same data, approximations stored and used).
+pub fn figure11_loss_gain(baseline: &MultiStepStats, with_approx: &MultiStepStats) -> LossGain {
+    LossGain {
+        loss_pages: with_approx.mbr_join.io.physical as i64 - baseline.mbr_join.io.physical as i64,
+        gain_pages: with_approx.identified() as i64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(candidates: u64, identified: u64, join_pages: u64) -> MultiStepStats {
+        let mut s = MultiStepStats::default();
+        s.mbr_join.candidates = candidates;
+        s.mbr_join.io.physical = join_pages;
+        s.mbr_join.io.logical = join_pages * 2;
+        s.filter_false_hits = identified / 2;
+        s.filter_hits_progressive = identified - identified / 2;
+        s.exact_tests = candidates - identified;
+        s.exact_hits = (candidates - identified) / 2;
+        s.result_pairs = s.filter_hits_progressive + s.exact_hits;
+        s
+    }
+
+    #[test]
+    fn version1_style_cost_dominated_by_exact_step() {
+        // No filtering: 1000 candidates all reach the sweep.
+        let s = stats(1000, 0, 100);
+        let c = figure18_cost(&s, ExactCostKind::PlaneSweep, &CostModelParams::default());
+        assert!((c.mbr_join_s - 1.0).abs() < 1e-12); // 100 × 10 ms
+        assert!((c.object_access_s - 10.0).abs() < 1e-12); // 1000 × 10 ms
+        assert!((c.exact_test_s - 25.0).abs() < 1e-12); // 1000 × 25 ms
+        assert!((c.total_s() - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trstar_shrinks_exact_but_inflates_access() {
+        let s = stats(1000, 0, 100);
+        let sweep = figure18_cost(&s, ExactCostKind::PlaneSweep, &CostModelParams::default());
+        let trstar = figure18_cost(&s, ExactCostKind::TrStar, &CostModelParams::default());
+        assert!(trstar.exact_test_s < sweep.exact_test_s / 10.0);
+        assert!(trstar.object_access_s > sweep.object_access_s);
+        assert!(trstar.total_s() < sweep.total_s());
+    }
+
+    #[test]
+    fn filtering_reduces_both_access_and_exact_cost() {
+        let unfiltered = stats(1000, 0, 100);
+        let filtered = stats(1000, 460, 110); // slightly more join pages
+        let c0 = figure18_cost(&unfiltered, ExactCostKind::PlaneSweep, &CostModelParams::default());
+        let c1 = figure18_cost(&filtered, ExactCostKind::PlaneSweep, &CostModelParams::default());
+        assert!(c1.object_access_s < c0.object_access_s);
+        assert!(c1.exact_test_s < c0.exact_test_s);
+        assert!(c1.mbr_join_s > c0.mbr_join_s);
+        assert!(c1.total_s() < c0.total_s());
+    }
+
+    #[test]
+    fn loss_gain_accounting() {
+        let baseline = stats(1000, 0, 100);
+        let with_approx = stats(1000, 460, 120);
+        let lg = figure11_loss_gain(&baseline, &with_approx);
+        assert_eq!(lg.loss_pages, 20);
+        assert_eq!(lg.gain_pages, 460);
+        assert_eq!(lg.total_pages(), 440);
+    }
+}

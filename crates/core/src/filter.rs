@@ -1,0 +1,216 @@
+//! Step two: the geometric filter (§3).
+//!
+//! Candidates from the MBR-join are classified using the stored
+//! approximations into *hits* (certainly intersecting), *false hits*
+//! (certainly disjoint) and remaining *candidates* for the exact step.
+
+use msj_approx::{
+    false_area_test, ConservativeKind, ConservativeStore, ProgressiveKind, ProgressiveStore,
+};
+use msj_geom::{ObjectId, Relation};
+
+/// Classification of one candidate pair by the geometric filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterOutcome {
+    /// Conservative approximations are disjoint → objects are disjoint.
+    FalseHit,
+    /// Progressive approximations intersect → objects intersect.
+    HitProgressive,
+    /// The false-area test proved an intersection.
+    HitFalseArea,
+    /// Inconclusive: the exact geometry must decide.
+    Candidate,
+}
+
+/// The geometric filter: per-relation approximation stores plus the
+/// configured tests.
+pub struct GeometricFilter {
+    conservative_a: Option<ConservativeStore>,
+    conservative_b: Option<ConservativeStore>,
+    progressive_a: Option<ProgressiveStore>,
+    progressive_b: Option<ProgressiveStore>,
+    use_false_area: bool,
+}
+
+impl GeometricFilter {
+    /// Precomputes the configured approximations for both relations.
+    pub fn build(
+        rel_a: &Relation,
+        rel_b: &Relation,
+        conservative: Option<ConservativeKind>,
+        progressive: Option<ProgressiveKind>,
+        use_false_area: bool,
+    ) -> Self {
+        GeometricFilter {
+            conservative_a: conservative.map(|k| ConservativeStore::build(k, rel_a)),
+            conservative_b: conservative.map(|k| ConservativeStore::build(k, rel_b)),
+            progressive_a: progressive.map(|k| ProgressiveStore::build(k, rel_a)),
+            progressive_b: progressive.map(|k| ProgressiveStore::build(k, rel_b)),
+            use_false_area,
+        }
+    }
+
+    /// A filter that does nothing (version 1: every candidate goes to the
+    /// exact step).
+    pub fn disabled() -> Self {
+        GeometricFilter {
+            conservative_a: None,
+            conservative_b: None,
+            progressive_a: None,
+            progressive_b: None,
+            use_false_area: false,
+        }
+    }
+
+    /// Classifies one candidate pair.
+    ///
+    /// Test order follows the paper: the cheap conservative test first
+    /// (§3.2 — most disjoint pairs die here), then the progressive hit
+    /// test (§3.3), then optionally the false-area test (§3.3 notes it
+    /// adds almost nothing once progressive approximations are stored).
+    pub fn classify(&self, id_a: ObjectId, id_b: ObjectId) -> FilterOutcome {
+        if let (Some(ca), Some(cb)) = (&self.conservative_a, &self.conservative_b) {
+            if !ca.approx(id_a).intersects(cb.approx(id_b)) {
+                return FilterOutcome::FalseHit;
+            }
+        }
+        if let (Some(pa), Some(pb)) = (&self.progressive_a, &self.progressive_b) {
+            if pa.get(id_a).intersects(pb.get(id_b)) {
+                return FilterOutcome::HitProgressive;
+            }
+        }
+        if self.use_false_area {
+            if let (Some(ca), Some(cb)) = (&self.conservative_a, &self.conservative_b) {
+                if false_area_test(ca.get(id_a), cb.get(id_b)) {
+                    return FilterOutcome::HitFalseArea;
+                }
+            }
+        }
+        FilterOutcome::Candidate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msj_geom::{Point, Polygon, SpatialObject};
+
+    fn rel(regions: Vec<Vec<(f64, f64)>>) -> Relation {
+        Relation::new(
+            regions
+                .into_iter()
+                .enumerate()
+                .map(|(i, coords)| {
+                    SpatialObject::new(
+                        i as u32,
+                        Polygon::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect())
+                            .unwrap()
+                            .into(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// An L-shaped bracket and a small far-corner square: their MBRs
+    /// overlap but their convex hulls do not — a classic false hit.
+    fn bracket_relations() -> (Relation, Relation) {
+        let a = rel(vec![vec![
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 1.0),
+            (1.0, 1.0),
+            (1.0, 10.0),
+            (0.0, 10.0),
+        ]]);
+        // The bracket's hull stays below the line x + y = 11; this square
+        // sits entirely above it.
+        let b = rel(vec![vec![(9.0, 9.0), (10.0, 9.0), (10.0, 10.0), (9.0, 10.0)]]);
+        (a, b)
+    }
+
+    #[test]
+    fn disabled_filter_passes_everything_through() {
+        let (a, b) = bracket_relations();
+        let f = GeometricFilter::disabled();
+        assert_eq!(f.classify(0, 0), FilterOutcome::Candidate);
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn conservative_filter_identifies_bracket_false_hit() {
+        let (a, b) = bracket_relations();
+        // The brackets hug opposite corners: their hulls are disjoint.
+        let f = GeometricFilter::build(
+            &a,
+            &b,
+            Some(ConservativeKind::ConvexHull),
+            None,
+            false,
+        );
+        // MBRs do overlap (precondition of a candidate):
+        assert!(a.object(0).mbr().intersects(&b.object(0).mbr()));
+        assert_eq!(f.classify(0, 0), FilterOutcome::FalseHit);
+    }
+
+    #[test]
+    fn progressive_filter_identifies_deep_overlap() {
+        // Two fat squares overlapping deeply: their MERs intersect.
+        let a = rel(vec![vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]]);
+        let b = rel(vec![vec![(2.0, 2.0), (12.0, 2.0), (12.0, 12.0), (2.0, 12.0)]]);
+        let f = GeometricFilter::build(
+            &a,
+            &b,
+            Some(ConservativeKind::FiveCorner),
+            Some(ProgressiveKind::Mer),
+            false,
+        );
+        assert_eq!(f.classify(0, 0), FilterOutcome::HitProgressive);
+    }
+
+    #[test]
+    fn false_area_test_fires_when_progressive_disabled() {
+        let a = rel(vec![vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]]);
+        let b = rel(vec![vec![(1.0, 1.0), (11.0, 1.0), (11.0, 11.0), (1.0, 11.0)]]);
+        // Squares equal their hulls: false area 0, intersection large.
+        let f = GeometricFilter::build(
+            &a,
+            &b,
+            Some(ConservativeKind::ConvexHull),
+            None,
+            true,
+        );
+        assert_eq!(f.classify(0, 0), FilterOutcome::HitFalseArea);
+    }
+
+    #[test]
+    fn inconclusive_pairs_remain_candidates() {
+        // Thin diagonal strips crossing in the middle: conservative tests
+        // cannot separate them, progressive approximations are thin and
+        // miss each other.
+        let a = rel(vec![vec![(0.0, 0.0), (0.4, 0.0), (10.0, 9.6), (9.6, 10.0)]]);
+        let b = rel(vec![vec![(10.0, 0.4), (9.6, 0.0), (0.0, 9.6), (0.4, 10.0)]]);
+        let f = GeometricFilter::build(
+            &a,
+            &b,
+            Some(ConservativeKind::FiveCorner),
+            Some(ProgressiveKind::Mer),
+            false,
+        );
+        assert_eq!(f.classify(0, 0), FilterOutcome::Candidate);
+    }
+
+    #[test]
+    fn progressive_runs_before_false_area() {
+        // Deep overlap: both tests would fire; progressive wins by order.
+        let a = rel(vec![vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]]);
+        let f = GeometricFilter::build(
+            &a,
+            &a.clone(),
+            Some(ConservativeKind::ConvexHull),
+            Some(ProgressiveKind::Mer),
+            true,
+        );
+        assert_eq!(f.classify(0, 0), FilterOutcome::HitProgressive);
+    }
+}

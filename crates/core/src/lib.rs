@@ -1,0 +1,42 @@
+//! # msj-core — the multi-step spatial join processor
+//!
+//! The primary contribution of *"Multi-Step Processing of Spatial Joins"*
+//! (Brinkhoff, Kriegel, Schneider, Seeger; SIGMOD 1994): an intersection
+//! join over two relations of complex polygonal objects executed in three
+//! steps (Figure 1):
+//!
+//! 1. **MBR-join** — the R*-tree join of [BKS 93a] produces candidate
+//!    pairs whose minimum bounding rectangles intersect
+//!    ([`msj_sam::tree_join`]);
+//! 2. **Geometric filter** — conservative approximations identify false
+//!    hits, progressive approximations and the false-area test identify
+//!    hits, all without touching the exact geometry
+//!    ([`filter::GeometricFilter`]);
+//! 3. **Exact geometry processor** — the remaining candidates are decided
+//!    on the exact polygons ([`msj_exact::ExactProcessor`]; the paper's
+//!    recommendation is the TR*-tree).
+//!
+//! Candidates are streamed between steps — no intermediate candidate sets
+//! are materialized (§2.4). [`pipeline::MultiStepJoin::execute`] runs the
+//! whole pipeline and returns the response set plus the per-step
+//! statistics ([`stats::MultiStepStats`]) that feed every evaluation
+//! table, and [`cost`] implements the §5 total-cost model of Figures 11
+//! and 18.
+
+pub mod config;
+pub mod cost;
+pub mod filter;
+pub mod parallel;
+pub mod pipeline;
+pub mod queries;
+pub mod stats;
+
+pub use config::JoinConfig;
+pub use cost::{
+    figure11_loss_gain, figure18_cost, CostBreakdown, CostModelParams, ExactCostKind, LossGain,
+};
+pub use filter::{FilterOutcome, GeometricFilter};
+pub use parallel::parallel_join;
+pub use pipeline::{ground_truth_join, JoinResult, MultiStepJoin};
+pub use queries::{QueryProcessor, QueryStats};
+pub use stats::MultiStepStats;

@@ -1,0 +1,163 @@
+//! CPU-parallel join processing — the paper's §6 outlook ("another task is
+//! to consider CPU- and I/O-parallelism in future work").
+//!
+//! The filter and exact steps are embarrassingly parallel over candidate
+//! pairs: approximation stores and object representations are read-only
+//! once built. [`parallel_join`] runs the MBR-join serially (it is I/O
+//! bound and cheap), collects the candidates, and fans the filter + exact
+//! work out over scoped threads. Determinism is preserved: the result is
+//! sorted canonically and the operation counts are merged exactly.
+
+use crate::config::JoinConfig;
+use crate::filter::{FilterOutcome, GeometricFilter};
+use crate::pipeline::JoinResult;
+use crate::stats::MultiStepStats;
+use msj_exact::{ExactProcessor, OpCounts};
+use msj_geom::{ObjectId, Relation};
+use msj_sam::{tree_join, LruBuffer, PageLayout, RStarTree};
+
+/// Runs the multi-step join with the filter and exact steps parallelized
+/// over `threads` workers (0 = available parallelism).
+///
+/// Returns the same response set as [`crate::MultiStepJoin::execute`]
+/// (canonically sorted) with identical statistics up to the buffer-state
+/// dependent I/O numbers of the MBR-join, which are measured serially and
+/// therefore equal too.
+pub fn parallel_join(
+    rel_a: &Relation,
+    rel_b: &Relation,
+    config: &JoinConfig,
+    threads: usize,
+) -> JoinResult {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+
+    // Preprocessing, identical to the serial pipeline.
+    let layout = PageLayout::with_extra_bytes(config.page_size, config.extra_leaf_bytes());
+    let tree_a = RStarTree::bulk_insert(layout, rel_a.iter().map(|o| (o.mbr(), o.id)));
+    let tree_b = RStarTree::bulk_insert(layout, rel_b.iter().map(|o| (o.mbr(), o.id)));
+    let filter = if config.conservative.is_some() || config.progressive.is_some() {
+        GeometricFilter::build(
+            rel_a,
+            rel_b,
+            config.conservative,
+            config.progressive,
+            config.false_area_test,
+        )
+    } else {
+        GeometricFilter::disabled()
+    };
+    let exact = ExactProcessor::new(config.exact, rel_a, rel_b);
+
+    // Step 1, serial: the MBR-join (the I/O accounting needs one buffer).
+    let mut buffer = LruBuffer::with_bytes(config.buffer_bytes, config.page_size);
+    let mut candidates: Vec<(ObjectId, ObjectId)> = Vec::new();
+    let join_stats = tree_join(&tree_a, &tree_b, &mut buffer, |a, b| candidates.push((a, b)));
+
+    // Steps 2+3, parallel over candidate chunks.
+    let chunk_size = candidates.len().div_ceil(threads.max(1)).max(1);
+    let mut partials: Vec<(Vec<(ObjectId, ObjectId)>, MultiStepStats)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in candidates.chunks(chunk_size) {
+            let filter = &filter;
+            let exact = &exact;
+            handles.push(scope.spawn(move || {
+                let mut pairs = Vec::new();
+                let mut stats = MultiStepStats::default();
+                let mut counts = OpCounts::new();
+                for &(a, b) in chunk {
+                    match filter.classify(a, b) {
+                        FilterOutcome::FalseHit => stats.filter_false_hits += 1,
+                        FilterOutcome::HitProgressive => {
+                            stats.filter_hits_progressive += 1;
+                            pairs.push((a, b));
+                        }
+                        FilterOutcome::HitFalseArea => {
+                            stats.filter_hits_false_area += 1;
+                            pairs.push((a, b));
+                        }
+                        FilterOutcome::Candidate => {
+                            stats.exact_tests += 1;
+                            if exact.intersects(a, b, &mut counts) {
+                                stats.exact_hits += 1;
+                                pairs.push((a, b));
+                            }
+                        }
+                    }
+                }
+                stats.exact_ops = counts;
+                (pairs, stats)
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("worker panicked"));
+        }
+    });
+
+    // Deterministic merge.
+    let mut stats = MultiStepStats { mbr_join: join_stats, ..MultiStepStats::default() };
+    let mut pairs = Vec::new();
+    for (p, s) in partials {
+        pairs.extend(p);
+        stats.filter_false_hits += s.filter_false_hits;
+        stats.filter_hits_progressive += s.filter_hits_progressive;
+        stats.filter_hits_false_area += s.filter_hits_false_area;
+        stats.exact_tests += s.exact_tests;
+        stats.exact_hits += s.exact_hits;
+        stats.exact_ops.merge(&s.exact_ops);
+    }
+    pairs.sort_unstable();
+    stats.result_pairs = pairs.len() as u64;
+    JoinResult { pairs, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::MultiStepJoin;
+
+    fn sorted(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_all_versions() {
+        let a = msj_datagen::small_carto(48, 24.0, 71);
+        let b = msj_datagen::small_carto(48, 24.0, 72);
+        for config in [JoinConfig::version1(), JoinConfig::version2(), JoinConfig::version3()] {
+            let serial = MultiStepJoin::new(config).execute(&a, &b);
+            for threads in [1usize, 2, 4] {
+                let par = parallel_join(&a, &b, &config, threads);
+                assert_eq!(sorted(serial.pairs.clone()), par.pairs, "{config:?} x{threads}");
+                assert_eq!(serial.stats.filter_false_hits, par.stats.filter_false_hits);
+                assert_eq!(serial.stats.exact_tests, par.stats.exact_tests);
+                assert_eq!(serial.stats.exact_hits, par.stats.exact_hits);
+                // Operation counts merge exactly: same work, just spread.
+                assert_eq!(serial.stats.exact_ops, par.stats.exact_ops);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_uses_available_parallelism() {
+        let a = msj_datagen::small_carto(20, 16.0, 81);
+        let b = msj_datagen::small_carto(20, 16.0, 82);
+        let par = parallel_join(&a, &b, &JoinConfig::default(), 0);
+        let serial = MultiStepJoin::new(JoinConfig::default()).execute(&a, &b);
+        assert_eq!(sorted(serial.pairs), par.pairs);
+    }
+
+    #[test]
+    fn more_threads_than_candidates_is_fine() {
+        let a = msj_datagen::small_carto(4, 12.0, 91);
+        let b = msj_datagen::small_carto(4, 12.0, 92);
+        let par = parallel_join(&a, &b, &JoinConfig::default(), 64);
+        let serial = MultiStepJoin::new(JoinConfig::default()).execute(&a, &b);
+        assert_eq!(sorted(serial.pairs), par.pairs);
+    }
+}

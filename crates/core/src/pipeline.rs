@@ -1,0 +1,259 @@
+//! The multi-step join pipeline (Figure 1): MBR-join → geometric filter →
+//! exact geometry processor, with candidates streamed between steps.
+
+use crate::config::JoinConfig;
+use crate::filter::{FilterOutcome, GeometricFilter};
+use crate::stats::MultiStepStats;
+use msj_exact::ExactProcessor;
+use msj_geom::{ObjectId, Relation};
+use msj_sam::{tree_join, LruBuffer, PageLayout, RStarTree};
+
+/// The outcome of one multi-step join: the response set plus per-step
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct JoinResult {
+    /// The response set: pairs whose regions intersect.
+    pub pairs: Vec<(ObjectId, ObjectId)>,
+    pub stats: MultiStepStats,
+}
+
+/// The multi-step spatial join processor.
+///
+/// ```
+/// use msj_core::{JoinConfig, MultiStepJoin};
+/// use msj_geom::{Point, Polygon, Relation, SpatialObject};
+///
+/// let square = |x: f64, y: f64| -> SpatialObject {
+///     SpatialObject::new(0, Polygon::new(vec![
+///         Point::new(x, y), Point::new(x + 2.0, y),
+///         Point::new(x + 2.0, y + 2.0), Point::new(x, y + 2.0),
+///     ]).unwrap().into())
+/// };
+/// let a = Relation::new(vec![square(0.0, 0.0)]);
+/// let b = Relation::new(vec![square(1.0, 1.0)]);
+/// let result = MultiStepJoin::new(JoinConfig::default()).execute(&a, &b);
+/// assert_eq!(result.pairs, vec![(0, 0)]);
+/// ```
+pub struct MultiStepJoin {
+    config: JoinConfig,
+}
+
+impl MultiStepJoin {
+    pub fn new(config: JoinConfig) -> Self {
+        MultiStepJoin { config }
+    }
+
+    pub fn config(&self) -> &JoinConfig {
+        &self.config
+    }
+
+    /// Runs the full three-step join of `rel_a` with `rel_b`.
+    pub fn execute(&self, rel_a: &Relation, rel_b: &Relation) -> JoinResult {
+        // Step 0 (preprocessing, "insertion time"): R*-trees over the
+        // MBRs, approximation stores, exact-step object representations.
+        let layout =
+            PageLayout::with_extra_bytes(self.config.page_size, self.config.extra_leaf_bytes());
+        let tree_a = RStarTree::bulk_insert(layout, rel_a.iter().map(|o| (o.mbr(), o.id)));
+        let tree_b = RStarTree::bulk_insert(layout, rel_b.iter().map(|o| (o.mbr(), o.id)));
+        let filter = if self.config.conservative.is_some()
+            || self.config.progressive.is_some()
+        {
+            GeometricFilter::build(
+                rel_a,
+                rel_b,
+                self.config.conservative,
+                self.config.progressive,
+                self.config.false_area_test,
+            )
+        } else {
+            GeometricFilter::disabled()
+        };
+        let exact = ExactProcessor::new(self.config.exact, rel_a, rel_b);
+
+        let mut buffer = LruBuffer::with_bytes(self.config.buffer_bytes, self.config.page_size);
+        let mut stats = MultiStepStats::default();
+        let mut pairs: Vec<(ObjectId, ObjectId)> = Vec::new();
+
+        // Steps 1-3, streamed: each candidate of the MBR-join is filtered
+        // and (when inconclusive) tested exactly, immediately.
+        let join_stats = tree_join(&tree_a, &tree_b, &mut buffer, |id_a, id_b| {
+            match filter.classify(id_a, id_b) {
+                FilterOutcome::FalseHit => stats.filter_false_hits += 1,
+                FilterOutcome::HitProgressive => {
+                    stats.filter_hits_progressive += 1;
+                    pairs.push((id_a, id_b));
+                }
+                FilterOutcome::HitFalseArea => {
+                    stats.filter_hits_false_area += 1;
+                    pairs.push((id_a, id_b));
+                }
+                FilterOutcome::Candidate => {
+                    stats.exact_tests += 1;
+                    if exact.intersects(id_a, id_b, &mut stats.exact_ops) {
+                        stats.exact_hits += 1;
+                        pairs.push((id_a, id_b));
+                    }
+                }
+            }
+        });
+        stats.mbr_join = join_stats;
+        stats.result_pairs = pairs.len() as u64;
+        JoinResult { pairs, stats }
+    }
+}
+
+/// Ground-truth intersection join by exhaustive pairwise exact tests
+/// (nested loops over the exact geometry) — the reference the multi-step
+/// result must equal.
+pub fn ground_truth_join(rel_a: &Relation, rel_b: &Relation) -> Vec<(ObjectId, ObjectId)> {
+    let mut counts = msj_exact::OpCounts::new();
+    let mut pairs = Vec::new();
+    for a in rel_a.iter() {
+        for b in rel_b.iter() {
+            if !a.mbr().intersects(&b.mbr()) {
+                continue;
+            }
+            if msj_exact::quadratic_intersects(&a.region, &b.region, &mut counts) {
+                pairs.push((a.id, b.id));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msj_exact::ExactAlgorithm;
+
+    fn blob_relation(seed: u64, count: usize) -> Relation {
+        msj_datagen::small_carto(count, 24.0, seed)
+    }
+
+    fn sorted(mut v: Vec<(ObjectId, ObjectId)>) -> Vec<(ObjectId, ObjectId)> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn all_versions_produce_the_ground_truth() {
+        let a = blob_relation(11, 48);
+        let b = blob_relation(12, 48);
+        let expect = sorted(ground_truth_join(&a, &b));
+        assert!(!expect.is_empty(), "test data should produce hits");
+        for config in [
+            JoinConfig::version1(),
+            JoinConfig::version2(),
+            JoinConfig::version3(),
+        ] {
+            let result = MultiStepJoin::new(config).execute(&a, &b);
+            assert_eq!(
+                sorted(result.pairs.clone()),
+                expect.clone(),
+                "config {config:?} wrong result"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_configurations_agree_and_reduce_exact_tests() {
+        let a = blob_relation(21, 40);
+        let b = blob_relation(22, 40);
+        let v1 = MultiStepJoin::new(JoinConfig::version1()).execute(&a, &b);
+        let v3 = MultiStepJoin::new(JoinConfig::version3()).execute(&a, &b);
+        assert_eq!(sorted(v1.pairs.clone()), sorted(v3.pairs.clone()));
+        // Version 1 sends every candidate to the exact step.
+        assert_eq!(v1.stats.exact_tests, v1.stats.mbr_join.candidates);
+        // Version 3 filters a substantial share.
+        assert!(
+            v3.stats.exact_tests < v1.stats.exact_tests,
+            "filter must reduce exact tests ({} vs {})",
+            v3.stats.exact_tests,
+            v1.stats.exact_tests
+        );
+        assert!(v3.stats.identified() > 0);
+    }
+
+    #[test]
+    fn stats_identities_hold() {
+        let a = blob_relation(31, 36);
+        let b = blob_relation(32, 36);
+        let r = MultiStepJoin::new(JoinConfig::version3()).execute(&a, &b);
+        let s = &r.stats;
+        assert_eq!(
+            s.mbr_join.candidates,
+            s.identified() + s.exact_tests,
+            "every candidate is classified or tested"
+        );
+        assert_eq!(
+            s.result_pairs,
+            s.filter_hits_progressive + s.filter_hits_false_area + s.exact_hits
+        );
+        assert_eq!(r.pairs.len() as u64, s.result_pairs);
+    }
+
+    #[test]
+    fn false_area_test_only_adds_hits_not_pairs() {
+        let a = blob_relation(41, 30);
+        let b = blob_relation(42, 30);
+        let without = MultiStepJoin::new(JoinConfig {
+            false_area_test: false,
+            ..JoinConfig::version2()
+        })
+        .execute(&a, &b);
+        let with = MultiStepJoin::new(JoinConfig {
+            false_area_test: true,
+            ..JoinConfig::version2()
+        })
+        .execute(&a, &b);
+        assert_eq!(sorted(without.pairs.clone()), sorted(with.pairs.clone()));
+        // With the false-area test enabled, some hits may move from the
+        // exact step into the filter, never the other way.
+        assert!(with.stats.exact_tests <= without.stats.exact_tests);
+    }
+
+    #[test]
+    fn quadratic_exact_also_agrees() {
+        let a = blob_relation(51, 24);
+        let b = blob_relation(52, 24);
+        let expect = sorted(ground_truth_join(&a, &b));
+        let r = MultiStepJoin::new(JoinConfig {
+            exact: ExactAlgorithm::Quadratic,
+            ..JoinConfig::version2()
+        })
+        .execute(&a, &b);
+        assert_eq!(sorted(r.pairs), expect);
+    }
+
+    #[test]
+    fn empty_relations_join_to_empty() {
+        let a = Relation::default();
+        let b = blob_relation(61, 10);
+        let r = MultiStepJoin::new(JoinConfig::default()).execute(&a, &b);
+        assert!(r.pairs.is_empty());
+        assert_eq!(r.stats.mbr_join.candidates, 0);
+    }
+
+    #[test]
+    fn doc_example_runs() {
+        // Mirror of the struct-level doc example.
+        use msj_geom::{Point, Polygon, SpatialObject};
+        let square = |x: f64, y: f64| {
+            SpatialObject::new(
+                0,
+                Polygon::new(vec![
+                    Point::new(x, y),
+                    Point::new(x + 2.0, y),
+                    Point::new(x + 2.0, y + 2.0),
+                    Point::new(x, y + 2.0),
+                ])
+                .unwrap()
+                .into(),
+            )
+        };
+        let a = Relation::new(vec![square(0.0, 0.0)]);
+        let b = Relation::new(vec![square(1.0, 1.0)]);
+        let result = MultiStepJoin::new(JoinConfig::default()).execute(&a, &b);
+        assert_eq!(result.pairs, vec![(0, 0)]);
+    }
+}

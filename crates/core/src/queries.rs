@@ -1,0 +1,262 @@
+//! Multi-step point and window queries (§2, [BHKS 93] / [KBS 93]).
+//!
+//! The join is the paper's subject, but the same multi-step architecture
+//! serves the selective queries it builds on — and Figure 10 measures
+//! point and window queries on the same storage organizations. The
+//! processor here mirrors the join pipeline:
+//!
+//! 1. R*-tree point/window query on the MBR keys → candidates;
+//! 2. geometric filter: conservative approximation test (false-hit
+//!    elimination), progressive approximation test (hit identification);
+//! 3. exact geometry test for the remainder.
+
+use crate::config::JoinConfig;
+use msj_approx::{Conservative, ConservativeStore, Progressive, ProgressiveStore};
+use msj_exact::{region_contains_point, region_intersects_rect, OpCounts};
+use msj_geom::{ObjectId, Point, Rect, Relation};
+use msj_sam::{LruBuffer, PageLayout, RStarTree};
+
+/// Per-query statistics of a multi-step query execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Candidates produced by the index (MBR hits).
+    pub candidates: u64,
+    /// Candidates eliminated by the conservative approximation.
+    pub filter_false_hits: u64,
+    /// Candidates confirmed by the progressive approximation.
+    pub filter_hits: u64,
+    /// Candidates that required the exact geometry.
+    pub exact_tests: u64,
+    /// Physical page accesses of the index probe.
+    pub physical_reads: u64,
+}
+
+/// A prepared multi-step query processor over one relation.
+///
+/// Preprocessing (index + approximation stores) happens once in
+/// [`QueryProcessor::build`]; each query then runs the three steps.
+pub struct QueryProcessor<'a> {
+    relation: &'a Relation,
+    tree: RStarTree,
+    conservative: Option<ConservativeStore>,
+    progressive: Option<ProgressiveStore>,
+    buffer: LruBuffer,
+}
+
+impl<'a> QueryProcessor<'a> {
+    /// Builds the index and the configured approximation stores.
+    pub fn build(relation: &'a Relation, config: &JoinConfig) -> Self {
+        let layout = PageLayout::with_extra_bytes(config.page_size, config.extra_leaf_bytes());
+        let tree = RStarTree::bulk_insert(layout, relation.iter().map(|o| (o.mbr(), o.id)));
+        QueryProcessor {
+            relation,
+            tree,
+            conservative: config.conservative.map(|k| ConservativeStore::build(k, relation)),
+            progressive: config.progressive.map(|k| ProgressiveStore::build(k, relation)),
+            buffer: LruBuffer::with_bytes(config.buffer_bytes, config.page_size),
+        }
+    }
+
+    /// All objects whose region contains `p` (closed semantics).
+    pub fn point_query(&mut self, p: Point, counts: &mut OpCounts) -> (Vec<ObjectId>, QueryStats) {
+        let before = self.buffer.stats().physical;
+        let candidates = self.tree.point_query(p, &mut self.buffer);
+        let mut stats = QueryStats {
+            candidates: candidates.len() as u64,
+            ..QueryStats::default()
+        };
+        let mut result = Vec::new();
+        for id in candidates {
+            // Conservative: point outside the approximation → false hit.
+            if let Some(cons) = &self.conservative {
+                if !cons.approx(id).contains_point(p) {
+                    stats.filter_false_hits += 1;
+                    continue;
+                }
+            }
+            // Progressive: point inside the enclosed shape → hit.
+            if let Some(prog) = &self.progressive {
+                if progressive_contains(prog.get(id), p) {
+                    stats.filter_hits += 1;
+                    result.push(id);
+                    continue;
+                }
+            }
+            stats.exact_tests += 1;
+            if region_contains_point(&self.relation.object(id).region, p, counts) {
+                result.push(id);
+            }
+        }
+        stats.physical_reads = self.buffer.stats().physical - before;
+        (result, stats)
+    }
+
+    /// All objects whose region intersects `window` (closed semantics).
+    pub fn window_query(
+        &mut self,
+        window: Rect,
+        counts: &mut OpCounts,
+    ) -> (Vec<ObjectId>, QueryStats) {
+        let before = self.buffer.stats().physical;
+        let candidates = self.tree.window_query(window, &mut self.buffer);
+        let mut stats = QueryStats {
+            candidates: candidates.len() as u64,
+            ..QueryStats::default()
+        };
+        let window_ring = window.corners().to_vec();
+        let mut result = Vec::new();
+        for id in candidates {
+            if let Some(cons) = &self.conservative {
+                if !conservative_intersects_window(cons.approx(id), &window, &window_ring) {
+                    stats.filter_false_hits += 1;
+                    continue;
+                }
+            }
+            if let Some(prog) = &self.progressive {
+                if progressive_intersects_window(prog.get(id), &window) {
+                    stats.filter_hits += 1;
+                    result.push(id);
+                    continue;
+                }
+            }
+            stats.exact_tests += 1;
+            if region_intersects_rect(&self.relation.object(id).region, &window, counts) {
+                result.push(id);
+            }
+        }
+        stats.physical_reads = self.buffer.stats().physical - before;
+        (result, stats)
+    }
+}
+
+fn progressive_contains(prog: &Progressive, p: Point) -> bool {
+    match prog {
+        Progressive::Mec(c) => c.contains_point(p),
+        Progressive::Mer(r) => r.contains_point(p),
+        Progressive::Empty => false,
+    }
+}
+
+fn progressive_intersects_window(prog: &Progressive, window: &Rect) -> bool {
+    match prog {
+        Progressive::Mec(c) => c.intersects_rect(window),
+        Progressive::Mer(r) => r.intersects(window),
+        Progressive::Empty => false,
+    }
+}
+
+fn conservative_intersects_window(
+    cons: &Conservative,
+    window: &Rect,
+    window_ring: &[Point],
+) -> bool {
+    match cons {
+        Conservative::Mbr(r) => r.intersects(window),
+        Conservative::Mbc(c) => c.intersects_rect(window),
+        Conservative::Mbe(e) => e.intersects_convex(window_ring),
+        Conservative::Convex(_, ring) => msj_geom::convex_intersect(ring, window_ring),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msj_approx::{ConservativeKind, ProgressiveKind};
+
+    fn processor_configs() -> Vec<JoinConfig> {
+        vec![
+            JoinConfig::version1(),
+            JoinConfig::default(),
+            JoinConfig {
+                conservative: Some(ConservativeKind::ConvexHull),
+                progressive: Some(ProgressiveKind::Mec),
+                ..JoinConfig::default()
+            },
+            JoinConfig {
+                conservative: Some(ConservativeKind::Mbe),
+                progressive: None,
+                ..JoinConfig::default()
+            },
+        ]
+    }
+
+    #[test]
+    fn point_query_matches_linear_scan_for_all_configs() {
+        let rel = msj_datagen::small_carto(60, 24.0, 17);
+        let world = rel.bounding_rect().unwrap();
+        for config in processor_configs() {
+            let mut proc = QueryProcessor::build(&rel, &config);
+            let mut counts = OpCounts::new();
+            for i in 0..40 {
+                let p = Point::new(
+                    world.xmin() + world.width() * (i as f64 * 0.37).fract(),
+                    world.ymin() + world.height() * (i as f64 * 0.61).fract(),
+                );
+                let (mut got, stats) = proc.point_query(p, &mut counts);
+                got.sort_unstable();
+                let mut expect: Vec<ObjectId> = rel
+                    .iter()
+                    .filter(|o| o.region.contains_point(p))
+                    .map(|o| o.id)
+                    .collect();
+                expect.sort_unstable();
+                assert_eq!(got, expect, "point {p:?} config {config:?}");
+                assert_eq!(
+                    stats.candidates,
+                    stats.filter_false_hits + stats.filter_hits + stats.exact_tests
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_query_matches_linear_scan_for_all_configs() {
+        let rel = msj_datagen::small_carto(60, 24.0, 18);
+        let world = rel.bounding_rect().unwrap();
+        for config in processor_configs() {
+            let mut proc = QueryProcessor::build(&rel, &config);
+            let mut counts = OpCounts::new();
+            for i in 0..25 {
+                let cx = world.xmin() + world.width() * (i as f64 * 0.31).fract();
+                let cy = world.ymin() + world.height() * (i as f64 * 0.47).fract();
+                let side = world.width() * (0.01 + 0.08 * (i as f64 * 0.13).fract());
+                let w = Rect::from_bounds(cx, cy, cx + side, cy + side);
+                let (mut got, _) = proc.window_query(w, &mut counts);
+                got.sort_unstable();
+                let mut expect: Vec<ObjectId> = rel
+                    .iter()
+                    .filter(|o| {
+                        msj_exact::window::region_intersects_rect_reference(&o.region, &w)
+                    })
+                    .map(|o| o.id)
+                    .collect();
+                expect.sort_unstable();
+                assert_eq!(got, expect, "window {w:?} config {config:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn filter_reduces_exact_tests_for_point_queries() {
+        let rel = msj_datagen::small_carto(80, 30.0, 19);
+        let world = rel.bounding_rect().unwrap();
+        let mut with_filter = QueryProcessor::build(&rel, &JoinConfig::default());
+        let mut without = QueryProcessor::build(&rel, &JoinConfig::version1());
+        let mut c1 = OpCounts::new();
+        let mut c2 = OpCounts::new();
+        let mut exact_with = 0;
+        let mut exact_without = 0;
+        for i in 0..60 {
+            let p = Point::new(
+                world.xmin() + world.width() * (i as f64 * 0.17).fract(),
+                world.ymin() + world.height() * (i as f64 * 0.29).fract(),
+            );
+            exact_with += with_filter.point_query(p, &mut c1).1.exact_tests;
+            exact_without += without.point_query(p, &mut c2).1.exact_tests;
+        }
+        assert!(
+            exact_with < exact_without,
+            "filter should cut exact point tests: {exact_with} vs {exact_without}"
+        );
+    }
+}

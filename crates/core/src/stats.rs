@@ -1,0 +1,119 @@
+//! Per-step statistics of one multi-step join execution.
+
+use msj_exact::OpCounts;
+use msj_sam::JoinStats;
+
+/// What happened in each step of the join (the quantities behind
+/// Tables 2–5 and Figures 11/12/18).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MultiStepStats {
+    /// Step 1 (MBR-join): candidate pairs, MBR tests, page accesses.
+    pub mbr_join: JoinStats,
+    /// Step 2: false hits identified by the conservative approximation.
+    pub filter_false_hits: u64,
+    /// Step 2: hits identified by the progressive approximation.
+    pub filter_hits_progressive: u64,
+    /// Step 2: hits identified by the false-area test.
+    pub filter_hits_false_area: u64,
+    /// Step 3: candidate pairs tested on the exact geometry.
+    pub exact_tests: u64,
+    /// Step 3: pairs confirmed by the exact geometry.
+    pub exact_hits: u64,
+    /// Step 3: accumulated weighted geometric operations.
+    pub exact_ops: OpCounts,
+    /// Total result pairs (filter hits + exact hits).
+    pub result_pairs: u64,
+}
+
+impl MultiStepStats {
+    /// Pairs the filter could not classify (these must fetch the exact
+    /// object representation — the §5 object-access cost driver).
+    pub fn unidentified(&self) -> u64 {
+        self.exact_tests
+    }
+
+    /// Pairs classified by the filter (hits + false hits) — each saves an
+    /// object access under the §5 cost assumption.
+    pub fn identified(&self) -> u64 {
+        self.filter_false_hits + self.filter_hits_progressive + self.filter_hits_false_area
+    }
+
+    /// True hits that the filter failed to identify.
+    pub fn unidentified_hits(&self) -> u64 {
+        self.exact_hits
+    }
+
+    /// True false hits that the filter failed to identify.
+    pub fn unidentified_false_hits(&self) -> u64 {
+        self.exact_tests - self.exact_hits
+    }
+
+    /// Total true hits of the join.
+    pub fn hits(&self) -> u64 {
+        self.result_pairs
+    }
+
+    /// Total true false hits among the MBR-join candidates.
+    pub fn false_hits(&self) -> u64 {
+        self.mbr_join.candidates - self.result_pairs
+    }
+
+    /// Fraction of candidates classified by the geometric filter (Figure
+    /// 12 reports 46 % for BW A with 5-C + MER).
+    pub fn identified_fraction(&self) -> f64 {
+        if self.mbr_join.candidates == 0 {
+            0.0
+        } else {
+            self.identified() as f64 / self.mbr_join.candidates as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MultiStepStats {
+        let mut s = MultiStepStats::default();
+        s.mbr_join.candidates = 100;
+        s.filter_false_hits = 20;
+        s.filter_hits_progressive = 25;
+        s.filter_hits_false_area = 5;
+        s.exact_tests = 50;
+        s.exact_hits = 40;
+        s.result_pairs = 70;
+        s
+    }
+
+    #[test]
+    fn derived_quantities_are_consistent() {
+        let s = sample();
+        assert_eq!(s.identified(), 50);
+        assert_eq!(s.unidentified(), 50);
+        assert_eq!(s.hits(), 70);
+        assert_eq!(s.false_hits(), 30);
+        assert_eq!(s.unidentified_hits(), 40);
+        assert_eq!(s.unidentified_false_hits(), 10);
+        assert!((s.identified_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accounting_identity() {
+        let s = sample();
+        // candidates = identified + unidentified
+        assert_eq!(s.mbr_join.candidates, s.identified() + s.unidentified());
+        // hits = progressive + false-area + exact
+        assert_eq!(
+            s.hits(),
+            s.filter_hits_progressive + s.filter_hits_false_area + s.exact_hits
+        );
+        // false hits = filter false hits + exact-refuted
+        assert_eq!(s.false_hits(), s.filter_false_hits + s.unidentified_false_hits());
+    }
+
+    #[test]
+    fn empty_join_fraction_is_zero() {
+        let s = MultiStepStats::default();
+        assert_eq!(s.identified_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! End-to-end property: the multi-step join equals the ground-truth
+//! nested-loops exact join for every filter/exact configuration.
+
+use msj_approx::{ConservativeKind, ProgressiveKind};
+use msj_core::{ground_truth_join, JoinConfig, MultiStepJoin};
+use msj_exact::ExactAlgorithm;
+use proptest::prelude::*;
+
+fn sorted(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    v.sort_unstable();
+    v
+}
+
+fn conservative_strategy() -> impl Strategy<Value = Option<ConservativeKind>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(ConservativeKind::Mbc)),
+        Just(Some(ConservativeKind::Mbe)),
+        Just(Some(ConservativeKind::Rmbr)),
+        Just(Some(ConservativeKind::FourCorner)),
+        Just(Some(ConservativeKind::FiveCorner)),
+        Just(Some(ConservativeKind::ConvexHull)),
+    ]
+}
+
+fn progressive_strategy() -> impl Strategy<Value = Option<ProgressiveKind>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(ProgressiveKind::Mec)),
+        Just(Some(ProgressiveKind::Mer)),
+    ]
+}
+
+fn exact_strategy() -> impl Strategy<Value = ExactAlgorithm> {
+    prop_oneof![
+        Just(ExactAlgorithm::Quadratic),
+        Just(ExactAlgorithm::PlaneSweep { restrict: true }),
+        Just(ExactAlgorithm::PlaneSweep { restrict: false }),
+        Just(ExactAlgorithm::TrStar { max_entries: 3 }),
+        Just(ExactAlgorithm::TrStar { max_entries: 5 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn multi_step_join_is_exact_for_any_configuration(
+        seed_a in 0u64..1000,
+        seed_b in 1000u64..2000,
+        conservative in conservative_strategy(),
+        progressive in progressive_strategy(),
+        false_area_test in any::<bool>(),
+        exact in exact_strategy(),
+        page_size in prop_oneof![Just(1024usize), Just(2048), Just(4096)],
+    ) {
+        let a = msj_datagen::small_carto(24, 20.0, seed_a);
+        let b = msj_datagen::small_carto(24, 20.0, seed_b);
+        let config = JoinConfig {
+            page_size,
+            buffer_bytes: 32 * 1024,
+            conservative,
+            progressive,
+            false_area_test,
+            exact,
+        };
+        let result = MultiStepJoin::new(config).execute(&a, &b);
+        let expect = sorted(ground_truth_join(&a, &b));
+        prop_assert_eq!(sorted(result.pairs), expect, "config {:?}", config);
+
+        // Statistics identities.
+        let s = &result.stats;
+        prop_assert_eq!(s.mbr_join.candidates, s.identified() + s.exact_tests);
+        prop_assert_eq!(
+            s.result_pairs,
+            s.filter_hits_progressive + s.filter_hits_false_area + s.exact_hits
+        );
+    }
+}

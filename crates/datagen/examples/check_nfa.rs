@@ -1,0 +1,22 @@
+//! Calibration check: prints the Table 1 / Figure 2 statistics of the
+//! synthetic Europe/BW datasets (used when tuning the blob generator).
+//!
+//! ```text
+//! cargo run -p msj-datagen --release --example check_nfa
+//! ```
+
+fn main() {
+    for (name, rel) in [
+        ("Europe", msj_datagen::europe_like(1)),
+        ("BW", msj_datagen::bw_like(1)),
+    ] {
+        let s = msj_datagen::mbr_false_area_stats(&rel);
+        let (m, mn, mx) = rel.vertex_stats();
+        println!(
+            "{name}: nfa mean={:.3} min={:.3} max={:.3}  vertices mean={:.1} min={mn} max={mx}",
+            s.mean, s.min, s.max, m
+        );
+    }
+    println!("paper Table 1: Europe 0.91 (0.25..20.13), BW 1.02 (0.38..3.48)");
+    println!("paper Figure 2: Europe m 84 (4..869), BW m 527 (6..2087)");
+}

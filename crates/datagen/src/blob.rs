@@ -1,0 +1,201 @@
+//! Generation of single cartography-like polygons ("blobs").
+//!
+//! Real county/municipality outlines are highly non-convex: the paper
+//! measures an average normalized false area of the MBR around 0.9–1.0
+//! (Table 1). We reproduce that statistic with star-shaped polygons whose
+//! radius function combines low-frequency lobes, mid/high-frequency
+//! roughness, a few pronounced "peninsulas" (spikes) and anisotropic
+//! stretching. Star-shapedness guarantees simplicity by construction.
+
+use msj_geom::{Point, Polygon};
+use rand::Rng;
+
+/// Shape parameters of the blob generator.
+///
+/// The defaults are calibrated (see `calibrate.rs` tests) so that relations
+/// generated with [`crate::relations::europe_like`] /
+/// [`crate::relations::bw_like`] match the paper's Table 1 MBR false-area
+/// statistics within a tolerance band.
+#[derive(Debug, Clone)]
+pub struct BlobParams {
+    /// Mean radius before anisotropy.
+    pub radius: f64,
+    /// Number of boundary vertices.
+    pub vertices: usize,
+    /// Amplitude of the low-frequency lobe noise (frequency 2–3).
+    pub lobe_amp: f64,
+    /// Amplitude of the mid-frequency noise (frequency 4–7).
+    pub mid_amp: f64,
+    /// Amplitude of the high-frequency roughness (frequency 8–16).
+    pub rough_amp: f64,
+    /// Number of spike directions ("peninsulas").
+    pub spikes: usize,
+    /// Relative amplitude of a spike (radius multiplier − 1).
+    pub spike_amp: f64,
+    /// Angular half-width of a spike in radians.
+    pub spike_width: f64,
+    /// Maximum anisotropic stretch factor applied along a random axis.
+    pub max_elongation: f64,
+}
+
+impl Default for BlobParams {
+    fn default() -> Self {
+        BlobParams {
+            radius: 1.0,
+            vertices: 64,
+            lobe_amp: 0.27,
+            mid_amp: 0.22,
+            rough_amp: 0.10,
+            spikes: 3,
+            spike_amp: 0.55,
+            spike_width: 0.22,
+            max_elongation: 1.7,
+        }
+    }
+}
+
+/// Generates one blob polygon centered at `center`.
+///
+/// The polygon is star-shaped around `center` before stretching, hence
+/// always simple. Vertices are returned in counter-clockwise order (via
+/// `Polygon::new` normalization).
+pub fn blob<R: Rng + ?Sized>(rng: &mut R, center: Point, params: &BlobParams) -> Polygon {
+    let n = params.vertices.max(3);
+    let tau = std::f64::consts::TAU;
+
+    // Harmonic components with random frequency and phase.
+    let f1 = rng.gen_range(2..=3) as f64;
+    let f2 = rng.gen_range(4..=7) as f64;
+    let f3 = rng.gen_range(8..=16) as f64;
+    let p1 = rng.gen_range(0.0..tau);
+    let p2 = rng.gen_range(0.0..tau);
+    let p3 = rng.gen_range(0.0..tau);
+
+    // Spike directions and strengths.
+    let spikes: Vec<(f64, f64)> = (0..params.spikes)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..tau),
+                params.spike_amp * rng.gen_range(0.5..1.5),
+            )
+        })
+        .collect();
+
+    // Anisotropy: stretch along a random axis.
+    let elong = rng.gen_range(1.0..params.max_elongation.max(1.0 + f64::EPSILON));
+    let orient = rng.gen_range(0.0..tau);
+
+    // Small per-vertex angular jitter keeps angles strictly increasing.
+    let max_jitter = 0.35 / n as f64 * tau;
+
+    let mut vertices = Vec::with_capacity(n);
+    for i in 0..n {
+        let theta = i as f64 / n as f64 * tau + rng.gen_range(0.0..max_jitter);
+        let mut r = 1.0
+            + params.lobe_amp * (f1 * theta + p1).sin()
+            + params.mid_amp * (f2 * theta + p2).sin()
+            + params.rough_amp * (f3 * theta + p3).sin()
+            + params.rough_amp * 0.5 * rng.gen_range(-1.0..1.0);
+        for &(dir, amp) in &spikes {
+            let mut d = (theta - dir).abs() % tau;
+            if d > tau / 2.0 {
+                d = tau - d;
+            }
+            let w = params.spike_width;
+            r += amp * (-(d * d) / (w * w)).exp();
+        }
+        r = r.clamp(0.08, 4.0) * params.radius;
+        // Stretched star point.
+        let unit = Point::new(theta.cos(), theta.sin());
+        let stretched = Point::new(unit.x * elong, unit.y).rotated(orient);
+        vertices.push(center + stretched * r);
+    }
+    Polygon::new(vertices).expect("star-shaped blob is a valid polygon")
+}
+
+/// Samples a vertex count from a clamped log-normal distribution.
+///
+/// `mu_ln` and `sigma_ln` are the parameters of the underlying normal in
+/// log space; the result is clamped to `[min, max]`. Used to mimic the
+/// heavily skewed vertex-count distributions of Figure 2.
+pub fn sample_vertex_count<R: Rng + ?Sized>(
+    rng: &mut R,
+    mu_ln: f64,
+    sigma_ln: f64,
+    min: usize,
+    max: usize,
+) -> usize {
+    // Box-Muller from two uniforms (keeps us independent of rand_distr).
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    let m = (mu_ln + sigma_ln * z).exp().round();
+    (m as usize).clamp(min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msj_geom::validate::is_simple;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn blobs_are_simple_polygons() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..25 {
+            let params = BlobParams {
+                vertices: 12 + 7 * i,
+                ..BlobParams::default()
+            };
+            let p = blob(&mut rng, Point::new(0.0, 0.0), &params);
+            assert_eq!(p.len(), params.vertices);
+            assert!(p.area() > 0.0);
+            assert!(is_simple(&p), "blob {i} must be simple");
+        }
+    }
+
+    #[test]
+    fn blob_respects_center_and_scale() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let params = BlobParams { radius: 5.0, ..BlobParams::default() };
+        let c = Point::new(100.0, -50.0);
+        let p = blob(&mut rng, c, &params);
+        // All vertices within the generous radius bound (4 * elong * r).
+        let bound = 4.0 * params.max_elongation * params.radius;
+        for &v in p.vertices() {
+            assert!(v.dist(c) <= bound);
+        }
+        // And the blob is "around" the center.
+        assert!(p.mbr().contains_point(c));
+    }
+
+    #[test]
+    fn blob_is_deterministic_for_a_seed() {
+        let params = BlobParams::default();
+        let p1 = blob(&mut StdRng::seed_from_u64(9), Point::ORIGIN, &params);
+        let p2 = blob(&mut StdRng::seed_from_u64(9), Point::ORIGIN, &params);
+        assert_eq!(p1.vertices(), p2.vertices());
+    }
+
+    #[test]
+    fn vertex_count_sampling_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let m = sample_vertex_count(&mut rng, 60f64.ln(), 0.9, 4, 900);
+            assert!((4..=900).contains(&m));
+        }
+    }
+
+    #[test]
+    fn vertex_count_mean_is_in_expected_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 2000;
+        let mean: f64 = (0..n)
+            .map(|_| sample_vertex_count(&mut rng, 60f64.ln(), 0.9, 4, 900) as f64)
+            .sum::<f64>()
+            / n as f64;
+        // Lognormal mean ≈ 60·e^{0.405} ≈ 90, clamping pulls it down a bit.
+        assert!(mean > 55.0 && mean < 120.0, "mean vertex count {mean}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Calibration statistics: the generator-side measurements used to verify
+//! that synthetic datasets match the paper's published shape statistics.
+
+use msj_geom::Relation;
+
+/// Summary statistics `(mean, min, max)` of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Stats {
+    pub fn from_samples(samples: &[f64]) -> Option<Stats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &s in samples {
+            min = min.min(s);
+            max = max.max(s);
+            sum += s;
+        }
+        Some(Stats { mean: sum / samples.len() as f64, min, max })
+    }
+}
+
+/// Normalized false area of the MBR for each object:
+/// `(area(MBR) - area(obj)) / area(obj)` — the measure behind Table 1.
+pub fn mbr_false_area_samples(rel: &Relation) -> Vec<f64> {
+    rel.iter()
+        .map(|o| {
+            let a = o.area();
+            (o.mbr().area() - a) / a
+        })
+        .collect()
+}
+
+/// Table 1 statistics of a relation.
+pub fn mbr_false_area_stats(rel: &Relation) -> Stats {
+    Stats::from_samples(&mbr_false_area_samples(rel)).expect("non-empty relation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relations::{bw_like, europe_like};
+
+    #[test]
+    fn stats_of_samples() {
+        let s = Stats::from_samples(&[1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(Stats::from_samples(&[]).is_none());
+    }
+
+    /// Paper Table 1: Europe ∅ 0.91 (min 0.25, max 20.13). We require the
+    /// generator to land in a generous band around the published mean.
+    #[test]
+    fn europe_false_area_is_calibrated() {
+        let s = mbr_false_area_stats(&europe_like(1));
+        assert!(
+            s.mean > 0.65 && s.mean < 1.35,
+            "Europe-like mean normalized false area {:.3} outside calibration band",
+            s.mean
+        );
+        assert!(s.min > 0.0, "all blobs strictly smaller than their MBR");
+    }
+
+    /// Paper Table 1: BW ∅ 1.02 (min 0.38, max 3.48).
+    #[test]
+    fn bw_false_area_is_calibrated() {
+        let s = mbr_false_area_stats(&bw_like(1));
+        assert!(
+            s.mean > 0.65 && s.mean < 1.40,
+            "BW-like mean normalized false area {:.3} outside calibration band",
+            s.mean
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Polygons with holes (§2.1: "the holes might represent areas such as
+//! lakes").
+//!
+//! A hole is a small star-shaped blob centered at the outer polygon's
+//! centroid, scaled to a fraction of the centroid's boundary clearance —
+//! which guarantees strict containment without a validation loop.
+
+use crate::blob::{blob, BlobParams};
+use msj_geom::{Point, Polygon, PolygonWithHoles, Relation, SpatialObject};
+use rand::Rng;
+
+/// Parameters for carving a hole ("lake") into a polygon.
+#[derive(Debug, Clone)]
+pub struct HoleParams {
+    /// Fraction of objects that receive a hole.
+    pub fraction: f64,
+    /// Hole radius as a fraction of the centroid's boundary clearance
+    /// (must stay below 1.0 for guaranteed containment).
+    pub radius_frac: f64,
+    /// Vertex count of the hole ring.
+    pub vertices: usize,
+}
+
+impl Default for HoleParams {
+    fn default() -> Self {
+        HoleParams { fraction: 0.3, radius_frac: 0.45, vertices: 12 }
+    }
+}
+
+/// Minimum distance from `p` to the polygon boundary.
+fn boundary_clearance(poly: &Polygon, p: Point) -> f64 {
+    poly.edges().map(|e| e.dist_to_point(p)).fold(f64::INFINITY, f64::min)
+}
+
+/// Attempts to carve one hole into `outer`; returns a hole-free region
+/// when the centroid is unusable (outside a concave outline or with
+/// negligible clearance).
+pub fn carve_hole<R: Rng + ?Sized>(
+    rng: &mut R,
+    outer: Polygon,
+    params: &HoleParams,
+) -> PolygonWithHoles {
+    let centroid = outer.centroid();
+    if !outer.contains_point_strict(centroid) {
+        return PolygonWithHoles::simple(outer);
+    }
+    let clearance = boundary_clearance(&outer, centroid);
+    let mbr = outer.mbr();
+    if clearance <= 1e-6 * mbr.width().max(mbr.height()) {
+        return PolygonWithHoles::simple(outer);
+    }
+    let hole_shape = BlobParams {
+        radius: params.radius_frac.min(0.9) * clearance / 1.7, // pre-stretch bound
+        vertices: params.vertices.max(3),
+        spikes: 0,
+        lobe_amp: 0.2,
+        mid_amp: 0.15,
+        rough_amp: 0.08,
+        max_elongation: 1.3,
+        ..BlobParams::default()
+    };
+    let hole = blob(rng, centroid, &hole_shape);
+    // Defensive check: the blob radius function is clamped to ≤ 4·radius
+    // before stretching; verify actual containment and fall back rather
+    // than emit an invalid region.
+    let max_reach = hole
+        .vertices()
+        .iter()
+        .map(|&v| v.dist(centroid))
+        .fold(0.0f64, f64::max);
+    if max_reach >= clearance {
+        return PolygonWithHoles::simple(outer);
+    }
+    PolygonWithHoles::new(outer, vec![hole])
+}
+
+/// Adds holes to a fraction of a relation's objects (new relation, same
+/// ids and outer rings).
+pub fn with_holes<R: Rng + ?Sized>(
+    rng: &mut R,
+    relation: &Relation,
+    params: &HoleParams,
+) -> Relation {
+    Relation::new(
+        relation
+            .iter()
+            .map(|o| {
+                let outer = o.region.outer().clone();
+                let region = if o.region.holes().is_empty() && rng.gen_bool(params.fraction) {
+                    carve_hole(rng, outer, params)
+                } else {
+                    o.region.clone()
+                };
+                SpatialObject::new(o.id, region)
+            })
+            .collect(),
+    )
+}
+
+/// A cartography-like relation where a fraction of objects have lakes.
+pub fn carto_with_holes(count: usize, mean_vertices: f64, seed: u64) -> Relation {
+    use rand::SeedableRng;
+    let base = crate::relations::small_carto(count, mean_vertices, seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x4C414B45); // "LAKE"
+    with_holes(&mut rng, &base, &HoleParams::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msj_geom::validate::region_is_valid;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn carved_regions_are_structurally_valid() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..30 {
+            let outer = blob(
+                &mut rng,
+                Point::new(i as f64 * 20.0, 0.0),
+                &BlobParams { vertices: 24 + i, ..BlobParams::default() },
+            );
+            let mut rng2 = StdRng::seed_from_u64(100 + i as u64);
+            let region = carve_hole(&mut rng2, outer, &HoleParams::default());
+            assert!(region_is_valid(&region), "object {i} invalid");
+            if let Some(hole) = region.holes().first() {
+                assert!(hole.area() < region.outer().area());
+                assert!(region.area() < region.outer().area());
+            }
+        }
+    }
+
+    #[test]
+    fn fraction_controls_hole_rate() {
+        let rel = carto_with_holes(120, 24.0, 9);
+        let holed = rel.iter().filter(|o| !o.region.holes().is_empty()).count();
+        // Default fraction 0.3 with fallback losses: expect a broad band.
+        assert!(
+            (12..=60).contains(&holed),
+            "holed objects {holed} outside plausible band"
+        );
+        // Vertex counts include the hole rings.
+        let with_hole = rel.iter().find(|o| !o.region.holes().is_empty()).unwrap();
+        assert!(with_hole.num_vertices() > with_hole.region.outer().len());
+    }
+
+    #[test]
+    fn hole_excludes_area_from_membership() {
+        let rel = carto_with_holes(60, 24.0, 10);
+        let holed = rel.iter().find(|o| !o.region.holes().is_empty()).unwrap();
+        let hole_centroid = holed.region.holes()[0].centroid();
+        // A point strictly inside the hole ring is outside the region
+        // (hole rings are star-shaped around their centroid, so the
+        // centroid is interior to the hole).
+        assert!(!holed.region.contains_point(hole_centroid));
+        assert!(holed.region.outer().contains_point(hole_centroid));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = carto_with_holes(40, 20.0, 11);
+        let b = carto_with_holes(40, 20.0, 11);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.region.holes().len(), y.region.holes().len());
+        }
+    }
+}

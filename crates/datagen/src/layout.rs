@@ -1,0 +1,157 @@
+//! Spatial layout of generated objects into a relation.
+//!
+//! Cartographic relations (counties, municipalities) essentially tile
+//! their map: objects rarely overlap each other, but their MBRs do. We
+//! mimic this by assigning blobs to jittered grid cells.
+
+use crate::blob::{blob, sample_vertex_count, BlobParams};
+use msj_geom::{Point, Rect, Relation, SpatialObject};
+use rand::Rng;
+
+/// Layout parameters for a generated relation.
+#[derive(Debug, Clone)]
+pub struct LayoutParams {
+    /// Data space to fill.
+    pub world: Rect,
+    /// Number of objects.
+    pub count: usize,
+    /// Log-space mean of the vertex count distribution.
+    pub vertices_mu_ln: f64,
+    /// Log-space standard deviation of the vertex count distribution.
+    pub vertices_sigma_ln: f64,
+    /// Vertex count bounds.
+    pub vertices_min: usize,
+    pub vertices_max: usize,
+    /// Blob radius relative to the grid cell size (0.5 ≈ touching
+    /// neighbours).
+    pub radius_frac: f64,
+    /// Shape parameters (radius is overwritten per object).
+    pub shape: BlobParams,
+}
+
+impl LayoutParams {
+    /// Grid dimensions (columns, rows) chosen to be as square as possible
+    /// while providing at least `count` cells.
+    pub fn grid_dims(&self) -> (usize, usize) {
+        let aspect = self.world.width() / self.world.height();
+        let cols = ((self.count as f64 * aspect).sqrt().ceil() as usize).max(1);
+        let rows = self.count.div_ceil(cols);
+        (cols, rows)
+    }
+}
+
+/// Generates a relation by placing one blob per jittered grid cell.
+pub fn generate_relation<R: Rng + ?Sized>(rng: &mut R, params: &LayoutParams) -> Relation {
+    let (cols, rows) = params.grid_dims();
+    let cell_w = params.world.width() / cols as f64;
+    let cell_h = params.world.height() / rows as f64;
+    let cell = cell_w.min(cell_h);
+
+    let mut objects = Vec::with_capacity(params.count);
+    'outer: for row in 0..rows {
+        for col in 0..cols {
+            if objects.len() >= params.count {
+                break 'outer;
+            }
+            let cx = params.world.xmin() + (col as f64 + 0.5) * cell_w;
+            let cy = params.world.ymin() + (row as f64 + 0.5) * cell_h;
+            let jitter = 0.25 * cell;
+            let center = Point::new(
+                cx + rng.gen_range(-jitter..jitter),
+                cy + rng.gen_range(-jitter..jitter),
+            );
+            let vertices = sample_vertex_count(
+                rng,
+                params.vertices_mu_ln,
+                params.vertices_sigma_ln,
+                params.vertices_min,
+                params.vertices_max,
+            );
+            let shape = BlobParams {
+                radius: params.radius_frac * cell * rng.gen_range(0.7..1.3),
+                vertices,
+                ..params.shape.clone()
+            };
+            let poly = blob(rng, center, &shape);
+            objects.push(SpatialObject::new(objects.len() as u32, poly.into()));
+        }
+    }
+    Relation::new(objects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(count: usize) -> LayoutParams {
+        LayoutParams {
+            world: Rect::from_bounds(0.0, 0.0, 100.0, 100.0),
+            count,
+            vertices_mu_ln: 30f64.ln(),
+            vertices_sigma_ln: 0.5,
+            vertices_min: 6,
+            vertices_max: 200,
+            radius_frac: 0.45,
+            shape: BlobParams::default(),
+        }
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let rel = generate_relation(&mut rng, &params(137));
+        assert_eq!(rel.len(), 137);
+    }
+
+    #[test]
+    fn objects_have_sequential_ids() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let rel = generate_relation(&mut rng, &params(20));
+        for (i, o) in rel.iter().enumerate() {
+            assert_eq!(o.id as usize, i);
+        }
+    }
+
+    #[test]
+    fn objects_stay_near_the_world() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = params(50);
+        let rel = generate_relation(&mut rng, &p);
+        // Blobs may poke out of the world a bit (spikes), but not far.
+        let bounds = rel.bounding_rect().unwrap();
+        let slack = 0.35 * p.world.width();
+        assert!(bounds.xmin() > p.world.xmin() - slack);
+        assert!(bounds.xmax() < p.world.xmax() + slack);
+        assert!(bounds.ymin() > p.world.ymin() - slack);
+        assert!(bounds.ymax() < p.world.ymax() + slack);
+    }
+
+    #[test]
+    fn vertex_counts_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = params(60);
+        let rel = generate_relation(&mut rng, &p);
+        for o in rel.iter() {
+            assert!((p.vertices_min..=p.vertices_max).contains(&o.num_vertices()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = params(25);
+        let r1 = generate_relation(&mut StdRng::seed_from_u64(5), &p);
+        let r2 = generate_relation(&mut StdRng::seed_from_u64(5), &p);
+        for (a, b) in r1.iter().zip(r2.iter()) {
+            assert_eq!(a.region.outer().vertices(), b.region.outer().vertices());
+        }
+    }
+
+    #[test]
+    fn grid_dims_cover_count() {
+        let p = params(810);
+        let (c, r) = p.grid_dims();
+        assert!(c * r >= 810);
+    }
+}

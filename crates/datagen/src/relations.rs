@@ -1,0 +1,230 @@
+//! Canonical datasets mirroring the paper's experimental relations.
+//!
+//! * [`europe_like`] — 810 objects, average ≈ 84 vertices (Figure 2,
+//!   relation *Europe*: the counties of the European Community in 1989);
+//! * [`bw_like`] — 374 objects, average ≈ 527 vertices (Figure 2, relation
+//!   *BW*: municipalities of Baden-Württemberg);
+//! * [`large_relation`] — the ≈130 000-object relations of §3.4/§3.5/§5
+//!   (scaled down by default; pass the full count for the paper setting);
+//! * [`test_series`] — the four join series Europe A/B and BW A/B.
+//!
+//! All generation is deterministic per seed.
+
+use crate::blob::BlobParams;
+use crate::layout::{generate_relation, LayoutParams};
+use crate::series::{strategy_a, strategy_b, TestSeries};
+use msj_geom::{Rect, Relation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The square data space used by all canonical datasets.
+pub fn world() -> Rect {
+    Rect::from_bounds(0.0, 0.0, 1000.0, 1000.0)
+}
+
+/// Shape parameters shared by the cartography-like datasets, calibrated so
+/// the MBR's mean normalized false area lands in the paper's 0.9–1.0 band
+/// (Table 1).
+fn carto_shape() -> BlobParams {
+    BlobParams {
+        radius: 1.0, // overwritten per object
+        vertices: 64,
+        lobe_amp: 0.27,
+        mid_amp: 0.22,
+        rough_amp: 0.10,
+        spikes: 3,
+        spike_amp: 0.55,
+        spike_width: 0.22,
+        max_elongation: 1.7,
+    }
+}
+
+/// The *Europe*-like relation: 810 objects, vertex counts clamped to
+/// `[4, 869]` with mean ≈ 84.
+pub fn europe_like(seed: u64) -> Relation {
+    let params = LayoutParams {
+        world: world(),
+        count: 810,
+        vertices_mu_ln: 62f64.ln(),
+        vertices_sigma_ln: 0.85,
+        vertices_min: 4,
+        vertices_max: 869,
+        radius_frac: 0.46,
+        shape: carto_shape(),
+    };
+    generate_relation(&mut StdRng::seed_from_u64(seed), &params)
+}
+
+/// The *BW*-like relation: 374 objects, vertex counts clamped to
+/// `[6, 2087]` with mean ≈ 527.
+pub fn bw_like(seed: u64) -> Relation {
+    let params = LayoutParams {
+        world: world(),
+        count: 374,
+        vertices_mu_ln: 420f64.ln(),
+        vertices_sigma_ln: 0.72,
+        vertices_min: 6,
+        vertices_max: 2087,
+        radius_frac: 0.46,
+        shape: carto_shape(),
+    };
+    generate_relation(&mut StdRng::seed_from_u64(seed), &params)
+}
+
+/// A reduced-size relation with the same shape statistics as
+/// [`europe_like`] / [`bw_like`] — convenient for fast tests.
+pub fn small_carto(count: usize, mean_vertices: f64, seed: u64) -> Relation {
+    let params = LayoutParams {
+        world: world(),
+        count,
+        vertices_mu_ln: (mean_vertices * 0.72).max(4.0).ln(),
+        vertices_sigma_ln: 0.6,
+        vertices_min: 4,
+        vertices_max: (mean_vertices * 8.0) as usize,
+        radius_frac: 0.46,
+        shape: carto_shape(),
+    };
+    generate_relation(&mut StdRng::seed_from_u64(seed), &params)
+}
+
+/// One of the two large relations of §3.4/§3.5/§5.
+///
+/// The paper uses ≈130 000 objects; `count` scales the experiment. To keep
+/// the join selectivity of the paper (≈0.66 intersecting MBR pairs per
+/// object), the two relations are laid out as *partially offset* tilings:
+/// pass `which = 0` and `which = 1` with the same seed.
+pub fn large_relation(count: usize, which: u8, seed: u64) -> Relation {
+    let params = LayoutParams {
+        world: world(),
+        count,
+        vertices_mu_ln: 24f64.ln(),
+        vertices_sigma_ln: 0.45,
+        vertices_min: 6,
+        vertices_max: 120,
+        // Sparser blobs: fewer candidate pairs per object, mimicking the
+        // paper's 86k pairs over 130k objects.
+        radius_frac: 0.34,
+        shape: BlobParams {
+            spikes: 2,
+            spike_amp: 0.9,
+            ..carto_shape()
+        },
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9 * (which as u64 + 1)));
+    let rel = generate_relation(&mut rng, &params);
+    if which == 0 {
+        rel
+    } else {
+        // Offset the second tiling by ~40% of a cell so pairs straddle.
+        let (cols, _) = params.grid_dims();
+        let cell = params.world.width() / cols as f64;
+        let shift = msj_geom::Point::new(0.4 * cell, 0.4 * cell);
+        Relation::new(
+            rel.iter()
+                .map(|o| msj_geom::SpatialObject::new(o.id, o.region.translated(shift)))
+                .collect(),
+        )
+    }
+}
+
+/// Which base relation a test series is derived from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaseMap {
+    Europe,
+    Bw,
+}
+
+/// Which generation strategy to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    A,
+    B,
+}
+
+/// Builds one of the four canonical test series (Europe A/B, BW A/B).
+pub fn test_series(map: BaseMap, strategy: Strategy, seed: u64) -> TestSeries {
+    let base = match map {
+        BaseMap::Europe => europe_like(seed),
+        BaseMap::Bw => bw_like(seed),
+    };
+    let name = format!(
+        "{} {}",
+        match map {
+            BaseMap::Europe => "Europe",
+            BaseMap::Bw => "BW",
+        },
+        match strategy {
+            Strategy::A => "A",
+            Strategy::B => "B",
+        }
+    );
+    match strategy {
+        Strategy::A => strategy_a(&name, &base, world(), 0.5, 0.5),
+        Strategy::B => {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xB00B5));
+            strategy_b(&name, &base, world(), &mut rng)
+        }
+    }
+}
+
+/// All four canonical series in paper order.
+pub fn all_series(seed: u64) -> Vec<TestSeries> {
+    vec![
+        test_series(BaseMap::Europe, Strategy::A, seed),
+        test_series(BaseMap::Europe, Strategy::B, seed),
+        test_series(BaseMap::Bw, Strategy::A, seed),
+        test_series(BaseMap::Bw, Strategy::B, seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn europe_like_matches_figure2_scale() {
+        let rel = europe_like(1);
+        assert_eq!(rel.len(), 810);
+        let (mean, min, max) = rel.vertex_stats();
+        assert!(min >= 4 && max <= 869);
+        assert!(mean > 55.0 && mean < 115.0, "Europe mean vertices {mean}");
+    }
+
+    #[test]
+    fn bw_like_matches_figure2_scale() {
+        let rel = bw_like(1);
+        assert_eq!(rel.len(), 374);
+        let (mean, min, max) = rel.vertex_stats();
+        assert!(min >= 6 && max <= 2087);
+        assert!(mean > 350.0 && mean < 700.0, "BW mean vertices {mean}");
+    }
+
+    #[test]
+    fn large_relations_are_offset_tilings() {
+        let a = large_relation(200, 0, 5);
+        let b = large_relation(200, 1, 5);
+        assert_eq!(a.len(), 200);
+        assert_eq!(b.len(), 200);
+        // Same seed, different `which` must differ.
+        let d = (a.object(0).mbr().center() - b.object(0).mbr().center()).norm();
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn series_construction() {
+        let s = test_series(BaseMap::Europe, Strategy::A, 3);
+        assert_eq!(s.name, "Europe A");
+        assert_eq!(s.a.len(), 810);
+        assert_eq!(s.b.len(), 810);
+    }
+
+    #[test]
+    fn determinism() {
+        let r1 = europe_like(9);
+        let r2 = europe_like(9);
+        assert_eq!(
+            r1.object(5).region.outer().vertices(),
+            r2.object(5).region.outer().vertices()
+        );
+    }
+}

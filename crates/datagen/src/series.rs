@@ -1,0 +1,179 @@
+//! Join test series following the paper's two generation strategies
+//! (§3.1):
+//!
+//! * **Strategy A** — the second relation is the first one shifted in x-
+//!   and y-direction.
+//! * **Strategy B** — both relations are derived from the base relation by
+//!   randomly shifting and rotating every object, then scaling so that the
+//!   sum of object areas equals the area of the data space.
+
+use msj_geom::{Point, Rect, Relation, SpatialObject};
+use rand::Rng;
+
+/// A named pair of relations to be joined.
+#[derive(Debug, Clone)]
+pub struct TestSeries {
+    pub name: String,
+    pub a: Relation,
+    pub b: Relation,
+    /// The data space the series lives in.
+    pub world: Rect,
+}
+
+/// Strategy A: `B` is `A` translated by the given fractions of the average
+/// object MBR extent.
+///
+/// The paper does not give the shift amount; shifting by about half an
+/// average object diameter makes most objects overlap their own copy and a
+/// couple of neighbours, which reproduces Table 2's per-object candidate
+/// ratios.
+pub fn strategy_a(name: &str, base: &Relation, world: Rect, frac_x: f64, frac_y: f64) -> TestSeries {
+    let n = base.len().max(1) as f64;
+    let avg_w: f64 = base.iter().map(|o| o.mbr().width()).sum::<f64>() / n;
+    let avg_h: f64 = base.iter().map(|o| o.mbr().height()).sum::<f64>() / n;
+    let shift = Point::new(frac_x * avg_w, frac_y * avg_h);
+    let b = Relation::new(
+        base.iter()
+            .map(|o| SpatialObject::new(o.id, o.region.translated(shift)))
+            .collect(),
+    );
+    TestSeries { name: name.to_string(), a: base.clone(), b, world }
+}
+
+/// Strategy B: two relations, each a randomly shifted and rotated copy of
+/// the base objects, rescaled so that Σ object areas = area of the data
+/// space.
+pub fn strategy_b<R: Rng + ?Sized>(
+    name: &str,
+    base: &Relation,
+    world: Rect,
+    rng: &mut R,
+) -> TestSeries {
+    let a = scatter(base, world, rng);
+    let b = scatter(base, world, rng);
+    TestSeries { name: name.to_string(), a, b, world }
+}
+
+/// Randomly shifts and rotates every object within `world` and rescales
+/// all objects by a common factor so their total area equals the world
+/// area.
+fn scatter<R: Rng + ?Sized>(base: &Relation, world: Rect, rng: &mut R) -> Relation {
+    let total = base.total_area();
+    let factor = if total > 0.0 { (world.area() / total).sqrt() } else { 1.0 };
+    let objects = base
+        .iter()
+        .map(|o| {
+            let centroid = o.region.outer().centroid();
+            let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+            let scaled = o
+                .region
+                .rotated_about(centroid, angle)
+                .scaled_about(centroid, factor);
+            // Choose a target center such that the object's MBR stays
+            // inside the world where possible.
+            let mbr = scaled.mbr();
+            let (hw, hh) = (0.5 * mbr.width(), 0.5 * mbr.height());
+            let cx = sample_coord(rng, world.xmin() + hw, world.xmax() - hw, world.xmin(), world.xmax());
+            let cy = sample_coord(rng, world.ymin() + hh, world.ymax() - hh, world.ymin(), world.ymax());
+            let target = Point::new(cx, cy);
+            let shift = target - mbr.center();
+            SpatialObject::new(o.id, scaled.translated(shift))
+        })
+        .collect();
+    Relation::new(objects)
+}
+
+/// Uniform sample in `[lo, hi]`, falling back to the world mid-range when
+/// the object is wider than the world.
+fn sample_coord<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64, wlo: f64, whi: f64) -> f64 {
+    if lo < hi {
+        rng.gen_range(lo..hi)
+    } else {
+        0.5 * (wlo + whi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blob::BlobParams;
+    use crate::layout::{generate_relation, LayoutParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base() -> (Relation, Rect) {
+        let world = Rect::from_bounds(0.0, 0.0, 100.0, 100.0);
+        let params = LayoutParams {
+            world,
+            count: 36,
+            vertices_mu_ln: 24f64.ln(),
+            vertices_sigma_ln: 0.4,
+            vertices_min: 8,
+            vertices_max: 64,
+            radius_frac: 0.42,
+            shape: BlobParams::default(),
+        };
+        let mut rng = StdRng::seed_from_u64(100);
+        (generate_relation(&mut rng, &params), world)
+    }
+
+    #[test]
+    fn strategy_a_shifts_all_objects_equally() {
+        let (rel, world) = base();
+        let s = strategy_a("t", &rel, world, 0.5, 0.5);
+        assert_eq!(s.a.len(), s.b.len());
+        let d0 = s.b.object(0).mbr().center() - s.a.object(0).mbr().center();
+        for id in 0..rel.len() as u32 {
+            let d = s.b.object(id).mbr().center() - s.a.object(id).mbr().center();
+            assert!((d - d0).norm() < 1e-9);
+        }
+        // Shift is positive and object-scale.
+        assert!(d0.x > 0.0 && d0.y > 0.0);
+    }
+
+    #[test]
+    fn strategy_a_preserves_geometry() {
+        let (rel, world) = base();
+        let s = strategy_a("t", &rel, world, 0.5, 0.5);
+        for id in 0..rel.len() as u32 {
+            assert!((s.a.object(id).area() - s.b.object(id).area()).abs() < 1e-9);
+            assert_eq!(s.a.object(id).num_vertices(), s.b.object(id).num_vertices());
+        }
+    }
+
+    #[test]
+    fn strategy_b_scales_total_area_to_world() {
+        let (rel, world) = base();
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = strategy_b("t", &rel, world, &mut rng);
+        let ta = s.a.total_area();
+        let tb = s.b.total_area();
+        assert!((ta - world.area()).abs() / world.area() < 1e-6, "total area {ta}");
+        assert!((tb - world.area()).abs() / world.area() < 1e-6, "total area {tb}");
+    }
+
+    #[test]
+    fn strategy_b_objects_mostly_inside_world() {
+        let (rel, world) = base();
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = strategy_b("t", &rel, world, &mut rng);
+        let slack = world.inflated(0.25 * world.width());
+        for o in s.a.iter().chain(s.b.iter()) {
+            assert!(slack.contains_rect(&o.mbr()), "{:?}", o.mbr());
+        }
+    }
+
+    #[test]
+    fn strategy_b_relations_differ() {
+        let (rel, world) = base();
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = strategy_b("t", &rel, world, &mut rng);
+        // The two scatters should not coincide.
+        let same = (0..rel.len() as u32)
+            .filter(|&id| {
+                (s.a.object(id).mbr().center() - s.b.object(id).mbr().center()).norm() < 1e-9
+            })
+            .count();
+        assert!(same < rel.len() / 4);
+    }
+}

@@ -1,0 +1,22 @@
+//! Preprocessing-cost probe: times TR*-tree construction for the BW-like
+//! relation and reports decomposition statistics (compare the paper's
+//! §4.2 discussion of preprocessing cost and its §4.3 height figures).
+//!
+//! ```text
+//! cargo run -p msj-exact --release --example time_trstore
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let bw = msj_datagen::bw_like(1);
+    let t0 = Instant::now();
+    let store = msj_exact::TrStarStore::build(&bw, 3);
+    println!(
+        "BW TrStarStore (M=3): {:?} for {} objects; avg trapezoids {:.0}, avg height {:.1} (paper: 7.6)",
+        t0.elapsed(),
+        store.len(),
+        store.avg_trapezoids(),
+        store.avg_height()
+    );
+}

@@ -1,0 +1,155 @@
+//! Counted point-in-region tests and the containment fallback shared by
+//! the quadratic and plane-sweep algorithms.
+//!
+//! When no pair of boundary edges intersects, the regions intersect iff
+//! one contains the other. The paper accelerates the polygon-in-polygon
+//! test with an *MBR pretest*: only if `MBR(b) ⊆ MBR(a)` can `a` contain
+//! `b` (§4: the pretest omits 75–93 % of the point-in-polygon tests).
+
+use crate::cost::OpCounts;
+use msj_geom::{Point, Polygon, PolygonWithHoles};
+
+/// Ray-casting point-in-ring test that counts one *edge-line intersection
+/// test* (Table 6, weight 18) per polygon edge examined.
+pub fn point_in_ring_counted(ring: &Polygon, p: Point, counts: &mut OpCounts) -> bool {
+    let vertices = ring.vertices();
+    let n = vertices.len();
+    let mut inside = false;
+    let mut j = n - 1;
+    for i in 0..n {
+        counts.edge_line += 1;
+        let vi = vertices[i];
+        let vj = vertices[j];
+        if (vi.y > p.y) != (vj.y > p.y) {
+            let x_cross = vj.x + (p.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x);
+            if p.x < x_cross {
+                inside = !inside;
+            }
+        }
+        j = i;
+    }
+    inside
+}
+
+/// Counted closed point-in-region test (outer ring minus open hole
+/// interiors). Assumes `p` is not exactly on the boundary — callers use it
+/// for containment decisions after establishing that boundaries do not
+/// cross, where a vertex of one region on the other's boundary would have
+/// been reported as an edge intersection already.
+pub fn point_in_region_counted(region: &PolygonWithHoles, p: Point, counts: &mut OpCounts) -> bool {
+    if !point_in_ring_counted(region.outer(), p, counts) {
+        return false;
+    }
+    for hole in region.holes() {
+        if point_in_ring_counted(hole, p, counts) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Containment fallback: given that no boundary edges of `a` and `b`
+/// cross, decides whether one region contains (part of) the other.
+///
+/// Performs the MBR pretest before each point-in-polygon probe and tracks
+/// performed/omitted probes in `counts`.
+pub fn intersect_by_containment(
+    a: &PolygonWithHoles,
+    b: &PolygonWithHoles,
+    counts: &mut OpCounts,
+) -> bool {
+    // a contains b? Only possible if MBR(a) covers MBR(b).
+    if a.mbr().contains_rect(&b.mbr()) {
+        counts.pip_performed += 1;
+        if point_in_region_counted(a, b.outer().vertices()[0], counts) {
+            return true;
+        }
+    } else {
+        counts.pip_skipped += 1;
+    }
+    // b contains a?
+    if b.mbr().contains_rect(&a.mbr()) {
+        counts.pip_performed += 1;
+        if point_in_region_counted(b, a.outer().vertices()[0], counts) {
+            return true;
+        }
+    } else {
+        counts.pip_skipped += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msj_geom::Polygon;
+
+    fn poly(coords: &[(f64, f64)]) -> Polygon {
+        Polygon::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    fn region(coords: &[(f64, f64)]) -> PolygonWithHoles {
+        poly(coords).into()
+    }
+
+    #[test]
+    fn counted_ray_cast_matches_uncounted() {
+        let p = poly(&[(0.0, 0.0), (4.0, 0.0), (4.0, 1.0), (1.0, 1.0), (1.0, 3.0), (4.0, 3.0), (4.0, 4.0), (0.0, 4.0)]);
+        let mut counts = OpCounts::new();
+        for (x, y, expect) in [
+            (0.5, 2.0, true),
+            (2.5, 2.0, false),
+            (2.5, 0.5, true),
+            (5.0, 5.0, false),
+        ] {
+            let pt = Point::new(x, y);
+            assert_eq!(point_in_ring_counted(&p, pt, &mut counts), expect, "{pt:?}");
+            assert_eq!(p.contains_point_strict(pt), expect);
+        }
+        // One edge-line test per edge per probe.
+        assert_eq!(counts.edge_line, 4 * p.len() as u64);
+    }
+
+    #[test]
+    fn region_test_respects_holes() {
+        let outer = poly(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let hole = poly(&[(4.0, 4.0), (6.0, 4.0), (6.0, 6.0), (4.0, 6.0)]);
+        let r = PolygonWithHoles::new(outer, vec![hole]);
+        let mut counts = OpCounts::new();
+        assert!(point_in_region_counted(&r, Point::new(1.0, 1.0), &mut counts));
+        assert!(!point_in_region_counted(&r, Point::new(5.0, 5.0), &mut counts));
+        assert!(counts.edge_line > 0);
+    }
+
+    #[test]
+    fn containment_detects_nested_regions() {
+        let big = region(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let small = region(&[(2.0, 2.0), (3.0, 2.0), (3.0, 3.0), (2.0, 3.0)]);
+        let mut counts = OpCounts::new();
+        assert!(intersect_by_containment(&big, &small, &mut counts));
+        assert!(intersect_by_containment(&small, &big, &mut counts));
+        assert!(counts.pip_performed >= 1);
+    }
+
+    #[test]
+    fn containment_rejects_disjoint_regions_cheaply() {
+        let a = region(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]);
+        let b = region(&[(5.0, 5.0), (6.0, 5.0), (6.0, 6.0), (5.0, 6.0)]);
+        let mut counts = OpCounts::new();
+        assert!(!intersect_by_containment(&a, &b, &mut counts));
+        // MBR pretest skips both probes.
+        assert_eq!(counts.pip_performed, 0);
+        assert_eq!(counts.pip_skipped, 2);
+        assert_eq!(counts.edge_line, 0);
+    }
+
+    #[test]
+    fn object_inside_hole_does_not_intersect() {
+        let outer = poly(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let hole = poly(&[(3.0, 3.0), (7.0, 3.0), (7.0, 7.0), (3.0, 7.0)]);
+        let a = PolygonWithHoles::new(outer, vec![hole]);
+        let b = region(&[(4.0, 4.0), (6.0, 4.0), (6.0, 6.0), (4.0, 6.0)]);
+        let mut counts = OpCounts::new();
+        assert!(!intersect_by_containment(&a, &b, &mut counts));
+    }
+}

@@ -1,0 +1,205 @@
+//! The exact geometry processor: a uniform front-end over the three
+//! algorithms compared in §4.3.
+
+use crate::cost::OpCounts;
+use crate::quadratic::quadratic_intersects;
+use crate::sweep::sweep_intersects;
+use crate::trstar::{trees_intersect, TrStarStore};
+use msj_geom::{ObjectId, Relation};
+
+/// Which exact intersection algorithm to run (Table 7's three rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExactAlgorithm {
+    /// Brute-force all-pairs edge test.
+    Quadratic,
+    /// Shamos–Hoey plane sweep; `restrict` enables the search-space
+    /// restriction to the MBR intersection window (§4.1).
+    PlaneSweep { restrict: bool },
+    /// TR*-tree dual traversal with node capacity `max_entries` (§4.2).
+    TrStar { max_entries: usize },
+}
+
+impl ExactAlgorithm {
+    pub fn name(&self) -> String {
+        match self {
+            ExactAlgorithm::Quadratic => "quadratic".into(),
+            ExactAlgorithm::PlaneSweep { restrict: true } => "plane-sweep".into(),
+            ExactAlgorithm::PlaneSweep { restrict: false } => "plane-sweep (no restrict)".into(),
+            ExactAlgorithm::TrStar { max_entries } => format!("TR*-tree (M={max_entries})"),
+        }
+    }
+}
+
+/// Prepared per-relation state for the exact step.
+///
+/// The TR*-tree algorithm shifts work to preprocessing ("time and storage
+/// is invested in the representation of the spatial objects", §4.2): trees
+/// are built once per relation and reused for every candidate pair.
+pub struct ExactProcessor<'a> {
+    algorithm: ExactAlgorithm,
+    rel_a: &'a Relation,
+    rel_b: &'a Relation,
+    trees_a: Option<TrStarStore>,
+    trees_b: Option<TrStarStore>,
+}
+
+impl<'a> ExactProcessor<'a> {
+    /// Prepares the processor (builds TR*-trees when required).
+    pub fn new(algorithm: ExactAlgorithm, rel_a: &'a Relation, rel_b: &'a Relation) -> Self {
+        let (trees_a, trees_b) = match algorithm {
+            ExactAlgorithm::TrStar { max_entries } => (
+                Some(TrStarStore::build(rel_a, max_entries)),
+                Some(TrStarStore::build(rel_b, max_entries)),
+            ),
+            _ => (None, None),
+        };
+        ExactProcessor { algorithm, rel_a, rel_b, trees_a, trees_b }
+    }
+
+    pub fn algorithm(&self) -> ExactAlgorithm {
+        self.algorithm
+    }
+
+    /// The prepared TR*-tree stores (present only for `TrStar`).
+    pub fn tree_stores(&self) -> Option<(&TrStarStore, &TrStarStore)> {
+        self.trees_a.as_ref().zip(self.trees_b.as_ref())
+    }
+
+    /// Tests one candidate pair on the exact geometry, accumulating the
+    /// weighted operation counts into `counts`.
+    pub fn intersects(&self, id_a: ObjectId, id_b: ObjectId, counts: &mut OpCounts) -> bool {
+        match self.algorithm {
+            ExactAlgorithm::Quadratic => quadratic_intersects(
+                &self.rel_a.object(id_a).region,
+                &self.rel_b.object(id_b).region,
+                counts,
+            ),
+            ExactAlgorithm::PlaneSweep { restrict } => sweep_intersects(
+                &self.rel_a.object(id_a).region,
+                &self.rel_b.object(id_b).region,
+                restrict,
+                counts,
+            ),
+            ExactAlgorithm::TrStar { .. } => {
+                let ta = self.trees_a.as_ref().expect("prepared").get(id_a);
+                let tb = self.trees_b.as_ref().expect("prepared").get(id_b);
+                trees_intersect(ta, tb, counts)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msj_geom::{Point, Polygon, SpatialObject};
+
+    fn blob_rel(seedlike: u64, count: usize, spacing: f64) -> Relation {
+        let mut objs = Vec::new();
+        for i in 0..count {
+            let phase = (seedlike as f64) * 0.37 + i as f64;
+            let n = 16 + ((i * 7 + seedlike as usize) % 24);
+            let cx = (i % 4) as f64 * spacing;
+            let cy = (i / 4) as f64 * spacing;
+            let coords: Vec<Point> = (0..n)
+                .map(|k| {
+                    let t = k as f64 / n as f64 * std::f64::consts::TAU;
+                    let r = 3.0 + 1.2 * (3.0 * t + phase).sin() + 0.5 * (5.0 * t).cos();
+                    Point::new(cx + r * t.cos(), cy + r * t.sin())
+                })
+                .collect();
+            objs.push(SpatialObject::new(i as u32, Polygon::new(coords).unwrap().into()));
+        }
+        Relation::new(objs)
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_all_pairs() {
+        let ra = blob_rel(1, 12, 4.5);
+        let rb = blob_rel(2, 12, 4.5);
+        let algos = [
+            ExactAlgorithm::Quadratic,
+            ExactAlgorithm::PlaneSweep { restrict: true },
+            ExactAlgorithm::PlaneSweep { restrict: false },
+            ExactAlgorithm::TrStar { max_entries: 3 },
+            ExactAlgorithm::TrStar { max_entries: 5 },
+        ];
+        let processors: Vec<ExactProcessor> =
+            algos.iter().map(|&alg| ExactProcessor::new(alg, &ra, &rb)).collect();
+        let mut disagreements = Vec::new();
+        for a in 0..ra.len() as u32 {
+            for b in 0..rb.len() as u32 {
+                let mut counts = OpCounts::new();
+                let reference = processors[0].intersects(a, b, &mut counts);
+                for p in &processors[1..] {
+                    let mut c = OpCounts::new();
+                    if p.intersects(a, b, &mut c) != reference {
+                        disagreements.push((p.algorithm().name(), a, b, reference));
+                    }
+                }
+            }
+        }
+        assert!(disagreements.is_empty(), "disagreements: {disagreements:?}");
+    }
+
+    #[test]
+    fn trstar_is_cheapest_on_false_hits() {
+        // A *false hit* — disjoint objects with overlapping MBRs — is the
+        // expensive case: the quadratic algorithm must scan every edge
+        // pair, while the TR*-tree prunes by directory rectangles
+        // (Table 7's headline effect).
+        // A wavy "U" with ~110 edges; the square sits in its cavity.
+        let mut coords = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(9.0, 10.0),
+        ];
+        for k in 0..50 {
+            let y = 10.0 - 9.0 * (k as f64 + 1.0) / 51.0;
+            coords.push(Point::new(9.0 - 0.2 * (k as f64 * 0.7).sin().abs(), y));
+        }
+        coords.push(Point::new(1.0, 1.0));
+        for k in 0..50 {
+            let y = 1.0 + 9.0 * (k as f64 + 1.0) / 51.0;
+            coords.push(Point::new(1.0 + 0.2 * (k as f64 * 0.9).sin().abs(), y));
+        }
+        coords.push(Point::new(0.0, 10.0));
+        let ra = Relation::new(vec![SpatialObject::new(
+            0,
+            Polygon::new(coords).unwrap().into(),
+        )]);
+        let rb = Relation::new(vec![SpatialObject::new(
+            0,
+            Polygon::new(vec![
+                Point::new(3.0, 5.0),
+                Point::new(7.0, 5.0),
+                Point::new(7.0, 8.0),
+                Point::new(3.0, 8.0),
+            ])
+            .unwrap()
+            .into(),
+        )]);
+        assert!(ra.object(0).mbr().intersects(&rb.object(0).mbr()));
+        let w = crate::cost::Weights::default();
+        let mut cq = OpCounts::new();
+        let q = ExactProcessor::new(ExactAlgorithm::Quadratic, &ra, &rb).intersects(0, 0, &mut cq);
+        let mut ct = OpCounts::new();
+        let t = ExactProcessor::new(ExactAlgorithm::TrStar { max_entries: 3 }, &ra, &rb)
+            .intersects(0, 0, &mut ct);
+        assert!(!q && !t, "pair must be a false hit");
+        assert!(
+            ct.cost_ms(&w) < cq.cost_ms(&w),
+            "TR* {} ms vs quadratic {} ms",
+            ct.cost_ms(&w),
+            cq.cost_ms(&w)
+        );
+    }
+
+    #[test]
+    fn processor_reports_algorithm_names() {
+        assert_eq!(ExactAlgorithm::Quadratic.name(), "quadratic");
+        assert_eq!(ExactAlgorithm::PlaneSweep { restrict: true }.name(), "plane-sweep");
+        assert_eq!(ExactAlgorithm::TrStar { max_entries: 3 }.name(), "TR*-tree (M=3)");
+    }
+}

@@ -1,0 +1,106 @@
+//! The brute-force quadratic intersection test (§4, "a straightforward
+//! approach"): test every edge of one region against every edge of the
+//! other; fall back to the containment test when no edges cross.
+
+use crate::containment::intersect_by_containment;
+use crate::cost::OpCounts;
+use msj_geom::PolygonWithHoles;
+
+/// Closed-region intersection via the quadratic edge test.
+///
+/// Counts one *edge intersection test* (weight 15) per edge pair examined;
+/// stops at the first intersecting pair.
+pub fn quadratic_intersects(
+    a: &PolygonWithHoles,
+    b: &PolygonWithHoles,
+    counts: &mut OpCounts,
+) -> bool {
+    for ea in a.edges() {
+        for eb in b.edges() {
+            counts.edge_intersection += 1;
+            if ea.intersects(&eb) {
+                return true;
+            }
+        }
+    }
+    intersect_by_containment(a, b, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msj_geom::{Point, Polygon};
+
+    fn region(coords: &[(f64, f64)]) -> PolygonWithHoles {
+        Polygon::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect())
+            .unwrap()
+            .into()
+    }
+
+    fn sq(x: f64, y: f64, s: f64) -> PolygonWithHoles {
+        region(&[(x, y), (x + s, y), (x + s, y + s), (x, y + s)])
+    }
+
+    #[test]
+    fn overlapping_squares_intersect() {
+        let mut c = OpCounts::new();
+        assert!(quadratic_intersects(&sq(0.0, 0.0, 2.0), &sq(1.0, 1.0, 2.0), &mut c));
+        assert!(c.edge_intersection >= 1);
+    }
+
+    #[test]
+    fn disjoint_squares_cost_full_quadratic() {
+        let mut c = OpCounts::new();
+        assert!(!quadratic_intersects(&sq(0.0, 0.0, 1.0), &sq(5.0, 5.0, 1.0), &mut c));
+        // All 4x4 edge pairs tested.
+        assert_eq!(c.edge_intersection, 16);
+    }
+
+    #[test]
+    fn containment_is_intersection() {
+        let mut c = OpCounts::new();
+        assert!(quadratic_intersects(&sq(0.0, 0.0, 10.0), &sq(4.0, 4.0, 1.0), &mut c));
+        assert!(c.pip_performed >= 1);
+    }
+
+    #[test]
+    fn touching_edges_intersect() {
+        let mut c = OpCounts::new();
+        assert!(quadratic_intersects(&sq(0.0, 0.0, 2.0), &sq(2.0, 0.0, 2.0), &mut c));
+    }
+
+    #[test]
+    fn object_inside_hole_is_disjoint() {
+        let outer = Polygon::new(
+            [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]
+                .iter()
+                .map(|&(x, y)| Point::new(x, y))
+                .collect(),
+        )
+        .unwrap();
+        let hole = Polygon::new(
+            [(3.0, 3.0), (7.0, 3.0), (7.0, 7.0), (3.0, 7.0)]
+                .iter()
+                .map(|&(x, y)| Point::new(x, y))
+                .collect(),
+        )
+        .unwrap();
+        let donut = PolygonWithHoles::new(outer, vec![hole]);
+        let inner = sq(4.0, 4.0, 2.0);
+        let mut c = OpCounts::new();
+        assert!(!quadratic_intersects(&donut, &inner, &mut c));
+        // But a square poking out of the hole does intersect.
+        let poking = sq(4.0, 4.0, 5.0);
+        assert!(quadratic_intersects(&donut, &poking, &mut c));
+    }
+
+    #[test]
+    fn early_exit_costs_less_than_full_scan() {
+        // First edges already cross: far fewer than 16 tests.
+        let a = sq(0.0, 0.0, 2.0);
+        let b = sq(1.0, -1.0, 2.0); // crosses a's bottom edge
+        let mut c = OpCounts::new();
+        assert!(quadratic_intersects(&a, &b, &mut c));
+        assert!(c.edge_intersection < 16);
+    }
+}

@@ -1,0 +1,289 @@
+//! Trapezoid decomposition (§4.2).
+//!
+//! Objects are decomposed once, at insertion time, into simple components;
+//! the paper chooses trapezoids because "single trapezoids as well as sets
+//! of trapezoids can accurately be approximated by MBRs". We use the
+//! horizontal-band decomposition: the region is cut at every distinct
+//! vertex y-coordinate, producing trapezoids with horizontal top/bottom
+//! sides (triangles appear as degenerate trapezoids). Holes are handled by
+//! the even–odd pairing of band crossings. See DESIGN.md §3 for the
+//! relation to the minimum partition of [AA 83].
+
+use msj_geom::{convex_intersect, Point, PolygonWithHoles, Rect};
+
+/// A trapezoid with horizontal bottom (`y_lo`) and top (`y_hi`) sides.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trapezoid {
+    pub y_lo: f64,
+    pub y_hi: f64,
+    /// x-interval on the bottom side.
+    pub x_lo: (f64, f64),
+    /// x-interval on the top side.
+    pub x_hi: (f64, f64),
+}
+
+impl Trapezoid {
+    /// The MBR of the trapezoid.
+    pub fn mbr(&self) -> Rect {
+        Rect::from_bounds(
+            self.x_lo.0.min(self.x_hi.0),
+            self.y_lo,
+            self.x_lo.1.max(self.x_hi.1),
+            self.y_hi,
+        )
+    }
+
+    /// Area of the trapezoid.
+    pub fn area(&self) -> f64 {
+        0.5 * ((self.x_lo.1 - self.x_lo.0) + (self.x_hi.1 - self.x_hi.0)) * (self.y_hi - self.y_lo)
+    }
+
+    /// The corner ring (CCW): bottom-left, bottom-right, top-right,
+    /// top-left. Degenerate sides (triangles) repeat a corner, which the
+    /// SAT intersection test tolerates.
+    pub fn ring(&self) -> [Point; 4] {
+        [
+            Point::new(self.x_lo.0, self.y_lo),
+            Point::new(self.x_lo.1, self.y_lo),
+            Point::new(self.x_hi.1, self.y_hi),
+            Point::new(self.x_hi.0, self.y_hi),
+        ]
+    }
+
+    /// Closed trapezoid-trapezoid intersection — the *trapezoid
+    /// intersection test* of Table 6 (weight 38). The caller counts it.
+    pub fn intersects(&self, other: &Trapezoid) -> bool {
+        convex_intersect(&self.ring(), &other.ring())
+    }
+
+    /// Whether `p` lies in the closed trapezoid.
+    pub fn contains_point(&self, p: Point) -> bool {
+        if p.y < self.y_lo || p.y > self.y_hi {
+            return false;
+        }
+        let t = if self.y_hi > self.y_lo {
+            (p.y - self.y_lo) / (self.y_hi - self.y_lo)
+        } else {
+            0.0
+        };
+        let xl = self.x_lo.0 + t * (self.x_hi.0 - self.x_lo.0);
+        let xr = self.x_lo.1 + t * (self.x_hi.1 - self.x_lo.1);
+        let tol = 1e-12 * (xr - xl).abs().max(1.0);
+        xl - tol <= p.x && p.x <= xr + tol
+    }
+}
+
+/// Decomposes a polygonal region into trapezoids by horizontal bands.
+///
+/// Every distinct vertex y becomes a cut line. Within a band no vertex
+/// occurs strictly inside, so every non-horizontal edge either spans the
+/// band or misses it; spanning edges sorted by x pair up even–odd into the
+/// interior trapezoids. Trapezoids of consecutive bands bounded by the
+/// *same* pair of edges are merged vertically (a region between two
+/// straight edges across several bands is still one trapezoid), which
+/// brings the output size close to the minimal partition of [AA 83].
+pub fn decompose(region: &PolygonWithHoles) -> Vec<Trapezoid> {
+    let mut ys: Vec<f64> = region
+        .outer()
+        .vertices()
+        .iter()
+        .chain(region.holes().iter().flat_map(|h| h.vertices().iter()))
+        .map(|p| p.y)
+        .collect();
+    ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    ys.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    // Collect all edges once.
+    let edges: Vec<(Point, Point)> = region.edges().map(|e| (e.a, e.b)).collect();
+
+    let mut traps: Vec<Trapezoid> = Vec::with_capacity(2 * edges.len());
+    // Open trapezoids from the previous band: (left edge id, right edge
+    // id, index into `traps`). The trapezoid at that index still ends at
+    // the previous band's top and can be extended.
+    let mut open: Vec<(usize, usize, usize)> = Vec::new();
+    let mut next_open: Vec<(usize, usize, usize)> = Vec::new();
+    let mut spans: Vec<(f64, f64, f64, usize)> = Vec::new(); // x@y1, x@y2, x@mid, edge id
+
+    for w in ys.windows(2) {
+        let (y1, y2) = (w[0], w[1]);
+        if y2 - y1 <= 1e-12 {
+            continue;
+        }
+        let ymid = 0.5 * (y1 + y2);
+        spans.clear();
+        for (idx, &(a, b)) in edges.iter().enumerate() {
+            let (elo, ehi) = (a.y.min(b.y), a.y.max(b.y));
+            // Edge must span the band: elo <= y1 and ehi >= y2 (no vertex
+            // lies strictly inside a band).
+            if elo <= y1 + 1e-12 && ehi >= y2 - 1e-12 && ehi - elo > 1e-12 {
+                let x_at = |y: f64| a.x + (y - a.y) / (b.y - a.y) * (b.x - a.x);
+                spans.push((x_at(y1), x_at(y2), x_at(ymid), idx));
+            }
+        }
+        spans.sort_by(|p, q| p.2.partial_cmp(&q.2).expect("finite"));
+        // Even-odd pairing: spans 0-1, 2-3, ... bound interior trapezoids.
+        next_open.clear();
+        let mut i = 0;
+        while i + 1 < spans.len() {
+            let left = spans[i];
+            let right = spans[i + 1];
+            // Extend the previous band's trapezoid when the same edge
+            // pair bounds it (the bounding lines are straight, so the
+            // union stays a trapezoid).
+            if let Some(&(_, _, t_idx)) =
+                open.iter().find(|&&(l, r, _)| l == left.3 && r == right.3)
+            {
+                traps[t_idx].y_hi = y2;
+                traps[t_idx].x_hi = (left.1, right.1);
+                next_open.push((left.3, right.3, t_idx));
+            } else {
+                traps.push(Trapezoid {
+                    y_lo: y1,
+                    y_hi: y2,
+                    x_lo: (left.0, right.0),
+                    x_hi: (left.1, right.1),
+                });
+                next_open.push((left.3, right.3, traps.len() - 1));
+            }
+            i += 2;
+        }
+        std::mem::swap(&mut open, &mut next_open);
+    }
+    traps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msj_geom::Polygon;
+
+    fn region(coords: &[(f64, f64)]) -> PolygonWithHoles {
+        Polygon::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect())
+            .unwrap()
+            .into()
+    }
+
+    fn total_area(traps: &[Trapezoid]) -> f64 {
+        traps.iter().map(|t| t.area()).sum()
+    }
+
+    #[test]
+    fn square_decomposes_into_itself() {
+        let sq = region(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]);
+        let traps = decompose(&sq);
+        assert_eq!(traps.len(), 1);
+        assert!((total_area(&traps) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_decomposes_with_correct_area() {
+        let tri = region(&[(0.0, 0.0), (4.0, 0.0), (2.0, 3.0)]);
+        let traps = decompose(&tri);
+        assert!((total_area(&traps) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concave_polygon_area_is_preserved() {
+        let c = region(&[
+            (0.0, 0.0), (4.0, 0.0), (4.0, 1.0), (1.0, 1.0), (1.0, 3.0), (4.0, 3.0),
+            (4.0, 4.0), (0.0, 4.0),
+        ]);
+        let traps = decompose(&c);
+        assert!((total_area(&traps) - c.area()).abs() < 1e-9);
+        // All trapezoid interiors are inside the region (sample centers).
+        for t in &traps {
+            let center = Point::new(
+                0.25 * (t.x_lo.0 + t.x_lo.1 + t.x_hi.0 + t.x_hi.1),
+                0.5 * (t.y_lo + t.y_hi),
+            );
+            assert!(c.contains_point(center), "{center:?} outside");
+        }
+    }
+
+    #[test]
+    fn region_with_hole_decomposes_around_it() {
+        let outer = Polygon::new(
+            [(0.0, 0.0), (6.0, 0.0), (6.0, 6.0), (0.0, 6.0)]
+                .iter()
+                .map(|&(x, y)| Point::new(x, y))
+                .collect(),
+        )
+        .unwrap();
+        let hole = Polygon::new(
+            [(2.0, 2.0), (4.0, 2.0), (4.0, 4.0), (2.0, 4.0)]
+                .iter()
+                .map(|&(x, y)| Point::new(x, y))
+                .collect(),
+        )
+        .unwrap();
+        let donut = PolygonWithHoles::new(outer, vec![hole]);
+        let traps = decompose(&donut);
+        assert!((total_area(&traps) - donut.area()).abs() < 1e-9);
+        // No trapezoid may cover the hole center.
+        for t in &traps {
+            assert!(!t.contains_point(Point::new(3.0, 3.0)) || t.area() == 0.0);
+        }
+    }
+
+    #[test]
+    fn trapezoid_count_is_linear_in_vertices() {
+        // A zig-zag with many vertices.
+        let mut coords = Vec::new();
+        for i in 0..20 {
+            coords.push((i as f64, if i % 2 == 0 { 0.0 } else { 0.5 }));
+        }
+        coords.push((19.0, 5.0));
+        coords.push((0.0, 5.0));
+        let z = region(&coords);
+        let traps = decompose(&z);
+        assert!((total_area(&traps) - z.area()).abs() < 1e-9);
+        assert!(traps.len() <= 4 * z.num_vertices());
+    }
+
+    #[test]
+    fn trapezoid_geometry_helpers() {
+        let t = Trapezoid { y_lo: 0.0, y_hi: 2.0, x_lo: (0.0, 4.0), x_hi: (1.0, 3.0) };
+        assert_eq!(t.mbr(), Rect::from_bounds(0.0, 0.0, 4.0, 2.0));
+        assert!((t.area() - 6.0).abs() < 1e-12);
+        assert!(t.contains_point(Point::new(2.0, 1.0)));
+        assert!(t.contains_point(Point::new(0.5, 0.0)));
+        assert!(!t.contains_point(Point::new(0.2, 1.9)));
+        assert!(!t.contains_point(Point::new(2.0, 2.1)));
+    }
+
+    #[test]
+    fn trapezoid_intersection_tests() {
+        let a = Trapezoid { y_lo: 0.0, y_hi: 2.0, x_lo: (0.0, 2.0), x_hi: (0.0, 2.0) };
+        let b = Trapezoid { y_lo: 1.0, y_hi: 3.0, x_lo: (1.0, 3.0), x_hi: (1.0, 3.0) };
+        let c = Trapezoid { y_lo: 5.0, y_hi: 6.0, x_lo: (0.0, 1.0), x_hi: (0.0, 1.0) };
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        // Touching along an edge counts (closed semantics).
+        let d = Trapezoid { y_lo: 2.0, y_hi: 3.0, x_lo: (0.0, 2.0), x_hi: (0.0, 2.0) };
+        assert!(a.intersects(&d));
+        // Degenerate (triangle) trapezoid.
+        let tri = Trapezoid { y_lo: 0.0, y_hi: 1.0, x_lo: (0.0, 2.0), x_hi: (1.0, 1.0) };
+        assert!(tri.intersects(&a));
+    }
+
+    #[test]
+    fn blob_decomposition_roundtrip_area() {
+        // A star-shaped blob with 40 vertices.
+        let coords: Vec<(f64, f64)> = (0..40)
+            .map(|i| {
+                let t = i as f64 / 40.0 * std::f64::consts::TAU;
+                let r = 3.0 + 1.2 * (3.0 * t).sin() + 0.5 * (7.0 * t).cos();
+                (r * t.cos(), r * t.sin())
+            })
+            .collect();
+        let blob = region(&coords);
+        let traps = decompose(&blob);
+        assert!(
+            (total_area(&traps) - blob.area()).abs() < 1e-6 * blob.area(),
+            "area mismatch: {} vs {}",
+            total_area(&traps),
+            blob.area()
+        );
+    }
+}

@@ -1,0 +1,637 @@
+//! The TR*-tree (§4.2, [SK 91]): a main-memory R*-tree variant that
+//! organizes the trapezoids of *one* decomposed object, with a very small
+//! maximum node capacity (the paper finds M = 3 optimal).
+//!
+//! The intersection test between two objects walks both trees in tandem:
+//! directory rectangles prune subtree pairs (rectangle intersection tests,
+//! weight 28), and leaf trapezoid pairs decide (trapezoid intersection
+//! tests, weight 38).
+
+use crate::cost::OpCounts;
+use crate::trapezoid::{decompose, Trapezoid};
+use msj_geom::{ObjectId, Point, PolygonWithHoles, Rect, Relation};
+
+/// A node of the TR*-tree. Children are indices into the tree's node
+/// arena; leaves hold trapezoid indices.
+#[derive(Debug, Clone)]
+struct Node {
+    rect: Rect,
+    /// Height above the leaves (0 = leaf).
+    level: u32,
+    children: Vec<u32>,
+}
+
+/// A main-memory TR*-tree over the trapezoids of one object.
+#[derive(Debug, Clone)]
+pub struct TrStarTree {
+    nodes: Vec<Node>,
+    traps: Vec<Trapezoid>,
+    /// In-memory parent pointers (construction bookkeeping only).
+    parents: Vec<Option<u32>>,
+    root: u32,
+    max_entries: usize,
+    min_entries: usize,
+}
+
+impl TrStarTree {
+    /// Builds the tree for a region with maximum node capacity
+    /// `max_entries` (the paper's M; 3–5 are sensible, 3 is best).
+    pub fn build(region: &PolygonWithHoles, max_entries: usize) -> Self {
+        let traps = decompose(region);
+        Self::from_trapezoids(traps, max_entries)
+    }
+
+    /// Builds the tree from precomputed trapezoids.
+    pub fn from_trapezoids(traps: Vec<Trapezoid>, max_entries: usize) -> Self {
+        let max_entries = max_entries.max(2);
+        let min_entries = (max_entries / 2).max(1);
+        let mut tree = TrStarTree {
+            nodes: vec![Node {
+                rect: Rect::from_bounds(0.0, 0.0, 0.0, 0.0),
+                level: 0,
+                children: Vec::new(),
+            }],
+            traps: Vec::with_capacity(traps.len()),
+            parents: vec![None],
+            root: 0,
+            max_entries,
+            min_entries,
+        };
+        for t in traps {
+            tree.insert(t);
+        }
+        tree
+    }
+
+    /// Number of trapezoids stored.
+    pub fn num_trapezoids(&self) -> usize {
+        self.traps.len()
+    }
+
+    /// Tree height in levels (1 = a single leaf node).
+    pub fn height(&self) -> u32 {
+        self.nodes[self.root as usize].level + 1
+    }
+
+    /// The root MBR (covers the whole object).
+    pub fn root_rect(&self) -> Rect {
+        self.nodes[self.root as usize].rect
+    }
+
+    /// The stored trapezoids.
+    pub fn trapezoids(&self) -> &[Trapezoid] {
+        &self.traps
+    }
+
+    fn insert(&mut self, t: Trapezoid) {
+        let trap_idx = self.traps.len() as u32;
+        let rect = t.mbr();
+        self.traps.push(t);
+        if self.traps.len() == 1 {
+            // First entry initializes the root rect.
+            self.nodes[self.root as usize].rect = rect;
+        }
+        self.place_trapezoid(trap_idx, rect, true);
+    }
+
+    /// Routes a trapezoid into a leaf. On overflow the R* *forced
+    /// reinsert* runs once per insertion (leaf level only, as in the
+    /// original heuristic's dominant case); afterwards the node splits.
+    fn place_trapezoid(&mut self, trap_idx: u32, rect: Rect, allow_reinsert: bool) {
+        let leaf = self.choose_leaf(rect);
+        self.nodes[leaf as usize].children.push(trap_idx);
+        self.nodes[leaf as usize].rect = if self.nodes[leaf as usize].children.len() == 1 {
+            rect
+        } else {
+            self.nodes[leaf as usize].rect.union(&rect)
+        };
+        self.adjust_upward(leaf, rect);
+        if self.nodes[leaf as usize].children.len() > self.max_entries {
+            if allow_reinsert && leaf != self.root {
+                self.forced_reinsert(leaf);
+            } else {
+                self.split(leaf);
+            }
+        }
+    }
+
+    /// Removes the 30 % of the leaf's trapezoids farthest from its center
+    /// and re-routes them (far-first), shrinking the node's region before
+    /// a split becomes necessary.
+    fn forced_reinsert(&mut self, leaf: u32) {
+        let center = self.nodes[leaf as usize].rect.center();
+        let mut entries = std::mem::take(&mut self.nodes[leaf as usize].children);
+        entries.sort_by(|&a, &b| {
+            let da = self.traps[a as usize].mbr().center().dist_sq(center);
+            let db = self.traps[b as usize].mbr().center().dist_sq(center);
+            db.partial_cmp(&da).expect("finite")
+        });
+        let p = (entries.len() * 3 / 10).max(1);
+        let removed: Vec<u32> = entries.drain(..p).collect();
+        self.nodes[leaf as usize].children = entries;
+        self.recompute_rects_upward(leaf);
+        for trap_idx in removed {
+            let rect = self.traps[trap_idx as usize].mbr();
+            self.place_trapezoid(trap_idx, rect, false);
+        }
+    }
+
+    /// Recomputes this node's rectangle from its children and propagates
+    /// the (possibly shrunken) rectangles to the root.
+    fn recompute_rects_upward(&mut self, node: u32) {
+        let mut current = node;
+        loop {
+            let n = &self.nodes[current as usize];
+            let rect = if n.level == 0 {
+                n.children
+                    .iter()
+                    .map(|&t| self.traps[t as usize].mbr())
+                    .reduce(|a, b| a.union(&b))
+            } else {
+                n.children
+                    .iter()
+                    .map(|&c| self.nodes[c as usize].rect)
+                    .reduce(|a, b| a.union(&b))
+            };
+            if let Some(rect) = rect {
+                self.nodes[current as usize].rect = rect;
+            }
+            match self.parent_of(current) {
+                Some(p) => current = p,
+                None => break,
+            }
+        }
+    }
+
+    /// R* choose-subtree: descend minimizing overlap enlargement at the
+    /// level above the leaves and area enlargement elsewhere.
+    fn choose_leaf(&self, rect: Rect) -> u32 {
+        let mut node = self.root;
+        loop {
+            let n = &self.nodes[node as usize];
+            if n.level == 0 {
+                return node;
+            }
+            let mut best_child = n.children[0];
+            let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+            for &c in &n.children {
+                let crect = self.nodes[c as usize].rect;
+                let enlargement = crect.enlargement(&rect);
+                let overlap_delta = if n.level == 1 {
+                    // Overlap enlargement against siblings.
+                    let grown = crect.union(&rect);
+                    let mut before = 0.0;
+                    let mut after = 0.0;
+                    for &s in &n.children {
+                        if s == c {
+                            continue;
+                        }
+                        let srect = self.nodes[s as usize].rect;
+                        before += crect.intersection_area(&srect);
+                        after += grown.intersection_area(&srect);
+                    }
+                    after - before
+                } else {
+                    0.0
+                };
+                let key = (overlap_delta, enlargement, crect.area());
+                if key < best_key {
+                    best_key = key;
+                    best_child = c;
+                }
+            }
+            node = best_child;
+        }
+    }
+
+    /// Recomputes ancestor rectangles after an insertion into `node`.
+    fn adjust_upward(&mut self, node: u32, rect: Rect) {
+        let mut current = node;
+        while let Some(parent) = self.parent_of(current) {
+            self.nodes[parent as usize].rect = self.nodes[parent as usize].rect.union(&rect);
+            current = parent;
+        }
+    }
+
+    /// Parent lookup via the maintained in-memory pointer.
+    fn parent_of(&self, node: u32) -> Option<u32> {
+        self.parents[node as usize]
+    }
+
+    /// Points the parent pointers of `node`'s direct child nodes at it.
+    fn reparent_children(&mut self, node: u32) {
+        if self.nodes[node as usize].level == 0 {
+            return; // leaf children are trapezoid indices
+        }
+        let children = self.nodes[node as usize].children.clone();
+        for c in children {
+            self.parents[c as usize] = Some(node);
+        }
+    }
+
+    /// R*-style split: choose the axis with minimal margin sum, then the
+    /// distribution with minimal overlap (ties: minimal total area).
+    fn split(&mut self, node: u32) {
+        let level = self.nodes[node as usize].level;
+        let children = std::mem::take(&mut self.nodes[node as usize].children);
+        let rects: Vec<Rect> = children.iter().map(|&c| self.child_rect(level, c)).collect();
+
+        let (group_a, group_b) = self.best_split(&children, &rects);
+
+        let rect_of = |group: &[u32], this: &TrStarTree| -> Rect {
+            group
+                .iter()
+                .map(|&c| this.child_rect(level, c))
+                .reduce(|a, b| a.union(&b))
+                .expect("non-empty split group")
+        };
+        let rect_a = rect_of(&group_a, self);
+        let rect_b = rect_of(&group_b, self);
+
+        if node == self.root {
+            // Grow the tree: new root above two fresh nodes.
+            let a_idx = self.nodes.len() as u32;
+            self.nodes.push(Node { rect: rect_a, level, children: group_a });
+            self.parents.push(Some(node));
+            let b_idx = self.nodes.len() as u32;
+            self.nodes.push(Node { rect: rect_b, level, children: group_b });
+            self.parents.push(Some(node));
+            let root_rect = rect_a.union(&rect_b);
+            self.nodes[node as usize] = Node {
+                rect: root_rect,
+                level: level + 1,
+                children: vec![a_idx, b_idx],
+            };
+            self.reparent_children(a_idx);
+            self.reparent_children(b_idx);
+        } else {
+            let parent = self.parent_of(node).expect("non-root has a parent");
+            self.nodes[node as usize].rect = rect_a;
+            self.nodes[node as usize].children = group_a;
+            let b_idx = self.nodes.len() as u32;
+            self.nodes.push(Node { rect: rect_b, level, children: group_b });
+            self.parents.push(Some(parent));
+            self.reparent_children(node);
+            self.reparent_children(b_idx);
+            self.nodes[parent as usize].children.push(b_idx);
+            // Parent rect unchanged (children cover the same entries).
+            if self.nodes[parent as usize].children.len() > self.max_entries {
+                self.split(parent);
+            }
+        }
+    }
+
+    /// MBR of a child reference: a trapezoid for leaves, a node otherwise.
+    fn child_rect(&self, level: u32, child: u32) -> Rect {
+        if level == 0 {
+            self.traps[child as usize].mbr()
+        } else {
+            self.nodes[child as usize].rect
+        }
+    }
+
+    /// Chooses the split distribution (R* axis + index selection,
+    /// simplified to the m..M-m prefix distributions on both axes).
+    fn best_split(&self, children: &[u32], rects: &[Rect]) -> (Vec<u32>, Vec<u32>) {
+        let m = self.min_entries;
+        let n = children.len();
+        let mut best: Option<(f64, f64, Vec<u32>, Vec<u32>)> = None;
+
+        for axis in 0..2 {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&i, &j| {
+                let (ki, kj) = if axis == 0 {
+                    ((rects[i].xmin(), rects[i].xmax()), (rects[j].xmin(), rects[j].xmax()))
+                } else {
+                    ((rects[i].ymin(), rects[i].ymax()), (rects[j].ymin(), rects[j].ymax()))
+                };
+                ki.partial_cmp(&kj).expect("finite")
+            });
+            for k in m..=(n - m) {
+                let left: Vec<usize> = order[..k].to_vec();
+                let right: Vec<usize> = order[k..].to_vec();
+                let rect_l = left.iter().map(|&i| rects[i]).reduce(|a, b| a.union(&b)).unwrap();
+                let rect_r = right.iter().map(|&i| rects[i]).reduce(|a, b| a.union(&b)).unwrap();
+                let overlap = rect_l.intersection_area(&rect_r);
+                let area = rect_l.area() + rect_r.area();
+                if best
+                    .as_ref()
+                    .is_none_or(|(bo, ba, _, _)| (overlap, area) < (*bo, *ba))
+                {
+                    best = Some((
+                        overlap,
+                        area,
+                        left.iter().map(|&i| children[i]).collect(),
+                        right.iter().map(|&i| children[i]).collect(),
+                    ));
+                }
+            }
+        }
+        let (_, _, a, b) = best.expect("at least one distribution");
+        (a, b)
+    }
+
+    /// Counted point query: does any trapezoid contain `p`? Each directory
+    /// rectangle probe counts as a rectangle test, each leaf probe as a
+    /// trapezoid test.
+    pub fn contains_point(&self, p: Point, counts: &mut OpCounts) -> bool {
+        let mut stack = vec![self.root];
+        while let Some(cur) = stack.pop() {
+            let n = &self.nodes[cur as usize];
+            counts.rect_rect += 1;
+            if !n.rect.contains_point(p) {
+                continue;
+            }
+            if n.level == 0 {
+                for &t in &n.children {
+                    counts.trapezoid += 1;
+                    if self.traps[t as usize].contains_point(p) {
+                        return true;
+                    }
+                }
+            } else {
+                stack.extend(n.children.iter().copied());
+            }
+        }
+        false
+    }
+}
+
+/// Dual-tree intersection test between two decomposed objects (§4.2):
+/// returns `true` iff some trapezoid of `t1` intersects some trapezoid of
+/// `t2`. Because the trapezoids cover the closed regions, containment is
+/// detected without a separate point-in-polygon step.
+pub fn trees_intersect(t1: &TrStarTree, t2: &TrStarTree, counts: &mut OpCounts) -> bool {
+    if t1.traps.is_empty() || t2.traps.is_empty() {
+        return false;
+    }
+    // Root-level pretest.
+    counts.rect_rect += 1;
+    if !t1.root_rect().intersects(&t2.root_rect()) {
+        return false;
+    }
+    let mut stack: Vec<(u32, u32)> = vec![(t1.root, t2.root)];
+    while let Some((a, b)) = stack.pop() {
+        let na = &t1.nodes[a as usize];
+        let nb = &t2.nodes[b as usize];
+        match (na.level, nb.level) {
+            (0, 0) => {
+                for &ta in &na.children {
+                    let trap_a = &t1.traps[ta as usize];
+                    let rect_a = trap_a.mbr();
+                    for &tb in &nb.children {
+                        let trap_b = &t2.traps[tb as usize];
+                        // MBR pretest on trapezoid pairs.
+                        counts.rect_rect += 1;
+                        if !rect_a.intersects(&trap_b.mbr()) {
+                            continue;
+                        }
+                        counts.trapezoid += 1;
+                        if trap_a.intersects(trap_b) {
+                            return true;
+                        }
+                    }
+                }
+            }
+            (la, lb) => {
+                // Descend the taller tree (or t1 on ties).
+                if la >= lb {
+                    for &c in &na.children {
+                        counts.rect_rect += 1;
+                        if t1.nodes[c as usize].rect.intersects(&nb.rect) {
+                            stack.push((c, b));
+                        }
+                    }
+                } else {
+                    for &c in &nb.children {
+                        counts.rect_rect += 1;
+                        if na.rect.intersects(&t2.nodes[c as usize].rect) {
+                            stack.push((a, c));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Precomputed TR*-trees for every object of a relation — the paper's
+/// decomposed object representation, built once at "insertion time".
+#[derive(Debug, Clone)]
+pub struct TrStarStore {
+    trees: Vec<TrStarTree>,
+    max_entries: usize,
+}
+
+impl TrStarStore {
+    pub fn build(relation: &Relation, max_entries: usize) -> Self {
+        TrStarStore {
+            trees: relation
+                .iter()
+                .map(|o| TrStarTree::build(&o.region, max_entries))
+                .collect(),
+            max_entries,
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, id: ObjectId) -> &TrStarTree {
+        &self.trees[id as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Average tree height — the paper relates cost ratios to the ratio of
+    /// average heights (7.6 / 5.0 for BW / Europe).
+    pub fn avg_height(&self) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        self.trees.iter().map(|t| t.height() as f64).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Average number of trapezoids per object.
+    pub fn avg_trapezoids(&self) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        self.trees.iter().map(|t| t.num_trapezoids() as f64).sum::<f64>()
+            / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadratic::quadratic_intersects;
+    use msj_geom::Polygon;
+
+    fn region(coords: &[(f64, f64)]) -> PolygonWithHoles {
+        Polygon::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect())
+            .unwrap()
+            .into()
+    }
+
+    fn blob(n: usize, cx: f64, cy: f64, phase: f64) -> PolygonWithHoles {
+        let coords: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64 * std::f64::consts::TAU;
+                let r = 3.0 + 1.2 * (3.0 * t + phase).sin() + 0.5 * (7.0 * t).cos();
+                (cx + r * t.cos(), cy + r * t.sin())
+            })
+            .collect();
+        region(&coords)
+    }
+
+    #[test]
+    fn tree_covers_all_trapezoids() {
+        let b = blob(40, 0.0, 0.0, 0.0);
+        let tree = TrStarTree::build(&b, 3);
+        assert!(tree.num_trapezoids() > 10);
+        let root = tree.root_rect();
+        for t in tree.trapezoids() {
+            assert!(root.contains_rect(&t.mbr()));
+        }
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let small = TrStarTree::build(&blob(12, 0.0, 0.0, 0.0), 3);
+        let large = TrStarTree::build(&blob(200, 0.0, 0.0, 0.0), 3);
+        assert!(large.height() > small.height());
+        // log3-ish bound: a 200-vertex blob has ≤ ~400 trapezoids; height
+        // stays well under 14 even at M = 3 (min fill 1).
+        assert!(large.height() <= 14, "height {}", large.height());
+    }
+
+    #[test]
+    fn point_queries_match_region_membership() {
+        let b = blob(60, 1.0, -2.0, 0.7);
+        let tree = TrStarTree::build(&b, 3);
+        let mbr = b.mbr().inflated(0.5);
+        let mut counts = OpCounts::new();
+        for i in 0..25 {
+            for j in 0..25 {
+                let p = Point::new(
+                    mbr.xmin() + mbr.width() * i as f64 / 24.0,
+                    mbr.ymin() + mbr.height() * j as f64 / 24.0,
+                );
+                // Skip points within a hair of the boundary: decomposition
+                // cuts introduce rounding exactly there.
+                let in_region = b.contains_point(p);
+                let in_tree = tree.contains_point(p, &mut counts);
+                if in_region != in_tree {
+                    let near_boundary =
+                        b.edges().any(|e| e.dist_to_point(p) < 1e-9 * mbr.width());
+                    assert!(near_boundary, "mismatch at {p:?} not near boundary");
+                }
+            }
+        }
+        assert!(counts.rect_rect > 0 && counts.trapezoid > 0);
+    }
+
+    #[test]
+    fn tree_intersection_agrees_with_quadratic() {
+        let cases = [
+            (blob(30, 0.0, 0.0, 0.0), blob(30, 2.0, 1.0, 1.0), true),
+            (blob(30, 0.0, 0.0, 0.0), blob(30, 20.0, 0.0, 1.0), false),
+            // Containment: big blob vs tiny square inside.
+            (blob(30, 0.0, 0.0, 0.0), region(&[(-0.3, -0.3), (0.3, -0.3), (0.3, 0.3), (-0.3, 0.3)]), true),
+        ];
+        for (i, (a, b, expect)) in cases.iter().enumerate() {
+            let ta = TrStarTree::build(a, 3);
+            let tb = TrStarTree::build(b, 3);
+            let mut c1 = OpCounts::new();
+            let mut c2 = OpCounts::new();
+            assert_eq!(trees_intersect(&ta, &tb, &mut c1), *expect, "case {i} (tr*)");
+            assert_eq!(quadratic_intersects(a, b, &mut c2), *expect, "case {i} (quad)");
+        }
+    }
+
+    #[test]
+    fn containment_needs_no_pip() {
+        // Unlike edge-based algorithms, containment shows up as trapezoid
+        // overlap directly.
+        let big = blob(40, 0.0, 0.0, 0.0);
+        let small = region(&[(-0.2, -0.2), (0.2, -0.2), (0.2, 0.2), (-0.2, 0.2)]);
+        let tbig = TrStarTree::build(&big, 3);
+        let tsmall = TrStarTree::build(&small, 3);
+        let mut c = OpCounts::new();
+        assert!(trees_intersect(&tbig, &tsmall, &mut c));
+        assert_eq!(c.pip_performed, 0);
+        assert_eq!(c.edge_line, 0);
+    }
+
+    #[test]
+    fn disjoint_roots_cost_one_rect_test() {
+        let a = TrStarTree::build(&blob(20, 0.0, 0.0, 0.0), 3);
+        let b = TrStarTree::build(&blob(20, 100.0, 100.0, 0.0), 3);
+        let mut c = OpCounts::new();
+        assert!(!trees_intersect(&a, &b, &mut c));
+        assert_eq!(c.rect_rect, 1);
+        assert_eq!(c.trapezoid, 0);
+    }
+
+    #[test]
+    fn store_builds_per_object_trees() {
+        let rel = Relation::from_regions(vec![
+            blob(20, 0.0, 0.0, 0.0),
+            blob(40, 10.0, 0.0, 1.0),
+            blob(60, 0.0, 10.0, 2.0),
+        ]);
+        let store = TrStarStore::build(&rel, 3);
+        assert_eq!(store.len(), 3);
+        assert!(store.avg_height() >= 1.0);
+        assert!(store.avg_trapezoids() > 10.0);
+        assert_eq!(store.max_entries(), 3);
+    }
+
+    #[test]
+    fn node_capacity_is_respected() {
+        let b = blob(100, 0.0, 0.0, 0.3);
+        for m in [3usize, 4, 5] {
+            let tree = TrStarTree::build(&b, m);
+            for node in &tree.nodes {
+                assert!(node.children.len() <= m, "node over capacity {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn donut_vs_hole_filler() {
+        let outer = Polygon::new(
+            [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]
+                .iter()
+                .map(|&(x, y)| Point::new(x, y))
+                .collect(),
+        )
+        .unwrap();
+        let hole = Polygon::new(
+            [(3.0, 3.0), (7.0, 3.0), (7.0, 7.0), (3.0, 7.0)]
+                .iter()
+                .map(|&(x, y)| Point::new(x, y))
+                .collect(),
+        )
+        .unwrap();
+        let donut = PolygonWithHoles::new(outer, vec![hole]);
+        let inside_hole = region(&[(4.0, 4.0), (6.0, 4.0), (6.0, 6.0), (4.0, 6.0)]);
+        let td = TrStarTree::build(&donut, 3);
+        let ti = TrStarTree::build(&inside_hole, 3);
+        let mut c = OpCounts::new();
+        assert!(!trees_intersect(&td, &ti, &mut c));
+        let poking = region(&[(4.0, 4.0), (9.0, 4.0), (9.0, 6.0), (4.0, 6.0)]);
+        let tp = TrStarTree::build(&poking, 3);
+        assert!(trees_intersect(&td, &tp, &mut c));
+    }
+}

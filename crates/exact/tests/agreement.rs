@@ -1,0 +1,111 @@
+//! Cross-algorithm agreement: the quadratic test, the plane sweep (with
+//! and without restriction) and the TR*-tree must implement the *same*
+//! closed-region intersection predicate on arbitrary generated shapes.
+
+use msj_datagen::{blob, BlobParams};
+use msj_exact::{
+    quadratic_intersects, sweep_intersects, trees_intersect, OpCounts, TrStarTree,
+};
+use msj_geom::{Point, PolygonWithHoles};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn blob_region(seed: u64, vertices: usize, cx: f64, cy: f64) -> PolygonWithHoles {
+    let params = BlobParams { vertices, radius: 3.0, ..BlobParams::default() };
+    let mut rng = StdRng::seed_from_u64(seed);
+    blob(&mut rng, Point::new(cx, cy), &params).into()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn all_exact_algorithms_agree(
+        seed1 in 0u64..10_000,
+        seed2 in 0u64..10_000,
+        n1 in 6usize..80,
+        n2 in 6usize..80,
+        dx in -12.0f64..12.0,
+        dy in -12.0f64..12.0,
+    ) {
+        let a = blob_region(seed1, n1, 0.0, 0.0);
+        let b = blob_region(seed2, n2, dx, dy);
+
+        let mut c = OpCounts::new();
+        let quad = quadratic_intersects(&a, &b, &mut c);
+        let sweep_r = sweep_intersects(&a, &b, true, &mut c);
+        let sweep_u = sweep_intersects(&a, &b, false, &mut c);
+        let ta = TrStarTree::build(&a, 3);
+        let tb = TrStarTree::build(&b, 3);
+        let tr = trees_intersect(&ta, &tb, &mut c);
+
+        prop_assert_eq!(quad, sweep_r, "quadratic vs restricted sweep (seeds {} {})", seed1, seed2);
+        prop_assert_eq!(quad, sweep_u, "quadratic vs unrestricted sweep (seeds {} {})", seed1, seed2);
+        prop_assert_eq!(quad, tr, "quadratic vs TR* (seeds {} {})", seed1, seed2);
+    }
+
+    #[test]
+    fn scaled_containment_agreement(
+        seed in 0u64..10_000,
+        n in 8usize..60,
+        factor in 0.05f64..0.45,
+    ) {
+        // A shrunk copy inside the original: always an intersection
+        // (containment), and the hard case for edge-based algorithms.
+        let a = blob_region(seed, n, 0.0, 0.0);
+        let centroid = a.outer().centroid();
+        if !a.contains_point(centroid) {
+            // Concave blob whose centroid is outside: skip (the shrunk
+            // copy is not guaranteed to be contained).
+            return Ok(());
+        }
+        let b = a.scaled_about(centroid, factor);
+        let mut c = OpCounts::new();
+        let quad = quadratic_intersects(&a, &b, &mut c);
+        let sweep = sweep_intersects(&a, &b, true, &mut c);
+        let ta = TrStarTree::build(&a, 3);
+        let tb = TrStarTree::build(&b, 3);
+        let tr = trees_intersect(&ta, &tb, &mut c);
+        prop_assert_eq!(quad, sweep, "containment: quad vs sweep (seed {})", seed);
+        prop_assert_eq!(quad, tr, "containment: quad vs TR* (seed {})", seed);
+    }
+
+    #[test]
+    fn trstar_m_variants_agree(
+        seed1 in 0u64..5_000,
+        seed2 in 0u64..5_000,
+        dx in -10.0f64..10.0,
+    ) {
+        let a = blob_region(seed1, 30, 0.0, 0.0);
+        let b = blob_region(seed2, 30, dx, 1.0);
+        let mut expected = None;
+        for m in [3usize, 4, 5, 8] {
+            let ta = TrStarTree::build(&a, m);
+            let tb = TrStarTree::build(&b, m);
+            let mut c = OpCounts::new();
+            let r = trees_intersect(&ta, &tb, &mut c);
+            match expected {
+                None => expected = Some(r),
+                Some(e) => prop_assert_eq!(e, r, "M={} disagrees (seeds {} {})", m, seed1, seed2),
+            }
+        }
+    }
+
+    #[test]
+    fn far_apart_blobs_never_intersect(
+        seed1 in 0u64..5_000,
+        seed2 in 0u64..5_000,
+    ) {
+        // Blob radius is bounded by 4·elongation·r ≈ 20; distance 100
+        // guarantees disjointness. All algorithms must say "no".
+        let a = blob_region(seed1, 24, 0.0, 0.0);
+        let b = blob_region(seed2, 24, 100.0, 100.0);
+        let mut c = OpCounts::new();
+        prop_assert!(!quadratic_intersects(&a, &b, &mut c));
+        prop_assert!(!sweep_intersects(&a, &b, true, &mut c));
+        let ta = TrStarTree::build(&a, 3);
+        let tb = TrStarTree::build(&b, 3);
+        prop_assert!(!trees_intersect(&ta, &tb, &mut c));
+    }
+}

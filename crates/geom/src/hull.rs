@@ -1,0 +1,174 @@
+//! Convex hull computation (Andrew's monotone chain, `O(n log n)`).
+//!
+//! The hull is both one of the conservative approximations evaluated in §3
+//! and the starting point for the rotated MBR and the minimum bounding
+//! m-corner.
+
+use crate::point::Point;
+use crate::predicates::orient2d_raw;
+
+/// Computes the convex hull of a point set.
+///
+/// Returns the hull vertices in counter-clockwise order with collinear
+/// points on the hull boundary removed. For fewer than three distinct
+/// non-collinear points the degenerate hull (the distinct points, up to
+/// two of them) is returned.
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .expect("finite coordinates")
+            .then(a.y.partial_cmp(&b.y).expect("finite coordinates"))
+    });
+    pts.dedup();
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && orient2d_raw(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && orient2d_raw(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // The first point is repeated at the end.
+    if hull.len() < 3 {
+        // All points collinear: return the two extremes.
+        return vec![pts[0], pts[n - 1]];
+    }
+    hull
+}
+
+/// Whether `p` lies in the closed convex region given by CCW hull vertices.
+pub fn convex_contains_point(hull: &[Point], p: Point) -> bool {
+    if hull.len() < 3 {
+        return match hull {
+            [a] => *a == p,
+            [a, b] => crate::segment::Segment::new(*a, *b).contains_point(p),
+            _ => false,
+        };
+    }
+    let n = hull.len();
+    for i in 0..n {
+        // Allow a tolerance scaled to the edge for boundary points.
+        let a = hull[i];
+        let b = hull[(i + 1) % n];
+        let side = orient2d_raw(a, b, p);
+        let scale = (b - a).norm() * ((p - a).norm() + 1.0);
+        if side < -1e-12 * scale {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.5, 0.5),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        // CCW orientation.
+        let area2: f64 = (0..h.len())
+            .map(|i| h[i].cross(h[(i + 1) % h.len()]))
+            .sum();
+        assert!(area2 > 0.0);
+    }
+
+    #[test]
+    fn hull_removes_collinear_boundary_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        assert!(!h.contains(&Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn hull_of_collinear_points_is_two_extremes() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(3.0, 3.0),
+            Point::new(2.0, 2.0),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h, vec![Point::new(0.0, 0.0), Point::new(3.0, 3.0)]);
+    }
+
+    #[test]
+    fn hull_handles_duplicates() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 0.0),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn convex_containment() {
+        let h = convex_hull(&[
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ]);
+        assert!(convex_contains_point(&h, Point::new(2.0, 2.0)));
+        assert!(convex_contains_point(&h, Point::new(0.0, 0.0)));
+        assert!(convex_contains_point(&h, Point::new(2.0, 0.0)));
+        assert!(!convex_contains_point(&h, Point::new(5.0, 2.0)));
+        assert!(!convex_contains_point(&h, Point::new(-0.01, 2.0)));
+    }
+
+    #[test]
+    fn hull_contains_all_input_points() {
+        // Deterministic pseudo-random points.
+        let mut pts = Vec::new();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = ((x >> 11) as f64 / (1u64 << 53) as f64) * 10.0;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = ((x >> 11) as f64 / (1u64 << 53) as f64) * 10.0;
+            pts.push(Point::new(a, b));
+        }
+        let h = convex_hull(&pts);
+        for &p in &pts {
+            assert!(convex_contains_point(&h, p), "hull must contain {p:?}");
+        }
+    }
+}

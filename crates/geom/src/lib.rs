@@ -1,0 +1,46 @@
+//! # msj-geom — geometry kernel for the multi-step spatial join
+//!
+//! This crate provides the planar geometry substrate shared by the
+//! reproduction of *"Multi-Step Processing of Spatial Joins"* (Brinkhoff,
+//! Kriegel, Schneider, Seeger; SIGMOD 1994):
+//!
+//! * [`Point`], [`Rect`] (the minimum bounding rectangle), [`Segment`];
+//! * orientation predicates with a numeric collinearity band
+//!   ([`predicates`]);
+//! * simple [`Polygon`]s and [`PolygonWithHoles`] regions with closed-region
+//!   membership semantics;
+//! * convex hulls ([`hull`]), minimum-area oriented rectangles
+//!   ([`calipers`]), and convex clipping / SAT intersection tests
+//!   ([`clip`]);
+//! * structural validators ([`validate`]) used by tests and the data
+//!   generator.
+//!
+//! All coordinates are `f64`. Every region predicate in this workspace uses
+//! *closed* semantics: touching boundaries intersect and containment counts
+//! as intersection, matching the intersection join of the paper.
+
+pub mod calipers;
+pub mod clip;
+pub mod hull;
+pub mod object;
+pub mod point;
+pub mod polygon;
+pub mod predicates;
+pub mod rect;
+pub mod segment;
+pub mod svg;
+pub mod validate;
+pub mod wkt;
+
+pub use calipers::{min_area_rect, OrientedRect};
+pub use clip::{clip_convex, convex_intersect, convex_intersection_area, ring_area};
+pub use hull::{convex_contains_point, convex_hull};
+pub use object::{ObjectId, Relation, SpatialObject};
+pub use point::Point;
+pub use polygon::{Polygon, PolygonError, PolygonWithHoles};
+pub use predicates::{collinear, orient2d, orient2d_raw, Orientation};
+pub use rect::Rect;
+pub use segment::Segment;
+pub use svg::{Style, SvgCanvas};
+pub use validate::{is_simple, region_is_valid};
+pub use wkt::{parse_polygon, parse_regions, read_relation, to_wkt, write_relation, WktError};

@@ -1,0 +1,179 @@
+//! The spatial object and spatial relation model (§2.2).
+//!
+//! A spatial relation is a collection of spatial objects; for the
+//! intersection join only the geometric attribute matters, so an object is
+//! an identifier plus a polygonal region.
+
+use crate::polygon::PolygonWithHoles;
+use crate::rect::Rect;
+
+/// Identifier of a spatial object within its relation.
+pub type ObjectId = u32;
+
+/// A spatial object: identifier plus polygonal region (possibly with
+/// holes). The MBR comes precomputed from the region.
+#[derive(Debug, Clone)]
+pub struct SpatialObject {
+    pub id: ObjectId,
+    pub region: PolygonWithHoles,
+}
+
+impl SpatialObject {
+    pub fn new(id: ObjectId, region: PolygonWithHoles) -> Self {
+        SpatialObject { id, region }
+    }
+
+    /// The object's minimum bounding rectangle.
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        self.region.mbr()
+    }
+
+    /// Number of vertices — the complexity measure `m` of the paper.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.region.num_vertices()
+    }
+
+    /// Region area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.region.area()
+    }
+}
+
+/// A spatial relation: a vector of spatial objects indexed by their id.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    objects: Vec<SpatialObject>,
+}
+
+impl Relation {
+    pub fn new(objects: Vec<SpatialObject>) -> Self {
+        Relation { objects }
+    }
+
+    /// Builds a relation from regions, assigning sequential ids.
+    pub fn from_regions<I: IntoIterator<Item = PolygonWithHoles>>(regions: I) -> Self {
+        Relation {
+            objects: regions
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| SpatialObject::new(i as ObjectId, r))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Object lookup by id (`None` when out of range).
+    #[inline]
+    pub fn get(&self, id: ObjectId) -> Option<&SpatialObject> {
+        self.objects.get(id as usize)
+    }
+
+    /// Object lookup by id; panics when out of range.
+    #[inline]
+    pub fn object(&self, id: ObjectId) -> &SpatialObject {
+        &self.objects[id as usize]
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &SpatialObject> {
+        self.objects.iter()
+    }
+
+    /// Vertex-count statistics `(mean, min, max)` — the `m∅`, `mmin`,
+    /// `mmax` columns of the paper's Figure 2.
+    pub fn vertex_stats(&self) -> (f64, usize, usize) {
+        let mut sum = 0usize;
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        for o in &self.objects {
+            let m = o.num_vertices();
+            sum += m;
+            min = min.min(m);
+            max = max.max(m);
+        }
+        if self.objects.is_empty() {
+            (0.0, 0, 0)
+        } else {
+            (sum as f64 / self.objects.len() as f64, min, max)
+        }
+    }
+
+    /// The MBR of the whole relation (the data space extent actually used).
+    pub fn bounding_rect(&self) -> Option<Rect> {
+        let mut it = self.objects.iter();
+        let first = it.next()?.mbr();
+        Some(it.fold(first, |acc, o| acc.union(&o.mbr())))
+    }
+
+    /// Sum of all object areas (used by generation strategy B).
+    pub fn total_area(&self) -> f64 {
+        self.objects.iter().map(|o| o.area()).sum()
+    }
+}
+
+impl std::ops::Index<ObjectId> for Relation {
+    type Output = SpatialObject;
+    fn index(&self, id: ObjectId) -> &SpatialObject {
+        &self.objects[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+    use crate::polygon::Polygon;
+
+    fn sq(x: f64, y: f64, s: f64) -> PolygonWithHoles {
+        Polygon::new(vec![
+            Point::new(x, y),
+            Point::new(x + s, y),
+            Point::new(x + s, y + s),
+            Point::new(x, y + s),
+        ])
+        .unwrap()
+        .into()
+    }
+
+    #[test]
+    fn relation_from_regions_assigns_ids() {
+        let rel = Relation::from_regions(vec![sq(0.0, 0.0, 1.0), sq(2.0, 0.0, 2.0)]);
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.object(0).id, 0);
+        assert_eq!(rel.object(1).id, 1);
+        assert_eq!(rel[1].area(), 4.0);
+        assert!(rel.get(2).is_none());
+    }
+
+    #[test]
+    fn vertex_stats_and_bounds() {
+        let rel = Relation::from_regions(vec![sq(0.0, 0.0, 1.0), sq(2.0, 0.0, 2.0)]);
+        let (mean, min, max) = rel.vertex_stats();
+        assert_eq!(mean, 4.0);
+        assert_eq!((min, max), (4, 4));
+        assert_eq!(
+            rel.bounding_rect().unwrap(),
+            Rect::from_bounds(0.0, 0.0, 4.0, 2.0)
+        );
+        assert_eq!(rel.total_area(), 5.0);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let rel = Relation::default();
+        assert!(rel.is_empty());
+        assert!(rel.bounding_rect().is_none());
+        assert_eq!(rel.vertex_stats(), (0.0, 0, 0));
+    }
+}

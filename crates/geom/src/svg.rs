@@ -1,0 +1,195 @@
+//! Minimal SVG rendering of regions and relations — a debugging and
+//! presentation aid (maps, approximation overlays) with no dependencies.
+
+use crate::point::Point;
+use crate::polygon::PolygonWithHoles;
+use crate::rect::Rect;
+use crate::object::Relation;
+use std::fmt::Write as _;
+
+/// Style of one rendered shape.
+#[derive(Debug, Clone)]
+pub struct Style {
+    /// Fill color (CSS), e.g. `"#d0e0ff"` or `"none"`.
+    pub fill: String,
+    /// Stroke color (CSS).
+    pub stroke: String,
+    /// Stroke width in user units (scaled coordinates).
+    pub stroke_width: f64,
+}
+
+impl Default for Style {
+    fn default() -> Self {
+        Style { fill: "#d9e4f1".into(), stroke: "#4a6785".into(), stroke_width: 1.0 }
+    }
+}
+
+impl Style {
+    /// An outline-only style.
+    pub fn outline(stroke: &str, width: f64) -> Style {
+        Style { fill: "none".into(), stroke: stroke.into(), stroke_width: width }
+    }
+}
+
+/// An SVG canvas mapping a world rectangle onto a pixel viewport
+/// (y flipped so "north" is up).
+#[derive(Debug)]
+pub struct SvgCanvas {
+    world: Rect,
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// Creates a canvas of `width` pixels; the height follows the world
+    /// aspect ratio.
+    pub fn new(world: Rect, width: f64) -> Self {
+        let height = width * world.height() / world.width().max(f64::MIN_POSITIVE);
+        SvgCanvas { world, width, height, body: String::new() }
+    }
+
+    fn map(&self, p: Point) -> (f64, f64) {
+        let sx = self.width / self.world.width();
+        let sy = self.height / self.world.height();
+        (
+            (p.x - self.world.xmin()) * sx,
+            (self.world.ymax() - p.y) * sy,
+        )
+    }
+
+    fn path_of_ring(&self, ring: &[Point]) -> String {
+        let mut d = String::new();
+        for (i, &p) in ring.iter().enumerate() {
+            let (x, y) = self.map(p);
+            let _ = write!(d, "{}{x:.2},{y:.2} ", if i == 0 { "M" } else { "L" });
+        }
+        d.push('Z');
+        d
+    }
+
+    /// Draws a polygonal region; holes are rendered via the even-odd fill
+    /// rule.
+    pub fn region(&mut self, region: &PolygonWithHoles, style: &Style) {
+        let mut d = self.path_of_ring(region.outer().vertices());
+        for hole in region.holes() {
+            d.push(' ');
+            d.push_str(&self.path_of_ring(hole.vertices()));
+        }
+        let _ = writeln!(
+            self.body,
+            r#"<path d="{d}" fill="{}" stroke="{}" stroke-width="{}" fill-rule="evenodd"/>"#,
+            style.fill, style.stroke, style.stroke_width
+        );
+    }
+
+    /// Draws an arbitrary closed ring.
+    pub fn ring(&mut self, ring: &[Point], style: &Style) {
+        if ring.len() < 2 {
+            return;
+        }
+        let d = self.path_of_ring(ring);
+        let _ = writeln!(
+            self.body,
+            r#"<path d="{d}" fill="{}" stroke="{}" stroke-width="{}"/>"#,
+            style.fill, style.stroke, style.stroke_width
+        );
+    }
+
+    /// Draws an axis-parallel rectangle.
+    pub fn rect(&mut self, r: &Rect, style: &Style) {
+        self.ring(&r.corners(), style);
+    }
+
+    /// Draws a whole relation.
+    pub fn relation(&mut self, rel: &Relation, style: &Style) {
+        for o in rel.iter() {
+            self.region(&o.region, style);
+        }
+    }
+
+    /// Draws a text label at a world position.
+    pub fn label(&mut self, at: Point, text: &str, size: f64) {
+        let (x, y) = self.map(at);
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.1}" y="{y:.1}" font-family="monospace" font-size="{size}">{text}</text>"#
+        );
+    }
+
+    /// Finishes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" \
+             viewBox=\"0 0 {:.0} {:.0}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Polygon;
+
+    fn square(x: f64, y: f64, s: f64) -> PolygonWithHoles {
+        Polygon::new(vec![
+            Point::new(x, y),
+            Point::new(x + s, y),
+            Point::new(x + s, y + s),
+            Point::new(x, y + s),
+        ])
+        .unwrap()
+        .into()
+    }
+
+    #[test]
+    fn canvas_produces_valid_looking_svg() {
+        let mut c = SvgCanvas::new(Rect::from_bounds(0.0, 0.0, 100.0, 50.0), 400.0);
+        c.region(&square(10.0, 10.0, 20.0), &Style::default());
+        c.rect(&Rect::from_bounds(0.0, 0.0, 100.0, 50.0), &Style::outline("#000", 0.5));
+        c.label(Point::new(5.0, 45.0), "map", 12.0);
+        let svg = c.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains("<text"));
+        // Aspect ratio preserved: height = 400 * 50/100 = 200.
+        assert!(svg.contains("height=\"200\""));
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let c = SvgCanvas::new(Rect::from_bounds(0.0, 0.0, 10.0, 10.0), 100.0);
+        let (_, y_bottom) = c.map(Point::new(0.0, 0.0));
+        let (_, y_top) = c.map(Point::new(0.0, 10.0));
+        assert_eq!(y_bottom, 100.0);
+        assert_eq!(y_top, 0.0);
+    }
+
+    #[test]
+    fn holes_render_with_evenodd() {
+        let outer = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ])
+        .unwrap();
+        let hole = Polygon::new(vec![
+            Point::new(4.0, 4.0),
+            Point::new(6.0, 4.0),
+            Point::new(6.0, 6.0),
+            Point::new(4.0, 6.0),
+        ])
+        .unwrap();
+        let donut = PolygonWithHoles::new(outer, vec![hole]);
+        let mut c = SvgCanvas::new(Rect::from_bounds(0.0, 0.0, 10.0, 10.0), 100.0);
+        c.region(&donut, &Style::default());
+        let svg = c.finish();
+        assert!(svg.contains("evenodd"));
+        // Two subpaths in one path element (two 'M' commands).
+        let path_line = svg.lines().find(|l| l.contains("<path")).unwrap();
+        assert_eq!(path_line.matches('M').count(), 2);
+    }
+}

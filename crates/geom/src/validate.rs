@@ -1,0 +1,210 @@
+//! Structural validation of polygons and regions.
+//!
+//! The join algorithms assume simple (non-self-intersecting) rings and
+//! well-nested holes. Validation is quadratic and intended for tests,
+//! data-generator assertions and debug builds — not for the hot path.
+
+use crate::point::Point;
+use crate::polygon::{Polygon, PolygonWithHoles};
+use crate::predicates::{orient2d, Orientation};
+use crate::segment::Segment;
+
+/// Whether the polygon's boundary is simple: no two non-adjacent edges
+/// share any point, and adjacent edges share exactly their common vertex.
+pub fn is_simple(polygon: &Polygon) -> bool {
+    let edges: Vec<Segment> = polygon.edges().collect();
+    let n = edges.len();
+    for i in 0..n {
+        if edges[i].is_degenerate() {
+            return false;
+        }
+        for j in (i + 1)..n {
+            let adjacent = j == i + 1 || (i == 0 && j == n - 1);
+            if adjacent {
+                // Adjacent edges must only meet in the shared vertex: they
+                // must not be collinear with overlap (a "spike").
+                let shared = if j == i + 1 { edges[i].b } else { edges[i].a };
+                let prev = if j == i + 1 { edges[i].a } else { edges[i].b };
+                let next = if j == i + 1 { edges[j].b } else { edges[j].a };
+                if orient2d(prev, shared, next) == Orientation::Collinear {
+                    // Collinear neighbours are a spike if they fold back.
+                    let d1 = shared - prev;
+                    let d2 = next - shared;
+                    if d1.dot(d2) < 0.0 {
+                        return false;
+                    }
+                }
+            } else if edges[i].intersects(&edges[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether ring `inner` lies strictly inside polygon `outer`: every vertex
+/// of `inner` is strictly interior and no pair of edges crosses.
+pub fn ring_strictly_inside(inner: &Polygon, outer: &Polygon) -> bool {
+    if !inner
+        .vertices()
+        .iter()
+        .all(|&v| outer.contains_point_strict(v))
+    {
+        return false;
+    }
+    for ei in inner.edges() {
+        for eo in outer.edges() {
+            if ei.intersects(&eo) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether two polygons are completely disjoint (no edge contact, no
+/// containment either way).
+pub fn polygons_disjoint(a: &Polygon, b: &Polygon) -> bool {
+    if !a.mbr().intersects(&b.mbr()) {
+        return true;
+    }
+    for ea in a.edges() {
+        for eb in b.edges() {
+            if ea.intersects(&eb) {
+                return false;
+            }
+        }
+    }
+    !a.contains_point(b.vertices()[0]) && !b.contains_point(a.vertices()[0])
+}
+
+/// Full structural validity of a region: simple outer ring, simple holes,
+/// every hole strictly inside the outer ring, holes pairwise disjoint.
+pub fn region_is_valid(region: &PolygonWithHoles) -> bool {
+    if !is_simple(region.outer()) {
+        return false;
+    }
+    let holes = region.holes();
+    for (i, h) in holes.iter().enumerate() {
+        if !is_simple(h) || !ring_strictly_inside(h, region.outer()) {
+            return false;
+        }
+        for other in &holes[i + 1..] {
+            if !polygons_disjoint(h, other) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Convenience constructor for tests: polygon from coordinate pairs.
+pub fn poly(coords: &[(f64, f64)]) -> Polygon {
+    Polygon::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect())
+        .expect("valid test polygon")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_is_simple() {
+        assert!(is_simple(&poly(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)])));
+    }
+
+    #[test]
+    fn bowtie_is_not_simple() {
+        // Self-crossing "bowtie" (asymmetric so the signed area is nonzero
+        // and construction succeeds).
+        assert!(!is_simple(&poly(&[
+            (0.0, 0.0),
+            (3.0, 3.0),
+            (3.0, 0.0),
+            (0.0, 2.0)
+        ])));
+    }
+
+    #[test]
+    fn spike_is_not_simple() {
+        // The boundary folds back on itself along an edge.
+        let p = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(2.5, 0.0),
+            Point::new(2.5, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+        .unwrap();
+        assert!(!is_simple(&p));
+    }
+
+    #[test]
+    fn collinear_straight_through_vertex_is_fine() {
+        // A redundant collinear vertex does not break simplicity.
+        assert!(is_simple(&poly(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (2.0, 0.0),
+            (2.0, 2.0),
+            (0.0, 2.0)
+        ])));
+    }
+
+    #[test]
+    fn concave_polygon_is_simple() {
+        assert!(is_simple(&poly(&[
+            (0.0, 0.0),
+            (4.0, 0.0),
+            (4.0, 1.0),
+            (1.0, 1.0),
+            (1.0, 3.0),
+            (4.0, 3.0),
+            (4.0, 4.0),
+            (0.0, 4.0)
+        ])));
+    }
+
+    #[test]
+    fn hole_nesting() {
+        let outer = poly(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let hole = poly(&[(2.0, 2.0), (4.0, 2.0), (4.0, 4.0), (2.0, 4.0)]);
+        assert!(ring_strictly_inside(&hole, &outer));
+        assert!(!ring_strictly_inside(&outer, &hole));
+        let crossing = poly(&[(8.0, 8.0), (12.0, 8.0), (12.0, 12.0), (8.0, 12.0)]);
+        assert!(!ring_strictly_inside(&crossing, &outer));
+    }
+
+    #[test]
+    fn region_validity() {
+        let outer = poly(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let h1 = poly(&[(1.0, 1.0), (3.0, 1.0), (3.0, 3.0), (1.0, 3.0)]);
+        let h2 = poly(&[(5.0, 5.0), (7.0, 5.0), (7.0, 7.0), (5.0, 7.0)]);
+        assert!(region_is_valid(&PolygonWithHoles::new(
+            outer.clone(),
+            vec![h1.clone(), h2.clone()]
+        )));
+        // Overlapping holes are invalid.
+        let h3 = poly(&[(2.0, 2.0), (6.0, 2.0), (6.0, 6.0), (2.0, 6.0)]);
+        assert!(!region_is_valid(&PolygonWithHoles::new(
+            outer.clone(),
+            vec![h1.clone(), h3]
+        )));
+        // Hole outside the outer ring is invalid.
+        let h4 = poly(&[(20.0, 20.0), (21.0, 20.0), (21.0, 21.0), (20.0, 21.0)]);
+        assert!(!region_is_valid(&PolygonWithHoles::new(outer, vec![h4])));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = poly(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]);
+        let b = poly(&[(5.0, 5.0), (6.0, 5.0), (6.0, 6.0), (5.0, 6.0)]);
+        assert!(polygons_disjoint(&a, &b));
+        let c = poly(&[(0.5, 0.5), (6.0, 0.5), (6.0, 6.0), (0.5, 6.0)]);
+        assert!(!polygons_disjoint(&a, &c));
+        // Containment is not disjoint.
+        let outer = poly(&[(-1.0, -1.0), (2.0, -1.0), (2.0, 2.0), (-1.0, 2.0)]);
+        assert!(!polygons_disjoint(&a, &outer));
+    }
+}

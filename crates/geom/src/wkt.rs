@@ -1,0 +1,379 @@
+//! Well-Known Text (WKT) import/export for polygons and relations.
+//!
+//! The paper's datasets are cartographic; anyone adopting this library
+//! will want to load their own maps. The subset implemented here covers
+//! what the join consumes: `POLYGON` (with holes) and `MULTIPOLYGON`
+//! (read as one region per polygon), plus serialization back to WKT.
+//!
+//! The parser is hand-rolled (no dependencies), case-insensitive, and
+//! tolerant of arbitrary whitespace. Rings are re-oriented on load by
+//! [`Polygon::new`]'s normalization, so either winding convention works.
+
+use crate::point::Point;
+use crate::polygon::{Polygon, PolygonError, PolygonWithHoles};
+use std::fmt::Write as _;
+
+/// Errors raised while parsing WKT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WktError {
+    /// Expected a token (e.g. a keyword or parenthesis) that was missing.
+    Expected(&'static str, usize),
+    /// A coordinate failed to parse as a float.
+    BadNumber(usize),
+    /// The geometry type is not supported.
+    UnsupportedType(String),
+    /// A ring was structurally invalid.
+    BadRing(PolygonError),
+    /// Trailing garbage after the geometry.
+    TrailingInput(usize),
+}
+
+impl std::fmt::Display for WktError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WktError::Expected(what, pos) => write!(f, "expected {what} at byte {pos}"),
+            WktError::BadNumber(pos) => write!(f, "malformed number at byte {pos}"),
+            WktError::UnsupportedType(t) => write!(f, "unsupported WKT type {t:?}"),
+            WktError::BadRing(e) => write!(f, "invalid ring: {e}"),
+            WktError::TrailingInput(pos) => write!(f, "trailing input at byte {pos}"),
+        }
+    }
+}
+
+impl std::error::Error for WktError {}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor { src, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(|c: char| c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, token: char) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(token) {
+            self.pos += token.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn keyword(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while self.src[self.pos..].starts_with(|c: char| c.is_ascii_alphabetic()) {
+            self.pos += 1;
+        }
+        self.src[start..self.pos].to_ascii_uppercase()
+    }
+
+    fn number(&mut self) -> Result<f64, WktError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.src[self.pos..]
+            .starts_with(|c: char| c.is_ascii_digit() || "+-.eE".contains(c))
+        {
+            self.pos += 1;
+        }
+        self.src[start..self.pos]
+            .parse()
+            .map_err(|_| WktError::BadNumber(start))
+    }
+
+    fn done(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.src.len()
+    }
+}
+
+/// Parses one `POLYGON ((...), (...))` body (after the keyword).
+fn parse_polygon_body(c: &mut Cursor) -> Result<PolygonWithHoles, WktError> {
+    if !c.eat('(') {
+        return Err(WktError::Expected("'('", c.pos));
+    }
+    let mut rings: Vec<Polygon> = Vec::new();
+    loop {
+        if !c.eat('(') {
+            return Err(WktError::Expected("'(' starting a ring", c.pos));
+        }
+        let mut pts: Vec<Point> = Vec::new();
+        loop {
+            let x = c.number()?;
+            let y = c.number()?;
+            pts.push(Point::new(x, y));
+            if !c.eat(',') {
+                break;
+            }
+        }
+        if !c.eat(')') {
+            return Err(WktError::Expected("')' closing a ring", c.pos));
+        }
+        // WKT closes rings explicitly; drop the repeated last point.
+        if pts.len() >= 2 && pts.first() == pts.last() {
+            pts.pop();
+        }
+        rings.push(Polygon::new(pts).map_err(WktError::BadRing)?);
+        if !c.eat(',') {
+            break;
+        }
+    }
+    if !c.eat(')') {
+        return Err(WktError::Expected("')' closing the polygon", c.pos));
+    }
+    let mut it = rings.into_iter();
+    let outer = it.next().expect("at least one ring parsed");
+    Ok(PolygonWithHoles::new(outer, it.collect()))
+}
+
+/// Parses a single `POLYGON` WKT string into a region.
+pub fn parse_polygon(src: &str) -> Result<PolygonWithHoles, WktError> {
+    let mut c = Cursor::new(src);
+    let kw = c.keyword();
+    if kw != "POLYGON" {
+        return Err(WktError::UnsupportedType(kw));
+    }
+    let region = parse_polygon_body(&mut c)?;
+    if !c.done() {
+        return Err(WktError::TrailingInput(c.pos));
+    }
+    Ok(region)
+}
+
+/// Parses a `POLYGON` or `MULTIPOLYGON` into a list of regions (one per
+/// polygon).
+pub fn parse_regions(src: &str) -> Result<Vec<PolygonWithHoles>, WktError> {
+    let mut c = Cursor::new(src);
+    let kw = c.keyword();
+    match kw.as_str() {
+        "POLYGON" => {
+            let r = parse_polygon_body(&mut c)?;
+            if !c.done() {
+                return Err(WktError::TrailingInput(c.pos));
+            }
+            Ok(vec![r])
+        }
+        "MULTIPOLYGON" => {
+            if !c.eat('(') {
+                return Err(WktError::Expected("'('", c.pos));
+            }
+            let mut out = Vec::new();
+            loop {
+                out.push(parse_polygon_body(&mut c)?);
+                if !c.eat(',') {
+                    break;
+                }
+            }
+            if !c.eat(')') {
+                return Err(WktError::Expected("')' closing the multipolygon", c.pos));
+            }
+            if !c.done() {
+                return Err(WktError::TrailingInput(c.pos));
+            }
+            Ok(out)
+        }
+        other => Err(WktError::UnsupportedType(other.to_string())),
+    }
+}
+
+fn write_ring(out: &mut String, ring: &Polygon) {
+    out.push('(');
+    for (i, p) in ring.vertices().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} {}", p.x, p.y);
+    }
+    // Close the ring explicitly, as WKT requires.
+    let first = ring.vertices()[0];
+    let _ = write!(out, ", {} {}", first.x, first.y);
+    out.push(')');
+}
+
+/// Serializes a region to `POLYGON` WKT.
+pub fn to_wkt(region: &PolygonWithHoles) -> String {
+    let mut out = String::from("POLYGON (");
+    write_ring(&mut out, region.outer());
+    for hole in region.holes() {
+        out.push_str(", ");
+        write_ring(&mut out, hole);
+    }
+    out.push(')');
+    out
+}
+
+
+/// Reads a relation from line-oriented WKT: one `POLYGON`/`MULTIPOLYGON`
+/// per non-empty line (ids assigned sequentially; a multipolygon
+/// contributes one object per polygon). Lines starting with `#` are
+/// comments.
+pub fn read_relation<R: std::io::BufRead>(reader: R) -> Result<crate::object::Relation, WktError> {
+    let mut regions = Vec::new();
+    for line in reader.lines() {
+        let line = line.map_err(|_| WktError::Expected("readable input", 0))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        regions.extend(parse_regions(trimmed)?);
+    }
+    Ok(crate::object::Relation::from_regions(regions))
+}
+
+/// Writes a relation as line-oriented WKT (one `POLYGON` per object).
+pub fn write_relation<W: std::io::Write>(
+    writer: &mut W,
+    relation: &crate::object::Relation,
+) -> std::io::Result<()> {
+    for o in relation.iter() {
+        writeln!(writer, "{}", to_wkt(&o.region))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_polygon() {
+        let r = parse_polygon("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))").unwrap();
+        assert_eq!(r.area(), 16.0);
+        assert_eq!(r.num_vertices(), 4);
+        assert!(r.holes().is_empty());
+    }
+
+    #[test]
+    fn parse_polygon_with_hole() {
+        let r = parse_polygon(
+            "polygon((0 0, 10 0, 10 10, 0 10, 0 0), (3 3, 7 3, 7 7, 3 7, 3 3))",
+        )
+        .unwrap();
+        assert_eq!(r.area(), 100.0 - 16.0);
+        assert_eq!(r.holes().len(), 1);
+        assert!(!r.contains_point(Point::new(5.0, 5.0)));
+        assert!(r.contains_point(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn parse_multipolygon() {
+        let rs = parse_regions(
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 7 5, 7 7, 5 7, 5 5)))",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].area(), 1.0);
+        assert_eq!(rs[1].area(), 4.0);
+    }
+
+    #[test]
+    fn scientific_notation_and_whitespace() {
+        let r = parse_polygon("POLYGON\n(\t( 0 0 , 1e1 0, 1E1 1.5e1, 0 15, 0 0 ) )").unwrap();
+        assert_eq!(r.area(), 150.0);
+    }
+
+    #[test]
+    fn unclosed_ring_is_accepted() {
+        // Some producers omit the closing point; we tolerate that.
+        let r = parse_polygon("POLYGON ((0 0, 2 0, 2 2, 0 2))").unwrap();
+        assert_eq!(r.area(), 4.0);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            parse_polygon("LINESTRING (0 0, 1 1)"),
+            Err(WktError::UnsupportedType(_))
+        ));
+        assert!(matches!(
+            parse_polygon("POLYGON (0 0, 1 1)"),
+            Err(WktError::Expected(_, _))
+        ));
+        assert!(matches!(
+            parse_polygon("POLYGON ((0 0, 1 x, 1 1, 0 0))"),
+            Err(WktError::BadNumber(_))
+        ));
+        assert!(matches!(
+            parse_polygon("POLYGON ((0 0, 1 0, 1 1, 0 0)) extra"),
+            Err(WktError::TrailingInput(_))
+        ));
+        // Degenerate ring (zero area).
+        assert!(matches!(
+            parse_polygon("POLYGON ((0 0, 1 1, 2 2, 0 0))"),
+            Err(WktError::BadRing(_))
+        ));
+    }
+
+    #[test]
+    fn roundtrip_preserves_geometry() {
+        let original = parse_polygon(
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))",
+        )
+        .unwrap();
+        let wkt = to_wkt(&original);
+        let reparsed = parse_polygon(&wkt).unwrap();
+        assert_eq!(original.area(), reparsed.area());
+        assert_eq!(original.num_vertices(), reparsed.num_vertices());
+        assert_eq!(original.holes().len(), reparsed.holes().len());
+    }
+
+
+    #[test]
+    fn relation_roundtrip_through_wkt_lines() {
+        use crate::object::Relation;
+        let rel = Relation::from_regions(vec![
+            parse_polygon("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))").unwrap(),
+            parse_polygon(
+                "POLYGON ((5 5, 9 5, 9 9, 5 9, 5 5), (6 6, 7 6, 7 7, 6 7, 6 6))",
+            )
+            .unwrap(),
+        ]);
+        let mut buf = Vec::new();
+        write_relation(&mut buf, &rel).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let reparsed = read_relation(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(reparsed.len(), 2);
+        assert_eq!(reparsed.object(1).region.holes().len(), 1);
+        assert!((reparsed.object(0).area() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn read_relation_skips_comments_and_blank_lines() {
+        let text = "# a comment\n\nPOLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))\n\n";
+        let rel = read_relation(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn read_relation_expands_multipolygons() {
+        let text = "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((3 3, 4 3, 4 4, 3 4, 3 3)))";
+        let rel = read_relation(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.object(1).id, 1);
+    }
+
+    #[test]
+    fn roundtrip_of_generated_blob() {
+        // Orientation normalization makes the roundtrip exact on vertices.
+        let poly = Polygon::new(vec![
+            Point::new(0.5, 0.25),
+            Point::new(3.75, -1.5),
+            Point::new(5.0, 2.125),
+            Point::new(2.5, 4.0),
+        ])
+        .unwrap();
+        let region: PolygonWithHoles = poly.into();
+        let reparsed = parse_polygon(&to_wkt(&region)).unwrap();
+        assert_eq!(region.outer().vertices(), reparsed.outer().vertices());
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests for the geometry kernel invariants.
+
+use msj_geom::{
+    clip_convex, convex_contains_point, convex_hull, convex_intersect,
+    convex_intersection_area, is_simple, min_area_rect, ring_area, Point, Polygon, Rect, Segment,
+};
+use proptest::prelude::*;
+
+/// Strategy: a finite point in a bounded box.
+fn point_strategy() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// Strategy: a set of 3..40 points.
+fn points_strategy() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(point_strategy(), 3..40)
+}
+
+/// Strategy: a star-shaped (hence simple) polygon built from radii sorted
+/// by angle around a center.
+fn star_polygon_strategy() -> impl Strategy<Value = Polygon> {
+    (
+        proptest::collection::vec((0.2f64..10.0, 0.0f64..1.0), 3..30),
+        point_strategy(),
+    )
+        .prop_filter_map("degenerate star", |(radii, center)| {
+            let n = radii.len();
+            let vertices: Vec<Point> = radii
+                .iter()
+                .enumerate()
+                .map(|(i, &(r, jitter))| {
+                    let angle = (i as f64 + 0.45 * jitter) / n as f64 * std::f64::consts::TAU;
+                    center + Point::new(angle.cos(), angle.sin()) * r
+                })
+                .collect();
+            Polygon::new(vertices).ok()
+        })
+}
+
+proptest! {
+    #[test]
+    fn hull_contains_every_input_point(pts in points_strategy()) {
+        let hull = convex_hull(&pts);
+        for &p in &pts {
+            prop_assert!(convex_contains_point(&hull, p));
+        }
+    }
+
+    #[test]
+    fn hull_is_convex(pts in points_strategy()) {
+        let hull = convex_hull(&pts);
+        if hull.len() >= 3 {
+            let n = hull.len();
+            for i in 0..n {
+                let a = hull[i];
+                let b = hull[(i + 1) % n];
+                let c = hull[(i + 2) % n];
+                prop_assert!(msj_geom::orient2d_raw(a, b, c) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn min_rect_covers_points_and_beats_aabb(pts in points_strategy()) {
+        if let Some(r) = min_area_rect(&pts) {
+            for &p in &pts {
+                prop_assert!(r.contains_point(p));
+            }
+            let aabb = Rect::bounding(pts.iter().copied()).unwrap();
+            prop_assert!(r.area() <= aabb.area() + 1e-6 * aabb.area().max(1.0));
+        }
+    }
+
+    #[test]
+    fn segment_intersection_is_symmetric(
+        a in point_strategy(), b in point_strategy(),
+        c in point_strategy(), d in point_strategy(),
+    ) {
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        prop_assert_eq!(s1.intersects(&s2), s2.intersects(&s1));
+    }
+
+    #[test]
+    fn clip_area_bounded_by_operands(pts1 in points_strategy(), pts2 in points_strategy()) {
+        let h1 = convex_hull(&pts1);
+        let h2 = convex_hull(&pts2);
+        if h1.len() >= 3 && h2.len() >= 3 {
+            let ia = convex_intersection_area(&h1, &h2);
+            prop_assert!(ia <= ring_area(&h1) + 1e-6);
+            prop_assert!(ia <= ring_area(&h2) + 1e-6);
+            prop_assert!(ia >= 0.0);
+        }
+    }
+
+    #[test]
+    fn positive_clip_area_implies_sat_intersection(
+        pts1 in points_strategy(), pts2 in points_strategy(),
+    ) {
+        let h1 = convex_hull(&pts1);
+        let h2 = convex_hull(&pts2);
+        if h1.len() >= 3 && h2.len() >= 3 {
+            let ia = convex_intersection_area(&h1, &h2);
+            if ia > 1e-9 {
+                prop_assert!(convex_intersect(&h1, &h2));
+            }
+        }
+    }
+
+    #[test]
+    fn sat_agrees_with_mbr_prefilter(pts1 in points_strategy(), pts2 in points_strategy()) {
+        let h1 = convex_hull(&pts1);
+        let h2 = convex_hull(&pts2);
+        if h1.len() >= 3 && h2.len() >= 3 && convex_intersect(&h1, &h2) {
+            // Convex intersection implies MBR intersection.
+            let m1 = Rect::bounding(h1.iter().copied()).unwrap();
+            let m2 = Rect::bounding(h2.iter().copied()).unwrap();
+            prop_assert!(m1.intersects(&m2));
+        }
+    }
+
+    #[test]
+    fn star_polygons_are_simple(poly in star_polygon_strategy()) {
+        prop_assert!(is_simple(&poly));
+    }
+
+    #[test]
+    fn polygon_area_invariant_under_rigid_motion(
+        poly in star_polygon_strategy(),
+        dx in -50.0f64..50.0, dy in -50.0f64..50.0,
+        angle in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let a0 = poly.area();
+        let moved = poly.translated(Point::new(dx, dy)).rotated_about(poly.centroid(), angle);
+        prop_assert!((moved.area() - a0).abs() <= 1e-6 * a0.max(1.0));
+    }
+
+    #[test]
+    fn polygon_centroid_inside_mbr(poly in star_polygon_strategy()) {
+        // The area centroid always lies in the MBR (not necessarily in a
+        // concave polygon itself).
+        prop_assert!(poly.mbr().contains_point(poly.centroid()));
+    }
+
+    #[test]
+    fn contains_point_respects_mbr(poly in star_polygon_strategy(), p in point_strategy()) {
+        if poly.contains_point(p) {
+            prop_assert!(poly.mbr().contains_point(p));
+        }
+    }
+
+    #[test]
+    fn clipping_by_own_hull_is_identity_area(pts in points_strategy()) {
+        let h = convex_hull(&pts);
+        if h.len() >= 3 {
+            let clipped = clip_convex(&h, &h);
+            prop_assert!((ring_area(&clipped) - ring_area(&h)).abs() <= 1e-6 * ring_area(&h).max(1.0));
+        }
+    }
+
+    #[test]
+    fn rect_intersection_consistent_with_area(
+        a in point_strategy(), b in point_strategy(),
+        c in point_strategy(), d in point_strategy(),
+    ) {
+        let r1 = Rect::new(a, b);
+        let r2 = Rect::new(c, d);
+        prop_assert_eq!(r1.intersects(&r2), r1.intersection(&r2).is_some());
+        if r1.intersection_area(&r2) > 0.0 {
+            prop_assert!(r1.intersects(&r2));
+        }
+        // Union contains both.
+        let u = r1.union(&r2);
+        prop_assert!(u.contains_rect(&r1));
+        prop_assert!(u.contains_rect(&r2));
+    }
+
+    #[test]
+    fn segment_rect_test_matches_sampled_points(
+        a in point_strategy(), b in point_strategy(),
+        c in point_strategy(), d in point_strategy(),
+    ) {
+        let seg = Segment::new(a, b);
+        let rect = Rect::new(c, d);
+        // If any sampled point of the segment is in the rect, the test must
+        // report an intersection.
+        for i in 0..=16 {
+            let p = a.lerp(b, i as f64 / 16.0);
+            if rect.contains_point(p) {
+                prop_assert!(seg.intersects_rect(&rect));
+                break;
+            }
+        }
+    }
+}

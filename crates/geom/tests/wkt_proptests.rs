@@ -1,0 +1,73 @@
+//! Property tests for the WKT parser/serializer: roundtrip fidelity on
+//! arbitrary generated polygons and no-panic robustness on junk input.
+
+use msj_geom::{parse_polygon, parse_regions, to_wkt, Point, Polygon, PolygonWithHoles};
+use proptest::prelude::*;
+
+/// Star-shaped polygon from radii (always valid and simple).
+fn star_polygon_strategy() -> impl Strategy<Value = Polygon> {
+    (
+        proptest::collection::vec(0.2f64..10.0, 3..24),
+        -1000.0f64..1000.0,
+        -1000.0f64..1000.0,
+    )
+        .prop_filter_map("degenerate", |(radii, cx, cy)| {
+            let n = radii.len();
+            Polygon::new(
+                radii
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &r)| {
+                        let t = i as f64 / n as f64 * std::f64::consts::TAU;
+                        Point::new(cx + r * t.cos(), cy + r * t.sin())
+                    })
+                    .collect(),
+            )
+            .ok()
+        })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_preserves_vertices_exactly(poly in star_polygon_strategy()) {
+        let region: PolygonWithHoles = poly.into();
+        let wkt = to_wkt(&region);
+        let back = parse_polygon(&wkt).expect("roundtrip parse");
+        // `{}` float formatting is lossless for f64, and orientation
+        // normalization is idempotent, so vertices match bit for bit.
+        prop_assert_eq!(region.outer().vertices(), back.outer().vertices());
+    }
+
+    #[test]
+    fn parser_never_panics_on_junk(s in "\\PC{0,120}") {
+        let _ = parse_polygon(&s);
+        let _ = parse_regions(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_wkt_like_junk(
+        body in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 0..8),
+        garbage in "[(), ]{0,16}",
+    ) {
+        let coords: Vec<String> = body.iter().map(|(x, y)| format!("{x} {y}")).collect();
+        let s = format!("POLYGON (({})){garbage}", coords.join(", "));
+        let _ = parse_polygon(&s);
+    }
+
+    #[test]
+    fn multipolygon_roundtrip_counts(polys in proptest::collection::vec(star_polygon_strategy(), 1..5)) {
+        let parts: Vec<String> = polys
+            .iter()
+            .map(|p| {
+                let w = to_wkt(&PolygonWithHoles::simple(p.clone()));
+                w.strip_prefix("POLYGON ").unwrap().to_string()
+            })
+            .collect();
+        let multi = format!("MULTIPOLYGON ({})", parts.join(", "));
+        let regions = parse_regions(&multi).expect("multipolygon parse");
+        prop_assert_eq!(regions.len(), polys.len());
+        for (r, p) in regions.iter().zip(&polys) {
+            prop_assert!((r.area() - p.area()).abs() <= 1e-9 * p.area().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Build-cost probe: times R*-tree construction at experiment scale
+//! (used when tuning the insertion heuristics).
+//!
+//! ```text
+//! cargo run -p msj-sam --release --example build_timing [-- COUNT]
+//! ```
+
+use msj_geom::Rect;
+use msj_sam::{PageLayout, RStarTree};
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let side = (n as f64).sqrt().ceil() as usize;
+    let items: Vec<(Rect, u32)> = (0..n)
+        .map(|i| {
+            let x = (i % side) as f64 * 10.0;
+            let y = (i / side) as f64 * 10.0;
+            (Rect::from_bounds(x, y, x + 12.0, y + 12.0), i as u32)
+        })
+        .collect();
+    let t0 = Instant::now();
+    let tree = RStarTree::bulk_insert(PageLayout::baseline(4096), items.iter().copied());
+    println!(
+        "built {} objects in {:?}: {} pages, height {}, avg leaf fill {:.2}",
+        tree.len(),
+        t0.elapsed(),
+        tree.num_pages(),
+        tree.height(),
+        tree.avg_leaf_fill()
+    );
+    tree.check_invariants().expect("invariants after bulk build");
+}

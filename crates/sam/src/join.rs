@@ -1,0 +1,315 @@
+//! The MBR-join (§2.4): a spatial join on the minimum bounding rectangles
+//! of two relations, computed by synchronized R*-tree traversal following
+//! [BKS 93a] with its two CPU optimizations — *restricting the search
+//! space* to the intersection of the node rectangles and *plane-sweep
+//! order* for matching entries within a node pair.
+
+use crate::buffer::{IoStats, LruBuffer};
+use crate::rstar::{Entry, RStarTree};
+use msj_geom::ObjectId;
+
+/// Statistics of one MBR-join execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinStats {
+    /// Candidate pairs produced (intersecting leaf MBR pairs).
+    pub candidates: u64,
+    /// Rectangle predicate tests on entry pairs (the paper keeps this
+    /// "very low" via restriction + sweeping).
+    pub mbr_tests: u64,
+    /// Entry-vs-window tests performed by the search-space restriction.
+    pub restriction_tests: u64,
+    /// Buffer statistics for the whole join.
+    pub io: IoStats,
+}
+
+/// Computes the MBR-join of two R*-trees.
+///
+/// `on_pair` receives every candidate pair `(id_a, id_b)` immediately —
+/// candidates are streamed to the next step, never materialized (§2.4
+/// "the sets of candidates are not stored as intermediate results").
+pub fn tree_join<F: FnMut(ObjectId, ObjectId)>(
+    a: &RStarTree,
+    b: &RStarTree,
+    buffer: &mut LruBuffer,
+    mut on_pair: F,
+) -> JoinStats {
+    let mut stats = JoinStats::default();
+    let start = buffer.stats();
+    if a.is_empty() || b.is_empty() || !a.root_rect().intersects(&b.root_rect()) {
+        return stats;
+    }
+    join_nodes(a, a.root_page(), b, b.root_page(), buffer, &mut stats, &mut on_pair);
+    let end = buffer.stats();
+    stats.io = IoStats {
+        logical: end.logical - start.logical,
+        physical: end.physical - start.physical,
+    };
+    stats
+}
+
+fn join_nodes<F: FnMut(ObjectId, ObjectId)>(
+    a: &RStarTree,
+    pa: u32,
+    b: &RStarTree,
+    pb: u32,
+    buffer: &mut LruBuffer,
+    stats: &mut JoinStats,
+    on_pair: &mut F,
+) {
+    let la = a.node_level(pa);
+    let lb = b.node_level(pb);
+
+    // Unequal levels (trees of different height): descend the deeper side
+    // against the whole other node.
+    if la > lb {
+        buffer.access(a.page_id(pa));
+        let rect_b = b.node_rect(pb);
+        for e in a.node_entries(pa) {
+            let Entry::Dir { rect, child } = e else { continue };
+            stats.mbr_tests += 1;
+            if rect.intersects(&rect_b) {
+                join_nodes(a, *child, b, pb, buffer, stats, on_pair);
+            }
+        }
+        return;
+    }
+    if lb > la {
+        buffer.access(b.page_id(pb));
+        let rect_a = a.node_rect(pa);
+        for e in b.node_entries(pb) {
+            let Entry::Dir { rect, child } = e else { continue };
+            stats.mbr_tests += 1;
+            if rect.intersects(&rect_a) {
+                join_nodes(a, pa, b, *child, buffer, stats, on_pair);
+            }
+        }
+        return;
+    }
+
+    // Equal levels: fetch both pages, restrict to the common window, and
+    // sweep-match the remaining entries.
+    buffer.access(a.page_id(pa));
+    buffer.access(b.page_id(pb));
+    let Some(window) = a.node_rect(pa).intersection(&b.node_rect(pb)) else {
+        return;
+    };
+
+    // Search-space restriction (one window test per entry).
+    let mut ea: Vec<&Entry> = Vec::new();
+    for e in a.node_entries(pa) {
+        stats.restriction_tests += 1;
+        if e.rect().intersects(&window) {
+            ea.push(e);
+        }
+    }
+    let mut eb: Vec<&Entry> = Vec::new();
+    for e in b.node_entries(pb) {
+        stats.restriction_tests += 1;
+        if e.rect().intersects(&window) {
+            eb.push(e);
+        }
+    }
+
+    // Plane-sweep order: sort by xmin, then match x-overlapping runs and
+    // test only the y-axis.
+    ea.sort_by(|p, q| p.rect().xmin().partial_cmp(&q.rect().xmin()).expect("finite"));
+    eb.sort_by(|p, q| p.rect().xmin().partial_cmp(&q.rect().xmin()).expect("finite"));
+
+    let mut i = 0;
+    let mut j = 0;
+    let mut matches: Vec<(Entry, Entry)> = Vec::new();
+    while i < ea.len() && j < eb.len() {
+        if ea[i].rect().xmin() <= eb[j].rect().xmin() {
+            sweep_run(ea[i], &eb, j, stats, &mut matches, false);
+            i += 1;
+        } else {
+            sweep_run(eb[j], &ea, i, stats, &mut matches, true);
+            j += 1;
+        }
+    }
+
+    if la == 0 {
+        for (x, y) in matches {
+            let (Entry::Leaf { id: ida, .. }, Entry::Leaf { id: idb, .. }) = (x, y) else {
+                continue;
+            };
+            stats.candidates += 1;
+            on_pair(ida, idb);
+        }
+    } else {
+        for (x, y) in matches {
+            let (Entry::Dir { child: ca, .. }, Entry::Dir { child: cb, .. }) = (x, y) else {
+                continue;
+            };
+            join_nodes(a, ca, b, cb, buffer, stats, on_pair);
+        }
+    }
+}
+
+/// Matches one entry against the x-overlapping run of the other sorted
+/// list starting at `from`. Only the y-overlap is tested (x-overlap is
+/// implied by the sweep); each test counts as an MBR test.
+fn sweep_run(
+    e: &Entry,
+    others: &[&Entry],
+    from: usize,
+    stats: &mut JoinStats,
+    matches: &mut Vec<(Entry, Entry)>,
+    swapped: bool,
+) {
+    let r = e.rect();
+    for other in others.iter().skip(from) {
+        let o = other.rect();
+        if o.xmin() > r.xmax() {
+            break;
+        }
+        stats.mbr_tests += 1;
+        if r.ymin() <= o.ymax() && o.ymin() <= r.ymax() {
+            if swapped {
+                matches.push((**other, *e));
+            } else {
+                matches.push((*e, **other));
+            }
+        }
+    }
+}
+
+/// Reference nested-loops MBR join (§2.3) for correctness checks and the
+/// Figure 18 baseline narrative: O(n·m) rectangle tests, no index.
+pub fn nested_loops_join<F: FnMut(ObjectId, ObjectId)>(
+    a: &[(msj_geom::Rect, ObjectId)],
+    b: &[(msj_geom::Rect, ObjectId)],
+    mut on_pair: F,
+) -> u64 {
+    let mut tests = 0;
+    for (ra, ida) in a {
+        for (rb, idb) in b {
+            tests += 1;
+            if ra.intersects(rb) {
+                on_pair(*ida, *idb);
+            }
+        }
+    }
+    tests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rstar::PageLayout;
+    use msj_geom::Rect;
+
+    fn grid_items(n_side: usize, offset: f64) -> Vec<(Rect, ObjectId)> {
+        let mut items = Vec::new();
+        let mut id = 0u32;
+        for i in 0..n_side {
+            for j in 0..n_side {
+                let x = i as f64 * 10.0 + offset;
+                let y = j as f64 * 10.0 + offset;
+                items.push((Rect::from_bounds(x, y, x + 8.0, y + 8.0), id));
+                id += 1;
+            }
+        }
+        items
+    }
+
+    fn build(items: &[(Rect, ObjectId)], page: usize) -> RStarTree {
+        RStarTree::bulk_insert(
+            PageLayout { page_size: page, leaf_entry_bytes: 48, dir_entry_bytes: 20 },
+            items.iter().copied(),
+        )
+    }
+
+    #[test]
+    fn join_matches_nested_loops_reference() {
+        let ia = grid_items(9, 0.0);
+        let ib = grid_items(9, 4.0);
+        let ta = build(&ia, 384);
+        let tb = build(&ib, 512); // different page sizes → different heights
+        let mut buffer = LruBuffer::new(4096);
+        let mut got = Vec::new();
+        tree_join(&ta, &tb, &mut buffer, |x, y| got.push((x, y)));
+        let mut expect = Vec::new();
+        nested_loops_join(&ia, &ib, |x, y| expect.push((x, y)));
+        got.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn join_stats_are_populated() {
+        let ia = grid_items(8, 0.0);
+        let ib = grid_items(8, 5.0);
+        let ta = build(&ia, 512);
+        let tb = build(&ib, 512);
+        let mut buffer = LruBuffer::new(4096);
+        let stats = tree_join(&ta, &tb, &mut buffer, |_, _| {});
+        assert!(stats.candidates > 0);
+        assert!(stats.mbr_tests > 0);
+        assert!(stats.restriction_tests > 0);
+        assert!(stats.io.logical > 0);
+        assert!(stats.io.physical > 0);
+        assert!(stats.io.physical <= stats.io.logical);
+    }
+
+    #[test]
+    fn join_of_disjoint_data_spaces_is_empty_and_cheap() {
+        let ia = grid_items(6, 0.0);
+        let ib: Vec<(Rect, ObjectId)> = grid_items(6, 0.0)
+            .into_iter()
+            .map(|(r, id)| (r.translated(msj_geom::Point::new(1000.0, 1000.0)), id))
+            .collect();
+        let ta = build(&ia, 512);
+        let tb = build(&ib, 512);
+        let mut buffer = LruBuffer::new(4096);
+        let stats = tree_join(&ta, &tb, &mut buffer, |_, _| panic!("no pairs expected"));
+        assert_eq!(stats.candidates, 0);
+        assert_eq!(stats.io.logical, 0, "root rect pretest avoids all I/O");
+    }
+
+    #[test]
+    fn self_join_contains_identity_pairs() {
+        let ia = grid_items(5, 0.0);
+        let ta = build(&ia, 512);
+        let tb = build(&ia, 512);
+        let mut buffer = LruBuffer::new(4096);
+        let mut pairs = Vec::new();
+        tree_join(&ta, &tb, &mut buffer, |x, y| pairs.push((x, y)));
+        for id in 0..25u32 {
+            assert!(pairs.contains(&(id, id)), "missing identity pair {id}");
+        }
+    }
+
+    #[test]
+    fn sweep_keeps_mbr_tests_well_below_quadratic() {
+        // Within each node pair, the sweep should test far fewer pairs
+        // than |A|·|B| of the nodes.
+        let ia = grid_items(12, 0.0);
+        let ib = grid_items(12, 4.0);
+        let ta = build(&ia, 1024);
+        let tb = build(&ib, 1024);
+        let mut buffer = LruBuffer::new(4096);
+        let stats = tree_join(&ta, &tb, &mut buffer, |_, _| {});
+        let quadratic = (ia.len() * ib.len()) as u64;
+        assert!(
+            stats.mbr_tests * 5 < quadratic,
+            "mbr tests {} vs quadratic {}",
+            stats.mbr_tests,
+            quadratic
+        );
+    }
+
+    #[test]
+    fn small_buffer_causes_more_physical_reads() {
+        let ia = grid_items(10, 0.0);
+        let ib = grid_items(10, 4.0);
+        let ta = build(&ia, 256);
+        let tb = build(&ib, 256);
+        let mut big = LruBuffer::new(4096);
+        let s_big = tree_join(&ta, &tb, &mut big, |_, _| {});
+        let mut small = LruBuffer::new(4);
+        let s_small = tree_join(&ta, &tb, &mut small, |_, _| {});
+        assert_eq!(s_big.candidates, s_small.candidates);
+        assert!(s_small.io.physical > s_big.io.physical);
+    }
+}

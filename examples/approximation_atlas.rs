@@ -1,0 +1,124 @@
+//! Approximation atlas: computes all seven conservative and both
+//! progressive approximations of one complex object (the paper's Figure
+//! 3/7 content) and renders them as an SVG for inspection.
+//!
+//! ```text
+//! cargo run --release --example approximation_atlas [-- output.svg]
+//! ```
+
+use msj::approx::{Conservative, ConservativeKind, Progressive, ProgressiveKind};
+use msj::geom::{Point, Rect};
+use std::fmt::Write as _;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "approximation_atlas.svg".into());
+    let europe = msj::datagen::europe_like(1);
+    let obj = europe
+        .iter()
+        .max_by_key(|o| o.num_vertices())
+        .expect("non-empty")
+        .clone();
+    println!(
+        "showcase object: id {}, {} vertices, area {:.1}, MBR false area {:.2}",
+        obj.id,
+        obj.num_vertices(),
+        obj.area(),
+        (obj.mbr().area() - obj.area()) / obj.area()
+    );
+
+    let kinds = [
+        ConservativeKind::Mbr,
+        ConservativeKind::Rmbr,
+        ConservativeKind::ConvexHull,
+        ConservativeKind::FourCorner,
+        ConservativeKind::FiveCorner,
+        ConservativeKind::Mbc,
+        ConservativeKind::Mbe,
+    ];
+
+    println!("\n{:<6} {:>10} {:>16}", "kind", "params", "false area");
+    let mut panels: Vec<(String, Vec<Point>)> = Vec::new();
+    for kind in kinds {
+        let a = Conservative::compute(kind, &obj);
+        println!(
+            "{:<6} {:>10} {:>15.1}%",
+            kind.name(),
+            a.param_count(),
+            100.0 * msj::approx::normalized_false_area(&obj, &a)
+        );
+        panels.push((kind.name().to_string(), a.to_ring(96)));
+    }
+    for kind in ProgressiveKind::ALL {
+        let p = Progressive::compute(kind, &obj);
+        println!(
+            "{:<6} {:>10} {:>14.1}% (of object area, enclosed)",
+            kind.name(),
+            p.param_count(),
+            100.0 * msj::approx::progressive_quality(&obj, &p)
+        );
+        let ring = match p {
+            Progressive::Mec(c) => c.polygonize(96),
+            Progressive::Mer(r) => r.corners().to_vec(),
+            Progressive::Empty => vec![],
+        };
+        panels.push((kind.name().to_string(), ring));
+    }
+
+    let svg = render_svg(obj.region.outer().vertices(), &panels, obj.mbr());
+    std::fs::write(&path, svg).expect("write svg");
+    println!("\nwrote {path} — one panel per approximation, object in grey.");
+}
+
+/// Renders a grid of panels: the object plus one approximation each.
+fn render_svg(object: &[Point], panels: &[(String, Vec<Point>)], mbr: Rect) -> String {
+    let cols = 3usize;
+    let rows = panels.len().div_ceil(cols);
+    let cell = 220.0;
+    let pad = 10.0;
+    let width = cols as f64 * cell;
+    let height = rows as f64 * cell;
+    let scale = (cell - 2.0 * pad) / mbr.width().max(mbr.height());
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    let to_panel = |p: Point, col: usize, row: usize| -> (f64, f64) {
+        let x = col as f64 * cell + pad + (p.x - mbr.xmin()) * scale;
+        let y = row as f64 * cell + pad + (mbr.ymax() - p.y) * scale;
+        (x, y)
+    };
+    let ring_path = |ring: &[Point], col: usize, row: usize| -> String {
+        let mut d = String::new();
+        for (i, &p) in ring.iter().enumerate() {
+            let (x, y) = to_panel(p, col, row);
+            let _ = write!(d, "{}{x:.1},{y:.1} ", if i == 0 { "M" } else { "L" });
+        }
+        d.push('Z');
+        d
+    };
+    for (i, (name, ring)) in panels.iter().enumerate() {
+        let (col, row) = (i % cols, i / cols);
+        let _ = writeln!(
+            svg,
+            r##"<path d="{}" fill="#d0d0d0" stroke="#707070" stroke-width="0.7"/>"##,
+            ring_path(object, col, row)
+        );
+        if !ring.is_empty() {
+            let _ = writeln!(
+                svg,
+                r##"<path d="{}" fill="none" stroke="#c02020" stroke-width="1.4"/>"##,
+                ring_path(ring, col, row)
+            );
+        }
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-family="monospace" font-size="13">{name}</text>"#,
+            col as f64 * cell + pad,
+            row as f64 * cell + cell - 4.0
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}

@@ -1,0 +1,74 @@
+//! WKT workflow: the path a real adopter takes — export maps as WKT,
+//! load them back (as you would load your own data), run the multi-step
+//! join on the loaded relations, and render the result as an SVG overlay.
+//!
+//! ```text
+//! cargo run --release --example wkt_workflow [-- outdir]
+//! ```
+
+use msj::core::{JoinConfig, MultiStepJoin};
+use msj::geom::{read_relation, write_relation, Style, SvgCanvas};
+use std::io::BufWriter;
+use std::path::PathBuf;
+
+fn main() {
+    let outdir = PathBuf::from(std::env::args().nth(1).unwrap_or_else(|| ".".into()));
+
+    // 1. Produce two map layers and persist them as WKT (the exchange
+    //    format a GIS would hand us).
+    let layer_a = msj::datagen::small_carto(150, 36.0, 2001);
+    let layer_b = msj::datagen::carto_with_holes(150, 36.0, 2002);
+    let path_a = outdir.join("layer_a.wkt");
+    let path_b = outdir.join("layer_b.wkt");
+    for (path, rel) in [(&path_a, &layer_a), (&path_b, &layer_b)] {
+        let mut w = BufWriter::new(std::fs::File::create(path).expect("create wkt"));
+        write_relation(&mut w, rel).expect("write wkt");
+    }
+    println!("wrote {} and {}", path_a.display(), path_b.display());
+
+    // 2. Load them back — this is the entry point for user data.
+    let loaded_a = read_relation(std::io::BufReader::new(
+        std::fs::File::open(&path_a).expect("open"),
+    ))
+    .expect("parse layer_a");
+    let loaded_b = read_relation(std::io::BufReader::new(
+        std::fs::File::open(&path_b).expect("open"),
+    ))
+    .expect("parse layer_b");
+    assert_eq!(loaded_a.len(), layer_a.len());
+    assert_eq!(loaded_b.len(), layer_b.len());
+
+    // 3. Join the loaded relations with the paper's configuration.
+    let result = MultiStepJoin::new(JoinConfig::default()).execute(&loaded_a, &loaded_b);
+    println!(
+        "join: {} pairs from {} candidates ({} decided by the filter)",
+        result.pairs.len(),
+        result.stats.mbr_join.candidates,
+        result.stats.identified()
+    );
+
+    // 4. Render the overlay: layer A in blue, layer B in orange, joined
+    //    pairs highlighted.
+    let world = loaded_a
+        .bounding_rect()
+        .unwrap()
+        .union(&loaded_b.bounding_rect().unwrap())
+        .inflated(10.0);
+    let mut canvas = SvgCanvas::new(world, 1400.0);
+    canvas.relation(
+        &loaded_a,
+        &Style { fill: "#d9e4f1".into(), stroke: "#4a6785".into(), stroke_width: 0.7 },
+    );
+    canvas.relation(
+        &loaded_b,
+        &Style { fill: "none".into(), stroke: "#c9741a".into(), stroke_width: 0.9 },
+    );
+    // Highlight the MBRs of the first joined pairs.
+    for &(a, b) in result.pairs.iter().take(40) {
+        let joint = loaded_a.object(a).mbr().union(&loaded_b.object(b).mbr());
+        canvas.rect(&joint, &Style::outline("#c02020", 0.6));
+    }
+    let svg_path = outdir.join("join_overlay.svg");
+    std::fs::write(&svg_path, canvas.finish()).expect("write svg");
+    println!("wrote {}", svg_path.display());
+}

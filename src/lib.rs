@@ -1,0 +1,56 @@
+//! # msj — Multi-Step Processing of Spatial Joins
+//!
+//! A from-scratch Rust reproduction of *"Multi-Step Processing of Spatial
+//! Joins"* (Thomas Brinkhoff, Hans-Peter Kriegel, Ralf Schneider, Bernhard
+//! Seeger; SIGMOD 1994): intersection joins over relations of complex
+//! polygonal objects executed as **MBR-join → geometric filter → exact
+//! geometry**.
+//!
+//! This crate is a façade re-exporting the workspace:
+//!
+//! * [`geom`] — geometry kernel (points, rectangles, polygons with holes,
+//!   predicates, hulls, clipping) and the spatial object model;
+//! * [`approx`] — conservative (MBR, RMBR, CH, 4-C/5-C, MBC, MBE) and
+//!   progressive (MEC, MER) approximations, the false-area test, quality
+//!   metrics;
+//! * [`sam`] — a paged R*-tree with byte-level layout, LRU buffer I/O
+//!   accounting and the synchronized-traversal MBR join;
+//! * [`exact`] — exact geometry processors (quadratic, plane sweep,
+//!   trapezoid decomposition + TR*-trees) with the Table 6 cost model;
+//! * [`datagen`] — seeded synthetic cartography calibrated against the
+//!   paper's dataset statistics;
+//! * [`core`] — the multi-step join pipeline, statistics and the §5 total
+//!   cost model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use msj::core::{JoinConfig, MultiStepJoin};
+//!
+//! // Two small synthetic map layers.
+//! let forests = msj::datagen::small_carto(32, 24.0, 7);
+//! let cities = msj::datagen::small_carto(32, 24.0, 8);
+//!
+//! // The paper's recommended configuration: 5-corner + MER stored in
+//! // addition to the MBR, TR*-trees (M = 3) for the exact step.
+//! let join = MultiStepJoin::new(JoinConfig::default());
+//! let result = join.execute(&forests, &cities);
+//!
+//! println!(
+//!     "{} intersecting pairs; {} of {} candidates decided by the filter",
+//!     result.pairs.len(),
+//!     result.stats.identified(),
+//!     result.stats.mbr_join.candidates,
+//! );
+//! # assert!(result.stats.mbr_join.candidates >= result.pairs.len() as u64);
+//! ```
+
+pub use msj_approx as approx;
+pub use msj_core as core;
+pub use msj_datagen as datagen;
+pub use msj_exact as exact;
+pub use msj_geom as geom;
+pub use msj_sam as sam;
+
+/// The crate version.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,92 @@
+//! End-to-end joins over relations where a fraction of objects carry
+//! holes ("lakes", §2.1) — every exact algorithm and the full pipeline
+//! must handle them identically.
+
+use msj::core::{ground_truth_join, JoinConfig, MultiStepJoin};
+use msj::exact::ExactAlgorithm;
+
+fn sorted(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn holed_relations_have_holes() {
+    let rel = msj::datagen::carto_with_holes(60, 24.0, 404);
+    let holed = rel.iter().filter(|o| !o.region.holes().is_empty()).count();
+    assert!(holed > 5, "dataset must actually contain holes, got {holed}");
+    for o in rel.iter() {
+        assert!(msj::geom::region_is_valid(&o.region), "object {} invalid", o.id);
+    }
+}
+
+#[test]
+fn pipeline_is_exact_on_holed_data() {
+    let a = msj::datagen::carto_with_holes(50, 24.0, 405);
+    let b = msj::datagen::carto_with_holes(50, 24.0, 406);
+    let expect = sorted(ground_truth_join(&a, &b));
+    assert!(!expect.is_empty());
+    for exact in [
+        ExactAlgorithm::Quadratic,
+        ExactAlgorithm::PlaneSweep { restrict: true },
+        ExactAlgorithm::TrStar { max_entries: 3 },
+    ] {
+        let config = JoinConfig { exact, ..JoinConfig::default() };
+        let got = sorted(MultiStepJoin::new(config).execute(&a, &b).pairs);
+        assert_eq!(got, expect, "{exact:?} differs on holed data");
+    }
+}
+
+#[test]
+fn progressive_approximations_respect_holes() {
+    use msj::approx::{Progressive, ProgressiveKind};
+    use msj::geom::Point;
+    let rel = msj::datagen::carto_with_holes(40, 30.0, 407);
+    for o in rel.iter().filter(|o| !o.region.holes().is_empty()) {
+        // MEC and MER of a holed region must avoid the hole interior.
+        for kind in ProgressiveKind::ALL {
+            match Progressive::compute(kind, o) {
+                Progressive::Mec(c) => {
+                    for i in 0..16 {
+                        let t = i as f64 / 16.0 * std::f64::consts::TAU;
+                        let p = c.center + Point::new(t.cos(), t.sin()) * (c.radius * 0.98);
+                        assert!(
+                            o.region.contains_point(p),
+                            "MEC escapes region {} (possibly into a hole)",
+                            o.id
+                        );
+                    }
+                }
+                Progressive::Mer(r) => {
+                    for i in 0..=3 {
+                        for j in 0..=3 {
+                            let p = Point::new(
+                                r.xmin() + r.width() * i as f64 / 3.0,
+                                r.ymin() + r.height() * j as f64 / 3.0,
+                            )
+                            .lerp(r.center(), 1e-7);
+                            assert!(o.region.contains_point(p), "MER escapes region {}", o.id);
+                        }
+                    }
+                }
+                Progressive::Empty => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn trapezoid_decomposition_area_matches_on_holed_data() {
+    let rel = msj::datagen::carto_with_holes(30, 24.0, 408);
+    for o in rel.iter() {
+        let traps = msj::exact::decompose(&o.region);
+        let total: f64 = traps.iter().map(|t| t.area()).sum();
+        assert!(
+            (total - o.area()).abs() < 1e-6 * o.area(),
+            "object {}: trapezoid area {} vs region area {}",
+            o.id,
+            total,
+            o.area()
+        );
+    }
+}
