@@ -90,10 +90,13 @@ impl Circle {
             let r = r1.min(r2);
             return std::f64::consts::PI * r * r;
         }
-        let alpha = ((d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1)).clamp(-1.0, 1.0).acos();
-        let beta = ((d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2)).clamp(-1.0, 1.0).acos();
-        r1 * r1 * (alpha - alpha.sin() * alpha.cos())
-            + r2 * r2 * (beta - beta.sin() * beta.cos())
+        let alpha = ((d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1))
+            .clamp(-1.0, 1.0)
+            .acos();
+        let beta = ((d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2))
+            .clamp(-1.0, 1.0)
+            .acos();
+        r1 * r1 * (alpha - alpha.sin() * alpha.cos()) + r2 * r2 * (beta - beta.sin() * beta.cos())
     }
 }
 
@@ -135,9 +138,17 @@ mod tests {
     #[test]
     fn circle_convex_intersection() {
         let c = Circle::new(Point::new(0.0, 0.0), 1.0);
-        let tri = vec![Point::new(0.5, 0.0), Point::new(3.0, 0.0), Point::new(0.5, 3.0)];
+        let tri = vec![
+            Point::new(0.5, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(0.5, 3.0),
+        ];
         assert!(c.intersects_convex(&tri)); // vertex inside disk
-        let far = vec![Point::new(5.0, 0.0), Point::new(6.0, 0.0), Point::new(5.0, 1.0)];
+        let far = vec![
+            Point::new(5.0, 0.0),
+            Point::new(6.0, 0.0),
+            Point::new(5.0, 1.0),
+        ];
         assert!(!c.intersects_convex(&far));
         // Disk center inside polygon.
         let big = vec![
@@ -166,7 +177,10 @@ mod tests {
     fn intersection_area_cases() {
         let a = Circle::new(Point::new(0.0, 0.0), 1.0);
         // Disjoint.
-        assert_eq!(a.intersection_area(&Circle::new(Point::new(3.0, 0.0), 1.0)), 0.0);
+        assert_eq!(
+            a.intersection_area(&Circle::new(Point::new(3.0, 0.0), 1.0)),
+            0.0
+        );
         // Contained.
         let small = Circle::new(Point::new(0.2, 0.0), 0.3);
         assert!((a.intersection_area(&small) - small.area()).abs() < 1e-12);

@@ -21,7 +21,12 @@ pub struct Ellipse {
 impl Ellipse {
     pub fn new(center: Point, a: f64, b: f64, angle: f64) -> Self {
         if a >= b {
-            Ellipse { center, a, b, angle }
+            Ellipse {
+                center,
+                a,
+                b,
+                angle,
+            }
         } else {
             Ellipse {
                 center,

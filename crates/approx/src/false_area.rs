@@ -81,10 +81,7 @@ mod tests {
         // Two identical squares: MBR = object, false area 0, intersection
         // area = full square > 0 → definite hit.
         let a = object(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]);
-        let ea = FalseAreaEntry::new(
-            Conservative::compute(ConservativeKind::Mbr, &a),
-            a.area(),
-        );
+        let ea = FalseAreaEntry::new(Conservative::compute(ConservativeKind::Mbr, &a), a.area());
         assert_eq!(ea.false_area, 0.0);
         assert!(false_area_test(&ea, &ea.clone()));
     }
@@ -128,7 +125,11 @@ mod tests {
         for kind in ConservativeKind::ALL {
             let ea = FalseAreaEntry::new(Conservative::compute(kind, &a), a.area());
             let eb = FalseAreaEntry::new(Conservative::compute(kind, &b), b.area());
-            assert!(!false_area_test(&ea, &eb), "{} falsely claims a hit", kind.name());
+            assert!(
+                !false_area_test(&ea, &eb),
+                "{} falsely claims a hit",
+                kind.name()
+            );
         }
     }
 

@@ -200,9 +200,7 @@ impl Conservative {
             (Convex(_, a), Convex(_, b)) => convex_intersect(a, b),
             (Mbr(a), Mbc(b)) | (Mbc(b), Mbr(a)) => b.intersects_rect(a),
             (Mbr(a), Mbe(b)) | (Mbe(b), Mbr(a)) => b.intersects_convex(&a.corners()),
-            (Mbr(a), Convex(_, b)) | (Convex(_, b), Mbr(a)) => {
-                convex_intersect(&a.corners(), b)
-            }
+            (Mbr(a), Convex(_, b)) | (Convex(_, b), Mbr(a)) => convex_intersect(&a.corners(), b),
             (Mbc(a), Mbe(b)) | (Mbe(b), Mbc(a)) => b.intersects_circle(a),
             (Mbc(a), Convex(_, b)) | (Convex(_, b), Mbc(a)) => a.intersects_convex(b),
             (Mbe(a), Convex(_, b)) | (Convex(_, b), Mbe(a)) => a.intersects_convex(b),
@@ -321,10 +319,22 @@ mod tests {
     #[test]
     fn param_counts_match_figure3() {
         let obj = blobby();
-        assert_eq!(Conservative::compute(ConservativeKind::Mbr, &obj).param_count(), 4);
-        assert_eq!(Conservative::compute(ConservativeKind::Mbc, &obj).param_count(), 3);
-        assert_eq!(Conservative::compute(ConservativeKind::Mbe, &obj).param_count(), 5);
-        assert_eq!(Conservative::compute(ConservativeKind::Rmbr, &obj).param_count(), 5);
+        assert_eq!(
+            Conservative::compute(ConservativeKind::Mbr, &obj).param_count(),
+            4
+        );
+        assert_eq!(
+            Conservative::compute(ConservativeKind::Mbc, &obj).param_count(),
+            3
+        );
+        assert_eq!(
+            Conservative::compute(ConservativeKind::Mbe, &obj).param_count(),
+            5
+        );
+        assert_eq!(
+            Conservative::compute(ConservativeKind::Rmbr, &obj).param_count(),
+            5
+        );
         assert_eq!(
             Conservative::compute(ConservativeKind::FourCorner, &obj).param_count(),
             8

@@ -58,8 +58,10 @@ fn circle_from_3(a: Point, b: Point, c: Point) -> Circle {
         let (p, q) = farthest_pair(a, b, c);
         return circle_from_2(p, q);
     }
-    let ux = (a.norm_sq() * (b.y - c.y) + b.norm_sq() * (c.y - a.y) + c.norm_sq() * (a.y - b.y)) / d;
-    let uy = (a.norm_sq() * (c.x - b.x) + b.norm_sq() * (a.x - c.x) + c.norm_sq() * (b.x - a.x)) / d;
+    let ux =
+        (a.norm_sq() * (b.y - c.y) + b.norm_sq() * (c.y - a.y) + c.norm_sq() * (a.y - b.y)) / d;
+    let uy =
+        (a.norm_sq() * (c.x - b.x) + b.norm_sq() * (a.x - c.x) + c.norm_sq() * (b.x - a.x)) / d;
     let center = Point::new(ux, uy);
     let r = center.dist(a).max(center.dist(b)).max(center.dist(c));
     Circle::new(center, r)
@@ -83,7 +85,8 @@ mod tests {
     use super::*;
 
     fn covers_all(c: &Circle, pts: &[Point]) -> bool {
-        pts.iter().all(|&p| c.center.dist(p) <= c.radius * (1.0 + 1e-9) + 1e-12)
+        pts.iter()
+            .all(|&p| c.center.dist(p) <= c.radius * (1.0 + 1e-9) + 1e-12)
     }
 
     #[test]
@@ -118,7 +121,11 @@ mod tests {
     fn obtuse_triangle_uses_diameter() {
         // For an obtuse triangle the MBC is the diametral circle of the
         // longest side.
-        let pts = [Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(2.0, 0.1)];
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(2.0, 0.1),
+        ];
         let c = min_bounding_circle(&pts).unwrap();
         assert!((c.radius - 2.0).abs() < 1e-6);
         assert!(covers_all(&c, &pts));
@@ -174,6 +181,9 @@ mod tests {
             .iter()
             .filter(|p| (c.center.dist(**p) - c.radius).abs() < 1e-6 * c.radius)
             .count();
-        assert!(on_boundary >= 2, "support points on boundary: {on_boundary}");
+        assert!(
+            on_boundary >= 2,
+            "support points on boundary: {on_boundary}"
+        );
     }
 }

@@ -114,7 +114,12 @@ fn ellipse_from_matrix(center: Point, a: [[f64; 2]; 2]) -> Option<Ellipse> {
         Point::new(0.0, 1.0)
     };
     let angle = v.y.atan2(v.x);
-    Some(Ellipse::new(center, 1.0 / l2.sqrt(), 1.0 / l1.sqrt(), angle))
+    Some(Ellipse::new(
+        center,
+        1.0 / l2.sqrt(),
+        1.0 / l1.sqrt(),
+        angle,
+    ))
 }
 
 /// Scales the ellipse minimally so it covers every hull point — absorbs
@@ -164,7 +169,11 @@ mod tests {
     fn degenerate_inputs() {
         assert!(min_bounding_ellipse(&[], TOL).is_none());
         assert!(min_bounding_ellipse(&[Point::new(1.0, 1.0)], TOL).is_none());
-        let collinear = [Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        let collinear = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        ];
         assert!(min_bounding_ellipse(&collinear, TOL).is_none());
     }
 
@@ -210,7 +219,12 @@ mod tests {
         let e = min_bounding_ellipse(&pts, TOL).unwrap();
         let c = crate::mbc::min_bounding_circle(&pts).unwrap();
         assert!(covers(&e, &pts));
-        assert!(e.area() < 0.5 * c.area(), "MBE {} vs MBC {}", e.area(), c.area());
+        assert!(
+            e.area() < 0.5 * c.area(),
+            "MBE {} vs MBC {}",
+            e.area(),
+            c.area()
+        );
     }
 
     #[test]

@@ -106,7 +106,11 @@ mod tests {
 
     #[test]
     fn degenerate_hull_is_none() {
-        let collinear = [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let collinear = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ];
         assert!(min_bounding_corner(&collinear, 5).is_none());
     }
 

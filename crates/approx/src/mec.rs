@@ -73,7 +73,11 @@ impl Ord for Cell {
 /// boundary distance (to within the precision).
 pub fn max_enclosed_circle(region: &PolygonWithHoles, precision_frac: f64) -> Circle {
     let mbr = region.mbr();
-    let precision_frac = if precision_frac <= 0.0 { 1e-3 } else { precision_frac };
+    let precision_frac = if precision_frac <= 0.0 {
+        1e-3
+    } else {
+        precision_frac
+    };
     let precision = precision_frac * mbr.width().max(mbr.height());
     let edges: Vec<Segment> = region.edges().collect();
 
@@ -101,7 +105,12 @@ pub fn max_enclosed_circle(region: &PolygonWithHoles, precision_frac: f64) -> Ci
 
     while let Some(cell) = heap.pop() {
         if cell.dist > best.dist {
-            best = Cell { center: cell.center, half: 0.0, dist: cell.dist, potential: cell.dist };
+            best = Cell {
+                center: cell.center,
+                half: 0.0,
+                dist: cell.dist,
+                potential: cell.dist,
+            };
         }
         // Prune cells that cannot beat the current best.
         if cell.potential - best.dist <= precision {

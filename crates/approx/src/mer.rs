@@ -102,8 +102,14 @@ pub fn max_enclosed_rect(region: &PolygonWithHoles, max_levels: usize) -> Option
     }
     ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     ys.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
-    let lows: Vec<f64> = quantile_cap(ys.iter().copied().filter(|&y| y <= y_a).collect(), max_levels);
-    let highs: Vec<f64> = quantile_cap(ys.iter().copied().filter(|&y| y >= y_a).collect(), max_levels);
+    let lows: Vec<f64> = quantile_cap(
+        ys.iter().copied().filter(|&y| y <= y_a).collect(),
+        max_levels,
+    );
+    let highs: Vec<f64> = quantile_cap(
+        ys.iter().copied().filter(|&y| y >= y_a).collect(),
+        max_levels,
+    );
 
     let mut best: Option<Rect> = None;
     let mut best_area = 0.0f64;
@@ -139,10 +145,23 @@ pub fn max_enclosed_rect(region: &PolygonWithHoles, max_levels: usize) -> Option
                 // Free interval is (x_cursor, gap_end).
                 if x_cursor.is_finite() && gap_end > x_cursor {
                     let x1 = x_cursor;
-                    let x2 = if gap_end.is_finite() { gap_end } else { x_cursor };
+                    let x2 = if gap_end.is_finite() {
+                        gap_end
+                    } else {
+                        x_cursor
+                    };
                     if x2 > x1 {
                         consider_rect(
-                            region, x1, x2, ylo, yhi, y_a, ax1, ax2, &mut best, &mut best_area,
+                            region,
+                            x1,
+                            x2,
+                            ylo,
+                            yhi,
+                            y_a,
+                            ax1,
+                            ax2,
+                            &mut best,
+                            &mut best_area,
                         );
                     }
                 }
@@ -163,9 +182,7 @@ fn quantile_cap(values: Vec<f64>, cap: usize) -> Vec<f64> {
         return values;
     }
     let n = values.len();
-    (0..cap)
-        .map(|i| values[i * (n - 1) / (cap - 1)])
-        .collect()
+    (0..cap).map(|i| values[i * (n - 1) / (cap - 1)]).collect()
 }
 
 /// For the horizontal band `(ylo, yhi)`, appends for every edge crossing
@@ -288,7 +305,12 @@ mod tests {
         ]);
         let r = max_enclosed_rect(&l, 0).unwrap();
         assert_enclosed(&l, &r);
-        assert!((r.area() - 12.0).abs() < 1e-6, "area {} rect {:?}", r.area(), r);
+        assert!(
+            (r.area() - 12.0).abs() < 1e-6,
+            "area {} rect {:?}",
+            r.area(),
+            r
+        );
     }
 
     #[test]

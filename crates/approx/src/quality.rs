@@ -174,6 +174,9 @@ mod tests {
         let mec = Progressive::compute(ProgressiveKind::Mec, &sq);
         // Inscribed circle of a square: π/4 ≈ 0.785.
         let q = progressive_quality(&sq, &mec);
-        assert!((q - std::f64::consts::FRAC_PI_4).abs() < 0.02, "quality {q}");
+        assert!(
+            (q - std::f64::consts::FRAC_PI_4).abs() < 0.02,
+            "quality {q}"
+        );
     }
 }

@@ -130,7 +130,14 @@ mod tests {
             SpatialObject::new(1, mk(&[(1.0, 1.0), (4.0, 1.5), (3.0, 4.0)])),
             SpatialObject::new(
                 2,
-                mk(&[(5.0, 5.0), (8.0, 5.0), (8.0, 6.0), (6.0, 6.0), (6.0, 8.0), (5.0, 8.0)]),
+                mk(&[
+                    (5.0, 5.0),
+                    (8.0, 5.0),
+                    (8.0, 6.0),
+                    (6.0, 6.0),
+                    (6.0, 8.0),
+                    (5.0, 8.0),
+                ]),
             ),
         ])
     }

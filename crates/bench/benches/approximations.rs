@@ -11,10 +11,19 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn blob_object(seed: u64, vertices: usize, cx: f64) -> SpatialObject {
-    let params = BlobParams { vertices, radius: 4.0, ..BlobParams::default() };
+    let params = BlobParams {
+        vertices,
+        radius: 4.0,
+        ..BlobParams::default()
+    };
     SpatialObject::new(
         0,
-        blob(&mut StdRng::seed_from_u64(seed), Point::new(cx, 0.0), &params).into(),
+        blob(
+            &mut StdRng::seed_from_u64(seed),
+            Point::new(cx, 0.0),
+            &params,
+        )
+        .into(),
     )
 }
 
@@ -22,14 +31,18 @@ fn bench_compute(c: &mut Criterion) {
     let mut group = c.benchmark_group("approximation_construction");
     let obj = blob_object(5, 128, 0.0);
     for kind in ConservativeKind::ALL {
-        group.bench_with_input(BenchmarkId::new("conservative", kind.name()), &obj, |b, o| {
-            b.iter(|| black_box(Conservative::compute(kind, o)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("conservative", kind.name()),
+            &obj,
+            |b, o| b.iter(|| black_box(Conservative::compute(kind, o))),
+        );
     }
     for kind in ProgressiveKind::ALL {
-        group.bench_with_input(BenchmarkId::new("progressive", kind.name()), &obj, |b, o| {
-            b.iter(|| black_box(Progressive::compute(kind, o)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("progressive", kind.name()),
+            &obj,
+            |b, o| b.iter(|| black_box(Progressive::compute(kind, o))),
+        );
     }
     group.finish();
 }

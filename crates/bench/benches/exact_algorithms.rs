@@ -4,17 +4,24 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use msj_datagen::{blob, BlobParams};
-use msj_exact::{
-    quadratic_intersects, sweep_intersects, trees_intersect, OpCounts, TrStarTree,
-};
+use msj_exact::{quadratic_intersects, sweep_intersects, trees_intersect, OpCounts, TrStarTree};
 use msj_geom::{Point, PolygonWithHoles};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
 fn blob_region(seed: u64, vertices: usize, cx: f64) -> PolygonWithHoles {
-    let params = BlobParams { vertices, radius: 4.0, ..BlobParams::default() };
-    blob(&mut StdRng::seed_from_u64(seed), Point::new(cx, 0.0), &params).into()
+    let params = BlobParams {
+        vertices,
+        radius: 4.0,
+        ..BlobParams::default()
+    };
+    blob(
+        &mut StdRng::seed_from_u64(seed),
+        Point::new(cx, 0.0),
+        &params,
+    )
+    .into()
 }
 
 fn bench_exact(c: &mut Criterion) {
@@ -23,7 +30,10 @@ fn bench_exact(c: &mut Criterion) {
         // A hit pair (overlapping) and a false-hit pair (disjoint with
         // overlapping MBRs — worst case for edge-based algorithms).
         let hit = (blob_region(1, vertices, 0.0), blob_region(2, vertices, 3.0));
-        let miss = (blob_region(3, vertices, 0.0), blob_region(4, vertices, 14.5));
+        let miss = (
+            blob_region(3, vertices, 0.0),
+            blob_region(4, vertices, 14.5),
+        );
 
         for (tag, pair) in [("hit", &hit), ("false-hit", &miss)] {
             group.bench_with_input(

@@ -50,7 +50,12 @@ fn bench_build(c: &mut Criterion) {
     for &n in &[1000usize, 5000] {
         let items = grid_items(n, 0.0);
         group.bench_with_input(BenchmarkId::new("insert", n), &items, |b, items| {
-            b.iter(|| black_box(RStarTree::bulk_insert(PageLayout::baseline(4096), items.iter().copied())))
+            b.iter(|| {
+                black_box(RStarTree::bulk_insert(
+                    PageLayout::baseline(4096),
+                    items.iter().copied(),
+                ))
+            })
         });
     }
     group.finish();

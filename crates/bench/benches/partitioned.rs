@@ -1,0 +1,51 @@
+//! Wall-clock comparison of the Step-1 candidate backends: serial
+//! R*-tree traversal vs the partitioned parallel sweep at several thread
+//! counts (companion to the `partitioned` repro experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msj_core::{join_source, Backend, JoinConfig};
+use std::hint::black_box;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step1_backends");
+    group.sample_size(10);
+    let a = msj_datagen::large_relation(4_000, 0, 31);
+    let b = msj_datagen::large_relation(4_000, 1, 31);
+
+    group.bench_with_input(
+        BenchmarkId::new("rstar_traversal", "4000x4000"),
+        &(),
+        |bench, ()| {
+            let config = JoinConfig::default();
+            bench.iter(|| {
+                let mut count = 0u64;
+                join_source(&config, &a, &b).join_candidates(&mut |_, _| count += 1);
+                black_box(count)
+            })
+        },
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let config = JoinConfig {
+            backend: Backend::PartitionedSweep {
+                tiles_per_axis: 16,
+                threads,
+            },
+            ..JoinConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("partitioned_sweep", format!("4000x4000/t{threads}")),
+            &config,
+            |bench, config| {
+                bench.iter(|| {
+                    let mut count = 0u64;
+                    join_source(config, &a, &b).join_candidates(&mut |_, _| count += 1);
+                    black_box(count)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -38,7 +38,9 @@ fn bench_queries(c: &mut Criterion) {
                 let x = world.xmin() + (world.width() - side) * ((i as f64 * 0.299).fract());
                 let y = world.ymin() + (world.height() - side) * ((i as f64 * 0.731).fract());
                 let mut counts = OpCounts::new();
-                black_box(proc.window_query(Rect::from_bounds(x, y, x + side, y + side), &mut counts))
+                black_box(
+                    proc.window_query(Rect::from_bounds(x, y, x + side, y + side), &mut counts),
+                )
             })
         });
     }

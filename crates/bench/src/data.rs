@@ -35,7 +35,13 @@ impl SeriesData {
             .iter()
             .map(|&(a, b)| trees_intersect(trees_a.get(a), trees_b.get(b), &mut counts))
             .collect();
-        SeriesData { series, candidates, truth, trees_a, trees_b }
+        SeriesData {
+            series,
+            candidates,
+            truth,
+            trees_a,
+            trees_b,
+        }
     }
 
     /// Number of MBR-join candidates.
@@ -74,13 +80,13 @@ mod tests {
         let series = msj_datagen::strategy_a("mini", &base, msj_datagen::world(), 0.5, 0.5);
         let data = SeriesData::build(series);
         assert!(data.num_candidates() > 0);
-        assert_eq!(data.num_hits() + data.num_false_hits(), data.num_candidates());
+        assert_eq!(
+            data.num_hits() + data.num_false_hits(),
+            data.num_candidates()
+        );
         // Identity pairs of strategy A are hits (each object overlaps its
         // shifted copy given the 0.5-extent shift... at least most do).
-        let identity_hits = data
-            .iter()
-            .filter(|&(a, b, t)| a == b && t)
-            .count();
+        let identity_hits = data.iter().filter(|&(a, b, t)| a == b && t).count();
         assert!(identity_hits > 0);
     }
 

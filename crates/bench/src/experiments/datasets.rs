@@ -30,7 +30,15 @@ pub fn fig2(cfg: &ExpConfig) -> String {
 /// Table 1: normalized false area of the MBR (∅ / min / max).
 pub fn table1(cfg: &ExpConfig) -> String {
     let mut out = section("table1", "MBR normalized false area (paper Table 1)");
-    let mut t = Table::new(["relation", "∅", "min", "max", "paper ∅", "paper min", "paper max"]);
+    let mut t = Table::new([
+        "relation",
+        "∅",
+        "min",
+        "max",
+        "paper ∅",
+        "paper min",
+        "paper max",
+    ]);
     for (name, rel, p_mean, p_min, p_max) in [
         ("Europe", cfg.europe(), 0.91, 0.25, 20.13),
         ("BW", cfg.bw(), 1.02, 0.38, 3.48),
@@ -97,7 +105,12 @@ pub fn fig3(cfg: &ExpConfig) -> String {
         t.row([
             kind.name().to_string(),
             p.param_count().to_string(),
-            if kind == ProgressiveKind::Mec { "3" } else { "4" }.to_string(),
+            if kind == ProgressiveKind::Mec {
+                "3"
+            } else {
+                "4"
+            }
+            .to_string(),
             f(p.area() / obj.area(), 3),
         ]);
     }

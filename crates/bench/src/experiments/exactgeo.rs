@@ -16,12 +16,32 @@ pub fn table6(_cfg: &ExpConfig) -> String {
     let w = Weights::default();
     let mut out = section("table6", "operation weights (paper Table 6)");
     let mut t = Table::new(["operation", "weight (10⁻⁶ s)", "paper"]);
-    t.row(["edge intersection test".to_string(), f(w.edge_intersection, 0), "15".into()]);
-    t.row(["edge-line intersection test".to_string(), f(w.edge_line, 0), "18".into()]);
+    t.row([
+        "edge intersection test".to_string(),
+        f(w.edge_intersection, 0),
+        "15".into(),
+    ]);
+    t.row([
+        "edge-line intersection test".to_string(),
+        f(w.edge_line, 0),
+        "18".into(),
+    ]);
     t.row(["position test".to_string(), f(w.position, 0), "36".into()]);
-    t.row(["edge-rectangle intersection test".to_string(), f(w.edge_rect, 0), "28".into()]);
-    t.row(["rectangle intersection test".to_string(), f(w.rect_rect, 0), "28".into()]);
-    t.row(["trapezoid intersection test".to_string(), f(w.trapezoid, 0), "38".into()]);
+    t.row([
+        "edge-rectangle intersection test".to_string(),
+        f(w.edge_rect, 0),
+        "28".into(),
+    ]);
+    t.row([
+        "rectangle intersection test".to_string(),
+        f(w.rect_rect, 0),
+        "28".into(),
+    ]);
+    t.row([
+        "trapezoid intersection test".to_string(),
+        f(w.trapezoid, 0),
+        "38".into(),
+    ]);
     out.push_str(&t.render());
     out
 }
@@ -56,10 +76,18 @@ impl AlgoCost {
         self.hit_ms + self.false_ms
     }
     fn per_hit(&self) -> f64 {
-        if self.hit_pairs == 0 { 0.0 } else { self.hit_ms / self.hit_pairs as f64 }
+        if self.hit_pairs == 0 {
+            0.0
+        } else {
+            self.hit_ms / self.hit_pairs as f64
+        }
     }
     fn per_false(&self) -> f64 {
-        if self.false_pairs == 0 { 0.0 } else { self.false_ms / self.false_pairs as f64 }
+        if self.false_pairs == 0 {
+            0.0
+        } else {
+            self.false_ms / self.false_pairs as f64
+        }
     }
 }
 
@@ -68,7 +96,12 @@ fn run_algo<F: FnMut(ObjectId, ObjectId, &mut OpCounts) -> bool>(
     weights: &Weights,
     mut test: F,
 ) -> AlgoCost {
-    let mut cost = AlgoCost { hit_pairs: 0, false_pairs: 0, hit_ms: 0.0, false_ms: 0.0 };
+    let mut cost = AlgoCost {
+        hit_pairs: 0,
+        false_pairs: 0,
+        hit_ms: 0.0,
+        false_ms: 0.0,
+    };
     for &(a, b, truth) in pairs {
         let mut counts = OpCounts::new();
         let result = test(a, b, &mut counts);
@@ -89,15 +122,32 @@ fn run_algo<F: FnMut(ObjectId, ObjectId, &mut OpCounts) -> bool>(
 /// Table 7: cost of the exact intersection algorithms on the candidates
 /// surviving the 5-C + MEC filter (Europe A and BW A).
 pub fn table7(cfg: &ExpConfig) -> String {
-    let mut out = section("table7", "cost of the exact intersection algorithms (paper Table 7)");
+    let mut out = section(
+        "table7",
+        "cost of the exact intersection algorithms (paper Table 7)",
+    );
     let weights = Weights::default();
     // (cost per hit ms, cost per false hit ms, total ms) per algorithm row.
     type PaperRows = [(f64, f64, f64); 3];
     let paper: &[(&str, PaperRows)] = &[
         // (cost per hit, cost per false hit, total) in ms, rows:
         // quadratic, plane-sweep, TR*-tree.
-        ("Europe A", [(119.6, 154.3, 164_193.0), (9.9, 10.9, 10_732.0), (0.7, 1.0, 795.0)]),
-        ("BW A", [(2814.7, 7487.8, 4_557_686.0), (49.2, 51.6, 62_024.0), (0.9, 1.3, 1_263.0)]),
+        (
+            "Europe A",
+            [
+                (119.6, 154.3, 164_193.0),
+                (9.9, 10.9, 10_732.0),
+                (0.7, 1.0, 795.0),
+            ],
+        ),
+        (
+            "BW A",
+            [
+                (2814.7, 7487.8, 4_557_686.0),
+                (49.2, 51.6, 62_024.0),
+                (0.9, 1.3, 1_263.0),
+            ],
+        ),
     ];
     for series_name in ["Europe A", "BW A"] {
         let data = SeriesData::build(cfg.series(series_name));
@@ -113,10 +163,19 @@ pub fn table7(cfg: &ExpConfig) -> String {
         let trstar_b = TrStarStore::build(&data.series.b, 3);
 
         let quad = run_algo(&pairs, &weights, |a, b, c| {
-            quadratic_intersects(&data.series.a.object(a).region, &data.series.b.object(b).region, c)
+            quadratic_intersects(
+                &data.series.a.object(a).region,
+                &data.series.b.object(b).region,
+                c,
+            )
         });
         let sweep = run_algo(&pairs, &weights, |a, b, c| {
-            sweep_intersects(&data.series.a.object(a).region, &data.series.b.object(b).region, true, c)
+            sweep_intersects(
+                &data.series.a.object(a).region,
+                &data.series.b.object(b).region,
+                true,
+                c,
+            )
         });
         let tr = run_algo(&pairs, &weights, |a, b, c| {
             trees_intersect(trstar.get(a), trstar_b.get(b), c)
@@ -129,7 +188,10 @@ pub fn table7(cfg: &ExpConfig) -> String {
             "total (ms)",
             "paper hit/false/total",
         ]);
-        let p = paper.iter().find(|(n, _)| *n == series_name).map(|(_, v)| v);
+        let p = paper
+            .iter()
+            .find(|(n, _)| *n == series_name)
+            .map(|(_, v)| v);
         for (i, (name, cost)) in [
             ("quadratic", &quad),
             ("plane-sweep", &sweep),
@@ -170,7 +232,10 @@ pub fn table7(cfg: &ExpConfig) -> String {
 /// Figure 16: per-pair cost against the total edge count (BW A),
 /// plane-sweep vs TR*-tree, bucketed.
 pub fn fig16(cfg: &ExpConfig) -> String {
-    let mut out = section("fig16", "per-pair cost vs edge count, BW A (paper Figure 16)");
+    let mut out = section(
+        "fig16",
+        "per-pair cost vs edge count, BW A (paper Figure 16)",
+    );
     let weights = Weights::default();
     let data = SeriesData::build(cfg.series("BW A"));
     let pairs = surviving_candidates(&data);
@@ -192,7 +257,12 @@ pub fn fig16(cfg: &ExpConfig) -> String {
     samples.sort_by_key(|s| s.0);
 
     let buckets = 8usize.min(samples.len().max(1));
-    let mut t = Table::new(["edges (n1+n2)", "pairs", "plane-sweep avg (ms)", "TR* avg (ms)"]);
+    let mut t = Table::new([
+        "edges (n1+n2)",
+        "pairs",
+        "plane-sweep avg (ms)",
+        "TR* avg (ms)",
+    ]);
     for chunk in samples.chunks(samples.len().max(1).div_ceil(buckets)) {
         if chunk.is_empty() {
             continue;
@@ -236,7 +306,10 @@ pub fn fig16(cfg: &ExpConfig) -> String {
 /// Figure 17: TR*-tree rectangle / trapezoid intersection-test counts for
 /// maximum node capacities M = 3, 4, 5.
 pub fn fig17(cfg: &ExpConfig) -> String {
-    let mut out = section("fig17", "TR*-tree performance per node capacity (paper Figure 17)");
+    let mut out = section(
+        "fig17",
+        "TR*-tree performance per node capacity (paper Figure 17)",
+    );
     let data = SeriesData::build(cfg.series("BW A"));
     let pairs = surviving_candidates(&data);
     let mut t = Table::new(["M", "rect tests", "trapezoid tests", "weighted cost (ms)"]);
@@ -283,12 +356,28 @@ pub fn ablation_restrict(cfg: &ExpConfig) -> String {
     let data = SeriesData::build(cfg.series("BW A"));
     let pairs = surviving_candidates(&data);
     let restricted = run_algo(&pairs, &weights, |a, b, c| {
-        sweep_intersects(&data.series.a.object(a).region, &data.series.b.object(b).region, true, c)
+        sweep_intersects(
+            &data.series.a.object(a).region,
+            &data.series.b.object(b).region,
+            true,
+            c,
+        )
     });
     let unrestricted = run_algo(&pairs, &weights, |a, b, c| {
-        sweep_intersects(&data.series.a.object(a).region, &data.series.b.object(b).region, false, c)
+        sweep_intersects(
+            &data.series.a.object(a).region,
+            &data.series.b.object(b).region,
+            false,
+            c,
+        )
     });
-    let mut t = Table::new(["variant", "total (ms)", "cost/hit", "cost/false hit", "false/hit ratio"]);
+    let mut t = Table::new([
+        "variant",
+        "total (ms)",
+        "cost/hit",
+        "cost/false hit",
+        "false/hit ratio",
+    ]);
     for (name, c) in [("restricted", &restricted), ("unrestricted", &unrestricted)] {
         t.row([
             name.to_string(),
@@ -320,7 +409,13 @@ pub fn ablation_mpretest(cfg: &ExpConfig) -> String {
     // Strategy B rescales objects, so MBR containment (and therefore
     // performed probes) actually occurs there; in strategy A all objects
     // are equal-sized and the pretest omits almost everything.
-    let mut t = Table::new(["series", "probes reached", "performed", "omitted", "omitted %"]);
+    let mut t = Table::new([
+        "series",
+        "probes reached",
+        "performed",
+        "omitted",
+        "omitted %",
+    ]);
     for name in ["Europe A", "Europe B"] {
         let data = SeriesData::build(cfg.series(name));
         let mut counts = OpCounts::new();

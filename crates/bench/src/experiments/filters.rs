@@ -101,7 +101,10 @@ fn avg_mbr_based_false_area(rel: &Relation, kind: ConservativeKind) -> f64 {
 
 /// Table 2: the four test series with candidate / hit / false-hit counts.
 pub fn table2(cfg: &ExpConfig) -> String {
-    let mut out = section("table2", "test series for approximation joins (paper Table 2)");
+    let mut out = section(
+        "table2",
+        "test series for approximation joins (paper Table 2)",
+    );
     let paper = [
         ("Europe A", 1858u64, 1273u64, 585u64),
         ("Europe B", 4816, 3203, 1613),
@@ -136,7 +139,10 @@ pub fn table2(cfg: &ExpConfig) -> String {
 
 /// Figure 4: MBR-based false area normalized to the object area.
 pub fn fig4(cfg: &ExpConfig) -> String {
-    let mut out = section("fig4", "MBR-based false area per approximation (paper Figure 4)");
+    let mut out = section(
+        "fig4",
+        "MBR-based false area per approximation (paper Figure 4)",
+    );
     let europe = cfg.europe();
     let bw = cfg.bw();
     // Paper bar heights (read from Figure 4, approximate).
@@ -176,7 +182,10 @@ pub fn fig4(cfg: &ExpConfig) -> String {
 /// Table 3: percentage of identified false hits per conservative
 /// approximation.
 pub fn table3(cfg: &ExpConfig) -> String {
-    let mut out = section("table3", "false hits identified by approximations (paper Table 3)");
+    let mut out = section(
+        "table3",
+        "false hits identified by approximations (paper Table 3)",
+    );
     let paper: &[(&str, [f64; 6])] = &[
         ("Europe A", [17.9, 42.1, 35.7, 50.9, 66.3, 80.7]),
         ("Europe B", [19.2, 44.0, 45.2, 58.6, 69.1, 82.8]),
@@ -212,10 +221,18 @@ pub fn fig5(cfg: &ExpConfig) -> String {
     );
     let data = SeriesData::build(cfg.series("Europe B"));
     let rel = &data.series.a;
-    let mut t = Table::new(["approximation", "MBR-based false area", "identified false hits"]);
+    let mut t = Table::new([
+        "approximation",
+        "MBR-based false area",
+        "identified false hits",
+    ]);
     // The MBR identifies nothing beyond itself; the exact object would
     // identify 100 % at false area 0 — both anchors of the figure.
-    t.row(["MBR".to_string(), f(avg_mbr_based_false_area(rel, ConservativeKind::Mbr), 3), pct(0.0)]);
+    t.row([
+        "MBR".to_string(),
+        f(avg_mbr_based_false_area(rel, ConservativeKind::Mbr), 3),
+        pct(0.0),
+    ]);
     for kind in TABLE3_KINDS {
         t.row([
             kind.name().to_string(),
@@ -234,7 +251,10 @@ pub fn fig5(cfg: &ExpConfig) -> String {
 
 /// Table 4: percentage of hits identified by the false-area test.
 pub fn table4(cfg: &ExpConfig) -> String {
-    let mut out = section("table4", "hits identified by the false-area test (paper Table 4)");
+    let mut out = section(
+        "table4",
+        "hits identified by the false-area test (paper Table 4)",
+    );
     let kinds = [
         ConservativeKind::Mbr,
         ConservativeKind::Rmbr,
@@ -296,7 +316,10 @@ pub fn fig8(cfg: &ExpConfig) -> String {
 
 /// Table 5: percentage of hits identified by MEC / MER.
 pub fn table5(cfg: &ExpConfig) -> String {
-    let mut out = section("table5", "hits identified by progressive approximations (paper Table 5)");
+    let mut out = section(
+        "table5",
+        "hits identified by progressive approximations (paper Table 5)",
+    );
     let paper: &[(&str, f64, f64)] = &[
         ("Europe A", 31.4, 36.2),
         ("Europe B", 31.8, 35.3),
@@ -344,7 +367,11 @@ pub fn fig9(cfg: &ExpConfig) -> String {
                 n += 1.0;
             }
         }
-        t.row([kind.name().to_string(), pct(sum / n), format!("{:.0}%", 100.0 * paper)]);
+        t.row([
+            kind.name().to_string(),
+            pct(sum / n),
+            format!("{:.0}%", 100.0 * paper),
+        ]);
     }
     out.push_str(&t.render());
     out.push_str(
@@ -357,7 +384,10 @@ pub fn fig9(cfg: &ExpConfig) -> String {
 /// Figure 12: the split of BW A candidates into identified hits (MER),
 /// identified false hits (5-C), and the unidentified remainder.
 pub fn fig12(cfg: &ExpConfig) -> String {
-    let mut out = section("fig12", "identified and non-identified candidates, BW A (paper Figure 12)");
+    let mut out = section(
+        "fig12",
+        "identified and non-identified candidates, BW A (paper Figure 12)",
+    );
     let data = SeriesData::build(cfg.series("BW A"));
     let cons_a = ConservativeStore::build(ConservativeKind::FiveCorner, &data.series.a);
     let cons_b = ConservativeStore::build(ConservativeKind::FiveCorner, &data.series.b);

@@ -8,6 +8,7 @@
 pub mod datasets;
 pub mod exactgeo;
 pub mod filters;
+pub mod partitioned;
 pub mod storage;
 pub mod total;
 
@@ -37,7 +38,10 @@ pub struct ExpConfig {
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { seed: 1, scale: Scale::Default }
+        ExpConfig {
+            seed: 1,
+            scale: Scale::Default,
+        }
     }
 }
 
@@ -228,6 +232,11 @@ pub fn registry() -> Vec<Experiment> {
             description: "LRU buffer size sweep for the MBR-join",
             run: total::ablation_buffer,
         },
+        Experiment {
+            id: "partitioned",
+            description: "step-1 backends: R*-tree traversal vs partitioned sweep",
+            run: partitioned::partitioned,
+        },
     ]
 }
 
@@ -248,7 +257,10 @@ mod tests {
 
     #[test]
     fn quick_scale_shrinks_datasets() {
-        let quick = ExpConfig { seed: 1, scale: Scale::Quick };
+        let quick = ExpConfig {
+            seed: 1,
+            scale: Scale::Quick,
+        };
         assert!(quick.europe().len() < 400);
         assert!(quick.large_count() < 5_000);
         let default = ExpConfig::default();
@@ -257,7 +269,10 @@ mod tests {
 
     #[test]
     fn series_lookup() {
-        let quick = ExpConfig { seed: 1, scale: Scale::Quick };
+        let quick = ExpConfig {
+            seed: 1,
+            scale: Scale::Quick,
+        };
         let s = quick.series("BW A");
         assert_eq!(s.name, "BW A");
         assert_eq!(s.a.len(), s.b.len());

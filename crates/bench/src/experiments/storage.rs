@@ -43,7 +43,9 @@ fn build_tree(
                 leaf_entry_bytes: approx_bytes + 32,
                 dir_entry_bytes: 20,
             },
-            rel.iter().map(|o| (store.approx(o.id).aabb(), o.id)).collect(),
+            rel.iter()
+                .map(|o| (store.approx(o.id).aabb(), o.id))
+                .collect(),
         ),
         Approach::InAdditionToMbr => (
             PageLayout {
@@ -101,7 +103,12 @@ fn run_workloads(
 
     buffer.reset();
     let join_stats = tree_join(tree_a, tree_b, &mut buffer, |_, _| {});
-    WorkloadAccesses { point, window1, window5, join: join_stats.io.physical }
+    WorkloadAccesses {
+        point,
+        window1,
+        window5,
+        join: join_stats.io.physical,
+    }
 }
 
 /// Figure 10: page accesses of approach 2 relative to approach 1.
@@ -162,7 +169,10 @@ pub fn fig10(cfg: &ExpConfig) -> String {
 /// Figure 11: loss (extra MBR-join I/O) / gain (filtered pairs) / total
 /// when storing a conservative approximation + the MER.
 pub fn fig11(cfg: &ExpConfig) -> String {
-    let mut out = section("fig11", "performance change through approximations (paper Figure 11)");
+    let mut out = section(
+        "fig11",
+        "performance change through approximations (paper Figure 11)",
+    );
     let count = cfg.large_count();
     let rel_a = msj_datagen::large_relation(count, 0, cfg.seed);
     let rel_b = msj_datagen::large_relation(count, 1, cfg.seed);

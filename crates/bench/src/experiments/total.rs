@@ -11,7 +11,10 @@ use msj_sam::{tree_join, LruBuffer, PageLayout, RStarTree};
 /// MBR-join / object access / exact test, using the §5 cost model on the
 /// measured statistics.
 pub fn fig18(cfg: &ExpConfig) -> String {
-    let mut out = section("fig18", "total join performance, versions 1/2/3 (paper Figure 18)");
+    let mut out = section(
+        "fig18",
+        "total join performance, versions 1/2/3 (paper Figure 18)",
+    );
     let count = cfg.large_count();
     let rel_a = msj_datagen::large_relation(count, 0, cfg.seed);
     let rel_b = msj_datagen::large_relation(count, 1, cfg.seed);
@@ -21,9 +24,21 @@ pub fn fig18(cfg: &ExpConfig) -> String {
     let params = CostModelParams::default();
 
     let versions: [(&str, JoinConfig, ExactCostKind); 3] = [
-        ("version 1 (no approx, sweep)", JoinConfig::version1(), ExactCostKind::PlaneSweep),
-        ("version 2 (5-C+MER, sweep)", JoinConfig::version2(), ExactCostKind::PlaneSweep),
-        ("version 3 (5-C+MER, TR*)", JoinConfig::version3(), ExactCostKind::TrStar),
+        (
+            "version 1 (no approx, sweep)",
+            JoinConfig::version1(),
+            ExactCostKind::PlaneSweep,
+        ),
+        (
+            "version 2 (5-C+MER, sweep)",
+            JoinConfig::version2(),
+            ExactCostKind::PlaneSweep,
+        ),
+        (
+            "version 3 (5-C+MER, TR*)",
+            JoinConfig::version3(),
+            ExactCostKind::TrStar,
+        ),
     ];
 
     let mut t = Table::new([
@@ -124,7 +139,10 @@ pub fn ablation_order(cfg: &ExpConfig) -> String {
         identified_pf.to_string(),
     ]);
     out.push_str(&t.render());
-    assert_eq!(identified_cf, identified_pf, "order cannot change the identified set");
+    assert_eq!(
+        identified_cf, identified_pf,
+        "order cannot change the identified set"
+    );
     out.push_str(
         "\nboth orders identify the same pairs; conservative-first runs fewer\n\
          progressive tests (hits dominate candidates, and the conservative\n\
@@ -145,7 +163,12 @@ pub fn ablation_buffer(cfg: &ExpConfig) -> String {
     let tb = RStarTree::bulk_insert(layout, rel_b.iter().map(|o| (o.mbr(), o.id)));
     let total_pages = (ta.num_pages() + tb.num_pages()) as f64;
 
-    let mut t = Table::new(["buffer pages", "physical reads", "logical reads", "hit ratio"]);
+    let mut t = Table::new([
+        "buffer pages",
+        "physical reads",
+        "logical reads",
+        "hit ratio",
+    ]);
     for pages in [4usize, 8, 16, 32, 64, 128] {
         let mut buffer = LruBuffer::new(pages);
         let stats = tree_join(&ta, &tb, &mut buffer, |_, _| {});

@@ -81,7 +81,10 @@ pub fn pct(v: f64) -> String {
 /// A section header for an experiment report.
 pub fn section(id: &str, title: &str) -> String {
     let line = format!("== {id}: {title} ");
-    format!("\n{line}{}\n", "=".repeat(72usize.saturating_sub(line.len())))
+    format!(
+        "\n{line}{}\n",
+        "=".repeat(72usize.saturating_sub(line.len()))
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,420 @@
+//! Pluggable Step-1 candidate backends.
+//!
+//! Step 1 of the multi-step pipeline only has to deliver every pair of
+//! objects whose MBRs intersect (for joins) or every object whose MBR
+//! meets the query point/window (for selections); *how* the candidates
+//! are found is an implementation choice. [`CandidateSource`] abstracts
+//! that choice so the pipeline, the parallel executor and the query
+//! processor are backend-agnostic:
+//!
+//! * [`Backend::RStarTraversal`] — the paper's synchronized R*-tree
+//!   traversal ([BKS 93a]) with simulated paged I/O, the default;
+//! * [`Backend::PartitionedSweep`] — the uniform-grid partitioned join of
+//!   `msj-partition` (Tsitsigkos & Mamoulis 2019): per-tile plane sweeps
+//!   with reference-point deduplication, executed over scoped threads.
+//!
+//! Both deliver the identical candidate *set*; downstream filter and
+//! exact steps are provably unaffected (the property tests in
+//! `tests/backend_agreement.rs` assert it).
+
+use crate::config::{Backend, JoinConfig};
+use msj_geom::{ObjectId, Point, Rect, Relation};
+use msj_partition::{partition_join, GridIndex, PartitionStats};
+use msj_sam::{tree_join, JoinStats, LruBuffer, PageLayout, RStarTree};
+
+/// Step-1 statistics, backend detail included.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Step1Stats {
+    /// The common MBR-join counters (candidates, comparison tests, I/O).
+    /// For the partitioned backend, `mbr_tests` counts sweep y-overlap
+    /// tests and the I/O counters stay zero (the grid is not paged).
+    pub join: JoinStats,
+    /// Partition detail when the partitioned backend ran.
+    pub partition: Option<PartitionSummary>,
+}
+
+/// Copyable summary of a [`PartitionStats`] (the full per-tile candidate
+/// vector lives on `msj_partition::PartitionStats`; this is the digest
+/// that travels inside [`crate::MultiStepStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PartitionSummary {
+    /// Tiles per grid side.
+    pub tiles_per_axis: u64,
+    /// Tiles that emitted at least one candidate.
+    pub nonempty_tiles: u64,
+    /// Candidates of the busiest tile (skew indicator).
+    pub busiest_tile_candidates: u64,
+    /// Extra `(rectangle, tile)` assignments created by replication.
+    pub replicated_assignments: u64,
+    /// Sweep matches suppressed by reference-point deduplication.
+    pub dedup_skipped: u64,
+    /// Worker threads the tile sweeps ran on.
+    pub threads: u64,
+    /// Mean tile assignments per input rectangle (1.0 = no replication).
+    pub replication_factor: f64,
+}
+
+impl From<&PartitionStats> for PartitionSummary {
+    fn from(stats: &PartitionStats) -> Self {
+        PartitionSummary {
+            tiles_per_axis: stats.tiles_per_axis as u64,
+            nonempty_tiles: stats.nonempty_tiles() as u64,
+            busiest_tile_candidates: stats.busiest_tile().map_or(0, |(_, c)| c),
+            replicated_assignments: stats.replicated_a() + stats.replicated_b(),
+            dedup_skipped: stats.dedup_skipped,
+            threads: stats.threads as u64,
+            replication_factor: stats.replication_factor(),
+        }
+    }
+}
+
+/// Step-1 statistics of one selection (point or window) probe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectionStats {
+    /// Candidate ids delivered (MBR hits).
+    pub candidates: u64,
+    /// Physical page reads of the probe (0 for the in-memory grid).
+    pub physical_reads: u64,
+}
+
+/// A prepared Step-1 backend over one or two relations.
+///
+/// Join sources are built by [`join_source`] from two relations; query
+/// processors build a [`selection_source`] over the queried relation.
+/// Candidates stream to the sink on the calling thread — backends may
+/// parallelize internally but must not call the sink concurrently.
+pub trait CandidateSource {
+    /// The backend's display name (used by reports and benches).
+    fn name(&self) -> &'static str;
+
+    /// Streams every candidate pair `(id_a, id_b)` with intersecting
+    /// MBRs, each exactly once.
+    fn join_candidates(&mut self, sink: &mut dyn FnMut(ObjectId, ObjectId)) -> Step1Stats;
+
+    /// Appends every id of the primary relation whose MBR contains `p`.
+    fn point_candidates(&mut self, p: Point, out: &mut Vec<ObjectId>) -> SelectionStats;
+
+    /// Appends every id of the primary relation whose MBR intersects
+    /// `window`.
+    fn window_candidates(&mut self, window: Rect, out: &mut Vec<ObjectId>) -> SelectionStats;
+}
+
+/// Builds the configured backend over a relation pair (Step 1 of a join).
+pub fn join_source<'a>(
+    config: &JoinConfig,
+    rel_a: &'a Relation,
+    rel_b: &'a Relation,
+) -> Box<dyn CandidateSource + 'a> {
+    match config.backend {
+        Backend::RStarTraversal => Box::new(RStarSource::for_join(config, rel_a, rel_b)),
+        Backend::PartitionedSweep {
+            tiles_per_axis,
+            threads,
+        } => Box::new(GridSource::new(rel_a, Some(rel_b), tiles_per_axis, threads)),
+    }
+}
+
+/// Builds the configured backend over one relation (Step 1 of selection
+/// queries; a join over this source is a self-join).
+pub fn selection_source<'a>(
+    config: &JoinConfig,
+    relation: &'a Relation,
+) -> Box<dyn CandidateSource + 'a> {
+    match config.backend {
+        Backend::RStarTraversal => Box::new(RStarSource::for_relation(config, relation)),
+        Backend::PartitionedSweep {
+            tiles_per_axis,
+            threads,
+        } => Box::new(GridSource::new(relation, None, tiles_per_axis, threads)),
+    }
+}
+
+/// The default backend: paged R*-trees, synchronized traversal, LRU
+/// buffer I/O accounting.
+struct RStarSource {
+    tree_a: RStarTree,
+    /// `None` for single-relation (selection) sources; joins then run
+    /// `tree_a ⋈ tree_a`.
+    tree_b: Option<RStarTree>,
+    buffer: LruBuffer,
+}
+
+impl RStarSource {
+    fn layout(config: &JoinConfig) -> PageLayout {
+        PageLayout::with_extra_bytes(config.page_size, config.extra_leaf_bytes())
+    }
+
+    fn for_join(config: &JoinConfig, rel_a: &Relation, rel_b: &Relation) -> Self {
+        let layout = Self::layout(config);
+        RStarSource {
+            tree_a: RStarTree::bulk_insert(layout, rel_a.iter().map(|o| (o.mbr(), o.id))),
+            tree_b: Some(RStarTree::bulk_insert(
+                layout,
+                rel_b.iter().map(|o| (o.mbr(), o.id)),
+            )),
+            buffer: LruBuffer::with_bytes(config.buffer_bytes, config.page_size),
+        }
+    }
+
+    fn for_relation(config: &JoinConfig, relation: &Relation) -> Self {
+        let layout = Self::layout(config);
+        RStarSource {
+            tree_a: RStarTree::bulk_insert(layout, relation.iter().map(|o| (o.mbr(), o.id))),
+            tree_b: None,
+            buffer: LruBuffer::with_bytes(config.buffer_bytes, config.page_size),
+        }
+    }
+}
+
+impl CandidateSource for RStarSource {
+    fn name(&self) -> &'static str {
+        "rstar-traversal"
+    }
+
+    fn join_candidates(&mut self, sink: &mut dyn FnMut(ObjectId, ObjectId)) -> Step1Stats {
+        let tree_b = self.tree_b.as_ref().unwrap_or(&self.tree_a);
+        let join = tree_join(&self.tree_a, tree_b, &mut self.buffer, sink);
+        Step1Stats {
+            join,
+            partition: None,
+        }
+    }
+
+    fn point_candidates(&mut self, p: Point, out: &mut Vec<ObjectId>) -> SelectionStats {
+        let before = self.buffer.stats().physical;
+        let hits = self.tree_a.point_query(p, &mut self.buffer);
+        let stats = SelectionStats {
+            candidates: hits.len() as u64,
+            physical_reads: self.buffer.stats().physical - before,
+        };
+        out.extend(hits);
+        stats
+    }
+
+    fn window_candidates(&mut self, window: Rect, out: &mut Vec<ObjectId>) -> SelectionStats {
+        let before = self.buffer.stats().physical;
+        let hits = self.tree_a.window_query(window, &mut self.buffer);
+        let stats = SelectionStats {
+            candidates: hits.len() as u64,
+            physical_reads: self.buffer.stats().physical - before,
+        };
+        out.extend(hits);
+        stats
+    }
+}
+
+/// The partitioned backend: uniform grid, per-tile plane sweeps,
+/// reference-point deduplication, scoped-thread parallelism.
+struct GridSource<'a> {
+    rel_a: &'a Relation,
+    rel_b: Option<&'a Relation>,
+    tiles_per_axis: usize,
+    threads: usize,
+    /// Single-relation grid for selection probes, built on first use.
+    index: Option<GridIndex>,
+}
+
+impl<'a> GridSource<'a> {
+    fn new(
+        rel_a: &'a Relation,
+        rel_b: Option<&'a Relation>,
+        tiles_per_axis: usize,
+        threads: usize,
+    ) -> Self {
+        GridSource {
+            rel_a,
+            rel_b,
+            tiles_per_axis,
+            threads,
+            index: None,
+        }
+    }
+
+    fn items(relation: &Relation) -> Vec<(Rect, ObjectId)> {
+        relation.iter().map(|o| (o.mbr(), o.id)).collect()
+    }
+
+    fn index(&mut self) -> &GridIndex {
+        let (rel_a, tiles) = (self.rel_a, self.tiles_per_axis);
+        self.index
+            .get_or_insert_with(|| GridIndex::build(&Self::items(rel_a), tiles))
+    }
+}
+
+impl CandidateSource for GridSource<'_> {
+    fn name(&self) -> &'static str {
+        "partitioned-sweep"
+    }
+
+    fn join_candidates(&mut self, sink: &mut dyn FnMut(ObjectId, ObjectId)) -> Step1Stats {
+        let items_a = Self::items(self.rel_a);
+        let items_b = self.rel_b.map(Self::items);
+        let items_b = items_b.as_deref().unwrap_or(&items_a);
+        let mut candidates = 0u64;
+        let stats = partition_join(
+            &items_a,
+            items_b,
+            self.tiles_per_axis,
+            self.threads,
+            |id_a, id_b| {
+                candidates += 1;
+                sink(id_a, id_b);
+            },
+        );
+        Step1Stats {
+            join: JoinStats {
+                candidates,
+                mbr_tests: stats.pair_tests,
+                restriction_tests: 0,
+                io: Default::default(),
+            },
+            partition: Some(PartitionSummary::from(&stats)),
+        }
+    }
+
+    fn point_candidates(&mut self, p: Point, out: &mut Vec<ObjectId>) -> SelectionStats {
+        let before = out.len();
+        self.index().point_candidates(p, out);
+        SelectionStats {
+            candidates: (out.len() - before) as u64,
+            physical_reads: 0,
+        }
+    }
+
+    fn window_candidates(&mut self, window: Rect, out: &mut Vec<ObjectId>) -> SelectionStats {
+        let before = out.len();
+        self.index().window_candidates(window, out);
+        SelectionStats {
+            candidates: (out.len() - before) as u64,
+            physical_reads: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut v: Vec<(ObjectId, ObjectId)>) -> Vec<(ObjectId, ObjectId)> {
+        v.sort_unstable();
+        v
+    }
+
+    fn configs() -> [JoinConfig; 3] {
+        [
+            JoinConfig::default(),
+            JoinConfig {
+                backend: Backend::PartitionedSweep {
+                    tiles_per_axis: 4,
+                    threads: 2,
+                },
+                ..JoinConfig::default()
+            },
+            JoinConfig {
+                backend: Backend::PartitionedSweep {
+                    tiles_per_axis: 1,
+                    threads: 1,
+                },
+                ..JoinConfig::default()
+            },
+        ]
+    }
+
+    #[test]
+    fn backends_deliver_the_same_join_candidates() {
+        let a = msj_datagen::small_carto(40, 24.0, 301);
+        let b = msj_datagen::small_carto(40, 24.0, 302);
+        let mut reference: Option<Vec<(ObjectId, ObjectId)>> = None;
+        for config in configs() {
+            let mut source = join_source(&config, &a, &b);
+            let mut got = Vec::new();
+            let stats = source.join_candidates(&mut |x, y| got.push((x, y)));
+            assert_eq!(stats.join.candidates, got.len() as u64, "{}", source.name());
+            let got = sorted(got);
+            match &reference {
+                None => reference = Some(got),
+                Some(expect) => assert_eq!(&got, expect, "{} diverged", source.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_source_reports_partition_summary() {
+        let a = msj_datagen::small_carto(30, 20.0, 311);
+        let b = msj_datagen::small_carto(30, 20.0, 312);
+        let config = JoinConfig {
+            backend: Backend::PartitionedSweep {
+                tiles_per_axis: 4,
+                threads: 2,
+            },
+            ..JoinConfig::default()
+        };
+        let mut source = join_source(&config, &a, &b);
+        let stats = source.join_candidates(&mut |_, _| {});
+        let summary = stats.partition.expect("partition summary");
+        assert_eq!(summary.tiles_per_axis, 4);
+        // Tiny input: the sweep may fall back to serial, but never exceeds
+        // the requested worker count.
+        assert!((1..=2).contains(&summary.threads));
+        assert!(summary.replication_factor >= 1.0);
+        assert!(summary.busiest_tile_candidates <= stats.join.candidates);
+        // The R*-tree backend reports none.
+        let mut rstar = join_source(&JoinConfig::default(), &a, &b);
+        assert!(rstar.join_candidates(&mut |_, _| {}).partition.is_none());
+    }
+
+    #[test]
+    fn selection_probes_agree_across_backends() {
+        let rel = msj_datagen::small_carto(50, 24.0, 321);
+        let world = rel.bounding_rect().unwrap();
+        let mut sources: Vec<_> = configs()
+            .iter()
+            .map(|c| selection_source(c, &rel))
+            .collect();
+        for i in 0..30 {
+            let p = Point::new(
+                world.xmin() + world.width() * (i as f64 * 0.37).fract(),
+                world.ymin() + world.height() * (i as f64 * 0.61).fract(),
+            );
+            let window = Rect::from_bounds(
+                p.x,
+                p.y,
+                p.x + world.width() * 0.1,
+                p.y + world.height() * 0.08,
+            );
+            let mut expect_point: Option<Vec<ObjectId>> = None;
+            let mut expect_window: Option<Vec<ObjectId>> = None;
+            for source in &mut sources {
+                let mut got = Vec::new();
+                let stats = source.point_candidates(p, &mut got);
+                assert_eq!(stats.candidates, got.len() as u64);
+                got.sort_unstable();
+                match &expect_point {
+                    None => expect_point = Some(got),
+                    Some(e) => assert_eq!(&got, e, "{} point probe", source.name()),
+                }
+                let mut got = Vec::new();
+                source.window_candidates(window, &mut got);
+                got.sort_unstable();
+                match &expect_window {
+                    None => expect_window = Some(got),
+                    Some(e) => assert_eq!(&got, e, "{} window probe", source.name()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_join_source_works_without_second_relation() {
+        let rel = msj_datagen::small_carto(25, 20.0, 331);
+        for config in configs() {
+            let mut source = selection_source(&config, &rel);
+            let mut pairs = Vec::new();
+            source.join_candidates(&mut |x, y| pairs.push((x, y)));
+            // Every object pairs with itself in a self-join.
+            for o in rel.iter() {
+                assert!(pairs.contains(&(o.id, o.id)), "{} missing ({0}, {0})", o.id);
+            }
+        }
+    }
+}

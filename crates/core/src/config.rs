@@ -3,9 +3,46 @@
 use msj_approx::{ConservativeKind, ProgressiveKind};
 use msj_exact::ExactAlgorithm;
 
+/// The Step-1 candidate backend (see [`crate::candidates`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Synchronized R*-tree traversal with paged I/O accounting — the
+    /// paper's MBR-join and the default.
+    #[default]
+    RStarTraversal,
+    /// Uniform-grid partitioned plane sweep with reference-point
+    /// deduplication, tiles executed over scoped threads
+    /// (`msj-partition`).
+    PartitionedSweep {
+        /// Tiles per grid side (the grid has `tiles_per_axis²` tiles).
+        tiles_per_axis: usize,
+        /// Worker threads for the tile sweeps (0 = available
+        /// parallelism).
+        threads: usize,
+    },
+}
+
+impl Backend {
+    /// A partitioned backend sized for the machine: ~4 tiles per
+    /// available core on each axis works well across the repro
+    /// workloads.
+    pub fn partitioned_auto() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Backend::PartitionedSweep {
+            tiles_per_axis: (2 * cores).clamp(4, 64),
+            threads: 0,
+        }
+    }
+}
+
 /// Complete configuration of one spatial-join execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JoinConfig {
+    /// Step-1 candidate backend (R*-tree traversal unless configured
+    /// otherwise).
+    pub backend: Backend,
     /// R*-tree page size in bytes (the paper uses 2 KB and 4 KB).
     pub page_size: usize,
     /// LRU buffer size in bytes (128 KB in §3.4; 32 pages in §5).
@@ -29,6 +66,7 @@ impl Default for JoinConfig {
     /// the exact step, 4 KB pages, 128 KB LRU buffer.
     fn default() -> Self {
         JoinConfig {
+            backend: Backend::RStarTraversal,
             page_size: 4096,
             buffer_bytes: 128 * 1024,
             conservative: Some(ConservativeKind::FiveCorner),
@@ -99,6 +137,25 @@ mod tests {
         assert!(c.conservative.is_none());
         assert!(c.progressive.is_none());
         assert_eq!(c.extra_leaf_bytes(), 0);
+    }
+
+    #[test]
+    fn default_backend_is_rstar() {
+        assert_eq!(JoinConfig::default().backend, Backend::RStarTraversal);
+        assert_eq!(Backend::default(), Backend::RStarTraversal);
+    }
+
+    #[test]
+    fn partitioned_auto_is_bounded() {
+        let Backend::PartitionedSweep {
+            tiles_per_axis,
+            threads,
+        } = Backend::partitioned_auto()
+        else {
+            panic!("partitioned_auto must be a partitioned backend");
+        };
+        assert!((4..=64).contains(&tiles_per_axis));
+        assert_eq!(threads, 0);
     }
 
     #[test]

@@ -150,8 +150,16 @@ mod tests {
     fn filtering_reduces_both_access_and_exact_cost() {
         let unfiltered = stats(1000, 0, 100);
         let filtered = stats(1000, 460, 110); // slightly more join pages
-        let c0 = figure18_cost(&unfiltered, ExactCostKind::PlaneSweep, &CostModelParams::default());
-        let c1 = figure18_cost(&filtered, ExactCostKind::PlaneSweep, &CostModelParams::default());
+        let c0 = figure18_cost(
+            &unfiltered,
+            ExactCostKind::PlaneSweep,
+            &CostModelParams::default(),
+        );
+        let c1 = figure18_cost(
+            &filtered,
+            ExactCostKind::PlaneSweep,
+            &CostModelParams::default(),
+        );
         assert!(c1.object_access_s < c0.object_access_s);
         assert!(c1.exact_test_s < c0.exact_test_s);
         assert!(c1.mbr_join_s > c0.mbr_join_s);

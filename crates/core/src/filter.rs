@@ -50,6 +50,23 @@ impl GeometricFilter {
         }
     }
 
+    /// The filter a [`crate::JoinConfig`] asks for: built stores when any
+    /// approximation is configured, [`GeometricFilter::disabled`]
+    /// otherwise.
+    pub fn from_config(config: &crate::JoinConfig, rel_a: &Relation, rel_b: &Relation) -> Self {
+        if config.conservative.is_some() || config.progressive.is_some() {
+            GeometricFilter::build(
+                rel_a,
+                rel_b,
+                config.conservative,
+                config.progressive,
+                config.false_area_test,
+            )
+        } else {
+            GeometricFilter::disabled()
+        }
+    }
+
     /// A filter that does nothing (version 1: every candidate goes to the
     /// exact step).
     pub fn disabled() -> Self {
@@ -125,7 +142,12 @@ mod tests {
         ]]);
         // The bracket's hull stays below the line x + y = 11; this square
         // sits entirely above it.
-        let b = rel(vec![vec![(9.0, 9.0), (10.0, 9.0), (10.0, 10.0), (9.0, 10.0)]]);
+        let b = rel(vec![vec![
+            (9.0, 9.0),
+            (10.0, 9.0),
+            (10.0, 10.0),
+            (9.0, 10.0),
+        ]]);
         (a, b)
     }
 
@@ -141,13 +163,7 @@ mod tests {
     fn conservative_filter_identifies_bracket_false_hit() {
         let (a, b) = bracket_relations();
         // The brackets hug opposite corners: their hulls are disjoint.
-        let f = GeometricFilter::build(
-            &a,
-            &b,
-            Some(ConservativeKind::ConvexHull),
-            None,
-            false,
-        );
+        let f = GeometricFilter::build(&a, &b, Some(ConservativeKind::ConvexHull), None, false);
         // MBRs do overlap (precondition of a candidate):
         assert!(a.object(0).mbr().intersects(&b.object(0).mbr()));
         assert_eq!(f.classify(0, 0), FilterOutcome::FalseHit);
@@ -156,8 +172,18 @@ mod tests {
     #[test]
     fn progressive_filter_identifies_deep_overlap() {
         // Two fat squares overlapping deeply: their MERs intersect.
-        let a = rel(vec![vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]]);
-        let b = rel(vec![vec![(2.0, 2.0), (12.0, 2.0), (12.0, 12.0), (2.0, 12.0)]]);
+        let a = rel(vec![vec![
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 10.0),
+            (0.0, 10.0),
+        ]]);
+        let b = rel(vec![vec![
+            (2.0, 2.0),
+            (12.0, 2.0),
+            (12.0, 12.0),
+            (2.0, 12.0),
+        ]]);
         let f = GeometricFilter::build(
             &a,
             &b,
@@ -170,16 +196,20 @@ mod tests {
 
     #[test]
     fn false_area_test_fires_when_progressive_disabled() {
-        let a = rel(vec![vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]]);
-        let b = rel(vec![vec![(1.0, 1.0), (11.0, 1.0), (11.0, 11.0), (1.0, 11.0)]]);
+        let a = rel(vec![vec![
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 10.0),
+            (0.0, 10.0),
+        ]]);
+        let b = rel(vec![vec![
+            (1.0, 1.0),
+            (11.0, 1.0),
+            (11.0, 11.0),
+            (1.0, 11.0),
+        ]]);
         // Squares equal their hulls: false area 0, intersection large.
-        let f = GeometricFilter::build(
-            &a,
-            &b,
-            Some(ConservativeKind::ConvexHull),
-            None,
-            true,
-        );
+        let f = GeometricFilter::build(&a, &b, Some(ConservativeKind::ConvexHull), None, true);
         assert_eq!(f.classify(0, 0), FilterOutcome::HitFalseArea);
     }
 
@@ -203,7 +233,12 @@ mod tests {
     #[test]
     fn progressive_runs_before_false_area() {
         // Deep overlap: both tests would fire; progressive wins by order.
-        let a = rel(vec![vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]]);
+        let a = rel(vec![vec![
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 10.0),
+            (0.0, 10.0),
+        ]]);
         let f = GeometricFilter::build(
             &a,
             &a.clone(),

@@ -5,9 +5,11 @@
 //! join over two relations of complex polygonal objects executed in three
 //! steps (Figure 1):
 //!
-//! 1. **MBR-join** — the R*-tree join of [BKS 93a] produces candidate
-//!    pairs whose minimum bounding rectangles intersect
-//!    ([`msj_sam::tree_join`]);
+//! 1. **MBR-join** — a pluggable [`candidates::CandidateSource`] produces
+//!    candidate pairs whose minimum bounding rectangles intersect: the
+//!    R*-tree join of [BKS 93a] ([`msj_sam::tree_join`], the default) or
+//!    the partitioned parallel sweep of `msj-partition`
+//!    ([`config::Backend::PartitionedSweep`]);
 //! 2. **Geometric filter** — conservative approximations identify false
 //!    hits, progressive approximations and the false-area test identify
 //!    hits, all without touching the exact geometry
@@ -23,6 +25,7 @@
 //! table, and [`cost`] implements the §5 total-cost model of Figures 11
 //! and 18.
 
+pub mod candidates;
 pub mod config;
 pub mod cost;
 pub mod filter;
@@ -31,7 +34,10 @@ pub mod pipeline;
 pub mod queries;
 pub mod stats;
 
-pub use config::JoinConfig;
+pub use candidates::{
+    join_source, selection_source, CandidateSource, PartitionSummary, SelectionStats, Step1Stats,
+};
+pub use config::{Backend, JoinConfig};
 pub use cost::{
     figure11_loss_gain, figure18_cost, CostBreakdown, CostModelParams, ExactCostKind, LossGain,
 };

@@ -8,21 +8,24 @@
 //! work out over scoped threads. Determinism is preserved: the result is
 //! sorted canonically and the operation counts are merged exactly.
 
+use crate::candidates;
 use crate::config::JoinConfig;
 use crate::filter::{FilterOutcome, GeometricFilter};
 use crate::pipeline::JoinResult;
 use crate::stats::MultiStepStats;
 use msj_exact::{ExactProcessor, OpCounts};
 use msj_geom::{ObjectId, Relation};
-use msj_sam::{tree_join, LruBuffer, PageLayout, RStarTree};
 
 /// Runs the multi-step join with the filter and exact steps parallelized
 /// over `threads` workers (0 = available parallelism).
 ///
-/// Returns the same response set as [`crate::MultiStepJoin::execute`]
-/// (canonically sorted) with identical statistics up to the buffer-state
-/// dependent I/O numbers of the MBR-join, which are measured serially and
-/// therefore equal too.
+/// Step 1 runs through the configured [`crate::candidates`] backend —
+/// serially for the R*-tree traversal (its I/O accounting needs one
+/// buffer), with its own tile-level parallelism for the partitioned
+/// sweep. The returned response set equals
+/// [`crate::MultiStepJoin::execute`]'s (canonically sorted) with
+/// identical statistics, and [`MultiStepStats::threads_used`] records the
+/// worker count of the filter/exact fan-out.
 pub fn parallel_join(
     rel_a: &Relation,
     rel_b: &Relation,
@@ -30,32 +33,21 @@ pub fn parallel_join(
     threads: usize,
 ) -> JoinResult {
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         threads
     };
 
-    // Preprocessing, identical to the serial pipeline.
-    let layout = PageLayout::with_extra_bytes(config.page_size, config.extra_leaf_bytes());
-    let tree_a = RStarTree::bulk_insert(layout, rel_a.iter().map(|o| (o.mbr(), o.id)));
-    let tree_b = RStarTree::bulk_insert(layout, rel_b.iter().map(|o| (o.mbr(), o.id)));
-    let filter = if config.conservative.is_some() || config.progressive.is_some() {
-        GeometricFilter::build(
-            rel_a,
-            rel_b,
-            config.conservative,
-            config.progressive,
-            config.false_area_test,
-        )
-    } else {
-        GeometricFilter::disabled()
-    };
+    // Preprocessing through the same paths as the serial pipeline.
+    let mut source = candidates::join_source(config, rel_a, rel_b);
+    let filter = GeometricFilter::from_config(config, rel_a, rel_b);
     let exact = ExactProcessor::new(config.exact, rel_a, rel_b);
 
-    // Step 1, serial: the MBR-join (the I/O accounting needs one buffer).
-    let mut buffer = LruBuffer::with_bytes(config.buffer_bytes, config.page_size);
+    // Step 1: materialize the candidates for the fan-out.
     let mut candidates: Vec<(ObjectId, ObjectId)> = Vec::new();
-    let join_stats = tree_join(&tree_a, &tree_b, &mut buffer, |a, b| candidates.push((a, b)));
+    let step1 = source.join_candidates(&mut |a, b| candidates.push((a, b)));
 
     // Steps 2+3, parallel over candidate chunks.
     let chunk_size = candidates.len().div_ceil(threads.max(1)).max(1);
@@ -99,7 +91,12 @@ pub fn parallel_join(
     });
 
     // Deterministic merge.
-    let mut stats = MultiStepStats { mbr_join: join_stats, ..MultiStepStats::default() };
+    let mut stats = MultiStepStats {
+        mbr_join: step1.join,
+        partition: step1.partition,
+        threads_used: threads as u64,
+        ..MultiStepStats::default()
+    };
     let mut pairs = Vec::new();
     for (p, s) in partials {
         pairs.extend(p);
@@ -129,17 +126,58 @@ mod tests {
     fn parallel_equals_serial_for_all_versions() {
         let a = msj_datagen::small_carto(48, 24.0, 71);
         let b = msj_datagen::small_carto(48, 24.0, 72);
-        for config in [JoinConfig::version1(), JoinConfig::version2(), JoinConfig::version3()] {
+        for config in [
+            JoinConfig::version1(),
+            JoinConfig::version2(),
+            JoinConfig::version3(),
+        ] {
             let serial = MultiStepJoin::new(config).execute(&a, &b);
             for threads in [1usize, 2, 4] {
                 let par = parallel_join(&a, &b, &config, threads);
-                assert_eq!(sorted(serial.pairs.clone()), par.pairs, "{config:?} x{threads}");
+                assert_eq!(
+                    sorted(serial.pairs.clone()),
+                    par.pairs,
+                    "{config:?} x{threads}"
+                );
                 assert_eq!(serial.stats.filter_false_hits, par.stats.filter_false_hits);
                 assert_eq!(serial.stats.exact_tests, par.stats.exact_tests);
                 assert_eq!(serial.stats.exact_hits, par.stats.exact_hits);
                 // Operation counts merge exactly: same work, just spread.
                 assert_eq!(serial.stats.exact_ops, par.stats.exact_ops);
             }
+        }
+    }
+
+    #[test]
+    fn records_the_thread_count_used() {
+        let a = msj_datagen::small_carto(24, 20.0, 75);
+        let b = msj_datagen::small_carto(24, 20.0, 76);
+        for threads in [1usize, 2, 8] {
+            let par = parallel_join(&a, &b, &JoinConfig::default(), threads);
+            assert_eq!(par.stats.threads_used, threads as u64);
+        }
+        let serial = MultiStepJoin::new(JoinConfig::default()).execute(&a, &b);
+        assert_eq!(serial.stats.threads_used, 1);
+    }
+
+    #[test]
+    fn parallel_equals_serial_on_the_partitioned_backend() {
+        use crate::config::Backend;
+        let a = msj_datagen::small_carto(40, 24.0, 77);
+        let b = msj_datagen::small_carto(40, 24.0, 78);
+        let config = JoinConfig {
+            backend: Backend::PartitionedSweep {
+                tiles_per_axis: 4,
+                threads: 2,
+            },
+            ..JoinConfig::default()
+        };
+        let serial = MultiStepJoin::new(config).execute(&a, &b);
+        for threads in [1usize, 2, 8] {
+            let par = parallel_join(&a, &b, &config, threads);
+            assert_eq!(sorted(serial.pairs.clone()), par.pairs, "x{threads}");
+            assert_eq!(serial.stats.exact_ops, par.stats.exact_ops);
+            assert_eq!(par.stats.partition, serial.stats.partition);
         }
     }
 

@@ -1,12 +1,12 @@
 //! The multi-step join pipeline (Figure 1): MBR-join → geometric filter →
 //! exact geometry processor, with candidates streamed between steps.
 
+use crate::candidates;
 use crate::config::JoinConfig;
 use crate::filter::{FilterOutcome, GeometricFilter};
 use crate::stats::MultiStepStats;
 use msj_exact::ExactProcessor;
 use msj_geom::{ObjectId, Relation};
-use msj_sam::{tree_join, LruBuffer, PageLayout, RStarTree};
 
 /// The outcome of one multi-step join: the response set plus per-step
 /// statistics.
@@ -49,54 +49,39 @@ impl MultiStepJoin {
 
     /// Runs the full three-step join of `rel_a` with `rel_b`.
     pub fn execute(&self, rel_a: &Relation, rel_b: &Relation) -> JoinResult {
-        // Step 0 (preprocessing, "insertion time"): R*-trees over the
-        // MBRs, approximation stores, exact-step object representations.
-        let layout =
-            PageLayout::with_extra_bytes(self.config.page_size, self.config.extra_leaf_bytes());
-        let tree_a = RStarTree::bulk_insert(layout, rel_a.iter().map(|o| (o.mbr(), o.id)));
-        let tree_b = RStarTree::bulk_insert(layout, rel_b.iter().map(|o| (o.mbr(), o.id)));
-        let filter = if self.config.conservative.is_some()
-            || self.config.progressive.is_some()
-        {
-            GeometricFilter::build(
-                rel_a,
-                rel_b,
-                self.config.conservative,
-                self.config.progressive,
-                self.config.false_area_test,
-            )
-        } else {
-            GeometricFilter::disabled()
-        };
+        // Step 0 (preprocessing, "insertion time"): the configured Step-1
+        // candidate source (R*-trees or partition grid), approximation
+        // stores, exact-step object representations.
+        let mut source = candidates::join_source(&self.config, rel_a, rel_b);
+        let filter = GeometricFilter::from_config(&self.config, rel_a, rel_b);
         let exact = ExactProcessor::new(self.config.exact, rel_a, rel_b);
 
-        let mut buffer = LruBuffer::with_bytes(self.config.buffer_bytes, self.config.page_size);
         let mut stats = MultiStepStats::default();
         let mut pairs: Vec<(ObjectId, ObjectId)> = Vec::new();
 
         // Steps 1-3, streamed: each candidate of the MBR-join is filtered
         // and (when inconclusive) tested exactly, immediately.
-        let join_stats = tree_join(&tree_a, &tree_b, &mut buffer, |id_a, id_b| {
-            match filter.classify(id_a, id_b) {
-                FilterOutcome::FalseHit => stats.filter_false_hits += 1,
-                FilterOutcome::HitProgressive => {
-                    stats.filter_hits_progressive += 1;
+        let step1 = source.join_candidates(&mut |id_a, id_b| match filter.classify(id_a, id_b) {
+            FilterOutcome::FalseHit => stats.filter_false_hits += 1,
+            FilterOutcome::HitProgressive => {
+                stats.filter_hits_progressive += 1;
+                pairs.push((id_a, id_b));
+            }
+            FilterOutcome::HitFalseArea => {
+                stats.filter_hits_false_area += 1;
+                pairs.push((id_a, id_b));
+            }
+            FilterOutcome::Candidate => {
+                stats.exact_tests += 1;
+                if exact.intersects(id_a, id_b, &mut stats.exact_ops) {
+                    stats.exact_hits += 1;
                     pairs.push((id_a, id_b));
-                }
-                FilterOutcome::HitFalseArea => {
-                    stats.filter_hits_false_area += 1;
-                    pairs.push((id_a, id_b));
-                }
-                FilterOutcome::Candidate => {
-                    stats.exact_tests += 1;
-                    if exact.intersects(id_a, id_b, &mut stats.exact_ops) {
-                        stats.exact_hits += 1;
-                        pairs.push((id_a, id_b));
-                    }
                 }
             }
         });
-        stats.mbr_join = join_stats;
+        stats.mbr_join = step1.join;
+        stats.partition = step1.partition;
+        stats.threads_used = 1;
         stats.result_pairs = pairs.len() as u64;
         JoinResult { pairs, stats }
     }
@@ -223,6 +208,41 @@ mod tests {
         })
         .execute(&a, &b);
         assert_eq!(sorted(r.pairs), expect);
+    }
+
+    #[test]
+    fn partitioned_backend_produces_the_ground_truth() {
+        use crate::config::Backend;
+        let a = blob_relation(13, 48);
+        let b = blob_relation(14, 48);
+        let expect = sorted(ground_truth_join(&a, &b));
+        assert!(!expect.is_empty());
+        let serial = MultiStepJoin::new(JoinConfig::default()).execute(&a, &b);
+        for tiles_per_axis in [1usize, 4, 16] {
+            let config = JoinConfig {
+                backend: Backend::PartitionedSweep {
+                    tiles_per_axis,
+                    threads: 2,
+                },
+                ..JoinConfig::default()
+            };
+            let result = MultiStepJoin::new(config).execute(&a, &b);
+            assert_eq!(
+                sorted(result.pairs.clone()),
+                expect,
+                "tiles {tiles_per_axis}"
+            );
+            // The candidate set matches the R*-tree backend exactly, so
+            // the filter statistics match too.
+            assert_eq!(
+                result.stats.mbr_join.candidates,
+                serial.stats.mbr_join.candidates
+            );
+            assert_eq!(result.stats.exact_tests, serial.stats.exact_tests);
+            let summary = result.stats.partition.expect("partition summary");
+            assert_eq!(summary.tiles_per_axis, tiles_per_axis as u64);
+        }
+        assert!(serial.stats.partition.is_none());
     }
 
     #[test]

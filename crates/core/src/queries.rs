@@ -10,11 +10,11 @@
 //!    elimination), progressive approximation test (hit identification);
 //! 3. exact geometry test for the remainder.
 
+use crate::candidates::{self, CandidateSource};
 use crate::config::JoinConfig;
 use msj_approx::{Conservative, ConservativeStore, Progressive, ProgressiveStore};
 use msj_exact::{region_contains_point, region_intersects_rect, OpCounts};
 use msj_geom::{ObjectId, Point, Rect, Relation};
-use msj_sam::{LruBuffer, PageLayout, RStarTree};
 
 /// Per-query statistics of a multi-step query execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,36 +33,41 @@ pub struct QueryStats {
 
 /// A prepared multi-step query processor over one relation.
 ///
-/// Preprocessing (index + approximation stores) happens once in
-/// [`QueryProcessor::build`]; each query then runs the three steps.
+/// Preprocessing (the Step-1 candidate source plus approximation stores)
+/// happens once in [`QueryProcessor::build`]; each query then runs the
+/// three steps. The candidate source is the backend [`JoinConfig`]
+/// selects — R*-tree probes or grid-tile lookups — and the filter/exact
+/// steps are identical for both.
 pub struct QueryProcessor<'a> {
     relation: &'a Relation,
-    tree: RStarTree,
+    source: Box<dyn CandidateSource + 'a>,
     conservative: Option<ConservativeStore>,
     progressive: Option<ProgressiveStore>,
-    buffer: LruBuffer,
 }
 
 impl<'a> QueryProcessor<'a> {
-    /// Builds the index and the configured approximation stores.
+    /// Builds the candidate source and the configured approximation
+    /// stores.
     pub fn build(relation: &'a Relation, config: &JoinConfig) -> Self {
-        let layout = PageLayout::with_extra_bytes(config.page_size, config.extra_leaf_bytes());
-        let tree = RStarTree::bulk_insert(layout, relation.iter().map(|o| (o.mbr(), o.id)));
         QueryProcessor {
             relation,
-            tree,
-            conservative: config.conservative.map(|k| ConservativeStore::build(k, relation)),
-            progressive: config.progressive.map(|k| ProgressiveStore::build(k, relation)),
-            buffer: LruBuffer::with_bytes(config.buffer_bytes, config.page_size),
+            source: candidates::selection_source(config, relation),
+            conservative: config
+                .conservative
+                .map(|k| ConservativeStore::build(k, relation)),
+            progressive: config
+                .progressive
+                .map(|k| ProgressiveStore::build(k, relation)),
         }
     }
 
     /// All objects whose region contains `p` (closed semantics).
     pub fn point_query(&mut self, p: Point, counts: &mut OpCounts) -> (Vec<ObjectId>, QueryStats) {
-        let before = self.buffer.stats().physical;
-        let candidates = self.tree.point_query(p, &mut self.buffer);
+        let mut candidates = Vec::new();
+        let step1 = self.source.point_candidates(p, &mut candidates);
         let mut stats = QueryStats {
-            candidates: candidates.len() as u64,
+            candidates: step1.candidates,
+            physical_reads: step1.physical_reads,
             ..QueryStats::default()
         };
         let mut result = Vec::new();
@@ -87,7 +92,6 @@ impl<'a> QueryProcessor<'a> {
                 result.push(id);
             }
         }
-        stats.physical_reads = self.buffer.stats().physical - before;
         (result, stats)
     }
 
@@ -97,10 +101,11 @@ impl<'a> QueryProcessor<'a> {
         window: Rect,
         counts: &mut OpCounts,
     ) -> (Vec<ObjectId>, QueryStats) {
-        let before = self.buffer.stats().physical;
-        let candidates = self.tree.window_query(window, &mut self.buffer);
+        let mut candidates = Vec::new();
+        let step1 = self.source.window_candidates(window, &mut candidates);
         let mut stats = QueryStats {
-            candidates: candidates.len() as u64,
+            candidates: step1.candidates,
+            physical_reads: step1.physical_reads,
             ..QueryStats::default()
         };
         let window_ring = window.corners().to_vec();
@@ -124,7 +129,6 @@ impl<'a> QueryProcessor<'a> {
                 result.push(id);
             }
         }
-        stats.physical_reads = self.buffer.stats().physical - before;
         (result, stats)
     }
 }
@@ -164,6 +168,7 @@ mod tests {
     use msj_approx::{ConservativeKind, ProgressiveKind};
 
     fn processor_configs() -> Vec<JoinConfig> {
+        use crate::config::Backend;
         vec![
             JoinConfig::version1(),
             JoinConfig::default(),
@@ -175,6 +180,13 @@ mod tests {
             JoinConfig {
                 conservative: Some(ConservativeKind::Mbe),
                 progressive: None,
+                ..JoinConfig::default()
+            },
+            JoinConfig {
+                backend: Backend::PartitionedSweep {
+                    tiles_per_axis: 6,
+                    threads: 1,
+                },
                 ..JoinConfig::default()
             },
         ]
@@ -225,9 +237,7 @@ mod tests {
                 got.sort_unstable();
                 let mut expect: Vec<ObjectId> = rel
                     .iter()
-                    .filter(|o| {
-                        msj_exact::window::region_intersects_rect_reference(&o.region, &w)
-                    })
+                    .filter(|o| msj_exact::window::region_intersects_rect_reference(&o.region, &w))
                     .map(|o| o.id)
                     .collect();
                 expect.sort_unstable();

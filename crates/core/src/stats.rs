@@ -1,5 +1,6 @@
 //! Per-step statistics of one multi-step join execution.
 
+use crate::candidates::PartitionSummary;
 use msj_exact::OpCounts;
 use msj_sam::JoinStats;
 
@@ -9,6 +10,13 @@ use msj_sam::JoinStats;
 pub struct MultiStepStats {
     /// Step 1 (MBR-join): candidate pairs, MBR tests, page accesses.
     pub mbr_join: JoinStats,
+    /// Step-1 partition digest when the partitioned backend ran (`None`
+    /// under the R*-tree traversal).
+    pub partition: Option<PartitionSummary>,
+    /// Worker threads used for the filter + exact steps (1 for the
+    /// serial pipeline; Step-1 internal parallelism is recorded in
+    /// [`PartitionSummary::threads`]).
+    pub threads_used: u64,
     /// Step 2: false hits identified by the conservative approximation.
     pub filter_false_hits: u64,
     /// Step 2: hits identified by the progressive approximation.
@@ -108,7 +116,10 @@ mod tests {
             s.filter_hits_progressive + s.filter_hits_false_area + s.exact_hits
         );
         // false hits = filter false hits + exact-refuted
-        assert_eq!(s.false_hits(), s.filter_false_hits + s.unidentified_false_hits());
+        assert_eq!(
+            s.false_hits(),
+            s.filter_false_hits + s.unidentified_false_hits()
+        );
     }
 
     #[test]

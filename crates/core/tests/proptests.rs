@@ -2,7 +2,7 @@
 //! nested-loops exact join for every filter/exact configuration.
 
 use msj_approx::{ConservativeKind, ProgressiveKind};
-use msj_core::{ground_truth_join, JoinConfig, MultiStepJoin};
+use msj_core::{ground_truth_join, Backend, JoinConfig, MultiStepJoin};
 use msj_exact::ExactAlgorithm;
 use proptest::prelude::*;
 
@@ -31,6 +31,24 @@ fn progressive_strategy() -> impl Strategy<Value = Option<ProgressiveKind>> {
     ]
 }
 
+fn backend_strategy() -> impl Strategy<Value = Backend> {
+    prop_oneof![
+        Just(Backend::RStarTraversal),
+        Just(Backend::PartitionedSweep {
+            tiles_per_axis: 1,
+            threads: 1
+        }),
+        Just(Backend::PartitionedSweep {
+            tiles_per_axis: 4,
+            threads: 2
+        }),
+        Just(Backend::PartitionedSweep {
+            tiles_per_axis: 16,
+            threads: 8
+        }),
+    ]
+}
+
 fn exact_strategy() -> impl Strategy<Value = ExactAlgorithm> {
     prop_oneof![
         Just(ExactAlgorithm::Quadratic),
@@ -52,11 +70,13 @@ proptest! {
         progressive in progressive_strategy(),
         false_area_test in any::<bool>(),
         exact in exact_strategy(),
+        backend in backend_strategy(),
         page_size in prop_oneof![Just(1024usize), Just(2048), Just(4096)],
     ) {
         let a = msj_datagen::small_carto(24, 20.0, seed_a);
         let b = msj_datagen::small_carto(24, 20.0, seed_b);
         let config = JoinConfig {
+            backend,
             page_size,
             buffer_bytes: 32 * 1024,
             conservative,

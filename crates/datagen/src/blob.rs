@@ -158,7 +158,10 @@ mod tests {
     #[test]
     fn blob_respects_center_and_scale() {
         let mut rng = StdRng::seed_from_u64(42);
-        let params = BlobParams { radius: 5.0, ..BlobParams::default() };
+        let params = BlobParams {
+            radius: 5.0,
+            ..BlobParams::default()
+        };
         let c = Point::new(100.0, -50.0);
         let p = blob(&mut rng, c, &params);
         // All vertices within the generous radius bound (4 * elong * r).

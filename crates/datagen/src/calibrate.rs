@@ -24,7 +24,11 @@ impl Stats {
             max = max.max(s);
             sum += s;
         }
-        Some(Stats { mean: sum / samples.len() as f64, min, max })
+        Some(Stats {
+            mean: sum / samples.len() as f64,
+            min,
+            max,
+        })
     }
 }
 

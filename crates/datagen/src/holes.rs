@@ -23,13 +23,19 @@ pub struct HoleParams {
 
 impl Default for HoleParams {
     fn default() -> Self {
-        HoleParams { fraction: 0.3, radius_frac: 0.45, vertices: 12 }
+        HoleParams {
+            fraction: 0.3,
+            radius_frac: 0.45,
+            vertices: 12,
+        }
     }
 }
 
 /// Minimum distance from `p` to the polygon boundary.
 fn boundary_clearance(poly: &Polygon, p: Point) -> f64 {
-    poly.edges().map(|e| e.dist_to_point(p)).fold(f64::INFINITY, f64::min)
+    poly.edges()
+        .map(|e| e.dist_to_point(p))
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// Attempts to carve one hole into `outer`; returns a hole-free region
@@ -119,7 +125,10 @@ mod tests {
             let outer = blob(
                 &mut rng,
                 Point::new(i as f64 * 20.0, 0.0),
-                &BlobParams { vertices: 24 + i, ..BlobParams::default() },
+                &BlobParams {
+                    vertices: 24 + i,
+                    ..BlobParams::default()
+                },
             );
             let mut rng2 = StdRng::seed_from_u64(100 + i as u64);
             let region = carve_hole(&mut rng2, outer, &HoleParams::default());

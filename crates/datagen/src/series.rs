@@ -27,7 +27,13 @@ pub struct TestSeries {
 /// average object diameter makes most objects overlap their own copy and a
 /// couple of neighbours, which reproduces Table 2's per-object candidate
 /// ratios.
-pub fn strategy_a(name: &str, base: &Relation, world: Rect, frac_x: f64, frac_y: f64) -> TestSeries {
+pub fn strategy_a(
+    name: &str,
+    base: &Relation,
+    world: Rect,
+    frac_x: f64,
+    frac_y: f64,
+) -> TestSeries {
     let n = base.len().max(1) as f64;
     let avg_w: f64 = base.iter().map(|o| o.mbr().width()).sum::<f64>() / n;
     let avg_h: f64 = base.iter().map(|o| o.mbr().height()).sum::<f64>() / n;
@@ -37,7 +43,12 @@ pub fn strategy_a(name: &str, base: &Relation, world: Rect, frac_x: f64, frac_y:
             .map(|o| SpatialObject::new(o.id, o.region.translated(shift)))
             .collect(),
     );
-    TestSeries { name: name.to_string(), a: base.clone(), b, world }
+    TestSeries {
+        name: name.to_string(),
+        a: base.clone(),
+        b,
+        world,
+    }
 }
 
 /// Strategy B: two relations, each a randomly shifted and rotated copy of
@@ -51,7 +62,12 @@ pub fn strategy_b<R: Rng + ?Sized>(
 ) -> TestSeries {
     let a = scatter(base, world, rng);
     let b = scatter(base, world, rng);
-    TestSeries { name: name.to_string(), a, b, world }
+    TestSeries {
+        name: name.to_string(),
+        a,
+        b,
+        world,
+    }
 }
 
 /// Randomly shifts and rotates every object within `world` and rescales
@@ -59,7 +75,11 @@ pub fn strategy_b<R: Rng + ?Sized>(
 /// area.
 fn scatter<R: Rng + ?Sized>(base: &Relation, world: Rect, rng: &mut R) -> Relation {
     let total = base.total_area();
-    let factor = if total > 0.0 { (world.area() / total).sqrt() } else { 1.0 };
+    let factor = if total > 0.0 {
+        (world.area() / total).sqrt()
+    } else {
+        1.0
+    };
     let objects = base
         .iter()
         .map(|o| {
@@ -73,8 +93,20 @@ fn scatter<R: Rng + ?Sized>(base: &Relation, world: Rect, rng: &mut R) -> Relati
             // inside the world where possible.
             let mbr = scaled.mbr();
             let (hw, hh) = (0.5 * mbr.width(), 0.5 * mbr.height());
-            let cx = sample_coord(rng, world.xmin() + hw, world.xmax() - hw, world.xmin(), world.xmax());
-            let cy = sample_coord(rng, world.ymin() + hh, world.ymax() - hh, world.ymin(), world.ymax());
+            let cx = sample_coord(
+                rng,
+                world.xmin() + hw,
+                world.xmax() - hw,
+                world.xmin(),
+                world.xmax(),
+            );
+            let cy = sample_coord(
+                rng,
+                world.ymin() + hh,
+                world.ymax() - hh,
+                world.ymin(),
+                world.ymax(),
+            );
             let target = Point::new(cx, cy);
             let shift = target - mbr.center();
             SpatialObject::new(o.id, scaled.translated(shift))
@@ -148,8 +180,14 @@ mod tests {
         let s = strategy_b("t", &rel, world, &mut rng);
         let ta = s.a.total_area();
         let tb = s.b.total_area();
-        assert!((ta - world.area()).abs() / world.area() < 1e-6, "total area {ta}");
-        assert!((tb - world.area()).abs() / world.area() < 1e-6, "total area {tb}");
+        assert!(
+            (ta - world.area()).abs() / world.area() < 1e-6,
+            "total area {ta}"
+        );
+        assert!(
+            (tb - world.area()).abs() / world.area() < 1e-6,
+            "total area {tb}"
+        );
     }
 
     #[test]

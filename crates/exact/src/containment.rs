@@ -94,7 +94,16 @@ mod tests {
 
     #[test]
     fn counted_ray_cast_matches_uncounted() {
-        let p = poly(&[(0.0, 0.0), (4.0, 0.0), (4.0, 1.0), (1.0, 1.0), (1.0, 3.0), (4.0, 3.0), (4.0, 4.0), (0.0, 4.0)]);
+        let p = poly(&[
+            (0.0, 0.0),
+            (4.0, 0.0),
+            (4.0, 1.0),
+            (1.0, 1.0),
+            (1.0, 3.0),
+            (4.0, 3.0),
+            (4.0, 4.0),
+            (0.0, 4.0),
+        ]);
         let mut counts = OpCounts::new();
         for (x, y, expect) in [
             (0.5, 2.0, true),
@@ -116,8 +125,16 @@ mod tests {
         let hole = poly(&[(4.0, 4.0), (6.0, 4.0), (6.0, 6.0), (4.0, 6.0)]);
         let r = PolygonWithHoles::new(outer, vec![hole]);
         let mut counts = OpCounts::new();
-        assert!(point_in_region_counted(&r, Point::new(1.0, 1.0), &mut counts));
-        assert!(!point_in_region_counted(&r, Point::new(5.0, 5.0), &mut counts));
+        assert!(point_in_region_counted(
+            &r,
+            Point::new(1.0, 1.0),
+            &mut counts
+        ));
+        assert!(!point_in_region_counted(
+            &r,
+            Point::new(5.0, 5.0),
+            &mut counts
+        ));
         assert!(counts.edge_line > 0);
     }
 

@@ -124,7 +124,11 @@ mod tests {
 
     #[test]
     fn merge_sums_componentwise() {
-        let mut a = OpCounts { edge_intersection: 1, position: 2, ..OpCounts::new() };
+        let mut a = OpCounts {
+            edge_intersection: 1,
+            position: 2,
+            ..OpCounts::new()
+        };
         let b = OpCounts {
             edge_intersection: 10,
             edge_line: 5,

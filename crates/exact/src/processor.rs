@@ -53,7 +53,13 @@ impl<'a> ExactProcessor<'a> {
             ),
             _ => (None, None),
         };
-        ExactProcessor { algorithm, rel_a, rel_b, trees_a, trees_b }
+        ExactProcessor {
+            algorithm,
+            rel_a,
+            rel_b,
+            trees_a,
+            trees_b,
+        }
     }
 
     pub fn algorithm(&self) -> ExactAlgorithm {
@@ -108,7 +114,10 @@ mod tests {
                     Point::new(cx + r * t.cos(), cy + r * t.sin())
                 })
                 .collect();
-            objs.push(SpatialObject::new(i as u32, Polygon::new(coords).unwrap().into()));
+            objs.push(SpatialObject::new(
+                i as u32,
+                Polygon::new(coords).unwrap().into(),
+            ));
         }
         Relation::new(objs)
     }
@@ -124,8 +133,10 @@ mod tests {
             ExactAlgorithm::TrStar { max_entries: 3 },
             ExactAlgorithm::TrStar { max_entries: 5 },
         ];
-        let processors: Vec<ExactProcessor> =
-            algos.iter().map(|&alg| ExactProcessor::new(alg, &ra, &rb)).collect();
+        let processors: Vec<ExactProcessor> = algos
+            .iter()
+            .map(|&alg| ExactProcessor::new(alg, &ra, &rb))
+            .collect();
         let mut disagreements = Vec::new();
         for a in 0..ra.len() as u32 {
             for b in 0..rb.len() as u32 {
@@ -199,7 +210,13 @@ mod tests {
     #[test]
     fn processor_reports_algorithm_names() {
         assert_eq!(ExactAlgorithm::Quadratic.name(), "quadratic");
-        assert_eq!(ExactAlgorithm::PlaneSweep { restrict: true }.name(), "plane-sweep");
-        assert_eq!(ExactAlgorithm::TrStar { max_entries: 3 }.name(), "TR*-tree (M=3)");
+        assert_eq!(
+            ExactAlgorithm::PlaneSweep { restrict: true }.name(),
+            "plane-sweep"
+        );
+        assert_eq!(
+            ExactAlgorithm::TrStar { max_entries: 3 }.name(),
+            "TR*-tree (M=3)"
+        );
     }
 }

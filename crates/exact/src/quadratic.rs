@@ -44,14 +44,22 @@ mod tests {
     #[test]
     fn overlapping_squares_intersect() {
         let mut c = OpCounts::new();
-        assert!(quadratic_intersects(&sq(0.0, 0.0, 2.0), &sq(1.0, 1.0, 2.0), &mut c));
+        assert!(quadratic_intersects(
+            &sq(0.0, 0.0, 2.0),
+            &sq(1.0, 1.0, 2.0),
+            &mut c
+        ));
         assert!(c.edge_intersection >= 1);
     }
 
     #[test]
     fn disjoint_squares_cost_full_quadratic() {
         let mut c = OpCounts::new();
-        assert!(!quadratic_intersects(&sq(0.0, 0.0, 1.0), &sq(5.0, 5.0, 1.0), &mut c));
+        assert!(!quadratic_intersects(
+            &sq(0.0, 0.0, 1.0),
+            &sq(5.0, 5.0, 1.0),
+            &mut c
+        ));
         // All 4x4 edge pairs tested.
         assert_eq!(c.edge_intersection, 16);
     }
@@ -59,14 +67,22 @@ mod tests {
     #[test]
     fn containment_is_intersection() {
         let mut c = OpCounts::new();
-        assert!(quadratic_intersects(&sq(0.0, 0.0, 10.0), &sq(4.0, 4.0, 1.0), &mut c));
+        assert!(quadratic_intersects(
+            &sq(0.0, 0.0, 10.0),
+            &sq(4.0, 4.0, 1.0),
+            &mut c
+        ));
         assert!(c.pip_performed >= 1);
     }
 
     #[test]
     fn touching_edges_intersect() {
         let mut c = OpCounts::new();
-        assert!(quadratic_intersects(&sq(0.0, 0.0, 2.0), &sq(2.0, 0.0, 2.0), &mut c));
+        assert!(quadratic_intersects(
+            &sq(0.0, 0.0, 2.0),
+            &sq(2.0, 0.0, 2.0),
+            &mut c
+        ));
     }
 
     #[test]

@@ -80,8 +80,16 @@ fn boundary_intersection_sweep(edges: &[SweepEdge], counts: &mut OpCounts) -> bo
     }
     let mut events: Vec<Event> = Vec::with_capacity(2 * edges.len());
     for (i, e) in edges.iter().enumerate() {
-        events.push(Event { x: e.seg.a.x, kind: 0, edge: i });
-        events.push(Event { x: e.seg.b.x, kind: 1, edge: i });
+        events.push(Event {
+            x: e.seg.a.x,
+            kind: 0,
+            edge: i,
+        });
+        events.push(Event {
+            x: e.seg.b.x,
+            kind: 1,
+            edge: i,
+        });
     }
     // Preprocessing sort (not counted, per §4.3).
     events.sort_by(|p, q| {
@@ -134,7 +142,9 @@ fn boundary_intersection_sweep(edges: &[SweepEdge], counts: &mut OpCounts) -> bo
             if let Some(idx) = status.iter().position(|&s| s == ev.edge) {
                 status.remove(idx);
                 // Former neighbours become adjacent.
-                if idx > 0 && idx < status.len() && test_pair(edges, status[idx - 1], status[idx], counts)
+                if idx > 0
+                    && idx < status.len()
+                    && test_pair(edges, status[idx - 1], status[idx], counts)
                 {
                     return true;
                 }
@@ -186,7 +196,12 @@ mod tests {
     #[test]
     fn overlapping_squares() {
         let mut c = OpCounts::new();
-        assert!(sweep_intersects(&sq(0.0, 0.0, 2.0), &sq(1.0, 1.0, 2.0), true, &mut c));
+        assert!(sweep_intersects(
+            &sq(0.0, 0.0, 2.0),
+            &sq(1.0, 1.0, 2.0),
+            true,
+            &mut c
+        ));
         assert!(c.edge_rect > 0, "restriction pre-scan must run");
     }
 
@@ -203,14 +218,24 @@ mod tests {
     #[test]
     fn containment_found_without_boundary_crossing() {
         let mut c = OpCounts::new();
-        assert!(sweep_intersects(&sq(0.0, 0.0, 10.0), &sq(3.0, 3.0, 1.0), true, &mut c));
+        assert!(sweep_intersects(
+            &sq(0.0, 0.0, 10.0),
+            &sq(3.0, 3.0, 1.0),
+            true,
+            &mut c
+        ));
         assert!(c.pip_performed >= 1);
     }
 
     #[test]
     fn disjoint_mbrs_shortcut() {
         let mut c = OpCounts::new();
-        assert!(!sweep_intersects(&sq(0.0, 0.0, 1.0), &sq(5.0, 5.0, 1.0), true, &mut c));
+        assert!(!sweep_intersects(
+            &sq(0.0, 0.0, 1.0),
+            &sq(5.0, 5.0, 1.0),
+            true,
+            &mut c
+        ));
         assert_eq!(c.position, 0, "no sweep should run");
     }
 
@@ -218,8 +243,14 @@ mod tests {
     fn restriction_reduces_work() {
         // Two large polygons overlapping only in a small corner window.
         let a = region(&[
-            (0.0, 0.0), (10.0, 0.0), (10.0, 1.0), (1.0, 1.0), (1.0, 9.0), (10.0, 9.0),
-            (10.0, 10.0), (0.0, 10.0),
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 1.0),
+            (1.0, 1.0),
+            (1.0, 9.0),
+            (10.0, 9.0),
+            (10.0, 10.0),
+            (0.0, 10.0),
         ]);
         let b = a.translated(Point::new(9.5, 9.5));
         let mut unrestricted = OpCounts::new();

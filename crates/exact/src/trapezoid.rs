@@ -185,8 +185,14 @@ mod tests {
     #[test]
     fn concave_polygon_area_is_preserved() {
         let c = region(&[
-            (0.0, 0.0), (4.0, 0.0), (4.0, 1.0), (1.0, 1.0), (1.0, 3.0), (4.0, 3.0),
-            (4.0, 4.0), (0.0, 4.0),
+            (0.0, 0.0),
+            (4.0, 0.0),
+            (4.0, 1.0),
+            (1.0, 1.0),
+            (1.0, 3.0),
+            (4.0, 3.0),
+            (4.0, 4.0),
+            (0.0, 4.0),
         ]);
         let traps = decompose(&c);
         assert!((total_area(&traps) - c.area()).abs() < 1e-9);
@@ -242,7 +248,12 @@ mod tests {
 
     #[test]
     fn trapezoid_geometry_helpers() {
-        let t = Trapezoid { y_lo: 0.0, y_hi: 2.0, x_lo: (0.0, 4.0), x_hi: (1.0, 3.0) };
+        let t = Trapezoid {
+            y_lo: 0.0,
+            y_hi: 2.0,
+            x_lo: (0.0, 4.0),
+            x_hi: (1.0, 3.0),
+        };
         assert_eq!(t.mbr(), Rect::from_bounds(0.0, 0.0, 4.0, 2.0));
         assert!((t.area() - 6.0).abs() < 1e-12);
         assert!(t.contains_point(Point::new(2.0, 1.0)));
@@ -253,17 +264,42 @@ mod tests {
 
     #[test]
     fn trapezoid_intersection_tests() {
-        let a = Trapezoid { y_lo: 0.0, y_hi: 2.0, x_lo: (0.0, 2.0), x_hi: (0.0, 2.0) };
-        let b = Trapezoid { y_lo: 1.0, y_hi: 3.0, x_lo: (1.0, 3.0), x_hi: (1.0, 3.0) };
-        let c = Trapezoid { y_lo: 5.0, y_hi: 6.0, x_lo: (0.0, 1.0), x_hi: (0.0, 1.0) };
+        let a = Trapezoid {
+            y_lo: 0.0,
+            y_hi: 2.0,
+            x_lo: (0.0, 2.0),
+            x_hi: (0.0, 2.0),
+        };
+        let b = Trapezoid {
+            y_lo: 1.0,
+            y_hi: 3.0,
+            x_lo: (1.0, 3.0),
+            x_hi: (1.0, 3.0),
+        };
+        let c = Trapezoid {
+            y_lo: 5.0,
+            y_hi: 6.0,
+            x_lo: (0.0, 1.0),
+            x_hi: (0.0, 1.0),
+        };
         assert!(a.intersects(&b));
         assert!(b.intersects(&a));
         assert!(!a.intersects(&c));
         // Touching along an edge counts (closed semantics).
-        let d = Trapezoid { y_lo: 2.0, y_hi: 3.0, x_lo: (0.0, 2.0), x_hi: (0.0, 2.0) };
+        let d = Trapezoid {
+            y_lo: 2.0,
+            y_hi: 3.0,
+            x_lo: (0.0, 2.0),
+            x_hi: (0.0, 2.0),
+        };
         assert!(a.intersects(&d));
         // Degenerate (triangle) trapezoid.
-        let tri = Trapezoid { y_lo: 0.0, y_hi: 1.0, x_lo: (0.0, 2.0), x_hi: (1.0, 1.0) };
+        let tri = Trapezoid {
+            y_lo: 0.0,
+            y_hi: 1.0,
+            x_lo: (0.0, 2.0),
+            x_hi: (1.0, 1.0),
+        };
         assert!(tri.intersects(&a));
     }
 

@@ -234,7 +234,10 @@ impl TrStarTree {
     fn split(&mut self, node: u32) {
         let level = self.nodes[node as usize].level;
         let children = std::mem::take(&mut self.nodes[node as usize].children);
-        let rects: Vec<Rect> = children.iter().map(|&c| self.child_rect(level, c)).collect();
+        let rects: Vec<Rect> = children
+            .iter()
+            .map(|&c| self.child_rect(level, c))
+            .collect();
 
         let (group_a, group_b) = self.best_split(&children, &rects);
 
@@ -251,10 +254,18 @@ impl TrStarTree {
         if node == self.root {
             // Grow the tree: new root above two fresh nodes.
             let a_idx = self.nodes.len() as u32;
-            self.nodes.push(Node { rect: rect_a, level, children: group_a });
+            self.nodes.push(Node {
+                rect: rect_a,
+                level,
+                children: group_a,
+            });
             self.parents.push(Some(node));
             let b_idx = self.nodes.len() as u32;
-            self.nodes.push(Node { rect: rect_b, level, children: group_b });
+            self.nodes.push(Node {
+                rect: rect_b,
+                level,
+                children: group_b,
+            });
             self.parents.push(Some(node));
             let root_rect = rect_a.union(&rect_b);
             self.nodes[node as usize] = Node {
@@ -269,7 +280,11 @@ impl TrStarTree {
             self.nodes[node as usize].rect = rect_a;
             self.nodes[node as usize].children = group_a;
             let b_idx = self.nodes.len() as u32;
-            self.nodes.push(Node { rect: rect_b, level, children: group_b });
+            self.nodes.push(Node {
+                rect: rect_b,
+                level,
+                children: group_b,
+            });
             self.parents.push(Some(parent));
             self.reparent_children(node);
             self.reparent_children(b_idx);
@@ -301,17 +316,31 @@ impl TrStarTree {
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_by(|&i, &j| {
                 let (ki, kj) = if axis == 0 {
-                    ((rects[i].xmin(), rects[i].xmax()), (rects[j].xmin(), rects[j].xmax()))
+                    (
+                        (rects[i].xmin(), rects[i].xmax()),
+                        (rects[j].xmin(), rects[j].xmax()),
+                    )
                 } else {
-                    ((rects[i].ymin(), rects[i].ymax()), (rects[j].ymin(), rects[j].ymax()))
+                    (
+                        (rects[i].ymin(), rects[i].ymax()),
+                        (rects[j].ymin(), rects[j].ymax()),
+                    )
                 };
                 ki.partial_cmp(&kj).expect("finite")
             });
             for k in m..=(n - m) {
                 let left: Vec<usize> = order[..k].to_vec();
                 let right: Vec<usize> = order[k..].to_vec();
-                let rect_l = left.iter().map(|&i| rects[i]).reduce(|a, b| a.union(&b)).unwrap();
-                let rect_r = right.iter().map(|&i| rects[i]).reduce(|a, b| a.union(&b)).unwrap();
+                let rect_l = left
+                    .iter()
+                    .map(|&i| rects[i])
+                    .reduce(|a, b| a.union(&b))
+                    .unwrap();
+                let rect_r = right
+                    .iter()
+                    .map(|&i| rects[i])
+                    .reduce(|a, b| a.union(&b))
+                    .unwrap();
                 let overlap = rect_l.intersection_area(&rect_r);
                 let area = rect_l.area() + rect_r.area();
                 if best
@@ -466,7 +495,10 @@ impl TrStarStore {
         if self.trees.is_empty() {
             return 0.0;
         }
-        self.trees.iter().map(|t| t.num_trapezoids() as f64).sum::<f64>()
+        self.trees
+            .iter()
+            .map(|t| t.num_trapezoids() as f64)
+            .sum::<f64>()
             / self.trees.len() as f64
     }
 }
@@ -532,8 +564,7 @@ mod tests {
                 let in_region = b.contains_point(p);
                 let in_tree = tree.contains_point(p, &mut counts);
                 if in_region != in_tree {
-                    let near_boundary =
-                        b.edges().any(|e| e.dist_to_point(p) < 1e-9 * mbr.width());
+                    let near_boundary = b.edges().any(|e| e.dist_to_point(p) < 1e-9 * mbr.width());
                     assert!(near_boundary, "mismatch at {p:?} not near boundary");
                 }
             }
@@ -547,15 +578,27 @@ mod tests {
             (blob(30, 0.0, 0.0, 0.0), blob(30, 2.0, 1.0, 1.0), true),
             (blob(30, 0.0, 0.0, 0.0), blob(30, 20.0, 0.0, 1.0), false),
             // Containment: big blob vs tiny square inside.
-            (blob(30, 0.0, 0.0, 0.0), region(&[(-0.3, -0.3), (0.3, -0.3), (0.3, 0.3), (-0.3, 0.3)]), true),
+            (
+                blob(30, 0.0, 0.0, 0.0),
+                region(&[(-0.3, -0.3), (0.3, -0.3), (0.3, 0.3), (-0.3, 0.3)]),
+                true,
+            ),
         ];
         for (i, (a, b, expect)) in cases.iter().enumerate() {
             let ta = TrStarTree::build(a, 3);
             let tb = TrStarTree::build(b, 3);
             let mut c1 = OpCounts::new();
             let mut c2 = OpCounts::new();
-            assert_eq!(trees_intersect(&ta, &tb, &mut c1), *expect, "case {i} (tr*)");
-            assert_eq!(quadratic_intersects(a, b, &mut c2), *expect, "case {i} (quad)");
+            assert_eq!(
+                trees_intersect(&ta, &tb, &mut c1),
+                *expect,
+                "case {i} (tr*)"
+            );
+            assert_eq!(
+                quadratic_intersects(a, b, &mut c2),
+                *expect,
+                "case {i} (quad)"
+            );
         }
     }
 

@@ -45,11 +45,7 @@ pub fn region_intersects_rect(
 
 /// Counted point-in-region test for the exact step of a multi-step point
 /// query.
-pub fn region_contains_point(
-    region: &PolygonWithHoles,
-    p: Point,
-    counts: &mut OpCounts,
-) -> bool {
+pub fn region_contains_point(region: &PolygonWithHoles, p: Point, counts: &mut OpCounts) -> bool {
     counts.rect_rect += 1;
     if !region.mbr().contains_point(p) {
         return false;
@@ -119,15 +115,35 @@ mod tests {
         let tri = region(&[(0.0, 0.0), (8.0, 0.0), (0.0, 8.0)]);
         let mut c = OpCounts::new();
         // Crossing the boundary.
-        assert!(region_intersects_rect(&tri, &Rect::from_bounds(-1.0, -1.0, 1.0, 1.0), &mut c));
+        assert!(region_intersects_rect(
+            &tri,
+            &Rect::from_bounds(-1.0, -1.0, 1.0, 1.0),
+            &mut c
+        ));
         // Fully inside.
-        assert!(region_intersects_rect(&tri, &Rect::from_bounds(1.0, 1.0, 2.0, 2.0), &mut c));
+        assert!(region_intersects_rect(
+            &tri,
+            &Rect::from_bounds(1.0, 1.0, 2.0, 2.0),
+            &mut c
+        ));
         // Region inside a huge window.
-        assert!(region_intersects_rect(&tri, &Rect::from_bounds(-10.0, -10.0, 20.0, 20.0), &mut c));
+        assert!(region_intersects_rect(
+            &tri,
+            &Rect::from_bounds(-10.0, -10.0, 20.0, 20.0),
+            &mut c
+        ));
         // MBR overlap but disjoint (beyond the hypotenuse).
-        assert!(!region_intersects_rect(&tri, &Rect::from_bounds(6.0, 6.0, 7.0, 7.0), &mut c));
+        assert!(!region_intersects_rect(
+            &tri,
+            &Rect::from_bounds(6.0, 6.0, 7.0, 7.0),
+            &mut c
+        ));
         // Fully outside MBR.
-        assert!(!region_intersects_rect(&tri, &Rect::from_bounds(20.0, 0.0, 21.0, 1.0), &mut c));
+        assert!(!region_intersects_rect(
+            &tri,
+            &Rect::from_bounds(20.0, 0.0, 21.0, 1.0),
+            &mut c
+        ));
         assert!(c.edge_rect > 0 && c.rect_rect > 0);
     }
 
@@ -135,9 +151,17 @@ mod tests {
     fn window_inside_hole_is_disjoint() {
         let d = donut();
         let mut c = OpCounts::new();
-        assert!(!region_intersects_rect(&d, &Rect::from_bounds(4.0, 4.0, 6.0, 6.0), &mut c));
+        assert!(!region_intersects_rect(
+            &d,
+            &Rect::from_bounds(4.0, 4.0, 6.0, 6.0),
+            &mut c
+        ));
         // Window bridging hole and ring intersects.
-        assert!(region_intersects_rect(&d, &Rect::from_bounds(4.0, 4.0, 8.0, 6.0), &mut c));
+        assert!(region_intersects_rect(
+            &d,
+            &Rect::from_bounds(4.0, 4.0, 8.0, 6.0),
+            &mut c
+        ));
     }
 
     #[test]
@@ -147,7 +171,14 @@ mod tests {
         let shapes = [
             region(&[(0.0, 0.0), (8.0, 0.0), (0.0, 8.0)]),
             donut(),
-            region(&[(0.0, 0.0), (4.0, 1.0), (8.0, 0.0), (7.0, 5.0), (4.0, 3.0), (1.0, 5.0)]),
+            region(&[
+                (0.0, 0.0),
+                (4.0, 1.0),
+                (8.0, 0.0),
+                (7.0, 5.0),
+                (4.0, 3.0),
+                (1.0, 5.0),
+            ]),
         ];
         let windows = [
             Rect::from_bounds(-1.0, -1.0, 0.5, 0.5),

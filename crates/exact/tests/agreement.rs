@@ -3,16 +3,18 @@
 //! closed-region intersection predicate on arbitrary generated shapes.
 
 use msj_datagen::{blob, BlobParams};
-use msj_exact::{
-    quadratic_intersects, sweep_intersects, trees_intersect, OpCounts, TrStarTree,
-};
+use msj_exact::{quadratic_intersects, sweep_intersects, trees_intersect, OpCounts, TrStarTree};
 use msj_geom::{Point, PolygonWithHoles};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn blob_region(seed: u64, vertices: usize, cx: f64, cy: f64) -> PolygonWithHoles {
-    let params = BlobParams { vertices, radius: 3.0, ..BlobParams::default() };
+    let params = BlobParams {
+        vertices,
+        radius: 3.0,
+        ..BlobParams::default()
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     blob(&mut rng, Point::new(cx, cy), &params).into()
 }

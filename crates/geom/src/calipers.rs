@@ -102,7 +102,12 @@ pub fn min_area_rect(points: &[Point]) -> Option<OrientedRect> {
         let half_w = 0.5 * (umax - umin);
         let half_h = 0.5 * (vmax - vmin);
         let center = dir * (0.5 * (umin + umax)) + perp * (0.5 * (vmin + vmax));
-        let cand = OrientedRect { center, axis: dir, half_w, half_h };
+        let cand = OrientedRect {
+            center,
+            axis: dir,
+            half_w,
+            half_h,
+        };
         if best.is_none_or(|b| cand.area() < b.area()) {
             best = Some(cand);
         }

@@ -177,7 +177,11 @@ mod tests {
 
     #[test]
     fn clip_triangle_and_square() {
-        let tri = vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(0.0, 4.0)];
+        let tri = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 4.0),
+        ];
         let sq = square(0.0, 0.0, 2.0);
         // The part of the square under the line x + y = 4 is the whole
         // square (corner (2,2) is exactly on the line).
@@ -186,7 +190,11 @@ mod tests {
 
     #[test]
     fn intersection_area_is_symmetric() {
-        let a = vec![Point::new(0.0, 0.0), Point::new(3.0, 1.0), Point::new(1.0, 3.0)];
+        let a = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(1.0, 3.0),
+        ];
         let b = square(0.5, 0.5, 1.5);
         let ab = convex_intersection_area(&a, &b);
         let ba = convex_intersection_area(&b, &a);
@@ -211,7 +219,11 @@ mod tests {
     fn sat_separated_by_diagonal_axis() {
         // A triangle and a square whose AABBs overlap but which are
         // separated by the triangle's hypotenuse normal.
-        let tri = vec![Point::new(0.0, 0.0), Point::new(3.0, 0.0), Point::new(0.0, 3.0)];
+        let tri = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(0.0, 3.0),
+        ];
         let sq = square(1.8, 1.8, 1.0);
         // AABBs overlap:
         assert!(crate::rect::Rect::bounding(tri.iter().copied())

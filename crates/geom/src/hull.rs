@@ -29,8 +29,7 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
     // Lower hull.
     for &p in &pts {
-        while hull.len() >= 2
-            && orient2d_raw(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        while hull.len() >= 2 && orient2d_raw(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
         {
             hull.pop();
         }
@@ -94,9 +93,7 @@ mod tests {
         let h = convex_hull(&pts);
         assert_eq!(h.len(), 4);
         // CCW orientation.
-        let area2: f64 = (0..h.len())
-            .map(|i| h[i].cross(h[(i + 1) % h.len()]))
-            .sum();
+        let area2: f64 = (0..h.len()).map(|i| h[i].cross(h[(i + 1) % h.len()])).sum();
         assert!(area2 > 0.0);
     }
 
@@ -160,9 +157,13 @@ mod tests {
         let mut pts = Vec::new();
         let mut x: u64 = 0x9E3779B97F4A7C15;
         for _ in 0..200 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = ((x >> 11) as f64 / (1u64 << 53) as f64) * 10.0;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = ((x >> 11) as f64 / (1u64 << 53) as f64) * 10.0;
             pts.push(Point::new(a, b));
         }

@@ -101,7 +101,10 @@ impl Point {
     /// Linear interpolation: `self + t * (other - self)`.
     #[inline]
     pub fn lerp(self, other: Point, t: f64) -> Point {
-        Point::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+        Point::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
     }
 
     /// Whether both coordinates are finite.

@@ -159,16 +159,22 @@ impl Polygon {
 
     /// Polygon rotated by `angle` radians counter-clockwise about `c`.
     pub fn rotated_about(&self, c: Point, angle: f64) -> Polygon {
-        let vertices: Vec<Point> =
-            self.vertices.iter().map(|&p| c + (p - c).rotated(angle)).collect();
+        let vertices: Vec<Point> = self
+            .vertices
+            .iter()
+            .map(|&p| c + (p - c).rotated(angle))
+            .collect();
         let mbr = Rect::bounding(vertices.iter().copied()).expect("non-empty");
         Polygon { vertices, mbr }
     }
 
     /// Polygon scaled by `factor` about `c`.
     pub fn scaled_about(&self, c: Point, factor: f64) -> Polygon {
-        let vertices: Vec<Point> =
-            self.vertices.iter().map(|&p| c + (p - c) * factor).collect();
+        let vertices: Vec<Point> = self
+            .vertices
+            .iter()
+            .map(|&p| c + (p - c) * factor)
+            .collect();
         let mbr = Rect::bounding(vertices.iter().copied()).expect("non-empty");
         Polygon { vertices, mbr }
     }
@@ -225,7 +231,10 @@ impl PolygonWithHoles {
 
     /// A hole-free region.
     pub fn simple(outer: Polygon) -> Self {
-        PolygonWithHoles { outer, holes: Vec::new() }
+        PolygonWithHoles {
+            outer,
+            holes: Vec::new(),
+        }
     }
 
     #[inline]
@@ -280,7 +289,11 @@ impl PolygonWithHoles {
     pub fn rotated_about(&self, c: Point, angle: f64) -> PolygonWithHoles {
         PolygonWithHoles {
             outer: self.outer.rotated_about(c, angle),
-            holes: self.holes.iter().map(|h| h.rotated_about(c, angle)).collect(),
+            holes: self
+                .holes
+                .iter()
+                .map(|h| h.rotated_about(c, angle))
+                .collect(),
         }
     }
 
@@ -288,7 +301,11 @@ impl PolygonWithHoles {
     pub fn scaled_about(&self, c: Point, factor: f64) -> PolygonWithHoles {
         PolygonWithHoles {
             outer: self.outer.scaled_about(c, factor),
-            holes: self.holes.iter().map(|h| h.scaled_about(c, factor)).collect(),
+            holes: self
+                .holes
+                .iter()
+                .map(|h| h.scaled_about(c, factor))
+                .collect(),
         }
     }
 }

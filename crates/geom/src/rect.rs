@@ -22,7 +22,10 @@ impl Rect {
     /// Creates a rectangle from two opposite corners (in any order).
     #[inline]
     pub fn new(a: Point, b: Point) -> Self {
-        Rect { lo: a.min(b), hi: a.max(b) }
+        Rect {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
     }
 
     /// Creates a rectangle from coordinate bounds.
@@ -192,7 +195,10 @@ impl Rect {
 
     /// Rectangle translated by the vector `v`.
     pub fn translated(&self, v: Point) -> Rect {
-        Rect { lo: self.lo + v, hi: self.hi + v }
+        Rect {
+            lo: self.lo + v,
+            hi: self.hi + v,
+        }
     }
 
     /// Minimum distance from `p` to the closed rectangle (0 when inside).
@@ -224,7 +230,11 @@ mod tests {
 
     #[test]
     fn bounding_of_points() {
-        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 0.5), Point::new(4.0, 2.0)];
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.5),
+            Point::new(4.0, 2.0),
+        ];
         let b = Rect::bounding(pts).unwrap();
         assert_eq!(b, r(-2.0, 0.5, 4.0, 5.0));
         assert!(Rect::bounding(std::iter::empty()).is_none());
@@ -239,7 +249,10 @@ mod tests {
         // Shared corner counts too.
         assert!(a.intersects(&r(2.0, 2.0, 3.0, 3.0)));
         assert!(!a.intersects(&r(2.1, 0.0, 3.0, 1.0)));
-        assert_eq!(a.intersection(&r(1.0, -1.0, 3.0, 1.0)), Some(r(1.0, 0.0, 2.0, 1.0)));
+        assert_eq!(
+            a.intersection(&r(1.0, -1.0, 3.0, 1.0)),
+            Some(r(1.0, 0.0, 2.0, 1.0))
+        );
         assert_eq!(a.intersection(&r(5.0, 5.0, 6.0, 6.0)), None);
         assert_eq!(a.intersection_area(&r(1.0, 1.0, 3.0, 3.0)), 1.0);
         assert_eq!(a.intersection_area(&r(5.0, 5.0, 6.0, 6.0)), 0.0);

@@ -265,7 +265,7 @@ mod tests {
         assert!(s(-1.0, 1.0, 3.0, 1.0).intersects_rect(&r)); // crosses through
         assert!(s(-1.0, -1.0, 3.0, 3.0).intersects_rect(&r)); // diagonal through
         assert!(!s(3.0, 0.0, 4.0, 1.0).intersects_rect(&r)); // fully outside
-        // Outside but with overlapping bounding boxes.
+                                                             // Outside but with overlapping bounding boxes.
         assert!(!s(2.5, -1.0, 4.0, 3.0).intersects_rect(&r));
         // Touching a corner.
         assert!(s(2.0, 2.0, 3.0, 3.0).intersects_rect(&r));
@@ -276,7 +276,10 @@ mod tests {
         let e = s(0.0, 0.0, 2.0, 0.0);
         assert_eq!(e.dist_to_point(Point::new(1.0, 1.0)), 1.0);
         assert_eq!(e.dist_to_point(Point::new(-1.0, 0.0)), 1.0);
-        assert_eq!(e.dist_to_point(Point::new(3.0, 4.0)), Point::new(2.0, 0.0).dist(Point::new(3.0, 4.0)));
+        assert_eq!(
+            e.dist_to_point(Point::new(3.0, 4.0)),
+            Point::new(2.0, 0.0).dist(Point::new(3.0, 4.0))
+        );
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Minimal SVG rendering of regions and relations — a debugging and
 //! presentation aid (maps, approximation overlays) with no dependencies.
 
+use crate::object::Relation;
 use crate::point::Point;
 use crate::polygon::PolygonWithHoles;
 use crate::rect::Rect;
-use crate::object::Relation;
 use std::fmt::Write as _;
 
 /// Style of one rendered shape.
@@ -20,14 +20,22 @@ pub struct Style {
 
 impl Default for Style {
     fn default() -> Self {
-        Style { fill: "#d9e4f1".into(), stroke: "#4a6785".into(), stroke_width: 1.0 }
+        Style {
+            fill: "#d9e4f1".into(),
+            stroke: "#4a6785".into(),
+            stroke_width: 1.0,
+        }
     }
 }
 
 impl Style {
     /// An outline-only style.
     pub fn outline(stroke: &str, width: f64) -> Style {
-        Style { fill: "none".into(), stroke: stroke.into(), stroke_width: width }
+        Style {
+            fill: "none".into(),
+            stroke: stroke.into(),
+            stroke_width: width,
+        }
     }
 }
 
@@ -46,7 +54,12 @@ impl SvgCanvas {
     /// aspect ratio.
     pub fn new(world: Rect, width: f64) -> Self {
         let height = width * world.height() / world.width().max(f64::MIN_POSITIVE);
-        SvgCanvas { world, width, height, body: String::new() }
+        SvgCanvas {
+            world,
+            width,
+            height,
+            body: String::new(),
+        }
     }
 
     fn map(&self, p: Point) -> (f64, f64) {
@@ -147,7 +160,10 @@ mod tests {
     fn canvas_produces_valid_looking_svg() {
         let mut c = SvgCanvas::new(Rect::from_bounds(0.0, 0.0, 100.0, 50.0), 400.0);
         c.region(&square(10.0, 10.0, 20.0), &Style::default());
-        c.rect(&Rect::from_bounds(0.0, 0.0, 100.0, 50.0), &Style::outline("#000", 0.5));
+        c.rect(
+            &Rect::from_bounds(0.0, 0.0, 100.0, 50.0),
+            &Style::outline("#000", 0.5),
+        );
         c.label(Point::new(5.0, 45.0), "map", 12.0);
         let svg = c.finish();
         assert!(svg.starts_with("<svg"));

@@ -110,7 +110,12 @@ mod tests {
 
     #[test]
     fn square_is_simple() {
-        assert!(is_simple(&poly(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)])));
+        assert!(is_simple(&poly(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (1.0, 1.0),
+            (0.0, 1.0)
+        ])));
     }
 
     #[test]

@@ -80,8 +80,7 @@ impl<'a> Cursor<'a> {
     fn number(&mut self) -> Result<f64, WktError> {
         self.skip_ws();
         let start = self.pos;
-        while self.src[self.pos..]
-            .starts_with(|c: char| c.is_ascii_digit() || "+-.eE".contains(c))
+        while self.src[self.pos..].starts_with(|c: char| c.is_ascii_digit() || "+-.eE".contains(c))
         {
             self.pos += 1;
         }
@@ -211,7 +210,6 @@ pub fn to_wkt(region: &PolygonWithHoles) -> String {
     out
 }
 
-
 /// Reads a relation from line-oriented WKT: one `POLYGON`/`MULTIPOLYGON`
 /// per non-empty line (ids assigned sequentially; a multipolygon
 /// contributes one object per polygon). Lines starting with `#` are
@@ -254,10 +252,8 @@ mod tests {
 
     #[test]
     fn parse_polygon_with_hole() {
-        let r = parse_polygon(
-            "polygon((0 0, 10 0, 10 10, 0 10, 0 0), (3 3, 7 3, 7 7, 3 7, 3 3))",
-        )
-        .unwrap();
+        let r = parse_polygon("polygon((0 0, 10 0, 10 10, 0 10, 0 0), (3 3, 7 3, 7 7, 3 7, 3 3))")
+            .unwrap();
         assert_eq!(r.area(), 100.0 - 16.0);
         assert_eq!(r.holes().len(), 1);
         assert!(!r.contains_point(Point::new(5.0, 5.0)));
@@ -315,10 +311,9 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_geometry() {
-        let original = parse_polygon(
-            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))",
-        )
-        .unwrap();
+        let original =
+            parse_polygon("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))")
+                .unwrap();
         let wkt = to_wkt(&original);
         let reparsed = parse_polygon(&wkt).unwrap();
         assert_eq!(original.area(), reparsed.area());
@@ -326,16 +321,13 @@ mod tests {
         assert_eq!(original.holes().len(), reparsed.holes().len());
     }
 
-
     #[test]
     fn relation_roundtrip_through_wkt_lines() {
         use crate::object::Relation;
         let rel = Relation::from_regions(vec![
             parse_polygon("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))").unwrap(),
-            parse_polygon(
-                "POLYGON ((5 5, 9 5, 9 9, 5 9, 5 5), (6 6, 7 6, 7 7, 6 7, 6 6))",
-            )
-            .unwrap(),
+            parse_polygon("POLYGON ((5 5, 9 5, 9 9, 5 9, 5 5), (6 6, 7 6, 7 7, 6 7, 6 6))")
+                .unwrap(),
         ]);
         let mut buf = Vec::new();
         write_relation(&mut buf, &rel).unwrap();

@@ -1,8 +1,8 @@
 //! Property-based tests for the geometry kernel invariants.
 
 use msj_geom::{
-    clip_convex, convex_contains_point, convex_hull, convex_intersect,
-    convex_intersection_area, is_simple, min_area_rect, ring_area, Point, Polygon, Rect, Segment,
+    clip_convex, convex_contains_point, convex_hull, convex_intersect, convex_intersection_area,
+    is_simple, min_area_rect, ring_area, Point, Polygon, Rect, Segment,
 };
 use proptest::prelude::*;
 

@@ -1,0 +1,362 @@
+//! The partitioned MBR join: per-tile plane sweeps executed in parallel
+//! over scoped threads, merged deterministically in tile order.
+
+use crate::grid::Grid;
+use crate::stats::PartitionStats;
+use msj_geom::{ObjectId, Rect};
+
+/// What one tile's mini-join produced.
+#[derive(Debug, Default)]
+struct TileResult {
+    pairs: Vec<(ObjectId, ObjectId)>,
+    pair_tests: u64,
+    dedup_skipped: u64,
+}
+
+/// Forward plane sweep over one tile's two rectangle lists (already
+/// bucketed; sorted here by `xmin`), reporting intersecting pairs whose
+/// reference point lies in `tile`.
+///
+/// Exposed for tests and benches; [`partition_join`] drives it per tile.
+pub fn tile_sweep(
+    grid: &Grid,
+    tile: usize,
+    side_a: &mut [(Rect, ObjectId)],
+    side_b: &mut [(Rect, ObjectId)],
+    on_pair: &mut impl FnMut(ObjectId, ObjectId),
+) -> (u64, u64) {
+    let mut pair_tests = 0u64;
+    let mut dedup_skipped = 0u64;
+    side_a.sort_unstable_by(|p, q| p.0.xmin().partial_cmp(&q.0.xmin()).expect("finite xmin"));
+    side_b.sort_unstable_by(|p, q| p.0.xmin().partial_cmp(&q.0.xmin()).expect("finite xmin"));
+
+    let mut emit = |ra: &Rect, ida: ObjectId, rb: &Rect, idb: ObjectId| {
+        // x-overlap is implied by the sweep; test y, then dedup on the
+        // reference point (the pair is replicated into every tile both
+        // rectangles overlap, but counts only where the lower-left corner
+        // of their intersection falls).
+        if ra.ymin() <= rb.ymax() && rb.ymin() <= ra.ymax() {
+            if grid.reference_tile(ra, rb) == tile {
+                on_pair(ida, idb);
+            } else {
+                dedup_skipped += 1;
+            }
+        }
+    };
+
+    let mut i = 0;
+    let mut j = 0;
+    while i < side_a.len() && j < side_b.len() {
+        if side_a[i].0.xmin() <= side_b[j].0.xmin() {
+            let (ra, ida) = side_a[i];
+            for &(rb, idb) in side_b[j..].iter() {
+                if rb.xmin() > ra.xmax() {
+                    break;
+                }
+                pair_tests += 1;
+                emit(&ra, ida, &rb, idb);
+            }
+            i += 1;
+        } else {
+            let (rb, idb) = side_b[j];
+            for &(ra, ida) in side_a[i..].iter() {
+                if ra.xmin() > rb.xmax() {
+                    break;
+                }
+                pair_tests += 1;
+                emit(&ra, ida, &rb, idb);
+            }
+            j += 1;
+        }
+    }
+    (pair_tests, dedup_skipped)
+}
+
+/// Below this many total tile assignments the sweeps run on the calling
+/// thread regardless of the requested `threads` — spawn cost would
+/// dominate the sub-millisecond sweep work. [`PartitionStats::threads`]
+/// records the worker count actually used.
+pub const PARALLEL_THRESHOLD: u64 = 4096;
+
+/// The partitioned parallel MBR join.
+///
+/// Every intersecting `(a, b)` MBR pair is streamed to `on_pair` exactly
+/// once, in deterministic tile-major order independent of `threads`.
+/// `threads == 0` uses the machine's available parallelism; inputs below
+/// [`PARALLEL_THRESHOLD`] assignments run serially either way. Tile
+/// sweeps run on scoped worker threads; the sink runs on the calling
+/// thread, so downstream steps need no synchronization.
+pub fn partition_join<F: FnMut(ObjectId, ObjectId)>(
+    a: &[(Rect, ObjectId)],
+    b: &[(Rect, ObjectId)],
+    tiles_per_axis: usize,
+    threads: usize,
+    mut on_pair: F,
+) -> PartitionStats {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let Some(grid) = Grid::covering(a, b, tiles_per_axis) else {
+        // One side (or both) is empty: no candidates, an empty grid.
+        return PartitionStats::empty(tiles_per_axis, threads);
+    };
+    if a.is_empty() || b.is_empty() {
+        return PartitionStats::empty(tiles_per_axis, threads);
+    }
+
+    let (mut buckets_a, assignments_a) = grid.assign(a);
+    let (mut buckets_b, assignments_b) = grid.assign(b);
+    let tile_count = grid.tile_count();
+
+    // Tiles are handed to workers round-robin (tile t → worker t mod W) so
+    // spatially clustered hot tiles spread across workers; each worker
+    // writes into its own slot of the per-tile result table.
+    let workers = if assignments_a + assignments_b < PARALLEL_THRESHOLD {
+        1
+    } else {
+        threads.min(tile_count).max(1)
+    };
+    let mut results: Vec<TileResult> = Vec::with_capacity(tile_count);
+    results.resize_with(tile_count, TileResult::default);
+
+    if workers <= 1 {
+        for (tile, result) in results.iter_mut().enumerate() {
+            run_tile(
+                &grid,
+                tile,
+                &mut buckets_a[tile],
+                &mut buckets_b[tile],
+                result,
+            );
+        }
+    } else {
+        // Split the per-tile slots round-robin into one work list per
+        // worker (tile t → worker t mod W).
+        let mut per_worker: Vec<Vec<(usize, &mut TileResult, _, _)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        let slots = results
+            .iter_mut()
+            .zip(buckets_a.iter_mut())
+            .zip(buckets_b.iter_mut())
+            .enumerate()
+            .map(|(tile, ((res, ba), bb))| (tile, res, ba, bb));
+        for slot in slots {
+            per_worker[slot.0 % workers].push(slot);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = per_worker
+                .into_iter()
+                .map(|own| {
+                    let grid = &grid;
+                    scope.spawn(move || {
+                        for (tile, result, bucket_a, bucket_b) in own {
+                            run_tile(grid, tile, bucket_a, bucket_b, result);
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("tile worker panicked");
+            }
+        });
+    }
+
+    // Deterministic merge: replay pairs in tile-major order on the
+    // calling thread.
+    let mut stats = PartitionStats {
+        tiles_per_axis: grid.tiles_per_axis(),
+        threads: workers,
+        assignments_a,
+        assignments_b,
+        items_a: a.len() as u64,
+        items_b: b.len() as u64,
+        pair_tests: 0,
+        dedup_skipped: 0,
+        tile_candidates: Vec::with_capacity(tile_count),
+    };
+    for result in results {
+        stats.pair_tests += result.pair_tests;
+        stats.dedup_skipped += result.dedup_skipped;
+        stats.tile_candidates.push(result.pairs.len() as u64);
+        for (id_a, id_b) in result.pairs {
+            on_pair(id_a, id_b);
+        }
+    }
+    stats
+}
+
+fn run_tile(
+    grid: &Grid,
+    tile: usize,
+    bucket_a: &mut [(Rect, ObjectId)],
+    bucket_b: &mut [(Rect, ObjectId)],
+    result: &mut TileResult,
+) {
+    if bucket_a.is_empty() || bucket_b.is_empty() {
+        return;
+    }
+    let mut pairs = Vec::new();
+    let (pair_tests, dedup_skipped) = tile_sweep(grid, tile, bucket_a, bucket_b, &mut |x, y| {
+        pairs.push((x, y))
+    });
+    *result = TileResult {
+        pairs,
+        pair_tests,
+        dedup_skipped,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_items(n_side: usize, offset: f64, size: f64) -> Vec<(Rect, ObjectId)> {
+        let mut items = Vec::new();
+        let mut id = 0u32;
+        for i in 0..n_side {
+            for j in 0..n_side {
+                let x = i as f64 * 10.0 + offset;
+                let y = j as f64 * 10.0 + offset;
+                items.push((Rect::from_bounds(x, y, x + size, y + size), id));
+                id += 1;
+            }
+        }
+        items
+    }
+
+    fn reference(a: &[(Rect, ObjectId)], b: &[(Rect, ObjectId)]) -> Vec<(ObjectId, ObjectId)> {
+        let mut out = Vec::new();
+        for &(ra, ida) in a {
+            for &(rb, idb) in b {
+                if ra.intersects(&rb) {
+                    out.push((ida, idb));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn sorted(mut v: Vec<(ObjectId, ObjectId)>) -> Vec<(ObjectId, ObjectId)> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_nested_loops_across_tiles_and_threads() {
+        let a = grid_items(9, 0.0, 8.0);
+        let b = grid_items(9, 4.0, 8.0);
+        let expect = reference(&a, &b);
+        assert!(!expect.is_empty());
+        for tiles in [1usize, 2, 4, 7] {
+            for threads in [1usize, 2, 8] {
+                let mut got = Vec::new();
+                let stats = partition_join(&a, &b, tiles, threads, |x, y| got.push((x, y)));
+                assert_eq!(sorted(got), expect, "tiles {tiles} threads {threads}");
+                assert_eq!(stats.candidates(), expect.len() as u64);
+                assert_eq!(stats.tile_candidates.len(), tiles * tiles);
+            }
+        }
+    }
+
+    #[test]
+    fn output_order_is_thread_count_invariant() {
+        let a = grid_items(8, 0.0, 9.5);
+        let b = grid_items(8, 3.0, 9.5);
+        let mut first = Vec::new();
+        partition_join(&a, &b, 4, 1, |x, y| first.push((x, y)));
+        for threads in [2usize, 3, 8, 16] {
+            let mut got = Vec::new();
+            partition_join(&a, &b, 4, threads, |x, y| got.push((x, y)));
+            assert_eq!(got, first, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn no_duplicates_despite_replication() {
+        // Large rectangles overlapping many tiles stress the dedup.
+        let a = grid_items(5, 0.0, 25.0);
+        let b = grid_items(5, 7.0, 25.0);
+        let mut got = Vec::new();
+        let stats = partition_join(&a, &b, 6, 4, |x, y| got.push((x, y)));
+        let mut deduped = got.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(got.len(), deduped.len(), "duplicate pairs emitted");
+        assert_eq!(sorted(got), reference(&a, &b));
+        assert!(
+            stats.dedup_skipped > 0,
+            "replication should have produced skips"
+        );
+        assert!(stats.replicated_a() > 0);
+    }
+
+    #[test]
+    fn empty_sides_yield_empty_join() {
+        let a = grid_items(3, 0.0, 8.0);
+        let stats = partition_join(&a, &[], 4, 2, |_, _| panic!("no pairs expected"));
+        assert_eq!(stats.candidates(), 0);
+        let stats = partition_join(&[], &a, 4, 2, |_, _| panic!("no pairs expected"));
+        assert_eq!(stats.candidates(), 0);
+    }
+
+    #[test]
+    fn identical_rectangles_all_pair_up() {
+        let r = Rect::from_bounds(1.0, 1.0, 2.0, 2.0);
+        let a: Vec<(Rect, ObjectId)> = (0..40).map(|i| (r, i)).collect();
+        let mut got = Vec::new();
+        let stats = partition_join(&a, &a, 4, 3, |x, y| got.push((x, y)));
+        assert_eq!(got.len(), 1600);
+        // A degenerate-extent universe still lands everything in one tile.
+        assert_eq!(stats.candidates(), 1600);
+    }
+
+    #[test]
+    fn large_inputs_use_the_requested_threads() {
+        let a = grid_items(60, 0.0, 8.0);
+        let b = grid_items(60, 4.0, 8.0);
+        assert!(a.len() as u64 + b.len() as u64 >= super::PARALLEL_THRESHOLD);
+        let mut got = Vec::new();
+        let stats = partition_join(&a, &b, 8, 4, |x, y| got.push((x, y)));
+        assert_eq!(stats.threads, 4);
+        assert_eq!(sorted(got), reference(&a, &b));
+    }
+
+    #[test]
+    fn tiny_inputs_fall_back_to_serial() {
+        let a = grid_items(3, 0.0, 8.0);
+        let b = grid_items(3, 4.0, 8.0);
+        let stats = partition_join(&a, &b, 2, 8, |_, _| {});
+        assert_eq!(stats.threads, 1, "sub-threshold work must not spawn");
+    }
+
+    #[test]
+    fn zero_threads_uses_available_parallelism() {
+        let a = grid_items(6, 0.0, 8.0);
+        let b = grid_items(6, 4.0, 8.0);
+        let mut got = Vec::new();
+        let stats = partition_join(&a, &b, 3, 0, |x, y| got.push((x, y)));
+        assert_eq!(sorted(got), reference(&a, &b));
+        assert!(stats.threads >= 1);
+    }
+
+    #[test]
+    fn stats_accounting_identities() {
+        let a = grid_items(7, 0.0, 12.0);
+        let b = grid_items(7, 5.0, 12.0);
+        let mut count = 0u64;
+        let stats = partition_join(&a, &b, 4, 2, |_, _| count += 1);
+        assert_eq!(stats.candidates(), count);
+        assert_eq!(stats.tile_candidates.iter().sum::<u64>(), count);
+        // Every item is assigned at least once.
+        assert!(stats.assignments_a >= a.len() as u64);
+        assert!(stats.assignments_b >= b.len() as u64);
+        // Pair tests bound the emitted + skipped matches.
+        assert!(stats.pair_tests >= count + stats.dedup_skipped);
+        assert!(stats.busiest_tile().is_some());
+    }
+}

@@ -1,0 +1,112 @@
+//! Execution statistics of one partitioned join.
+
+/// What one [`crate::partition_join`] execution did, including the
+/// per-tile candidate counts that expose partitioning skew.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Tiles per grid side (the grid has `tiles_per_axis²` tiles).
+    pub tiles_per_axis: usize,
+    /// Worker threads the tile sweeps actually ran on.
+    pub threads: usize,
+    /// Total `(rectangle, tile)` assignments of relation A (≥ |A|; the
+    /// excess is replication).
+    pub assignments_a: u64,
+    /// Total `(rectangle, tile)` assignments of relation B.
+    pub assignments_b: u64,
+    /// |A| — to derive the replication factor.
+    pub items_a: u64,
+    /// |B|.
+    pub items_b: u64,
+    /// y-overlap tests across all tile sweeps (x-overlap is implied by
+    /// the sweep order).
+    pub pair_tests: u64,
+    /// Sweep matches suppressed by the reference-point deduplication.
+    pub dedup_skipped: u64,
+    /// Candidates emitted per tile, in tile-major order.
+    pub tile_candidates: Vec<u64>,
+}
+
+impl PartitionStats {
+    /// Stats of a join over an empty side: no tiles ran.
+    pub fn empty(tiles_per_axis: usize, threads: usize) -> Self {
+        PartitionStats {
+            tiles_per_axis: tiles_per_axis.max(1),
+            threads,
+            ..PartitionStats::default()
+        }
+    }
+
+    /// Total candidate pairs emitted.
+    pub fn candidates(&self) -> u64 {
+        self.tile_candidates.iter().sum()
+    }
+
+    /// Tiles that emitted at least one candidate.
+    pub fn nonempty_tiles(&self) -> usize {
+        self.tile_candidates.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// The busiest tile: `(tile index, candidates)`.
+    pub fn busiest_tile(&self) -> Option<(usize, u64)> {
+        self.tile_candidates
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(i, c)| (c, std::cmp::Reverse(i)))
+    }
+
+    /// Extra copies of A's rectangles created by replication.
+    pub fn replicated_a(&self) -> u64 {
+        self.assignments_a.saturating_sub(self.items_a)
+    }
+
+    /// Extra copies of B's rectangles created by replication.
+    pub fn replicated_b(&self) -> u64 {
+        self.assignments_b.saturating_sub(self.items_b)
+    }
+
+    /// Mean tile assignments per input rectangle (1.0 = no replication).
+    pub fn replication_factor(&self) -> f64 {
+        let items = self.items_a + self.items_b;
+        if items == 0 {
+            1.0
+        } else {
+            (self.assignments_a + self.assignments_b) as f64 / items as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let stats = PartitionStats {
+            tiles_per_axis: 2,
+            threads: 4,
+            assignments_a: 15,
+            assignments_b: 12,
+            items_a: 10,
+            items_b: 12,
+            pair_tests: 100,
+            dedup_skipped: 5,
+            tile_candidates: vec![3, 0, 7, 1],
+        };
+        assert_eq!(stats.candidates(), 11);
+        assert_eq!(stats.nonempty_tiles(), 3);
+        assert_eq!(stats.busiest_tile(), Some((2, 7)));
+        assert_eq!(stats.replicated_a(), 5);
+        assert_eq!(stats.replicated_b(), 0);
+        assert!((stats.replication_factor() - 27.0 / 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let stats = PartitionStats::empty(0, 3);
+        assert_eq!(stats.tiles_per_axis, 1);
+        assert_eq!(stats.candidates(), 0);
+        assert_eq!(stats.busiest_tile(), None);
+        assert_eq!(stats.replication_factor(), 1.0);
+    }
+}

@@ -10,7 +10,10 @@ use msj_sam::{PageLayout, RStarTree};
 use std::time::Instant;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
     let side = (n as f64).sqrt().ceil() as usize;
     let items: Vec<(Rect, u32)> = (0..n)
         .map(|i| {
@@ -29,5 +32,6 @@ fn main() {
         tree.height(),
         tree.avg_leaf_fill()
     );
-    tree.check_invariants().expect("invariants after bulk build");
+    tree.check_invariants()
+        .expect("invariants after bulk build");
 }

@@ -51,7 +51,10 @@ mod tests {
             for j in 0..n_side {
                 let x = i as f64 * 10.0 + offset;
                 let y = j as f64 * 10.0 + offset;
-                items.push((Rect::from_bounds(x, y, x + 8.0, y + 8.0), (i * n_side + j) as u32));
+                items.push((
+                    Rect::from_bounds(x, y, x + 8.0, y + 8.0),
+                    (i * n_side + j) as u32,
+                ));
             }
         }
         items
@@ -61,7 +64,11 @@ mod tests {
     fn inl_join_matches_nested_loops() {
         let ia = grid_items(9, 0.0);
         let ib = grid_items(9, 4.0);
-        let layout = PageLayout { page_size: 384, leaf_entry_bytes: 48, dir_entry_bytes: 20 };
+        let layout = PageLayout {
+            page_size: 384,
+            leaf_entry_bytes: 48,
+            dir_entry_bytes: 20,
+        };
         let tb = RStarTree::bulk_insert(layout, ib.iter().copied());
         let mut buffer = LruBuffer::new(1 << 14);
         let mut got = Vec::new();
@@ -79,7 +86,11 @@ mod tests {
         // object costs more physical reads than one synchronized pass.
         let ia = grid_items(14, 0.0);
         let ib = grid_items(14, 4.0);
-        let layout = PageLayout { page_size: 256, leaf_entry_bytes: 48, dir_entry_bytes: 20 };
+        let layout = PageLayout {
+            page_size: 256,
+            leaf_entry_bytes: 48,
+            dir_entry_bytes: 20,
+        };
         let ta = RStarTree::bulk_insert(layout, ia.iter().copied());
         let tb = RStarTree::bulk_insert(layout, ib.iter().copied());
 

@@ -38,7 +38,15 @@ pub fn tree_join<F: FnMut(ObjectId, ObjectId)>(
     if a.is_empty() || b.is_empty() || !a.root_rect().intersects(&b.root_rect()) {
         return stats;
     }
-    join_nodes(a, a.root_page(), b, b.root_page(), buffer, &mut stats, &mut on_pair);
+    join_nodes(
+        a,
+        a.root_page(),
+        b,
+        b.root_page(),
+        buffer,
+        &mut stats,
+        &mut on_pair,
+    );
     let end = buffer.stats();
     stats.io = IoStats {
         logical: end.logical - start.logical,
@@ -65,7 +73,9 @@ fn join_nodes<F: FnMut(ObjectId, ObjectId)>(
         buffer.access(a.page_id(pa));
         let rect_b = b.node_rect(pb);
         for e in a.node_entries(pa) {
-            let Entry::Dir { rect, child } = e else { continue };
+            let Entry::Dir { rect, child } = e else {
+                continue;
+            };
             stats.mbr_tests += 1;
             if rect.intersects(&rect_b) {
                 join_nodes(a, *child, b, pb, buffer, stats, on_pair);
@@ -77,7 +87,9 @@ fn join_nodes<F: FnMut(ObjectId, ObjectId)>(
         buffer.access(b.page_id(pb));
         let rect_a = a.node_rect(pa);
         for e in b.node_entries(pb) {
-            let Entry::Dir { rect, child } = e else { continue };
+            let Entry::Dir { rect, child } = e else {
+                continue;
+            };
             stats.mbr_tests += 1;
             if rect.intersects(&rect_a) {
                 join_nodes(a, pa, b, *child, buffer, stats, on_pair);
@@ -112,8 +124,18 @@ fn join_nodes<F: FnMut(ObjectId, ObjectId)>(
 
     // Plane-sweep order: sort by xmin, then match x-overlapping runs and
     // test only the y-axis.
-    ea.sort_by(|p, q| p.rect().xmin().partial_cmp(&q.rect().xmin()).expect("finite"));
-    eb.sort_by(|p, q| p.rect().xmin().partial_cmp(&q.rect().xmin()).expect("finite"));
+    ea.sort_by(|p, q| {
+        p.rect()
+            .xmin()
+            .partial_cmp(&q.rect().xmin())
+            .expect("finite")
+    });
+    eb.sort_by(|p, q| {
+        p.rect()
+            .xmin()
+            .partial_cmp(&q.rect().xmin())
+            .expect("finite")
+    });
 
     let mut i = 0;
     let mut j = 0;
@@ -215,7 +237,11 @@ mod tests {
 
     fn build(items: &[(Rect, ObjectId)], page: usize) -> RStarTree {
         RStarTree::bulk_insert(
-            PageLayout { page_size: page, leaf_entry_bytes: 48, dir_entry_bytes: 20 },
+            PageLayout {
+                page_size: page,
+                leaf_entry_bytes: 48,
+                dir_entry_bytes: 20,
+            },
             items.iter().copied(),
         )
     }

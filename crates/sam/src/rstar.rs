@@ -28,12 +28,20 @@ pub struct PageLayout {
 impl PageLayout {
     /// The baseline layout: MBR key (16 B) + object info (32 B).
     pub fn baseline(page_size: usize) -> Self {
-        PageLayout { page_size, leaf_entry_bytes: 48, dir_entry_bytes: 20 }
+        PageLayout {
+            page_size,
+            leaf_entry_bytes: 48,
+            dir_entry_bytes: 20,
+        }
     }
 
     /// A layout with `extra` approximation bytes per leaf entry.
     pub fn with_extra_bytes(page_size: usize, extra: usize) -> Self {
-        PageLayout { page_size, leaf_entry_bytes: 48 + extra, dir_entry_bytes: 20 }
+        PageLayout {
+            page_size,
+            leaf_entry_bytes: 48 + extra,
+            dir_entry_bytes: 20,
+        }
     }
 
     /// Maximum leaf entries per page (at least 2).
@@ -167,7 +175,11 @@ impl RStarTree {
         if leaves.is_empty() {
             return 0.0;
         }
-        leaves.iter().map(|n| n.entries.len() as f64 / cap).sum::<f64>() / leaves.len() as f64
+        leaves
+            .iter()
+            .map(|n| n.entries.len() as f64 / cap)
+            .sum::<f64>()
+            / leaves.len() as f64
     }
 
     /// Namespaced page id for buffer accounting.
@@ -250,8 +262,7 @@ impl RStarTree {
         loop {
             let parent = self.find_parent(current);
             let level = self.nodes[current as usize].level;
-            let underfull = self.nodes[current as usize].entries.len()
-                < self.min_entries(level)
+            let underfull = self.nodes[current as usize].entries.len() < self.min_entries(level)
                 && current != self.root;
             if underfull {
                 let parent = parent.expect("non-root node has a parent");
@@ -355,20 +366,23 @@ impl RStarTree {
                         Entry::Leaf { .. } => None,
                     })
                     .collect();
-                ranked.sort_by(|a, b| {
-                    (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite")
-                });
+                ranked.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite"));
                 ranked.truncate(32);
                 for &(enlargement, area, crect, child) in &ranked {
                     let grown = crect.union(&rect);
                     let mut delta = 0.0;
                     for e in &n.entries {
-                        let Entry::Dir { rect: srect, child: sc } = e else { continue };
+                        let Entry::Dir {
+                            rect: srect,
+                            child: sc,
+                        } = e
+                        else {
+                            continue;
+                        };
                         if *sc == child {
                             continue;
                         }
-                        delta +=
-                            grown.intersection_area(srect) - crect.intersection_area(srect);
+                        delta += grown.intersection_area(srect) - crect.intersection_area(srect);
                     }
                     let key = (delta, enlargement, area);
                     if key < best_key {
@@ -378,7 +392,9 @@ impl RStarTree {
                 }
             } else {
                 for e in &n.entries {
-                    let Entry::Dir { rect: crect, child } = e else { continue };
+                    let Entry::Dir { rect: crect, child } = e else {
+                        continue;
+                    };
                     let key = (0.0, crect.enlargement(&rect), crect.area());
                     if key < best_key {
                         best_key = key;
@@ -476,10 +492,18 @@ impl RStarTree {
 
         if node == self.root {
             let a_idx = self.nodes.len() as u32;
-            self.nodes.push(Node { level, rect: rect_a, entries: group_a });
+            self.nodes.push(Node {
+                level,
+                rect: rect_a,
+                entries: group_a,
+            });
             self.parents.push(Some(node));
             let b_idx = self.nodes.len() as u32;
-            self.nodes.push(Node { level, rect: rect_b, entries: group_b });
+            self.nodes.push(Node {
+                level,
+                rect: rect_b,
+                entries: group_b,
+            });
             self.parents.push(Some(node));
             for idx in [a_idx, b_idx] {
                 self.reparent_children(idx);
@@ -488,8 +512,14 @@ impl RStarTree {
                 level: level + 1,
                 rect: rect_a.union(&rect_b),
                 entries: vec![
-                    Entry::Dir { rect: rect_a, child: a_idx },
-                    Entry::Dir { rect: rect_b, child: b_idx },
+                    Entry::Dir {
+                        rect: rect_a,
+                        child: a_idx,
+                    },
+                    Entry::Dir {
+                        rect: rect_b,
+                        child: b_idx,
+                    },
                 ],
             };
         } else {
@@ -497,7 +527,11 @@ impl RStarTree {
             self.nodes[node as usize].entries = group_a;
             self.nodes[node as usize].rect = rect_a;
             let b_idx = self.nodes.len() as u32;
-            self.nodes.push(Node { level, rect: rect_b, entries: group_b });
+            self.nodes.push(Node {
+                level,
+                rect: rect_b,
+                entries: group_b,
+            });
             self.parents.push(Some(parent));
             self.reparent_children(b_idx);
             // Fix the parent's entry for `node` and add the new sibling.
@@ -508,9 +542,10 @@ impl RStarTree {
                     }
                 }
             }
-            self.nodes[parent as usize]
-                .entries
-                .push(Entry::Dir { rect: rect_b, child: b_idx });
+            self.nodes[parent as usize].entries.push(Entry::Dir {
+                rect: rect_b,
+                child: b_idx,
+            });
             self.nodes[parent as usize].recompute_rect();
             self.adjust_path_rects(parent);
             if self.nodes[parent as usize].entries.len() > self.max_entries(level + 1) {
@@ -617,10 +652,7 @@ impl RStarTree {
                         }
                         let c = &self.nodes[*child as usize];
                         if c.level + 1 != n.level {
-                            return Err(format!(
-                                "child level {} under level {}",
-                                c.level, n.level
-                            ));
+                            return Err(format!("child level {} under level {}", c.level, n.level));
                         }
                         if *rect != c.rect {
                             return Err(format!("stale dir rect for child {child}"));
@@ -721,7 +753,11 @@ mod tests {
     #[test]
     fn invariants_hold_after_many_inserts() {
         // A small page size forces many splits and reinserts.
-        let layout = PageLayout { page_size: 256, leaf_entry_bytes: 48, dir_entry_bytes: 20 };
+        let layout = PageLayout {
+            page_size: 256,
+            leaf_entry_bytes: 48,
+            dir_entry_bytes: 20,
+        };
         let tree = grid_tree(20, layout);
         assert_eq!(tree.len(), 400);
         tree.check_invariants().expect("invariants");
@@ -731,7 +767,11 @@ mod tests {
 
     #[test]
     fn point_queries_find_exactly_the_covering_objects() {
-        let layout = PageLayout { page_size: 256, leaf_entry_bytes: 48, dir_entry_bytes: 20 };
+        let layout = PageLayout {
+            page_size: 256,
+            leaf_entry_bytes: 48,
+            dir_entry_bytes: 20,
+        };
         let tree = grid_tree(10, layout);
         let mut buffer = LruBuffer::new(1024);
         // Inside cell (3, 4): object id 3*10+4 = 34.
@@ -745,7 +785,11 @@ mod tests {
 
     #[test]
     fn window_query_matches_linear_scan() {
-        let layout = PageLayout { page_size: 512, leaf_entry_bytes: 48, dir_entry_bytes: 20 };
+        let layout = PageLayout {
+            page_size: 512,
+            leaf_entry_bytes: 48,
+            dir_entry_bytes: 20,
+        };
         let tree = grid_tree(12, layout);
         let mut buffer = LruBuffer::new(1024);
         let window = Rect::from_bounds(15.0, 25.0, 47.0, 58.0);
@@ -774,11 +818,19 @@ mod tests {
     fn smaller_pages_make_taller_trees() {
         let small = grid_tree(
             16,
-            PageLayout { page_size: 256, leaf_entry_bytes: 48, dir_entry_bytes: 20 },
+            PageLayout {
+                page_size: 256,
+                leaf_entry_bytes: 48,
+                dir_entry_bytes: 20,
+            },
         );
         let large = grid_tree(
             16,
-            PageLayout { page_size: 4096, leaf_entry_bytes: 48, dir_entry_bytes: 20 },
+            PageLayout {
+                page_size: 4096,
+                leaf_entry_bytes: 48,
+                dir_entry_bytes: 20,
+            },
         );
         assert!(small.height() > large.height());
         assert!(small.num_pages() > large.num_pages());
@@ -794,7 +846,11 @@ mod tests {
 
     #[test]
     fn buffer_counts_fewer_physical_reads_when_warm() {
-        let layout = PageLayout { page_size: 512, leaf_entry_bytes: 48, dir_entry_bytes: 20 };
+        let layout = PageLayout {
+            page_size: 512,
+            leaf_entry_bytes: 48,
+            dir_entry_bytes: 20,
+        };
         let tree = grid_tree(12, layout);
         let mut buffer = LruBuffer::new(1024);
         let w = Rect::from_bounds(0.0, 0.0, 120.0, 120.0);
@@ -809,7 +865,11 @@ mod tests {
 
     #[test]
     fn avg_leaf_fill_is_reasonable() {
-        let layout = PageLayout { page_size: 512, leaf_entry_bytes: 48, dir_entry_bytes: 20 };
+        let layout = PageLayout {
+            page_size: 512,
+            leaf_entry_bytes: 48,
+            dir_entry_bytes: 20,
+        };
         let tree = grid_tree(16, layout);
         let fill = tree.avg_leaf_fill();
         assert!(fill > 0.4 && fill <= 1.0, "fill {fill}");

@@ -11,7 +11,10 @@ fn grid_items(n_side: usize) -> Vec<(Rect, ObjectId)> {
         for j in 0..n_side {
             let x = i as f64 * 10.0;
             let y = j as f64 * 10.0;
-            items.push((Rect::from_bounds(x, y, x + 8.0, y + 8.0), (i * n_side + j) as u32));
+            items.push((
+                Rect::from_bounds(x, y, x + 8.0, y + 8.0),
+                (i * n_side + j) as u32,
+            ));
         }
     }
     items
@@ -20,7 +23,11 @@ fn grid_items(n_side: usize) -> Vec<(Rect, ObjectId)> {
 #[test]
 fn delete_removes_exactly_the_entry() {
     let items = grid_items(10);
-    let layout = PageLayout { page_size: 256, leaf_entry_bytes: 48, dir_entry_bytes: 20 };
+    let layout = PageLayout {
+        page_size: 256,
+        leaf_entry_bytes: 48,
+        dir_entry_bytes: 20,
+    };
     let mut tree = RStarTree::bulk_insert(layout, items.iter().copied());
     let (rect, id) = items[37];
     assert!(tree.delete(rect, id));
@@ -37,7 +44,11 @@ fn delete_removes_exactly_the_entry() {
 #[test]
 fn delete_everything_empties_the_tree() {
     let items = grid_items(8);
-    let layout = PageLayout { page_size: 256, leaf_entry_bytes: 48, dir_entry_bytes: 20 };
+    let layout = PageLayout {
+        page_size: 256,
+        leaf_entry_bytes: 48,
+        dir_entry_bytes: 20,
+    };
     let mut tree = RStarTree::bulk_insert(layout, items.iter().copied());
     for &(rect, id) in &items {
         assert!(tree.delete(rect, id), "missing ({rect:?}, {id})");

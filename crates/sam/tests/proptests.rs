@@ -17,8 +17,13 @@ fn rect_strategy() -> impl Strategy<Value = Rect> {
 }
 
 fn items_strategy(max: usize) -> impl Strategy<Value = Vec<(Rect, ObjectId)>> {
-    proptest::collection::vec(rect_strategy(), 1..max)
-        .prop_map(|rects| rects.into_iter().enumerate().map(|(i, r)| (r, i as u32)).collect())
+    proptest::collection::vec(rect_strategy(), 1..max).prop_map(|rects| {
+        rects
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (r, i as u32))
+            .collect()
+    })
 }
 
 fn layout_strategy() -> impl Strategy<Value = PageLayout> {

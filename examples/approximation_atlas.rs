@@ -11,7 +11,9 @@ use msj::geom::{Point, Rect};
 use std::fmt::Write as _;
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "approximation_atlas.svg".into());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "approximation_atlas.svg".into());
     let europe = msj::datagen::europe_like(1);
     let obj = europe
         .iter()

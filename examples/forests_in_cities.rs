@@ -7,9 +7,7 @@
 //! cargo run --release --example forests_in_cities
 //! ```
 
-use msj::core::{
-    figure18_cost, CostModelParams, ExactCostKind, JoinConfig, MultiStepJoin,
-};
+use msj::core::{figure18_cost, CostModelParams, ExactCostKind, JoinConfig, MultiStepJoin};
 use msj::geom::Relation;
 
 fn main() {
@@ -18,12 +16,28 @@ fn main() {
     let cities: Relation = msj::datagen::small_carto(250, 48.0, 1234);
     let forests: Relation = msj::datagen::small_carto(250, 64.0, 5678);
 
-    println!("Forests ⋈_intersects Cities — {} x {} objects\n", forests.len(), cities.len());
+    println!(
+        "Forests ⋈_intersects Cities — {} x {} objects\n",
+        forests.len(),
+        cities.len()
+    );
 
     let versions = [
-        ("version 1: no approximations, plane sweep", JoinConfig::version1(), ExactCostKind::PlaneSweep),
-        ("version 2: 5-C + MER, plane sweep", JoinConfig::version2(), ExactCostKind::PlaneSweep),
-        ("version 3: 5-C + MER, TR*-tree (paper's choice)", JoinConfig::version3(), ExactCostKind::TrStar),
+        (
+            "version 1: no approximations, plane sweep",
+            JoinConfig::version1(),
+            ExactCostKind::PlaneSweep,
+        ),
+        (
+            "version 2: 5-C + MER, plane sweep",
+            JoinConfig::version2(),
+            ExactCostKind::PlaneSweep,
+        ),
+        (
+            "version 3: 5-C + MER, TR*-tree (paper's choice)",
+            JoinConfig::version3(),
+            ExactCostKind::TrStar,
+        ),
     ];
 
     let params = CostModelParams::default();
@@ -57,6 +71,9 @@ fn main() {
     }
 
     let pairs = reference.unwrap();
-    println!("every version returns the same {} forest/city pairs — the", pairs.len());
+    println!(
+        "every version returns the same {} forest/city pairs — the",
+        pairs.len()
+    );
     println!("multi-step filters change the cost, never the answer.");
 }

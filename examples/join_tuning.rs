@@ -15,7 +15,12 @@ use msj::exact::ExactAlgorithm;
 fn main() {
     let a = msj::datagen::small_carto(150, 40.0, 2024);
     let b = msj::datagen::small_carto(150, 40.0, 2025);
-    println!("workload: {} x {} objects, avg {:.0} vertices\n", a.len(), b.len(), a.vertex_stats().0);
+    println!(
+        "workload: {} x {} objects, avg {:.0} vertices\n",
+        a.len(),
+        b.len(),
+        a.vertex_stats().0
+    );
 
     let conservatives = [
         None,
@@ -25,8 +30,14 @@ fn main() {
     ];
     let progressives = [None, Some(ProgressiveKind::Mec), Some(ProgressiveKind::Mer)];
     let exacts = [
-        (ExactAlgorithm::PlaneSweep { restrict: true }, ExactCostKind::PlaneSweep),
-        (ExactAlgorithm::TrStar { max_entries: 3 }, ExactCostKind::TrStar),
+        (
+            ExactAlgorithm::PlaneSweep { restrict: true },
+            ExactCostKind::PlaneSweep,
+        ),
+        (
+            ExactAlgorithm::TrStar { max_entries: 3 },
+            ExactCostKind::TrStar,
+        ),
     ];
 
     let params = CostModelParams::default();
@@ -44,7 +55,9 @@ fn main() {
                 let result = MultiStepJoin::new(config).execute(&a, &b);
                 match reference {
                     None => reference = Some(result.pairs.len()),
-                    Some(r) => assert_eq!(r, result.pairs.len(), "result must not depend on config"),
+                    Some(r) => {
+                        assert_eq!(r, result.pairs.len(), "result must not depend on config")
+                    }
                 }
                 let cost = figure18_cost(&result.stats, cost_kind, &params).total_s();
                 let name = format!(
@@ -53,7 +66,12 @@ fn main() {
                     progressive.map_or("none", |k| k.name()),
                     exact.name(),
                 );
-                rows.push((cost, name, result.stats.identified(), result.stats.exact_tests));
+                rows.push((
+                    cost,
+                    name,
+                    result.stats.identified(),
+                    result.stats.exact_tests,
+                ));
             }
         }
     }

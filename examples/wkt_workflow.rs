@@ -57,11 +57,19 @@ fn main() {
     let mut canvas = SvgCanvas::new(world, 1400.0);
     canvas.relation(
         &loaded_a,
-        &Style { fill: "#d9e4f1".into(), stroke: "#4a6785".into(), stroke_width: 0.7 },
+        &Style {
+            fill: "#d9e4f1".into(),
+            stroke: "#4a6785".into(),
+            stroke_width: 0.7,
+        },
     );
     canvas.relation(
         &loaded_b,
-        &Style { fill: "none".into(), stroke: "#c9741a".into(), stroke_width: 0.9 },
+        &Style {
+            fill: "none".into(),
+            stroke: "#c9741a".into(),
+            stroke_width: 0.9,
+        },
     );
     // Highlight the MBRs of the first joined pairs.
     for &(a, b) in result.pairs.iter().take(40) {

@@ -15,6 +15,9 @@
 //!   metrics;
 //! * [`sam`] — a paged R*-tree with byte-level layout, LRU buffer I/O
 //!   accounting and the synchronized-traversal MBR join;
+//! * [`partition`] — the partitioned parallel MBR join (uniform grid,
+//!   per-tile plane sweeps, reference-point deduplication) selectable as
+//!   the Step-1 backend via [`core::Backend::PartitionedSweep`];
 //! * [`exact`] — exact geometry processors (quadratic, plane sweep,
 //!   trapezoid decomposition + TR*-trees) with the Table 6 cost model;
 //! * [`datagen`] — seeded synthetic cartography calibrated against the
@@ -44,12 +47,37 @@
 //! );
 //! # assert!(result.stats.mbr_join.candidates >= result.pairs.len() as u64);
 //! ```
+//!
+//! ## Scaling out Step 1
+//!
+//! The MBR-join backend is pluggable. On multi-core hardware the
+//! partitioned parallel sweep replaces the serial R*-tree traversal
+//! without changing any result:
+//!
+//! ```
+//! use msj::core::{Backend, JoinConfig, MultiStepJoin};
+//!
+//! let forests = msj::datagen::small_carto(32, 24.0, 7);
+//! let cities = msj::datagen::small_carto(32, 24.0, 8);
+//!
+//! let serial = MultiStepJoin::new(JoinConfig::default());
+//! let partitioned = MultiStepJoin::new(JoinConfig {
+//!     backend: Backend::PartitionedSweep { tiles_per_axis: 8, threads: 0 },
+//!     ..JoinConfig::default()
+//! });
+//! let mut expect = serial.execute(&forests, &cities).pairs;
+//! let mut got = partitioned.execute(&forests, &cities).pairs;
+//! expect.sort_unstable();
+//! got.sort_unstable();
+//! assert_eq!(expect, got);
+//! ```
 
 pub use msj_approx as approx;
 pub use msj_core as core;
 pub use msj_datagen as datagen;
 pub use msj_exact as exact;
 pub use msj_geom as geom;
+pub use msj_partition as partition;
 pub use msj_sam as sam;
 
 /// The crate version.

@@ -14,9 +14,16 @@ fn sorted(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
 fn holed_relations_have_holes() {
     let rel = msj::datagen::carto_with_holes(60, 24.0, 404);
     let holed = rel.iter().filter(|o| !o.region.holes().is_empty()).count();
-    assert!(holed > 5, "dataset must actually contain holes, got {holed}");
+    assert!(
+        holed > 5,
+        "dataset must actually contain holes, got {holed}"
+    );
     for o in rel.iter() {
-        assert!(msj::geom::region_is_valid(&o.region), "object {} invalid", o.id);
+        assert!(
+            msj::geom::region_is_valid(&o.region),
+            "object {} invalid",
+            o.id
+        );
     }
 }
 
@@ -31,7 +38,10 @@ fn pipeline_is_exact_on_holed_data() {
         ExactAlgorithm::PlaneSweep { restrict: true },
         ExactAlgorithm::TrStar { max_entries: 3 },
     ] {
-        let config = JoinConfig { exact, ..JoinConfig::default() };
+        let config = JoinConfig {
+            exact,
+            ..JoinConfig::default()
+        };
         let got = sorted(MultiStepJoin::new(config).execute(&a, &b).pairs);
         assert_eq!(got, expect, "{exact:?} differs on holed data");
     }

@@ -18,7 +18,11 @@ fn carto_workload_all_versions() {
     let b = msj::datagen::small_carto(60, 30.0, 102);
     let expect = sorted(ground_truth_join(&a, &b));
     assert!(expect.len() > 20, "workload must produce hits");
-    for config in [JoinConfig::version1(), JoinConfig::version2(), JoinConfig::version3()] {
+    for config in [
+        JoinConfig::version1(),
+        JoinConfig::version2(),
+        JoinConfig::version3(),
+    ] {
         let got = sorted(MultiStepJoin::new(config).execute(&a, &b).pairs);
         assert_eq!(got, expect, "{config:?}");
     }
@@ -53,9 +57,7 @@ fn regions_with_holes_are_joined_correctly() {
         .unwrap()
     }
     // Relation A: three donuts in a row.
-    let donut = |x: f64| {
-        PolygonWithHoles::new(sq(x, 0.0, 10.0), vec![sq(x + 3.0, 3.0, 4.0)])
-    };
+    let donut = |x: f64| PolygonWithHoles::new(sq(x, 0.0, 10.0), vec![sq(x + 3.0, 3.0, 4.0)]);
     let a = Relation::new(vec![
         SpatialObject::new(0, donut(0.0)),
         SpatialObject::new(1, donut(20.0)),
@@ -76,7 +78,10 @@ fn regions_with_holes_are_joined_correctly() {
         ExactAlgorithm::PlaneSweep { restrict: true },
         ExactAlgorithm::TrStar { max_entries: 3 },
     ] {
-        let config = JoinConfig { exact, ..JoinConfig::default() };
+        let config = JoinConfig {
+            exact,
+            ..JoinConfig::default()
+        };
         let got = sorted(MultiStepJoin::new(config).execute(&a, &b).pairs);
         assert_eq!(got, expect, "{exact:?}");
     }

@@ -7,7 +7,9 @@ use msj::approx::{
     Conservative, ConservativeKind, ConservativeStore, ProgressiveKind, ProgressiveStore,
 };
 use msj::core::{figure18_cost, CostModelParams, ExactCostKind, JoinConfig, MultiStepJoin};
-use msj::exact::{quadratic_intersects, sweep_intersects, trees_intersect, OpCounts, TrStarStore, Weights};
+use msj::exact::{
+    quadratic_intersects, sweep_intersects, trees_intersect, OpCounts, TrStarStore, Weights,
+};
 use msj::geom::Relation;
 use msj::sam::{tree_join, LruBuffer, PageLayout, RStarTree};
 
@@ -69,7 +71,10 @@ fn five_corner_identifies_most_false_hits() {
     let c5 = ident(ConservativeKind::FiveCorner);
     let ch = ident(ConservativeKind::ConvexHull);
     assert!(c5 > 0.5, "5-C should identify most false hits, got {c5:.2}");
-    assert!(mbc < c5 && c5 <= ch, "ordering MBC({mbc:.2}) < 5-C({c5:.2}) <= CH({ch:.2})");
+    assert!(
+        mbc < c5 && c5 <= ch,
+        "ordering MBC({mbc:.2}) < 5-C({c5:.2}) <= CH({ch:.2})"
+    );
 }
 
 /// Table 5: progressive approximations identify a substantial share of
@@ -97,7 +102,10 @@ fn progressive_approximations_identify_hits() {
     let mer = ident(ProgressiveKind::Mer);
     assert!(mec > 0.10, "MEC share {mec:.2}");
     assert!(mer > 0.15, "MER share {mer:.2}");
-    assert!(mer >= mec * 0.8, "MER({mer:.2}) should be ≈>= MEC({mec:.2})");
+    assert!(
+        mer >= mec * 0.8,
+        "MER({mer:.2}) should be ≈>= MEC({mec:.2})"
+    );
 }
 
 /// Table 7: on the candidates that reach the exact step, the TR*-tree
@@ -114,10 +122,19 @@ fn exact_algorithm_ranking_matches_table7() {
     let mut ct = OpCounts::new();
     for &(a, b) in candidates.iter().take(300) {
         quadratic_intersects(&rel_a.object(a).region, &rel_b.object(b).region, &mut cq);
-        sweep_intersects(&rel_a.object(a).region, &rel_b.object(b).region, true, &mut cs);
+        sweep_intersects(
+            &rel_a.object(a).region,
+            &rel_b.object(b).region,
+            true,
+            &mut cs,
+        );
         trees_intersect(sa.get(a), sb.get(b), &mut ct);
     }
-    let (q, s, t) = (cq.cost_ms(&weights), cs.cost_ms(&weights), ct.cost_ms(&weights));
+    let (q, s, t) = (
+        cq.cost_ms(&weights),
+        cs.cost_ms(&weights),
+        ct.cost_ms(&weights),
+    );
     assert!(t < s, "TR* ({t:.0} ms) must beat the sweep ({s:.0} ms)");
     assert!(s < q, "sweep ({s:.0} ms) must beat quadratic ({q:.0} ms)");
     assert!(q / t > 5.0, "TR* speedup over quadratic only {:.1}x", q / t);
@@ -176,8 +193,14 @@ fn approximation_gain_exceeds_storage_loss() {
     let rel_a = msj::datagen::large_relation(1500, 0, 31);
     let rel_b = msj::datagen::large_relation(1500, 1, 31);
     let page = 2048usize;
-    let base_a = RStarTree::bulk_insert(PageLayout::baseline(page), rel_a.iter().map(|o| (o.mbr(), o.id)));
-    let base_b = RStarTree::bulk_insert(PageLayout::baseline(page), rel_b.iter().map(|o| (o.mbr(), o.id)));
+    let base_a = RStarTree::bulk_insert(
+        PageLayout::baseline(page),
+        rel_a.iter().map(|o| (o.mbr(), o.id)),
+    );
+    let base_b = RStarTree::bulk_insert(
+        PageLayout::baseline(page),
+        rel_b.iter().map(|o| (o.mbr(), o.id)),
+    );
     let mut buffer = LruBuffer::with_bytes(128 * 1024, page);
     let base = tree_join(&base_a, &base_b, &mut buffer, |_, _| {});
 
@@ -191,9 +214,7 @@ fn approximation_gain_exceeds_storage_loss() {
     let mut buffer = LruBuffer::with_bytes(128 * 1024, page);
     let mut identified = 0i64;
     let stats = tree_join(&ta, &tb, &mut buffer, |x, y| {
-        if !cons_a.approx(x).intersects(cons_b.approx(y))
-            || mer_a.get(x).intersects(mer_b.get(y))
-        {
+        if !cons_a.approx(x).intersects(cons_b.approx(y)) || mer_a.get(x).intersects(mer_b.get(y)) {
             identified += 1;
         }
     });
@@ -209,7 +230,11 @@ fn approximation_gain_exceeds_storage_loss() {
 #[test]
 fn filter_soundness_on_series() {
     let (rel_a, rel_b, candidates, truth) = series_data();
-    for kind in [ConservativeKind::FiveCorner, ConservativeKind::Mbe, ConservativeKind::Mbc] {
+    for kind in [
+        ConservativeKind::FiveCorner,
+        ConservativeKind::Mbe,
+        ConservativeKind::Mbc,
+    ] {
         let sa = ConservativeStore::build(kind, &rel_a);
         let sb = ConservativeStore::build(kind, &rel_b);
         for (&(a, b), &t) in candidates.iter().zip(&truth) {

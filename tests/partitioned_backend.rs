@@ -1,0 +1,89 @@
+//! End-to-end: the partitioned Step-1 backend slots into the full
+//! multi-step pipeline and produces the identical response set as the
+//! R*-tree traversal and the ground truth — for all three paper
+//! configurations (§5 versions 1/2/3).
+
+use msj::core::{ground_truth_join, parallel_join, Backend, JoinConfig, MultiStepJoin};
+
+fn sorted(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn all_paper_versions_agree_on_the_partitioned_backend() {
+    let a = msj::datagen::small_carto(50, 24.0, 601);
+    let b = msj::datagen::small_carto(50, 24.0, 602);
+    let truth = sorted(ground_truth_join(&a, &b));
+    assert!(!truth.is_empty());
+    for base in [
+        JoinConfig::version1(),
+        JoinConfig::version2(),
+        JoinConfig::version3(),
+    ] {
+        let rstar = MultiStepJoin::new(base).execute(&a, &b);
+        assert_eq!(sorted(rstar.pairs.clone()), truth, "R* {base:?}");
+        for tiles_per_axis in [1usize, 4, 16] {
+            for threads in [1usize, 2, 8] {
+                let config = JoinConfig {
+                    backend: Backend::PartitionedSweep {
+                        tiles_per_axis,
+                        threads,
+                    },
+                    ..base
+                };
+                let part = MultiStepJoin::new(config).execute(&a, &b);
+                assert_eq!(
+                    sorted(part.pairs.clone()),
+                    truth,
+                    "partitioned {tiles_per_axis}x{tiles_per_axis} t{threads} {base:?}"
+                );
+                assert_eq!(
+                    part.stats.mbr_join.candidates,
+                    rstar.stats.mbr_join.candidates
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn partitioned_backend_flows_through_parallel_join() {
+    let a = msj::datagen::carto_with_holes(40, 24.0, 611);
+    let b = msj::datagen::carto_with_holes(40, 24.0, 612);
+    let truth = sorted(ground_truth_join(&a, &b));
+    let config = JoinConfig {
+        backend: Backend::PartitionedSweep {
+            tiles_per_axis: 8,
+            threads: 4,
+        },
+        ..JoinConfig::default()
+    };
+    for threads in [1usize, 4] {
+        let result = parallel_join(&a, &b, &config, threads);
+        assert_eq!(result.pairs, truth, "x{threads}");
+        assert_eq!(result.stats.threads_used, threads as u64);
+        let summary = result.stats.partition.expect("partition summary");
+        assert_eq!(summary.tiles_per_axis, 8);
+        assert!(
+            (1..=4).contains(&summary.threads),
+            "recorded {}",
+            summary.threads
+        );
+    }
+}
+
+#[test]
+fn partition_stats_surface_per_tile_detail() {
+    let a = msj::datagen::small_carto(60, 24.0, 621);
+    let b = msj::datagen::small_carto(60, 24.0, 622);
+    let items = |rel: &msj::geom::Relation| -> Vec<(msj::geom::Rect, u32)> {
+        rel.iter().map(|o| (o.mbr(), o.id)).collect()
+    };
+    let mut count = 0u64;
+    let stats = msj::partition::partition_join(&items(&a), &items(&b), 4, 2, |_, _| count += 1);
+    assert_eq!(stats.tile_candidates.len(), 16);
+    assert_eq!(stats.tile_candidates.iter().sum::<u64>(), count);
+    assert_eq!(stats.candidates(), count);
+    assert!(stats.replication_factor() >= 1.0);
+}

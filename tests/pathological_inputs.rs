@@ -10,12 +10,17 @@ use msj::sam::{LruBuffer, PageLayout, RStarTree};
 fn rstar_with_all_identical_rectangles() {
     // Every key identical: splits cannot separate by geometry at all.
     let rect = Rect::from_bounds(5.0, 5.0, 6.0, 6.0);
-    let layout = PageLayout { page_size: 256, leaf_entry_bytes: 48, dir_entry_bytes: 20 };
+    let layout = PageLayout {
+        page_size: 256,
+        leaf_entry_bytes: 48,
+        dir_entry_bytes: 20,
+    };
     let mut tree = RStarTree::new(layout);
     for id in 0..200u32 {
         tree.insert(rect, id);
     }
-    tree.check_invariants().expect("invariants with identical keys");
+    tree.check_invariants()
+        .expect("invariants with identical keys");
     let mut buffer = LruBuffer::new(1 << 12);
     let hits = tree.point_query(Point::new(5.5, 5.5), &mut buffer);
     assert_eq!(hits.len(), 200);
@@ -23,14 +28,19 @@ fn rstar_with_all_identical_rectangles() {
     for id in 0..100u32 {
         assert!(tree.delete(rect, id));
     }
-    tree.check_invariants().expect("invariants after deleting half");
+    tree.check_invariants()
+        .expect("invariants after deleting half");
     assert_eq!(tree.len(), 100);
 }
 
 #[test]
 fn rstar_with_zero_extent_rectangles() {
     // Point-like keys (degenerate MBRs of point objects).
-    let layout = PageLayout { page_size: 256, leaf_entry_bytes: 48, dir_entry_bytes: 20 };
+    let layout = PageLayout {
+        page_size: 256,
+        leaf_entry_bytes: 48,
+        dir_entry_bytes: 20,
+    };
     let items: Vec<(Rect, u32)> = (0..150)
         .map(|i| {
             let p = Point::new((i % 15) as f64, (i / 15) as f64);
@@ -52,7 +62,10 @@ fn rstar_with_huge_coordinates() {
         .map(|i| {
             let x = (i % 10) as f64 * scale;
             let y = (i / 10) as f64 * scale;
-            (Rect::from_bounds(x, y, x + 0.5 * scale, y + 0.5 * scale), i as u32)
+            (
+                Rect::from_bounds(x, y, x + 0.5 * scale, y + 0.5 * scale),
+                i as u32,
+            )
         })
         .collect();
     let tree = RStarTree::bulk_insert(layout, items.iter().copied());
@@ -96,7 +109,13 @@ fn needle_polygons_join_correctly() {
     }));
     let b = Relation::from_regions((0..8).map(|i| {
         let t = (i as f64 + 0.5) / 8.0 * std::f64::consts::TAU;
-        needle(5.0 * t.cos(), 5.0 * t.sin(), -10.0 * t.sin(), 10.0 * t.cos()).region
+        needle(
+            5.0 * t.cos(),
+            5.0 * t.sin(),
+            -10.0 * t.sin(),
+            10.0 * t.cos(),
+        )
+        .region
     }));
     let expect = {
         let mut v = ground_truth_join(&a, &b);

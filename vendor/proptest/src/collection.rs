@@ -1,0 +1,57 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Generates `Vec`s whose length is uniform in `size` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range {size:?}");
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+        let len = rng.gen_range(self.size.clone());
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            // Give each slot a few retries before rejecting the whole
+            // vector, so sparse element strategies still make progress.
+            let mut produced = None;
+            for _ in 0..16 {
+                if let Some(v) = self.element.generate(rng) {
+                    produced = Some(v);
+                    break;
+                }
+            }
+            out.push(produced?);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_size_range() {
+        let strategy = vec(0u32..10, 2..5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = strategy.generate(&mut rng).unwrap();
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! String strategies from regex-like patterns.
+//!
+//! Upstream proptest interprets `&str` strategies as full regexes. This
+//! stand-in supports the subset the workspace's tests use:
+//!
+//! * literal characters;
+//! * character classes `[abc]` (no ranges, no negation — escapes `\\`,
+//!   `\]` allowed);
+//! * the class shorthand `\PC` ("any printable character"): printable
+//!   ASCII plus a few multi-byte code points to stress UTF-8 handling;
+//! * bounded repetition `{m,n}` after an atom.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Extra code points mixed into `\PC` beyond printable ASCII.
+const NON_ASCII: [char; 6] = ['é', 'ß', '→', '∂', '測', '🗺'];
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+    AnyPrintable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// A compiled pattern (sequence of repeated atoms).
+#[derive(Debug, Clone)]
+pub struct StringStrategy {
+    pieces: Vec<Piece>,
+}
+
+fn parse(pattern: &str) -> StringStrategy {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // `\PC`: anything not in the Unicode "other" category;
+                    // we generate printable characters.
+                    let tag = chars.next();
+                    assert_eq!(tag, Some('C'), "unsupported \\P class in {pattern:?}");
+                    Atom::AnyPrintable
+                }
+                Some(escaped) => Atom::Literal(escaped),
+                None => panic!("dangling escape in pattern {pattern:?}"),
+            },
+            '[' => {
+                let mut members = Vec::new();
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => members.push(
+                            chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+                        ),
+                        Some(m) => members.push(m),
+                        None => panic!("unterminated class in pattern {pattern:?}"),
+                    }
+                }
+                assert!(!members.is_empty(), "empty class in pattern {pattern:?}");
+                Atom::Class(members)
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(d) => spec.push(d),
+                    None => panic!("unterminated repetition in pattern {pattern:?}"),
+                }
+            }
+            let (lo, hi) = spec
+                .split_once(',')
+                .unwrap_or_else(|| panic!("unsupported repetition {{{spec}}} in {pattern:?}"));
+            (
+                lo.trim().parse().expect("repetition lower bound"),
+                hi.trim().parse().expect("repetition upper bound"),
+            )
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition bounds in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    StringStrategy { pieces }
+}
+
+fn sample_atom(atom: &Atom, rng: &mut StdRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(members) => members[rng.gen_range(0..members.len())],
+        Atom::AnyPrintable => {
+            if rng.gen_bool(0.08) {
+                NON_ASCII[rng.gen_range(0..NON_ASCII.len())]
+            } else {
+                char::from(rng.gen_range(0x20u8..0x7F))
+            }
+        }
+    }
+}
+
+impl Strategy for StringStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<String> {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let count = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..count {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        Some(out)
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<String> {
+        parse(self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn printable_pattern_respects_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = "\\PC{0,120}".generate(&mut rng).unwrap();
+            assert!(s.chars().count() <= 120);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn class_pattern_draws_only_members() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let s = "[(), ]{0,16}".generate(&mut rng).unwrap();
+            assert!(s.chars().count() <= 16);
+            assert!(s.chars().all(|c| "(), ".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_fixed_atoms() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = "ab\\{c".generate(&mut rng).unwrap();
+        assert_eq!(s, "ab{c");
+    }
+}

@@ -1,0 +1,98 @@
+//! The minimal test runner: configuration, case errors, and the draw
+//! loop used by the `proptest!` expansion.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+
+/// How many consecutive rejections (filtered samples) abort a test.
+const MAX_REJECTS: u32 = 65_536;
+
+/// Runner configuration. Only `cases` is consulted; the remaining knobs
+/// of the upstream crate (shrinking, forking, persistence) do not exist
+/// here.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Marks the current case as failed with the given message.
+    pub fn fail<M: std::fmt::Display>(message: M) -> Self {
+        TestCaseError {
+            message: message.to_string(),
+        }
+    }
+
+    /// Upstream-compatible alias of [`TestCaseError::fail`].
+    pub fn reject<M: std::fmt::Display>(message: M) -> Self {
+        TestCaseError::fail(message)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic per-test seed from the fully qualified test name (FNV-1a
+/// over the name), so every test owns a stable, independent stream.
+pub fn derive_seed(test_name: &str) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Draws one value, redrawing on strategy rejection.
+///
+/// Panics after [`MAX_REJECTS`] consecutive rejections, mirroring the
+/// upstream "too many global rejects" failure.
+pub fn draw<S: Strategy>(strategy: &S, rng: &mut StdRng) -> S::Value {
+    for _ in 0..MAX_REJECTS {
+        if let Some(value) = strategy.generate(rng) {
+            return value;
+        }
+    }
+    panic!("strategy rejected {MAX_REJECTS} consecutive samples");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(derive_seed("a::b"), derive_seed("a::b"));
+        assert_ne!(derive_seed("a::b"), derive_seed("a::c"));
+    }
+
+    #[test]
+    fn config_defaults() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+}
