@@ -19,7 +19,7 @@ fn bench_backends(c: &mut Criterion) {
             let config = JoinConfig::default();
             bench.iter(|| {
                 let mut count = 0u64;
-                join_source(&config, &a, &b).join_candidates(&mut |_, _| count += 1);
+                join_source(&config, &a, &b).stream_candidates(&mut |_, _| count += 1);
                 black_box(count)
             })
         },
@@ -38,7 +38,7 @@ fn bench_backends(c: &mut Criterion) {
             |bench, config| {
                 bench.iter(|| {
                     let mut count = 0u64;
-                    join_source(config, &a, &b).join_candidates(&mut |_, _| count += 1);
+                    join_source(config, &a, &b).stream_candidates(&mut |_, _| count += 1);
                     black_box(count)
                 })
             },

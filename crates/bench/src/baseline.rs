@@ -1,0 +1,160 @@
+//! The PR-1 `parallel_join` baseline, preserved as a reference
+//! implementation: **collect-then-chunk** execution.
+//!
+//! Step 1 materializes the *entire* candidate set into a `Vec` (a full
+//! barrier paying memory proportional to the candidate count), then
+//! Steps 2–3 fan out over even chunks on scoped threads. The fused
+//! execution engine in `msj-core` replaced this; the `fused` experiment
+//! and the `fused` Criterion bench measure the engine against this
+//! faithful reproduction of the old executor.
+
+use msj_core::{
+    join_source, CandidateSource, FilterOutcome, GeometricFilter, JoinConfig, JoinResult,
+    MultiStepStats,
+};
+use msj_exact::{ExactProcessor, OpCounts};
+use msj_geom::{resolve_threads, ObjectId, Relation};
+
+/// The baseline with Step 0 done — the counterpart of
+/// `msj_core::PreparedJoin`, so benchmarks can time Steps 1–3 alone.
+pub struct PreparedBaseline<'a> {
+    source: Box<dyn CandidateSource + 'a>,
+    filter: GeometricFilter,
+    exact: ExactProcessor<'a>,
+    threads: usize,
+}
+
+impl<'a> PreparedBaseline<'a> {
+    /// Runs Step 0 (preprocessing) through the same public paths as the
+    /// engine; `threads == 0` means available parallelism.
+    pub fn new(
+        rel_a: &'a Relation,
+        rel_b: &'a Relation,
+        config: &JoinConfig,
+        threads: usize,
+    ) -> Self {
+        PreparedBaseline {
+            source: join_source(config, rel_a, rel_b),
+            filter: GeometricFilter::from_config(config, rel_a, rel_b),
+            exact: ExactProcessor::new(config.exact, rel_a, rel_b),
+            threads: resolve_threads(threads),
+        }
+    }
+
+    /// Runs Steps 1–3 the PR-1 way: serial candidate collection into a
+    /// `Vec`, then filter + exact over even chunks on scoped threads.
+    /// Returns the same canonically sorted response set and
+    /// exactly-merged statistics as the fused engine — just with the
+    /// whole candidate set resident
+    /// ([`MultiStepStats::peak_buffered_candidates`] records the
+    /// materialized count).
+    pub fn run(&mut self) -> JoinResult {
+        // Step 1: materialize the candidates for the fan-out — the
+        // barrier the fused engine exists to remove.
+        let mut candidates: Vec<(ObjectId, ObjectId)> = Vec::new();
+        let step1 = self
+            .source
+            .stream_candidates(&mut |a, b| candidates.push((a, b)));
+
+        // Steps 2+3, parallel over candidate chunks.
+        let chunk_size = candidates.len().div_ceil(self.threads.max(1)).max(1);
+        let mut partials: Vec<(Vec<(ObjectId, ObjectId)>, MultiStepStats)> = Vec::new();
+        let (filter, exact) = (&self.filter, &self.exact);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in candidates.chunks(chunk_size) {
+                handles.push(scope.spawn(move || {
+                    let mut pairs = Vec::new();
+                    let mut stats = MultiStepStats::default();
+                    let mut counts = OpCounts::new();
+                    for &(a, b) in chunk {
+                        match filter.classify(a, b) {
+                            FilterOutcome::FalseHit => stats.filter_false_hits += 1,
+                            FilterOutcome::HitProgressive => {
+                                stats.filter_hits_progressive += 1;
+                                pairs.push((a, b));
+                            }
+                            FilterOutcome::HitFalseArea => {
+                                stats.filter_hits_false_area += 1;
+                                pairs.push((a, b));
+                            }
+                            FilterOutcome::Candidate => {
+                                stats.exact_tests += 1;
+                                if exact.intersects(a, b, &mut counts) {
+                                    stats.exact_hits += 1;
+                                    pairs.push((a, b));
+                                }
+                            }
+                        }
+                    }
+                    stats.exact_ops = counts;
+                    (pairs, stats)
+                }));
+            }
+            for h in handles {
+                partials.push(h.join().expect("worker panicked"));
+            }
+        });
+
+        // Deterministic merge.
+        let mut stats = MultiStepStats {
+            mbr_join: step1.join,
+            partition: step1.partition,
+            threads_used: self.threads as u64,
+            // The defining cost of this executor: every candidate
+            // resident at once.
+            peak_buffered_candidates: candidates.len() as u64,
+            ..MultiStepStats::default()
+        };
+        let mut pairs = Vec::new();
+        for (p, s) in partials {
+            pairs.extend(p);
+            stats.filter_false_hits += s.filter_false_hits;
+            stats.filter_hits_progressive += s.filter_hits_progressive;
+            stats.filter_hits_false_area += s.filter_hits_false_area;
+            stats.exact_tests += s.exact_tests;
+            stats.exact_hits += s.exact_hits;
+            stats.exact_ops.merge(&s.exact_ops);
+        }
+        pairs.sort_unstable();
+        stats.result_pairs = pairs.len() as u64;
+        JoinResult { pairs, stats }
+    }
+}
+
+/// One-shot convenience: Step 0 plus one collect-then-chunk execution.
+pub fn collect_then_chunk_join(
+    rel_a: &Relation,
+    rel_b: &Relation,
+    config: &JoinConfig,
+    threads: usize,
+) -> JoinResult {
+    PreparedBaseline::new(rel_a, rel_b, config, threads).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msj_core::{parallel_join, MultiStepJoin};
+
+    #[test]
+    fn baseline_agrees_with_the_fused_engine() {
+        let a = msj_datagen::small_carto(40, 24.0, 801);
+        let b = msj_datagen::small_carto(40, 24.0, 802);
+        let config = JoinConfig::default();
+        let serial = MultiStepJoin::new(config).execute(&a, &b);
+        for threads in [1usize, 4] {
+            let baseline = collect_then_chunk_join(&a, &b, &config, threads);
+            let fused = parallel_join(&a, &b, &config, threads);
+            assert_eq!(baseline.pairs, fused.pairs);
+            assert_eq!(baseline.stats.exact_ops, fused.stats.exact_ops);
+            assert_eq!(baseline.stats.exact_tests, serial.stats.exact_tests);
+            // The baseline materializes everything; the engine does not.
+            assert_eq!(
+                baseline.stats.peak_buffered_candidates,
+                baseline.stats.mbr_join.candidates
+            );
+            assert!(fused.stats.peak_buffered_candidates <= msj_core::fused_buffer_bound(threads));
+        }
+    }
+}

@@ -8,6 +8,7 @@
 pub mod datasets;
 pub mod exactgeo;
 pub mod filters;
+pub mod fused;
 pub mod partitioned;
 pub mod storage;
 pub mod total;
@@ -236,6 +237,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "partitioned",
             description: "step-1 backends: R*-tree traversal vs partitioned sweep",
             run: partitioned::partitioned,
+        },
+        Experiment {
+            id: "fused",
+            description: "execution engine: serial vs collect-then-chunk vs fused",
+            run: fused::fused,
         },
     ]
 }

@@ -52,7 +52,7 @@ fn time_step1(config: &JoinConfig, a: &Relation, b: &Relation) -> (msj_core::Ste
     let start = Instant::now();
     let mut source = join_source(config, a, b);
     let mut count = 0u64;
-    let stats = source.join_candidates(&mut |_, _| count += 1);
+    let stats = source.stream_candidates(&mut |_, _| count += 1);
     let secs = start.elapsed().as_secs_f64();
     debug_assert_eq!(stats.join.candidates, count);
     (stats, secs)

@@ -9,9 +9,11 @@
 //! cargo run -p msj-bench --release --bin repro -- table7 --scale quick
 //! ```
 
+pub mod baseline;
 pub mod data;
 pub mod experiments;
 pub mod report;
 
+pub use baseline::collect_then_chunk_join;
 pub use data::SeriesData;
 pub use experiments::{registry, ExpConfig, Experiment, Scale};

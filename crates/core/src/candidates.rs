@@ -18,9 +18,29 @@
 //! `tests/backend_agreement.rs` assert it).
 
 use crate::config::{Backend, JoinConfig};
-use msj_geom::{ObjectId, Point, Rect, Relation};
-use msj_partition::{partition_join, GridIndex, PartitionStats};
-use msj_sam::{tree_join, JoinStats, LruBuffer, PageLayout, RStarTree};
+use msj_geom::{FnConsumer, ObjectId, PairConsumer, Point, Rect, Relation};
+use msj_partition::{partition_join, partition_join_workers, GridIndex, PartitionStats};
+use msj_sam::{tree_join, tree_join_chunked, JoinStats, LruBuffer, PageLayout, RStarTree};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+
+/// Candidate pairs per chunk when the R*-traversal fans out to multiple
+/// downstream workers ([`CandidateSource::join_candidates`] with
+/// `workers > 1`).
+pub const FUSED_CHUNK: usize = 1024;
+
+/// Bounded-channel depth per downstream worker of the R*-traversal
+/// fan-out. Together with [`FUSED_CHUNK`] this caps the candidates in
+/// flight — see [`fused_buffer_bound`].
+pub const FUSED_QUEUE_DEPTH: usize = 4;
+
+/// Upper bound on candidates buffered between the R*-traversal and
+/// `workers` downstream sinks: every worker's queue full, one chunk
+/// blocked in `send`, one chunk being filled. The partitioned backend
+/// buffers nothing (sweeps feed the sinks directly).
+pub const fn fused_buffer_bound(workers: usize) -> u64 {
+    (workers * (FUSED_QUEUE_DEPTH + 1) * FUSED_CHUNK + FUSED_CHUNK) as u64
+}
 
 /// Step-1 statistics, backend detail included.
 #[derive(Debug, Clone, Copy, Default)]
@@ -31,6 +51,14 @@ pub struct Step1Stats {
     pub join: JoinStats,
     /// Partition detail when the partitioned backend ran.
     pub partition: Option<PartitionSummary>,
+    /// Downstream sinks the backend attached — one per worker thread it
+    /// spawned, or 1 when it delivered on the calling thread only (the
+    /// partitioned backend spawns none at all for an empty side).
+    pub workers_fed: u64,
+    /// Peak candidate pairs buffered between Step 1 and the downstream
+    /// sinks (0 = fully streamed, as with the partitioned backend; the
+    /// R*-traversal fan-out stays under [`fused_buffer_bound`]).
+    pub peak_buffered: u64,
 }
 
 /// Copyable summary of a [`PartitionStats`] (the full per-tile candidate
@@ -81,15 +109,29 @@ pub struct SelectionStats {
 ///
 /// Join sources are built by [`join_source`] from two relations; query
 /// processors build a [`selection_source`] over the queried relation.
-/// Candidates stream to the sink on the calling thread — backends may
-/// parallelize internally but must not call the sink concurrently.
+///
+/// Candidate delivery speaks the parallel-capable
+/// [`msj_geom::PairConsumer`] protocol: the backend attaches one
+/// [`msj_geom::PairSink`] per worker thread it feeds and streams each
+/// worker's candidates into its own sink — which is how the fused
+/// execution engine runs filter + exact right where candidates are
+/// produced. Callers that just want a single candidate stream on the
+/// calling thread use `stream_candidates` (an inherent helper on
+/// `dyn CandidateSource`).
 pub trait CandidateSource {
     /// The backend's display name (used by reports and benches).
     fn name(&self) -> &'static str;
 
-    /// Streams every candidate pair `(id_a, id_b)` with intersecting
-    /// MBRs, each exactly once.
-    fn join_candidates(&mut self, sink: &mut dyn FnMut(ObjectId, ObjectId)) -> Step1Stats;
+    /// Delivers every candidate pair `(id_a, id_b)` with intersecting
+    /// MBRs, each exactly once, into sinks attached on `consumer`.
+    ///
+    /// `workers` is the *requested* downstream sink count; backends may
+    /// clamp it (the partitioned sweep uses at most one worker per tile)
+    /// and report the actual count in [`Step1Stats::workers_fed`]. With
+    /// `workers <= 1` exactly one sink is attached on the calling thread
+    /// and candidates arrive in the backend's deterministic order; with
+    /// more, each backend worker thread attaches its own sink.
+    fn join_candidates(&mut self, consumer: &dyn PairConsumer, workers: usize) -> Step1Stats;
 
     /// Appends every id of the primary relation whose MBR contains `p`.
     fn point_candidates(&mut self, p: Point, out: &mut Vec<ObjectId>) -> SelectionStats;
@@ -97,6 +139,19 @@ pub trait CandidateSource {
     /// Appends every id of the primary relation whose MBR intersects
     /// `window`.
     fn window_candidates(&mut self, window: Rect, out: &mut Vec<ObjectId>) -> SelectionStats;
+}
+
+impl dyn CandidateSource + '_ {
+    /// Convenience over
+    /// [`join_candidates`](CandidateSource::join_candidates): streams
+    /// every candidate to one closure on the calling thread.
+    pub fn stream_candidates(
+        &mut self,
+        sink: &mut (dyn FnMut(ObjectId, ObjectId) + Send),
+    ) -> Step1Stats {
+        let consumer = FnConsumer::new(sink);
+        self.join_candidates(&consumer, 1)
+    }
 }
 
 /// Builds the configured backend over a relation pair (Step 1 of a join).
@@ -171,12 +226,88 @@ impl CandidateSource for RStarSource {
         "rstar-traversal"
     }
 
-    fn join_candidates(&mut self, sink: &mut dyn FnMut(ObjectId, ObjectId)) -> Step1Stats {
-        let tree_b = self.tree_b.as_ref().unwrap_or(&self.tree_a);
-        let join = tree_join(&self.tree_a, tree_b, &mut self.buffer, sink);
+    fn join_candidates(&mut self, consumer: &dyn PairConsumer, workers: usize) -> Step1Stats {
+        let RStarSource {
+            tree_a,
+            tree_b,
+            buffer,
+        } = self;
+        let tree_b = tree_b.as_ref().unwrap_or(tree_a);
+        if workers <= 1 {
+            let mut sink = consumer.attach();
+            let join = tree_join(tree_a, tree_b, buffer, |a, b| sink.pair(a, b));
+            return Step1Stats {
+                join,
+                partition: None,
+                workers_fed: 1,
+                peak_buffered: 0,
+            };
+        }
+
+        // Fan-out: the traversal is inherently serial (one I/O buffer),
+        // so it runs on the calling thread and pushes bounded chunks
+        // into one shared queue that `workers` sink threads drain —
+        // whichever worker is idle takes the next chunk, so a slow
+        // chunk never head-of-line-blocks the others. The chunk size
+        // and queue capacity cap the candidates in flight at
+        // [`fused_buffer_bound`]; `peak_buffered` records the observed
+        // maximum.
+        let buffered = AtomicU64::new(0);
+        let peak = AtomicU64::new(0);
+        let (tx, rx) = mpsc::sync_channel::<Vec<(ObjectId, ObjectId)>>(workers * FUSED_QUEUE_DEPTH);
+        // `mpsc::Receiver` is single-consumer; the mutex turns it into a
+        // shared work queue (locked per chunk, not per pair). Lock
+        // poisoning is ignored deliberately: a panicking worker must not
+        // take the queue down with it (see below).
+        let rx = std::sync::Mutex::new(rx);
+        let recv = |rx: &std::sync::Mutex<mpsc::Receiver<Vec<(ObjectId, ObjectId)>>>| {
+            rx.lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .recv()
+        };
+        let join = std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let (buffered, rx, recv) = (&buffered, &rx, &recv);
+                scope.spawn(move || {
+                    // A panic in the sink (filter/exact code downstream)
+                    // must propagate, not deadlock: if this worker simply
+                    // died, the bounded queue could fill and block the
+                    // producer forever inside the scope. So catch the
+                    // panic, keep draining the queue so the producer
+                    // always finishes, then rethrow — the scope forwards
+                    // it to the caller.
+                    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut sink = consumer.attach();
+                        while let Ok(chunk) = recv(rx) {
+                            let len = chunk.len() as u64;
+                            for (a, b) in chunk {
+                                sink.pair(a, b);
+                            }
+                            buffered.fetch_sub(len, Ordering::Relaxed);
+                        }
+                    }));
+                    if let Err(panic) = attempt {
+                        while let Ok(chunk) = recv(rx) {
+                            buffered.fetch_sub(chunk.len() as u64, Ordering::Relaxed);
+                        }
+                        std::panic::resume_unwind(panic);
+                    }
+                });
+            }
+            let join = tree_join_chunked(tree_a, tree_b, buffer, FUSED_CHUNK, |chunk| {
+                let now =
+                    buffered.fetch_add(chunk.len() as u64, Ordering::Relaxed) + chunk.len() as u64;
+                peak.fetch_max(now, Ordering::Relaxed);
+                tx.send(chunk).expect("queue receiver alive");
+            });
+            drop(tx); // workers drain and exit; the scope joins them
+            join
+        });
         Step1Stats {
             join,
             partition: None,
+            workers_fed: workers as u64,
+            peak_buffered: peak.load(Ordering::Relaxed),
         }
     }
 
@@ -203,6 +334,10 @@ impl CandidateSource for RStarSource {
     }
 }
 
+/// One relation's `(MBR, id)` list — a side of the partitioned join.
+type MbrItems = Vec<(Rect, ObjectId)>;
+type MbrItemsSlice<'b> = &'b [(Rect, ObjectId)];
+
 /// The partitioned backend: uniform grid, per-tile plane sweeps,
 /// reference-point deduplication, scoped-thread parallelism.
 struct GridSource<'a> {
@@ -212,6 +347,10 @@ struct GridSource<'a> {
     threads: usize,
     /// Single-relation grid for selection probes, built on first use.
     index: Option<GridIndex>,
+    /// `(items_a, items_b)` MBR lists for joins, collected on first use
+    /// and reused across repeated `PreparedJoin` runs (`items_b` is
+    /// `None` for self-joins — side A doubles as side B).
+    join_items: Option<(MbrItems, Option<MbrItems>)>,
 }
 
 impl<'a> GridSource<'a> {
@@ -227,11 +366,21 @@ impl<'a> GridSource<'a> {
             tiles_per_axis,
             threads,
             index: None,
+            join_items: None,
         }
     }
 
     fn items(relation: &Relation) -> Vec<(Rect, ObjectId)> {
         relation.iter().map(|o| (o.mbr(), o.id)).collect()
+    }
+
+    fn join_items(&mut self) -> (MbrItemsSlice<'_>, MbrItemsSlice<'_>) {
+        let (rel_a, rel_b) = (self.rel_a, self.rel_b);
+        let (a, b) = self
+            .join_items
+            .get_or_insert_with(|| (Self::items(rel_a), rel_b.map(Self::items)));
+        let a: MbrItemsSlice = a;
+        (a, b.as_deref().unwrap_or(a))
     }
 
     fn index(&mut self) -> &GridIndex {
@@ -246,29 +395,35 @@ impl CandidateSource for GridSource<'_> {
         "partitioned-sweep"
     }
 
-    fn join_candidates(&mut self, sink: &mut dyn FnMut(ObjectId, ObjectId)) -> Step1Stats {
-        let items_a = Self::items(self.rel_a);
-        let items_b = self.rel_b.map(Self::items);
-        let items_b = items_b.as_deref().unwrap_or(&items_a);
-        let mut candidates = 0u64;
-        let stats = partition_join(
-            &items_a,
-            items_b,
-            self.tiles_per_axis,
-            self.threads,
-            |id_a, id_b| {
-                candidates += 1;
-                sink(id_a, id_b);
-            },
-        );
+    fn join_candidates(&mut self, consumer: &dyn PairConsumer, workers: usize) -> Step1Stats {
+        let (tiles_per_axis, threads) = (self.tiles_per_axis, self.threads);
+        let (items_a, items_b) = self.join_items();
+        let (stats, workers_fed) = if workers <= 1 {
+            // Single downstream sink: tile sweeps may still parallelize
+            // internally (the backend's own `threads` config) but funnel
+            // into the calling thread in deterministic tile order.
+            let mut sink = consumer.attach();
+            let stats = partition_join(items_a, items_b, tiles_per_axis, threads, |id_a, id_b| {
+                sink.pair(id_a, id_b)
+            });
+            (stats, 1)
+        } else {
+            // Fused: every tile worker attaches its own sink and sweeps
+            // straight into it — nothing is buffered or funneled.
+            let stats = partition_join_workers(items_a, items_b, tiles_per_axis, workers, consumer);
+            let fed = stats.threads as u64;
+            (stats, fed)
+        };
         Step1Stats {
             join: JoinStats {
-                candidates,
+                candidates: stats.candidates(),
                 mbr_tests: stats.pair_tests,
                 restriction_tests: 0,
                 io: Default::default(),
             },
             partition: Some(PartitionSummary::from(&stats)),
+            workers_fed,
+            peak_buffered: 0,
         }
     }
 
@@ -328,7 +483,7 @@ mod tests {
         for config in configs() {
             let mut source = join_source(&config, &a, &b);
             let mut got = Vec::new();
-            let stats = source.join_candidates(&mut |x, y| got.push((x, y)));
+            let stats = source.stream_candidates(&mut |x, y| got.push((x, y)));
             assert_eq!(stats.join.candidates, got.len() as u64, "{}", source.name());
             let got = sorted(got);
             match &reference {
@@ -350,7 +505,7 @@ mod tests {
             ..JoinConfig::default()
         };
         let mut source = join_source(&config, &a, &b);
-        let stats = source.join_candidates(&mut |_, _| {});
+        let stats = source.stream_candidates(&mut |_, _| {});
         let summary = stats.partition.expect("partition summary");
         assert_eq!(summary.tiles_per_axis, 4);
         // Tiny input: the sweep may fall back to serial, but never exceeds
@@ -360,7 +515,25 @@ mod tests {
         assert!(summary.busiest_tile_candidates <= stats.join.candidates);
         // The R*-tree backend reports none.
         let mut rstar = join_source(&JoinConfig::default(), &a, &b);
-        assert!(rstar.join_candidates(&mut |_, _| {}).partition.is_none());
+        assert!(rstar.stream_candidates(&mut |_, _| {}).partition.is_none());
+    }
+
+    /// A sink panic (downstream filter/exact code) must propagate out of
+    /// the R*-traversal fan-out, not deadlock the producer behind a full
+    /// queue.
+    #[test]
+    #[should_panic]
+    fn fused_fanout_propagates_sink_panics() {
+        struct Exploding;
+        impl PairConsumer for Exploding {
+            fn attach(&self) -> Box<dyn msj_geom::PairSink + '_> {
+                Box::new(|_: ObjectId, _: ObjectId| panic!("sink exploded"))
+            }
+        }
+        let a = msj_datagen::small_carto(30, 20.0, 341);
+        let b = msj_datagen::small_carto(30, 20.0, 342);
+        let mut source = join_source(&JoinConfig::default(), &a, &b);
+        source.join_candidates(&Exploding, 2);
     }
 
     #[test]
@@ -410,7 +583,7 @@ mod tests {
         for config in configs() {
             let mut source = selection_source(&config, &rel);
             let mut pairs = Vec::new();
-            source.join_candidates(&mut |x, y| pairs.push((x, y)));
+            source.stream_candidates(&mut |x, y| pairs.push((x, y)));
             // Every object pairs with itself in a self-join.
             for o in rel.iter() {
                 assert!(pairs.contains(&(o.id, o.id)), "{} missing ({0}, {0})", o.id);

@@ -1,5 +1,6 @@
 //! Configuration of the multi-step join processor.
 
+use crate::execution::Execution;
 use msj_approx::{ConservativeKind, ProgressiveKind};
 use msj_exact::ExactAlgorithm;
 
@@ -58,6 +59,10 @@ pub struct JoinConfig {
     pub false_area_test: bool,
     /// Exact geometry algorithm for the final step.
     pub exact: ExactAlgorithm,
+    /// How Steps 2–3 are scheduled relative to Step 1: serially on the
+    /// calling thread, or fused into the Step-1 workers
+    /// ([`crate::execution`]).
+    pub execution: Execution,
 }
 
 impl Default for JoinConfig {
@@ -73,6 +78,7 @@ impl Default for JoinConfig {
             progressive: Some(ProgressiveKind::Mer),
             false_area_test: false,
             exact: ExactAlgorithm::TrStar { max_entries: 3 },
+            execution: Execution::Serial,
         }
     }
 }
@@ -143,6 +149,11 @@ mod tests {
     fn default_backend_is_rstar() {
         assert_eq!(JoinConfig::default().backend, Backend::RStarTraversal);
         assert_eq!(Backend::default(), Backend::RStarTraversal);
+    }
+
+    #[test]
+    fn default_execution_is_serial() {
+        assert_eq!(JoinConfig::default().execution, Execution::Serial);
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! The execution engine: **one** driver for the multi-step join,
+//! parameterized by an [`Execution`] policy.
+//!
+//! Before this engine existed the workspace had two divergent executors —
+//! a serial streaming pipeline and a `parallel_join` that materialized
+//! the *entire* candidate set into a `Vec` before fanning Steps 2–3 out
+//! (a full barrier, paying memory proportional to the candidate count).
+//! The engine replaces both:
+//!
+//! * [`Execution::Serial`] — one sink on the calling thread; candidates
+//!   stream through filter + exact immediately, in Step-1 order.
+//! * [`Execution::Fused`] — Steps 2–3 run *inside* the Step-1 workers
+//!   (Tsitsigkos & Mamoulis 2019): each worker thread attaches its own
+//!   [`PairSink`] and classifies every candidate the moment it is swept.
+//!   No candidate set is ever materialized; the partitioned backend
+//!   buffers nothing at all, and the R*-traversal backend buffers at most
+//!   a few bounded chunks in flight
+//!   ([`MultiStepStats::peak_buffered_candidates`] reports the observed
+//!   peak).
+//!
+//! Both policies produce the identical response set and *exactly* merged
+//! operation counts — every counter is a commutative sum over per-worker
+//! partials, and the fused response set is canonically sorted — so the
+//! property tests can assert `Fused == Serial` bit for bit. Pick
+//! `Serial` when Step-1 order matters (debugging, streaming consumers)
+//! or the workload is tiny; pick `Fused` on multi-core hardware.
+
+use crate::candidates;
+use crate::config::JoinConfig;
+use crate::filter::{FilterOutcome, GeometricFilter};
+use crate::pipeline::JoinResult;
+use crate::stats::MultiStepStats;
+use msj_exact::ExactProcessor;
+use msj_geom::{resolve_threads, ObjectId, PairConsumer, PairSink, Relation};
+use std::sync::Mutex;
+
+/// How the engine schedules Steps 2–3 relative to Step 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Execution {
+    /// Stream every candidate through filter + exact on the calling
+    /// thread, in Step-1 delivery order. Response pairs keep that order.
+    #[default]
+    Serial,
+    /// Run filter + exact inside the Step-1 workers: `threads` worker
+    /// sinks (`0` = available parallelism), each classifying its own
+    /// candidate stream. The response set is canonically sorted and
+    /// byte-identical to `Serial`'s (after sorting), with exactly-merged
+    /// operation counts.
+    Fused {
+        /// Downstream worker count (0 = available parallelism). The
+        /// partitioned backend clamps to its tile count — a tile is the
+        /// unit of work.
+        threads: usize,
+    },
+}
+
+impl Execution {
+    /// Fused execution sized for the machine.
+    pub fn fused_auto() -> Self {
+        Execution::Fused { threads: 0 }
+    }
+}
+
+// The engine shares the filter and the exact processor read-only across
+// all worker threads; per-worker mutability is confined to each sink's
+// own `OpCounts`/counters. Keep that property explicit:
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<GeometricFilter>();
+    assert_sync::<ExactProcessor<'static>>();
+};
+
+/// One worker's accumulated output: its response pairs plus the Step-2/3
+/// counters (including its private `exact_ops`).
+type Partial = (Vec<(ObjectId, ObjectId)>, MultiStepStats);
+
+/// The engine's pair consumer: every attached sink classifies candidates
+/// through the shared filter and exact processor, accumulating into
+/// worker-local state that is published on detach (sink drop).
+struct FusedConsumer<'a> {
+    filter: &'a GeometricFilter,
+    exact: &'a ExactProcessor<'a>,
+    partials: Mutex<Vec<Partial>>,
+}
+
+impl<'a> FusedConsumer<'a> {
+    fn new(filter: &'a GeometricFilter, exact: &'a ExactProcessor<'a>) -> Self {
+        FusedConsumer {
+            filter,
+            exact,
+            partials: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn into_partials(self) -> Vec<Partial> {
+        self.partials.into_inner().expect("worker panicked")
+    }
+}
+
+impl PairConsumer for FusedConsumer<'_> {
+    fn attach(&self) -> Box<dyn PairSink + '_> {
+        Box::new(FusedSink {
+            owner: self,
+            pairs: Vec::new(),
+            stats: MultiStepStats::default(),
+        })
+    }
+}
+
+/// One worker's sink: Steps 2–3 fused into the candidate stream.
+struct FusedSink<'a> {
+    owner: &'a FusedConsumer<'a>,
+    pairs: Vec<(ObjectId, ObjectId)>,
+    stats: MultiStepStats,
+}
+
+impl PairSink for FusedSink<'_> {
+    fn pair(&mut self, id_a: ObjectId, id_b: ObjectId) {
+        match self.owner.filter.classify(id_a, id_b) {
+            FilterOutcome::FalseHit => self.stats.filter_false_hits += 1,
+            FilterOutcome::HitProgressive => {
+                self.stats.filter_hits_progressive += 1;
+                self.pairs.push((id_a, id_b));
+            }
+            FilterOutcome::HitFalseArea => {
+                self.stats.filter_hits_false_area += 1;
+                self.pairs.push((id_a, id_b));
+            }
+            FilterOutcome::Candidate => {
+                self.stats.exact_tests += 1;
+                if self
+                    .owner
+                    .exact
+                    .intersects(id_a, id_b, &mut self.stats.exact_ops)
+                {
+                    self.stats.exact_hits += 1;
+                    self.pairs.push((id_a, id_b));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for FusedSink<'_> {
+    fn drop(&mut self) {
+        let partial = (std::mem::take(&mut self.pairs), self.stats);
+        self.owner
+            .partials
+            .lock()
+            .expect("worker panicked")
+            .push(partial);
+    }
+}
+
+/// A join with Step 0 (preprocessing, the paper's "insertion time") done:
+/// the Step-1 candidate source, the approximation stores and the
+/// exact-step object representations are built, and Steps 1–3 can run —
+/// repeatedly, under any [`Execution`] policy — without paying that cost
+/// again. Built by [`crate::MultiStepJoin::prepare`].
+///
+/// Re-running is deterministic in everything but the R*-traversal's
+/// simulated I/O counters (its LRU buffer stays warm across runs, so
+/// later runs report fewer physical reads).
+pub struct PreparedJoin<'a> {
+    execution: Execution,
+    source: Box<dyn candidates::CandidateSource + 'a>,
+    filter: GeometricFilter,
+    exact: ExactProcessor<'a>,
+}
+
+impl<'a> PreparedJoin<'a> {
+    /// Runs Steps 1–3 under the policy configured at preparation.
+    pub fn run(&mut self) -> JoinResult {
+        self.run_with(self.execution)
+    }
+
+    /// Runs Steps 1–3 under an explicit policy (the preparation is
+    /// policy-independent).
+    pub fn run_with(&mut self, execution: Execution) -> JoinResult {
+        let (workers, fused) = match execution {
+            Execution::Serial => (1, false),
+            Execution::Fused { threads } => (resolve_threads(threads), true),
+        };
+
+        // Steps 1–3: the backend feeds candidates to one sink per
+        // worker; every sink runs filter + exact immediately.
+        let consumer = FusedConsumer::new(&self.filter, &self.exact);
+        let step1 = self.source.join_candidates(&consumer, workers);
+
+        // Deterministic merge: all counters are commutative sums, so the
+        // worker completion order cannot influence the totals.
+        let mut stats = MultiStepStats {
+            mbr_join: step1.join,
+            partition: step1.partition,
+            peak_buffered_candidates: step1.peak_buffered,
+            ..MultiStepStats::default()
+        };
+        let mut pairs: Vec<(ObjectId, ObjectId)> = Vec::new();
+        for (p, s) in consumer.into_partials() {
+            if pairs.is_empty() {
+                // Move the first worker's output — on the serial path
+                // (exactly one partial) this is the whole response set.
+                pairs = p;
+            } else {
+                pairs.extend(p);
+            }
+            stats.filter_false_hits += s.filter_false_hits;
+            stats.filter_hits_progressive += s.filter_hits_progressive;
+            stats.filter_hits_false_area += s.filter_hits_false_area;
+            stats.exact_tests += s.exact_tests;
+            stats.exact_hits += s.exact_hits;
+            stats.exact_ops.merge(&s.exact_ops);
+        }
+        if fused {
+            // Canonical response order, independent of worker
+            // interleaving.
+            pairs.sort_unstable();
+        }
+        // The largest worker pool that actually ran anywhere in the
+        // execution: the engine's own sinks, or the backend's internal
+        // tile sweeps when Step 1 parallelized under a serial downstream.
+        stats.threads_used = step1
+            .workers_fed
+            .max(step1.partition.map_or(1, |p| p.threads))
+            .max(1);
+        stats.result_pairs = pairs.len() as u64;
+        JoinResult { pairs, stats }
+    }
+}
+
+/// Builds a [`PreparedJoin`]: Step 0 for both relations under `config`.
+pub(crate) fn prepare<'a>(
+    config: &JoinConfig,
+    rel_a: &'a Relation,
+    rel_b: &'a Relation,
+) -> PreparedJoin<'a> {
+    PreparedJoin {
+        execution: config.execution,
+        source: candidates::join_source(config, rel_a, rel_b),
+        filter: GeometricFilter::from_config(config, rel_a, rel_b),
+        exact: ExactProcessor::new(config.exact, rel_a, rel_b),
+    }
+}
+
+/// Runs the full three-step join of `rel_a` with `rel_b` under the
+/// configured [`Execution`] policy. The single entry point behind
+/// [`crate::MultiStepJoin::execute`] and [`crate::parallel_join`].
+pub(crate) fn run_join(config: &JoinConfig, rel_a: &Relation, rel_b: &Relation) -> JoinResult {
+    prepare(config, rel_a, rel_b).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Backend;
+    use crate::pipeline::MultiStepJoin;
+
+    fn sorted(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+        v.sort_unstable();
+        v
+    }
+
+    fn fused(base: JoinConfig, threads: usize) -> JoinConfig {
+        JoinConfig {
+            execution: Execution::Fused { threads },
+            ..base
+        }
+    }
+
+    #[test]
+    fn fused_equals_serial_on_both_backends() {
+        let a = msj_datagen::small_carto(40, 24.0, 901);
+        let b = msj_datagen::small_carto(40, 24.0, 902);
+        for backend in [
+            Backend::RStarTraversal,
+            Backend::PartitionedSweep {
+                tiles_per_axis: 4,
+                threads: 2,
+            },
+        ] {
+            let base = JoinConfig {
+                backend,
+                ..JoinConfig::default()
+            };
+            let serial = MultiStepJoin::new(base).execute(&a, &b);
+            for threads in [1usize, 2, 8] {
+                let f = MultiStepJoin::new(fused(base, threads)).execute(&a, &b);
+                assert_eq!(
+                    sorted(serial.pairs.clone()),
+                    f.pairs,
+                    "{backend:?} x{threads}"
+                );
+                assert_eq!(serial.stats.exact_ops, f.stats.exact_ops);
+                assert_eq!(serial.stats.exact_tests, f.stats.exact_tests);
+                assert_eq!(serial.stats.filter_false_hits, f.stats.filter_false_hits);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_reports_actual_worker_count() {
+        let a = msj_datagen::small_carto(24, 20.0, 903);
+        let b = msj_datagen::small_carto(24, 20.0, 904);
+        // R*-traversal: the engine spawns exactly the requested sinks.
+        for threads in [1usize, 2, 8] {
+            let f = MultiStepJoin::new(fused(JoinConfig::default(), threads)).execute(&a, &b);
+            assert_eq!(f.stats.threads_used, threads as u64);
+        }
+        // Partitioned: clamped to the tile count (1x1 grid → 1 worker).
+        let one_tile = JoinConfig {
+            backend: Backend::PartitionedSweep {
+                tiles_per_axis: 1,
+                threads: 1,
+            },
+            ..JoinConfig::default()
+        };
+        let f = MultiStepJoin::new(fused(one_tile, 8)).execute(&a, &b);
+        assert_eq!(f.stats.threads_used, 1);
+    }
+
+    #[test]
+    fn serial_reports_backend_internal_threads() {
+        // Large enough to clear the partition crate's parallel threshold:
+        // the serial pipeline's Step 1 runs internal tile workers, and
+        // threads_used must say so.
+        let a = msj_datagen::large_relation(3000, 0, 905);
+        let b = msj_datagen::large_relation(3000, 1, 905);
+        let config = JoinConfig {
+            backend: Backend::PartitionedSweep {
+                tiles_per_axis: 8,
+                threads: 2,
+            },
+            execution: Execution::Serial,
+            ..JoinConfig::default()
+        };
+        let r = MultiStepJoin::new(config).execute(&a, &b);
+        assert_eq!(r.stats.threads_used, 2, "backend tile workers ran");
+        // The plain R*-traversal serial pipeline stays single-threaded.
+        let r = MultiStepJoin::new(JoinConfig::default()).execute(&a, &b);
+        assert_eq!(r.stats.threads_used, 1);
+    }
+
+    #[test]
+    fn fused_rstar_bounds_the_candidate_buffer() {
+        let a = msj_datagen::small_carto(120, 24.0, 906);
+        let b = msj_datagen::small_carto(120, 24.0, 907);
+        let f = MultiStepJoin::new(fused(JoinConfig::default(), 4)).execute(&a, &b);
+        let bound = candidates::fused_buffer_bound(4);
+        assert!(
+            f.stats.peak_buffered_candidates <= bound,
+            "peak {} exceeds bound {bound}",
+            f.stats.peak_buffered_candidates
+        );
+        // The partitioned backend buffers nothing at all.
+        let grid = fused(
+            JoinConfig {
+                backend: Backend::PartitionedSweep {
+                    tiles_per_axis: 4,
+                    threads: 2,
+                },
+                ..JoinConfig::default()
+            },
+            4,
+        );
+        let f = MultiStepJoin::new(grid).execute(&a, &b);
+        assert_eq!(f.stats.peak_buffered_candidates, 0);
+    }
+
+    #[test]
+    fn prepared_join_runs_repeatedly_under_any_policy() {
+        let a = msj_datagen::small_carto(30, 20.0, 908);
+        let b = msj_datagen::small_carto(30, 20.0, 909);
+        let join = MultiStepJoin::new(JoinConfig::default());
+        let reference = join.execute(&a, &b);
+        let mut prepared = join.prepare(&a, &b);
+        let serial = prepared.run();
+        assert_eq!(serial.pairs, reference.pairs);
+        // Same preparation, different policies: identical response sets.
+        for threads in [1usize, 2, 8] {
+            let f = prepared.run_with(Execution::Fused { threads });
+            assert_eq!(f.pairs, sorted(reference.pairs.clone()), "x{threads}");
+            assert_eq!(f.stats.exact_ops, reference.stats.exact_ops);
+        }
+        // And a repeat serial run still agrees (warm buffer, same set).
+        assert_eq!(prepared.run().pairs, reference.pairs);
+    }
+
+    #[test]
+    fn fused_auto_resolves_to_available_parallelism() {
+        assert_eq!(Execution::default(), Execution::Serial);
+        let Execution::Fused { threads } = Execution::fused_auto() else {
+            panic!("fused_auto must be fused");
+        };
+        assert_eq!(threads, 0);
+    }
+}

@@ -24,10 +24,32 @@
 //! statistics ([`stats::MultiStepStats`]) that feed every evaluation
 //! table, and [`cost`] implements the §5 total-cost model of Figures 11
 //! and 18.
+//!
+//! ## The execution engine
+//!
+//! One engine ([`execution`]) drives every join, parameterized by the
+//! [`Execution`] policy on [`JoinConfig`]:
+//!
+//! * [`Execution::Serial`] — all three steps on the calling thread, in
+//!   Step-1 delivery order;
+//! * [`Execution::Fused`] — filter + exact run *inside* the Step-1
+//!   workers, the paper's §6 CPU-parallelism outlook realized along
+//!   Tsitsigkos & Mamoulis (SIGSPATIAL 2019). Candidates never
+//!   materialize: backends feed per-worker sinks through the
+//!   [`msj_geom::PairConsumer`] protocol (the partitioned sweep hands
+//!   each tile worker its own sink; the R*-traversal distributes bounded
+//!   chunks over channels), and each sink classifies candidates the
+//!   moment they are produced. Results and operation counts are merged
+//!   deterministically and sorted canonically, so `Fused` is
+//!   byte-identical to `Serial`.
+//!
+//! [`parallel::parallel_join`] is the compatibility front for
+//! `Fused`; prefer setting the policy on the config.
 
 pub mod candidates;
 pub mod config;
 pub mod cost;
+pub mod execution;
 pub mod filter;
 pub mod parallel;
 pub mod pipeline;
@@ -35,12 +57,14 @@ pub mod queries;
 pub mod stats;
 
 pub use candidates::{
-    join_source, selection_source, CandidateSource, PartitionSummary, SelectionStats, Step1Stats,
+    fused_buffer_bound, join_source, selection_source, CandidateSource, PartitionSummary,
+    SelectionStats, Step1Stats, FUSED_CHUNK, FUSED_QUEUE_DEPTH,
 };
 pub use config::{Backend, JoinConfig};
 pub use cost::{
     figure11_loss_gain, figure18_cost, CostBreakdown, CostModelParams, ExactCostKind, LossGain,
 };
+pub use execution::{Execution, PreparedJoin};
 pub use filter::{FilterOutcome, GeometricFilter};
 pub use parallel::parallel_join;
 pub use pipeline::{ground_truth_join, JoinResult, MultiStepJoin};

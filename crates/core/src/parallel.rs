@@ -1,115 +1,40 @@
 //! CPU-parallel join processing — the paper's §6 outlook ("another task is
 //! to consider CPU- and I/O-parallelism in future work").
 //!
-//! The filter and exact steps are embarrassingly parallel over candidate
-//! pairs: approximation stores and object representations are read-only
-//! once built. [`parallel_join`] runs the MBR-join serially (it is I/O
-//! bound and cheap), collects the candidates, and fans the filter + exact
-//! work out over scoped threads. Determinism is preserved: the result is
-//! sorted canonically and the operation counts are merged exactly.
+//! [`parallel_join`] is the compatibility front over the fused execution
+//! engine ([`crate::execution`]): it is exactly
+//! `MultiStepJoin::execute` with [`Execution::Fused`] swapped into the
+//! config. Earlier revisions implemented a separate collect-then-chunk
+//! executor here — materialize all candidates, then fan Steps 2–3 out
+//! over chunks — which paid a full barrier plus memory proportional to
+//! the candidate count. The fused engine replaces it: filter + exact run
+//! *inside* the Step-1 workers and nothing is materialized. (The
+//! `msj-bench` crate keeps a reference implementation of the old
+//! executor as the baseline its `fused` experiment measures against.)
 
-use crate::candidates;
 use crate::config::JoinConfig;
-use crate::filter::{FilterOutcome, GeometricFilter};
+use crate::execution::{self, Execution};
 use crate::pipeline::JoinResult;
-use crate::stats::MultiStepStats;
-use msj_exact::{ExactProcessor, OpCounts};
-use msj_geom::{ObjectId, Relation};
+use msj_geom::Relation;
 
-/// Runs the multi-step join with the filter and exact steps parallelized
-/// over `threads` workers (0 = available parallelism).
+/// Runs the multi-step join with the filter and exact steps fused into
+/// `threads` Step-1 workers (0 = available parallelism).
 ///
-/// Step 1 runs through the configured [`crate::candidates`] backend —
-/// serially for the R*-tree traversal (its I/O accounting needs one
-/// buffer), with its own tile-level parallelism for the partitioned
-/// sweep. The returned response set equals
-/// [`crate::MultiStepJoin::execute`]'s (canonically sorted) with
-/// identical statistics, and [`MultiStepStats::threads_used`] records the
-/// worker count of the filter/exact fan-out.
+/// The response set equals [`crate::MultiStepJoin::execute`]'s
+/// (canonically sorted) with exactly-merged statistics;
+/// [`crate::MultiStepStats::threads_used`] records the worker count that
+/// actually ran (the partitioned backend clamps to its tile count).
 pub fn parallel_join(
     rel_a: &Relation,
     rel_b: &Relation,
     config: &JoinConfig,
     threads: usize,
 ) -> JoinResult {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
+    let config = JoinConfig {
+        execution: Execution::Fused { threads },
+        ..*config
     };
-
-    // Preprocessing through the same paths as the serial pipeline.
-    let mut source = candidates::join_source(config, rel_a, rel_b);
-    let filter = GeometricFilter::from_config(config, rel_a, rel_b);
-    let exact = ExactProcessor::new(config.exact, rel_a, rel_b);
-
-    // Step 1: materialize the candidates for the fan-out.
-    let mut candidates: Vec<(ObjectId, ObjectId)> = Vec::new();
-    let step1 = source.join_candidates(&mut |a, b| candidates.push((a, b)));
-
-    // Steps 2+3, parallel over candidate chunks.
-    let chunk_size = candidates.len().div_ceil(threads.max(1)).max(1);
-    let mut partials: Vec<(Vec<(ObjectId, ObjectId)>, MultiStepStats)> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk in candidates.chunks(chunk_size) {
-            let filter = &filter;
-            let exact = &exact;
-            handles.push(scope.spawn(move || {
-                let mut pairs = Vec::new();
-                let mut stats = MultiStepStats::default();
-                let mut counts = OpCounts::new();
-                for &(a, b) in chunk {
-                    match filter.classify(a, b) {
-                        FilterOutcome::FalseHit => stats.filter_false_hits += 1,
-                        FilterOutcome::HitProgressive => {
-                            stats.filter_hits_progressive += 1;
-                            pairs.push((a, b));
-                        }
-                        FilterOutcome::HitFalseArea => {
-                            stats.filter_hits_false_area += 1;
-                            pairs.push((a, b));
-                        }
-                        FilterOutcome::Candidate => {
-                            stats.exact_tests += 1;
-                            if exact.intersects(a, b, &mut counts) {
-                                stats.exact_hits += 1;
-                                pairs.push((a, b));
-                            }
-                        }
-                    }
-                }
-                stats.exact_ops = counts;
-                (pairs, stats)
-            }));
-        }
-        for h in handles {
-            partials.push(h.join().expect("worker panicked"));
-        }
-    });
-
-    // Deterministic merge.
-    let mut stats = MultiStepStats {
-        mbr_join: step1.join,
-        partition: step1.partition,
-        threads_used: threads as u64,
-        ..MultiStepStats::default()
-    };
-    let mut pairs = Vec::new();
-    for (p, s) in partials {
-        pairs.extend(p);
-        stats.filter_false_hits += s.filter_false_hits;
-        stats.filter_hits_progressive += s.filter_hits_progressive;
-        stats.filter_hits_false_area += s.filter_hits_false_area;
-        stats.exact_tests += s.exact_tests;
-        stats.exact_hits += s.exact_hits;
-        stats.exact_ops.merge(&s.exact_ops);
-    }
-    pairs.sort_unstable();
-    stats.result_pairs = pairs.len() as u64;
-    JoinResult { pairs, stats }
+    execution::run_join(&config, rel_a, rel_b)
 }
 
 #[cfg(test)]
@@ -152,6 +77,7 @@ mod tests {
     fn records_the_thread_count_used() {
         let a = msj_datagen::small_carto(24, 20.0, 75);
         let b = msj_datagen::small_carto(24, 20.0, 76);
+        // The R*-traversal fan-out spawns exactly the requested workers.
         for threads in [1usize, 2, 8] {
             let par = parallel_join(&a, &b, &JoinConfig::default(), threads);
             assert_eq!(par.stats.threads_used, threads as u64);
@@ -177,7 +103,19 @@ mod tests {
             let par = parallel_join(&a, &b, &config, threads);
             assert_eq!(sorted(serial.pairs.clone()), par.pairs, "x{threads}");
             assert_eq!(serial.stats.exact_ops, par.stats.exact_ops);
-            assert_eq!(par.stats.partition, serial.stats.partition);
+            // The partition digest is worker-count invariant except for
+            // the recorded worker count itself.
+            let (ps, pp) = (
+                serial.stats.partition.expect("summary"),
+                par.stats.partition.expect("summary"),
+            );
+            assert_eq!(pp.tiles_per_axis, ps.tiles_per_axis);
+            assert_eq!(pp.nonempty_tiles, ps.nonempty_tiles);
+            assert_eq!(pp.busiest_tile_candidates, ps.busiest_tile_candidates);
+            assert_eq!(pp.dedup_skipped, ps.dedup_skipped);
+            assert_eq!(pp.replicated_assignments, ps.replicated_assignments);
+            // Workers are clamped to the 16 available tiles.
+            assert_eq!(par.stats.threads_used, threads.min(16) as u64);
         }
     }
 
@@ -188,6 +126,7 @@ mod tests {
         let par = parallel_join(&a, &b, &JoinConfig::default(), 0);
         let serial = MultiStepJoin::new(JoinConfig::default()).execute(&a, &b);
         assert_eq!(sorted(serial.pairs), par.pairs);
+        assert!(par.stats.threads_used >= 1);
     }
 
     #[test]

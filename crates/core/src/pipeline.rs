@@ -1,11 +1,14 @@
 //! The multi-step join pipeline (Figure 1): MBR-join → geometric filter →
 //! exact geometry processor, with candidates streamed between steps.
+//!
+//! [`MultiStepJoin`] is a thin front over the [`crate::execution`]
+//! engine: the configured [`crate::Execution`] policy decides whether the
+//! three steps run serially on the calling thread or fused inside the
+//! Step-1 workers.
 
-use crate::candidates;
 use crate::config::JoinConfig;
-use crate::filter::{FilterOutcome, GeometricFilter};
+use crate::execution;
 use crate::stats::MultiStepStats;
-use msj_exact::ExactProcessor;
 use msj_geom::{ObjectId, Relation};
 
 /// The outcome of one multi-step join: the response set plus per-step
@@ -47,43 +50,21 @@ impl MultiStepJoin {
         &self.config
     }
 
-    /// Runs the full three-step join of `rel_a` with `rel_b`.
+    /// Runs the full three-step join of `rel_a` with `rel_b` under the
+    /// configured [`crate::Execution`] policy.
     pub fn execute(&self, rel_a: &Relation, rel_b: &Relation) -> JoinResult {
-        // Step 0 (preprocessing, "insertion time"): the configured Step-1
-        // candidate source (R*-trees or partition grid), approximation
-        // stores, exact-step object representations.
-        let mut source = candidates::join_source(&self.config, rel_a, rel_b);
-        let filter = GeometricFilter::from_config(&self.config, rel_a, rel_b);
-        let exact = ExactProcessor::new(self.config.exact, rel_a, rel_b);
+        execution::run_join(&self.config, rel_a, rel_b)
+    }
 
-        let mut stats = MultiStepStats::default();
-        let mut pairs: Vec<(ObjectId, ObjectId)> = Vec::new();
-
-        // Steps 1-3, streamed: each candidate of the MBR-join is filtered
-        // and (when inconclusive) tested exactly, immediately.
-        let step1 = source.join_candidates(&mut |id_a, id_b| match filter.classify(id_a, id_b) {
-            FilterOutcome::FalseHit => stats.filter_false_hits += 1,
-            FilterOutcome::HitProgressive => {
-                stats.filter_hits_progressive += 1;
-                pairs.push((id_a, id_b));
-            }
-            FilterOutcome::HitFalseArea => {
-                stats.filter_hits_false_area += 1;
-                pairs.push((id_a, id_b));
-            }
-            FilterOutcome::Candidate => {
-                stats.exact_tests += 1;
-                if exact.intersects(id_a, id_b, &mut stats.exact_ops) {
-                    stats.exact_hits += 1;
-                    pairs.push((id_a, id_b));
-                }
-            }
-        });
-        stats.mbr_join = step1.join;
-        stats.partition = step1.partition;
-        stats.threads_used = 1;
-        stats.result_pairs = pairs.len() as u64;
-        JoinResult { pairs, stats }
+    /// Runs Step 0 (preprocessing, "insertion time") only, returning a
+    /// [`crate::PreparedJoin`] that executes Steps 1–3 on demand — under
+    /// the configured policy or any other, as many times as needed.
+    pub fn prepare<'a>(
+        &self,
+        rel_a: &'a Relation,
+        rel_b: &'a Relation,
+    ) -> execution::PreparedJoin<'a> {
+        execution::prepare(&self.config, rel_a, rel_b)
     }
 }
 

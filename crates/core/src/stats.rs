@@ -13,10 +13,18 @@ pub struct MultiStepStats {
     /// Step-1 partition digest when the partitioned backend ran (`None`
     /// under the R*-tree traversal).
     pub partition: Option<PartitionSummary>,
-    /// Worker threads used for the filter + exact steps (1 for the
-    /// serial pipeline; Step-1 internal parallelism is recorded in
-    /// [`PartitionSummary::threads`]).
+    /// The largest worker pool that actually ran anywhere in the
+    /// execution: the engine's fused filter/exact sinks, or the Step-1
+    /// backend's internal tile workers when the downstream ran serially
+    /// (so a serial pipeline over a parallel `PartitionedSweep` reports
+    /// the backend's worker count, not a misleading 1). Always ≥ 1.
     pub threads_used: u64,
+    /// Peak candidate pairs buffered between Step 1 and the filter/exact
+    /// steps. 0 when candidates were fully streamed (the serial pipeline
+    /// and the fused partitioned backend); the fused R*-traversal
+    /// fan-out stays below [`crate::candidates::fused_buffer_bound`].
+    /// The candidate set is never materialized in full on any path.
+    pub peak_buffered_candidates: u64,
     /// Step 2: false hits identified by the conservative approximation.
     pub filter_false_hits: u64,
     /// Step 2: hits identified by the progressive approximation.

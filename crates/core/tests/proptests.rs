@@ -2,7 +2,7 @@
 //! nested-loops exact join for every filter/exact configuration.
 
 use msj_approx::{ConservativeKind, ProgressiveKind};
-use msj_core::{ground_truth_join, Backend, JoinConfig, MultiStepJoin};
+use msj_core::{ground_truth_join, Backend, Execution, JoinConfig, MultiStepJoin};
 use msj_exact::ExactAlgorithm;
 use proptest::prelude::*;
 
@@ -49,6 +49,15 @@ fn backend_strategy() -> impl Strategy<Value = Backend> {
     ]
 }
 
+fn execution_strategy() -> impl Strategy<Value = Execution> {
+    prop_oneof![
+        Just(Execution::Serial),
+        Just(Execution::Fused { threads: 1 }),
+        Just(Execution::Fused { threads: 2 }),
+        Just(Execution::Fused { threads: 8 }),
+    ]
+}
+
 fn exact_strategy() -> impl Strategy<Value = ExactAlgorithm> {
     prop_oneof![
         Just(ExactAlgorithm::Quadratic),
@@ -71,6 +80,7 @@ proptest! {
         false_area_test in any::<bool>(),
         exact in exact_strategy(),
         backend in backend_strategy(),
+        execution in execution_strategy(),
         page_size in prop_oneof![Just(1024usize), Just(2048), Just(4096)],
     ) {
         let a = msj_datagen::small_carto(24, 20.0, seed_a);
@@ -83,6 +93,7 @@ proptest! {
             progressive,
             false_area_test,
             exact,
+            execution,
         };
         let result = MultiStepJoin::new(config).execute(&a, &b);
         let expect = sorted(ground_truth_join(&a, &b));

@@ -29,7 +29,7 @@ pub use calibrate::{mbr_false_area_stats, Stats};
 pub use holes::{carto_with_holes, carve_hole, with_holes, HoleParams};
 pub use layout::{generate_relation, LayoutParams};
 pub use relations::{
-    all_series, bw_like, europe_like, large_relation, small_carto, test_series, world, BaseMap,
-    Strategy,
+    all_series, bw_like, europe_like, large_relation, skewed_carto, small_carto, test_series,
+    world, BaseMap, Strategy,
 };
 pub use series::{strategy_a, strategy_b, TestSeries};

@@ -71,11 +71,12 @@ pub fn bw_like(seed: u64) -> Relation {
     generate_relation(&mut StdRng::seed_from_u64(seed), &params)
 }
 
-/// A reduced-size relation with the same shape statistics as
-/// [`europe_like`] / [`bw_like`] — convenient for fast tests.
-pub fn small_carto(count: usize, mean_vertices: f64, seed: u64) -> Relation {
-    let params = LayoutParams {
-        world: world(),
+/// The reduced-size cartographic layout shared by [`small_carto`] and
+/// [`skewed_carto`] — one place for the calibration constants, so the
+/// even and skewed workloads stay statistically comparable.
+fn small_carto_params(world: Rect, count: usize, mean_vertices: f64) -> LayoutParams {
+    LayoutParams {
+        world,
         count,
         vertices_mu_ln: (mean_vertices * 0.72).max(4.0).ln(),
         vertices_sigma_ln: 0.6,
@@ -83,7 +84,13 @@ pub fn small_carto(count: usize, mean_vertices: f64, seed: u64) -> Relation {
         vertices_max: (mean_vertices * 8.0) as usize,
         radius_frac: 0.46,
         shape: carto_shape(),
-    };
+    }
+}
+
+/// A reduced-size relation with the same shape statistics as
+/// [`europe_like`] / [`bw_like`] — convenient for fast tests.
+pub fn small_carto(count: usize, mean_vertices: f64, seed: u64) -> Relation {
+    let params = small_carto_params(world(), count, mean_vertices);
     generate_relation(&mut StdRng::seed_from_u64(seed), &params)
 }
 
@@ -125,6 +132,42 @@ pub fn large_relation(count: usize, which: u8, seed: u64) -> Relation {
                 .collect(),
         )
     }
+}
+
+/// A deliberately *skewed* cartographic relation: three quarters of the
+/// objects packed into a hot corner covering 20 % × 20 % of the world,
+/// the rest spread across the full data space.
+///
+/// Uniform spatial partitioning degrades on exactly this shape — a few
+/// tiles carry most of the candidates — which makes it the stress
+/// workload for the fused execution engine's load balancing. Shape
+/// statistics match [`small_carto`]; generation is deterministic per
+/// seed.
+pub fn skewed_carto(count: usize, mean_vertices: f64, seed: u64) -> Relation {
+    let w = world();
+    let hot_count = count * 3 / 4;
+    let hot_world = Rect::from_bounds(
+        w.xmin(),
+        w.ymin(),
+        w.xmin() + w.width() * 0.2,
+        w.ymin() + w.height() * 0.2,
+    );
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5CA1E);
+    let hot = generate_relation(
+        &mut rng,
+        &small_carto_params(hot_world, hot_count, mean_vertices),
+    );
+    let cold = generate_relation(
+        &mut rng,
+        &small_carto_params(w, count - hot_count, mean_vertices),
+    );
+    Relation::new(
+        hot.iter()
+            .chain(cold.iter())
+            .enumerate()
+            .map(|(id, o)| msj_geom::SpatialObject::new(id as u32, o.region.clone()))
+            .collect(),
+    )
 }
 
 /// Which base relation a test series is derived from.
@@ -208,6 +251,42 @@ mod tests {
         // Same seed, different `which` must differ.
         let d = (a.object(0).mbr().center() - b.object(0).mbr().center()).norm();
         assert!(d > 0.0);
+    }
+
+    #[test]
+    fn skewed_carto_packs_a_hot_corner() {
+        let rel = skewed_carto(200, 24.0, 7);
+        assert_eq!(rel.len(), 200);
+        // Ids are contiguous (Relation::object indexes by id).
+        for (i, o) in rel.iter().enumerate() {
+            assert_eq!(o.id, i as u32);
+        }
+        // The hot three quarters live inside ~20% of the world extent
+        // (generous margin for blob radii crossing the region edge).
+        let w = world();
+        let hot_bound = Rect::from_bounds(
+            w.xmin() - 0.05 * w.width(),
+            w.ymin() - 0.05 * w.height(),
+            w.xmin() + 0.30 * w.width(),
+            w.ymin() + 0.30 * w.height(),
+        );
+        let inside = rel
+            .iter()
+            .take(150)
+            .filter(|o| hot_bound.contains_rect(&o.mbr()))
+            .count();
+        assert!(inside >= 140, "only {inside}/150 hot objects in corner");
+        // Deterministic per seed, distinct across seeds.
+        let again = skewed_carto(200, 24.0, 7);
+        assert_eq!(
+            rel.object(3).region.outer().vertices(),
+            again.object(3).region.outer().vertices()
+        );
+        let other = skewed_carto(200, 24.0, 8);
+        assert_ne!(
+            rel.object(3).region.outer().vertices(),
+            other.object(3).region.outer().vertices()
+        );
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   ([`calipers`]), and convex clipping / SAT intersection tests
 //!   ([`clip`]);
 //! * structural validators ([`validate`]) used by tests and the data
-//!   generator.
+//!   generator;
+//! * the execution plumbing shared by every join path ([`exec`]): the
+//!   `Sync` pair-consumer protocol and thread-count resolution.
 //!
 //! All coordinates are `f64`. Every region predicate in this workspace uses
 //! *closed* semantics: touching boundaries intersect and containment counts
@@ -21,6 +23,7 @@
 
 pub mod calipers;
 pub mod clip;
+pub mod exec;
 pub mod hull;
 pub mod object;
 pub mod point;
@@ -34,6 +37,7 @@ pub mod wkt;
 
 pub use calipers::{min_area_rect, OrientedRect};
 pub use clip::{clip_convex, convex_intersect, convex_intersection_area, ring_area};
+pub use exec::{resolve_threads, FnConsumer, PairConsumer, PairSink};
 pub use hull::{convex_contains_point, convex_hull};
 pub use object::{ObjectId, Relation, SpatialObject};
 pub use point::Point;

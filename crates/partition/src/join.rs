@@ -1,14 +1,26 @@
 //! The partitioned MBR join: per-tile plane sweeps executed in parallel
-//! over scoped threads, merged deterministically in tile order.
+//! over scoped threads, delivered either funneled onto the calling thread
+//! ([`partition_join`]) or straight to caller-supplied per-worker sinks
+//! ([`partition_join_workers`] — the fused execution path).
 
 use crate::grid::Grid;
 use crate::stats::PartitionStats;
-use msj_geom::{ObjectId, Rect};
+use msj_geom::{resolve_threads, ObjectId, PairConsumer, Rect};
 
 /// What one tile's mini-join produced.
 #[derive(Debug, Default)]
 struct TileResult {
     pairs: Vec<(ObjectId, ObjectId)>,
+    pair_tests: u64,
+    dedup_skipped: u64,
+}
+
+/// Per-tile accounting of one worker-delivered tile sweep (the pairs went
+/// to the worker's sink, so only the counters travel back).
+#[derive(Debug, Clone, Copy)]
+struct TileOutcome {
+    tile: usize,
+    candidates: u64,
     pair_tests: u64,
     dedup_skipped: u64,
 }
@@ -72,13 +84,62 @@ pub fn tile_sweep(
     (pair_tests, dedup_skipped)
 }
 
-/// Below this many total tile assignments the sweeps run on the calling
-/// thread regardless of the requested `threads` — spawn cost would
-/// dominate the sub-millisecond sweep work. [`PartitionStats::threads`]
-/// records the worker count actually used.
+/// Below this many total tile assignments [`partition_join`]'s sweeps run
+/// on the calling thread regardless of the requested `threads` — spawn
+/// cost would dominate the sub-millisecond sweep work.
+/// [`PartitionStats::threads`] records the worker count actually used.
+/// ([`partition_join_workers`] does *not* apply this threshold: its
+/// workers also run the downstream filter + exact steps, which dwarf the
+/// spawn cost.)
 pub const PARALLEL_THRESHOLD: u64 = 4096;
 
-/// The partitioned parallel MBR join.
+/// The bucketed grid both join drivers share: universe grid, per-tile
+/// rectangle lists for both sides, assignment counts.
+struct Prepared {
+    grid: Grid,
+    buckets_a: Vec<Vec<(Rect, ObjectId)>>,
+    buckets_b: Vec<Vec<(Rect, ObjectId)>>,
+    assignments_a: u64,
+    assignments_b: u64,
+}
+
+/// Builds the grid and buckets; `None` when either side is empty (no
+/// candidates can exist).
+fn prepare(
+    a: &[(Rect, ObjectId)],
+    b: &[(Rect, ObjectId)],
+    tiles_per_axis: usize,
+) -> Option<Prepared> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let grid = Grid::covering(a, b, tiles_per_axis)?;
+    let (buckets_a, assignments_a) = grid.assign(a);
+    let (buckets_b, assignments_b) = grid.assign(b);
+    Some(Prepared {
+        grid,
+        buckets_a,
+        buckets_b,
+        assignments_a,
+        assignments_b,
+    })
+}
+
+fn base_stats(prep: &Prepared, a_len: usize, b_len: usize, workers: usize) -> PartitionStats {
+    PartitionStats {
+        tiles_per_axis: prep.grid.tiles_per_axis(),
+        threads: workers,
+        assignments_a: prep.assignments_a,
+        assignments_b: prep.assignments_b,
+        items_a: a_len as u64,
+        items_b: b_len as u64,
+        pair_tests: 0,
+        dedup_skipped: 0,
+        tile_candidates: Vec::with_capacity(prep.grid.tile_count()),
+    }
+}
+
+/// The partitioned parallel MBR join, funneled onto the calling thread.
 ///
 /// Every intersecting `(a, b)` MBR pair is streamed to `on_pair` exactly
 /// once, in deterministic tile-major order independent of `threads`.
@@ -93,29 +154,17 @@ pub fn partition_join<F: FnMut(ObjectId, ObjectId)>(
     threads: usize,
     mut on_pair: F,
 ) -> PartitionStats {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
+    let threads = resolve_threads(threads);
+    let Some(mut prep) = prepare(a, b, tiles_per_axis) else {
+        // One side (or both) is empty: no tiles ran, no workers spawned.
+        return PartitionStats::empty(tiles_per_axis, 1);
     };
-    let Some(grid) = Grid::covering(a, b, tiles_per_axis) else {
-        // One side (or both) is empty: no candidates, an empty grid.
-        return PartitionStats::empty(tiles_per_axis, threads);
-    };
-    if a.is_empty() || b.is_empty() {
-        return PartitionStats::empty(tiles_per_axis, threads);
-    }
-
-    let (mut buckets_a, assignments_a) = grid.assign(a);
-    let (mut buckets_b, assignments_b) = grid.assign(b);
-    let tile_count = grid.tile_count();
+    let tile_count = prep.grid.tile_count();
 
     // Tiles are handed to workers round-robin (tile t → worker t mod W) so
     // spatially clustered hot tiles spread across workers; each worker
     // writes into its own slot of the per-tile result table.
-    let workers = if assignments_a + assignments_b < PARALLEL_THRESHOLD {
+    let workers = if prep.assignments_a + prep.assignments_b < PARALLEL_THRESHOLD {
         1
     } else {
         threads.min(tile_count).max(1)
@@ -126,10 +175,10 @@ pub fn partition_join<F: FnMut(ObjectId, ObjectId)>(
     if workers <= 1 {
         for (tile, result) in results.iter_mut().enumerate() {
             run_tile(
-                &grid,
+                &prep.grid,
                 tile,
-                &mut buckets_a[tile],
-                &mut buckets_b[tile],
+                &mut prep.buckets_a[tile],
+                &mut prep.buckets_b[tile],
                 result,
             );
         }
@@ -140,18 +189,18 @@ pub fn partition_join<F: FnMut(ObjectId, ObjectId)>(
             (0..workers).map(|_| Vec::new()).collect();
         let slots = results
             .iter_mut()
-            .zip(buckets_a.iter_mut())
-            .zip(buckets_b.iter_mut())
+            .zip(prep.buckets_a.iter_mut())
+            .zip(prep.buckets_b.iter_mut())
             .enumerate()
             .map(|(tile, ((res, ba), bb))| (tile, res, ba, bb));
         for slot in slots {
             per_worker[slot.0 % workers].push(slot);
         }
+        let grid = &prep.grid;
         std::thread::scope(|scope| {
             let handles: Vec<_> = per_worker
                 .into_iter()
                 .map(|own| {
-                    let grid = &grid;
                     scope.spawn(move || {
                         for (tile, result, bucket_a, bucket_b) in own {
                             run_tile(grid, tile, bucket_a, bucket_b, result);
@@ -167,17 +216,7 @@ pub fn partition_join<F: FnMut(ObjectId, ObjectId)>(
 
     // Deterministic merge: replay pairs in tile-major order on the
     // calling thread.
-    let mut stats = PartitionStats {
-        tiles_per_axis: grid.tiles_per_axis(),
-        threads: workers,
-        assignments_a,
-        assignments_b,
-        items_a: a.len() as u64,
-        items_b: b.len() as u64,
-        pair_tests: 0,
-        dedup_skipped: 0,
-        tile_candidates: Vec::with_capacity(tile_count),
-    };
+    let mut stats = base_stats(&prep, a.len(), b.len(), workers);
     for result in results {
         stats.pair_tests += result.pair_tests;
         stats.dedup_skipped += result.dedup_skipped;
@@ -189,6 +228,119 @@ pub fn partition_join<F: FnMut(ObjectId, ObjectId)>(
     stats
 }
 
+/// The partitioned parallel MBR join delivered to caller-supplied
+/// workers: each worker thread attaches its own sink on `consumer` and
+/// the tile sweeps stream their pairs into it *on the worker thread* —
+/// no funnel, no intermediate pair buffer. This is the Step-1 producer of
+/// the fused execution engine: the consumer typically runs the geometric
+/// filter and the exact step right in the sink.
+///
+/// `workers == 0` uses the machine's available parallelism; the count is
+/// clamped to the tile count (a tile is the unit of work). Each worker
+/// processes tiles `w, w + W, w + 2W, …` in increasing order, so every
+/// worker's pair stream — and therefore any per-worker accumulation — is
+/// deterministic for a fixed worker count. Pairs are emitted exactly once
+/// (reference-point deduplication, as with [`partition_join`]); the
+/// *union* across workers equals [`partition_join`]'s stream as a set.
+pub fn partition_join_workers(
+    a: &[(Rect, ObjectId)],
+    b: &[(Rect, ObjectId)],
+    tiles_per_axis: usize,
+    workers: usize,
+    consumer: &dyn PairConsumer,
+) -> PartitionStats {
+    let workers = resolve_threads(workers);
+    let Some(mut prep) = prepare(a, b, tiles_per_axis) else {
+        return PartitionStats::empty(tiles_per_axis, 1);
+    };
+    let tile_count = prep.grid.tile_count();
+    let workers = workers.min(tile_count).max(1);
+
+    let mut outcomes: Vec<TileOutcome> = Vec::with_capacity(tile_count);
+    if workers <= 1 {
+        let mut sink = consumer.attach();
+        for (tile, (bucket_a, bucket_b)) in prep
+            .buckets_a
+            .iter_mut()
+            .zip(prep.buckets_b.iter_mut())
+            .enumerate()
+        {
+            outcomes.push(sweep_into(&prep.grid, tile, bucket_a, bucket_b, &mut *sink));
+        }
+    } else {
+        let mut per_worker: Vec<Vec<(usize, _, _)>> = (0..workers).map(|_| Vec::new()).collect();
+        let slots = prep
+            .buckets_a
+            .iter_mut()
+            .zip(prep.buckets_b.iter_mut())
+            .enumerate()
+            .map(|(tile, (ba, bb))| (tile, ba, bb));
+        for slot in slots {
+            per_worker[slot.0 % workers].push(slot);
+        }
+        let grid = &prep.grid;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = per_worker
+                .into_iter()
+                .map(|own| {
+                    scope.spawn(move || {
+                        let mut sink = consumer.attach();
+                        own.into_iter()
+                            .map(|(tile, bucket_a, bucket_b)| {
+                                sweep_into(grid, tile, bucket_a, bucket_b, &mut *sink)
+                            })
+                            .collect::<Vec<TileOutcome>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                outcomes.extend(handle.join().expect("tile worker panicked"));
+            }
+        });
+    }
+
+    // Stitch the per-worker outcomes back into tile order so the stats —
+    // per-tile candidate counts included — are identical to the funneled
+    // driver's, independent of the worker count.
+    let mut stats = base_stats(&prep, a.len(), b.len(), workers);
+    stats.tile_candidates.resize(tile_count, 0);
+    for outcome in outcomes {
+        stats.pair_tests += outcome.pair_tests;
+        stats.dedup_skipped += outcome.dedup_skipped;
+        stats.tile_candidates[outcome.tile] = outcome.candidates;
+    }
+    stats
+}
+
+/// Sweeps one tile directly into a worker's sink, returning the tile's
+/// counters.
+fn sweep_into(
+    grid: &Grid,
+    tile: usize,
+    bucket_a: &mut [(Rect, ObjectId)],
+    bucket_b: &mut [(Rect, ObjectId)],
+    sink: &mut dyn msj_geom::PairSink,
+) -> TileOutcome {
+    let mut candidates = 0u64;
+    let (pair_tests, dedup_skipped) = if bucket_a.is_empty() || bucket_b.is_empty() {
+        (0, 0)
+    } else {
+        tile_sweep(grid, tile, bucket_a, bucket_b, &mut |x, y| {
+            candidates += 1;
+            sink.pair(x, y);
+        })
+    };
+    TileOutcome {
+        tile,
+        candidates,
+        pair_tests,
+        dedup_skipped,
+    }
+}
+
+/// The funneled driver's per-tile step: [`sweep_into`] with a
+/// pair-collecting sink, so both drivers share one sweep-and-account
+/// implementation.
 fn run_tile(
     grid: &Grid,
     tile: usize,
@@ -196,23 +348,26 @@ fn run_tile(
     bucket_b: &mut [(Rect, ObjectId)],
     result: &mut TileResult,
 ) {
-    if bucket_a.is_empty() || bucket_b.is_empty() {
-        return;
-    }
     let mut pairs = Vec::new();
-    let (pair_tests, dedup_skipped) = tile_sweep(grid, tile, bucket_a, bucket_b, &mut |x, y| {
-        pairs.push((x, y))
-    });
+    let outcome = sweep_into(
+        grid,
+        tile,
+        bucket_a,
+        bucket_b,
+        &mut |x: ObjectId, y: ObjectId| pairs.push((x, y)),
+    );
     *result = TileResult {
         pairs,
-        pair_tests,
-        dedup_skipped,
+        pair_tests: outcome.pair_tests,
+        dedup_skipped: outcome.dedup_skipped,
     };
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use msj_geom::FnConsumer;
+    use std::sync::Mutex;
 
     fn grid_items(n_side: usize, offset: f64, size: f64) -> Vec<(Rect, ObjectId)> {
         let mut items = Vec::new();
@@ -246,6 +401,46 @@ mod tests {
         v
     }
 
+    /// A consumer whose sinks collect into a shared mutex-guarded vec —
+    /// enough to observe the union of all workers' pairs.
+    struct Collecting {
+        pairs: Mutex<Vec<(ObjectId, ObjectId)>>,
+        attaches: Mutex<usize>,
+    }
+
+    impl Collecting {
+        fn new() -> Self {
+            Collecting {
+                pairs: Mutex::new(Vec::new()),
+                attaches: Mutex::new(0),
+            }
+        }
+    }
+
+    impl msj_geom::PairConsumer for Collecting {
+        fn attach(&self) -> Box<dyn msj_geom::PairSink + '_> {
+            *self.attaches.lock().unwrap() += 1;
+            struct Sink<'a> {
+                owner: &'a Collecting,
+                local: Vec<(ObjectId, ObjectId)>,
+            }
+            impl msj_geom::PairSink for Sink<'_> {
+                fn pair(&mut self, a: ObjectId, b: ObjectId) {
+                    self.local.push((a, b));
+                }
+            }
+            impl Drop for Sink<'_> {
+                fn drop(&mut self) {
+                    self.owner.pairs.lock().unwrap().append(&mut self.local);
+                }
+            }
+            Box::new(Sink {
+                owner: self,
+                local: Vec::new(),
+            })
+        }
+    }
+
     #[test]
     fn matches_nested_loops_across_tiles_and_threads() {
         let a = grid_items(9, 0.0, 8.0);
@@ -261,6 +456,51 @@ mod tests {
                 assert_eq!(stats.tile_candidates.len(), tiles * tiles);
             }
         }
+    }
+
+    #[test]
+    fn worker_delivery_matches_the_funneled_join() {
+        let a = grid_items(8, 0.0, 9.5);
+        let b = grid_items(8, 3.0, 9.5);
+        let mut funneled = Vec::new();
+        let funneled_stats = partition_join(&a, &b, 4, 1, |x, y| funneled.push((x, y)));
+        for workers in [1usize, 2, 3, 8, 64] {
+            let consumer = Collecting::new();
+            let stats = partition_join_workers(&a, &b, 4, workers, &consumer);
+            let got = consumer.pairs.into_inner().unwrap();
+            assert_eq!(sorted(got), sorted(funneled.clone()), "workers {workers}");
+            // Stats are worker-count invariant, tile detail included.
+            assert_eq!(stats.tile_candidates, funneled_stats.tile_candidates);
+            assert_eq!(stats.pair_tests, funneled_stats.pair_tests);
+            assert_eq!(stats.dedup_skipped, funneled_stats.dedup_skipped);
+            // One sink per worker, clamped to the tile count.
+            assert_eq!(stats.threads, workers.min(16));
+            assert_eq!(*consumer.attaches.lock().unwrap(), stats.threads);
+        }
+    }
+
+    #[test]
+    fn worker_delivery_handles_empty_sides() {
+        let a = grid_items(3, 0.0, 8.0);
+        let consumer = Collecting::new();
+        let stats = partition_join_workers(&a, &[], 4, 4, &consumer);
+        assert_eq!(stats.candidates(), 0);
+        assert_eq!(stats.threads, 1);
+        assert!(consumer.pairs.into_inner().unwrap().is_empty());
+    }
+
+    #[test]
+    fn worker_delivery_through_fn_consumer_single_worker() {
+        let a = grid_items(5, 0.0, 9.0);
+        let b = grid_items(5, 4.0, 9.0);
+        let mut got = Vec::new();
+        let stats = {
+            let mut push = |x: ObjectId, y: ObjectId| got.push((x, y));
+            let consumer = FnConsumer::new(&mut push);
+            partition_join_workers(&a, &b, 3, 1, &consumer)
+        };
+        assert_eq!(sorted(got), reference(&a, &b));
+        assert_eq!(stats.threads, 1);
     }
 
     #[test]

@@ -15,8 +15,12 @@
 //!    the *reference-point* method: a pair counts only in the tile that
 //!    contains the lower-left corner of the MBR intersection;
 //! 4. **Parallelism** — tiles are distributed round-robin over scoped
-//!    worker threads ([`partition_join`]); results are merged in tile
-//!    order, so the output is deterministic for every thread count.
+//!    worker threads. [`partition_join`] funnels the results onto the
+//!    calling thread in tile order (deterministic for every thread
+//!    count); [`partition_join_workers`] instead hands each worker its
+//!    own sink through the [`msj_geom::PairConsumer`] protocol, so the
+//!    fused execution engine can run the downstream filter + exact steps
+//!    right where the candidates are produced.
 //!
 //! [`PartitionStats`] surfaces per-tile candidate counts, replication and
 //! dedup counters. [`GridIndex`] reuses the same grid for single-relation
@@ -32,5 +36,5 @@ pub mod join;
 pub mod stats;
 
 pub use grid::{Grid, GridIndex};
-pub use join::{partition_join, tile_sweep};
+pub use join::{partition_join, partition_join_workers, tile_sweep};
 pub use stats::PartitionStats;

@@ -196,6 +196,38 @@ fn sweep_run(
     }
 }
 
+/// Computes the MBR-join of two R*-trees, delivering candidates in owned
+/// chunks of at most `chunk_capacity` pairs instead of one at a time.
+///
+/// This is the producer half of the fused execution engine: the traversal
+/// itself is inherently serial (its I/O accounting needs one buffer), but
+/// chunked delivery lets the caller hand whole chunks to downstream
+/// worker threads — e.g. over bounded channels — without re-buffering.
+/// Every chunk is non-empty, chunks arrive in traversal order, and the
+/// concatenation of all chunks equals the [`tree_join`] stream. At most
+/// `chunk_capacity` pairs are ever buffered inside this function.
+pub fn tree_join_chunked<F: FnMut(Vec<(ObjectId, ObjectId)>)>(
+    a: &RStarTree,
+    b: &RStarTree,
+    buffer: &mut LruBuffer,
+    chunk_capacity: usize,
+    mut on_chunk: F,
+) -> JoinStats {
+    let chunk_capacity = chunk_capacity.max(1);
+    let mut chunk: Vec<(ObjectId, ObjectId)> = Vec::with_capacity(chunk_capacity);
+    let stats = tree_join(a, b, buffer, |id_a, id_b| {
+        chunk.push((id_a, id_b));
+        if chunk.len() == chunk_capacity {
+            let full = std::mem::replace(&mut chunk, Vec::with_capacity(chunk_capacity));
+            on_chunk(full);
+        }
+    });
+    if !chunk.is_empty() {
+        on_chunk(chunk);
+    }
+    stats
+}
+
 /// Reference nested-loops MBR join (§2.3) for correctness checks and the
 /// Figure 18 baseline narrative: O(n·m) rectangle tests, no index.
 pub fn nested_loops_join<F: FnMut(ObjectId, ObjectId)>(
@@ -260,6 +292,33 @@ mod tests {
         got.sort_unstable();
         expect.sort_unstable();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn chunked_join_concatenates_to_the_streamed_join() {
+        let ia = grid_items(9, 0.0);
+        let ib = grid_items(9, 4.0);
+        let ta = build(&ia, 384);
+        let tb = build(&ib, 512);
+        let mut buffer = LruBuffer::new(4096);
+        let mut streamed = Vec::new();
+        let streamed_stats = tree_join(&ta, &tb, &mut buffer, |x, y| streamed.push((x, y)));
+        for chunk_capacity in [1usize, 7, 64, 100_000] {
+            let mut buffer = LruBuffer::new(4096);
+            let mut chunked = Vec::new();
+            let stats = tree_join_chunked(&ta, &tb, &mut buffer, chunk_capacity, |chunk| {
+                assert!(!chunk.is_empty(), "chunks are never empty");
+                assert!(chunk.len() <= chunk_capacity, "chunk overflows capacity");
+                chunked.extend(chunk);
+            });
+            assert_eq!(chunked, streamed, "capacity {chunk_capacity}");
+            assert_eq!(stats.candidates, streamed_stats.candidates);
+        }
+        // Zero capacity is clamped, not a panic or an infinite loop.
+        let mut buffer = LruBuffer::new(4096);
+        let mut n = 0u64;
+        tree_join_chunked(&ta, &tb, &mut buffer, 0, |chunk| n += chunk.len() as u64);
+        assert_eq!(n, streamed.len() as u64);
     }
 
     #[test]

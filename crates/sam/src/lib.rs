@@ -21,5 +21,5 @@ pub mod rstar;
 
 pub use buffer::{IoStats, LruBuffer, PageId};
 pub use inl::index_nested_loop_join;
-pub use join::{nested_loops_join, tree_join, JoinStats};
+pub use join::{nested_loops_join, tree_join, tree_join_chunked, JoinStats};
 pub use rstar::{Entry, PageLayout, RStarTree};

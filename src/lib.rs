@@ -22,8 +22,9 @@
 //!   trapezoid decomposition + TR*-trees) with the Table 6 cost model;
 //! * [`datagen`] — seeded synthetic cartography calibrated against the
 //!   paper's dataset statistics;
-//! * [`core`] — the multi-step join pipeline, statistics and the §5 total
-//!   cost model.
+//! * [`core`] — the multi-step join pipeline, the `Serial`/`Fused`
+//!   execution engine ([`core::Execution`]), statistics and the §5
+//!   total cost model.
 //!
 //! ## Quickstart
 //!
