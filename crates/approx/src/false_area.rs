@@ -11,7 +11,7 @@
 //! then the objects themselves must intersect: the intersection of the
 //! approximations is too large to consist of false area alone.
 
-use crate::kinds::Conservative;
+use crate::kinds::{ConsView, Conservative};
 use msj_geom::{clip_convex, ring_area};
 
 /// Resolution used when a curved approximation (circle / ellipse) must be
@@ -25,10 +25,15 @@ pub const AREA_RESOLUTION: usize = 96;
 /// and ellipses an inscribed 96-gon is clipped, under-approximating by
 /// < 0.3 %, in the sound direction.
 pub fn conservative_intersection_area(a: &Conservative, b: &Conservative) -> f64 {
-    if let (Conservative::Mbc(c1), Conservative::Mbc(c2)) = (a, b) {
+    view_intersection_area(&a.as_view(), &b.as_view())
+}
+
+/// [`conservative_intersection_area`] on columnar store views.
+pub fn view_intersection_area(a: &ConsView, b: &ConsView) -> f64 {
+    if let (ConsView::Circle(c1), ConsView::Circle(c2)) = (a, b) {
         return c1.intersection_area(c2); // closed form
     }
-    if let (Conservative::Mbr(r1), Conservative::Mbr(r2)) = (a, b) {
+    if let (ConsView::Rect(r1), ConsView::Rect(r2)) = (a, b) {
         return r1.intersection_area(r2);
     }
     let ra = a.to_ring(AREA_RESOLUTION);

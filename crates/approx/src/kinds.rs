@@ -208,6 +208,98 @@ impl Conservative {
     }
 }
 
+/// A borrowed, dispatch-light view of one stored conservative
+/// approximation — what the columnar [`crate::ConservativeStore`] hands
+/// out instead of `&Conservative`.
+///
+/// The payload behind a view lives in a contiguous per-kind column (a
+/// flat vertex arena for the convex kinds), so reading one approximation
+/// touches exactly its own bytes: no per-object heap allocation, no
+/// `Vec<Point>` pointer chase. The intersection dispatch is identical to
+/// [`Conservative::intersects`], with one deliberate normalization: MBR
+/// *fallbacks* inside a convex-kind store are stored as their 4-corner
+/// rings (see [`crate::ConservativeStore::build`]).
+#[derive(Debug, Clone, Copy)]
+pub enum ConsView<'a> {
+    Rect(&'a Rect),
+    Circle(&'a Circle),
+    Ellipse(&'a Ellipse),
+    /// A convex CCW vertex ring (RMBR / m-corner / hull / boxed MBR).
+    Convex(&'a [Point]),
+}
+
+impl ConsView<'_> {
+    /// Closed intersection test, mirroring [`Conservative::intersects`].
+    pub fn intersects(&self, other: &ConsView) -> bool {
+        use ConsView::*;
+        match (self, other) {
+            (Rect(a), Rect(b)) => a.intersects(b),
+            (Circle(a), Circle(b)) => a.intersects_circle(b),
+            (Ellipse(a), Ellipse(b)) => a.intersects_ellipse(b),
+            (Convex(a), Convex(b)) => convex_intersect(a, b),
+            (Rect(a), Circle(b)) | (Circle(b), Rect(a)) => b.intersects_rect(a),
+            (Rect(a), Ellipse(b)) | (Ellipse(b), Rect(a)) => b.intersects_convex(&a.corners()),
+            (Rect(a), Convex(b)) | (Convex(b), Rect(a)) => convex_intersect(&a.corners(), b),
+            (Circle(a), Ellipse(b)) | (Ellipse(b), Circle(a)) => b.intersects_circle(a),
+            (Circle(a), Convex(b)) | (Convex(b), Circle(a)) => a.intersects_convex(b),
+            (Ellipse(a), Convex(b)) | (Convex(b), Ellipse(a)) => a.intersects_convex(b),
+        }
+    }
+
+    /// Whether `p` lies in the closed approximation region.
+    pub fn contains_point(&self, p: Point) -> bool {
+        match self {
+            ConsView::Rect(r) => r.contains_point(p),
+            ConsView::Circle(c) => c.contains_point(p),
+            ConsView::Ellipse(e) => e.contains_point(p),
+            ConsView::Convex(ring) => msj_geom::convex_contains_point(ring, p),
+        }
+    }
+
+    /// Axis-parallel bounding rectangle of the approximation.
+    pub fn aabb(&self) -> Rect {
+        match self {
+            ConsView::Rect(r) => **r,
+            ConsView::Circle(c) => c.mbr(),
+            ConsView::Ellipse(e) => e.mbr(),
+            ConsView::Convex(ring) => Rect::bounding(ring.iter().copied()).expect("non-empty ring"),
+        }
+    }
+
+    /// A polygonal ring for area computations (see
+    /// [`Conservative::to_ring`]).
+    pub fn to_ring(&self, resolution: usize) -> Vec<Point> {
+        match self {
+            ConsView::Rect(r) => r.corners().to_vec(),
+            ConsView::Circle(c) => c.polygonize(resolution),
+            ConsView::Ellipse(e) => e.polygonize(resolution),
+            ConsView::Convex(ring) => ring.to_vec(),
+        }
+    }
+
+    /// Enclosed area of the approximation.
+    pub fn area(&self) -> f64 {
+        match self {
+            ConsView::Rect(r) => r.area(),
+            ConsView::Circle(c) => c.area(),
+            ConsView::Ellipse(e) => e.area(),
+            ConsView::Convex(ring) => msj_geom::ring_area(ring),
+        }
+    }
+}
+
+impl Conservative {
+    /// This approximation as a [`ConsView`].
+    pub fn as_view(&self) -> ConsView<'_> {
+        match self {
+            Conservative::Mbr(r) => ConsView::Rect(r),
+            Conservative::Mbc(c) => ConsView::Circle(c),
+            Conservative::Mbe(e) => ConsView::Ellipse(e),
+            Conservative::Convex(_, ring) => ConsView::Convex(ring),
+        }
+    }
+}
+
 /// A computed progressive approximation.
 ///
 /// `Empty` marks objects whose progressive approximation degenerated (no

@@ -39,10 +39,11 @@ pub mod store;
 pub use circle::Circle;
 pub use ellipse::Ellipse;
 pub use false_area::{
-    conservative_intersection_area, false_area_test, FalseAreaEntry, AREA_RESOLUTION,
+    conservative_intersection_area, false_area_test, view_intersection_area, FalseAreaEntry,
+    AREA_RESOLUTION,
 };
 pub use kinds::{
-    is_conservative_for, Conservative, ConservativeKind, Progressive, ProgressiveKind,
+    is_conservative_for, ConsView, Conservative, ConservativeKind, Progressive, ProgressiveKind,
 };
 pub use mbc::min_bounding_circle;
 pub use mbe::min_bounding_ellipse;
@@ -53,4 +54,6 @@ pub use quality::{
     area_extension, area_extension_overhead, mbr_based_false_area, normalized_false_area,
     progressive_quality,
 };
-pub use store::{conservative_bytes, progressive_bytes, ConservativeStore, ProgressiveStore};
+pub use store::{
+    conservative_bytes, progressive_bytes, ConservativeStore, ConvexSlices, ProgressiveStore,
+};

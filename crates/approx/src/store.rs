@@ -1,13 +1,38 @@
-//! Per-relation approximation storage.
+//! Per-relation approximation storage — **columnar** (struct-of-arrays).
 //!
 //! The paper stores approximations *in addition to the MBR* inside the
 //! data pages of the spatial access method (§3.4, approach 2). This module
 //! precomputes approximations for whole relations and provides the
 //! byte-size model used for page-capacity calculations.
+//!
+//! ## Layout
+//!
+//! A store holds one approximation *kind* for every object of one
+//! relation, and the geometric filter classifies millions of candidate
+//! pairs against it. The former array-of-structs layout
+//! (`Vec<FalseAreaEntry>` → `Conservative` enum → per-object `Vec<Point>`
+//! heap ring) paid an enum dispatch plus a pointer chase per candidate.
+//! The columnar layout separates:
+//!
+//! * the **payload columns** — one homogeneous, contiguous column per
+//!   kind (a flat vertex arena with an offset table for the convex
+//!   kinds; plain `Vec<Rect>` / `Vec<Circle>` / `Vec<Ellipse>` for the
+//!   closed-form kinds), read through the borrow-only
+//!   [`ConsView`];
+//! * the **false-area column** — a bare `Vec<f64>` touched only by the
+//!   (optional) false-area test, so the common "conservative test says
+//!   disjoint, die early" path never loads it.
+//!
+//! Progressive stores use the same idea with a NaN sentinel for
+//! degenerate (`Progressive::Empty`) approximations: every closed
+//! intersection comparison against NaN is `false`, so an empty
+//! approximation never identifies a hit — without a per-pair branch.
 
-use crate::false_area::FalseAreaEntry;
-use crate::kinds::{Conservative, ConservativeKind, Progressive, ProgressiveKind};
-use msj_geom::{ObjectId, Relation};
+use crate::circle::Circle;
+use crate::ellipse::Ellipse;
+use crate::false_area::view_intersection_area;
+use crate::kinds::{ConsView, Conservative, ConservativeKind, Progressive, ProgressiveKind};
+use msj_geom::{ObjectId, Point, Rect, Relation};
 
 /// Byte size of a stored conservative approximation, following §3.4/§5:
 /// MBR 16 B, RMBR 20 B, 5-C 40 B; the others scale by parameter count at
@@ -34,83 +59,320 @@ pub fn progressive_bytes(kind: ProgressiveKind) -> usize {
     }
 }
 
-/// Precomputed approximations of one kind for every object of a relation.
+/// The homogeneous payload columns of a [`ConservativeStore`].
+#[derive(Debug, Clone)]
+enum ConsColumns {
+    /// `Mbr`: the keys themselves.
+    Rects(Vec<Rect>),
+    /// `Mbc`, when no entry degenerated.
+    Circles(Vec<Circle>),
+    /// `Mbe`, when no entry degenerated.
+    Ellipses(Vec<Ellipse>),
+    /// The convex kinds (RMBR / 4-C / 5-C / hull): ring `i` is
+    /// `points[offsets[i] as usize..offsets[i + 1] as usize]` in one flat
+    /// arena. MBR fallbacks are boxed into their 4-corner rings, so the
+    /// column stays homogeneous.
+    Convex {
+        offsets: Vec<u32>,
+        points: Vec<Point>,
+    },
+    /// Rare escape hatch: a curved kind (MBC/MBE) whose computation
+    /// degenerated to an MBR fallback for at least one object.
+    Mixed(Vec<Conservative>),
+}
+
+/// Borrowed offsets + arena of a convex column — the raw material of the
+/// monomorphized filter plans (`msj-core`).
+#[derive(Debug, Clone, Copy)]
+pub struct ConvexSlices<'a> {
+    offsets: &'a [u32],
+    points: &'a [Point],
+}
+
+impl<'a> ConvexSlices<'a> {
+    /// The vertex ring of object `id`.
+    #[inline]
+    pub fn ring(&self, id: ObjectId) -> &'a [Point] {
+        let i = id as usize;
+        &self.points[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// Precomputed approximations of one kind for every object of a relation,
+/// in columnar layout (see the module docs).
 #[derive(Debug, Clone)]
 pub struct ConservativeStore {
     pub kind: ConservativeKind,
-    entries: Vec<FalseAreaEntry>,
+    cols: ConsColumns,
+    /// `area(approx) − area(object)` per object — only the false-area
+    /// test reads this column.
+    false_area: Vec<f64>,
+    /// Total stored bytes across all objects under the §3.4 byte model,
+    /// computed at build time from the per-object approximations (before
+    /// MBR fallbacks are boxed into rings, so fallbacks keep their 16-B
+    /// MBR price).
+    total_bytes: usize,
 }
 
 impl ConservativeStore {
     /// Computes the approximation of `kind` (plus its false area, enabling
     /// the false-area test) for every object.
     pub fn build(kind: ConservativeKind, relation: &Relation) -> Self {
-        let entries = relation
+        let approxes: Vec<Conservative> = relation
             .iter()
-            .map(|o| FalseAreaEntry::new(Conservative::compute(kind, o), o.area()))
+            .map(|o| Conservative::compute(kind, o))
             .collect();
-        ConservativeStore { kind, entries }
+        let false_area: Vec<f64> = approxes
+            .iter()
+            .zip(relation.iter())
+            .map(|(a, o)| (a.area() - o.area()).max(0.0))
+            .collect();
+        let total_bytes = match kind {
+            // Hull storage varies per object (16 B for MBR fallbacks).
+            ConservativeKind::ConvexHull => approxes
+                .iter()
+                .map(|a| conservative_bytes(kind, Some(a)))
+                .sum(),
+            kind => approxes.len() * conservative_bytes(kind, None),
+        };
+        let cols = match kind {
+            ConservativeKind::Mbr => ConsColumns::Rects(
+                approxes
+                    .iter()
+                    .map(|a| match a {
+                        Conservative::Mbr(r) => *r,
+                        _ => unreachable!("Mbr kind computes Mbr"),
+                    })
+                    .collect(),
+            ),
+            ConservativeKind::Rmbr
+            | ConservativeKind::FourCorner
+            | ConservativeKind::FiveCorner
+            | ConservativeKind::ConvexHull => {
+                let mut offsets = Vec::with_capacity(approxes.len() + 1);
+                let mut points = Vec::new();
+                offsets.push(0u32);
+                for a in &approxes {
+                    match a {
+                        Conservative::Convex(_, ring) => points.extend_from_slice(ring),
+                        // Degenerate geometry fell back to the MBR: box it
+                        // into its corner ring to keep the column
+                        // homogeneous (same closed semantics — the ring
+                        // *is* the rectangle).
+                        Conservative::Mbr(r) => points.extend_from_slice(&r.corners()),
+                        _ => unreachable!("convex kinds compute rings or MBR fallbacks"),
+                    }
+                    offsets.push(points.len() as u32);
+                }
+                ConsColumns::Convex { offsets, points }
+            }
+            ConservativeKind::Mbc => {
+                if approxes.iter().all(|a| matches!(a, Conservative::Mbc(_))) {
+                    ConsColumns::Circles(
+                        approxes
+                            .iter()
+                            .map(|a| match a {
+                                Conservative::Mbc(c) => *c,
+                                _ => unreachable!(),
+                            })
+                            .collect(),
+                    )
+                } else {
+                    ConsColumns::Mixed(approxes)
+                }
+            }
+            ConservativeKind::Mbe => {
+                if approxes.iter().all(|a| matches!(a, Conservative::Mbe(_))) {
+                    ConsColumns::Ellipses(
+                        approxes
+                            .iter()
+                            .map(|a| match a {
+                                Conservative::Mbe(e) => *e,
+                                _ => unreachable!(),
+                            })
+                            .collect(),
+                    )
+                } else {
+                    ConsColumns::Mixed(approxes)
+                }
+            }
+        };
+        ConservativeStore {
+            kind,
+            cols,
+            false_area,
+            total_bytes,
+        }
     }
 
+    /// The stored approximation of object `id`, as a borrow-only view.
     #[inline]
-    pub fn get(&self, id: ObjectId) -> &FalseAreaEntry {
-        &self.entries[id as usize]
+    pub fn view(&self, id: ObjectId) -> ConsView<'_> {
+        let i = id as usize;
+        match &self.cols {
+            ConsColumns::Rects(rects) => ConsView::Rect(&rects[i]),
+            ConsColumns::Circles(circles) => ConsView::Circle(&circles[i]),
+            ConsColumns::Ellipses(ellipses) => ConsView::Ellipse(&ellipses[i]),
+            ConsColumns::Convex { offsets, points } => {
+                ConsView::Convex(&points[offsets[i] as usize..offsets[i + 1] as usize])
+            }
+            ConsColumns::Mixed(approxes) => approxes[i].as_view(),
+        }
     }
 
+    /// The false-area column entry of object `id`.
     #[inline]
-    pub fn approx(&self, id: ObjectId) -> &Conservative {
-        &self.entries[id as usize].approx
+    pub fn false_area(&self, id: ObjectId) -> f64 {
+        self.false_area[id as usize]
+    }
+
+    /// The false-area test (§3.3) between `id` here and `other_id` in
+    /// `other`: `true` means the objects certainly intersect.
+    pub fn false_area_test_with(&self, id: ObjectId, other: &Self, other_id: ObjectId) -> bool {
+        let inter = view_intersection_area(&self.view(id), &other.view(other_id));
+        inter > self.false_area(id) + other.false_area(other_id)
+    }
+
+    /// The convex column, when this store's kind packs vertex rings —
+    /// the monomorphized filter plans build on this.
+    #[inline]
+    pub fn convex_slices(&self) -> Option<ConvexSlices<'_>> {
+        match &self.cols {
+            ConsColumns::Convex { offsets, points } => Some(ConvexSlices { offsets, points }),
+            _ => None,
+        }
+    }
+
+    /// The false-area column (parallel to the object ids).
+    #[inline]
+    pub fn false_area_column(&self) -> &[f64] {
+        &self.false_area
     }
 
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.false_area.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.false_area.is_empty()
     }
 
-    /// Average stored bytes per object for this kind.
+    /// Average stored bytes per object for this kind (precomputed at
+    /// build time, so hull stores keep the 16-B price of MBR fallbacks
+    /// even after the fallback is boxed into its corner ring).
     pub fn avg_bytes(&self) -> f64 {
-        if self.entries.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
-        let total: usize = self
-            .entries
-            .iter()
-            .map(|e| conservative_bytes(self.kind, Some(&e.approx)))
-            .sum();
-        total as f64 / self.entries.len() as f64
+        self.total_bytes as f64 / self.len() as f64
     }
 }
 
-/// Precomputed progressive approximations for every object of a relation.
+/// The homogeneous payload column of a [`ProgressiveStore`].
+///
+/// `Progressive::Empty` entries are stored as all-NaN slots: every closed
+/// intersection comparison against NaN is `false`, so an empty
+/// approximation never claims a hit — no per-pair emptiness branch.
+#[derive(Debug, Clone)]
+enum ProgColumns {
+    Mers(Vec<Rect>),
+    Mecs(Vec<Circle>),
+}
+
+fn nan_rect() -> Rect {
+    Rect::from_bounds(f64::NAN, f64::NAN, f64::NAN, f64::NAN)
+}
+
+fn nan_circle() -> Circle {
+    Circle::new(Point::new(f64::NAN, f64::NAN), f64::NAN)
+}
+
+/// Precomputed progressive approximations for every object of a relation,
+/// in columnar layout.
 #[derive(Debug, Clone)]
 pub struct ProgressiveStore {
     pub kind: ProgressiveKind,
-    entries: Vec<Progressive>,
+    cols: ProgColumns,
 }
 
 impl ProgressiveStore {
     pub fn build(kind: ProgressiveKind, relation: &Relation) -> Self {
-        let entries = relation
-            .iter()
-            .map(|o| Progressive::compute(kind, o))
-            .collect();
-        ProgressiveStore { kind, entries }
+        let cols = match kind {
+            ProgressiveKind::Mer => ProgColumns::Mers(
+                relation
+                    .iter()
+                    .map(|o| match Progressive::compute(kind, o) {
+                        Progressive::Mer(r) => r,
+                        Progressive::Empty => nan_rect(),
+                        Progressive::Mec(_) => unreachable!("Mer kind computes Mer"),
+                    })
+                    .collect(),
+            ),
+            ProgressiveKind::Mec => ProgColumns::Mecs(
+                relation
+                    .iter()
+                    .map(|o| match Progressive::compute(kind, o) {
+                        Progressive::Mec(c) => c,
+                        Progressive::Empty => nan_circle(),
+                        Progressive::Mer(_) => unreachable!("Mec kind computes Mec"),
+                    })
+                    .collect(),
+            ),
+        };
+        ProgressiveStore { kind, cols }
     }
 
+    /// The stored approximation of object `id` (`Progressive` is `Copy`;
+    /// NaN slots decode back to [`Progressive::Empty`]).
     #[inline]
-    pub fn get(&self, id: ObjectId) -> &Progressive {
-        &self.entries[id as usize]
+    pub fn get(&self, id: ObjectId) -> Progressive {
+        match &self.cols {
+            ProgColumns::Mers(rects) => {
+                let r = rects[id as usize];
+                if r.xmin().is_nan() {
+                    Progressive::Empty
+                } else {
+                    Progressive::Mer(r)
+                }
+            }
+            ProgColumns::Mecs(circles) => {
+                let c = circles[id as usize];
+                if c.radius.is_nan() {
+                    Progressive::Empty
+                } else {
+                    Progressive::Mec(c)
+                }
+            }
+        }
+    }
+
+    /// The raw MER column (NaN slots = empty), when this store holds MERs.
+    #[inline]
+    pub fn mer_column(&self) -> Option<&[Rect]> {
+        match &self.cols {
+            ProgColumns::Mers(rects) => Some(rects),
+            ProgColumns::Mecs(_) => None,
+        }
+    }
+
+    /// The raw MEC column (NaN slots = empty), when this store holds MECs.
+    #[inline]
+    pub fn mec_column(&self) -> Option<&[Circle]> {
+        match &self.cols {
+            ProgColumns::Mecs(circles) => Some(circles),
+            ProgColumns::Mers(_) => None,
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match &self.cols {
+            ProgColumns::Mers(rects) => rects.len(),
+            ProgColumns::Mecs(circles) => circles.len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 }
 
@@ -149,11 +411,61 @@ mod tests {
             let store = ConservativeStore::build(kind, &rel);
             assert_eq!(store.len(), 3);
             for id in 0..3u32 {
-                let e = store.get(id);
-                assert!(e.false_area >= 0.0);
-                assert!(e.approx.area() >= rel.object(id).area() * (1.0 - 1e-9));
+                assert!(store.false_area(id) >= 0.0);
+                assert!(store.view(id).area() >= rel.object(id).area() * (1.0 - 1e-9));
             }
         }
+    }
+
+    #[test]
+    fn columnar_views_agree_with_per_object_computation() {
+        let rel = small_relation();
+        for kind in ConservativeKind::ALL {
+            let store = ConservativeStore::build(kind, &rel);
+            for id in 0..3u32 {
+                let direct = Conservative::compute(kind, rel.object(id));
+                let view = store.view(id);
+                assert!(
+                    (view.area() - direct.area()).abs() <= 1e-12 * direct.area().max(1.0),
+                    "{} object {id}: area diverged",
+                    kind.name()
+                );
+                for other in 0..3u32 {
+                    let direct_other = Conservative::compute(kind, rel.object(other));
+                    assert_eq!(
+                        view.intersects(&store.view(other)),
+                        direct.intersects(&direct_other),
+                        "{} {id} vs {other}",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn convex_kinds_pack_one_flat_arena() {
+        let rel = small_relation();
+        for kind in [
+            ConservativeKind::Rmbr,
+            ConservativeKind::FourCorner,
+            ConservativeKind::FiveCorner,
+            ConservativeKind::ConvexHull,
+        ] {
+            let store = ConservativeStore::build(kind, &rel);
+            let slices = store.convex_slices().expect("convex column");
+            for id in 0..3u32 {
+                assert!(slices.ring(id).len() >= 3, "{} ring {id}", kind.name());
+                match store.view(id) {
+                    ConsView::Convex(ring) => assert_eq!(ring, slices.ring(id)),
+                    other => panic!("{}: non-convex view {other:?}", kind.name()),
+                }
+            }
+        }
+        // Closed-form kinds expose no convex column.
+        assert!(ConservativeStore::build(ConservativeKind::Mbr, &rel)
+            .convex_slices()
+            .is_none());
     }
 
     #[test]
@@ -166,6 +478,20 @@ mod tests {
                 assert!(store.get(id).area() > 0.0, "{} degenerate", kind.name());
             }
         }
+    }
+
+    #[test]
+    fn nan_sentinel_never_intersects() {
+        let empty_rect = nan_rect();
+        let real = Rect::from_bounds(-1e12, -1e12, 1e12, 1e12);
+        assert!(!empty_rect.intersects(&real));
+        assert!(!real.intersects(&empty_rect));
+        assert!(!empty_rect.intersects(&empty_rect));
+        let empty_circle = nan_circle();
+        let unit = Circle::new(Point::new(0.0, 0.0), 1.0);
+        assert!(!empty_circle.intersects_circle(&unit));
+        assert!(!unit.intersects_circle(&empty_circle));
+        assert!(!empty_circle.intersects_circle(&empty_circle));
     }
 
     #[test]
@@ -183,10 +509,10 @@ mod tests {
         let rel = small_relation();
         let store = ConservativeStore::build(ConservativeKind::ConvexHull, &rel);
         // Triangle hull: 3 vertices → 6 params → 24 bytes.
-        assert_eq!(
-            conservative_bytes(ConservativeKind::ConvexHull, Some(store.approx(1))),
-            24
-        );
+        match store.view(1) {
+            ConsView::Convex(ring) => assert_eq!(8 * ring.len(), 24),
+            other => panic!("hull view {other:?}"),
+        }
         assert!(store.avg_bytes() > 0.0);
     }
 

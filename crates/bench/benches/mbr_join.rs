@@ -22,8 +22,8 @@ fn bench_join(c: &mut Criterion) {
     for &n in &[500usize, 2000] {
         let ia = grid_items(n, 0.0);
         let ib = grid_items(n, 4.0);
-        let ta = RStarTree::bulk_insert(PageLayout::baseline(4096), ia.iter().copied());
-        let tb = RStarTree::bulk_insert(PageLayout::baseline(4096), ib.iter().copied());
+        let ta = RStarTree::insert_all(PageLayout::baseline(4096), ia.iter().copied());
+        let tb = RStarTree::insert_all(PageLayout::baseline(4096), ib.iter().copied());
 
         group.bench_with_input(BenchmarkId::new("rstar_tree_join", n), &n, |b, _| {
             b.iter(|| {
@@ -51,7 +51,7 @@ fn bench_build(c: &mut Criterion) {
         let items = grid_items(n, 0.0);
         group.bench_with_input(BenchmarkId::new("insert", n), &items, |b, items| {
             b.iter(|| {
-                black_box(RStarTree::bulk_insert(
+                black_box(RStarTree::insert_all(
                     PageLayout::baseline(4096),
                     items.iter().copied(),
                 ))

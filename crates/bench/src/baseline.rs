@@ -154,7 +154,10 @@ mod tests {
                 baseline.stats.peak_buffered_candidates,
                 baseline.stats.mbr_join.candidates
             );
-            assert!(fused.stats.peak_buffered_candidates <= msj_core::fused_buffer_bound(threads));
+            assert!(
+                fused.stats.peak_buffered_candidates
+                    <= msj_core::fused_buffer_bound(threads, config.batch_pairs)
+            );
         }
     }
 }

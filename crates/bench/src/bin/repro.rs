@@ -4,7 +4,7 @@
 //!   repro `<experiment-id>`... [--scale quick|default|full] [--seed N] [--list]
 //!   repro all [--scale ...]
 
-use msj_bench::{registry, ExpConfig, Scale};
+use msj_bench::{bench_json, registry, ExpConfig, Scale};
 use std::io::Write;
 use std::time::Instant;
 
@@ -13,10 +13,18 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut cfg = ExpConfig::default();
     let mut list = false;
+    let mut json_path: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs an output path");
+                    std::process::exit(2);
+                }));
+            }
             "--scale" => {
                 i += 1;
                 cfg.scale = match args.get(i).map(String::as_str) {
@@ -44,6 +52,21 @@ fn main() {
             id => ids.push(id.to_string()),
         }
         i += 1;
+    }
+
+    // The machine-readable bench can run standalone (`--json out.json`)
+    // or alongside named experiments.
+    if let Some(path) = &json_path {
+        let t0 = Instant::now();
+        let json = bench_json(&cfg);
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[bench json → {path} in {:.1?}]", t0.elapsed());
+        if ids.is_empty() {
+            return;
+        }
     }
 
     let reg = registry();
@@ -95,6 +118,7 @@ fn print_help() {
          \"Multi-Step Processing of Spatial Joins\" (SIGMOD 1994)\n\n\
          usage: repro <id>... [--scale quick|default|full] [--seed N]\n\
          \u{20}      repro all [--scale ...]\n\
+         \u{20}      repro --json <path> [--scale ...]   (machine-readable bench)\n\
          \u{20}      repro --list"
     );
 }

@@ -22,8 +22,8 @@ impl SeriesData {
     /// Runs the MBR-join and the exact ground truth for a series.
     pub fn build(series: TestSeries) -> Self {
         let layout = PageLayout::baseline(4096);
-        let ta = RStarTree::bulk_insert(layout, series.a.iter().map(|o| (o.mbr(), o.id)));
-        let tb = RStarTree::bulk_insert(layout, series.b.iter().map(|o| (o.mbr(), o.id)));
+        let ta = RStarTree::insert_all(layout, series.a.iter().map(|o| (o.mbr(), o.id)));
+        let tb = RStarTree::insert_all(layout, series.b.iter().map(|o| (o.mbr(), o.id)));
         let mut buffer = LruBuffer::with_bytes(128 * 1024, 4096);
         let mut candidates = Vec::new();
         tree_join(&ta, &tb, &mut buffer, |a, b| candidates.push((a, b)));

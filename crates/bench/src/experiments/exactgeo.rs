@@ -56,8 +56,7 @@ fn surviving_candidates(data: &SeriesData) -> Vec<(ObjectId, ObjectId, bool)> {
     let prog_b = ProgressiveStore::build(ProgressiveKind::Mec, &data.series.b);
     data.iter()
         .filter(|&(a, b, _)| {
-            cons_a.approx(a).intersects(cons_b.approx(b))
-                && !prog_a.get(a).intersects(prog_b.get(b))
+            cons_a.view(a).intersects(&cons_b.view(b)) && !prog_a.get(a).intersects(&prog_b.get(b))
         })
         .collect()
 }

@@ -5,8 +5,8 @@ use super::ExpConfig;
 use crate::data::SeriesData;
 use crate::report::{f, pct, section, Table};
 use msj_approx::{
-    false_area_test, mbr_based_false_area, progressive_quality, Conservative, ConservativeKind,
-    ConservativeStore, Progressive, ProgressiveKind, ProgressiveStore,
+    mbr_based_false_area, progressive_quality, Conservative, ConservativeKind, ConservativeStore,
+    Progressive, ProgressiveKind, ProgressiveStore,
 };
 use msj_geom::Relation;
 
@@ -32,7 +32,7 @@ fn false_hit_identification(data: &SeriesData, kind: ConservativeKind) -> f64 {
             continue;
         }
         false_hits += 1;
-        if !store_a.approx(a).intersects(store_b.approx(b)) {
+        if !store_a.view(a).intersects(&store_b.view(b)) {
             identified += 1;
         }
     }
@@ -55,7 +55,7 @@ fn hit_identification_false_area(data: &SeriesData, kind: ConservativeKind) -> f
             continue;
         }
         hits += 1;
-        if false_area_test(store_a.get(a), store_b.get(b)) {
+        if store_a.false_area_test_with(a, &store_b, b) {
             identified += 1;
         }
     }
@@ -78,7 +78,7 @@ fn hit_identification_progressive(data: &SeriesData, kind: ProgressiveKind) -> f
             continue;
         }
         hits += 1;
-        if store_a.get(a).intersects(store_b.get(b)) {
+        if store_a.get(a).intersects(&store_b.get(b)) {
             identified += 1;
         }
     }
@@ -399,9 +399,9 @@ pub fn fig12(cfg: &ExpConfig) -> String {
     let mut un_false = 0u64;
     let mut un_hit = 0u64;
     for (a, b, hit) in data.iter() {
-        if !cons_a.approx(a).intersects(cons_b.approx(b)) {
+        if !cons_a.view(a).intersects(&cons_b.view(b)) {
             id_false += 1;
-        } else if prog_a.get(a).intersects(prog_b.get(b)) {
+        } else if prog_a.get(a).intersects(&prog_b.get(b)) {
             id_hit += 1;
         } else if hit {
             un_hit += 1;

@@ -135,6 +135,8 @@ pub fn fused(cfg: &ExpConfig) -> String {
         "buffered",
     ]);
     let mut fused_vs_baseline_at4 = Vec::new();
+    let mut batch_vs_perpair_at4 = Vec::new();
+    let mut step_lines = Vec::new();
     for workload in &workloads(cfg) {
         for (backend_name, backend) in backends() {
             let base = JoinConfig {
@@ -145,10 +147,28 @@ pub fn fused(cfg: &ExpConfig) -> String {
             let prep_start = Instant::now();
             let mut prepared = join.prepare(&workload.a, &workload.b);
             let prep_secs = prep_start.elapsed().as_secs_f64();
+            // The PR-2-shaped protocol: everything identical except the
+            // candidate batch size — per-pair delivery and per-pair
+            // classification dispatch.
+            let per_pair = JoinConfig {
+                batch_pairs: 1,
+                ..base
+            };
+            let mut per_pair_prepared =
+                MultiStepJoin::new(per_pair).prepare(&workload.a, &workload.b);
             // Warm-up run (fills the R*-traversal's simulated LRU
             // buffer) so every timed mode sees the same state.
             let _ = prepared.run_with(Execution::Serial);
+            let _ = per_pair_prepared.run_with(Execution::Serial);
             let (serial, serial_secs) = timed(|| prepared.run_with(Execution::Serial));
+            step_lines.push(format!(
+                "{}/{backend_name} serial steps ms: step0 {:.1} | step1 {:.1} | step2 (filter) {:.1} | step3 (exact) {:.1}",
+                workload.name,
+                serial.stats.step0_nanos as f64 / 1e6,
+                serial.stats.step1_nanos as f64 / 1e6,
+                serial.stats.step2_nanos as f64 / 1e6,
+                serial.stats.step3_nanos as f64 / 1e6,
+            ));
             table.row([
                 workload.name.clone(),
                 backend_name.into(),
@@ -171,17 +191,29 @@ pub fn fused(cfg: &ExpConfig) -> String {
                     "{label}: baseline must materialize"
                 );
                 let (fused, fused_secs) = timed(|| prepared.run_with(Execution::Fused { threads }));
+                let (unbatched, unbatched_secs) =
+                    timed(|| per_pair_prepared.run_with(Execution::Fused { threads }));
                 check_agreement(
                     &label,
                     &serial,
                     &fused,
-                    Some(msj_core::fused_buffer_bound(threads)),
+                    Some(msj_core::fused_buffer_bound(threads, base.batch_pairs)),
                 );
                 check_agreement(&label, &serial, &baseline, None);
+                check_agreement(
+                    &label,
+                    &serial,
+                    &unbatched,
+                    Some(msj_core::fused_buffer_bound(threads, 1)),
+                );
                 let vs_baseline = baseline_secs / fused_secs.max(1e-12);
                 if threads == 4 {
                     fused_vs_baseline_at4
                         .push((format!("{}/{backend_name}", workload.name), vs_baseline));
+                    batch_vs_perpair_at4.push((
+                        format!("{}/{backend_name}", workload.name),
+                        unbatched_secs / fused_secs.max(1e-12),
+                    ));
                 }
                 table.row([
                     workload.name.clone(),
@@ -192,6 +224,16 @@ pub fn fused(cfg: &ExpConfig) -> String {
                     f(serial_secs / baseline_secs.max(1e-12), 2),
                     f(1.0, 2),
                     baseline.stats.peak_buffered_candidates.to_string(),
+                ]);
+                table.row([
+                    workload.name.clone(),
+                    backend_name.into(),
+                    "fused (batch=1)".into(),
+                    threads.to_string(),
+                    f(unbatched_secs * 1e3, 2),
+                    f(serial_secs / unbatched_secs.max(1e-12), 2),
+                    f(baseline_secs / unbatched_secs.max(1e-12), 2),
+                    unbatched.stats.peak_buffered_candidates.to_string(),
                 ]);
                 table.row([
                     workload.name.clone(),
@@ -207,6 +249,11 @@ pub fn fused(cfg: &ExpConfig) -> String {
         }
     }
     out.push_str(&table.render());
+    out.push('\n');
+    for line in &step_lines {
+        out.push_str(line);
+        out.push('\n');
+    }
 
     out.push_str(
         "\nagreement: every measured cell produced the identical canonically-sorted\n\
@@ -220,6 +267,14 @@ pub fn fused(cfg: &ExpConfig) -> String {
         .join(", ");
     out.push_str(&format!(
         "fused vs collect-then-chunk at 4 threads: {line}\n"
+    ));
+    let line = batch_vs_perpair_at4
+        .iter()
+        .map(|(name, s)| format!("{name} {s:.2}x"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    out.push_str(&format!(
+        "batched vs per-pair (batch=1) delivery at 4 threads: {line}\n"
     ));
     out
 }
@@ -239,6 +294,9 @@ mod tests {
         assert!(report.contains("skewed"));
         assert!(report.contains("collect-chunk"));
         assert!(report.contains("fused"));
+        assert!(report.contains("fused (batch=1)"));
+        assert!(report.contains("step2 (filter)"));
+        assert!(report.contains("batched vs per-pair"));
         assert!(report.contains("identical canonically-sorted"));
     }
 }

@@ -44,7 +44,7 @@ fn build_tree(
                 dir_entry_bytes: 20,
             },
             rel.iter()
-                .map(|o| (store.approx(o.id).aabb(), o.id))
+                .map(|o| (store.view(o.id).aabb(), o.id))
                 .collect(),
         ),
         Approach::InAdditionToMbr => (
@@ -56,7 +56,7 @@ fn build_tree(
             rel.iter().map(|o| (o.mbr(), o.id)).collect(),
         ),
     };
-    RStarTree::bulk_insert(layout, keys)
+    RStarTree::insert_all(layout, keys)
 }
 
 /// Physical page accesses of the Figure 10 workloads on one tree pair.
@@ -194,8 +194,8 @@ pub fn fig11(cfg: &ExpConfig) -> String {
     for page_size in [2048usize, 4096] {
         // Baseline: MBR-only layout.
         let base_layout = PageLayout::baseline(page_size);
-        let base_a = RStarTree::bulk_insert(base_layout, rel_a.iter().map(|o| (o.mbr(), o.id)));
-        let base_b = RStarTree::bulk_insert(base_layout, rel_b.iter().map(|o| (o.mbr(), o.id)));
+        let base_a = RStarTree::insert_all(base_layout, rel_a.iter().map(|o| (o.mbr(), o.id)));
+        let base_b = RStarTree::insert_all(base_layout, rel_b.iter().map(|o| (o.mbr(), o.id)));
         let mut buffer = LruBuffer::with_bytes(BUFFER_BYTES, page_size);
         let base_stats = tree_join(&base_a, &base_b, &mut buffer, |_, _| {});
 
@@ -204,13 +204,13 @@ pub fn fig11(cfg: &ExpConfig) -> String {
             let cons_b = ConservativeStore::build(kind, &rel_b);
             let extra = conservative_bytes(kind, None) + progressive_bytes(ProgressiveKind::Mer);
             let layout = PageLayout::with_extra_bytes(page_size, extra);
-            let ta = RStarTree::bulk_insert(layout, rel_a.iter().map(|o| (o.mbr(), o.id)));
-            let tb = RStarTree::bulk_insert(layout, rel_b.iter().map(|o| (o.mbr(), o.id)));
+            let ta = RStarTree::insert_all(layout, rel_a.iter().map(|o| (o.mbr(), o.id)));
+            let tb = RStarTree::insert_all(layout, rel_b.iter().map(|o| (o.mbr(), o.id)));
             let mut buffer = LruBuffer::with_bytes(BUFFER_BYTES, page_size);
             let mut identified = 0u64;
             let approx_stats = tree_join(&ta, &tb, &mut buffer, |a, b| {
-                let con_disjoint = !cons_a.approx(a).intersects(cons_b.approx(b));
-                if con_disjoint || mer_a.get(a).intersects(mer_b.get(b)) {
+                let con_disjoint = !cons_a.view(a).intersects(&cons_b.view(b));
+                if con_disjoint || mer_a.get(a).intersects(&mer_b.get(b)) {
                     identified += 1;
                 }
             });

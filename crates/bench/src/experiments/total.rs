@@ -101,12 +101,12 @@ pub fn ablation_order(cfg: &ExpConfig) -> String {
     let mut identified_cf = 0u64;
     for (a, b, _) in data.iter() {
         cons_tests_cf += 1;
-        if !cons_a.approx(a).intersects(cons_b.approx(b)) {
+        if !cons_a.view(a).intersects(&cons_b.view(b)) {
             identified_cf += 1;
             continue;
         }
         prog_tests_cf += 1;
-        if prog_a.get(a).intersects(prog_b.get(b)) {
+        if prog_a.get(a).intersects(&prog_b.get(b)) {
             identified_cf += 1;
         }
     }
@@ -116,12 +116,12 @@ pub fn ablation_order(cfg: &ExpConfig) -> String {
     let mut identified_pf = 0u64;
     for (a, b, _) in data.iter() {
         prog_tests_pf += 1;
-        if prog_a.get(a).intersects(prog_b.get(b)) {
+        if prog_a.get(a).intersects(&prog_b.get(b)) {
             identified_pf += 1;
             continue;
         }
         cons_tests_pf += 1;
-        if !cons_a.approx(a).intersects(cons_b.approx(b)) {
+        if !cons_a.view(a).intersects(&cons_b.view(b)) {
             identified_pf += 1;
         }
     }
@@ -159,8 +159,8 @@ pub fn ablation_buffer(cfg: &ExpConfig) -> String {
     let rel_b = msj_datagen::large_relation(count, 1, cfg.seed);
     let page_size = 4096usize;
     let layout = PageLayout::baseline(page_size);
-    let ta = RStarTree::bulk_insert(layout, rel_a.iter().map(|o| (o.mbr(), o.id)));
-    let tb = RStarTree::bulk_insert(layout, rel_b.iter().map(|o| (o.mbr(), o.id)));
+    let ta = RStarTree::insert_all(layout, rel_a.iter().map(|o| (o.mbr(), o.id)));
+    let tb = RStarTree::insert_all(layout, rel_b.iter().map(|o| (o.mbr(), o.id)));
     let total_pages = (ta.num_pages() + tb.num_pages()) as f64;
 
     let mut t = Table::new([
@@ -200,8 +200,8 @@ pub fn ablation_joinstrategy(cfg: &ExpConfig) -> String {
     let rel_b = msj_datagen::large_relation(count, 1, cfg.seed);
     let page_size = 4096usize;
     let layout = PageLayout::baseline(page_size);
-    let ta = RStarTree::bulk_insert(layout, rel_a.iter().map(|o| (o.mbr(), o.id)));
-    let tb = RStarTree::bulk_insert(layout, rel_b.iter().map(|o| (o.mbr(), o.id)));
+    let ta = RStarTree::insert_all(layout, rel_a.iter().map(|o| (o.mbr(), o.id)));
+    let tb = RStarTree::insert_all(layout, rel_b.iter().map(|o| (o.mbr(), o.id)));
     let outer: Vec<(msj_geom::Rect, u32)> = rel_a.iter().map(|o| (o.mbr(), o.id)).collect();
     let inner: Vec<(msj_geom::Rect, u32)> = rel_b.iter().map(|o| (o.mbr(), o.id)).collect();
 

@@ -12,8 +12,10 @@
 pub mod baseline;
 pub mod data;
 pub mod experiments;
+pub mod jsonout;
 pub mod report;
 
 pub use baseline::collect_then_chunk_join;
 pub use data::SeriesData;
 pub use experiments::{registry, ExpConfig, Experiment, Scale};
+pub use jsonout::bench_json;

@@ -17,29 +17,30 @@
 //! exact steps are provably unaffected (the property tests in
 //! `tests/backend_agreement.rs` assert it).
 
-use crate::config::{Backend, JoinConfig};
-use msj_geom::{FnConsumer, ObjectId, PairConsumer, Point, Rect, Relation};
+use crate::config::{Backend, JoinConfig, TreeLoader, DEFAULT_BATCH_PAIRS};
+use msj_geom::{FnConsumer, ObjectId, PairBatchBuffer, PairConsumer, Point, Rect, Relation};
 use msj_partition::{partition_join, partition_join_workers, GridIndex, PartitionStats};
-use msj_sam::{tree_join, tree_join_chunked, JoinStats, LruBuffer, PageLayout, RStarTree};
+use msj_sam::{tree_join_chunked, JoinStats, LruBuffer, PageLayout, RStarTree};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 
-/// Candidate pairs per chunk when the R*-traversal fans out to multiple
-/// downstream workers ([`CandidateSource::join_candidates`] with
-/// `workers > 1`).
-pub const FUSED_CHUNK: usize = 1024;
+/// Default candidate pairs per batch/chunk
+/// ([`crate::config::DEFAULT_BATCH_PAIRS`]; override per join with
+/// [`JoinConfig::batch_pairs`]).
+pub const FUSED_CHUNK: usize = DEFAULT_BATCH_PAIRS;
 
 /// Bounded-channel depth per downstream worker of the R*-traversal
-/// fan-out. Together with [`FUSED_CHUNK`] this caps the candidates in
-/// flight — see [`fused_buffer_bound`].
+/// fan-out. Together with the configured batch size this caps the
+/// candidates in flight — see [`fused_buffer_bound`].
 pub const FUSED_QUEUE_DEPTH: usize = 4;
 
 /// Upper bound on candidates buffered between the R*-traversal and
-/// `workers` downstream sinks: every worker's queue full, one chunk
-/// blocked in `send`, one chunk being filled. The partitioned backend
-/// buffers nothing (sweeps feed the sinks directly).
-pub const fn fused_buffer_bound(workers: usize) -> u64 {
-    (workers * (FUSED_QUEUE_DEPTH + 1) * FUSED_CHUNK + FUSED_CHUNK) as u64
+/// `workers` downstream sinks fed in chunks of `batch` pairs: every
+/// worker's queue full, one chunk blocked in `send`, one chunk being
+/// filled. The partitioned backend buffers nothing (sweeps feed the
+/// sinks directly).
+pub const fn fused_buffer_bound(workers: usize, batch: usize) -> u64 {
+    (workers * (FUSED_QUEUE_DEPTH + 1) * batch + batch) as u64
 }
 
 /// Step-1 statistics, backend detail included.
@@ -165,7 +166,13 @@ pub fn join_source<'a>(
         Backend::PartitionedSweep {
             tiles_per_axis,
             threads,
-        } => Box::new(GridSource::new(rel_a, Some(rel_b), tiles_per_axis, threads)),
+        } => Box::new(GridSource::new(
+            rel_a,
+            Some(rel_b),
+            tiles_per_axis,
+            threads,
+            config.batch_pairs,
+        )),
     }
 }
 
@@ -180,7 +187,13 @@ pub fn selection_source<'a>(
         Backend::PartitionedSweep {
             tiles_per_axis,
             threads,
-        } => Box::new(GridSource::new(relation, None, tiles_per_axis, threads)),
+        } => Box::new(GridSource::new(
+            relation,
+            None,
+            tiles_per_axis,
+            threads,
+            config.batch_pairs,
+        )),
     }
 }
 
@@ -192,6 +205,8 @@ struct RStarSource {
     /// `tree_a ⋈ tree_a`.
     tree_b: Option<RStarTree>,
     buffer: LruBuffer,
+    /// Candidate pairs per batched delivery / cross-thread chunk.
+    batch: usize,
 }
 
 impl RStarSource {
@@ -199,24 +214,33 @@ impl RStarSource {
         PageLayout::with_extra_bytes(config.page_size, config.extra_leaf_bytes())
     }
 
-    fn for_join(config: &JoinConfig, rel_a: &Relation, rel_b: &Relation) -> Self {
+    /// Step 0 for one relation under the configured
+    /// [`TreeLoader`]: STR bulk loading by default (the whole relation is
+    /// in hand), incremental R* insertion on request.
+    fn build_tree(config: &JoinConfig, relation: &Relation) -> RStarTree {
         let layout = Self::layout(config);
+        let keys = relation.iter().map(|o| (o.mbr(), o.id));
+        match config.loader {
+            TreeLoader::Str => RStarTree::bulk_load(layout, keys),
+            TreeLoader::Incremental => RStarTree::insert_all(layout, keys),
+        }
+    }
+
+    fn for_join(config: &JoinConfig, rel_a: &Relation, rel_b: &Relation) -> Self {
         RStarSource {
-            tree_a: RStarTree::bulk_insert(layout, rel_a.iter().map(|o| (o.mbr(), o.id))),
-            tree_b: Some(RStarTree::bulk_insert(
-                layout,
-                rel_b.iter().map(|o| (o.mbr(), o.id)),
-            )),
+            tree_a: Self::build_tree(config, rel_a),
+            tree_b: Some(Self::build_tree(config, rel_b)),
             buffer: LruBuffer::with_bytes(config.buffer_bytes, config.page_size),
+            batch: config.batch_pairs.max(1),
         }
     }
 
     fn for_relation(config: &JoinConfig, relation: &Relation) -> Self {
-        let layout = Self::layout(config);
         RStarSource {
-            tree_a: RStarTree::bulk_insert(layout, relation.iter().map(|o| (o.mbr(), o.id))),
+            tree_a: Self::build_tree(config, relation),
             tree_b: None,
             buffer: LruBuffer::with_bytes(config.buffer_bytes, config.page_size),
+            batch: config.batch_pairs.max(1),
         }
     }
 }
@@ -231,11 +255,17 @@ impl CandidateSource for RStarSource {
             tree_a,
             tree_b,
             buffer,
+            batch,
         } = self;
-        let tree_b = tree_b.as_ref().unwrap_or(tree_a);
+        let (tree_b, batch) = (tree_b.as_ref().unwrap_or(tree_a), *batch);
         if workers <= 1 {
+            // Serial: the traversal's chunks double as sink batches — one
+            // virtual dispatch (and one batched classification
+            // downstream) per `batch` pairs, order unchanged.
             let mut sink = consumer.attach();
-            let join = tree_join(tree_a, tree_b, buffer, |a, b| sink.pair(a, b));
+            let join = tree_join_chunked(tree_a, tree_b, buffer, batch, |chunk| {
+                sink.consume_batch(&chunk)
+            });
             return Step1Stats {
                 join,
                 partition: None,
@@ -279,11 +309,10 @@ impl CandidateSource for RStarSource {
                     let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         let mut sink = consumer.attach();
                         while let Ok(chunk) = recv(rx) {
-                            let len = chunk.len() as u64;
-                            for (a, b) in chunk {
-                                sink.pair(a, b);
-                            }
-                            buffered.fetch_sub(len, Ordering::Relaxed);
+                            // Chunk boundary == batch boundary: the whole
+                            // run crosses one virtual dispatch.
+                            sink.consume_batch(&chunk);
+                            buffered.fetch_sub(chunk.len() as u64, Ordering::Relaxed);
                         }
                     }));
                     if let Err(panic) = attempt {
@@ -294,7 +323,7 @@ impl CandidateSource for RStarSource {
                     }
                 });
             }
-            let join = tree_join_chunked(tree_a, tree_b, buffer, FUSED_CHUNK, |chunk| {
+            let join = tree_join_chunked(tree_a, tree_b, buffer, batch, |chunk| {
                 let now =
                     buffered.fetch_add(chunk.len() as u64, Ordering::Relaxed) + chunk.len() as u64;
                 peak.fetch_max(now, Ordering::Relaxed);
@@ -345,6 +374,8 @@ struct GridSource<'a> {
     rel_b: Option<&'a Relation>,
     tiles_per_axis: usize,
     threads: usize,
+    /// Candidate pairs per batched sink delivery.
+    batch: usize,
     /// Single-relation grid for selection probes, built on first use.
     index: Option<GridIndex>,
     /// `(items_a, items_b)` MBR lists for joins, collected on first use
@@ -359,12 +390,14 @@ impl<'a> GridSource<'a> {
         rel_b: Option<&'a Relation>,
         tiles_per_axis: usize,
         threads: usize,
+        batch: usize,
     ) -> Self {
         GridSource {
             rel_a,
             rel_b,
             tiles_per_axis,
             threads,
+            batch: batch.max(1),
             index: None,
             join_items: None,
         }
@@ -396,21 +429,26 @@ impl CandidateSource for GridSource<'_> {
     }
 
     fn join_candidates(&mut self, consumer: &dyn PairConsumer, workers: usize) -> Step1Stats {
-        let (tiles_per_axis, threads) = (self.tiles_per_axis, self.threads);
+        let (tiles_per_axis, threads, batch) = (self.tiles_per_axis, self.threads, self.batch);
         let (items_a, items_b) = self.join_items();
         let (stats, workers_fed) = if workers <= 1 {
             // Single downstream sink: tile sweeps may still parallelize
             // internally (the backend's own `threads` config) but funnel
-            // into the calling thread in deterministic tile order.
+            // into the calling thread in deterministic tile order —
+            // re-batched caller-side so the sink still sees runs.
             let mut sink = consumer.attach();
+            let mut buffer = PairBatchBuffer::new(&mut *sink, batch);
             let stats = partition_join(items_a, items_b, tiles_per_axis, threads, |id_a, id_b| {
-                sink.pair(id_a, id_b)
+                buffer.pair(id_a, id_b)
             });
+            drop(buffer); // flush the tail before the sink detaches
             (stats, 1)
         } else {
             // Fused: every tile worker attaches its own sink and sweeps
-            // straight into it — nothing is buffered or funneled.
-            let stats = partition_join_workers(items_a, items_b, tiles_per_axis, workers, consumer);
+            // straight into it in tile-boundary-flushed batches — nothing
+            // is buffered across threads or funneled.
+            let stats =
+                partition_join_workers(items_a, items_b, tiles_per_axis, workers, batch, consumer);
             let fed = stats.threads as u64;
             (stats, fed)
         };

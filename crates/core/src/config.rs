@@ -38,6 +38,26 @@ impl Backend {
     }
 }
 
+/// How Step 0 builds the R*-trees of [`Backend::RStarTraversal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TreeLoader {
+    /// Sort-tile-recursive bulk loading ([`msj_sam::RStarTree::bulk_load`])
+    /// — one sort plus a linear packing pass per level, fully packed
+    /// pages. The default: Step 0 always has the whole relation in hand.
+    #[default]
+    Str,
+    /// N top-down R* insertions
+    /// ([`msj_sam::RStarTree::insert_all`]) — what a dynamically grown
+    /// tree looks like (~70 % page fill, splits and forced reinserts).
+    /// Use this to model the paper's incrementally maintained indexes.
+    Incremental,
+}
+
+/// Default candidate batch size (pairs per
+/// [`msj_geom::PairSink::consume_batch`] delivery and per cross-thread
+/// chunk of the fused R*-traversal fan-out).
+pub const DEFAULT_BATCH_PAIRS: usize = 1024;
+
 /// Complete configuration of one spatial-join execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JoinConfig {
@@ -63,6 +83,16 @@ pub struct JoinConfig {
     /// calling thread, or fused into the Step-1 workers
     /// ([`crate::execution`]).
     pub execution: Execution,
+    /// How Step 0 builds the R*-trees: STR bulk loading (default) or
+    /// incremental insertion. Join/query *results* are identical either
+    /// way; page counts, I/O counters and candidate order differ.
+    pub loader: TreeLoader,
+    /// Candidate pairs per batched sink delivery
+    /// ([`msj_geom::PairSink::consume_batch`]) and per cross-thread chunk
+    /// of the fused R*-traversal fan-out. Larger batches amortize
+    /// dispatch and synchronization; smaller ones bound latency and the
+    /// in-flight candidate count. Clamped to at least 1.
+    pub batch_pairs: usize,
 }
 
 impl Default for JoinConfig {
@@ -79,6 +109,8 @@ impl Default for JoinConfig {
             false_area_test: false,
             exact: ExactAlgorithm::TrStar { max_entries: 3 },
             execution: Execution::Serial,
+            loader: TreeLoader::Str,
+            batch_pairs: DEFAULT_BATCH_PAIRS,
         }
     }
 }
@@ -167,6 +199,15 @@ mod tests {
         };
         assert!((4..=64).contains(&tiles_per_axis));
         assert_eq!(threads, 0);
+    }
+
+    #[test]
+    fn default_loader_is_str_and_batch_is_bounded() {
+        let c = JoinConfig::default();
+        assert_eq!(c.loader, TreeLoader::Str);
+        assert_eq!(TreeLoader::default(), TreeLoader::Str);
+        assert_eq!(c.batch_pairs, DEFAULT_BATCH_PAIRS);
+        assert!(c.batch_pairs >= 1);
     }
 
     #[test]

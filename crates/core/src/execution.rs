@@ -33,6 +33,7 @@ use crate::stats::MultiStepStats;
 use msj_exact::ExactProcessor;
 use msj_geom::{resolve_threads, ObjectId, PairConsumer, PairSink, Relation};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// How the engine schedules Steps 2–3 relative to Step 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -103,6 +104,7 @@ impl PairConsumer for FusedConsumer<'_> {
             owner: self,
             pairs: Vec::new(),
             stats: MultiStepStats::default(),
+            outcomes: Vec::new(),
         })
     }
 }
@@ -112,11 +114,16 @@ struct FusedSink<'a> {
     owner: &'a FusedConsumer<'a>,
     pairs: Vec<(ObjectId, ObjectId)>,
     stats: MultiStepStats,
+    /// Scratch for batched classification (reused across batches).
+    outcomes: Vec<FilterOutcome>,
 }
 
-impl PairSink for FusedSink<'_> {
-    fn pair(&mut self, id_a: ObjectId, id_b: ObjectId) {
-        match self.owner.filter.classify(id_a, id_b) {
+impl FusedSink<'_> {
+    /// Applies one classified outcome: Step-2 bookkeeping, and the Step-3
+    /// exact test for the inconclusive pairs.
+    #[inline]
+    fn apply(&mut self, id_a: ObjectId, id_b: ObjectId, outcome: FilterOutcome) {
+        match outcome {
             FilterOutcome::FalseHit => self.stats.filter_false_hits += 1,
             FilterOutcome::HitProgressive => {
                 self.stats.filter_hits_progressive += 1;
@@ -138,6 +145,29 @@ impl PairSink for FusedSink<'_> {
                 }
             }
         }
+    }
+}
+
+impl PairSink for FusedSink<'_> {
+    fn pair(&mut self, id_a: ObjectId, id_b: ObjectId) {
+        // Cold path: every production backend batches (the per-pair
+        // timing overhead here is acceptable because this is rare).
+        self.consume_batch(&[(id_a, id_b)]);
+    }
+
+    fn consume_batch(&mut self, batch: &[(ObjectId, ObjectId)]) {
+        // Step 2, batch-wide: one compiled-plan dispatch for the run.
+        let mut outcomes = std::mem::take(&mut self.outcomes);
+        let t_filter = Instant::now();
+        self.owner.filter.classify_batch(batch, &mut outcomes);
+        self.stats.step2_nanos += t_filter.elapsed().as_nanos() as u64;
+        // Step 3 (plus cheap bookkeeping) for the whole batch.
+        let t_exact = Instant::now();
+        for (&(id_a, id_b), &outcome) in batch.iter().zip(&outcomes) {
+            self.apply(id_a, id_b, outcome);
+        }
+        self.stats.step3_nanos += t_exact.elapsed().as_nanos() as u64;
+        self.outcomes = outcomes;
     }
 }
 
@@ -166,6 +196,8 @@ pub struct PreparedJoin<'a> {
     source: Box<dyn candidates::CandidateSource + 'a>,
     filter: GeometricFilter,
     exact: ExactProcessor<'a>,
+    /// Step-0 wall-clock, attached to every run's statistics.
+    step0_nanos: u64,
 }
 
 impl<'a> PreparedJoin<'a> {
@@ -185,6 +217,7 @@ impl<'a> PreparedJoin<'a> {
         // Steps 1–3: the backend feeds candidates to one sink per
         // worker; every sink runs filter + exact immediately.
         let consumer = FusedConsumer::new(&self.filter, &self.exact);
+        let t_run = Instant::now();
         let step1 = self.source.join_candidates(&consumer, workers);
 
         // Deterministic merge: all counters are commutative sums, so the
@@ -210,12 +243,21 @@ impl<'a> PreparedJoin<'a> {
             stats.exact_tests += s.exact_tests;
             stats.exact_hits += s.exact_hits;
             stats.exact_ops.merge(&s.exact_ops);
+            stats.step2_nanos += s.step2_nanos;
+            stats.step3_nanos += s.step3_nanos;
         }
         if fused {
             // Canonical response order, independent of worker
             // interleaving.
             pairs.sort_unstable();
         }
+        // Per-step wall-clock attribution: Step-2/3 times are summed
+        // across workers inside the merge above; Step 1 is the residual
+        // of the Steps-1–3 wall (exact when serial, a lower bound under
+        // fused overlap — see the field docs).
+        let steps123 = t_run.elapsed().as_nanos() as u64;
+        stats.step0_nanos = self.step0_nanos;
+        stats.step1_nanos = steps123.saturating_sub(stats.step2_nanos + stats.step3_nanos);
         // The largest worker pool that actually ran anywhere in the
         // execution: the engine's own sinks, or the backend's internal
         // tile sweeps when Step 1 parallelized under a serial downstream.
@@ -234,11 +276,16 @@ pub(crate) fn prepare<'a>(
     rel_a: &'a Relation,
     rel_b: &'a Relation,
 ) -> PreparedJoin<'a> {
+    let t_prep = Instant::now();
+    let source = candidates::join_source(config, rel_a, rel_b);
+    let filter = GeometricFilter::from_config(config, rel_a, rel_b);
+    let exact = ExactProcessor::new(config.exact, rel_a, rel_b);
     PreparedJoin {
         execution: config.execution,
-        source: candidates::join_source(config, rel_a, rel_b),
-        filter: GeometricFilter::from_config(config, rel_a, rel_b),
-        exact: ExactProcessor::new(config.exact, rel_a, rel_b),
+        source,
+        filter,
+        exact,
+        step0_nanos: t_prep.elapsed().as_nanos() as u64,
     }
 }
 
@@ -345,7 +392,7 @@ mod tests {
         let a = msj_datagen::small_carto(120, 24.0, 906);
         let b = msj_datagen::small_carto(120, 24.0, 907);
         let f = MultiStepJoin::new(fused(JoinConfig::default(), 4)).execute(&a, &b);
-        let bound = candidates::fused_buffer_bound(4);
+        let bound = candidates::fused_buffer_bound(4, JoinConfig::default().batch_pairs);
         assert!(
             f.stats.peak_buffered_candidates <= bound,
             "peak {} exceeds bound {bound}",

@@ -1,13 +1,24 @@
-//! Step two: the geometric filter (§3).
+//! Step two: the geometric filter (§3), with a **compiled filter plan**.
 //!
 //! Candidates from the MBR-join are classified using the stored
 //! approximations into *hits* (certainly intersecting), *false hits*
 //! (certainly disjoint) and remaining *candidates* for the exact step.
+//!
+//! ## The compiled plan
+//!
+//! The test chain — conservative → progressive → (optional) false-area —
+//! is fixed per *join*, not per candidate: the configured approximation
+//! kinds decide it once. The filter therefore compiles a [`FilterPlan`]
+//! when it is built and [`GeometricFilter::classify_batch`] runs the
+//! chain as a monomorphized loop over the columnar store payloads
+//! (`msj-approx`'s flat convex arena / MER rectangle column) — one plan
+//! dispatch per batch instead of four `Option`/enum branches per
+//! candidate. Per-pair [`GeometricFilter::classify`] remains as the
+//! reference chain; the two are outcome-identical by construction (and by
+//! test).
 
-use msj_approx::{
-    false_area_test, ConservativeKind, ConservativeStore, ProgressiveKind, ProgressiveStore,
-};
-use msj_geom::{ObjectId, Relation};
+use msj_approx::{ConservativeKind, ConservativeStore, ProgressiveKind, ProgressiveStore};
+use msj_geom::{convex_intersect, ObjectId, Relation};
 
 /// Classification of one candidate pair by the geometric filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,18 +33,40 @@ pub enum FilterOutcome {
     Candidate,
 }
 
-/// The geometric filter: per-relation approximation stores plus the
-/// configured tests.
+/// The monomorphized classification loop selected once per join (see the
+/// module docs). Which plan a filter compiled is observable for tests and
+/// reports via [`GeometricFilter::plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterPlan {
+    /// No approximations configured: every candidate stays a candidate.
+    Passthrough,
+    /// Convex conservative rings (flat arena) + MER progressive columns,
+    /// no false-area test — the paper's recommended 5-C + MER
+    /// configuration and every other convex/MER combination.
+    ConvexMer,
+    /// Convex conservative rings only (no progressive store, no
+    /// false-area test).
+    ConvexOnly,
+    /// The general view-dispatching chain: curved conservative kinds,
+    /// MEC progressive stores, progressive-only configurations, or the
+    /// false-area test.
+    Generic,
+}
+
+/// The geometric filter: per-relation columnar approximation stores, the
+/// configured tests, and the plan compiled from them.
 pub struct GeometricFilter {
     conservative_a: Option<ConservativeStore>,
     conservative_b: Option<ConservativeStore>,
     progressive_a: Option<ProgressiveStore>,
     progressive_b: Option<ProgressiveStore>,
     use_false_area: bool,
+    plan: FilterPlan,
 }
 
 impl GeometricFilter {
-    /// Precomputes the configured approximations for both relations.
+    /// Precomputes the configured approximations for both relations and
+    /// compiles the filter plan.
     pub fn build(
         rel_a: &Relation,
         rel_b: &Relation,
@@ -41,13 +74,16 @@ impl GeometricFilter {
         progressive: Option<ProgressiveKind>,
         use_false_area: bool,
     ) -> Self {
-        GeometricFilter {
+        let mut filter = GeometricFilter {
             conservative_a: conservative.map(|k| ConservativeStore::build(k, rel_a)),
             conservative_b: conservative.map(|k| ConservativeStore::build(k, rel_b)),
             progressive_a: progressive.map(|k| ProgressiveStore::build(k, rel_a)),
             progressive_b: progressive.map(|k| ProgressiveStore::build(k, rel_b)),
             use_false_area,
-        }
+            plan: FilterPlan::Generic,
+        };
+        filter.plan = filter.compile();
+        filter
     }
 
     /// The filter a [`crate::JoinConfig`] asks for: built stores when any
@@ -76,7 +112,39 @@ impl GeometricFilter {
             progressive_a: None,
             progressive_b: None,
             use_false_area: false,
+            plan: FilterPlan::Passthrough,
         }
+    }
+
+    /// Selects the batched loop the configured stores admit.
+    fn compile(&self) -> FilterPlan {
+        let cons_convex = match (&self.conservative_a, &self.conservative_b) {
+            (Some(a), Some(b)) => {
+                if a.convex_slices().is_some() && b.convex_slices().is_some() {
+                    Some(true)
+                } else {
+                    Some(false)
+                }
+            }
+            (None, None) => None,
+            _ => Some(false),
+        };
+        let prog_mer = match (&self.progressive_a, &self.progressive_b) {
+            (Some(a), Some(b)) => Some(a.mer_column().is_some() && b.mer_column().is_some()),
+            (None, None) => None,
+            _ => Some(false),
+        };
+        match (cons_convex, prog_mer, self.use_false_area) {
+            (None, None, false) => FilterPlan::Passthrough,
+            (Some(true), Some(true), false) => FilterPlan::ConvexMer,
+            (Some(true), None, false) => FilterPlan::ConvexOnly,
+            _ => FilterPlan::Generic,
+        }
+    }
+
+    /// The plan compiled for this filter.
+    pub fn plan(&self) -> FilterPlan {
+        self.plan
     }
 
     /// Classifies one candidate pair.
@@ -85,25 +153,86 @@ impl GeometricFilter {
     /// (§3.2 — most disjoint pairs die here), then the progressive hit
     /// test (§3.3), then optionally the false-area test (§3.3 notes it
     /// adds almost nothing once progressive approximations are stored).
+    ///
+    /// This is the reference chain;
+    /// [`classify_batch`](GeometricFilter::classify_batch) produces
+    /// identical outcomes.
     pub fn classify(&self, id_a: ObjectId, id_b: ObjectId) -> FilterOutcome {
         if let (Some(ca), Some(cb)) = (&self.conservative_a, &self.conservative_b) {
-            if !ca.approx(id_a).intersects(cb.approx(id_b)) {
+            if !ca.view(id_a).intersects(&cb.view(id_b)) {
                 return FilterOutcome::FalseHit;
             }
         }
         if let (Some(pa), Some(pb)) = (&self.progressive_a, &self.progressive_b) {
-            if pa.get(id_a).intersects(pb.get(id_b)) {
+            if pa.get(id_a).intersects(&pb.get(id_b)) {
                 return FilterOutcome::HitProgressive;
             }
         }
         if self.use_false_area {
             if let (Some(ca), Some(cb)) = (&self.conservative_a, &self.conservative_b) {
-                if false_area_test(ca.get(id_a), cb.get(id_b)) {
+                if ca.false_area_test_with(id_a, cb, id_b) {
                     return FilterOutcome::HitFalseArea;
                 }
             }
         }
         FilterOutcome::Candidate
+    }
+
+    /// Classifies a batch of candidate pairs into `out` (cleared first;
+    /// `out[i]` is the outcome of `pairs[i]`).
+    ///
+    /// Runs the compiled [`FilterPlan`]: the plan dispatch and the column
+    /// lookups happen once per batch, and the per-pair loop reads the
+    /// columnar payloads directly — outcome-identical to calling
+    /// [`classify`](GeometricFilter::classify) per pair.
+    pub fn classify_batch(&self, pairs: &[(ObjectId, ObjectId)], out: &mut Vec<FilterOutcome>) {
+        out.clear();
+        out.reserve(pairs.len());
+        match self.plan {
+            FilterPlan::Passthrough => {
+                out.extend(std::iter::repeat_n(FilterOutcome::Candidate, pairs.len()));
+            }
+            FilterPlan::ConvexMer => {
+                let rings_a = self.conservative_a.as_ref().and_then(|s| s.convex_slices());
+                let rings_b = self.conservative_b.as_ref().and_then(|s| s.convex_slices());
+                let (Some(rings_a), Some(rings_b)) = (rings_a, rings_b) else {
+                    unreachable!("ConvexMer plan requires convex columns");
+                };
+                let mer_a = self.progressive_a.as_ref().and_then(|s| s.mer_column());
+                let mer_b = self.progressive_b.as_ref().and_then(|s| s.mer_column());
+                let (Some(mer_a), Some(mer_b)) = (mer_a, mer_b) else {
+                    unreachable!("ConvexMer plan requires MER columns");
+                };
+                out.extend(pairs.iter().map(|&(id_a, id_b)| {
+                    if !convex_intersect(rings_a.ring(id_a), rings_b.ring(id_b)) {
+                        FilterOutcome::FalseHit
+                    } else if mer_a[id_a as usize].intersects(&mer_b[id_b as usize]) {
+                        // NaN sentinel slots (degenerate MERs) never
+                        // intersect, exactly like `Progressive::Empty`.
+                        FilterOutcome::HitProgressive
+                    } else {
+                        FilterOutcome::Candidate
+                    }
+                }));
+            }
+            FilterPlan::ConvexOnly => {
+                let rings_a = self.conservative_a.as_ref().and_then(|s| s.convex_slices());
+                let rings_b = self.conservative_b.as_ref().and_then(|s| s.convex_slices());
+                let (Some(rings_a), Some(rings_b)) = (rings_a, rings_b) else {
+                    unreachable!("ConvexOnly plan requires convex columns");
+                };
+                out.extend(pairs.iter().map(|&(id_a, id_b)| {
+                    if !convex_intersect(rings_a.ring(id_a), rings_b.ring(id_b)) {
+                        FilterOutcome::FalseHit
+                    } else {
+                        FilterOutcome::Candidate
+                    }
+                }));
+            }
+            FilterPlan::Generic => {
+                out.extend(pairs.iter().map(|&(id_a, id_b)| self.classify(id_a, id_b)));
+            }
+        }
     }
 }
 
@@ -155,7 +284,11 @@ mod tests {
     fn disabled_filter_passes_everything_through() {
         let (a, b) = bracket_relations();
         let f = GeometricFilter::disabled();
+        assert_eq!(f.plan(), FilterPlan::Passthrough);
         assert_eq!(f.classify(0, 0), FilterOutcome::Candidate);
+        let mut out = Vec::new();
+        f.classify_batch(&[(0, 0)], &mut out);
+        assert_eq!(out, vec![FilterOutcome::Candidate]);
         let _ = (a, b);
     }
 
@@ -164,6 +297,7 @@ mod tests {
         let (a, b) = bracket_relations();
         // The brackets hug opposite corners: their hulls are disjoint.
         let f = GeometricFilter::build(&a, &b, Some(ConservativeKind::ConvexHull), None, false);
+        assert_eq!(f.plan(), FilterPlan::ConvexOnly);
         // MBRs do overlap (precondition of a candidate):
         assert!(a.object(0).mbr().intersects(&b.object(0).mbr()));
         assert_eq!(f.classify(0, 0), FilterOutcome::FalseHit);
@@ -191,6 +325,7 @@ mod tests {
             Some(ProgressiveKind::Mer),
             false,
         );
+        assert_eq!(f.plan(), FilterPlan::ConvexMer);
         assert_eq!(f.classify(0, 0), FilterOutcome::HitProgressive);
     }
 
@@ -210,6 +345,8 @@ mod tests {
         ]]);
         // Squares equal their hulls: false area 0, intersection large.
         let f = GeometricFilter::build(&a, &b, Some(ConservativeKind::ConvexHull), None, true);
+        // The false-area test forces the generic chain.
+        assert_eq!(f.plan(), FilterPlan::Generic);
         assert_eq!(f.classify(0, 0), FilterOutcome::HitFalseArea);
     }
 
@@ -247,5 +384,117 @@ mod tests {
             true,
         );
         assert_eq!(f.classify(0, 0), FilterOutcome::HitProgressive);
+    }
+
+    /// Every plan must classify batches exactly as the per-pair reference
+    /// chain — across kinds that compile to different plans.
+    #[test]
+    fn batch_classification_agrees_with_per_pair() {
+        let a = msj_datagen::small_carto(40, 24.0, 7101);
+        let b = msj_datagen::small_carto(40, 24.0, 7102);
+        // All candidate-shaped pairs: every (i, j) with intersecting MBRs.
+        let mut pairs = Vec::new();
+        for oa in a.iter() {
+            for ob in b.iter() {
+                if oa.mbr().intersects(&ob.mbr()) {
+                    pairs.push((oa.id, ob.id));
+                }
+            }
+        }
+        assert!(pairs.len() > 50, "need a meaningful batch");
+        let configs: [(Option<ConservativeKind>, Option<ProgressiveKind>, bool); 7] = [
+            (
+                Some(ConservativeKind::FiveCorner),
+                Some(ProgressiveKind::Mer),
+                false,
+            ), // ConvexMer
+            (Some(ConservativeKind::ConvexHull), None, false), // ConvexOnly
+            (
+                Some(ConservativeKind::Mbr),
+                Some(ProgressiveKind::Mer),
+                false,
+            ), // Generic
+            (
+                Some(ConservativeKind::Mbc),
+                Some(ProgressiveKind::Mec),
+                false,
+            ), // Generic
+            (
+                Some(ConservativeKind::FiveCorner),
+                Some(ProgressiveKind::Mer),
+                true,
+            ), // Generic (FA)
+            (None, Some(ProgressiveKind::Mer), false),         // Generic
+            (None, None, false),                               // Passthrough
+        ];
+        for (cons, prog, fa) in configs {
+            let f = GeometricFilter::build(&a, &b, cons, prog, fa);
+            let mut batched = Vec::new();
+            f.classify_batch(&pairs, &mut batched);
+            let per_pair: Vec<FilterOutcome> =
+                pairs.iter().map(|&(x, y)| f.classify(x, y)).collect();
+            assert_eq!(
+                batched,
+                per_pair,
+                "plan {:?} ({cons:?}, {prog:?}, fa={fa}) diverged",
+                f.plan()
+            );
+            // Batch boundaries must not matter.
+            let mut chunked = Vec::new();
+            let mut scratch = Vec::new();
+            for chunk in pairs.chunks(17) {
+                f.classify_batch(chunk, &mut scratch);
+                chunked.extend_from_slice(&scratch);
+            }
+            assert_eq!(chunked, per_pair, "plan {:?} chunked", f.plan());
+        }
+    }
+
+    #[test]
+    fn plan_compilation_matches_configuration() {
+        let a = msj_datagen::small_carto(10, 20.0, 7103);
+        let plans = [
+            (
+                Some(ConservativeKind::FiveCorner),
+                Some(ProgressiveKind::Mer),
+                false,
+                FilterPlan::ConvexMer,
+            ),
+            (
+                Some(ConservativeKind::Rmbr),
+                Some(ProgressiveKind::Mer),
+                false,
+                FilterPlan::ConvexMer,
+            ),
+            (
+                Some(ConservativeKind::FourCorner),
+                None,
+                false,
+                FilterPlan::ConvexOnly,
+            ),
+            (
+                Some(ConservativeKind::FiveCorner),
+                Some(ProgressiveKind::Mec),
+                false,
+                FilterPlan::Generic,
+            ),
+            (
+                Some(ConservativeKind::Mbr),
+                None,
+                false,
+                FilterPlan::Generic,
+            ),
+            (None, Some(ProgressiveKind::Mer), false, FilterPlan::Generic),
+            (
+                Some(ConservativeKind::FiveCorner),
+                Some(ProgressiveKind::Mer),
+                true,
+                FilterPlan::Generic,
+            ),
+        ];
+        for (cons, prog, fa, expect) in plans {
+            let f = GeometricFilter::build(&a, &a.clone(), cons, prog, fa);
+            assert_eq!(f.plan(), expect, "({cons:?}, {prog:?}, fa={fa})");
+        }
     }
 }

@@ -45,6 +45,23 @@
 //!
 //! [`parallel::parallel_join`] is the compatibility front for
 //! `Fused`; prefer setting the policy on the config.
+//!
+//! ## The batched hot path
+//!
+//! Candidates move between the steps in batches, and every per-candidate
+//! decision that is actually per-*join* is hoisted out of the loop:
+//!
+//! * Step 0 builds the R*-trees with STR bulk loading by default
+//!   ([`config::TreeLoader`]) — fully packed pages from one sort, with
+//!   incremental insertion kept for dynamic workloads;
+//! * Step 1 delivers candidate runs through
+//!   [`msj_geom::PairSink::consume_batch`] (sized by
+//!   [`JoinConfig::batch_pairs`]), flushed at tile/chunk boundaries;
+//! * Step 2 classifies each run via a [`filter::FilterPlan`] compiled
+//!   once per join over `msj-approx`'s columnar stores
+//!   ([`GeometricFilter::classify_batch`]);
+//! * [`MultiStepStats`] carries per-step wall-clock
+//!   (`step0/1/2/3_nanos`) so speedups are attributable.
 
 pub mod candidates;
 pub mod config;
@@ -60,12 +77,12 @@ pub use candidates::{
     fused_buffer_bound, join_source, selection_source, CandidateSource, PartitionSummary,
     SelectionStats, Step1Stats, FUSED_CHUNK, FUSED_QUEUE_DEPTH,
 };
-pub use config::{Backend, JoinConfig};
+pub use config::{Backend, JoinConfig, TreeLoader, DEFAULT_BATCH_PAIRS};
 pub use cost::{
     figure11_loss_gain, figure18_cost, CostBreakdown, CostModelParams, ExactCostKind, LossGain,
 };
 pub use execution::{Execution, PreparedJoin};
-pub use filter::{FilterOutcome, GeometricFilter};
+pub use filter::{FilterOutcome, FilterPlan, GeometricFilter};
 pub use parallel::parallel_join;
 pub use pipeline::{ground_truth_join, JoinResult, MultiStepJoin};
 pub use queries::{QueryProcessor, QueryStats};

@@ -12,7 +12,7 @@
 
 use crate::candidates::{self, CandidateSource};
 use crate::config::JoinConfig;
-use msj_approx::{Conservative, ConservativeStore, Progressive, ProgressiveStore};
+use msj_approx::{ConsView, ConservativeStore, Progressive, ProgressiveStore};
 use msj_exact::{region_contains_point, region_intersects_rect, OpCounts};
 use msj_geom::{ObjectId, Point, Rect, Relation};
 
@@ -74,14 +74,14 @@ impl<'a> QueryProcessor<'a> {
         for id in candidates {
             // Conservative: point outside the approximation → false hit.
             if let Some(cons) = &self.conservative {
-                if !cons.approx(id).contains_point(p) {
+                if !cons.view(id).contains_point(p) {
                     stats.filter_false_hits += 1;
                     continue;
                 }
             }
             // Progressive: point inside the enclosed shape → hit.
             if let Some(prog) = &self.progressive {
-                if progressive_contains(prog.get(id), p) {
+                if progressive_contains(&prog.get(id), p) {
                     stats.filter_hits += 1;
                     result.push(id);
                     continue;
@@ -112,13 +112,13 @@ impl<'a> QueryProcessor<'a> {
         let mut result = Vec::new();
         for id in candidates {
             if let Some(cons) = &self.conservative {
-                if !conservative_intersects_window(cons.approx(id), &window, &window_ring) {
+                if !conservative_intersects_window(&cons.view(id), &window, &window_ring) {
                     stats.filter_false_hits += 1;
                     continue;
                 }
             }
             if let Some(prog) = &self.progressive {
-                if progressive_intersects_window(prog.get(id), &window) {
+                if progressive_intersects_window(&prog.get(id), &window) {
                     stats.filter_hits += 1;
                     result.push(id);
                     continue;
@@ -150,15 +150,15 @@ fn progressive_intersects_window(prog: &Progressive, window: &Rect) -> bool {
 }
 
 fn conservative_intersects_window(
-    cons: &Conservative,
+    cons: &ConsView<'_>,
     window: &Rect,
     window_ring: &[Point],
 ) -> bool {
     match cons {
-        Conservative::Mbr(r) => r.intersects(window),
-        Conservative::Mbc(c) => c.intersects_rect(window),
-        Conservative::Mbe(e) => e.intersects_convex(window_ring),
-        Conservative::Convex(_, ring) => msj_geom::convex_intersect(ring, window_ring),
+        ConsView::Rect(r) => r.intersects(window),
+        ConsView::Circle(c) => c.intersects_rect(window),
+        ConsView::Ellipse(e) => e.intersects_convex(window_ring),
+        ConsView::Convex(ring) => msj_geom::convex_intersect(ring, window_ring),
     }
 }
 

@@ -39,6 +39,25 @@ pub struct MultiStepStats {
     pub exact_ops: OpCounts,
     /// Total result pairs (filter hits + exact hits).
     pub result_pairs: u64,
+    /// Step 0 wall-clock (preprocessing: index build + approximation
+    /// stores + exact representations), in nanoseconds. Paid once per
+    /// [`crate::PreparedJoin`] and reported unchanged on every run of
+    /// that preparation.
+    pub step0_nanos: u64,
+    /// Step 1 residual wall-clock in nanoseconds: the Steps-1–3 wall
+    /// time minus the measured Step-2/3 time. Exact attribution on the
+    /// serial path; under fused execution Steps 2–3 run *inside* the
+    /// Step-1 workers, so their summed time overlaps Step 1 and this
+    /// residual is a lower bound (it also absorbs the engine's merge +
+    /// canonical sort).
+    pub step1_nanos: u64,
+    /// Step 2 (geometric filter) time in nanoseconds, summed across all
+    /// workers — CPU time, so it can exceed the wall clock on parallel
+    /// runs. Measured per batch, not per pair.
+    pub step2_nanos: u64,
+    /// Step 3 (exact geometry) time in nanoseconds, summed across all
+    /// workers (CPU time, like [`MultiStepStats::step2_nanos`]).
+    pub step3_nanos: u64,
 }
 
 impl MultiStepStats {

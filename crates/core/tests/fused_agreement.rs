@@ -71,7 +71,8 @@ fn fused_equals_serial(name: &str, a: &Relation, b: &Relation, base: JoinConfig)
         // The candidate set is never materialized: buffering stays under
         // the engine's per-worker bound (0 for streamed paths).
         assert!(
-            f.peak_buffered_candidates <= msj_core::fused_buffer_bound(threads),
+            f.peak_buffered_candidates
+                <= msj_core::fused_buffer_bound(threads, msj_core::DEFAULT_BATCH_PAIRS),
             "{label}: peak buffer {} over bound",
             f.peak_buffered_candidates
         );

@@ -2,7 +2,7 @@
 //! nested-loops exact join for every filter/exact configuration.
 
 use msj_approx::{ConservativeKind, ProgressiveKind};
-use msj_core::{ground_truth_join, Backend, Execution, JoinConfig, MultiStepJoin};
+use msj_core::{ground_truth_join, Backend, Execution, JoinConfig, MultiStepJoin, TreeLoader};
 use msj_exact::ExactAlgorithm;
 use proptest::prelude::*;
 
@@ -58,6 +58,17 @@ fn execution_strategy() -> impl Strategy<Value = Execution> {
     ]
 }
 
+/// Step-0 loader × sink batch size, combined into one strategy.
+fn loader_batch_strategy() -> impl Strategy<Value = (TreeLoader, usize)> {
+    prop_oneof![
+        Just((TreeLoader::Str, 1usize)),
+        Just((TreeLoader::Str, 7)),
+        Just((TreeLoader::Str, 1024)),
+        Just((TreeLoader::Incremental, 1)),
+        Just((TreeLoader::Incremental, 1024)),
+    ]
+}
+
 fn exact_strategy() -> impl Strategy<Value = ExactAlgorithm> {
     prop_oneof![
         Just(ExactAlgorithm::Quadratic),
@@ -81,8 +92,10 @@ proptest! {
         exact in exact_strategy(),
         backend in backend_strategy(),
         execution in execution_strategy(),
+        loader_batch in loader_batch_strategy(),
         page_size in prop_oneof![Just(1024usize), Just(2048), Just(4096)],
     ) {
+        let (loader, batch_pairs) = loader_batch;
         let a = msj_datagen::small_carto(24, 20.0, seed_a);
         let b = msj_datagen::small_carto(24, 20.0, seed_b);
         let config = JoinConfig {
@@ -94,6 +107,8 @@ proptest! {
             false_area_test,
             exact,
             execution,
+            loader,
+            batch_pairs,
         };
         let result = MultiStepJoin::new(config).execute(&a, &b);
         let expect = sorted(ground_truth_join(&a, &b));

@@ -37,7 +37,7 @@ pub mod wkt;
 
 pub use calipers::{min_area_rect, OrientedRect};
 pub use clip::{clip_convex, convex_intersect, convex_intersection_area, ring_area};
-pub use exec::{resolve_threads, FnConsumer, PairConsumer, PairSink};
+pub use exec::{resolve_threads, FnConsumer, PairBatchBuffer, PairConsumer, PairSink};
 pub use hull::{convex_contains_point, convex_hull};
 pub use object::{ObjectId, Relation, SpatialObject};
 pub use point::Point;

@@ -5,7 +5,7 @@
 
 use crate::grid::Grid;
 use crate::stats::PartitionStats;
-use msj_geom::{resolve_threads, ObjectId, PairConsumer, Rect};
+use msj_geom::{resolve_threads, ObjectId, PairBatchBuffer, PairConsumer, Rect};
 
 /// What one tile's mini-join produced.
 #[derive(Debug, Default)]
@@ -242,11 +242,18 @@ pub fn partition_join<F: FnMut(ObjectId, ObjectId)>(
 /// deterministic for a fixed worker count. Pairs are emitted exactly once
 /// (reference-point deduplication, as with [`partition_join`]); the
 /// *union* across workers equals [`partition_join`]'s stream as a set.
+///
+/// Pairs are delivered in runs of up to `batch` through
+/// [`msj_geom::PairSink::consume_batch`] (a caller-side
+/// [`PairBatchBuffer`] per worker, flushed at every tile boundary), so a
+/// consumer pays one dispatch — and can run one batched classification —
+/// per run instead of per pair. Order within a worker is unchanged.
 pub fn partition_join_workers(
     a: &[(Rect, ObjectId)],
     b: &[(Rect, ObjectId)],
     tiles_per_axis: usize,
     workers: usize,
+    batch: usize,
     consumer: &dyn PairConsumer,
 ) -> PartitionStats {
     let workers = resolve_threads(workers);
@@ -259,13 +266,21 @@ pub fn partition_join_workers(
     let mut outcomes: Vec<TileOutcome> = Vec::with_capacity(tile_count);
     if workers <= 1 {
         let mut sink = consumer.attach();
+        let mut buffer = PairBatchBuffer::new(&mut *sink, batch);
         for (tile, (bucket_a, bucket_b)) in prep
             .buckets_a
             .iter_mut()
             .zip(prep.buckets_b.iter_mut())
             .enumerate()
         {
-            outcomes.push(sweep_into(&prep.grid, tile, bucket_a, bucket_b, &mut *sink));
+            outcomes.push(sweep_into(
+                &prep.grid,
+                tile,
+                bucket_a,
+                bucket_b,
+                &mut buffer,
+            ));
+            buffer.flush(); // tile boundary
         }
     } else {
         let mut per_worker: Vec<Vec<(usize, _, _)>> = (0..workers).map(|_| Vec::new()).collect();
@@ -285,9 +300,13 @@ pub fn partition_join_workers(
                 .map(|own| {
                     scope.spawn(move || {
                         let mut sink = consumer.attach();
+                        let mut buffer = PairBatchBuffer::new(&mut *sink, batch);
                         own.into_iter()
                             .map(|(tile, bucket_a, bucket_b)| {
-                                sweep_into(grid, tile, bucket_a, bucket_b, &mut *sink)
+                                let outcome =
+                                    sweep_into(grid, tile, bucket_a, bucket_b, &mut buffer);
+                                buffer.flush(); // tile boundary
+                                outcome
                             })
                             .collect::<Vec<TileOutcome>>()
                     })
@@ -466,7 +485,7 @@ mod tests {
         let funneled_stats = partition_join(&a, &b, 4, 1, |x, y| funneled.push((x, y)));
         for workers in [1usize, 2, 3, 8, 64] {
             let consumer = Collecting::new();
-            let stats = partition_join_workers(&a, &b, 4, workers, &consumer);
+            let stats = partition_join_workers(&a, &b, 4, workers, 7, &consumer);
             let got = consumer.pairs.into_inner().unwrap();
             assert_eq!(sorted(got), sorted(funneled.clone()), "workers {workers}");
             // Stats are worker-count invariant, tile detail included.
@@ -483,7 +502,7 @@ mod tests {
     fn worker_delivery_handles_empty_sides() {
         let a = grid_items(3, 0.0, 8.0);
         let consumer = Collecting::new();
-        let stats = partition_join_workers(&a, &[], 4, 4, &consumer);
+        let stats = partition_join_workers(&a, &[], 4, 4, 16, &consumer);
         assert_eq!(stats.candidates(), 0);
         assert_eq!(stats.threads, 1);
         assert!(consumer.pairs.into_inner().unwrap().is_empty());
@@ -497,7 +516,7 @@ mod tests {
         let stats = {
             let mut push = |x: ObjectId, y: ObjectId| got.push((x, y));
             let consumer = FnConsumer::new(&mut push);
-            partition_join_workers(&a, &b, 3, 1, &consumer)
+            partition_join_workers(&a, &b, 3, 1, 4, &consumer)
         };
         assert_eq!(sorted(got), reference(&a, &b));
         assert_eq!(stats.threads, 1);

@@ -1,5 +1,5 @@
-//! Build-cost probe: times R*-tree construction at experiment scale
-//! (used when tuning the insertion heuristics).
+//! Build-cost probe: times R*-tree construction at experiment scale for
+//! both Step-0 loaders — incremental R* insertion vs STR bulk loading.
 //!
 //! ```text
 //! cargo run -p msj-sam --release --example build_timing [-- COUNT]
@@ -8,6 +8,18 @@
 use msj_geom::Rect;
 use msj_sam::{PageLayout, RStarTree};
 use std::time::Instant;
+
+fn report(label: &str, tree: &RStarTree, elapsed: std::time::Duration) {
+    println!(
+        "{label}: built {} objects in {:?}: {} pages, height {}, avg leaf fill {:.2}",
+        tree.len(),
+        elapsed,
+        tree.num_pages(),
+        tree.height(),
+        tree.avg_leaf_fill()
+    );
+    tree.check_invariants().expect("invariants after build");
+}
 
 fn main() {
     let n: usize = std::env::args()
@@ -23,15 +35,16 @@ fn main() {
         })
         .collect();
     let t0 = Instant::now();
-    let tree = RStarTree::bulk_insert(PageLayout::baseline(4096), items.iter().copied());
+    let incremental = RStarTree::insert_all(PageLayout::baseline(4096), items.iter().copied());
+    let incremental_elapsed = t0.elapsed();
+    report("incremental", &incremental, incremental_elapsed);
+    let t1 = Instant::now();
+    let packed = RStarTree::bulk_load(PageLayout::baseline(4096), items.iter().copied());
+    let packed_elapsed = t1.elapsed();
+    report("STR bulk load", &packed, packed_elapsed);
     println!(
-        "built {} objects in {:?}: {} pages, height {}, avg leaf fill {:.2}",
-        tree.len(),
-        t0.elapsed(),
-        tree.num_pages(),
-        tree.height(),
-        tree.avg_leaf_fill()
+        "STR speedup: {:.1}x, page reduction: {:.0}%",
+        incremental_elapsed.as_secs_f64() / packed_elapsed.as_secs_f64().max(1e-12),
+        100.0 * (1.0 - packed.num_pages() as f64 / incremental.num_pages() as f64)
     );
-    tree.check_invariants()
-        .expect("invariants after bulk build");
 }

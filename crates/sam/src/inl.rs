@@ -69,7 +69,7 @@ mod tests {
             leaf_entry_bytes: 48,
             dir_entry_bytes: 20,
         };
-        let tb = RStarTree::bulk_insert(layout, ib.iter().copied());
+        let tb = RStarTree::insert_all(layout, ib.iter().copied());
         let mut buffer = LruBuffer::new(1 << 14);
         let mut got = Vec::new();
         index_nested_loop_join(&ia, &tb, &mut buffer, |a, b| got.push((a, b)));
@@ -91,8 +91,8 @@ mod tests {
             leaf_entry_bytes: 48,
             dir_entry_bytes: 20,
         };
-        let ta = RStarTree::bulk_insert(layout, ia.iter().copied());
-        let tb = RStarTree::bulk_insert(layout, ib.iter().copied());
+        let ta = RStarTree::insert_all(layout, ia.iter().copied());
+        let tb = RStarTree::insert_all(layout, ib.iter().copied());
 
         let mut b1 = LruBuffer::new(8);
         let tree = tree_join(&ta, &tb, &mut b1, |_, _| {});
@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn empty_outer_or_inner() {
         let ib = grid_items(4, 0.0);
-        let tb = RStarTree::bulk_insert(PageLayout::baseline(512), ib.iter().copied());
+        let tb = RStarTree::insert_all(PageLayout::baseline(512), ib.iter().copied());
         let mut buffer = LruBuffer::new(64);
         let stats = index_nested_loop_join(&[], &tb, &mut buffer, |_, _| panic!("no pairs"));
         assert_eq!(stats.candidates, 0);

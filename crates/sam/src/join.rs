@@ -268,7 +268,7 @@ mod tests {
     }
 
     fn build(items: &[(Rect, ObjectId)], page: usize) -> RStarTree {
-        RStarTree::bulk_insert(
+        RStarTree::insert_all(
             PageLayout {
                 page_size: page,
                 leaf_entry_bytes: 48,

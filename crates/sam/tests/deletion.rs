@@ -28,7 +28,7 @@ fn delete_removes_exactly_the_entry() {
         leaf_entry_bytes: 48,
         dir_entry_bytes: 20,
     };
-    let mut tree = RStarTree::bulk_insert(layout, items.iter().copied());
+    let mut tree = RStarTree::insert_all(layout, items.iter().copied());
     let (rect, id) = items[37];
     assert!(tree.delete(rect, id));
     assert_eq!(tree.len(), 99);
@@ -49,7 +49,7 @@ fn delete_everything_empties_the_tree() {
         leaf_entry_bytes: 48,
         dir_entry_bytes: 20,
     };
-    let mut tree = RStarTree::bulk_insert(layout, items.iter().copied());
+    let mut tree = RStarTree::insert_all(layout, items.iter().copied());
     for &(rect, id) in &items {
         assert!(tree.delete(rect, id), "missing ({rect:?}, {id})");
         tree.check_invariants().unwrap();
@@ -65,7 +65,7 @@ fn delete_everything_empties_the_tree() {
 #[test]
 fn delete_missing_entry_is_noop() {
     let items = grid_items(5);
-    let mut tree = RStarTree::bulk_insert(PageLayout::baseline(512), items.iter().copied());
+    let mut tree = RStarTree::insert_all(PageLayout::baseline(512), items.iter().copied());
     assert!(!tree.delete(Rect::from_bounds(500.0, 500.0, 501.0, 501.0), 0));
     // Same rect, wrong id.
     assert!(!tree.delete(items[0].0, 9999));

@@ -42,7 +42,7 @@ proptest! {
         items in items_strategy(300),
         layout in layout_strategy(),
     ) {
-        let tree = RStarTree::bulk_insert(layout, items.iter().copied());
+        let tree = RStarTree::insert_all(layout, items.iter().copied());
         prop_assert_eq!(tree.len(), items.len());
         tree.check_invariants().map_err(TestCaseError::fail)?;
     }
@@ -53,7 +53,7 @@ proptest! {
         layout in layout_strategy(),
         window in rect_strategy(),
     ) {
-        let tree = RStarTree::bulk_insert(layout, items.iter().copied());
+        let tree = RStarTree::insert_all(layout, items.iter().copied());
         let mut buffer = LruBuffer::new(1 << 16);
         let mut got = tree.window_query(window, &mut buffer);
         got.sort_unstable();
@@ -73,7 +73,7 @@ proptest! {
         x in -110.0f64..140.0,
         y in -110.0f64..140.0,
     ) {
-        let tree = RStarTree::bulk_insert(layout, items.iter().copied());
+        let tree = RStarTree::insert_all(layout, items.iter().copied());
         let mut buffer = LruBuffer::new(1 << 16);
         let p = Point::new(x, y);
         let mut got = tree.point_query(p, &mut buffer);
@@ -94,8 +94,8 @@ proptest! {
         layout_a in layout_strategy(),
         layout_b in layout_strategy(),
     ) {
-        let ta = RStarTree::bulk_insert(layout_a, items_a.iter().copied());
-        let tb = RStarTree::bulk_insert(layout_b, items_b.iter().copied());
+        let ta = RStarTree::insert_all(layout_a, items_a.iter().copied());
+        let tb = RStarTree::insert_all(layout_b, items_b.iter().copied());
         let mut buffer = LruBuffer::new(1 << 16);
         let mut got = Vec::new();
         tree_join(&ta, &tb, &mut buffer, |a, b| got.push((a, b)));
@@ -107,13 +107,77 @@ proptest! {
     }
 
     #[test]
+    fn bulk_load_invariants_hold_for_any_input(
+        items in items_strategy(300),
+        layout in layout_strategy(),
+    ) {
+        let tree = RStarTree::bulk_load(layout, items.iter().copied());
+        prop_assert_eq!(tree.len(), items.len());
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+        // STR packs pages: never more than the incremental build, and at
+        // most ⌈N / cap⌉ leaves.
+        let incremental = RStarTree::insert_all(layout, items.iter().copied());
+        prop_assert!(tree.num_pages() <= incremental.num_pages());
+    }
+
+    #[test]
+    fn bulk_load_queries_equal_incremental_insertion(
+        items in items_strategy(200),
+        layout in layout_strategy(),
+        window in rect_strategy(),
+        x in -110.0f64..140.0,
+        y in -110.0f64..140.0,
+    ) {
+        let packed = RStarTree::bulk_load(layout, items.iter().copied());
+        let incremental = RStarTree::insert_all(layout, items.iter().copied());
+        let mut b1 = LruBuffer::new(1 << 16);
+        let mut b2 = LruBuffer::new(1 << 16);
+        let mut got = packed.window_query(window, &mut b1);
+        let mut expect = incremental.window_query(window, &mut b2);
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+        let p = Point::new(x, y);
+        let mut got = packed.point_query(p, &mut b1);
+        let mut expect = incremental.point_query(p, &mut b2);
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bulk_load_join_equals_incremental_join(
+        items_a in items_strategy(120),
+        items_b in items_strategy(120),
+        layout in layout_strategy(),
+    ) {
+        let mut packed = Vec::new();
+        {
+            let ta = RStarTree::bulk_load(layout, items_a.iter().copied());
+            let tb = RStarTree::bulk_load(layout, items_b.iter().copied());
+            let mut buffer = LruBuffer::new(1 << 16);
+            tree_join(&ta, &tb, &mut buffer, |a, b| packed.push((a, b)));
+        }
+        let mut incremental = Vec::new();
+        {
+            let ta = RStarTree::insert_all(layout, items_a.iter().copied());
+            let tb = RStarTree::insert_all(layout, items_b.iter().copied());
+            let mut buffer = LruBuffer::new(1 << 16);
+            tree_join(&ta, &tb, &mut buffer, |a, b| incremental.push((a, b)));
+        }
+        packed.sort_unstable();
+        incremental.sort_unstable();
+        prop_assert_eq!(packed, incremental);
+    }
+
+    #[test]
     fn join_candidates_are_symmetric(
         items_a in items_strategy(80),
         items_b in items_strategy(80),
     ) {
         let layout = PageLayout::baseline(512);
-        let ta = RStarTree::bulk_insert(layout, items_a.iter().copied());
-        let tb = RStarTree::bulk_insert(layout, items_b.iter().copied());
+        let ta = RStarTree::insert_all(layout, items_a.iter().copied());
+        let tb = RStarTree::insert_all(layout, items_b.iter().copied());
         let mut buffer = LruBuffer::new(1 << 16);
         let mut ab = Vec::new();
         tree_join(&ta, &tb, &mut buffer, |a, b| ab.push((a, b)));

@@ -18,8 +18,8 @@ fn series_data() -> (Relation, Relation, Vec<(u32, u32)>, Vec<bool>) {
     let base = msj::datagen::small_carto(120, 40.0, 11);
     let series = msj::datagen::strategy_a("claims", &base, msj::datagen::world(), 0.5, 0.5);
     let layout = PageLayout::baseline(4096);
-    let ta = RStarTree::bulk_insert(layout, series.a.iter().map(|o| (o.mbr(), o.id)));
-    let tb = RStarTree::bulk_insert(layout, series.b.iter().map(|o| (o.mbr(), o.id)));
+    let ta = RStarTree::insert_all(layout, series.a.iter().map(|o| (o.mbr(), o.id)));
+    let tb = RStarTree::insert_all(layout, series.b.iter().map(|o| (o.mbr(), o.id)));
     let mut buffer = LruBuffer::new(1024);
     let mut candidates = Vec::new();
     tree_join(&ta, &tb, &mut buffer, |a, b| candidates.push((a, b)));
@@ -61,7 +61,7 @@ fn five_corner_identifies_most_false_hits() {
                 continue;
             }
             fh += 1;
-            if !sa.approx(a).intersects(sb.approx(b)) {
+            if !sa.view(a).intersects(&sb.view(b)) {
                 id += 1;
             }
         }
@@ -92,7 +92,7 @@ fn progressive_approximations_identify_hits() {
                 continue;
             }
             hits += 1;
-            if sa.get(a).intersects(sb.get(b)) {
+            if sa.get(a).intersects(&sb.get(b)) {
                 id += 1;
             }
         }
@@ -193,11 +193,11 @@ fn approximation_gain_exceeds_storage_loss() {
     let rel_a = msj::datagen::large_relation(1500, 0, 31);
     let rel_b = msj::datagen::large_relation(1500, 1, 31);
     let page = 2048usize;
-    let base_a = RStarTree::bulk_insert(
+    let base_a = RStarTree::insert_all(
         PageLayout::baseline(page),
         rel_a.iter().map(|o| (o.mbr(), o.id)),
     );
-    let base_b = RStarTree::bulk_insert(
+    let base_b = RStarTree::insert_all(
         PageLayout::baseline(page),
         rel_b.iter().map(|o| (o.mbr(), o.id)),
     );
@@ -209,12 +209,12 @@ fn approximation_gain_exceeds_storage_loss() {
     let mer_a = ProgressiveStore::build(ProgressiveKind::Mer, &rel_a);
     let mer_b = ProgressiveStore::build(ProgressiveKind::Mer, &rel_b);
     let layout = PageLayout::with_extra_bytes(page, 56);
-    let ta = RStarTree::bulk_insert(layout, rel_a.iter().map(|o| (o.mbr(), o.id)));
-    let tb = RStarTree::bulk_insert(layout, rel_b.iter().map(|o| (o.mbr(), o.id)));
+    let ta = RStarTree::insert_all(layout, rel_a.iter().map(|o| (o.mbr(), o.id)));
+    let tb = RStarTree::insert_all(layout, rel_b.iter().map(|o| (o.mbr(), o.id)));
     let mut buffer = LruBuffer::with_bytes(128 * 1024, page);
     let mut identified = 0i64;
     let stats = tree_join(&ta, &tb, &mut buffer, |x, y| {
-        if !cons_a.approx(x).intersects(cons_b.approx(y)) || mer_a.get(x).intersects(mer_b.get(y)) {
+        if !cons_a.view(x).intersects(&cons_b.view(y)) || mer_a.get(x).intersects(&mer_b.get(y)) {
             identified += 1;
         }
     });
@@ -238,7 +238,7 @@ fn filter_soundness_on_series() {
         let sa = ConservativeStore::build(kind, &rel_a);
         let sb = ConservativeStore::build(kind, &rel_b);
         for (&(a, b), &t) in candidates.iter().zip(&truth) {
-            if !sa.approx(a).intersects(sb.approx(b)) {
+            if !sa.view(a).intersects(&sb.view(b)) {
                 assert!(!t, "{} separated a true hit ({a},{b})", kind.name());
             }
         }

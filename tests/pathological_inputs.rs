@@ -47,7 +47,7 @@ fn rstar_with_zero_extent_rectangles() {
             (Rect::new(p, p), i as u32)
         })
         .collect();
-    let tree = RStarTree::bulk_insert(layout, items.iter().copied());
+    let tree = RStarTree::insert_all(layout, items.iter().copied());
     tree.check_invariants().expect("invariants with point keys");
     let mut buffer = LruBuffer::new(1 << 12);
     let hits = tree.point_query(Point::new(3.0, 4.0), &mut buffer);
@@ -68,7 +68,7 @@ fn rstar_with_huge_coordinates() {
             )
         })
         .collect();
-    let tree = RStarTree::bulk_insert(layout, items.iter().copied());
+    let tree = RStarTree::insert_all(layout, items.iter().copied());
     tree.check_invariants().expect("invariants at 1e12 scale");
     let mut buffer = LruBuffer::new(1 << 12);
     let w = Rect::from_bounds(0.0, 0.0, 2.0 * scale, 2.0 * scale);

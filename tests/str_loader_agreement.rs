@@ -1,0 +1,167 @@
+//! STR bulk loading vs incremental insertion: the Step-0 loader may only
+//! change page boundaries (build cost, page counts, I/O, candidate
+//! *order*) — never join or query *results*. This suite pins that down
+//! across workload shapes × Step-1 backends × execution policies, the
+//! acceptance matrix of the batched hot-path PR.
+
+use msj::core::{Backend, Execution, JoinConfig, MultiStepJoin, TreeLoader};
+use msj::geom::{ObjectId, Point, Polygon, Relation};
+
+fn sorted(mut v: Vec<(ObjectId, ObjectId)>) -> Vec<(ObjectId, ObjectId)> {
+    v.sort_unstable();
+    v
+}
+
+/// Thin crossing slivers whose MBRs are useless — the pathological shape
+/// from `pathological_inputs.rs`, reused as a loader workload.
+fn needle_relations() -> (Relation, Relation) {
+    let needle = |x0: f64, y0: f64, dx: f64, dy: f64| {
+        let along = Point::new(dx, dy);
+        let across = along.perp().normalized().unwrap() * 1e-3;
+        Polygon::new(vec![
+            Point::new(x0, y0),
+            Point::new(x0 + along.x, y0 + along.y),
+            Point::new(x0 + along.x + across.x, y0 + along.y + across.y),
+            Point::new(x0 + across.x, y0 + across.y),
+        ])
+        .unwrap()
+        .into()
+    };
+    let a = Relation::from_regions((0..12).map(|i| {
+        let t = i as f64 / 12.0 * std::f64::consts::TAU;
+        needle(0.0, 0.0, 10.0 * t.cos(), 10.0 * t.sin())
+    }));
+    let b = Relation::from_regions((0..12).map(|i| {
+        let t = (i as f64 + 0.5) / 12.0 * std::f64::consts::TAU;
+        needle(
+            5.0 * t.cos(),
+            5.0 * t.sin(),
+            -10.0 * t.sin(),
+            10.0 * t.cos(),
+        )
+    }));
+    (a, b)
+}
+
+fn workloads() -> Vec<(&'static str, Relation, Relation)> {
+    let mut out = vec![
+        (
+            "carto",
+            msj::datagen::small_carto(60, 24.0, 4001),
+            msj::datagen::small_carto(60, 24.0, 4002),
+        ),
+        (
+            "holed",
+            msj::datagen::carto_with_holes(40, 24.0, 4003),
+            msj::datagen::carto_with_holes(40, 24.0, 4004),
+        ),
+        (
+            "skewed",
+            msj::datagen::skewed_carto(60, 24.0, 4005),
+            msj::datagen::skewed_carto(60, 24.0, 4006),
+        ),
+    ];
+    let (a, b) = needle_relations();
+    out.push(("pathological", a, b));
+    out
+}
+
+fn backends() -> [Backend; 2] {
+    [
+        Backend::RStarTraversal,
+        Backend::PartitionedSweep {
+            tiles_per_axis: 4,
+            threads: 2,
+        },
+    ]
+}
+
+/// The full acceptance matrix: response sets must be byte-identical
+/// across {STR, incremental} × {R*-traversal, partitioned sweep} ×
+/// {serial, fused}, on every workload shape.
+#[test]
+fn loaders_backends_and_executions_agree_everywhere() {
+    for (name, a, b) in &workloads() {
+        let mut reference: Option<Vec<(ObjectId, ObjectId)>> = None;
+        for loader in [TreeLoader::Str, TreeLoader::Incremental] {
+            for backend in backends() {
+                for execution in [
+                    Execution::Serial,
+                    Execution::Fused { threads: 1 },
+                    Execution::Fused { threads: 4 },
+                ] {
+                    let config = JoinConfig {
+                        loader,
+                        backend,
+                        execution,
+                        ..JoinConfig::default()
+                    };
+                    let result = MultiStepJoin::new(config).execute(a, b);
+                    let got = sorted(result.pairs);
+                    match &reference {
+                        None => reference = Some(got),
+                        Some(expect) => assert_eq!(
+                            &got, expect,
+                            "{name}: {loader:?} × {backend:?} × {execution:?} diverged"
+                        ),
+                    }
+                }
+            }
+        }
+        // And the whole matrix matches the exhaustive exact join.
+        let truth = sorted(msj::core::ground_truth_join(a, b));
+        assert_eq!(reference.unwrap(), truth, "{name}: matrix != ground truth");
+    }
+}
+
+/// The loaders must agree on every *intermediate* quantity that is
+/// layout-independent: candidate sets (as sets), filter statistics, and
+/// exact-step operation counts.
+#[test]
+fn loader_choice_preserves_candidates_and_filter_stats() {
+    let a = msj::datagen::small_carto(80, 24.0, 4011);
+    let b = msj::datagen::small_carto(80, 24.0, 4012);
+    let run = |loader: TreeLoader| {
+        MultiStepJoin::new(JoinConfig {
+            loader,
+            ..JoinConfig::default()
+        })
+        .execute(&a, &b)
+    };
+    let str_run = run(TreeLoader::Str);
+    let inc_run = run(TreeLoader::Incremental);
+    assert_eq!(sorted(str_run.pairs), sorted(inc_run.pairs));
+    let (s, i) = (&str_run.stats, &inc_run.stats);
+    assert_eq!(s.mbr_join.candidates, i.mbr_join.candidates);
+    assert_eq!(s.filter_false_hits, i.filter_false_hits);
+    assert_eq!(s.filter_hits_progressive, i.filter_hits_progressive);
+    assert_eq!(s.exact_tests, i.exact_tests);
+    assert_eq!(s.exact_hits, i.exact_hits);
+    assert_eq!(s.exact_ops, i.exact_ops);
+}
+
+/// Per-step timings are populated and account for the pipeline: Step 0 is
+/// always nonzero (trees + stores were built), and the Step-2/3 sums are
+/// consistent with a join that classified and exact-tested candidates.
+#[test]
+fn per_step_timings_are_populated() {
+    let a = msj::datagen::small_carto(60, 24.0, 4021);
+    let b = msj::datagen::small_carto(60, 24.0, 4022);
+    for execution in [Execution::Serial, Execution::Fused { threads: 2 }] {
+        let config = JoinConfig {
+            execution,
+            ..JoinConfig::default()
+        };
+        let r = MultiStepJoin::new(config).execute(&a, &b);
+        assert!(r.stats.step0_nanos > 0, "{execution:?}: step0");
+        assert!(
+            r.stats.step2_nanos > 0,
+            "{execution:?}: candidates were classified"
+        );
+        assert!(
+            r.stats.step3_nanos > 0,
+            "{execution:?}: exact tests ran ({} tests)",
+            r.stats.exact_tests
+        );
+    }
+}
