@@ -21,8 +21,11 @@
 //!   search following the paper's restricted definition).
 //!
 //! Plus the [`false_area::false_area_test`] (§3.3), the quality metrics of
-//! Figures 4/8/9 ([`quality`]) and per-relation stores with the byte-level
-//! storage model of §3.4 ([`store`]).
+//! Figures 4/8/9 ([`quality`]), per-relation stores with the byte-level
+//! storage model of §3.4 ([`store`]), and the **raster-interval
+//! signatures** of the Step-2a pre-filter ([`raster`]): Hilbert-order
+//! FULL/PARTIAL cell intervals decided by a merge-intersect, combining a
+//! conservative and a progressive test in one bitwise-cheap stage.
 
 pub mod circle;
 pub mod ellipse;
@@ -34,6 +37,7 @@ pub mod mcorner;
 pub mod mec;
 pub mod mer;
 pub mod quality;
+pub mod raster;
 pub mod store;
 
 pub use circle::Circle;
@@ -53,6 +57,10 @@ pub use mer::{longest_horizontal_chord, max_enclosed_rect};
 pub use quality::{
     area_extension, area_extension_overhead, mbr_based_false_area, normalized_false_area,
     progressive_quality,
+};
+pub use raster::{
+    auto_grid_bits, hilbert_index, raster_decide, rasterize, CellClass, RasterDecision, RasterGrid,
+    RasterInterval, RasterSignature, RasterStore, MAX_GRID_BITS, MIN_GRID_BITS,
 };
 pub use store::{
     conservative_bytes, progressive_bytes, ConservativeStore, ConvexSlices, ProgressiveStore,

@@ -67,8 +67,25 @@ impl<'a> PreparedBaseline<'a> {
                     let mut pairs = Vec::new();
                     let mut stats = MultiStepStats::default();
                     let mut counts = OpCounts::new();
+                    let raster_active = filter.raster_active();
                     for &(a, b) in chunk {
-                        match filter.classify(a, b) {
+                        let outcome = filter.classify(a, b);
+                        // Undecided-by-raster bookkeeping (the stage saw
+                        // every candidate when active).
+                        if raster_active
+                            && !matches!(
+                                outcome,
+                                FilterOutcome::HitRaster | FilterOutcome::DropRaster
+                            )
+                        {
+                            stats.raster_inconclusive += 1;
+                        }
+                        match outcome {
+                            FilterOutcome::HitRaster => {
+                                stats.raster_hits += 1;
+                                pairs.push((a, b));
+                            }
+                            FilterOutcome::DropRaster => stats.raster_drops += 1,
                             FilterOutcome::FalseHit => stats.filter_false_hits += 1,
                             FilterOutcome::HitProgressive => {
                                 stats.filter_hits_progressive += 1;
@@ -109,6 +126,9 @@ impl<'a> PreparedBaseline<'a> {
         let mut pairs = Vec::new();
         for (p, s) in partials {
             pairs.extend(p);
+            stats.raster_hits += s.raster_hits;
+            stats.raster_drops += s.raster_drops;
+            stats.raster_inconclusive += s.raster_inconclusive;
             stats.filter_false_hits += s.filter_false_hits;
             stats.filter_hits_progressive += s.filter_hits_progressive;
             stats.filter_hits_false_area += s.filter_hits_false_area;
@@ -149,6 +169,15 @@ mod tests {
             assert_eq!(baseline.pairs, fused.pairs);
             assert_eq!(baseline.stats.exact_ops, fused.stats.exact_ops);
             assert_eq!(baseline.stats.exact_tests, serial.stats.exact_tests);
+            // Step-2a accounting holds on this executor too (raster is
+            // on in the default config).
+            let s = &baseline.stats;
+            assert_eq!(
+                s.raster_hits + s.raster_drops + s.raster_inconclusive,
+                s.mbr_join.candidates
+            );
+            assert_eq!(s.raster_hits, fused.stats.raster_hits);
+            assert_eq!(s.raster_inconclusive, fused.stats.raster_inconclusive);
             // The baseline materializes everything; the engine does not.
             assert_eq!(
                 baseline.stats.peak_buffered_candidates,

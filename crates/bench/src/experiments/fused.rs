@@ -18,6 +18,7 @@
 use super::ExpConfig;
 use crate::baseline::PreparedBaseline;
 use crate::report::{f, section, Table};
+use crate::timing::timed;
 use msj_core::{Backend, Execution, JoinConfig, JoinResult, MultiStepJoin};
 use msj_geom::Relation;
 use std::time::Instant;
@@ -62,22 +63,6 @@ fn backends() -> [(&'static str, Backend); 2] {
             },
         ),
     ]
-}
-
-/// Repetitions per timed cell; the minimum is reported (the runs are
-/// deterministic, so the minimum is the least-noise estimate).
-const REPS: usize = 3;
-
-fn timed(mut run: impl FnMut() -> JoinResult) -> (JoinResult, f64) {
-    let mut best = f64::INFINITY;
-    let mut result = None;
-    for _ in 0..REPS {
-        let start = Instant::now();
-        let r = run();
-        best = best.min(start.elapsed().as_secs_f64());
-        result = Some(r);
-    }
-    (result.expect("REPS >= 1"), best)
 }
 
 /// Asserts the agreement contract between one measured result and the

@@ -10,6 +10,7 @@ pub mod exactgeo;
 pub mod filters;
 pub mod fused;
 pub mod partitioned;
+pub mod raster;
 pub mod storage;
 pub mod total;
 
@@ -242,6 +243,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "fused",
             description: "execution engine: serial vs collect-then-chunk vs fused",
             run: fused::fused,
+        },
+        Experiment {
+            id: "raster",
+            description: "step-2a raster pre-filter: grid_bits sweep vs raster-off",
+            run: raster::raster,
         },
     ]
 }

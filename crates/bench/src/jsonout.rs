@@ -1,28 +1,48 @@
-//! Machine-readable benchmark output (`BENCH_pr3.json`).
+//! Machine-readable benchmark output (`BENCH_pr4.json`).
 //!
 //! Measures the batched hot path on the skewed cartographic workload —
-//! the PR-3 acceptance matrix — and emits one JSON document:
+//! the PR-3/PR-4 acceptance matrix — and emits one JSON document:
 //!
 //! * **Step 1** (`"step1"` records): candidates/sec per backend × Step-0
 //!   loader (index construction + candidate streaming);
 //! * **Steps 1–3** (`"join"` records): pairs/sec and filter throughput
 //!   per backend × loader × execution mode, including the preserved
 //!   collect-then-chunk baseline and the per-pair (`batch=1`) protocol;
+//! * **Step 2a** (`"raster"` records): the raster pre-filter swept over
+//!   `grid_bits` ∈ {off, auto, 6, 8, 10} — decided fraction, hit/drop/
+//!   inconclusive counts, stage time;
 //! * the agreement verdict: every measured cell must produce the
 //!   identical canonically sorted response set.
+//!
+//! Throughput fields are **omitted** when the corresponding stage did
+//! not run in a cell (schema `msj-bench-pr4`; earlier schemas emitted a
+//! misleading `0`).
 //!
 //! No serde in this workspace (offline vendored deps only), so the JSON
 //! is emitted by hand — flat records, numbers and strings only.
 
 use crate::baseline::PreparedBaseline;
+use crate::experiments::raster::{resolved_grid_bits, SWEEP};
 use crate::experiments::ExpConfig;
+use crate::timing::timed;
 use msj_core::{
     join_source, Backend, Execution, JoinConfig, JoinResult, MultiStepJoin, TreeLoader,
 };
 use msj_geom::Relation;
 use std::time::Instant;
 
-/// One flat measurement record.
+/// Step-2a cell payload of a `"raster"` record.
+struct RasterCell {
+    grid_bits: u32,
+    hits: u64,
+    drops: u64,
+    inconclusive: u64,
+    decided_fraction: f64,
+    step2a_millis: f64,
+}
+
+/// One flat measurement record. Optional fields are omitted from the
+/// JSON when their stage did not run.
 struct Record {
     experiment: &'static str,
     backend: &'static str,
@@ -32,20 +52,24 @@ struct Record {
     millis: f64,
     candidates: u64,
     candidates_per_sec: f64,
-    pairs_per_sec: f64,
-    filter_candidates_per_sec: f64,
+    /// `None` for step-1-only cells (no join ran).
+    pairs_per_sec: Option<f64>,
+    /// `None` when the executor did not time its filter step (the
+    /// collect-then-chunk baseline predates the per-step counters) or no
+    /// filter ran.
+    filter_candidates_per_sec: Option<f64>,
     peak_buffered: u64,
+    /// Present on `"raster"` records with the stage enabled.
+    raster: Option<RasterCell>,
 }
 
 impl Record {
     fn to_json(&self) -> String {
-        format!(
+        let mut s = format!(
             concat!(
                 "{{\"experiment\":\"{}\",\"backend\":\"{}\",\"loader\":\"{}\",",
                 "\"mode\":\"{}\",\"threads\":{},\"millis\":{:.3},",
-                "\"candidates\":{},\"candidates_per_sec\":{:.0},",
-                "\"pairs_per_sec\":{:.0},\"filter_candidates_per_sec\":{:.0},",
-                "\"peak_buffered\":{}}}"
+                "\"candidates\":{},\"candidates_per_sec\":{:.0}"
             ),
             self.experiment,
             self.backend,
@@ -55,28 +79,32 @@ impl Record {
             self.millis,
             self.candidates,
             self.candidates_per_sec,
-            self.pairs_per_sec,
-            self.filter_candidates_per_sec,
-            self.peak_buffered,
-        )
+        );
+        if let Some(v) = self.pairs_per_sec {
+            s.push_str(&format!(",\"pairs_per_sec\":{v:.0}"));
+        }
+        if let Some(v) = self.filter_candidates_per_sec {
+            s.push_str(&format!(",\"filter_candidates_per_sec\":{v:.0}"));
+        }
+        s.push_str(&format!(",\"peak_buffered\":{}", self.peak_buffered));
+        if let Some(r) = &self.raster {
+            s.push_str(&format!(
+                concat!(
+                    ",\"raster_grid_bits\":{},\"raster_hits\":{},",
+                    "\"raster_drops\":{},\"raster_inconclusive\":{},",
+                    "\"raster_decided_fraction\":{:.4},\"step2a_millis\":{:.3}"
+                ),
+                r.grid_bits, r.hits, r.drops, r.inconclusive, r.decided_fraction, r.step2a_millis,
+            ));
+        }
+        s.push('}');
+        s
     }
 }
 
-/// Repetitions per timed cell (deterministic runs → minimum is the
-/// least-noise estimate).
-const REPS: usize = 3;
-
-fn timed(mut run: impl FnMut() -> JoinResult) -> (JoinResult, f64) {
-    let mut best = f64::INFINITY;
-    let mut result = None;
-    for _ in 0..REPS {
-        let start = Instant::now();
-        let r = run();
-        best = best.min(start.elapsed().as_secs_f64());
-        result = Some(r);
-    }
-    (result.expect("REPS >= 1"), best)
-}
+/// Repetitions per cold (untimed-helper) measurement, matching
+/// [`crate::timing::REPS`].
+const REPS: usize = crate::timing::REPS;
 
 fn loader_name(loader: TreeLoader) -> &'static str {
     match loader {
@@ -94,13 +122,6 @@ fn join_record(
     secs: f64,
 ) -> Record {
     let s = &result.stats;
-    // 0 when the executor did not time its filter step (the
-    // collect-then-chunk baseline predates the per-step counters).
-    let filter_throughput = if s.step2_nanos == 0 {
-        0.0
-    } else {
-        s.mbr_join.candidates as f64 / (s.step2_nanos as f64 / 1e9)
-    };
     Record {
         experiment: "join",
         backend,
@@ -110,17 +131,29 @@ fn join_record(
         millis: secs * 1e3,
         candidates: s.mbr_join.candidates,
         candidates_per_sec: s.mbr_join.candidates as f64 / secs.max(1e-12),
-        pairs_per_sec: s.result_pairs as f64 / secs.max(1e-12),
-        filter_candidates_per_sec: filter_throughput,
+        pairs_per_sec: Some(s.result_pairs as f64 / secs.max(1e-12)),
+        filter_candidates_per_sec: (s.step2_nanos > 0)
+            .then(|| s.mbr_join.candidates as f64 / (s.step2_nanos as f64 / 1e9)),
         peak_buffered: s.peak_buffered_candidates,
+        raster: None,
     }
 }
 
-/// Runs the measurement matrix and renders the JSON document.
+/// The sections a [`bench_json_only`] filter can select.
+pub const SECTIONS: [&str; 3] = ["step1", "join", "raster"];
+
+/// Runs the full measurement matrix and renders the JSON document.
 pub fn bench_json(cfg: &ExpConfig) -> String {
+    bench_json_only(cfg, None)
+}
+
+/// Like [`bench_json`], restricted to one section (`"step1"`, `"join"`
+/// or `"raster"`) when `only` is set — the `repro --only` fast path.
+pub fn bench_json_only(cfg: &ExpConfig, only: Option<&str>) -> String {
     let n = cfg.large_count() / 2;
     let a = msj_datagen::skewed_carto(n, 24.0, cfg.seed);
     let b = msj_datagen::skewed_carto(n, 24.0, cfg.seed + 1);
+    let want = |section: &str| only.is_none_or(|o| o == section);
 
     let grid_tiles = match Backend::partitioned_auto() {
         Backend::PartitionedSweep { tiles_per_axis, .. } => tiles_per_axis,
@@ -152,118 +185,155 @@ pub fn bench_json(cfg: &ExpConfig) -> String {
     // Step-1 throughput: backend × loader, construction + streaming.
     // The loader only affects the R*-tree backend (the grid builds no
     // trees), so grid cells are measured once.
-    for (backend_name, backend) in backends {
-        for loader in loaders {
-            if backend_name != "rstar" && loader != TreeLoader::Str {
-                continue;
+    if want("step1") {
+        for (backend_name, backend) in backends {
+            for loader in loaders {
+                if backend_name != "rstar" && loader != TreeLoader::Str {
+                    continue;
+                }
+                let config = JoinConfig {
+                    backend,
+                    loader,
+                    ..JoinConfig::default()
+                };
+                // Minimum over REPS cold construct+stream runs, like the
+                // join cells (the runs are deterministic).
+                let mut secs = f64::INFINITY;
+                let mut stats = msj_core::Step1Stats::default();
+                for _ in 0..REPS {
+                    let start = Instant::now();
+                    let mut source = join_source(&config, &a, &b);
+                    stats = source.stream_candidates(&mut |_, _| {});
+                    secs = secs.min(start.elapsed().as_secs_f64().max(1e-12));
+                }
+                records.push(Record {
+                    experiment: "step1",
+                    backend: backend_name,
+                    loader: loader_name(loader),
+                    mode: "construct+stream".into(),
+                    threads: 1,
+                    millis: secs * 1e3,
+                    candidates: stats.join.candidates,
+                    candidates_per_sec: stats.join.candidates as f64 / secs,
+                    pairs_per_sec: None,
+                    filter_candidates_per_sec: None,
+                    peak_buffered: stats.peak_buffered,
+                    raster: None,
+                });
             }
-            let config = JoinConfig {
-                backend,
-                loader,
-                ..JoinConfig::default()
-            };
-            // Minimum over REPS cold construct+stream runs, like the
-            // join cells (the runs are deterministic).
-            let mut secs = f64::INFINITY;
-            let mut stats = msj_core::Step1Stats::default();
-            for _ in 0..REPS {
-                let start = Instant::now();
-                let mut source = join_source(&config, &a, &b);
-                stats = source.stream_candidates(&mut |_, _| {});
-                secs = secs.min(start.elapsed().as_secs_f64().max(1e-12));
-            }
-            records.push(Record {
-                experiment: "step1",
-                backend: backend_name,
-                loader: loader_name(loader),
-                mode: "construct+stream".into(),
-                threads: 1,
-                millis: secs * 1e3,
-                candidates: stats.join.candidates,
-                candidates_per_sec: stats.join.candidates as f64 / secs,
-                pairs_per_sec: 0.0,
-                filter_candidates_per_sec: 0.0,
-                peak_buffered: stats.peak_buffered,
-            });
         }
     }
 
     // Steps 1–3: backend × loader × execution mode (grid cells once, as
     // above).
-    for (backend_name, backend) in backends {
-        for loader in loaders {
-            if backend_name != "rstar" && loader != TreeLoader::Str {
-                continue;
-            }
-            let base = JoinConfig {
-                backend,
-                loader,
-                ..JoinConfig::default()
-            };
-            let mut prepared = MultiStepJoin::new(base).prepare(&a, &b);
-            let _ = prepared.run_with(Execution::Serial); // warm-up
-            let (serial, serial_secs) = timed(|| prepared.run_with(Execution::Serial));
-            check(
-                &serial,
-                &format!("{backend_name}/{}/serial", loader_name(loader)),
-            );
-            records.push(join_record(
-                backend_name,
-                loader,
-                "serial".into(),
-                1,
-                &serial,
-                serial_secs,
-            ));
-            for threads in [1usize, 4] {
-                let (fused, fused_secs) = timed(|| prepared.run_with(Execution::Fused { threads }));
+    if want("join") {
+        for (backend_name, backend) in backends {
+            for loader in loaders {
+                if backend_name != "rstar" && loader != TreeLoader::Str {
+                    continue;
+                }
+                let base = JoinConfig {
+                    backend,
+                    loader,
+                    ..JoinConfig::default()
+                };
+                let mut prepared = MultiStepJoin::new(base).prepare(&a, &b);
+                let _ = prepared.run_with(Execution::Serial); // warm-up
+                let (serial, serial_secs) = timed(|| prepared.run_with(Execution::Serial));
                 check(
-                    &fused,
-                    &format!("{backend_name}/{}/fused x{threads}", loader_name(loader)),
+                    &serial,
+                    &format!("{backend_name}/{}/serial", loader_name(loader)),
                 );
                 records.push(join_record(
                     backend_name,
                     loader,
-                    "fused".into(),
-                    threads,
-                    &fused,
-                    fused_secs,
+                    "serial".into(),
+                    1,
+                    &serial,
+                    serial_secs,
                 ));
+                for threads in [1usize, 4] {
+                    let (fused, fused_secs) =
+                        timed(|| prepared.run_with(Execution::Fused { threads }));
+                    check(
+                        &fused,
+                        &format!("{backend_name}/{}/fused x{threads}", loader_name(loader)),
+                    );
+                    records.push(join_record(
+                        backend_name,
+                        loader,
+                        "fused".into(),
+                        threads,
+                        &fused,
+                        fused_secs,
+                    ));
+                }
+                // The per-pair protocol (batch=1) and the collect-then-chunk
+                // baseline, measured for the default loader only — they vary
+                // the execution, not Step 0.
+                if loader == TreeLoader::Str {
+                    let per_pair = JoinConfig {
+                        batch_pairs: 1,
+                        ..base
+                    };
+                    let mut per_pair_prepared = MultiStepJoin::new(per_pair).prepare(&a, &b);
+                    let _ = per_pair_prepared.run_with(Execution::Serial);
+                    let (unbatched, unbatched_secs) =
+                        timed(|| per_pair_prepared.run_with(Execution::Fused { threads: 4 }));
+                    check(&unbatched, &format!("{backend_name}/str/batch1"));
+                    records.push(join_record(
+                        backend_name,
+                        loader,
+                        "fused-batch1".into(),
+                        4,
+                        &unbatched,
+                        unbatched_secs,
+                    ));
+                    let mut baseline = PreparedBaseline::new(&a, &b, &base, 4);
+                    let _ = baseline.run();
+                    let (baseline_result, baseline_secs) = timed(|| baseline.run());
+                    check(&baseline_result, &format!("{backend_name}/str/baseline"));
+                    records.push(join_record(
+                        backend_name,
+                        loader,
+                        "collect-chunk".into(),
+                        4,
+                        &baseline_result,
+                        baseline_secs,
+                    ));
+                }
             }
-            // The per-pair protocol (batch=1) and the collect-then-chunk
-            // baseline, measured for the default loader only — they vary
-            // the execution, not Step 0.
-            if loader == TreeLoader::Str {
-                let per_pair = JoinConfig {
-                    batch_pairs: 1,
-                    ..base
-                };
-                let mut per_pair_prepared = MultiStepJoin::new(per_pair).prepare(&a, &b);
-                let _ = per_pair_prepared.run_with(Execution::Serial);
-                let (unbatched, unbatched_secs) =
-                    timed(|| per_pair_prepared.run_with(Execution::Fused { threads: 4 }));
-                check(&unbatched, &format!("{backend_name}/str/batch1"));
-                records.push(join_record(
-                    backend_name,
-                    loader,
-                    "fused-batch1".into(),
-                    4,
-                    &unbatched,
-                    unbatched_secs,
-                ));
-                let mut baseline = PreparedBaseline::new(&a, &b, &base, 4);
-                let _ = baseline.run();
-                let (baseline_result, baseline_secs) = timed(|| baseline.run());
-                check(&baseline_result, &format!("{backend_name}/str/baseline"));
-                records.push(join_record(
-                    backend_name,
-                    loader,
-                    "collect-chunk".into(),
-                    4,
-                    &baseline_result,
-                    baseline_secs,
-                ));
-            }
+        }
+    }
+
+    // Step 2a: the raster pre-filter sweep (the same cells as the
+    // `raster` experiment), fused ×4 on the default backend. Every cell
+    // must reproduce the same response set (the PR-4 acceptance
+    // criterion).
+    if want("raster") {
+        for (label, raster) in SWEEP {
+            let config = JoinConfig {
+                raster,
+                ..JoinConfig::default()
+            };
+            let mut prepared = MultiStepJoin::new(config).prepare(&a, &b);
+            let _ = prepared.run_with(Execution::Fused { threads: 4 });
+            let (result, secs) = timed(|| prepared.run_with(Execution::Fused { threads: 4 }));
+            let mode = format!("raster-{label}");
+            check(&result, &format!("raster/{mode}"));
+            let s = &result.stats;
+            let mut rec = join_record("rstar", TreeLoader::Str, mode, 4, &result, secs);
+            rec.experiment = "raster";
+            rec.raster = raster.enabled.then(|| RasterCell {
+                // Report the *resolved* resolution for auto-sized cells.
+                grid_bits: resolved_grid_bits(raster, &a, &b),
+                hits: s.raster_hits,
+                drops: s.raster_drops,
+                inconclusive: s.raster_inconclusive,
+                decided_fraction: s.raster_decided_fraction(),
+                step2a_millis: s.step2a_nanos as f64 / 1e6,
+            });
+            records.push(rec);
         }
     }
 
@@ -273,7 +343,7 @@ pub fn bench_json(cfg: &ExpConfig) -> String {
 fn render(cfg: &ExpConfig, a: &Relation, b: &Relation, records: &[Record]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"msj-bench-pr3\",\n");
+    out.push_str("  \"schema\": \"msj-bench-pr4\",\n");
     out.push_str("  \"workload\": \"skewed_carto\",\n");
     out.push_str(&format!("  \"objects_a\": {},\n", a.len()));
     out.push_str(&format!("  \"objects_b\": {},\n", b.len()));
@@ -308,15 +378,19 @@ mod tests {
         };
         let json = bench_json(&cfg);
         for needle in [
-            "\"schema\": \"msj-bench-pr3\"",
+            "\"schema\": \"msj-bench-pr4\"",
             "\"experiment\":\"step1\"",
             "\"experiment\":\"join\"",
+            "\"experiment\":\"raster\"",
             "\"loader\":\"str\"",
             "\"loader\":\"incremental\"",
             "\"mode\":\"fused\"",
             "\"mode\":\"fused-batch1\"",
             "\"mode\":\"collect-chunk\"",
+            "\"mode\":\"raster-off\"",
+            "\"mode\":\"raster-b8\"",
             "\"backend\":\"grid\"",
+            "\"raster_decided_fraction\":",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
@@ -326,5 +400,42 @@ mod tests {
             json.matches('}').count(),
             "unbalanced braces"
         );
+        // Omitted-when-absent: step1 cells carry no join/filter
+        // throughput, collect-chunk cells no filter throughput, and the
+        // raster-off cell no raster payload.
+        for line in json.lines() {
+            if line.contains("\"experiment\":\"step1\"") {
+                assert!(!line.contains("pairs_per_sec"), "step1 cell: {line}");
+                assert!(
+                    !line.contains("filter_candidates_per_sec"),
+                    "step1 cell: {line}"
+                );
+            }
+            if line.contains("\"mode\":\"collect-chunk\"") {
+                assert!(
+                    !line.contains("filter_candidates_per_sec"),
+                    "baseline never timed its filter: {line}"
+                );
+            }
+            if line.contains("\"mode\":\"raster-off\"") {
+                assert!(!line.contains("raster_grid_bits"), "off cell: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn only_filter_restricts_the_sections() {
+        let cfg = ExpConfig {
+            seed: 3,
+            scale: Scale::Quick,
+        };
+        let json = bench_json_only(&cfg, Some("raster"));
+        assert!(json.contains("\"experiment\":\"raster\""));
+        assert!(!json.contains("\"experiment\":\"step1\""));
+        assert!(!json.contains("\"experiment\":\"join\""));
+        // The raster sweep still verifies on/off agreement internally
+        // (the check closure compares every cell against the first).
+        assert!(json.contains("\"mode\":\"raster-off\""));
+        assert!(json.contains("\"mode\":\"raster-b10\""));
     }
 }

@@ -14,8 +14,9 @@ pub mod data;
 pub mod experiments;
 pub mod jsonout;
 pub mod report;
+mod timing;
 
 pub use baseline::collect_then_chunk_join;
 pub use data::SeriesData;
 pub use experiments::{registry, ExpConfig, Experiment, Scale};
-pub use jsonout::bench_json;
+pub use jsonout::{bench_json, bench_json_only};

@@ -58,6 +58,51 @@ pub enum TreeLoader {
 /// chunk of the fused R*-traversal fan-out).
 pub const DEFAULT_BATCH_PAIRS: usize = 1024;
 
+/// Configuration of the **Step-2a raster pre-filter**
+/// ([`msj_approx::raster`]): Hilbert-interval signatures decided by a
+/// merge-intersect, run on every candidate batch *before* the
+/// conservative/progressive approximation chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RasterConfig {
+    /// Whether the stage runs at all. On by default: the stage decides
+    /// the majority of candidates for a few bitwise comparisons each.
+    pub enabled: bool,
+    /// `log2` of the grid cells per axis. `0` (the default) auto-sizes
+    /// from the workload via [`msj_approx::auto_grid_bits`] — the §5
+    /// cost-model tradeoff between decided candidates and signature
+    /// bytes. Explicit values are clamped to
+    /// [`msj_approx::MIN_GRID_BITS`]`..=`[`msj_approx::MAX_GRID_BITS`].
+    pub grid_bits: u32,
+}
+
+impl Default for RasterConfig {
+    fn default() -> Self {
+        RasterConfig {
+            enabled: true,
+            grid_bits: 0,
+        }
+    }
+}
+
+impl RasterConfig {
+    /// The stage disabled (candidates go straight to the conservative
+    /// test, the pre-PR-4 behavior).
+    pub const fn off() -> Self {
+        RasterConfig {
+            enabled: false,
+            grid_bits: 0,
+        }
+    }
+
+    /// Enabled at an explicit grid resolution (`0` = auto-size).
+    pub const fn with_bits(grid_bits: u32) -> Self {
+        RasterConfig {
+            enabled: true,
+            grid_bits,
+        }
+    }
+}
+
 /// Complete configuration of one spatial-join execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JoinConfig {
@@ -77,6 +122,10 @@ pub struct JoinConfig {
     /// Whether to run the false-area test (§3.3) on candidates that the
     /// progressive test could not identify.
     pub false_area_test: bool,
+    /// The Step-2a raster-interval pre-filter. Enabled by default; the
+    /// response set is identical either way (the stage only decides
+    /// candidates it can prove).
+    pub raster: RasterConfig,
     /// Exact geometry algorithm for the final step.
     pub exact: ExactAlgorithm,
     /// How Steps 2–3 are scheduled relative to Step 1: serially on the
@@ -107,6 +156,7 @@ impl Default for JoinConfig {
             conservative: Some(ConservativeKind::FiveCorner),
             progressive: Some(ProgressiveKind::Mer),
             false_area_test: false,
+            raster: RasterConfig::default(),
             exact: ExactAlgorithm::TrStar { max_entries: 3 },
             execution: Execution::Serial,
             loader: TreeLoader::Str,
@@ -116,13 +166,15 @@ impl Default for JoinConfig {
 }
 
 impl JoinConfig {
-    /// §5 "version 1": no additional approximations, plane-sweep exact
-    /// step.
+    /// §5 "version 1": no additional approximations (and no raster
+    /// signatures — this version models the filterless join, every
+    /// candidate reaching the exact step), plane-sweep exact step.
     pub fn version1() -> Self {
         JoinConfig {
             conservative: None,
             progressive: None,
             false_area_test: false,
+            raster: RasterConfig::off(),
             exact: ExactAlgorithm::PlaneSweep { restrict: true },
             ..JoinConfig::default()
         }
@@ -208,6 +260,18 @@ mod tests {
         assert_eq!(TreeLoader::default(), TreeLoader::Str);
         assert_eq!(c.batch_pairs, DEFAULT_BATCH_PAIRS);
         assert!(c.batch_pairs >= 1);
+    }
+
+    #[test]
+    fn raster_defaults_on_with_auto_sizing() {
+        let c = JoinConfig::default();
+        assert!(c.raster.enabled);
+        assert_eq!(c.raster.grid_bits, 0, "0 = auto-size");
+        // Version 1 models the filterless join: no raster either.
+        assert!(!JoinConfig::version1().raster.enabled);
+        assert_eq!(RasterConfig::with_bits(8).grid_bits, 8);
+        assert!(RasterConfig::with_bits(8).enabled);
+        assert!(!RasterConfig::off().enabled);
     }
 
     #[test]

@@ -124,6 +124,11 @@ impl FusedSink<'_> {
     #[inline]
     fn apply(&mut self, id_a: ObjectId, id_b: ObjectId, outcome: FilterOutcome) {
         match outcome {
+            FilterOutcome::HitRaster => {
+                self.stats.raster_hits += 1;
+                self.pairs.push((id_a, id_b));
+            }
+            FilterOutcome::DropRaster => self.stats.raster_drops += 1,
             FilterOutcome::FalseHit => self.stats.filter_false_hits += 1,
             FilterOutcome::HitProgressive => {
                 self.stats.filter_hits_progressive += 1;
@@ -156,15 +161,22 @@ impl PairSink for FusedSink<'_> {
     }
 
     fn consume_batch(&mut self, batch: &[(ObjectId, ObjectId)]) {
-        // Step 2, batch-wide: one compiled-plan dispatch for the run.
+        // Step 2, batch-wide: one compiled-plan dispatch for the run
+        // (the raster prepass reports its own share of the time).
         let mut outcomes = std::mem::take(&mut self.outcomes);
         let t_filter = Instant::now();
-        self.owner.filter.classify_batch(batch, &mut outcomes);
+        self.stats.step2a_nanos += self.owner.filter.classify_batch(batch, &mut outcomes);
         self.stats.step2_nanos += t_filter.elapsed().as_nanos() as u64;
         // Step 3 (plus cheap bookkeeping) for the whole batch.
         let t_exact = Instant::now();
+        let raster_decided_before = self.stats.raster_hits + self.stats.raster_drops;
         for (&(id_a, id_b), &outcome) in batch.iter().zip(&outcomes) {
             self.apply(id_a, id_b, outcome);
+        }
+        if self.owner.filter.raster_active() {
+            let decided = self.stats.raster_hits + self.stats.raster_drops;
+            self.stats.raster_inconclusive +=
+                batch.len() as u64 - (decided - raster_decided_before);
         }
         self.stats.step3_nanos += t_exact.elapsed().as_nanos() as u64;
         self.outcomes = outcomes;
@@ -237,6 +249,9 @@ impl<'a> PreparedJoin<'a> {
             } else {
                 pairs.extend(p);
             }
+            stats.raster_hits += s.raster_hits;
+            stats.raster_drops += s.raster_drops;
+            stats.raster_inconclusive += s.raster_inconclusive;
             stats.filter_false_hits += s.filter_false_hits;
             stats.filter_hits_progressive += s.filter_hits_progressive;
             stats.filter_hits_false_area += s.filter_hits_false_area;
@@ -244,6 +259,7 @@ impl<'a> PreparedJoin<'a> {
             stats.exact_hits += s.exact_hits;
             stats.exact_ops.merge(&s.exact_ops);
             stats.step2_nanos += s.step2_nanos;
+            stats.step2a_nanos += s.step2a_nanos;
             stats.step3_nanos += s.step3_nanos;
         }
         if fused {

@@ -4,25 +4,46 @@
 //! approximations into *hits* (certainly intersecting), *false hits*
 //! (certainly disjoint) and remaining *candidates* for the exact step.
 //!
+//! ## Step 2a: the raster pre-filter
+//!
+//! When [`crate::config::RasterConfig`] is enabled (the default), every
+//! candidate batch first runs through the **raster-interval signature
+//! stage** ([`msj_approx::raster`]): a merge-intersect of two sorted
+//! Hilbert-interval lists that proves intersection (a FULL cell shared
+//! with any cell of the partner), proves disjointness (no shared cells),
+//! or falls through. The stage touches only the flat interval arenas —
+//! the convex/MER columns are never loaded for candidates it decides —
+//! and both relations are rasterized on one shared grid built in Step 0.
+//!
 //! ## The compiled plan
 //!
-//! The test chain — conservative → progressive → (optional) false-area —
-//! is fixed per *join*, not per candidate: the configured approximation
-//! kinds decide it once. The filter therefore compiles a [`FilterPlan`]
-//! when it is built and [`GeometricFilter::classify_batch`] runs the
-//! chain as a monomorphized loop over the columnar store payloads
-//! (`msj-approx`'s flat convex arena / MER rectangle column) — one plan
-//! dispatch per batch instead of four `Option`/enum branches per
-//! candidate. Per-pair [`GeometricFilter::classify`] remains as the
-//! reference chain; the two are outcome-identical by construction (and by
-//! test).
+//! The test chain — raster → conservative → progressive → (optional)
+//! false-area — is fixed per *join*, not per candidate: the configured
+//! approximation kinds decide it once. The filter therefore compiles a
+//! [`FilterPlan`] when it is built and
+//! [`GeometricFilter::classify_batch`] runs the chain as a monomorphized
+//! loop over the columnar store payloads (`msj-approx`'s interval arena /
+//! flat convex arena / MER rectangle column) — one plan dispatch per
+//! batch instead of four `Option`/enum branches per candidate. Per-pair
+//! [`GeometricFilter::classify`] remains as the reference chain; the two
+//! are outcome-identical by construction (and by test).
 
-use msj_approx::{ConservativeKind, ConservativeStore, ProgressiveKind, ProgressiveStore};
+use msj_approx::{
+    auto_grid_bits, raster_decide, ConservativeKind, ConservativeStore, ProgressiveKind,
+    ProgressiveStore, RasterDecision, RasterGrid, RasterStore, MAX_GRID_BITS, MIN_GRID_BITS,
+};
 use msj_geom::{convex_intersect, ObjectId, Relation};
+use std::time::Instant;
 
 /// Classification of one candidate pair by the geometric filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FilterOutcome {
+    /// Step 2a: the raster signatures share a FULL cell → objects
+    /// intersect.
+    HitRaster,
+    /// Step 2a: the raster signatures share no cell → objects are
+    /// disjoint.
+    DropRaster,
     /// Conservative approximations are disjoint → objects are disjoint.
     FalseHit,
     /// Progressive approximations intersect → objects intersect.
@@ -56,6 +77,9 @@ pub enum FilterPlan {
 /// The geometric filter: per-relation columnar approximation stores, the
 /// configured tests, and the plan compiled from them.
 pub struct GeometricFilter {
+    /// Step-2a raster signatures, both relations on one shared grid.
+    raster_a: Option<RasterStore>,
+    raster_b: Option<RasterStore>,
     conservative_a: Option<ConservativeStore>,
     conservative_b: Option<ConservativeStore>,
     progressive_a: Option<ProgressiveStore>,
@@ -66,7 +90,9 @@ pub struct GeometricFilter {
 
 impl GeometricFilter {
     /// Precomputes the configured approximations for both relations and
-    /// compiles the filter plan.
+    /// compiles the filter plan. No raster stage — attach one with
+    /// [`GeometricFilter::with_raster`] or go through
+    /// [`GeometricFilter::from_config`].
     pub fn build(
         rel_a: &Relation,
         rel_b: &Relation,
@@ -75,6 +101,8 @@ impl GeometricFilter {
         use_false_area: bool,
     ) -> Self {
         let mut filter = GeometricFilter {
+            raster_a: None,
+            raster_b: None,
             conservative_a: conservative.map(|k| ConservativeStore::build(k, rel_a)),
             conservative_b: conservative.map(|k| ConservativeStore::build(k, rel_b)),
             progressive_a: progressive.map(|k| ProgressiveStore::build(k, rel_a)),
@@ -86,11 +114,28 @@ impl GeometricFilter {
         filter
     }
 
+    /// Attaches the Step-2a raster stage: both relations rasterized on
+    /// one shared grid (`grid_bits == 0` auto-sizes from the workload,
+    /// explicit values are clamped to the supported range). A no-op for
+    /// empty workspaces.
+    pub fn with_raster(mut self, rel_a: &Relation, rel_b: &Relation, grid_bits: u32) -> Self {
+        let bits = if grid_bits == 0 {
+            auto_grid_bits(rel_a, rel_b)
+        } else {
+            grid_bits.clamp(MIN_GRID_BITS, MAX_GRID_BITS)
+        };
+        if let Some(grid) = RasterGrid::covering(rel_a, rel_b, bits) {
+            self.raster_a = Some(RasterStore::build(&grid, rel_a));
+            self.raster_b = Some(RasterStore::build(&grid, rel_b));
+        }
+        self
+    }
+
     /// The filter a [`crate::JoinConfig`] asks for: built stores when any
-    /// approximation is configured, [`GeometricFilter::disabled`]
-    /// otherwise.
+    /// approximation is configured, the raster stage when enabled,
+    /// [`GeometricFilter::disabled`] otherwise.
     pub fn from_config(config: &crate::JoinConfig, rel_a: &Relation, rel_b: &Relation) -> Self {
-        if config.conservative.is_some() || config.progressive.is_some() {
+        let filter = if config.conservative.is_some() || config.progressive.is_some() {
             GeometricFilter::build(
                 rel_a,
                 rel_b,
@@ -100,6 +145,11 @@ impl GeometricFilter {
             )
         } else {
             GeometricFilter::disabled()
+        };
+        if config.raster.enabled {
+            filter.with_raster(rel_a, rel_b, config.raster.grid_bits)
+        } else {
+            filter
         }
     }
 
@@ -107,6 +157,8 @@ impl GeometricFilter {
     /// exact step).
     pub fn disabled() -> Self {
         GeometricFilter {
+            raster_a: None,
+            raster_b: None,
             conservative_a: None,
             conservative_b: None,
             progressive_a: None,
@@ -147,17 +199,46 @@ impl GeometricFilter {
         self.plan
     }
 
+    /// Whether the Step-2a raster stage runs (signatures built for both
+    /// relations).
+    pub fn raster_active(&self) -> bool {
+        self.raster_a.is_some() && self.raster_b.is_some()
+    }
+
+    /// The raster stores, when the stage is active (Step-0 reporting).
+    pub fn raster_stores(&self) -> Option<(&RasterStore, &RasterStore)> {
+        match (&self.raster_a, &self.raster_b) {
+            (Some(a), Some(b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+
     /// Classifies one candidate pair.
     ///
-    /// Test order follows the paper: the cheap conservative test first
-    /// (§3.2 — most disjoint pairs die here), then the progressive hit
-    /// test (§3.3), then optionally the false-area test (§3.3 notes it
-    /// adds almost nothing once progressive approximations are stored).
+    /// Test order follows the paper, extended by Step 2a: the raster
+    /// signature test first (bitwise-cheap, decides both directions),
+    /// then the conservative test (§3.2 — most surviving disjoint pairs
+    /// die here), then the progressive hit test (§3.3), then optionally
+    /// the false-area test (§3.3 notes it adds almost nothing once
+    /// progressive approximations are stored).
     ///
     /// This is the reference chain;
     /// [`classify_batch`](GeometricFilter::classify_batch) produces
     /// identical outcomes.
     pub fn classify(&self, id_a: ObjectId, id_b: ObjectId) -> FilterOutcome {
+        if let (Some(ra), Some(rb)) = (&self.raster_a, &self.raster_b) {
+            match raster_decide(ra.signature(id_a), rb.signature(id_b)) {
+                RasterDecision::Hit => return FilterOutcome::HitRaster,
+                RasterDecision::Drop => return FilterOutcome::DropRaster,
+                RasterDecision::Inconclusive => {}
+            }
+        }
+        self.classify_chain(id_a, id_b)
+    }
+
+    /// The approximation chain of Step 2b (conservative → progressive →
+    /// false-area), without the raster prepass.
+    fn classify_chain(&self, id_a: ObjectId, id_b: ObjectId) -> FilterOutcome {
         if let (Some(ca), Some(cb)) = (&self.conservative_a, &self.conservative_b) {
             if !ca.view(id_a).intersects(&cb.view(id_b)) {
                 return FilterOutcome::FalseHit;
@@ -179,19 +260,57 @@ impl GeometricFilter {
     }
 
     /// Classifies a batch of candidate pairs into `out` (cleared first;
-    /// `out[i]` is the outcome of `pairs[i]`).
+    /// `out[i]` is the outcome of `pairs[i]`). Returns the nanoseconds
+    /// the Step-2a raster stage spent on the batch (0 when inactive) —
+    /// the engine accumulates it into
+    /// [`crate::MultiStepStats::step2a_nanos`].
     ///
-    /// Runs the compiled [`FilterPlan`]: the plan dispatch and the column
-    /// lookups happen once per batch, and the per-pair loop reads the
-    /// columnar payloads directly — outcome-identical to calling
-    /// [`classify`](GeometricFilter::classify) per pair.
-    pub fn classify_batch(&self, pairs: &[(ObjectId, ObjectId)], out: &mut Vec<FilterOutcome>) {
+    /// When the raster stage is active it runs first as its own loop
+    /// over the whole batch — a merge-intersect of interval slices per
+    /// pair, the convex/MER columns untouched — and only the undecided
+    /// remainder reaches the compiled [`FilterPlan`]: the plan dispatch
+    /// and the column lookups happen once per batch, and the per-pair
+    /// loop reads the columnar payloads directly — outcome-identical to
+    /// calling [`classify`](GeometricFilter::classify) per pair.
+    pub fn classify_batch(
+        &self,
+        pairs: &[(ObjectId, ObjectId)],
+        out: &mut Vec<FilterOutcome>,
+    ) -> u64 {
         out.clear();
         out.reserve(pairs.len());
-        match self.plan {
-            FilterPlan::Passthrough => {
-                out.extend(std::iter::repeat_n(FilterOutcome::Candidate, pairs.len()));
+        let step2a_nanos = match (&self.raster_a, &self.raster_b) {
+            (Some(ra), Some(rb)) => {
+                // Step 2a: the raster loop decides in place; undecided
+                // slots stay `Candidate` (a raster-decided slot is never
+                // `Candidate`, so the fill below is unambiguous).
+                let t_raster = Instant::now();
+                out.extend(pairs.iter().map(|&(id_a, id_b)| {
+                    match raster_decide(ra.signature(id_a), rb.signature(id_b)) {
+                        RasterDecision::Hit => FilterOutcome::HitRaster,
+                        RasterDecision::Drop => FilterOutcome::DropRaster,
+                        RasterDecision::Inconclusive => FilterOutcome::Candidate,
+                    }
+                }));
+                t_raster.elapsed().as_nanos() as u64
             }
+            _ => {
+                out.extend(std::iter::repeat_n(FilterOutcome::Candidate, pairs.len()));
+                0
+            }
+        };
+        self.classify_plan_fill(pairs, out);
+        step2a_nanos
+    }
+
+    /// The compiled-plan loop (Step 2b): classifies every slot still
+    /// `Candidate` through the conservative/progressive chain, leaving
+    /// decided slots untouched. The plan dispatch and column lookups
+    /// happen once per call; no allocation.
+    fn classify_plan_fill(&self, pairs: &[(ObjectId, ObjectId)], out: &mut [FilterOutcome]) {
+        debug_assert_eq!(pairs.len(), out.len());
+        match self.plan {
+            FilterPlan::Passthrough => {}
             FilterPlan::ConvexMer => {
                 let rings_a = self.conservative_a.as_ref().and_then(|s| s.convex_slices());
                 let rings_b = self.conservative_b.as_ref().and_then(|s| s.convex_slices());
@@ -203,8 +322,11 @@ impl GeometricFilter {
                 let (Some(mer_a), Some(mer_b)) = (mer_a, mer_b) else {
                     unreachable!("ConvexMer plan requires MER columns");
                 };
-                out.extend(pairs.iter().map(|&(id_a, id_b)| {
-                    if !convex_intersect(rings_a.ring(id_a), rings_b.ring(id_b)) {
+                for (slot, &(id_a, id_b)) in out.iter_mut().zip(pairs) {
+                    if *slot != FilterOutcome::Candidate {
+                        continue;
+                    }
+                    *slot = if !convex_intersect(rings_a.ring(id_a), rings_b.ring(id_b)) {
                         FilterOutcome::FalseHit
                     } else if mer_a[id_a as usize].intersects(&mer_b[id_b as usize]) {
                         // NaN sentinel slots (degenerate MERs) never
@@ -212,8 +334,8 @@ impl GeometricFilter {
                         FilterOutcome::HitProgressive
                     } else {
                         FilterOutcome::Candidate
-                    }
-                }));
+                    };
+                }
             }
             FilterPlan::ConvexOnly => {
                 let rings_a = self.conservative_a.as_ref().and_then(|s| s.convex_slices());
@@ -221,16 +343,20 @@ impl GeometricFilter {
                 let (Some(rings_a), Some(rings_b)) = (rings_a, rings_b) else {
                     unreachable!("ConvexOnly plan requires convex columns");
                 };
-                out.extend(pairs.iter().map(|&(id_a, id_b)| {
-                    if !convex_intersect(rings_a.ring(id_a), rings_b.ring(id_b)) {
-                        FilterOutcome::FalseHit
-                    } else {
-                        FilterOutcome::Candidate
+                for (slot, &(id_a, id_b)) in out.iter_mut().zip(pairs) {
+                    if *slot == FilterOutcome::Candidate
+                        && !convex_intersect(rings_a.ring(id_a), rings_b.ring(id_b))
+                    {
+                        *slot = FilterOutcome::FalseHit;
                     }
-                }));
+                }
             }
             FilterPlan::Generic => {
-                out.extend(pairs.iter().map(|&(id_a, id_b)| self.classify(id_a, id_b)));
+                for (slot, &(id_a, id_b)) in out.iter_mut().zip(pairs) {
+                    if *slot == FilterOutcome::Candidate {
+                        *slot = self.classify_chain(id_a, id_b);
+                    }
+                }
             }
         }
     }
@@ -448,6 +574,119 @@ mod tests {
             }
             assert_eq!(chunked, per_pair, "plan {:?} chunked", f.plan());
         }
+    }
+
+    /// The Step-2a stage must (a) agree with the per-pair reference
+    /// chain, (b) only make decisions the exact geometry confirms, and
+    /// (c) change nothing for pairs it cannot decide.
+    #[test]
+    fn raster_stage_is_sound_and_batch_agrees() {
+        let a = msj_datagen::small_carto(48, 24.0, 7201);
+        let b = msj_datagen::small_carto(48, 24.0, 7202);
+        let mut pairs = Vec::new();
+        for oa in a.iter() {
+            for ob in b.iter() {
+                if oa.mbr().intersects(&ob.mbr()) {
+                    pairs.push((oa.id, ob.id));
+                }
+            }
+        }
+        assert!(pairs.len() > 50, "need a meaningful batch");
+        let plain = GeometricFilter::build(
+            &a,
+            &b,
+            Some(ConservativeKind::FiveCorner),
+            Some(ProgressiveKind::Mer),
+            false,
+        );
+        let rastered = GeometricFilter::build(
+            &a,
+            &b,
+            Some(ConservativeKind::FiveCorner),
+            Some(ProgressiveKind::Mer),
+            false,
+        )
+        .with_raster(&a, &b, 0);
+        assert!(rastered.raster_active() && !plain.raster_active());
+        assert_eq!(rastered.plan(), plain.plan(), "raster is plan-orthogonal");
+
+        let mut with = Vec::new();
+        let mut without = Vec::new();
+        rastered.classify_batch(&pairs, &mut with);
+        assert_eq!(plain.classify_batch(&pairs, &mut without), 0);
+        let per_pair: Vec<FilterOutcome> = pairs
+            .iter()
+            .map(|&(x, y)| rastered.classify(x, y))
+            .collect();
+        assert_eq!(with, per_pair, "batch diverged from reference chain");
+
+        let mut decided = 0u64;
+        let mut counts = msj_exact::OpCounts::new();
+        for ((&(x, y), &w), &wo) in pairs.iter().zip(&with).zip(&without) {
+            match w {
+                FilterOutcome::HitRaster => {
+                    decided += 1;
+                    assert!(
+                        msj_exact::quadratic_intersects(
+                            &a.object(x).region,
+                            &b.object(y).region,
+                            &mut counts
+                        ),
+                        "raster Hit on disjoint pair ({x},{y})"
+                    );
+                }
+                FilterOutcome::DropRaster => {
+                    decided += 1;
+                    assert!(
+                        !msj_exact::quadratic_intersects(
+                            &a.object(x).region,
+                            &b.object(y).region,
+                            &mut counts
+                        ),
+                        "raster Drop on intersecting pair ({x},{y})"
+                    );
+                }
+                other => assert_eq!(other, wo, "undecided pair ({x},{y}) changed outcome"),
+            }
+        }
+        assert!(decided > 0, "stage decided nothing on a carto workload");
+
+        // Batch boundaries must not matter with the stage active either.
+        let mut chunked = Vec::new();
+        let mut scratch = Vec::new();
+        for chunk in pairs.chunks(17) {
+            rastered.classify_batch(chunk, &mut scratch);
+            chunked.extend_from_slice(&scratch);
+        }
+        assert_eq!(chunked, per_pair);
+    }
+
+    #[test]
+    fn raster_from_config_follows_the_switch() {
+        let a = msj_datagen::small_carto(12, 20.0, 7203);
+        let config = crate::JoinConfig::default();
+        assert!(GeometricFilter::from_config(&config, &a, &a.clone()).raster_active());
+        let off = crate::JoinConfig {
+            raster: crate::config::RasterConfig::off(),
+            ..config
+        };
+        assert!(!GeometricFilter::from_config(&off, &a, &a.clone()).raster_active());
+        // Version 1 keeps its contract: no filtering whatsoever.
+        let v1 = GeometricFilter::from_config(&crate::JoinConfig::version1(), &a, &a.clone());
+        assert!(!v1.raster_active());
+        assert_eq!(v1.plan(), FilterPlan::Passthrough);
+        // Raster composes with a passthrough plan (no approximations).
+        let raster_only = crate::JoinConfig {
+            conservative: None,
+            progressive: None,
+            ..crate::JoinConfig::default()
+        };
+        let f = GeometricFilter::from_config(&raster_only, &a, &a.clone());
+        assert!(f.raster_active());
+        assert_eq!(f.plan(), FilterPlan::Passthrough);
+        let (ra, rb) = f.raster_stores().expect("stores built");
+        assert_eq!(ra.grid(), rb.grid(), "one shared grid");
+        assert_eq!(ra.len(), a.len());
     }
 
     #[test]

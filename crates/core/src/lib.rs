@@ -10,10 +10,12 @@
 //!    R*-tree join of [BKS 93a] ([`msj_sam::tree_join`], the default) or
 //!    the partitioned parallel sweep of `msj-partition`
 //!    ([`config::Backend::PartitionedSweep`]);
-//! 2. **Geometric filter** — conservative approximations identify false
-//!    hits, progressive approximations and the false-area test identify
-//!    hits, all without touching the exact geometry
-//!    ([`filter::GeometricFilter`]);
+//! 2. **Geometric filter** — the Step-2a raster pre-filter decides most
+//!    candidates by a merge-intersect of Hilbert-interval signatures
+//!    ([`config::RasterConfig`], on by default); conservative
+//!    approximations identify false hits, progressive approximations and
+//!    the false-area test identify hits among the remainder, all without
+//!    touching the exact geometry ([`filter::GeometricFilter`]);
 //! 3. **Exact geometry processor** — the remaining candidates are decided
 //!    on the exact polygons ([`msj_exact::ExactProcessor`]; the paper's
 //!    recommendation is the TR*-tree).
@@ -77,7 +79,7 @@ pub use candidates::{
     fused_buffer_bound, join_source, selection_source, CandidateSource, PartitionSummary,
     SelectionStats, Step1Stats, FUSED_CHUNK, FUSED_QUEUE_DEPTH,
 };
-pub use config::{Backend, JoinConfig, TreeLoader, DEFAULT_BATCH_PAIRS};
+pub use config::{Backend, JoinConfig, RasterConfig, TreeLoader, DEFAULT_BATCH_PAIRS};
 pub use cost::{
     figure11_loss_gain, figure18_cost, CostBreakdown, CostModelParams, ExactCostKind, LossGain,
 };

@@ -153,9 +153,16 @@ mod tests {
         );
         assert_eq!(
             s.result_pairs,
-            s.filter_hits_progressive + s.filter_hits_false_area + s.exact_hits
+            s.raster_hits + s.filter_hits_progressive + s.filter_hits_false_area + s.exact_hits
         );
         assert_eq!(r.pairs.len() as u64, s.result_pairs);
+        // Step-2a accounting: every candidate passes through the raster
+        // stage exactly once (the stage is on in version 3).
+        assert_eq!(
+            s.mbr_join.candidates,
+            s.raster_hits + s.raster_drops + s.raster_inconclusive
+        );
+        assert!(s.raster_hits + s.raster_drops > 0, "stage decided nothing");
     }
 
     #[test]
@@ -176,6 +183,27 @@ mod tests {
         // With the false-area test enabled, some hits may move from the
         // exact step into the filter, never the other way.
         assert!(with.stats.exact_tests <= without.stats.exact_tests);
+    }
+
+    #[test]
+    fn raster_stage_never_changes_the_response_set() {
+        use crate::config::RasterConfig;
+        let a = blob_relation(71, 40);
+        let b = blob_relation(72, 40);
+        let on = MultiStepJoin::new(JoinConfig::default()).execute(&a, &b);
+        let off = MultiStepJoin::new(JoinConfig {
+            raster: RasterConfig::off(),
+            ..JoinConfig::default()
+        })
+        .execute(&a, &b);
+        assert_eq!(sorted(on.pairs.clone()), sorted(off.pairs.clone()));
+        // Off → the stage reports nothing.
+        let s = &off.stats;
+        assert_eq!(s.raster_hits + s.raster_drops + s.raster_inconclusive, 0);
+        assert_eq!(s.step2a_nanos, 0);
+        // On → decided candidates never reach later stages.
+        assert!(on.stats.exact_tests <= off.stats.exact_tests);
+        assert!(on.stats.filter_false_hits <= off.stats.filter_false_hits);
     }
 
     #[test]

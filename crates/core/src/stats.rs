@@ -25,6 +25,18 @@ pub struct MultiStepStats {
     /// fan-out stays below [`crate::candidates::fused_buffer_bound`].
     /// The candidate set is never materialized in full on any path.
     pub peak_buffered_candidates: u64,
+    /// Step 2a: hits proved by the raster signatures (a shared FULL
+    /// cell). 0 when the stage is disabled.
+    pub raster_hits: u64,
+    /// Step 2a: false hits proved by the raster signatures (no shared
+    /// cell).
+    pub raster_drops: u64,
+    /// Step 2a: candidates the raster stage saw but could not decide
+    /// (they fell through to the conservative/progressive chain). 0 when
+    /// the stage is disabled; otherwise
+    /// `raster_hits + raster_drops + raster_inconclusive` equals the
+    /// MBR-join candidate count.
+    pub raster_inconclusive: u64,
     /// Step 2: false hits identified by the conservative approximation.
     pub filter_false_hits: u64,
     /// Step 2: hits identified by the progressive approximation.
@@ -53,8 +65,14 @@ pub struct MultiStepStats {
     pub step1_nanos: u64,
     /// Step 2 (geometric filter) time in nanoseconds, summed across all
     /// workers — CPU time, so it can exceed the wall clock on parallel
-    /// runs. Measured per batch, not per pair.
+    /// runs. Measured per batch, not per pair. Includes the Step-2a
+    /// share reported separately in
+    /// [`MultiStepStats::step2a_nanos`].
     pub step2_nanos: u64,
+    /// Step 2a (raster signature merge-intersect) time in nanoseconds,
+    /// summed across all workers; a subset of
+    /// [`MultiStepStats::step2_nanos`]. 0 when the stage is disabled.
+    pub step2a_nanos: u64,
     /// Step 3 (exact geometry) time in nanoseconds, summed across all
     /// workers (CPU time, like [`MultiStepStats::step2_nanos`]).
     pub step3_nanos: u64,
@@ -67,10 +85,25 @@ impl MultiStepStats {
         self.exact_tests
     }
 
-    /// Pairs classified by the filter (hits + false hits) — each saves an
-    /// object access under the §5 cost assumption.
+    /// Pairs classified by the filter (raster decisions + approximation
+    /// hits + false hits) — each saves an object access under the §5
+    /// cost assumption.
     pub fn identified(&self) -> u64 {
-        self.filter_false_hits + self.filter_hits_progressive + self.filter_hits_false_area
+        self.raster_hits
+            + self.raster_drops
+            + self.filter_false_hits
+            + self.filter_hits_progressive
+            + self.filter_hits_false_area
+    }
+
+    /// Fraction of MBR-join candidates the Step-2a raster stage decided
+    /// (Hit or Drop) before the convex/MER columns were touched.
+    pub fn raster_decided_fraction(&self) -> f64 {
+        if self.mbr_join.candidates == 0 {
+            0.0
+        } else {
+            (self.raster_hits + self.raster_drops) as f64 / self.mbr_join.candidates as f64
+        }
     }
 
     /// True hits that the filter failed to identify.
@@ -111,25 +144,29 @@ mod tests {
     fn sample() -> MultiStepStats {
         let mut s = MultiStepStats::default();
         s.mbr_join.candidates = 100;
-        s.filter_false_hits = 20;
-        s.filter_hits_progressive = 25;
+        s.raster_hits = 10;
+        s.raster_drops = 15;
+        s.raster_inconclusive = 75;
+        s.filter_false_hits = 10;
+        s.filter_hits_progressive = 20;
         s.filter_hits_false_area = 5;
-        s.exact_tests = 50;
-        s.exact_hits = 40;
-        s.result_pairs = 70;
+        s.exact_tests = 40;
+        s.exact_hits = 30;
+        s.result_pairs = 65;
         s
     }
 
     #[test]
     fn derived_quantities_are_consistent() {
         let s = sample();
-        assert_eq!(s.identified(), 50);
-        assert_eq!(s.unidentified(), 50);
-        assert_eq!(s.hits(), 70);
-        assert_eq!(s.false_hits(), 30);
-        assert_eq!(s.unidentified_hits(), 40);
+        assert_eq!(s.identified(), 60);
+        assert_eq!(s.unidentified(), 40);
+        assert_eq!(s.hits(), 65);
+        assert_eq!(s.false_hits(), 35);
+        assert_eq!(s.unidentified_hits(), 30);
         assert_eq!(s.unidentified_false_hits(), 10);
-        assert!((s.identified_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.identified_fraction() - 0.6).abs() < 1e-12);
+        assert!((s.raster_decided_fraction() - 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -137,15 +174,20 @@ mod tests {
         let s = sample();
         // candidates = identified + unidentified
         assert_eq!(s.mbr_join.candidates, s.identified() + s.unidentified());
-        // hits = progressive + false-area + exact
+        // candidates = raster-decided + raster-inconclusive (stage on)
+        assert_eq!(
+            s.mbr_join.candidates,
+            s.raster_hits + s.raster_drops + s.raster_inconclusive
+        );
+        // hits = raster + progressive + false-area + exact
         assert_eq!(
             s.hits(),
-            s.filter_hits_progressive + s.filter_hits_false_area + s.exact_hits
+            s.raster_hits + s.filter_hits_progressive + s.filter_hits_false_area + s.exact_hits
         );
-        // false hits = filter false hits + exact-refuted
+        // false hits = raster drops + filter false hits + exact-refuted
         assert_eq!(
             s.false_hits(),
-            s.filter_false_hits + s.unidentified_false_hits()
+            s.raster_drops + s.filter_false_hits + s.unidentified_false_hits()
         );
     }
 
@@ -153,5 +195,6 @@ mod tests {
     fn empty_join_fraction_is_zero() {
         let s = MultiStepStats::default();
         assert_eq!(s.identified_fraction(), 0.0);
+        assert_eq!(s.raster_decided_fraction(), 0.0);
     }
 }

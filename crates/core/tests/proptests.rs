@@ -2,7 +2,9 @@
 //! nested-loops exact join for every filter/exact configuration.
 
 use msj_approx::{ConservativeKind, ProgressiveKind};
-use msj_core::{ground_truth_join, Backend, Execution, JoinConfig, MultiStepJoin, TreeLoader};
+use msj_core::{
+    ground_truth_join, Backend, Execution, JoinConfig, MultiStepJoin, RasterConfig, TreeLoader,
+};
 use msj_exact::ExactAlgorithm;
 use proptest::prelude::*;
 
@@ -69,6 +71,16 @@ fn loader_batch_strategy() -> impl Strategy<Value = (TreeLoader, usize)> {
     ]
 }
 
+/// Step-2a raster stage: off, auto-sized, and explicit resolutions.
+fn raster_strategy() -> impl Strategy<Value = RasterConfig> {
+    prop_oneof![
+        Just(RasterConfig::off()),
+        Just(RasterConfig::default()),
+        Just(RasterConfig::with_bits(5)),
+        Just(RasterConfig::with_bits(9)),
+    ]
+}
+
 fn exact_strategy() -> impl Strategy<Value = ExactAlgorithm> {
     prop_oneof![
         Just(ExactAlgorithm::Quadratic),
@@ -89,6 +101,7 @@ proptest! {
         conservative in conservative_strategy(),
         progressive in progressive_strategy(),
         false_area_test in any::<bool>(),
+        raster in raster_strategy(),
         exact in exact_strategy(),
         backend in backend_strategy(),
         execution in execution_strategy(),
@@ -105,6 +118,7 @@ proptest! {
             conservative,
             progressive,
             false_area_test,
+            raster,
             exact,
             execution,
             loader,
@@ -119,7 +133,15 @@ proptest! {
         prop_assert_eq!(s.mbr_join.candidates, s.identified() + s.exact_tests);
         prop_assert_eq!(
             s.result_pairs,
-            s.filter_hits_progressive + s.filter_hits_false_area + s.exact_hits
+            s.raster_hits + s.filter_hits_progressive + s.filter_hits_false_area + s.exact_hits
         );
+        if raster.enabled {
+            prop_assert_eq!(
+                s.mbr_join.candidates,
+                s.raster_hits + s.raster_drops + s.raster_inconclusive
+            );
+        } else {
+            prop_assert_eq!(s.raster_hits + s.raster_drops + s.raster_inconclusive, 0);
+        }
     }
 }

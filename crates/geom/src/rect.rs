@@ -47,6 +47,13 @@ impl Rect {
         Some(Rect { lo, hi })
     }
 
+    /// The smallest rectangle covering a non-empty set of rectangles;
+    /// `None` for an empty iterator. This is the *workspace* rectangle of
+    /// grid-based structures (partitioning, rasterization).
+    pub fn bounding_rects<I: IntoIterator<Item = Rect>>(rects: I) -> Option<Self> {
+        rects.into_iter().reduce(|a, b| a.union(&b))
+    }
+
     /// Lower-left corner.
     #[inline]
     pub fn lo(&self) -> Point {

@@ -25,7 +25,7 @@ pub use rand;
 pub mod strategy {
     use rand::rngs::StdRng;
     use rand::Rng;
-    use std::ops::Range;
+    use std::ops::{Range, RangeInclusive};
 
     /// A generator of test values.
     ///
@@ -170,6 +170,12 @@ pub mod strategy {
                     Some(rng.gen_range(self.clone()))
                 }
             }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                    Some(rng.gen_range(self.clone()))
+                }
+            }
         )*};
     }
 
@@ -199,6 +205,8 @@ pub mod strategy {
     tuple_strategy!(A, B, C, D, E, F, G, H);
     tuple_strategy!(A, B, C, D, E, F, G, H, I);
     tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
 }
 
 pub mod arbitrary {
