@@ -23,18 +23,17 @@ fn bench_executors(c: &mut Criterion) {
             msj_datagen::skewed_carto(1_500, 24.0, 42),
         ),
     ];
-    let base = JoinConfig {
-        backend: Backend::PartitionedSweep {
+    let base = JoinConfig::builder()
+        .backend(Backend::PartitionedSweep {
             tiles_per_axis: 16,
             threads: 1,
-        },
-        ..JoinConfig::default()
-    };
+        })
+        .build();
 
     for (name, a, b) in &workloads {
         // Step 0 is paid once outside the timed loops: the executors
         // differ only in how they schedule Steps 1-3.
-        let mut prepared = MultiStepJoin::new(base).prepare(a, b);
+        let prepared = MultiStepJoin::new(base).prepare(a, b);
         group.bench_with_input(BenchmarkId::new("serial", *name), &(), |bench, ()| {
             bench.iter(|| black_box(prepared.run_with(Execution::Serial).pairs.len()))
         });

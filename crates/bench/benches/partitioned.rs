@@ -25,13 +25,12 @@ fn bench_backends(c: &mut Criterion) {
         },
     );
     for threads in [1usize, 2, 4, 8] {
-        let config = JoinConfig {
-            backend: Backend::PartitionedSweep {
+        let config = JoinConfig::builder()
+            .backend(Backend::PartitionedSweep {
                 tiles_per_axis: 16,
                 threads,
-            },
-            ..JoinConfig::default()
-        };
+            })
+            .build();
         group.bench_with_input(
             BenchmarkId::new("partitioned_sweep", format!("4000x4000/t{threads}")),
             &config,

@@ -2,13 +2,12 @@
 //! with and without stored approximations.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use msj_core::{JoinConfig, QueryProcessor};
-use msj_exact::OpCounts;
+use msj_core::{JoinConfig, SpatialEngine};
 use msj_geom::{Point, Rect};
 use std::hint::black_box;
 
 fn bench_queries(c: &mut Criterion) {
-    let rel = msj_datagen::small_carto(200, 32.0, 77);
+    let rel = std::sync::Arc::new(msj_datagen::small_carto(200, 32.0, 77));
     let world = rel.bounding_rect().unwrap();
     let mut group = c.benchmark_group("multi_step_queries");
 
@@ -16,7 +15,8 @@ fn bench_queries(c: &mut Criterion) {
         ("mbr_only", JoinConfig::version1()),
         ("5c_mer", JoinConfig::default()),
     ] {
-        let mut proc = QueryProcessor::build(&rel, &config);
+        let engine = SpatialEngine::new(config);
+        let dataset = engine.register(rel.clone());
         group.bench_function(BenchmarkId::new("point_query", tag), |b| {
             let mut i = 0usize;
             b.iter(|| {
@@ -25,11 +25,9 @@ fn bench_queries(c: &mut Criterion) {
                     world.xmin() + world.width() * ((i as f64 * 0.377).fract()),
                     world.ymin() + world.height() * ((i as f64 * 0.611).fract()),
                 );
-                let mut counts = OpCounts::new();
-                black_box(proc.point_query(p, &mut counts))
+                black_box(engine.point_query(&dataset, p).ids)
             })
         });
-        let mut proc = QueryProcessor::build(&rel, &config);
         group.bench_function(BenchmarkId::new("window_query_1pct", tag), |b| {
             let side = 0.01 * world.width();
             let mut i = 0usize;
@@ -37,9 +35,10 @@ fn bench_queries(c: &mut Criterion) {
                 i = i.wrapping_add(1);
                 let x = world.xmin() + (world.width() - side) * ((i as f64 * 0.299).fract());
                 let y = world.ymin() + (world.height() - side) * ((i as f64 * 0.731).fract());
-                let mut counts = OpCounts::new();
                 black_box(
-                    proc.window_query(Rect::from_bounds(x, y, x + side, y + side), &mut counts),
+                    engine
+                        .window_query(&dataset, Rect::from_bounds(x, y, x + side, y + side))
+                        .ids,
                 )
             })
         });

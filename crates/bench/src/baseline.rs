@@ -155,7 +155,7 @@ pub fn collect_then_chunk_join(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use msj_core::{parallel_join, MultiStepJoin};
+    use msj_core::{Execution, MultiStepJoin};
 
     #[test]
     fn baseline_agrees_with_the_fused_engine() {
@@ -165,7 +165,11 @@ mod tests {
         let serial = MultiStepJoin::new(config).execute(&a, &b);
         for threads in [1usize, 4] {
             let baseline = collect_then_chunk_join(&a, &b, &config, threads);
-            let fused = parallel_join(&a, &b, &config, threads);
+            let fused_config = config
+                .to_builder()
+                .execution(Execution::Fused { threads })
+                .build();
+            let fused = MultiStepJoin::new(fused_config).execute(&a, &b);
             assert_eq!(baseline.pairs, fused.pairs);
             assert_eq!(baseline.stats.exact_ops, fused.stats.exact_ops);
             assert_eq!(baseline.stats.exact_tests, serial.stats.exact_tests);

@@ -124,23 +124,16 @@ pub fn fused(cfg: &ExpConfig) -> String {
     let mut step_lines = Vec::new();
     for workload in &workloads(cfg) {
         for (backend_name, backend) in backends() {
-            let base = JoinConfig {
-                backend,
-                ..JoinConfig::default()
-            };
+            let base = JoinConfig::builder().backend(backend).build();
             let join = MultiStepJoin::new(base);
             let prep_start = Instant::now();
-            let mut prepared = join.prepare(&workload.a, &workload.b);
+            let prepared = join.prepare(&workload.a, &workload.b);
             let prep_secs = prep_start.elapsed().as_secs_f64();
             // The PR-2-shaped protocol: everything identical except the
             // candidate batch size — per-pair delivery and per-pair
             // classification dispatch.
-            let per_pair = JoinConfig {
-                batch_pairs: 1,
-                ..base
-            };
-            let mut per_pair_prepared =
-                MultiStepJoin::new(per_pair).prepare(&workload.a, &workload.b);
+            let per_pair = base.to_builder().batch_pairs(1).build();
+            let per_pair_prepared = MultiStepJoin::new(per_pair).prepare(&workload.a, &workload.b);
             // Warm-up run (fills the R*-traversal's simulated LRU
             // buffer) so every timed mode sees the same state.
             let _ = prepared.run_with(Execution::Serial);

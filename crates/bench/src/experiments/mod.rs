@@ -11,6 +11,7 @@ pub mod filters;
 pub mod fused;
 pub mod partitioned;
 pub mod raster;
+pub mod serving;
 pub mod storage;
 pub mod total;
 
@@ -248,6 +249,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "raster",
             description: "step-2a raster pre-filter: grid_bits sweep vs raster-off",
             run: raster::raster,
+        },
+        Experiment {
+            id: "serving",
+            description: "resident engine vs prepare-per-query (points, windows, joins)",
+            run: serving::serving,
         },
     ]
 }

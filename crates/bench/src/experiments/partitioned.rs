@@ -50,7 +50,7 @@ fn workloads(cfg: &ExpConfig) -> Vec<Workload> {
 /// streaming); returns `(step-1 stats, seconds)`.
 fn time_step1(config: &JoinConfig, a: &Relation, b: &Relation) -> (msj_core::Step1Stats, f64) {
     let start = Instant::now();
-    let mut source = join_source(config, a, b);
+    let source = join_source(config, a, b);
     let mut count = 0u64;
     let stats = source.stream_candidates(&mut |_, _| count += 1);
     let secs = start.elapsed().as_secs_f64();
@@ -95,10 +95,9 @@ pub fn partitioned(cfg: &ExpConfig) -> String {
         let rstar_config = JoinConfig::default();
         let (rstar_stats, rstar_secs) = time_step1(&rstar_config, &workload.a, &workload.b);
         let candidates = rstar_stats.join.candidates;
-        let incremental_config = JoinConfig {
-            loader: TreeLoader::Incremental,
-            ..JoinConfig::default()
-        };
+        let incremental_config = JoinConfig::builder()
+            .loader(TreeLoader::Incremental)
+            .build();
         let (inc_stats, inc_secs) = time_step1(&incremental_config, &workload.a, &workload.b);
         assert_eq!(
             inc_stats.join.candidates, candidates,
@@ -127,13 +126,12 @@ pub fn partitioned(cfg: &ExpConfig) -> String {
             "-".into(),
         ]);
         for threads in THREADS {
-            let config = JoinConfig {
-                backend: Backend::PartitionedSweep {
+            let config = JoinConfig::builder()
+                .backend(Backend::PartitionedSweep {
                     tiles_per_axis: tiles,
                     threads,
-                },
-                ..JoinConfig::default()
-            };
+                })
+                .build();
             let (part_stats, part_secs) = time_step1(&config, &workload.a, &workload.b);
             let part_candidates = part_stats.join.candidates;
             assert_eq!(
@@ -166,13 +164,12 @@ pub fn partitioned(cfg: &ExpConfig) -> String {
         let serial = MultiStepJoin::new(JoinConfig::default()).execute(&workload.a, &workload.b);
         let mut expect = serial.pairs;
         expect.sort_unstable();
-        let config = JoinConfig {
-            backend: Backend::PartitionedSweep {
+        let config = JoinConfig::builder()
+            .backend(Backend::PartitionedSweep {
                 tiles_per_axis: tiles,
                 threads: 0,
-            },
-            ..JoinConfig::default()
-        };
+            })
+            .build();
         let mut got = MultiStepJoin::new(config)
             .execute(&workload.a, &workload.b)
             .pairs;

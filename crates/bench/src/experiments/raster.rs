@@ -100,12 +100,9 @@ pub fn raster(cfg: &ExpConfig) -> String {
     for (name, a, b) in &workloads(cfg) {
         let mut reference: Option<u64> = None;
         for (cell, raster) in SWEEP {
-            let config = JoinConfig {
-                raster,
-                ..JoinConfig::default()
-            };
+            let config = JoinConfig::builder().raster(raster).build();
             let t_prep = Instant::now();
-            let mut prepared = MultiStepJoin::new(config).prepare(a, b);
+            let prepared = MultiStepJoin::new(config).prepare(a, b);
             let prep_ms = t_prep.elapsed().as_secs_f64() * 1e3;
             let _ = prepared.run_with(Execution::Fused { threads: 4 });
             let (result, secs) = timed(|| prepared.run_with(Execution::Fused { threads: 4 }));

@@ -1,0 +1,279 @@
+//! The `serving` experiment: query traffic against a resident
+//! [`SpatialEngine`] versus paying Step-0 preparation per query.
+//!
+//! The engine registers the skewed cartographic workload once (R*-trees,
+//! approximation stores, TR* representations, raster signatures — all
+//! owned behind `Arc`), then serves point-, window- and join-shaped
+//! requests through the unified [`Request`]/[`Response`] surface. The
+//! prepare-per-query columns rebuild a fresh engine per query — the
+//! one-shot API shape this PR retires for serving workloads.
+//!
+//! Every query's response is compared between the two paths (panics on
+//! divergence), and the report prints per-query latency, queries/sec and
+//! the resident speedup, next to each response's attached §5 admission
+//! accounting (estimated vs. observed filter yield).
+
+use super::ExpConfig;
+use crate::report::{f, pct, section, Table};
+use msj_core::{Execution, JoinConfig, Request, Response, SpatialEngine};
+use msj_geom::{Point, Rect, Relation};
+use std::time::Instant;
+
+/// Queries replayed through the prepare-per-query path (a fresh engine
+/// per query is orders of magnitude slower; this bounds the runtime while
+/// still measuring real per-query latency). Shared with the
+/// machine-readable bench (`crate::jsonout`) so the report and the JSON
+/// acceptance matrix measure the same protocol.
+pub(crate) const SERVING_PREPARE_QUERIES: usize = 12;
+
+/// Repeated executions per join-serving mode (shared with
+/// `crate::jsonout`).
+pub(crate) const SERVING_JOIN_RUNS: usize = 3;
+
+/// The deterministic selection workloads over the joined region — one
+/// definition for the report and the JSON bench, so the two matrices
+/// cannot drift apart.
+pub(crate) fn serving_queries(a: &Relation, count: usize) -> (Vec<Point>, Vec<Rect>) {
+    let world = a.bounding_rect().expect("nonempty serving workload");
+    let points: Vec<Point> = (0..count)
+        .map(|i| {
+            Point::new(
+                world.xmin() + world.width() * ((i as f64) * 0.3779).fract(),
+                world.ymin() + world.height() * ((i as f64) * 0.6151).fract(),
+            )
+        })
+        .collect();
+    let windows: Vec<Rect> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let side = world.width() * (0.005 + 0.03 * ((i as f64) * 0.137).fract());
+            Rect::from_bounds(p.x, p.y, p.x + side, p.y + side)
+        })
+        .collect();
+    (points, windows)
+}
+
+pub fn serving(cfg: &ExpConfig) -> String {
+    let n = cfg.large_count() / 2;
+    let a = std::sync::Arc::new(msj_datagen::skewed_carto(n, 24.0, cfg.seed));
+    let b = std::sync::Arc::new(msj_datagen::skewed_carto(n, 24.0, cfg.seed + 1));
+    let config = JoinConfig::default();
+    let engine = SpatialEngine::new(config);
+    let (ha, hb) = (engine.register(a.clone()), engine.register(b.clone()));
+    let q = cfg.query_count();
+    let (points, windows) = serving_queries(&a, q);
+
+    let mut out = section(
+        "serving",
+        "resident engine vs prepare-per-query (points, windows, joins)",
+    );
+    out.push_str(&format!(
+        "workload: skewed_carto {} x {} objects; {} selection queries resident,\n\
+         {} replayed per-prepare; join run fused x4; every replayed query's\n\
+         response set is asserted identical between the two paths\n\n",
+        a.len(),
+        b.len(),
+        q,
+        SERVING_PREPARE_QUERIES.min(q),
+    ));
+
+    let mut table = Table::new([
+        "kind",
+        "mode",
+        "queries",
+        "total ms",
+        "per-query µs",
+        "queries/sec",
+        "speedup x",
+    ]);
+
+    let requests = |i: usize| -> (Request, Request) {
+        (
+            Request::Point {
+                dataset: ha.id(),
+                point: points[i],
+            },
+            Request::Window {
+                dataset: ha.id(),
+                window: windows[i],
+            },
+        )
+    };
+    let ids_of = |resp: Result<Response, msj_core::EngineError>| -> Vec<u32> {
+        let Ok(Response::Selection(sel)) = resp else {
+            panic!("selection request failed");
+        };
+        let mut ids = sel.ids;
+        ids.sort_unstable();
+        ids
+    };
+
+    for (kind, pick) in [("point", 0usize), ("window", 1usize)] {
+        let select = |req: (Request, Request)| if pick == 0 { req.0 } else { req.1 };
+        // Resident: the full workload through the batched surface.
+        let batch: Vec<Request> = (0..q).map(|i| select(requests(i))).collect();
+        let _ = engine.submit(batch[0]); // warm lazy state
+        let t = Instant::now();
+        let responses = engine.submit_batch(batch.iter().copied());
+        let resident_secs = t.elapsed().as_secs_f64();
+        let resident_subset: Vec<Vec<u32>> = responses
+            .into_iter()
+            .take(SERVING_PREPARE_QUERIES.min(q))
+            .map(ids_of)
+            .collect();
+
+        // Prepare-per-query: fresh engine, full Step 0, single probe.
+        let prep_q = SERVING_PREPARE_QUERIES.min(q);
+        let t = Instant::now();
+        let mut prepare_results = Vec::new();
+        for i in 0..prep_q {
+            let fresh = SpatialEngine::new(config);
+            let _h = fresh.register(a.clone());
+            prepare_results.push(ids_of(fresh.submit(match select(requests(i)) {
+                Request::Point { point, .. } => Request::Point { dataset: 0, point },
+                Request::Window { window, .. } => Request::Window { dataset: 0, window },
+                other => other,
+            })));
+        }
+        let prepare_secs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            resident_subset, prepare_results,
+            "{kind}: resident and prepare-per-query responses diverged"
+        );
+
+        let per_resident = resident_secs / q as f64;
+        let per_prepare = prepare_secs / prep_q.max(1) as f64;
+        table.row([
+            kind.into(),
+            "resident".into(),
+            q.to_string(),
+            f(resident_secs * 1e3, 1),
+            f(per_resident * 1e6, 1),
+            f(q as f64 / resident_secs.max(1e-12), 0),
+            f(per_prepare / per_resident.max(1e-12), 1),
+        ]);
+        table.row([
+            kind.into(),
+            "prepare-per-query".into(),
+            prep_q.to_string(),
+            f(prepare_secs * 1e3, 1),
+            f(per_prepare * 1e6, 1),
+            f(prep_q as f64 / prepare_secs.max(1e-12), 0),
+            "-".into(),
+        ]);
+    }
+
+    // Join serving: the cached owned PreparedJoin re-executed vs full
+    // Step 0 per execution.
+    const JOIN_RUNS: usize = SERVING_JOIN_RUNS;
+    let join_req = Request::Join {
+        a: ha.id(),
+        b: hb.id(),
+        execution: Some(Execution::Fused { threads: 4 }),
+    };
+    let _ = engine.submit(join_req); // warm + builds the prepared join
+    let mut last_admission = None;
+    let t = Instant::now();
+    let mut resident_pairs = Vec::new();
+    for _ in 0..JOIN_RUNS {
+        let Ok(Response::Join(join)) = engine.submit(join_req) else {
+            panic!("join request failed");
+        };
+        last_admission = Some(join.admission);
+        resident_pairs = join.pairs;
+    }
+    let resident_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let mut prepare_pairs = Vec::new();
+    for _ in 0..JOIN_RUNS {
+        let fresh = SpatialEngine::new(config);
+        let (fa, fb) = (fresh.register(a.clone()), fresh.register(b.clone()));
+        let Ok(Response::Join(join)) = fresh.submit(Request::Join {
+            a: fa.id(),
+            b: fb.id(),
+            execution: Some(Execution::Fused { threads: 4 }),
+        }) else {
+            panic!("join request failed");
+        };
+        prepare_pairs = join.pairs;
+    }
+    let prepare_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        resident_pairs, prepare_pairs,
+        "join: resident and prepare-per-query response sets diverged"
+    );
+
+    let per_resident = resident_secs / JOIN_RUNS as f64;
+    let per_prepare = prepare_secs / JOIN_RUNS as f64;
+    table.row([
+        "join".into(),
+        "resident".into(),
+        JOIN_RUNS.to_string(),
+        f(resident_secs * 1e3, 1),
+        f(per_resident * 1e6, 0),
+        f(JOIN_RUNS as f64 / resident_secs.max(1e-12), 2),
+        f(per_prepare / per_resident.max(1e-12), 1),
+    ]);
+    table.row([
+        "join".into(),
+        "prepare-per-query".into(),
+        JOIN_RUNS.to_string(),
+        f(prepare_secs * 1e3, 1),
+        f(per_prepare * 1e6, 0),
+        f(JOIN_RUNS as f64 / prepare_secs.max(1e-12), 2),
+        "-".into(),
+    ]);
+    out.push_str(&table.render());
+
+    if let Some(admission) = last_admission {
+        out.push_str(&format!(
+            "\njoin admission accounting (§5 model): estimated {:.3}s ({}), observed\n\
+             breakdown {:.3}s; filter yield assumed {} vs observed {}; raster\n\
+             decided observed {}\n",
+            admission.estimated_s,
+            if admission.from_history {
+                "from observed history"
+            } else {
+                "a-priori"
+            },
+            admission.cost.total_s(),
+            pct(admission.cost.filter_yield_estimated),
+            pct(admission.cost.filter_yield_observed),
+            pct(admission.cost.raster_decided_observed),
+        ));
+    }
+    out.push_str(
+        "\nresponse sets agree on every replayed query; the resident engine pays\n\
+         Step 0 once at registration and serves every further query from shared\n\
+         owned state (Arc'd trees, stores, signatures)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+
+    #[test]
+    fn serving_reports_all_modes_and_agrees() {
+        let cfg = ExpConfig {
+            seed: 9,
+            scale: Scale::Quick,
+        };
+        let report = serving(&cfg);
+        for needle in [
+            "resident",
+            "prepare-per-query",
+            "point",
+            "window",
+            "join",
+            "queries/sec",
+            "admission accounting",
+        ] {
+            assert!(report.contains(needle), "missing {needle}:\n{report}");
+        }
+    }
+}

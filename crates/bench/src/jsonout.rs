@@ -1,34 +1,42 @@
-//! Machine-readable benchmark output (`BENCH_pr4.json`).
+//! Machine-readable benchmark output (`BENCH_pr5.json`).
 //!
-//! Measures the batched hot path on the skewed cartographic workload —
-//! the PR-3/PR-4 acceptance matrix — and emits one JSON document:
+//! Measures the batched hot path and the resident serving surface on the
+//! skewed cartographic workload — the PR-3/PR-4/PR-5 acceptance matrix —
+//! and emits one JSON document:
 //!
 //! * **Step 1** (`"step1"` records): candidates/sec per backend × Step-0
 //!   loader (index construction + candidate streaming);
 //! * **Steps 1–3** (`"join"` records): pairs/sec and filter throughput
-//!   per backend × loader × execution mode, including the preserved
+//!   per backend × loader × execution mode on a resident
+//!   [`msj_core::SpatialEngine`], including the preserved
 //!   collect-then-chunk baseline and the per-pair (`batch=1`) protocol;
 //! * **Step 2a** (`"raster"` records): the raster pre-filter swept over
 //!   `grid_bits` ∈ {off, auto, 6, 8, 10} — decided fraction, hit/drop/
 //!   inconclusive counts, stage time;
+//! * **Serving** (`"serving"` records): per-query latency and
+//!   queries/sec of point/window/join traffic against the resident
+//!   engine versus paying Step-0 preparation per query, with FNV
+//!   response digests asserted equal between the two paths;
 //! * the agreement verdict: every measured cell must produce the
 //!   identical canonically sorted response set.
 //!
 //! Throughput fields are **omitted** when the corresponding stage did
-//! not run in a cell (schema `msj-bench-pr4`; earlier schemas emitted a
+//! not run in a cell (schema `msj-bench-pr5`; earlier schemas emitted a
 //! misleading `0`).
 //!
 //! No serde in this workspace (offline vendored deps only), so the JSON
 //! is emitted by hand — flat records, numbers and strings only.
 
 use crate::baseline::PreparedBaseline;
-use crate::experiments::raster::{resolved_grid_bits, SWEEP};
+use crate::experiments::raster::{resolved_grid_bits, response_digest, SWEEP};
+use crate::experiments::serving::{serving_queries, SERVING_JOIN_RUNS, SERVING_PREPARE_QUERIES};
 use crate::experiments::ExpConfig;
 use crate::timing::timed;
 use msj_core::{
-    join_source, Backend, Execution, JoinConfig, JoinResult, MultiStepJoin, TreeLoader,
+    join_source, Backend, Execution, JoinConfig, JoinResult, SpatialEngine, TreeLoader,
 };
-use msj_geom::Relation;
+use msj_geom::{ObjectId, Relation};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Step-2a cell payload of a `"raster"` record.
@@ -39,6 +47,21 @@ struct RasterCell {
     inconclusive: u64,
     decided_fraction: f64,
     step2a_millis: f64,
+}
+
+/// Serving-cell payload of a `"serving"` record.
+struct ServingCell {
+    /// Queries measured for the latency/throughput figures.
+    queries: u64,
+    queries_per_sec: f64,
+    per_query_micros: f64,
+    /// FNV digest over the canonical comparison subset of queries —
+    /// equal between the resident and prepare-per-query modes of the
+    /// same kind by assertion.
+    digest: u64,
+    /// Resident records only: per-query latency advantage over the
+    /// prepare-per-query mode of the same kind.
+    speedup_vs_prepare: Option<f64>,
 }
 
 /// One flat measurement record. Optional fields are omitted from the
@@ -61,6 +84,8 @@ struct Record {
     peak_buffered: u64,
     /// Present on `"raster"` records with the stage enabled.
     raster: Option<RasterCell>,
+    /// Present on `"serving"` records.
+    serving: Option<ServingCell>,
 }
 
 impl Record {
@@ -96,6 +121,18 @@ impl Record {
                 ),
                 r.grid_bits, r.hits, r.drops, r.inconclusive, r.decided_fraction, r.step2a_millis,
             ));
+        }
+        if let Some(q) = &self.serving {
+            s.push_str(&format!(
+                concat!(
+                    ",\"queries\":{},\"queries_per_sec\":{:.1},",
+                    "\"per_query_micros\":{:.2},\"digest\":\"{:#018x}\""
+                ),
+                q.queries, q.queries_per_sec, q.per_query_micros, q.digest,
+            ));
+            if let Some(v) = q.speedup_vs_prepare {
+                s.push_str(&format!(",\"speedup_vs_prepare\":{v:.1}"));
+            }
         }
         s.push('}');
         s
@@ -136,23 +173,25 @@ fn join_record(
             .then(|| s.mbr_join.candidates as f64 / (s.step2_nanos as f64 / 1e9)),
         peak_buffered: s.peak_buffered_candidates,
         raster: None,
+        serving: None,
     }
 }
 
 /// The sections a [`bench_json_only`] filter can select.
-pub const SECTIONS: [&str; 3] = ["step1", "join", "raster"];
+pub const SECTIONS: [&str; 4] = ["step1", "join", "raster", "serving"];
 
 /// Runs the full measurement matrix and renders the JSON document.
 pub fn bench_json(cfg: &ExpConfig) -> String {
     bench_json_only(cfg, None)
 }
 
-/// Like [`bench_json`], restricted to one section (`"step1"`, `"join"`
-/// or `"raster"`) when `only` is set — the `repro --only` fast path.
+/// Like [`bench_json`], restricted to one section (`"step1"`, `"join"`,
+/// `"raster"` or `"serving"`) when `only` is set — the `repro --only`
+/// fast path.
 pub fn bench_json_only(cfg: &ExpConfig, only: Option<&str>) -> String {
     let n = cfg.large_count() / 2;
-    let a = msj_datagen::skewed_carto(n, 24.0, cfg.seed);
-    let b = msj_datagen::skewed_carto(n, 24.0, cfg.seed + 1);
+    let a = Arc::new(msj_datagen::skewed_carto(n, 24.0, cfg.seed));
+    let b = Arc::new(msj_datagen::skewed_carto(n, 24.0, cfg.seed + 1));
     let want = |section: &str| only.is_none_or(|o| o == section);
 
     let grid_tiles = match Backend::partitioned_auto() {
@@ -191,18 +230,17 @@ pub fn bench_json_only(cfg: &ExpConfig, only: Option<&str>) -> String {
                 if backend_name != "rstar" && loader != TreeLoader::Str {
                     continue;
                 }
-                let config = JoinConfig {
-                    backend,
-                    loader,
-                    ..JoinConfig::default()
-                };
+                let config = JoinConfig::builder()
+                    .backend(backend)
+                    .loader(loader)
+                    .build();
                 // Minimum over REPS cold construct+stream runs, like the
                 // join cells (the runs are deterministic).
                 let mut secs = f64::INFINITY;
                 let mut stats = msj_core::Step1Stats::default();
                 for _ in 0..REPS {
                     let start = Instant::now();
-                    let mut source = join_source(&config, &a, &b);
+                    let source = join_source(&config, &a, &b);
                     stats = source.stream_candidates(&mut |_, _| {});
                     secs = secs.min(start.elapsed().as_secs_f64().max(1e-12));
                 }
@@ -219,25 +257,28 @@ pub fn bench_json_only(cfg: &ExpConfig, only: Option<&str>) -> String {
                     filter_candidates_per_sec: None,
                     peak_buffered: stats.peak_buffered,
                     raster: None,
+                    serving: None,
                 });
             }
         }
     }
 
-    // Steps 1–3: backend × loader × execution mode (grid cells once, as
-    // above).
+    // Steps 1–3 on a resident engine: backend × loader × execution mode
+    // (grid cells once, as above). The engine owns Step 0; every timed
+    // run is Steps 1–3 against the shared prepared join.
     if want("join") {
         for (backend_name, backend) in backends {
             for loader in loaders {
                 if backend_name != "rstar" && loader != TreeLoader::Str {
                     continue;
                 }
-                let base = JoinConfig {
-                    backend,
-                    loader,
-                    ..JoinConfig::default()
-                };
-                let mut prepared = MultiStepJoin::new(base).prepare(&a, &b);
+                let base = JoinConfig::builder()
+                    .backend(backend)
+                    .loader(loader)
+                    .build();
+                let engine = SpatialEngine::new(base);
+                let (ha, hb) = (engine.register(a.clone()), engine.register(b.clone()));
+                let prepared = engine.prepare_join(&ha, &hb);
                 let _ = prepared.run_with(Execution::Serial); // warm-up
                 let (serial, serial_secs) = timed(|| prepared.run_with(Execution::Serial));
                 check(
@@ -272,11 +313,13 @@ pub fn bench_json_only(cfg: &ExpConfig, only: Option<&str>) -> String {
                 // baseline, measured for the default loader only — they vary
                 // the execution, not Step 0.
                 if loader == TreeLoader::Str {
-                    let per_pair = JoinConfig {
-                        batch_pairs: 1,
-                        ..base
-                    };
-                    let mut per_pair_prepared = MultiStepJoin::new(per_pair).prepare(&a, &b);
+                    let per_pair_engine =
+                        SpatialEngine::new(base.to_builder().batch_pairs(1).build());
+                    let (pa, pb) = (
+                        per_pair_engine.register(a.clone()),
+                        per_pair_engine.register(b.clone()),
+                    );
+                    let per_pair_prepared = per_pair_engine.prepare_join(&pa, &pb);
                     let _ = per_pair_prepared.run_with(Execution::Serial);
                     let (unbatched, unbatched_secs) =
                         timed(|| per_pair_prepared.run_with(Execution::Fused { threads: 4 }));
@@ -312,11 +355,10 @@ pub fn bench_json_only(cfg: &ExpConfig, only: Option<&str>) -> String {
     // criterion).
     if want("raster") {
         for (label, raster) in SWEEP {
-            let config = JoinConfig {
-                raster,
-                ..JoinConfig::default()
-            };
-            let mut prepared = MultiStepJoin::new(config).prepare(&a, &b);
+            let config = JoinConfig::builder().raster(raster).build();
+            let engine = SpatialEngine::new(config);
+            let (ha, hb) = (engine.register(a.clone()), engine.register(b.clone()));
+            let prepared = engine.prepare_join(&ha, &hb);
             let _ = prepared.run_with(Execution::Fused { threads: 4 });
             let (result, secs) = timed(|| prepared.run_with(Execution::Fused { threads: 4 }));
             let mode = format!("raster-{label}");
@@ -337,13 +379,180 @@ pub fn bench_json_only(cfg: &ExpConfig, only: Option<&str>) -> String {
         }
     }
 
+    // Serving: per-query latency of point/window/join traffic on the
+    // resident engine vs paying Step-0 preparation per query (the PR-5
+    // acceptance matrix).
+    if want("serving") {
+        records.extend(serving_records(cfg, &a, &b));
+    }
+
     render(cfg, &a, &b, &records)
+}
+
+fn ids_digest(acc: u64, ids: &mut [ObjectId]) -> u64 {
+    ids.sort_unstable();
+    // Chain the per-query pair digest (id, position) so query order and
+    // per-query membership both matter.
+    let mut acc = acc;
+    for (i, &id) in ids.iter().enumerate() {
+        acc ^= response_digest(&[(id, i as u32)]);
+        acc = acc.rotate_left(17);
+    }
+    acc.wrapping_add(ids.len() as u64 + 1)
+}
+
+fn serving_record(
+    mode: &str,
+    kind: &str,
+    threads: usize,
+    queries: u64,
+    secs: f64,
+    digest: u64,
+    speedup: Option<f64>,
+) -> Record {
+    let per_query = secs / queries.max(1) as f64;
+    Record {
+        experiment: "serving",
+        backend: "rstar",
+        loader: "str",
+        mode: format!("{mode}-{kind}"),
+        threads,
+        millis: secs * 1e3,
+        candidates: 0,
+        candidates_per_sec: 0.0,
+        pairs_per_sec: None,
+        filter_candidates_per_sec: None,
+        peak_buffered: 0,
+        raster: None,
+        serving: Some(ServingCell {
+            queries,
+            queries_per_sec: queries as f64 / secs.max(1e-12),
+            per_query_micros: per_query * 1e6,
+            digest,
+            speedup_vs_prepare: speedup,
+        }),
+    }
+}
+
+fn serving_records(cfg: &ExpConfig, a: &Arc<Relation>, b: &Arc<Relation>) -> Vec<Record> {
+    let config = JoinConfig::default();
+    let engine = SpatialEngine::new(config);
+    let (ha, hb) = (engine.register(a.clone()), engine.register(b.clone()));
+    let q = cfg.query_count();
+    let (points, windows) = serving_queries(a, q);
+    let mut records = Vec::new();
+
+    // Selection traffic: resident over the full workload,
+    // prepare-per-query over the bounded subset (each iteration builds a
+    // fresh engine and registers the dataset — full Step 0 — before the
+    // single probe). Digests compare the shared subset.
+    for kind in ["point", "window"] {
+        let run_resident = |e: &SpatialEngine, h: &msj_core::DatasetHandle, i: usize| match kind {
+            "point" => e.point_query(h, points[i]).ids,
+            _ => e.window_query(h, windows[i]).ids,
+        };
+        // Warm the lazy parts once, then time the full workload.
+        let _ = run_resident(&engine, &ha, 0);
+        let t = Instant::now();
+        let mut resident_subset_digest = 0u64;
+        for i in 0..q {
+            let mut ids = run_resident(&engine, &ha, i);
+            if i < SERVING_PREPARE_QUERIES {
+                resident_subset_digest = ids_digest(resident_subset_digest, &mut ids);
+            }
+        }
+        let resident_secs = t.elapsed().as_secs_f64();
+
+        let prep_q = SERVING_PREPARE_QUERIES.min(q);
+        let t = Instant::now();
+        let mut prepare_digest = 0u64;
+        for i in 0..prep_q {
+            let fresh = SpatialEngine::new(config);
+            let h = fresh.register(a.clone());
+            let mut ids = run_resident(&fresh, &h, i);
+            prepare_digest = ids_digest(prepare_digest, &mut ids);
+        }
+        let prepare_secs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            resident_subset_digest, prepare_digest,
+            "serving/{kind}: resident and prepare-per-query digests diverged"
+        );
+        let per_query_resident = resident_secs / q as f64;
+        let per_query_prepare = prepare_secs / prep_q.max(1) as f64;
+        records.push(serving_record(
+            "resident",
+            kind,
+            1,
+            q as u64,
+            resident_secs,
+            resident_subset_digest,
+            Some(per_query_prepare / per_query_resident.max(1e-12)),
+        ));
+        records.push(serving_record(
+            "prepare-per-query",
+            kind,
+            1,
+            prep_q as u64,
+            prepare_secs,
+            prepare_digest,
+            None,
+        ));
+    }
+
+    // Join traffic: the resident prepared join re-executed vs a full
+    // register+prepare+run per query.
+    let prepared = engine.prepare_join(&ha, &hb);
+    let _ = prepared.run_with(Execution::Fused { threads: 4 }); // warm
+    let t = Instant::now();
+    let mut resident_digest = 0u64;
+    for _ in 0..SERVING_JOIN_RUNS {
+        let result = prepared.run_with(Execution::Fused { threads: 4 });
+        resident_digest ^= response_digest(&result.pairs);
+    }
+    let resident_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let mut prepare_digest = 0u64;
+    for _ in 0..SERVING_JOIN_RUNS {
+        let fresh = SpatialEngine::new(config);
+        let (fa, fb) = (fresh.register(a.clone()), fresh.register(b.clone()));
+        let result = fresh
+            .prepare_join(&fa, &fb)
+            .run_with(Execution::Fused { threads: 4 });
+        prepare_digest ^= response_digest(&result.pairs);
+    }
+    let prepare_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        resident_digest, prepare_digest,
+        "serving/join: resident and prepare-per-query digests diverged"
+    );
+    let per_query_resident = resident_secs / SERVING_JOIN_RUNS as f64;
+    let per_query_prepare = prepare_secs / SERVING_JOIN_RUNS as f64;
+    records.push(serving_record(
+        "resident",
+        "join",
+        4,
+        SERVING_JOIN_RUNS as u64,
+        resident_secs,
+        resident_digest,
+        Some(per_query_prepare / per_query_resident.max(1e-12)),
+    ));
+    records.push(serving_record(
+        "prepare-per-query",
+        "join",
+        4,
+        SERVING_JOIN_RUNS as u64,
+        prepare_secs,
+        prepare_digest,
+        None,
+    ));
+    records
 }
 
 fn render(cfg: &ExpConfig, a: &Relation, b: &Relation, records: &[Record]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"msj-bench-pr4\",\n");
+    out.push_str("  \"schema\": \"msj-bench-pr5\",\n");
     out.push_str("  \"workload\": \"skewed_carto\",\n");
     out.push_str(&format!("  \"objects_a\": {},\n", a.len()));
     out.push_str(&format!("  \"objects_b\": {},\n", b.len()));
@@ -378,10 +587,11 @@ mod tests {
         };
         let json = bench_json(&cfg);
         for needle in [
-            "\"schema\": \"msj-bench-pr4\"",
+            "\"schema\": \"msj-bench-pr5\"",
             "\"experiment\":\"step1\"",
             "\"experiment\":\"join\"",
             "\"experiment\":\"raster\"",
+            "\"experiment\":\"serving\"",
             "\"loader\":\"str\"",
             "\"loader\":\"incremental\"",
             "\"mode\":\"fused\"",
@@ -391,6 +601,14 @@ mod tests {
             "\"mode\":\"raster-b8\"",
             "\"backend\":\"grid\"",
             "\"raster_decided_fraction\":",
+            "\"mode\":\"resident-point\"",
+            "\"mode\":\"prepare-per-query-point\"",
+            "\"mode\":\"resident-window\"",
+            "\"mode\":\"resident-join\"",
+            "\"queries_per_sec\":",
+            "\"per_query_micros\":",
+            "\"speedup_vs_prepare\":",
+            "\"digest\":\"0x",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
@@ -401,8 +619,9 @@ mod tests {
             "unbalanced braces"
         );
         // Omitted-when-absent: step1 cells carry no join/filter
-        // throughput, collect-chunk cells no filter throughput, and the
-        // raster-off cell no raster payload.
+        // throughput, collect-chunk cells no filter throughput, the
+        // raster-off cell no raster payload, and only resident serving
+        // cells a speedup.
         for line in json.lines() {
             if line.contains("\"experiment\":\"step1\"") {
                 assert!(!line.contains("pairs_per_sec"), "step1 cell: {line}");
@@ -420,6 +639,12 @@ mod tests {
             if line.contains("\"mode\":\"raster-off\"") {
                 assert!(!line.contains("raster_grid_bits"), "off cell: {line}");
             }
+            if line.contains("\"mode\":\"prepare-per-query") {
+                assert!(
+                    !line.contains("speedup_vs_prepare"),
+                    "prepare cell carries no speedup: {line}"
+                );
+            }
         }
     }
 
@@ -433,9 +658,35 @@ mod tests {
         assert!(json.contains("\"experiment\":\"raster\""));
         assert!(!json.contains("\"experiment\":\"step1\""));
         assert!(!json.contains("\"experiment\":\"join\""));
+        assert!(!json.contains("\"experiment\":\"serving\""));
         // The raster sweep still verifies on/off agreement internally
         // (the check closure compares every cell against the first).
         assert!(json.contains("\"mode\":\"raster-off\""));
         assert!(json.contains("\"mode\":\"raster-b10\""));
+    }
+
+    #[test]
+    fn serving_section_asserts_digest_agreement() {
+        let cfg = ExpConfig {
+            seed: 5,
+            scale: Scale::Quick,
+        };
+        let json = bench_json_only(&cfg, Some("serving"));
+        assert!(json.contains("\"experiment\":\"serving\""));
+        // Six cells: {resident, prepare-per-query} × {point, window, join}.
+        assert_eq!(json.matches("\"experiment\":\"serving\"").count(), 6);
+        // Digests of paired modes are equal (the section panics
+        // otherwise, so reaching here plus finding both spellings is the
+        // assertion).
+        for kind in ["point", "window", "join"] {
+            let digests: Vec<&str> = json
+                .lines()
+                .filter(|l| l.contains(&format!("-{kind}\"")))
+                .filter_map(|l| l.split("\"digest\":\"").nth(1))
+                .filter_map(|t| t.split('"').next())
+                .collect();
+            assert_eq!(digests.len(), 2, "{kind}: two cells expected");
+            assert_eq!(digests[0], digests[1], "{kind}: digests differ");
+        }
     }
 }

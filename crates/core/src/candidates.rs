@@ -18,11 +18,13 @@
 //! `tests/backend_agreement.rs` assert it).
 
 use crate::config::{Backend, JoinConfig, TreeLoader, DEFAULT_BATCH_PAIRS};
-use msj_geom::{FnConsumer, ObjectId, PairBatchBuffer, PairConsumer, Point, Rect, Relation};
+use msj_geom::{
+    FnConsumer, ObjectId, PairBatchBuffer, PairConsumer, Point, Rect, RelHandle, Relation,
+};
 use msj_partition::{partition_join, partition_join_workers, GridIndex, PartitionStats};
 use msj_sam::{tree_join_chunked, JoinStats, LruBuffer, PageLayout, RStarTree};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 
 /// Default candidate pairs per batch/chunk
 /// ([`crate::config::DEFAULT_BATCH_PAIRS`]; override per join with
@@ -119,7 +121,12 @@ pub struct SelectionStats {
 /// produced. Callers that just want a single candidate stream on the
 /// calling thread use `stream_candidates` (an inherent helper on
 /// `dyn CandidateSource`).
-pub trait CandidateSource {
+///
+/// Every method takes `&self`: per-run mutability (the simulated LRU
+/// buffer, lazily built grid state) lives behind interior mutability, so
+/// a prepared source is resident, `Sync`, and can serve queries from an
+/// `Arc`-shared [`crate::PreparedJoin`] without exclusive access.
+pub trait CandidateSource: Send + Sync {
     /// The backend's display name (used by reports and benches).
     fn name(&self) -> &'static str;
 
@@ -132,14 +139,14 @@ pub trait CandidateSource {
     /// `workers <= 1` exactly one sink is attached on the calling thread
     /// and candidates arrive in the backend's deterministic order; with
     /// more, each backend worker thread attaches its own sink.
-    fn join_candidates(&mut self, consumer: &dyn PairConsumer, workers: usize) -> Step1Stats;
+    fn join_candidates(&self, consumer: &dyn PairConsumer, workers: usize) -> Step1Stats;
 
     /// Appends every id of the primary relation whose MBR contains `p`.
-    fn point_candidates(&mut self, p: Point, out: &mut Vec<ObjectId>) -> SelectionStats;
+    fn point_candidates(&self, p: Point, out: &mut Vec<ObjectId>) -> SelectionStats;
 
     /// Appends every id of the primary relation whose MBR intersects
     /// `window`.
-    fn window_candidates(&mut self, window: Rect, out: &mut Vec<ObjectId>) -> SelectionStats;
+    fn window_candidates(&self, window: Rect, out: &mut Vec<ObjectId>) -> SelectionStats;
 }
 
 impl dyn CandidateSource + '_ {
@@ -147,12 +154,21 @@ impl dyn CandidateSource + '_ {
     /// [`join_candidates`](CandidateSource::join_candidates): streams
     /// every candidate to one closure on the calling thread.
     pub fn stream_candidates(
-        &mut self,
+        &self,
         sink: &mut (dyn FnMut(ObjectId, ObjectId) + Send),
     ) -> Step1Stats {
         let consumer = FnConsumer::new(sink);
         self.join_candidates(&consumer, 1)
     }
+}
+
+/// Pre-built Step-0 artifacts of one registered dataset that the Step-1
+/// backends can share instead of rebuilding: the paged R*-tree (`None`
+/// when the dataset was registered for a grid backend, which indexes
+/// nothing at registration).
+#[derive(Clone, Default)]
+pub(crate) struct SharedStep1 {
+    pub tree: Option<Arc<RStarTree>>,
 }
 
 /// Builds the configured backend over a relation pair (Step 1 of a join).
@@ -161,8 +177,34 @@ pub fn join_source<'a>(
     rel_a: &'a Relation,
     rel_b: &'a Relation,
 ) -> Box<dyn CandidateSource + 'a> {
+    join_source_with(
+        config,
+        rel_a.into(),
+        rel_b.into(),
+        SharedStep1::default(),
+        SharedStep1::default(),
+    )
+}
+
+/// [`join_source`] over explicit handles plus optionally pre-built shared
+/// trees (the resident engine's path: Step 0 ran at dataset registration).
+pub(crate) fn join_source_with<'a>(
+    config: &JoinConfig,
+    rel_a: RelHandle<'a>,
+    rel_b: RelHandle<'a>,
+    shared_a: SharedStep1,
+    shared_b: SharedStep1,
+) -> Box<dyn CandidateSource + 'a> {
     match config.backend {
-        Backend::RStarTraversal => Box::new(RStarSource::for_join(config, rel_a, rel_b)),
+        Backend::RStarTraversal => {
+            let tree_a = shared_a
+                .tree
+                .unwrap_or_else(|| Arc::new(build_tree(config, &rel_a)));
+            let tree_b = shared_b
+                .tree
+                .unwrap_or_else(|| Arc::new(build_tree(config, &rel_b)));
+            Box::new(RStarSource::new(config, tree_a, Some(tree_b)))
+        }
         Backend::PartitionedSweep {
             tiles_per_axis,
             threads,
@@ -182,8 +224,23 @@ pub fn selection_source<'a>(
     config: &JoinConfig,
     relation: &'a Relation,
 ) -> Box<dyn CandidateSource + 'a> {
+    selection_source_with(config, relation.into(), SharedStep1::default())
+}
+
+/// [`selection_source`] over an explicit handle plus an optionally
+/// pre-built shared tree.
+pub(crate) fn selection_source_with<'a>(
+    config: &JoinConfig,
+    relation: RelHandle<'a>,
+    shared: SharedStep1,
+) -> Box<dyn CandidateSource + 'a> {
     match config.backend {
-        Backend::RStarTraversal => Box::new(RStarSource::for_relation(config, relation)),
+        Backend::RStarTraversal => {
+            let tree = shared
+                .tree
+                .unwrap_or_else(|| Arc::new(build_tree(config, &relation)));
+            Box::new(RStarSource::new(config, tree, None))
+        }
         Backend::PartitionedSweep {
             tiles_per_axis,
             threads,
@@ -197,49 +254,39 @@ pub fn selection_source<'a>(
     }
 }
 
+/// Step 0 for one relation under the configured [`TreeLoader`]: STR bulk
+/// loading by default (the whole relation is in hand), incremental R*
+/// insertion on request. The engine calls this once per registered
+/// dataset; the one-shot paths call it per source.
+pub(crate) fn build_tree(config: &JoinConfig, relation: &Relation) -> RStarTree {
+    let layout = PageLayout::with_extra_bytes(config.page_size, config.extra_leaf_bytes());
+    let keys = relation.iter().map(|o| (o.mbr(), o.id));
+    match config.loader {
+        TreeLoader::Str => RStarTree::bulk_load(layout, keys),
+        TreeLoader::Incremental => RStarTree::insert_all(layout, keys),
+    }
+}
+
 /// The default backend: paged R*-trees, synchronized traversal, LRU
-/// buffer I/O accounting.
+/// buffer I/O accounting. Trees are `Arc`-shared so registered datasets
+/// pay Step 0 once; the simulated I/O buffer is per-source state behind a
+/// mutex (locked once per join run / once per selection probe).
 struct RStarSource {
-    tree_a: RStarTree,
+    tree_a: Arc<RStarTree>,
     /// `None` for single-relation (selection) sources; joins then run
     /// `tree_a ⋈ tree_a`.
-    tree_b: Option<RStarTree>,
-    buffer: LruBuffer,
+    tree_b: Option<Arc<RStarTree>>,
+    buffer: Mutex<LruBuffer>,
     /// Candidate pairs per batched delivery / cross-thread chunk.
     batch: usize,
 }
 
 impl RStarSource {
-    fn layout(config: &JoinConfig) -> PageLayout {
-        PageLayout::with_extra_bytes(config.page_size, config.extra_leaf_bytes())
-    }
-
-    /// Step 0 for one relation under the configured
-    /// [`TreeLoader`]: STR bulk loading by default (the whole relation is
-    /// in hand), incremental R* insertion on request.
-    fn build_tree(config: &JoinConfig, relation: &Relation) -> RStarTree {
-        let layout = Self::layout(config);
-        let keys = relation.iter().map(|o| (o.mbr(), o.id));
-        match config.loader {
-            TreeLoader::Str => RStarTree::bulk_load(layout, keys),
-            TreeLoader::Incremental => RStarTree::insert_all(layout, keys),
-        }
-    }
-
-    fn for_join(config: &JoinConfig, rel_a: &Relation, rel_b: &Relation) -> Self {
+    fn new(config: &JoinConfig, tree_a: Arc<RStarTree>, tree_b: Option<Arc<RStarTree>>) -> Self {
         RStarSource {
-            tree_a: Self::build_tree(config, rel_a),
-            tree_b: Some(Self::build_tree(config, rel_b)),
-            buffer: LruBuffer::with_bytes(config.buffer_bytes, config.page_size),
-            batch: config.batch_pairs.max(1),
-        }
-    }
-
-    fn for_relation(config: &JoinConfig, relation: &Relation) -> Self {
-        RStarSource {
-            tree_a: Self::build_tree(config, relation),
-            tree_b: None,
-            buffer: LruBuffer::with_bytes(config.buffer_bytes, config.page_size),
+            tree_a,
+            tree_b,
+            buffer: Mutex::new(LruBuffer::with_bytes(config.buffer_bytes, config.page_size)),
             batch: config.batch_pairs.max(1),
         }
     }
@@ -250,14 +297,15 @@ impl CandidateSource for RStarSource {
         "rstar-traversal"
     }
 
-    fn join_candidates(&mut self, consumer: &dyn PairConsumer, workers: usize) -> Step1Stats {
-        let RStarSource {
-            tree_a,
-            tree_b,
-            buffer,
-            batch,
-        } = self;
-        let (tree_b, batch) = (tree_b.as_ref().unwrap_or(tree_a), *batch);
+    fn join_candidates(&self, consumer: &dyn PairConsumer, workers: usize) -> Step1Stats {
+        let tree_a = &*self.tree_a;
+        let tree_b = self.tree_b.as_deref().unwrap_or(tree_a);
+        let batch = self.batch;
+        // One lock for the whole traversal: the simulated I/O buffer is
+        // inherently serial state. Concurrent runs of a shared prepared
+        // join serialize here (Steps 2–3 still parallelize per run).
+        let mut buffer = self.buffer.lock().expect("buffer poisoned");
+        let buffer = &mut *buffer;
         if workers <= 1 {
             // Serial: the traversal's chunks double as sink batches — one
             // virtual dispatch (and one batched classification
@@ -289,8 +337,8 @@ impl CandidateSource for RStarSource {
         // shared work queue (locked per chunk, not per pair). Lock
         // poisoning is ignored deliberately: a panicking worker must not
         // take the queue down with it (see below).
-        let rx = std::sync::Mutex::new(rx);
-        let recv = |rx: &std::sync::Mutex<mpsc::Receiver<Vec<(ObjectId, ObjectId)>>>| {
+        let rx = Mutex::new(rx);
+        let recv = |rx: &Mutex<mpsc::Receiver<Vec<(ObjectId, ObjectId)>>>| {
             rx.lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .recv()
@@ -340,23 +388,25 @@ impl CandidateSource for RStarSource {
         }
     }
 
-    fn point_candidates(&mut self, p: Point, out: &mut Vec<ObjectId>) -> SelectionStats {
-        let before = self.buffer.stats().physical;
-        let hits = self.tree_a.point_query(p, &mut self.buffer);
+    fn point_candidates(&self, p: Point, out: &mut Vec<ObjectId>) -> SelectionStats {
+        let mut buffer = self.buffer.lock().expect("buffer poisoned");
+        let before = buffer.stats().physical;
+        let hits = self.tree_a.point_query(p, &mut buffer);
         let stats = SelectionStats {
             candidates: hits.len() as u64,
-            physical_reads: self.buffer.stats().physical - before,
+            physical_reads: buffer.stats().physical - before,
         };
         out.extend(hits);
         stats
     }
 
-    fn window_candidates(&mut self, window: Rect, out: &mut Vec<ObjectId>) -> SelectionStats {
-        let before = self.buffer.stats().physical;
-        let hits = self.tree_a.window_query(window, &mut self.buffer);
+    fn window_candidates(&self, window: Rect, out: &mut Vec<ObjectId>) -> SelectionStats {
+        let mut buffer = self.buffer.lock().expect("buffer poisoned");
+        let before = buffer.stats().physical;
+        let hits = self.tree_a.window_query(window, &mut buffer);
         let stats = SelectionStats {
             candidates: hits.len() as u64,
-            physical_reads: self.buffer.stats().physical - before,
+            physical_reads: buffer.stats().physical - before,
         };
         out.extend(hits);
         stats
@@ -370,24 +420,24 @@ type MbrItemsSlice<'b> = &'b [(Rect, ObjectId)];
 /// The partitioned backend: uniform grid, per-tile plane sweeps,
 /// reference-point deduplication, scoped-thread parallelism.
 struct GridSource<'a> {
-    rel_a: &'a Relation,
-    rel_b: Option<&'a Relation>,
+    rel_a: RelHandle<'a>,
+    rel_b: Option<RelHandle<'a>>,
     tiles_per_axis: usize,
     threads: usize,
     /// Candidate pairs per batched sink delivery.
     batch: usize,
     /// Single-relation grid for selection probes, built on first use.
-    index: Option<GridIndex>,
+    index: OnceLock<GridIndex>,
     /// `(items_a, items_b)` MBR lists for joins, collected on first use
     /// and reused across repeated `PreparedJoin` runs (`items_b` is
     /// `None` for self-joins — side A doubles as side B).
-    join_items: Option<(MbrItems, Option<MbrItems>)>,
+    join_items: OnceLock<(MbrItems, Option<MbrItems>)>,
 }
 
 impl<'a> GridSource<'a> {
     fn new(
-        rel_a: &'a Relation,
-        rel_b: Option<&'a Relation>,
+        rel_a: RelHandle<'a>,
+        rel_b: Option<RelHandle<'a>>,
         tiles_per_axis: usize,
         threads: usize,
         batch: usize,
@@ -398,8 +448,8 @@ impl<'a> GridSource<'a> {
             tiles_per_axis,
             threads,
             batch: batch.max(1),
-            index: None,
-            join_items: None,
+            index: OnceLock::new(),
+            join_items: OnceLock::new(),
         }
     }
 
@@ -407,19 +457,20 @@ impl<'a> GridSource<'a> {
         relation.iter().map(|o| (o.mbr(), o.id)).collect()
     }
 
-    fn join_items(&mut self) -> (MbrItemsSlice<'_>, MbrItemsSlice<'_>) {
-        let (rel_a, rel_b) = (self.rel_a, self.rel_b);
-        let (a, b) = self
-            .join_items
-            .get_or_insert_with(|| (Self::items(rel_a), rel_b.map(Self::items)));
+    fn join_items(&self) -> (MbrItemsSlice<'_>, MbrItemsSlice<'_>) {
+        let (a, b) = self.join_items.get_or_init(|| {
+            (
+                Self::items(&self.rel_a),
+                self.rel_b.as_deref().map(Self::items),
+            )
+        });
         let a: MbrItemsSlice = a;
         (a, b.as_deref().unwrap_or(a))
     }
 
-    fn index(&mut self) -> &GridIndex {
-        let (rel_a, tiles) = (self.rel_a, self.tiles_per_axis);
+    fn index(&self) -> &GridIndex {
         self.index
-            .get_or_insert_with(|| GridIndex::build(&Self::items(rel_a), tiles))
+            .get_or_init(|| GridIndex::build(&Self::items(&self.rel_a), self.tiles_per_axis))
     }
 }
 
@@ -428,7 +479,7 @@ impl CandidateSource for GridSource<'_> {
         "partitioned-sweep"
     }
 
-    fn join_candidates(&mut self, consumer: &dyn PairConsumer, workers: usize) -> Step1Stats {
+    fn join_candidates(&self, consumer: &dyn PairConsumer, workers: usize) -> Step1Stats {
         let (tiles_per_axis, threads, batch) = (self.tiles_per_axis, self.threads, self.batch);
         let (items_a, items_b) = self.join_items();
         let (stats, workers_fed) = if workers <= 1 {
@@ -465,7 +516,7 @@ impl CandidateSource for GridSource<'_> {
         }
     }
 
-    fn point_candidates(&mut self, p: Point, out: &mut Vec<ObjectId>) -> SelectionStats {
+    fn point_candidates(&self, p: Point, out: &mut Vec<ObjectId>) -> SelectionStats {
         let before = out.len();
         self.index().point_candidates(p, out);
         SelectionStats {
@@ -474,7 +525,7 @@ impl CandidateSource for GridSource<'_> {
         }
     }
 
-    fn window_candidates(&mut self, window: Rect, out: &mut Vec<ObjectId>) -> SelectionStats {
+    fn window_candidates(&self, window: Rect, out: &mut Vec<ObjectId>) -> SelectionStats {
         let before = out.len();
         self.index().window_candidates(window, out);
         SelectionStats {
@@ -519,7 +570,7 @@ mod tests {
         let b = msj_datagen::small_carto(40, 24.0, 302);
         let mut reference: Option<Vec<(ObjectId, ObjectId)>> = None;
         for config in configs() {
-            let mut source = join_source(&config, &a, &b);
+            let source = join_source(&config, &a, &b);
             let mut got = Vec::new();
             let stats = source.stream_candidates(&mut |x, y| got.push((x, y)));
             assert_eq!(stats.join.candidates, got.len() as u64, "{}", source.name());
@@ -542,7 +593,7 @@ mod tests {
             },
             ..JoinConfig::default()
         };
-        let mut source = join_source(&config, &a, &b);
+        let source = join_source(&config, &a, &b);
         let stats = source.stream_candidates(&mut |_, _| {});
         let summary = stats.partition.expect("partition summary");
         assert_eq!(summary.tiles_per_axis, 4);
@@ -552,7 +603,7 @@ mod tests {
         assert!(summary.replication_factor >= 1.0);
         assert!(summary.busiest_tile_candidates <= stats.join.candidates);
         // The R*-tree backend reports none.
-        let mut rstar = join_source(&JoinConfig::default(), &a, &b);
+        let rstar = join_source(&JoinConfig::default(), &a, &b);
         assert!(rstar.stream_candidates(&mut |_, _| {}).partition.is_none());
     }
 
@@ -570,7 +621,7 @@ mod tests {
         }
         let a = msj_datagen::small_carto(30, 20.0, 341);
         let b = msj_datagen::small_carto(30, 20.0, 342);
-        let mut source = join_source(&JoinConfig::default(), &a, &b);
+        let source = join_source(&JoinConfig::default(), &a, &b);
         source.join_candidates(&Exploding, 2);
     }
 
@@ -578,7 +629,7 @@ mod tests {
     fn selection_probes_agree_across_backends() {
         let rel = msj_datagen::small_carto(50, 24.0, 321);
         let world = rel.bounding_rect().unwrap();
-        let mut sources: Vec<_> = configs()
+        let sources: Vec<_> = configs()
             .iter()
             .map(|c| selection_source(c, &rel))
             .collect();
@@ -595,7 +646,7 @@ mod tests {
             );
             let mut expect_point: Option<Vec<ObjectId>> = None;
             let mut expect_window: Option<Vec<ObjectId>> = None;
-            for source in &mut sources {
+            for source in &sources {
                 let mut got = Vec::new();
                 let stats = source.point_candidates(p, &mut got);
                 assert_eq!(stats.candidates, got.len() as u64);
@@ -619,7 +670,7 @@ mod tests {
     fn self_join_source_works_without_second_relation() {
         let rel = msj_datagen::small_carto(25, 20.0, 331);
         for config in configs() {
-            let mut source = selection_source(&config, &rel);
+            let source = selection_source(&config, &rel);
             let mut pairs = Vec::new();
             source.stream_candidates(&mut |x, y| pairs.push((x, y)));
             // Every object pairs with itself in a self-join.

@@ -94,6 +94,14 @@ impl RasterConfig {
         }
     }
 
+    /// Enabled with the grid auto-sized from the workload (the default).
+    pub const fn auto() -> Self {
+        RasterConfig {
+            enabled: true,
+            grid_bits: 0,
+        }
+    }
+
     /// Enabled at an explicit grid resolution (`0` = auto-size).
     pub const fn with_bits(grid_bits: u32) -> Self {
         RasterConfig {
@@ -103,7 +111,25 @@ impl RasterConfig {
     }
 }
 
-/// Complete configuration of one spatial-join execution.
+/// Complete configuration of one spatial-join execution (and of a
+/// resident [`crate::SpatialEngine`], which applies it to every dataset
+/// it registers).
+///
+/// The struct is `#[non_exhaustive]`: outside `msj-core` it is
+/// constructed through the presets ([`JoinConfig::default`],
+/// [`JoinConfig::version1`]…) or the builder, never by struct literal —
+/// so the configuration surface can grow without breaking callers.
+///
+/// ```
+/// use msj_core::{Execution, JoinConfig, RasterConfig};
+///
+/// let config = JoinConfig::builder()
+///     .execution(Execution::Fused { threads: 4 })
+///     .raster(RasterConfig::auto())
+///     .build();
+/// assert_eq!(config.execution, Execution::Fused { threads: 4 });
+/// ```
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JoinConfig {
     /// Step-1 candidate backend (R*-tree traversal unless configured
@@ -197,6 +223,21 @@ impl JoinConfig {
         JoinConfig::default()
     }
 
+    /// Starts a builder seeded with the defaults
+    /// ([`JoinConfig::default`], the paper's version 3).
+    pub fn builder() -> JoinConfigBuilder {
+        JoinConfigBuilder {
+            config: JoinConfig::default(),
+        }
+    }
+
+    /// Re-opens this configuration as a builder (the replacement for
+    /// functional-update syntax on the now-`#[non_exhaustive]` struct:
+    /// `JoinConfig::version2().to_builder().false_area_test(true).build()`).
+    pub fn to_builder(self) -> JoinConfigBuilder {
+        JoinConfigBuilder { config: self }
+    }
+
     /// Extra leaf-entry bytes for the stored approximations (MBR itself
     /// and the 32-byte object info are part of the baseline layout).
     pub fn extra_leaf_bytes(&self) -> usize {
@@ -205,6 +246,92 @@ impl JoinConfig {
             .map_or(0, |k| msj_approx::conservative_bytes(k, None));
         let prog = self.progressive.map_or(0, msj_approx::progressive_bytes);
         cons + prog
+    }
+}
+
+/// Builder for [`JoinConfig`] — the only way to assemble a non-preset
+/// configuration outside `msj-core`.
+///
+/// Every setter overrides one knob; unset knobs keep the seed value
+/// ([`JoinConfig::builder`] seeds the defaults, [`JoinConfig::to_builder`]
+/// seeds an existing configuration).
+#[derive(Debug, Clone)]
+pub struct JoinConfigBuilder {
+    config: JoinConfig,
+}
+
+impl JoinConfigBuilder {
+    /// Step-1 candidate backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// R*-tree page size in bytes.
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        self.config.page_size = bytes;
+        self
+    }
+
+    /// LRU buffer size in bytes.
+    pub fn buffer_bytes(mut self, bytes: usize) -> Self {
+        self.config.buffer_bytes = bytes;
+        self
+    }
+
+    /// Conservative approximation stored in addition to the MBR
+    /// (`None` disables the false-hit filter).
+    pub fn conservative(mut self, kind: impl Into<Option<ConservativeKind>>) -> Self {
+        self.config.conservative = kind.into();
+        self
+    }
+
+    /// Progressive approximation stored in addition (`None` disables the
+    /// hit filter).
+    pub fn progressive(mut self, kind: impl Into<Option<ProgressiveKind>>) -> Self {
+        self.config.progressive = kind.into();
+        self
+    }
+
+    /// Whether to run the false-area test (§3.3).
+    pub fn false_area_test(mut self, enabled: bool) -> Self {
+        self.config.false_area_test = enabled;
+        self
+    }
+
+    /// The Step-2a raster pre-filter stage.
+    pub fn raster(mut self, raster: RasterConfig) -> Self {
+        self.config.raster = raster;
+        self
+    }
+
+    /// Exact geometry algorithm for the final step.
+    pub fn exact(mut self, exact: ExactAlgorithm) -> Self {
+        self.config.exact = exact;
+        self
+    }
+
+    /// How Steps 2–3 are scheduled relative to Step 1.
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.config.execution = execution;
+        self
+    }
+
+    /// How Step 0 builds the R*-trees.
+    pub fn loader(mut self, loader: TreeLoader) -> Self {
+        self.config.loader = loader;
+        self
+    }
+
+    /// Candidate pairs per batched sink delivery (clamped to ≥ 1).
+    pub fn batch_pairs(mut self, pairs: usize) -> Self {
+        self.config.batch_pairs = pairs;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> JoinConfig {
+        self.config
     }
 }
 
@@ -272,6 +399,50 @@ mod tests {
         assert_eq!(RasterConfig::with_bits(8).grid_bits, 8);
         assert!(RasterConfig::with_bits(8).enabled);
         assert!(!RasterConfig::off().enabled);
+    }
+
+    #[test]
+    fn builder_round_trips_and_overrides() {
+        // Untouched builder == defaults.
+        assert_eq!(JoinConfig::builder().build(), JoinConfig::default());
+        // Every setter lands on its field.
+        let c = JoinConfig::builder()
+            .backend(Backend::PartitionedSweep {
+                tiles_per_axis: 8,
+                threads: 2,
+            })
+            .page_size(2048)
+            .buffer_bytes(64 * 1024)
+            .conservative(ConservativeKind::ConvexHull)
+            .progressive(None)
+            .false_area_test(true)
+            .raster(RasterConfig::with_bits(7))
+            .exact(ExactAlgorithm::Quadratic)
+            .execution(Execution::Fused { threads: 3 })
+            .loader(TreeLoader::Incremental)
+            .batch_pairs(64)
+            .build();
+        assert_eq!(
+            c.backend,
+            Backend::PartitionedSweep {
+                tiles_per_axis: 8,
+                threads: 2
+            }
+        );
+        assert_eq!(c.page_size, 2048);
+        assert_eq!(c.buffer_bytes, 64 * 1024);
+        assert_eq!(c.conservative, Some(ConservativeKind::ConvexHull));
+        assert_eq!(c.progressive, None);
+        assert!(c.false_area_test);
+        assert_eq!(c.raster, RasterConfig::with_bits(7));
+        assert_eq!(c.exact, ExactAlgorithm::Quadratic);
+        assert_eq!(c.execution, Execution::Fused { threads: 3 });
+        assert_eq!(c.loader, TreeLoader::Incremental);
+        assert_eq!(c.batch_pairs, 64);
+        // to_builder picks up a preset.
+        let v2 = JoinConfig::version2().to_builder().build();
+        assert_eq!(v2, JoinConfig::version2());
+        assert_eq!(RasterConfig::auto(), RasterConfig::default());
     }
 
     #[test]

@@ -1,0 +1,908 @@
+//! The resident engine: registered datasets, owned prepared joins, and a
+//! unified query-serving surface.
+//!
+//! The paper's whole economy is that Step-0 preprocessing — R*-trees,
+//! approximation stores, raster signatures, TR*-tree object
+//! representations — is built *once* and amortized over many executions
+//! ("time and storage is invested in the representation of the spatial
+//! objects", §4.2). A [`SpatialEngine`] makes that shape first-class:
+//!
+//! * [`SpatialEngine::register`] runs Step 0 for one relation and
+//!   **owns** the result behind [`Arc`] — the returned [`DatasetHandle`]
+//!   is a cheap, clonable, thread-safe reference;
+//! * [`SpatialEngine::prepare_join`] assembles (and caches) an owned
+//!   [`PreparedJoin`] — **no borrowed lifetime** — from the two
+//!   datasets' shared Step-0 state plus the pair-level raster
+//!   signatures; it can be held in an `Arc`, shared across threads, and
+//!   re-run indefinitely, each run byte-identical in its response set;
+//! * join, self-join, point and window (selection) queries all go
+//!   through one [`Request`]/[`Response`] surface —
+//!   [`SpatialEngine::submit`] for a single query,
+//!   [`SpatialEngine::submit_batch`] for a batch — and every response
+//!   carries the §5 cost-model accounting ([`Admission`]): the
+//!   admission-time estimate next to the observed breakdown, including
+//!   the measured Step-2a decided-rate fed back as an observed
+//!   parameter;
+//! * execution of join requests is admission-controlled: configure
+//!   [`SpatialEngine::with_admission_limit`] and the engine refuses
+//!   (with [`EngineError::AdmissionDenied`]) any join whose §5 modeled
+//!   cost — from the prepared join's observed history, or the a-priori
+//!   estimate before a first run — exceeds the limit.
+//!
+//! ```
+//! use msj_core::{JoinConfig, Request, Response, SpatialEngine};
+//!
+//! let engine = SpatialEngine::new(JoinConfig::default());
+//! let forests = engine.register(msj_datagen::small_carto(24, 20.0, 7));
+//! let cities = engine.register(msj_datagen::small_carto(24, 20.0, 8));
+//!
+//! // A resident prepared join: Step 0 is already paid; every run is
+//! // Steps 1–3 only.
+//! let prepared = engine.prepare_join(&forests, &cities);
+//! let first = prepared.run();
+//!
+//! // The same join through the serving surface, plus a point probe.
+//! let responses = engine.submit_batch([
+//!     Request::Join { a: forests.id(), b: cities.id(), execution: None },
+//!     Request::Point { dataset: forests.id(), point: msj_geom::Point::new(0.0, 0.0) },
+//! ]);
+//! let Ok(Response::Join(join)) = &responses[0] else { panic!() };
+//! assert_eq!(join.pairs, first.pairs);
+//! assert!(responses[1].is_ok());
+//! ```
+
+use crate::candidates::{self, SharedStep1};
+use crate::config::{Backend, JoinConfig};
+use crate::cost::{estimate_cost, figure18_cost, CostBreakdown, CostModelParams, ExactCostKind};
+use crate::execution::{Execution, ScopedPreparedJoin};
+use crate::filter::GeometricFilter;
+use crate::pipeline::JoinResult;
+use crate::queries::{QueryStats, SelectionState};
+use crate::stats::MultiStepStats;
+use msj_approx::{ConservativeStore, ProgressiveStore};
+use msj_exact::{ExactAlgorithm, ExactProcessor, OpCounts, TrStarStore};
+use msj_geom::{ObjectId, Point, Rect, RelHandle, Relation};
+use msj_sam::RStarTree;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Identifier of a dataset registered on one engine (assigned in
+/// registration order).
+pub type DatasetId = u32;
+
+/// One registered dataset: the relation plus every per-relation Step-0
+/// artifact the engine's configuration calls for, all `Arc`-shared.
+struct DatasetState {
+    id: DatasetId,
+    relation: Arc<Relation>,
+    /// The paged R*-tree (only under [`Backend::RStarTraversal`]; the
+    /// partitioned backend indexes lazily inside its sources).
+    tree: Option<Arc<RStarTree>>,
+    conservative: Option<Arc<ConservativeStore>>,
+    progressive: Option<Arc<ProgressiveStore>>,
+    /// TR*-tree object representations (only when the exact step is
+    /// [`ExactAlgorithm::TrStar`]).
+    trstar: Option<Arc<TrStarStore>>,
+    /// Resident selection state serving point/window queries.
+    selection: SelectionState<'static>,
+    /// Wall-clock of this dataset's share of Step 0.
+    step0_nanos: u64,
+}
+
+/// A cheap, clonable, thread-safe reference to a registered dataset.
+#[derive(Clone)]
+pub struct DatasetHandle {
+    state: Arc<DatasetState>,
+}
+
+impl DatasetHandle {
+    /// The dataset's engine-assigned id (what [`Request`]s name).
+    pub fn id(&self) -> DatasetId {
+        self.state.id
+    }
+
+    /// The registered relation.
+    pub fn relation(&self) -> &Arc<Relation> {
+        &self.state.relation
+    }
+
+    /// Objects in the relation.
+    pub fn len(&self) -> usize {
+        self.state.relation.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.state.relation.is_empty()
+    }
+
+    /// Nanoseconds spent on this dataset's Step-0 preprocessing at
+    /// registration.
+    pub fn step0_nanos(&self) -> u64 {
+        self.state.step0_nanos
+    }
+}
+
+impl std::fmt::Debug for DatasetHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DatasetHandle")
+            .field("id", &self.state.id)
+            .field("objects", &self.state.relation.len())
+            .finish()
+    }
+}
+
+/// An **owned** prepared join — the resident counterpart of
+/// [`ScopedPreparedJoin`], with no borrowed lifetime: both datasets'
+/// Step-0 state is co-owned behind `Arc`, so the value can be cached,
+/// moved, held in an `Arc` and executed from any thread, indefinitely.
+///
+/// Every run produces the identical response set (canonically sorted
+/// under fused execution); the only run-to-run drift is the simulated
+/// LRU buffer of the R*-traversal staying warm (later runs report fewer
+/// physical reads). The most recent run's statistics are retained as the
+/// admission history the engine's §5 cost model estimates from.
+pub struct PreparedJoin {
+    a: DatasetHandle,
+    b: DatasetHandle,
+    exact_cost_kind: ExactCostKind,
+    scoped: ScopedPreparedJoin<'static>,
+    /// Most recent run's statistics (admission history).
+    last: Mutex<Option<MultiStepStats>>,
+}
+
+impl PreparedJoin {
+    /// Runs Steps 1–3 under the engine-configured execution policy.
+    pub fn run(&self) -> JoinResult {
+        self.run_with(self.scoped.execution())
+    }
+
+    /// Runs Steps 1–3 under an explicit policy.
+    pub fn run_with(&self, execution: Execution) -> JoinResult {
+        let result = self.scoped.run_with(execution);
+        *self.last.lock().expect("stats lock poisoned") = Some(result.stats);
+        result
+    }
+
+    /// The joined dataset ids `(a, b)`.
+    pub fn datasets(&self) -> (DatasetId, DatasetId) {
+        (self.a.id(), self.b.id())
+    }
+
+    /// Statistics of the most recent run, if any ran yet.
+    pub fn last_stats(&self) -> Option<MultiStepStats> {
+        *self.last.lock().expect("stats lock poisoned")
+    }
+
+    /// The §5 modeled cost this join would be admitted under right now:
+    /// the observed history when a run happened (`from_history = true`),
+    /// the a-priori estimate otherwise.
+    pub fn admission_estimate(&self, params: &CostModelParams) -> (f64, bool) {
+        match self.last_stats() {
+            Some(stats) => (
+                figure18_cost(&stats, self.exact_cost_kind, params).total_s(),
+                true,
+            ),
+            None => (
+                a_priori_estimate(self.a.len(), self.b.len(), self.exact_cost_kind, params),
+                false,
+            ),
+        }
+    }
+}
+
+/// The §5 estimate for a join that never ran: on the paper's
+/// cartographic workloads each object meets on the order of one join
+/// partner (Table 2), so the larger side bounds the expected candidate
+/// count. Needs only the dataset sizes — admission can refuse a request
+/// before any pair-level Step 0 is built.
+fn a_priori_estimate(
+    len_a: usize,
+    len_b: usize,
+    kind: ExactCostKind,
+    params: &CostModelParams,
+) -> f64 {
+    estimate_cost(len_a.max(len_b) as u64, 0, kind, params).total_s()
+}
+
+/// One query against the serving surface ([`SpatialEngine::submit`]).
+///
+/// Datasets are named by [`DatasetId`] (from [`DatasetHandle::id`]) so a
+/// request is `Copy` and batches are cheap to assemble.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// Intersection join of two registered datasets, optionally under an
+    /// execution-policy override (`None` = the engine's configured
+    /// policy).
+    Join {
+        a: DatasetId,
+        b: DatasetId,
+        execution: Option<Execution>,
+    },
+    /// Intersection self-join of one dataset (every pair `(i, j)` of the
+    /// dataset with intersecting regions, `i == j` included).
+    SelfJoin {
+        dataset: DatasetId,
+        execution: Option<Execution>,
+    },
+    /// Point selection: every object whose region contains the point
+    /// (closed semantics).
+    Point { dataset: DatasetId, point: Point },
+    /// Window selection: every object whose region intersects the window
+    /// (closed semantics).
+    Window { dataset: DatasetId, window: Rect },
+}
+
+/// §5 cost-model accounting attached to every response: the
+/// admission-time estimate next to the breakdown observed for the
+/// execution that actually ran (including the measured filter yield and
+/// Step-2a decided-rate as observed parameters).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Admission {
+    /// Modeled total cost (seconds) this request was admitted under.
+    pub estimated_s: f64,
+    /// Whether the estimate came from observed history of the same
+    /// prepared state (`true`) or the a-priori model (`false`).
+    pub from_history: bool,
+    /// The §5 breakdown of the execution that ran, estimated vs.
+    /// observed filter yield included.
+    pub cost: CostBreakdown,
+}
+
+/// Outcome of a join-shaped request.
+#[derive(Debug, Clone)]
+pub struct JoinResponse {
+    /// The response set: pairs whose regions intersect.
+    pub pairs: Vec<(ObjectId, ObjectId)>,
+    pub stats: MultiStepStats,
+    pub admission: Admission,
+}
+
+/// Outcome of a selection-shaped (point/window) request.
+#[derive(Debug, Clone)]
+pub struct SelectionResponse {
+    /// Objects satisfying the selection.
+    pub ids: Vec<ObjectId>,
+    pub stats: QueryStats,
+    /// Weighted exact-geometry operations of the final step.
+    pub exact_ops: OpCounts,
+    pub admission: Admission,
+}
+
+/// Outcome of one [`Request`].
+#[derive(Debug, Clone)]
+pub enum Response {
+    Join(JoinResponse),
+    Selection(SelectionResponse),
+}
+
+impl Response {
+    /// The attached §5 accounting, whatever the request shape.
+    pub fn admission(&self) -> &Admission {
+        match self {
+            Response::Join(r) => &r.admission,
+            Response::Selection(r) => &r.admission,
+        }
+    }
+}
+
+/// Why the engine refused a request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineError {
+    /// The request names a dataset id this engine never registered.
+    UnknownDataset(DatasetId),
+    /// The §5 modeled cost exceeds the configured admission limit.
+    AdmissionDenied { estimated_s: f64, limit_s: f64 },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownDataset(id) => write!(f, "unknown dataset id {id}"),
+            EngineError::AdmissionDenied {
+                estimated_s,
+                limit_s,
+            } => write!(
+                f,
+                "admission denied: modeled cost {estimated_s:.3}s exceeds limit {limit_s:.3}s"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The resident spatial query engine (see the module docs).
+///
+/// All methods take `&self`; the engine is `Send + Sync` and intended to
+/// be shared (`Arc<SpatialEngine>`) across serving threads.
+pub struct SpatialEngine {
+    config: JoinConfig,
+    params: CostModelParams,
+    admission_limit_s: Option<f64>,
+    datasets: RwLock<Vec<Arc<DatasetState>>>,
+    /// Prepared-join cache keyed by dataset-id pair.
+    prepared: Mutex<HashMap<(DatasetId, DatasetId), Arc<PreparedJoin>>>,
+}
+
+impl SpatialEngine {
+    /// An engine applying `config` to every dataset it registers and
+    /// every query it serves.
+    pub fn new(config: JoinConfig) -> Self {
+        SpatialEngine {
+            config,
+            params: CostModelParams::default(),
+            admission_limit_s: None,
+            datasets: RwLock::new(Vec::new()),
+            prepared: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Overrides the §5 cost constants used for admission estimates.
+    pub fn with_cost_model(mut self, params: CostModelParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Enables admission control: join requests whose §5 modeled cost
+    /// exceeds `limit_s` seconds are refused with
+    /// [`EngineError::AdmissionDenied`] instead of executed.
+    pub fn with_admission_limit(mut self, limit_s: f64) -> Self {
+        self.admission_limit_s = Some(limit_s);
+        self
+    }
+
+    /// The configuration every dataset and query runs under.
+    pub fn config(&self) -> &JoinConfig {
+        &self.config
+    }
+
+    /// The §5 cost constants admission estimates use.
+    pub fn cost_model(&self) -> &CostModelParams {
+        &self.params
+    }
+
+    /// Registers a relation: runs its share of Step 0 (index build,
+    /// approximation stores, exact-step representations — whatever the
+    /// engine configuration calls for) and takes ownership of the
+    /// results. Accepts an owned [`Relation`] or an existing
+    /// `Arc<Relation>` (no copy either way).
+    pub fn register(&self, relation: impl Into<Arc<Relation>>) -> DatasetHandle {
+        let relation = relation.into();
+        let t_step0 = Instant::now();
+        let tree = matches!(self.config.backend, Backend::RStarTraversal)
+            .then(|| Arc::new(candidates::build_tree(&self.config, &relation)));
+        let conservative = self
+            .config
+            .conservative
+            .map(|k| Arc::new(ConservativeStore::build(k, &relation)));
+        let progressive = self
+            .config
+            .progressive
+            .map(|k| Arc::new(ProgressiveStore::build(k, &relation)));
+        let trstar = match self.config.exact {
+            ExactAlgorithm::TrStar { max_entries } => {
+                Some(Arc::new(TrStarStore::build(&relation, max_entries)))
+            }
+            _ => None,
+        };
+        let selection = SelectionState::from_shared_with_step1(
+            RelHandle::from(relation.clone()),
+            &self.config,
+            SharedStep1 { tree: tree.clone() },
+            conservative.clone(),
+            progressive.clone(),
+        );
+        let step0_nanos = t_step0.elapsed().as_nanos() as u64;
+        let mut datasets = self.datasets.write().expect("datasets lock poisoned");
+        let state = Arc::new(DatasetState {
+            id: datasets.len() as DatasetId,
+            relation,
+            tree,
+            conservative,
+            progressive,
+            trstar,
+            selection,
+            step0_nanos,
+        });
+        datasets.push(state.clone());
+        DatasetHandle { state }
+    }
+
+    /// The handle of a registered dataset (`None` for unknown ids).
+    pub fn dataset(&self, id: DatasetId) -> Option<DatasetHandle> {
+        self.datasets
+            .read()
+            .expect("datasets lock poisoned")
+            .get(id as usize)
+            .map(|state| DatasetHandle {
+                state: state.clone(),
+            })
+    }
+
+    /// Number of registered datasets.
+    pub fn num_datasets(&self) -> usize {
+        self.datasets.read().expect("datasets lock poisoned").len()
+    }
+
+    fn require(&self, id: DatasetId) -> Result<DatasetHandle, EngineError> {
+        self.dataset(id).ok_or(EngineError::UnknownDataset(id))
+    }
+
+    fn exact_cost_kind(&self) -> ExactCostKind {
+        match self.config.exact {
+            ExactAlgorithm::TrStar { .. } => ExactCostKind::TrStar,
+            _ => ExactCostKind::PlaneSweep,
+        }
+    }
+
+    /// Panics unless `handle` was registered on *this* engine: foreign
+    /// handles carry their own engine's ids, and admitting one would
+    /// poison the id-keyed prepared-join cache with results computed
+    /// over the wrong datasets.
+    fn assert_registered(&self, handle: &DatasetHandle) {
+        let owned = self
+            .datasets
+            .read()
+            .expect("datasets lock poisoned")
+            .get(handle.id() as usize)
+            .is_some_and(|state| Arc::ptr_eq(state, &handle.state));
+        assert!(
+            owned,
+            "dataset handle {} was not registered on this engine",
+            handle.id()
+        );
+    }
+
+    /// The cached prepared join of a dataset-id pair, if one was built.
+    fn cached_join(&self, key: (DatasetId, DatasetId)) -> Option<Arc<PreparedJoin>> {
+        self.prepared
+            .lock()
+            .expect("prepared cache poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    /// The owned prepared join of two registered datasets, building it
+    /// on first use and serving the cached `Arc` afterwards. A self-join
+    /// is `prepare_join(&h, &h)`. Panics if either handle was registered
+    /// on a different engine.
+    ///
+    /// Per-dataset Step-0 state (trees, approximation stores, TR*
+    /// representations) is *shared* with the datasets — only the
+    /// pair-level state (the raster signatures on the pair's shared
+    /// grid, the Step-1 source wiring) is built here.
+    pub fn prepare_join(&self, a: &DatasetHandle, b: &DatasetHandle) -> Arc<PreparedJoin> {
+        self.assert_registered(a);
+        self.assert_registered(b);
+        let key = (a.id(), b.id());
+        if let Some(prepared) = self.cached_join(key) {
+            return prepared;
+        }
+        // Build outside the cache lock so a slow pair-level Step 0 never
+        // blocks requests for other pairs; a concurrent double build is
+        // harmless (both are deterministic over the same shared state)
+        // and the first insert wins.
+        let built = Arc::new(self.build_prepared(a, b));
+        self.prepared
+            .lock()
+            .expect("prepared cache poisoned")
+            .entry(key)
+            .or_insert(built)
+            .clone()
+    }
+
+    fn build_prepared(&self, a: &DatasetHandle, b: &DatasetHandle) -> PreparedJoin {
+        let t_pair = Instant::now();
+        let (sa, sb) = (&a.state, &b.state);
+        let source = candidates::join_source_with(
+            &self.config,
+            RelHandle::from(sa.relation.clone()),
+            RelHandle::from(sb.relation.clone()),
+            SharedStep1 {
+                tree: sa.tree.clone(),
+            },
+            SharedStep1 {
+                tree: sb.tree.clone(),
+            },
+        );
+        let filter = GeometricFilter::from_shared(
+            sa.conservative.clone(),
+            sb.conservative.clone(),
+            sa.progressive.clone(),
+            sb.progressive.clone(),
+            self.config.false_area_test,
+        );
+        let filter = if self.config.raster.enabled {
+            // Pair-level Step 0: both relations rasterized on one shared
+            // grid (signatures are only comparable on the same grid, so
+            // they cannot be a per-dataset artifact).
+            filter.with_raster(&sa.relation, &sb.relation, self.config.raster.grid_bits)
+        } else {
+            filter
+        };
+        let exact = ExactProcessor::from_shared(
+            self.config.exact,
+            RelHandle::from(sa.relation.clone()),
+            RelHandle::from(sb.relation.clone()),
+            sa.trstar.clone(),
+            sb.trstar.clone(),
+        );
+        // A self-join shares one dataset on both sides — count its
+        // registration cost once.
+        let datasets_step0 = if Arc::ptr_eq(sa, sb) {
+            sa.step0_nanos
+        } else {
+            sa.step0_nanos + sb.step0_nanos
+        };
+        let step0_nanos = datasets_step0 + t_pair.elapsed().as_nanos() as u64;
+        PreparedJoin {
+            a: a.clone(),
+            b: b.clone(),
+            exact_cost_kind: self.exact_cost_kind(),
+            scoped: ScopedPreparedJoin::from_parts(
+                self.config.execution,
+                source,
+                filter,
+                exact,
+                step0_nanos,
+            ),
+            last: Mutex::new(None),
+        }
+    }
+
+    /// Point selection against a registered dataset (three steps: index
+    /// probe, approximation filter, exact containment).
+    pub fn point_query(&self, dataset: &DatasetHandle, point: Point) -> SelectionResponse {
+        let mut exact_ops = OpCounts::new();
+        let (ids, stats) = dataset.state.selection.point_query(point, &mut exact_ops);
+        self.selection_response(ids, stats, exact_ops)
+    }
+
+    /// Window selection against a registered dataset.
+    pub fn window_query(&self, dataset: &DatasetHandle, window: Rect) -> SelectionResponse {
+        let mut exact_ops = OpCounts::new();
+        let (ids, stats) = dataset.state.selection.window_query(window, &mut exact_ops);
+        self.selection_response(ids, stats, exact_ops)
+    }
+
+    fn selection_response(
+        &self,
+        ids: Vec<ObjectId>,
+        stats: QueryStats,
+        exact_ops: OpCounts,
+    ) -> SelectionResponse {
+        // The §5 model applied to one selection: every index page read
+        // plus one object access + exact test per unidentified candidate.
+        let kind = self.exact_cost_kind();
+        let access_factor = match kind {
+            ExactCostKind::PlaneSweep => 1.0,
+            ExactCostKind::TrStar => self.params.trstar_access_factor,
+        };
+        let identified = stats.filter_false_hits + stats.filter_hits;
+        let cost = CostBreakdown {
+            mbr_join_s: stats.physical_reads as f64 * self.params.page_access_ms / 1000.0,
+            object_access_s: stats.exact_tests as f64 * self.params.page_access_ms * access_factor
+                / 1000.0,
+            exact_test_s: stats.exact_tests as f64
+                * match kind {
+                    ExactCostKind::PlaneSweep => self.params.sweep_exact_ms,
+                    ExactCostKind::TrStar => self.params.trstar_exact_ms,
+                }
+                / 1000.0,
+            filter_yield_estimated: self.params.expected_filter_yield,
+            filter_yield_observed: if stats.candidates == 0 {
+                0.0
+            } else {
+                identified as f64 / stats.candidates as f64
+            },
+            raster_decided_observed: 0.0,
+        };
+        SelectionResponse {
+            ids,
+            stats,
+            exact_ops,
+            admission: Admission {
+                estimated_s: cost.total_s(),
+                from_history: false,
+                cost,
+            },
+        }
+    }
+
+    fn run_join_request(
+        &self,
+        a: DatasetId,
+        b: DatasetId,
+        execution: Option<Execution>,
+    ) -> Result<Response, EngineError> {
+        let (ha, hb) = (self.require(a)?, self.require(b)?);
+        // Admission runs before any pair-level Step 0 is built: a
+        // request the limit refuses must not pay the preparation the
+        // limit exists to avoid. History is consulted when the pair was
+        // already prepared; otherwise the a-priori size-based estimate
+        // decides.
+        let (estimated_s, from_history) = match self.cached_join((ha.id(), hb.id())) {
+            Some(prepared) => prepared.admission_estimate(&self.params),
+            None => (
+                a_priori_estimate(ha.len(), hb.len(), self.exact_cost_kind(), &self.params),
+                false,
+            ),
+        };
+        if let Some(limit_s) = self.admission_limit_s {
+            if estimated_s > limit_s {
+                return Err(EngineError::AdmissionDenied {
+                    estimated_s,
+                    limit_s,
+                });
+            }
+        }
+        let prepared = self.prepare_join(&ha, &hb);
+        let result = prepared.run_with(execution.unwrap_or(self.config.execution));
+        let cost = figure18_cost(&result.stats, self.exact_cost_kind(), &self.params);
+        Ok(Response::Join(JoinResponse {
+            pairs: result.pairs,
+            stats: result.stats,
+            admission: Admission {
+                estimated_s,
+                from_history,
+                cost,
+            },
+        }))
+    }
+
+    /// Serves one request.
+    pub fn submit(&self, request: Request) -> Result<Response, EngineError> {
+        match request {
+            Request::Join { a, b, execution } => self.run_join_request(a, b, execution),
+            Request::SelfJoin { dataset, execution } => {
+                self.run_join_request(dataset, dataset, execution)
+            }
+            Request::Point { dataset, point } => {
+                let handle = self.require(dataset)?;
+                Ok(Response::Selection(self.point_query(&handle, point)))
+            }
+            Request::Window { dataset, window } => {
+                let handle = self.require(dataset)?;
+                Ok(Response::Selection(self.window_query(&handle, window)))
+            }
+        }
+    }
+
+    /// Serves a batch of requests in order, one result per request.
+    /// Failures are per-request — a denied or malformed request never
+    /// blocks the rest of the batch.
+    pub fn submit_batch(
+        &self,
+        requests: impl IntoIterator<Item = Request>,
+    ) -> Vec<Result<Response, EngineError>> {
+        requests.into_iter().map(|r| self.submit(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::MultiStepJoin;
+
+    const _: () = {
+        const fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpatialEngine>();
+        assert_send_sync::<PreparedJoin>();
+        assert_send_sync::<DatasetHandle>();
+    };
+
+    fn sorted(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn engine_join_matches_one_shot_pipeline() {
+        let a = msj_datagen::small_carto(40, 24.0, 1001);
+        let b = msj_datagen::small_carto(40, 24.0, 1002);
+        let expect = MultiStepJoin::new(JoinConfig::default()).execute(&a, &b);
+        let engine = SpatialEngine::new(JoinConfig::default());
+        let (ha, hb) = (engine.register(a), engine.register(b));
+        assert_eq!((ha.id(), hb.id()), (0, 1));
+        let prepared = engine.prepare_join(&ha, &hb);
+        let got = prepared.run();
+        assert_eq!(got.pairs, expect.pairs);
+        assert_eq!(got.stats.exact_ops, expect.stats.exact_ops);
+        assert_eq!(
+            got.stats.mbr_join.candidates,
+            expect.stats.mbr_join.candidates
+        );
+        // The cache serves the same prepared join again.
+        assert!(Arc::ptr_eq(&prepared, &engine.prepare_join(&ha, &hb)));
+    }
+
+    #[test]
+    fn submit_surface_covers_all_request_shapes() {
+        let rel = msj_datagen::small_carto(40, 24.0, 1003);
+        let world = rel.bounding_rect().unwrap();
+        let engine = SpatialEngine::new(JoinConfig::default());
+        let h = engine.register(rel.clone());
+        let p = Point::new(
+            world.xmin() + world.width() * 0.4,
+            world.ymin() + world.height() * 0.6,
+        );
+        let w = Rect::from_bounds(
+            p.x,
+            p.y,
+            p.x + world.width() * 0.1,
+            p.y + world.height() * 0.1,
+        );
+        let responses = engine.submit_batch([
+            Request::SelfJoin {
+                dataset: h.id(),
+                execution: Some(Execution::Fused { threads: 2 }),
+            },
+            Request::Point {
+                dataset: h.id(),
+                point: p,
+            },
+            Request::Window {
+                dataset: h.id(),
+                window: w,
+            },
+            Request::Point {
+                dataset: 99,
+                point: p,
+            },
+        ]);
+        let Ok(Response::Join(join)) = &responses[0] else {
+            panic!("self-join failed: {:?}", responses[0].as_ref().err());
+        };
+        // Self-join ground truth by exhaustive scan.
+        let mut expect = Vec::new();
+        let mut counts = OpCounts::new();
+        for oa in rel.iter() {
+            for ob in rel.iter() {
+                if oa.mbr().intersects(&ob.mbr())
+                    && msj_exact::quadratic_intersects(&oa.region, &ob.region, &mut counts)
+                {
+                    expect.push((oa.id, ob.id));
+                }
+            }
+        }
+        assert_eq!(sorted(join.pairs.clone()), sorted(expect));
+        let Ok(Response::Selection(point)) = &responses[1] else {
+            panic!("point query failed");
+        };
+        let expect_point: Vec<ObjectId> = rel
+            .iter()
+            .filter(|o| o.region.contains_point(p))
+            .map(|o| o.id)
+            .collect();
+        let mut got = point.ids.clone();
+        got.sort_unstable();
+        assert_eq!(got, expect_point);
+        assert!(matches!(responses[2], Ok(Response::Selection(_))));
+        assert!(matches!(responses[3], Err(EngineError::UnknownDataset(99))));
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered on this engine")]
+    fn foreign_handles_are_rejected() {
+        let rel = msj_datagen::small_carto(10, 16.0, 1009);
+        let this = SpatialEngine::new(JoinConfig::default());
+        let other = SpatialEngine::new(JoinConfig::default());
+        let mine = this.register(rel.clone());
+        let foreign = other.register(rel);
+        // A foreign handle must never reach the id-keyed cache.
+        let _ = this.prepare_join(&mine, &foreign);
+    }
+
+    #[test]
+    fn admission_refuses_before_preparing() {
+        let a = msj_datagen::small_carto(30, 24.0, 1010);
+        let b = msj_datagen::small_carto(30, 24.0, 1011);
+        let engine = SpatialEngine::new(JoinConfig::default()).with_admission_limit(0.0);
+        let (ha, hb) = (engine.register(a), engine.register(b));
+        let denied = engine.submit(Request::Join {
+            a: ha.id(),
+            b: hb.id(),
+            execution: None,
+        });
+        assert!(matches!(denied, Err(EngineError::AdmissionDenied { .. })));
+        // The refused join never built (or cached) pair-level state.
+        assert!(engine.cached_join((ha.id(), hb.id())).is_none());
+    }
+
+    #[test]
+    fn responses_carry_cost_accounting() {
+        let a = msj_datagen::small_carto(40, 24.0, 1004);
+        let b = msj_datagen::small_carto(40, 24.0, 1005);
+        let engine = SpatialEngine::new(JoinConfig::default());
+        let (ha, hb) = (engine.register(a), engine.register(b));
+        let first = engine
+            .submit(Request::Join {
+                a: ha.id(),
+                b: hb.id(),
+                execution: None,
+            })
+            .unwrap();
+        // First submission: a-priori estimate.
+        assert!(!first.admission().from_history);
+        assert!(first.admission().estimated_s > 0.0);
+        let Response::Join(first) = &first else {
+            panic!()
+        };
+        assert!(first.admission.cost.filter_yield_observed > 0.0);
+        assert!(first.admission.cost.raster_decided_observed > 0.0);
+        // Second submission: the estimate comes from the observed run.
+        let second = engine
+            .submit(Request::Join {
+                a: ha.id(),
+                b: hb.id(),
+                execution: None,
+            })
+            .unwrap();
+        assert!(second.admission().from_history);
+        let observed = figure18_cost(&first.stats, ExactCostKind::TrStar, engine.cost_model());
+        assert!((second.admission().estimated_s - observed.total_s()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn admission_limit_refuses_expensive_joins() {
+        let a = msj_datagen::small_carto(30, 24.0, 1006);
+        let b = msj_datagen::small_carto(30, 24.0, 1007);
+        let engine = SpatialEngine::new(JoinConfig::default()).with_admission_limit(0.0);
+        let (ha, hb) = (engine.register(a), engine.register(b));
+        let denied = engine.submit(Request::Join {
+            a: ha.id(),
+            b: hb.id(),
+            execution: None,
+        });
+        assert!(
+            matches!(denied, Err(EngineError::AdmissionDenied { .. })),
+            "zero budget must refuse every join: {denied:?}"
+        );
+        // Selections are not admission-controlled (they are the cheap
+        // traffic admission control protects).
+        let world = ha.relation().bounding_rect().unwrap();
+        let ok = engine.submit(Request::Point {
+            dataset: ha.id(),
+            point: Point::new(world.xmin(), world.ymin()),
+        });
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn engine_selections_match_linear_scan() {
+        let rel = msj_datagen::small_carto(60, 24.0, 1008);
+        let world = rel.bounding_rect().unwrap();
+        for config in [JoinConfig::default(), JoinConfig::version1()] {
+            let engine = SpatialEngine::new(config);
+            let h = engine.register(rel.clone());
+            for i in 0..25 {
+                let p = Point::new(
+                    world.xmin() + world.width() * (i as f64 * 0.37).fract(),
+                    world.ymin() + world.height() * (i as f64 * 0.61).fract(),
+                );
+                let mut got = engine.point_query(&h, p).ids;
+                got.sort_unstable();
+                let mut expect: Vec<ObjectId> = rel
+                    .iter()
+                    .filter(|o| o.region.contains_point(p))
+                    .map(|o| o.id)
+                    .collect();
+                expect.sort_unstable();
+                assert_eq!(got, expect, "point {p:?}");
+                let side = world.width() * 0.07;
+                let w = Rect::from_bounds(p.x, p.y, p.x + side, p.y + side);
+                let mut got = engine.window_query(&h, w).ids;
+                got.sort_unstable();
+                let mut expect: Vec<ObjectId> = rel
+                    .iter()
+                    .filter(|o| msj_exact::window::region_intersects_rect_reference(&o.region, &w))
+                    .map(|o| o.id)
+                    .collect();
+                expect.sort_unstable();
+                assert_eq!(got, expect, "window {w:?}");
+            }
+        }
+    }
+}

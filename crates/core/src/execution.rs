@@ -198,12 +198,17 @@ impl Drop for FusedSink<'_> {
 /// the Step-1 candidate source, the approximation stores and the
 /// exact-step object representations are built, and Steps 1–3 can run —
 /// repeatedly, under any [`Execution`] policy — without paying that cost
-/// again. Built by [`crate::MultiStepJoin::prepare`].
+/// again. Built by [`crate::MultiStepJoin::prepare`] (borrowed, scoped to
+/// the relations) or assembled by the resident engine from `Arc`-shared
+/// Step-0 state (`ScopedPreparedJoin<'static>`, the payload of the owned
+/// [`crate::PreparedJoin`]).
 ///
+/// Every run takes `&self` — per-run mutability lives inside the
+/// candidate source — so a prepared join can serve concurrent callers.
 /// Re-running is deterministic in everything but the R*-traversal's
 /// simulated I/O counters (its LRU buffer stays warm across runs, so
 /// later runs report fewer physical reads).
-pub struct PreparedJoin<'a> {
+pub struct ScopedPreparedJoin<'a> {
     execution: Execution,
     source: Box<dyn candidates::CandidateSource + 'a>,
     filter: GeometricFilter,
@@ -212,15 +217,38 @@ pub struct PreparedJoin<'a> {
     step0_nanos: u64,
 }
 
-impl<'a> PreparedJoin<'a> {
+impl<'a> ScopedPreparedJoin<'a> {
+    /// Assembles a prepared join from already-built components (the
+    /// resident engine's path — Step 0 ran at dataset registration).
+    pub(crate) fn from_parts(
+        execution: Execution,
+        source: Box<dyn candidates::CandidateSource + 'a>,
+        filter: GeometricFilter,
+        exact: ExactProcessor<'a>,
+        step0_nanos: u64,
+    ) -> Self {
+        ScopedPreparedJoin {
+            execution,
+            source,
+            filter,
+            exact,
+            step0_nanos,
+        }
+    }
+
+    /// The execution policy configured at preparation.
+    pub fn execution(&self) -> Execution {
+        self.execution
+    }
+
     /// Runs Steps 1–3 under the policy configured at preparation.
-    pub fn run(&mut self) -> JoinResult {
+    pub fn run(&self) -> JoinResult {
         self.run_with(self.execution)
     }
 
     /// Runs Steps 1–3 under an explicit policy (the preparation is
     /// policy-independent).
-    pub fn run_with(&mut self, execution: Execution) -> JoinResult {
+    pub fn run_with(&self, execution: Execution) -> JoinResult {
         let (workers, fused) = match execution {
             Execution::Serial => (1, false),
             Execution::Fused { threads } => (resolve_threads(threads), true),
@@ -286,17 +314,18 @@ impl<'a> PreparedJoin<'a> {
     }
 }
 
-/// Builds a [`PreparedJoin`]: Step 0 for both relations under `config`.
+/// Builds a [`ScopedPreparedJoin`]: Step 0 for both relations under
+/// `config`.
 pub(crate) fn prepare<'a>(
     config: &JoinConfig,
     rel_a: &'a Relation,
     rel_b: &'a Relation,
-) -> PreparedJoin<'a> {
+) -> ScopedPreparedJoin<'a> {
     let t_prep = Instant::now();
     let source = candidates::join_source(config, rel_a, rel_b);
     let filter = GeometricFilter::from_config(config, rel_a, rel_b);
     let exact = ExactProcessor::new(config.exact, rel_a, rel_b);
-    PreparedJoin {
+    ScopedPreparedJoin {
         execution: config.execution,
         source,
         filter,
@@ -435,7 +464,7 @@ mod tests {
         let b = msj_datagen::small_carto(30, 20.0, 909);
         let join = MultiStepJoin::new(JoinConfig::default());
         let reference = join.execute(&a, &b);
-        let mut prepared = join.prepare(&a, &b);
+        let prepared = join.prepare(&a, &b);
         let serial = prepared.run();
         assert_eq!(serial.pairs, reference.pairs);
         // Same preparation, different policies: identical response sets.

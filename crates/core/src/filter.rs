@@ -33,6 +33,7 @@ use msj_approx::{
     ProgressiveStore, RasterDecision, RasterGrid, RasterStore, MAX_GRID_BITS, MIN_GRID_BITS,
 };
 use msj_geom::{convex_intersect, ObjectId, Relation};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Classification of one candidate pair by the geometric filter.
@@ -76,14 +77,20 @@ pub enum FilterPlan {
 
 /// The geometric filter: per-relation columnar approximation stores, the
 /// configured tests, and the plan compiled from them.
+///
+/// Every store sits behind [`Arc`]: the resident engine builds the
+/// conservative/progressive stores once per registered dataset and every
+/// prepared join over that dataset shares them; the raster stores are
+/// pair-level (both relations must be rasterized on one shared grid) and
+/// are shared across repeated runs of the same prepared join.
 pub struct GeometricFilter {
     /// Step-2a raster signatures, both relations on one shared grid.
-    raster_a: Option<RasterStore>,
-    raster_b: Option<RasterStore>,
-    conservative_a: Option<ConservativeStore>,
-    conservative_b: Option<ConservativeStore>,
-    progressive_a: Option<ProgressiveStore>,
-    progressive_b: Option<ProgressiveStore>,
+    raster_a: Option<Arc<RasterStore>>,
+    raster_b: Option<Arc<RasterStore>>,
+    conservative_a: Option<Arc<ConservativeStore>>,
+    conservative_b: Option<Arc<ConservativeStore>>,
+    progressive_a: Option<Arc<ProgressiveStore>>,
+    progressive_b: Option<Arc<ProgressiveStore>>,
     use_false_area: bool,
     plan: FilterPlan,
 }
@@ -100,13 +107,32 @@ impl GeometricFilter {
         progressive: Option<ProgressiveKind>,
         use_false_area: bool,
     ) -> Self {
+        Self::from_shared(
+            conservative.map(|k| Arc::new(ConservativeStore::build(k, rel_a))),
+            conservative.map(|k| Arc::new(ConservativeStore::build(k, rel_b))),
+            progressive.map(|k| Arc::new(ProgressiveStore::build(k, rel_a))),
+            progressive.map(|k| Arc::new(ProgressiveStore::build(k, rel_b))),
+            use_false_area,
+        )
+    }
+
+    /// Assembles a filter from pre-built shared stores (the resident
+    /// engine's path: each store was built once when its dataset was
+    /// registered) and compiles the plan.
+    pub fn from_shared(
+        conservative_a: Option<Arc<ConservativeStore>>,
+        conservative_b: Option<Arc<ConservativeStore>>,
+        progressive_a: Option<Arc<ProgressiveStore>>,
+        progressive_b: Option<Arc<ProgressiveStore>>,
+        use_false_area: bool,
+    ) -> Self {
         let mut filter = GeometricFilter {
             raster_a: None,
             raster_b: None,
-            conservative_a: conservative.map(|k| ConservativeStore::build(k, rel_a)),
-            conservative_b: conservative.map(|k| ConservativeStore::build(k, rel_b)),
-            progressive_a: progressive.map(|k| ProgressiveStore::build(k, rel_a)),
-            progressive_b: progressive.map(|k| ProgressiveStore::build(k, rel_b)),
+            conservative_a,
+            conservative_b,
+            progressive_a,
+            progressive_b,
             use_false_area,
             plan: FilterPlan::Generic,
         };
@@ -125,8 +151,8 @@ impl GeometricFilter {
             grid_bits.clamp(MIN_GRID_BITS, MAX_GRID_BITS)
         };
         if let Some(grid) = RasterGrid::covering(rel_a, rel_b, bits) {
-            self.raster_a = Some(RasterStore::build(&grid, rel_a));
-            self.raster_b = Some(RasterStore::build(&grid, rel_b));
+            self.raster_a = Some(Arc::new(RasterStore::build(&grid, rel_a)));
+            self.raster_b = Some(Arc::new(RasterStore::build(&grid, rel_b)));
         }
         self
     }

@@ -45,8 +45,35 @@
 //!   deterministically and sorted canonically, so `Fused` is
 //!   byte-identical to `Serial`.
 //!
-//! [`parallel::parallel_join`] is the compatibility front for
+//! [`parallel::parallel_join`] is the deprecated compatibility front for
 //! `Fused`; prefer setting the policy on the config.
+//!
+//! ## The resident engine
+//!
+//! One-shot joins rebuild Step 0 every call. The [`engine`] module keeps
+//! it resident instead: [`SpatialEngine::register`] builds and **owns**
+//! each relation's Step-0 state behind `Arc`, prepared joins are owned
+//! values ([`PreparedJoin`], no borrowed lifetime) that are cached,
+//! shared across threads and re-run indefinitely, and join/point/window
+//! traffic is served through one [`Request`]/[`Response`] surface with
+//! batched submission and §5 cost-model admission control:
+//!
+//! ```
+//! use msj_core::{Execution, JoinConfig, RasterConfig, Request, SpatialEngine};
+//!
+//! let engine = SpatialEngine::new(
+//!     JoinConfig::builder()
+//!         .execution(Execution::Fused { threads: 4 })
+//!         .raster(RasterConfig::auto())
+//!         .build(),
+//! );
+//! let a = engine.register(msj_datagen::small_carto(16, 16.0, 1));
+//! let b = engine.register(msj_datagen::small_carto(16, 16.0, 2));
+//! let responses = engine.submit_batch([
+//!     Request::Join { a: a.id(), b: b.id(), execution: None },
+//! ]);
+//! assert!(responses[0].is_ok());
+//! ```
 //!
 //! ## The batched hot path
 //!
@@ -68,6 +95,7 @@
 pub mod candidates;
 pub mod config;
 pub mod cost;
+pub mod engine;
 pub mod execution;
 pub mod filter;
 pub mod parallel;
@@ -79,13 +107,23 @@ pub use candidates::{
     fused_buffer_bound, join_source, selection_source, CandidateSource, PartitionSummary,
     SelectionStats, Step1Stats, FUSED_CHUNK, FUSED_QUEUE_DEPTH,
 };
-pub use config::{Backend, JoinConfig, RasterConfig, TreeLoader, DEFAULT_BATCH_PAIRS};
-pub use cost::{
-    figure11_loss_gain, figure18_cost, CostBreakdown, CostModelParams, ExactCostKind, LossGain,
+pub use config::{
+    Backend, JoinConfig, JoinConfigBuilder, RasterConfig, TreeLoader, DEFAULT_BATCH_PAIRS,
 };
-pub use execution::{Execution, PreparedJoin};
+pub use cost::{
+    estimate_cost, figure11_loss_gain, figure18_cost, CostBreakdown, CostModelParams,
+    ExactCostKind, LossGain,
+};
+pub use engine::{
+    Admission, DatasetHandle, DatasetId, EngineError, JoinResponse, PreparedJoin, Request,
+    Response, SelectionResponse, SpatialEngine,
+};
+pub use execution::{Execution, ScopedPreparedJoin};
 pub use filter::{FilterOutcome, FilterPlan, GeometricFilter};
+#[allow(deprecated)]
 pub use parallel::parallel_join;
 pub use pipeline::{ground_truth_join, JoinResult, MultiStepJoin};
-pub use queries::{QueryProcessor, QueryStats};
+#[allow(deprecated)]
+pub use queries::QueryProcessor;
+pub use queries::QueryStats;
 pub use stats::MultiStepStats;

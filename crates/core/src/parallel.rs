@@ -24,6 +24,10 @@ use msj_geom::Relation;
 /// (canonically sorted) with exactly-merged statistics;
 /// [`crate::MultiStepStats::threads_used`] records the worker count that
 /// actually ran (the partitioned backend clamps to its tile count).
+#[deprecated(
+    since = "0.1.0",
+    note = "set `Execution::Fused` on the config (one-shot) or register the relations on a resident `SpatialEngine` and run its owned `PreparedJoin` — this shim delegates to the same engine core"
+)]
 pub fn parallel_join(
     rel_a: &Relation,
     rel_b: &Relation,
@@ -38,6 +42,7 @@ pub fn parallel_join(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shim must stay covered until it is removed
 mod tests {
     use super::*;
     use crate::pipeline::MultiStepJoin;

@@ -57,13 +57,16 @@ impl MultiStepJoin {
     }
 
     /// Runs Step 0 (preprocessing, "insertion time") only, returning a
-    /// [`crate::PreparedJoin`] that executes Steps 1–3 on demand — under
-    /// the configured policy or any other, as many times as needed.
+    /// [`crate::ScopedPreparedJoin`] that executes Steps 1–3 on demand —
+    /// under the configured policy or any other, as many times as needed
+    /// — for as long as the borrowed relations live. For a resident,
+    /// owned prepared join (shareable across threads, no lifetime), use
+    /// [`crate::SpatialEngine::prepare_join`].
     pub fn prepare<'a>(
         &self,
         rel_a: &'a Relation,
         rel_b: &'a Relation,
-    ) -> execution::PreparedJoin<'a> {
+    ) -> execution::ScopedPreparedJoin<'a> {
         execution::prepare(&self.config, rel_a, rel_b)
     }
 }

@@ -14,7 +14,8 @@ use crate::candidates::{self, CandidateSource};
 use crate::config::JoinConfig;
 use msj_approx::{ConsView, ConservativeStore, Progressive, ProgressiveStore};
 use msj_exact::{region_contains_point, region_intersects_rect, OpCounts};
-use msj_geom::{ObjectId, Point, Rect, Relation};
+use msj_geom::{ObjectId, Point, Rect, RelHandle, Relation};
+use std::sync::Arc;
 
 /// Per-query statistics of a multi-step query execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,38 +32,71 @@ pub struct QueryStats {
     pub physical_reads: u64,
 }
 
-/// A prepared multi-step query processor over one relation.
-///
-/// Preprocessing (the Step-1 candidate source plus approximation stores)
-/// happens once in [`QueryProcessor::build`]; each query then runs the
-/// three steps. The candidate source is the backend [`JoinConfig`]
-/// selects — R*-tree probes or grid-tile lookups — and the filter/exact
-/// steps are identical for both.
-pub struct QueryProcessor<'a> {
-    relation: &'a Relation,
-    source: Box<dyn CandidateSource + 'a>,
-    conservative: Option<ConservativeStore>,
-    progressive: Option<ProgressiveStore>,
+/// The resident multi-step selection state over one relation: candidate
+/// source plus `Arc`-shared approximation stores. This is what a
+/// [`crate::SpatialEngine`] dataset keeps registered; the deprecated
+/// [`QueryProcessor`] wraps the same state over a borrowed relation.
+pub(crate) struct SelectionState<'a> {
+    pub relation: RelHandle<'a>,
+    pub source: Box<dyn CandidateSource + 'a>,
+    pub conservative: Option<Arc<ConservativeStore>>,
+    pub progressive: Option<Arc<ProgressiveStore>>,
 }
 
-impl<'a> QueryProcessor<'a> {
+impl<'a> SelectionState<'a> {
     /// Builds the candidate source and the configured approximation
-    /// stores.
-    pub fn build(relation: &'a Relation, config: &JoinConfig) -> Self {
-        QueryProcessor {
+    /// stores (or adopts pre-built shared stores).
+    pub fn build(relation: RelHandle<'a>, config: &JoinConfig) -> Self {
+        let conservative = config
+            .conservative
+            .map(|k| Arc::new(ConservativeStore::build(k, &relation)));
+        let progressive = config
+            .progressive
+            .map(|k| Arc::new(ProgressiveStore::build(k, &relation)));
+        Self::from_shared(relation, config, conservative, progressive)
+    }
+
+    /// Assembles the state around stores built once at dataset
+    /// registration (the engine's path).
+    pub fn from_shared(
+        relation: RelHandle<'a>,
+        config: &JoinConfig,
+        conservative: Option<Arc<ConservativeStore>>,
+        progressive: Option<Arc<ProgressiveStore>>,
+    ) -> Self {
+        let source = candidates::selection_source_with(
+            config,
+            relation.clone(),
+            candidates::SharedStep1::default(),
+        );
+        SelectionState {
             relation,
-            source: candidates::selection_source(config, relation),
-            conservative: config
-                .conservative
-                .map(|k| ConservativeStore::build(k, relation)),
-            progressive: config
-                .progressive
-                .map(|k| ProgressiveStore::build(k, relation)),
+            source,
+            conservative,
+            progressive,
+        }
+    }
+
+    /// Like [`SelectionState::from_shared`], reusing a pre-built Step-1
+    /// index.
+    pub fn from_shared_with_step1(
+        relation: RelHandle<'a>,
+        config: &JoinConfig,
+        shared: candidates::SharedStep1,
+        conservative: Option<Arc<ConservativeStore>>,
+        progressive: Option<Arc<ProgressiveStore>>,
+    ) -> Self {
+        let source = candidates::selection_source_with(config, relation.clone(), shared);
+        SelectionState {
+            relation,
+            source,
+            conservative,
+            progressive,
         }
     }
 
     /// All objects whose region contains `p` (closed semantics).
-    pub fn point_query(&mut self, p: Point, counts: &mut OpCounts) -> (Vec<ObjectId>, QueryStats) {
+    pub fn point_query(&self, p: Point, counts: &mut OpCounts) -> (Vec<ObjectId>, QueryStats) {
         let mut candidates = Vec::new();
         let step1 = self.source.point_candidates(p, &mut candidates);
         let mut stats = QueryStats {
@@ -96,11 +130,7 @@ impl<'a> QueryProcessor<'a> {
     }
 
     /// All objects whose region intersects `window` (closed semantics).
-    pub fn window_query(
-        &mut self,
-        window: Rect,
-        counts: &mut OpCounts,
-    ) -> (Vec<ObjectId>, QueryStats) {
+    pub fn window_query(&self, window: Rect, counts: &mut OpCounts) -> (Vec<ObjectId>, QueryStats) {
         let mut candidates = Vec::new();
         let step1 = self.source.window_candidates(window, &mut candidates);
         let mut stats = QueryStats {
@@ -130,6 +160,47 @@ impl<'a> QueryProcessor<'a> {
             }
         }
         (result, stats)
+    }
+}
+
+/// A prepared multi-step query processor over one **borrowed** relation.
+///
+/// Superseded by the resident engine: register the relation once with
+/// [`crate::SpatialEngine::register`] and submit
+/// [`crate::Request::Point`] / [`crate::Request::Window`] queries (or
+/// call the engine's query methods directly) — the engine owns the
+/// Step-0 state, shares it across threads and attaches §5 cost estimates.
+/// This processor remains as a thin shim over the same execution path
+/// and produces byte-identical results.
+pub struct QueryProcessor<'a> {
+    state: SelectionState<'a>,
+}
+
+impl<'a> QueryProcessor<'a> {
+    /// Builds the candidate source and the configured approximation
+    /// stores.
+    #[deprecated(
+        since = "0.1.0",
+        note = "register the relation on a resident `SpatialEngine` and use its point/window queries (or `Request`/`submit`) instead"
+    )]
+    pub fn build(relation: &'a Relation, config: &JoinConfig) -> Self {
+        QueryProcessor {
+            state: SelectionState::build(relation.into(), config),
+        }
+    }
+
+    /// All objects whose region contains `p` (closed semantics).
+    pub fn point_query(&mut self, p: Point, counts: &mut OpCounts) -> (Vec<ObjectId>, QueryStats) {
+        self.state.point_query(p, counts)
+    }
+
+    /// All objects whose region intersects `window` (closed semantics).
+    pub fn window_query(
+        &mut self,
+        window: Rect,
+        counts: &mut OpCounts,
+    ) -> (Vec<ObjectId>, QueryStats) {
+        self.state.window_query(window, counts)
     }
 }
 
@@ -163,6 +234,7 @@ fn conservative_intersects_window(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shim must stay covered until it is removed
 mod tests {
     use super::*;
     use msj_approx::{ConservativeKind, ProgressiveKind};

@@ -4,7 +4,7 @@
 //! pathological datasets, across tile counts 1/4/16 and thread counts
 //! 1/2/8.
 
-use msj_core::{ground_truth_join, parallel_join, Backend, JoinConfig, MultiStepJoin};
+use msj_core::{ground_truth_join, Backend, Execution, JoinConfig, MultiStepJoin};
 use msj_geom::{ObjectId, Point, Polygon, Relation, SpatialObject};
 use proptest::prelude::*;
 
@@ -73,13 +73,12 @@ fn agreement_on(name: &str, a: &Relation, b: &Relation) {
     );
     for tiles_per_axis in TILE_COUNTS {
         for threads in THREAD_COUNTS {
-            let config = JoinConfig {
-                backend: Backend::PartitionedSweep {
+            let config = JoinConfig::builder()
+                .backend(Backend::PartitionedSweep {
                     tiles_per_axis,
                     threads,
-                },
-                ..JoinConfig::default()
-            };
+                })
+                .build();
             let part = MultiStepJoin::new(config).execute(a, b);
             assert_eq!(
                 sorted(part.pairs.clone()),
@@ -96,8 +95,12 @@ fn agreement_on(name: &str, a: &Relation, b: &Relation) {
             // And the fused executor agrees on top of the backend. Its
             // worker count is clamped to the tile count (a tile is the
             // unit of work), and the report reflects what actually ran.
-            let par = parallel_join(a, b, &config, threads);
-            assert_eq!(par.pairs, truth, "{name}: parallel_join diverged");
+            let fused = config
+                .to_builder()
+                .execution(Execution::Fused { threads })
+                .build();
+            let par = MultiStepJoin::new(fused).execute(a, b);
+            assert_eq!(par.pairs, truth, "{name}: fused execution diverged");
             let expect_threads = if a.is_empty() || b.is_empty() {
                 1 // no tile ran, no worker spawned
             } else {
@@ -167,13 +170,12 @@ proptest! {
             )
         };
         let truth = sorted(ground_truth_join(&a, &b));
-        let config = JoinConfig {
-            backend: Backend::PartitionedSweep {
+        let config = JoinConfig::builder()
+            .backend(Backend::PartitionedSweep {
                 tiles_per_axis: TILE_COUNTS[tiles_index],
                 threads: THREAD_COUNTS[threads_index],
-            },
-            ..JoinConfig::default()
-        };
+            })
+            .build();
         let part = MultiStepJoin::new(config).execute(&a, &b);
         prop_assert_eq!(sorted(part.pairs.clone()), truth.clone());
         let rstar = MultiStepJoin::new(JoinConfig::default()).execute(&a, &b);

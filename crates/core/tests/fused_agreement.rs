@@ -36,17 +36,15 @@ fn backends() -> [Backend; 2] {
 /// Asserts the full fused-vs-serial contract for one relation pair under
 /// one base configuration.
 fn fused_equals_serial(name: &str, a: &Relation, b: &Relation, base: JoinConfig) {
-    let serial = MultiStepJoin::new(JoinConfig {
-        execution: Execution::Serial,
-        ..base
-    })
-    .execute(a, b);
+    let serial =
+        MultiStepJoin::new(base.to_builder().execution(Execution::Serial).build()).execute(a, b);
     let expect = sorted(serial.pairs.clone());
     for threads in THREAD_COUNTS {
-        let fused = MultiStepJoin::new(JoinConfig {
-            execution: Execution::Fused { threads },
-            ..base
-        })
+        let fused = MultiStepJoin::new(
+            base.to_builder()
+                .execution(Execution::Fused { threads })
+                .build(),
+        )
         .execute(a, b);
         let label = format!("{name} {:?} x{threads}", base.backend);
         // Response set: byte-identical after canonical sorting (the
@@ -85,7 +83,12 @@ fn all_versions_and_backends_agree_on_carto_data() {
     let b = msj_datagen::small_carto(40, 24.0, 702);
     for version in versions() {
         for backend in backends() {
-            fused_equals_serial("carto", &a, &b, JoinConfig { backend, ..version });
+            fused_equals_serial(
+                "carto",
+                &a,
+                &b,
+                version.to_builder().backend(backend).build(),
+            );
         }
     }
 }
@@ -95,10 +98,7 @@ fn empty_relations_agree() {
     let empty = Relation::default();
     let carto = msj_datagen::small_carto(12, 16.0, 711);
     for backend in backends() {
-        let base = JoinConfig {
-            backend,
-            ..JoinConfig::default()
-        };
+        let base = JoinConfig::builder().backend(backend).build();
         fused_equals_serial("empty-vs-empty", &empty, &empty, base);
         fused_equals_serial("empty-vs-carto", &empty, &carto, base);
         fused_equals_serial("carto-vs-empty", &carto, &empty, base);
@@ -125,12 +125,13 @@ fn single_candidate_agrees() {
     let b = Relation::new(vec![square(0, 1.0)]);
     for version in versions() {
         for backend in backends() {
-            let base = JoinConfig { backend, ..version };
+            let base = version.to_builder().backend(backend).build();
             fused_equals_serial("single-candidate", &a, &b, base);
-            let fused = MultiStepJoin::new(JoinConfig {
-                execution: Execution::Fused { threads: 8 },
-                ..base
-            })
+            let fused = MultiStepJoin::new(
+                base.to_builder()
+                    .execution(Execution::Fused { threads: 8 })
+                    .build(),
+            )
             .execute(&a, &b);
             assert_eq!(fused.pairs, vec![(0, 0)]);
             assert_eq!(fused.stats.mbr_join.candidates, 1);
@@ -162,10 +163,10 @@ proptest! {
                 msj_datagen::small_carto(24, 20.0, seed_b),
             )
         };
-        let base = JoinConfig {
-            backend: backends()[backend_index],
-            ..versions()[version_index]
-        };
+        let base = versions()[version_index]
+            .to_builder()
+            .backend(backends()[backend_index])
+            .build();
         fused_equals_serial("random", &a, &b, base);
     }
 }

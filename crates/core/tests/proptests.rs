@@ -111,19 +111,19 @@ proptest! {
         let (loader, batch_pairs) = loader_batch;
         let a = msj_datagen::small_carto(24, 20.0, seed_a);
         let b = msj_datagen::small_carto(24, 20.0, seed_b);
-        let config = JoinConfig {
-            backend,
-            page_size,
-            buffer_bytes: 32 * 1024,
-            conservative,
-            progressive,
-            false_area_test,
-            raster,
-            exact,
-            execution,
-            loader,
-            batch_pairs,
-        };
+        let config = JoinConfig::builder()
+            .backend(backend)
+            .page_size(page_size)
+            .buffer_bytes(32 * 1024)
+            .conservative(conservative)
+            .progressive(progressive)
+            .false_area_test(false_area_test)
+            .raster(raster)
+            .exact(exact)
+            .execution(execution)
+            .loader(loader)
+            .batch_pairs(batch_pairs)
+            .build();
         let result = MultiStepJoin::new(config).execute(&a, &b);
         let expect = sorted(ground_truth_join(&a, &b));
         prop_assert_eq!(sorted(result.pairs), expect, "config {:?}", config);

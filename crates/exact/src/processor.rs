@@ -5,7 +5,8 @@ use crate::cost::OpCounts;
 use crate::quadratic::quadratic_intersects;
 use crate::sweep::sweep_intersects;
 use crate::trstar::{trees_intersect, TrStarStore};
-use msj_geom::{ObjectId, Relation};
+use msj_geom::{ObjectId, RelHandle, Relation};
+use std::sync::Arc;
 
 /// Which exact intersection algorithm to run (Table 7's three rows).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,25 +35,65 @@ impl ExactAlgorithm {
 ///
 /// The TR*-tree algorithm shifts work to preprocessing ("time and storage
 /// is invested in the representation of the spatial objects", §4.2): trees
-/// are built once per relation and reused for every candidate pair.
+/// are built once per relation and reused for every candidate pair. The
+/// stores sit behind [`Arc`] so a resident engine can build them once per
+/// registered dataset and share them across every prepared join; relations
+/// are held through [`RelHandle`], so an `ExactProcessor<'static>` owns
+/// its inputs outright.
 pub struct ExactProcessor<'a> {
     algorithm: ExactAlgorithm,
-    rel_a: &'a Relation,
-    rel_b: &'a Relation,
-    trees_a: Option<TrStarStore>,
-    trees_b: Option<TrStarStore>,
+    rel_a: RelHandle<'a>,
+    rel_b: RelHandle<'a>,
+    trees_a: Option<Arc<TrStarStore>>,
+    trees_b: Option<Arc<TrStarStore>>,
 }
 
 impl<'a> ExactProcessor<'a> {
     /// Prepares the processor (builds TR*-trees when required).
     pub fn new(algorithm: ExactAlgorithm, rel_a: &'a Relation, rel_b: &'a Relation) -> Self {
+        Self::with_handles(algorithm, rel_a.into(), rel_b.into())
+    }
+
+    /// Prepares the processor over explicit relation handles (borrowed or
+    /// `Arc`-shared).
+    pub fn with_handles(
+        algorithm: ExactAlgorithm,
+        rel_a: RelHandle<'a>,
+        rel_b: RelHandle<'a>,
+    ) -> Self {
         let (trees_a, trees_b) = match algorithm {
             ExactAlgorithm::TrStar { max_entries } => (
-                Some(TrStarStore::build(rel_a, max_entries)),
-                Some(TrStarStore::build(rel_b, max_entries)),
+                Some(Arc::new(TrStarStore::build(&rel_a, max_entries))),
+                Some(Arc::new(TrStarStore::build(&rel_b, max_entries))),
             ),
             _ => (None, None),
         };
+        ExactProcessor {
+            algorithm,
+            rel_a,
+            rel_b,
+            trees_a,
+            trees_b,
+        }
+    }
+
+    /// Assembles a processor from pre-built shared TR*-tree stores (the
+    /// resident engine builds one store per registered dataset and reuses
+    /// it across prepared joins). The stores must be `Some` exactly when
+    /// `algorithm` is [`ExactAlgorithm::TrStar`] and must have been built
+    /// over the handed relations with the same `max_entries`.
+    pub fn from_shared(
+        algorithm: ExactAlgorithm,
+        rel_a: RelHandle<'a>,
+        rel_b: RelHandle<'a>,
+        trees_a: Option<Arc<TrStarStore>>,
+        trees_b: Option<Arc<TrStarStore>>,
+    ) -> Self {
+        debug_assert_eq!(
+            matches!(algorithm, ExactAlgorithm::TrStar { .. }),
+            trees_a.is_some() && trees_b.is_some(),
+            "TR*-tree stores must match the configured algorithm"
+        );
         ExactProcessor {
             algorithm,
             rel_a,
@@ -68,7 +109,7 @@ impl<'a> ExactProcessor<'a> {
 
     /// The prepared TR*-tree stores (present only for `TrStar`).
     pub fn tree_stores(&self) -> Option<(&TrStarStore, &TrStarStore)> {
-        self.trees_a.as_ref().zip(self.trees_b.as_ref())
+        self.trees_a.as_deref().zip(self.trees_b.as_deref())
     }
 
     /// Tests one candidate pair on the exact geometry, accumulating the

@@ -39,7 +39,7 @@ pub use calipers::{min_area_rect, OrientedRect};
 pub use clip::{clip_convex, convex_intersect, convex_intersection_area, ring_area};
 pub use exec::{resolve_threads, FnConsumer, PairBatchBuffer, PairConsumer, PairSink};
 pub use hull::{convex_contains_point, convex_hull};
-pub use object::{ObjectId, Relation, SpatialObject};
+pub use object::{ObjectId, RelHandle, Relation, SpatialObject};
 pub use point::Point;
 pub use polygon::{Polygon, PolygonError, PolygonWithHoles};
 pub use predicates::{collinear, orient2d, orient2d_raw, Orientation};

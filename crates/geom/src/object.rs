@@ -129,6 +129,47 @@ impl std::ops::Index<ObjectId> for Relation {
     }
 }
 
+/// A relation either borrowed for the duration of one scoped execution or
+/// co-owned behind [`Arc`](std::sync::Arc) for resident, shareable state.
+///
+/// Every prepared component (candidate sources, exact processors, query
+/// state) stores its relations through this handle, so the same code path
+/// serves both the classic borrow-based API
+/// (`RelHandle::from(&relation)`, lifetime `'a`) and the resident engine
+/// (`RelHandle::from(arc)`, lifetime `'static` — the shape an owned
+/// `PreparedJoin` needs to be cached and shared across threads).
+#[derive(Debug, Clone)]
+pub enum RelHandle<'a> {
+    /// Borrowed for a scoped execution.
+    Borrowed(&'a Relation),
+    /// Co-owned, resident state (the engine's registered datasets).
+    Shared(std::sync::Arc<Relation>),
+}
+
+impl std::ops::Deref for RelHandle<'_> {
+    type Target = Relation;
+
+    #[inline]
+    fn deref(&self) -> &Relation {
+        match self {
+            RelHandle::Borrowed(r) => r,
+            RelHandle::Shared(r) => r,
+        }
+    }
+}
+
+impl<'a> From<&'a Relation> for RelHandle<'a> {
+    fn from(relation: &'a Relation) -> Self {
+        RelHandle::Borrowed(relation)
+    }
+}
+
+impl From<std::sync::Arc<Relation>> for RelHandle<'static> {
+    fn from(relation: std::sync::Arc<Relation>) -> Self {
+        RelHandle::Shared(relation)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -46,12 +46,11 @@ fn main() {
     for conservative in conservatives {
         for progressive in progressives {
             for (exact, cost_kind) in exacts {
-                let config = JoinConfig {
-                    conservative,
-                    progressive,
-                    exact,
-                    ..JoinConfig::default()
-                };
+                let config = JoinConfig::builder()
+                    .conservative(conservative)
+                    .progressive(progressive)
+                    .exact(exact)
+                    .build();
                 let result = MultiStepJoin::new(config).execute(&a, &b);
                 match reference {
                     None => reference = Some(result.pairs.len()),

@@ -1,11 +1,13 @@
-//! Quickstart: run the paper's recommended multi-step join on a pair of
-//! synthetic map layers and inspect the per-step statistics.
+//! Quickstart: stand up a resident engine, register two synthetic map
+//! layers, and serve the paper's recommended multi-step join — then
+//! inspect the per-step statistics and the §5 cost accounting attached
+//! to the response.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use msj::core::{JoinConfig, MultiStepJoin};
+use msj::core::{JoinConfig, Request, Response, SpatialEngine};
 
 fn main() {
     // Two seeded synthetic "map layers" with cartography-like polygons
@@ -20,10 +22,21 @@ fn main() {
         forests.vertex_stats().0
     );
 
-    // The paper's §5 "version 3": 5-corner + MER approximations stored in
-    // addition to the MBR, TR*-trees (M = 3) for the exact geometry step.
-    let config = JoinConfig::default();
-    let result = MultiStepJoin::new(config).execute(&forests, &cities);
+    // The paper's §5 "version 3" — 5-corner + MER approximations stored
+    // in addition to the MBR, TR*-trees (M = 3) for the exact geometry
+    // step — applied by a resident engine. Registration runs Step 0 once
+    // per relation and the engine owns the result.
+    let engine = SpatialEngine::new(JoinConfig::default());
+    let forests_handle = engine.register(forests.clone());
+    let cities_handle = engine.register(cities.clone());
+
+    let Ok(Response::Join(result)) = engine.submit(Request::Join {
+        a: forests_handle.id(),
+        b: cities_handle.id(),
+        execution: None,
+    }) else {
+        panic!("join request failed");
+    };
 
     let s = &result.stats;
     println!("\n--- three-step execution ---");
@@ -33,8 +46,8 @@ fn main() {
     );
     println!(
         "step 2 (geometric filter): {} false hits + {} hits identified ({} of candidates)",
-        s.filter_false_hits,
-        s.filter_hits_progressive + s.filter_hits_false_area,
+        s.raster_drops + s.filter_false_hits,
+        s.raster_hits + s.filter_hits_progressive + s.filter_hits_false_area,
         format_args!("{:.0}%", 100.0 * s.identified_fraction()),
     );
     println!(
@@ -42,6 +55,12 @@ fn main() {
         s.exact_tests, s.exact_hits
     );
     println!("\nresponse set: {} intersecting pairs", result.pairs.len());
+    println!(
+        "§5 accounting: modeled {:.3}s; filter yield assumed {:.0}% vs observed {:.0}%",
+        result.admission.cost.total_s(),
+        100.0 * result.admission.cost.filter_yield_estimated,
+        100.0 * result.admission.cost.filter_yield_observed,
+    );
 
     // Every pair in the response set truly intersects — verify a sample
     // against the quadratic reference.

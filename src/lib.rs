@@ -62,10 +62,11 @@
 //! let cities = msj::datagen::small_carto(32, 24.0, 8);
 //!
 //! let serial = MultiStepJoin::new(JoinConfig::default());
-//! let partitioned = MultiStepJoin::new(JoinConfig {
-//!     backend: Backend::PartitionedSweep { tiles_per_axis: 8, threads: 0 },
-//!     ..JoinConfig::default()
-//! });
+//! let partitioned = MultiStepJoin::new(
+//!     JoinConfig::builder()
+//!         .backend(Backend::PartitionedSweep { tiles_per_axis: 8, threads: 0 })
+//!         .build(),
+//! );
 //! let mut expect = serial.execute(&forests, &cities).pairs;
 //! let mut got = partitioned.execute(&forests, &cities).pairs;
 //! expect.sort_unstable();

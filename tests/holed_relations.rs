@@ -38,10 +38,7 @@ fn pipeline_is_exact_on_holed_data() {
         ExactAlgorithm::PlaneSweep { restrict: true },
         ExactAlgorithm::TrStar { max_entries: 3 },
     ] {
-        let config = JoinConfig {
-            exact,
-            ..JoinConfig::default()
-        };
+        let config = JoinConfig::builder().exact(exact).build();
         let got = sorted(MultiStepJoin::new(config).execute(&a, &b).pairs);
         assert_eq!(got, expect, "{exact:?} differs on holed data");
     }

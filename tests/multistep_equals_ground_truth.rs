@@ -78,10 +78,7 @@ fn regions_with_holes_are_joined_correctly() {
         ExactAlgorithm::PlaneSweep { restrict: true },
         ExactAlgorithm::TrStar { max_entries: 3 },
     ] {
-        let config = JoinConfig {
-            exact,
-            ..JoinConfig::default()
-        };
+        let config = JoinConfig::builder().exact(exact).build();
         let got = sorted(MultiStepJoin::new(config).execute(&a, &b).pairs);
         assert_eq!(got, expect, "{exact:?}");
     }
@@ -102,12 +99,11 @@ fn every_conservative_progressive_combination_is_exact() {
         Some(ConservativeKind::ConvexHull),
     ] {
         for progressive in [None, Some(ProgressiveKind::Mec), Some(ProgressiveKind::Mer)] {
-            let config = JoinConfig {
-                conservative,
-                progressive,
-                false_area_test: true,
-                ..JoinConfig::default()
-            };
+            let config = JoinConfig::builder()
+                .conservative(conservative)
+                .progressive(progressive)
+                .false_area_test(true)
+                .build();
             let got = sorted(MultiStepJoin::new(config).execute(&a, &b).pairs);
             assert_eq!(got, expect, "cons {conservative:?} prog {progressive:?}");
         }

@@ -3,7 +3,10 @@
 //! R*-tree traversal and the ground truth — for all three paper
 //! configurations (§5 versions 1/2/3).
 
-use msj::core::{ground_truth_join, parallel_join, Backend, JoinConfig, MultiStepJoin};
+use msj::core::{
+    ground_truth_join, Backend, Execution, JoinConfig, MultiStepJoin, Request, Response,
+    SpatialEngine,
+};
 
 fn sorted(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
     v.sort_unstable();
@@ -25,13 +28,13 @@ fn all_paper_versions_agree_on_the_partitioned_backend() {
         assert_eq!(sorted(rstar.pairs.clone()), truth, "R* {base:?}");
         for tiles_per_axis in [1usize, 4, 16] {
             for threads in [1usize, 2, 8] {
-                let config = JoinConfig {
-                    backend: Backend::PartitionedSweep {
+                let config = base
+                    .to_builder()
+                    .backend(Backend::PartitionedSweep {
                         tiles_per_axis,
                         threads,
-                    },
-                    ..base
-                };
+                    })
+                    .build();
                 let part = MultiStepJoin::new(config).execute(&a, &b);
                 assert_eq!(
                     sorted(part.pairs.clone()),
@@ -48,19 +51,26 @@ fn all_paper_versions_agree_on_the_partitioned_backend() {
 }
 
 #[test]
-fn partitioned_backend_flows_through_parallel_join() {
+fn partitioned_backend_flows_through_the_engine() {
     let a = msj::datagen::carto_with_holes(40, 24.0, 611);
     let b = msj::datagen::carto_with_holes(40, 24.0, 612);
     let truth = sorted(ground_truth_join(&a, &b));
-    let config = JoinConfig {
-        backend: Backend::PartitionedSweep {
+    let config = JoinConfig::builder()
+        .backend(Backend::PartitionedSweep {
             tiles_per_axis: 8,
             threads: 4,
-        },
-        ..JoinConfig::default()
-    };
+        })
+        .build();
+    let engine = SpatialEngine::new(config);
+    let (ha, hb) = (engine.register(a), engine.register(b));
     for threads in [1usize, 4] {
-        let result = parallel_join(&a, &b, &config, threads);
+        let Ok(Response::Join(result)) = engine.submit(Request::Join {
+            a: ha.id(),
+            b: hb.id(),
+            execution: Some(Execution::Fused { threads }),
+        }) else {
+            panic!("join request failed");
+        };
         assert_eq!(result.pairs, truth, "x{threads}");
         assert_eq!(result.stats.threads_used, threads as u64);
         let summary = result.stats.partition.expect("partition summary");

@@ -89,24 +89,22 @@ fn raster_on_equals_raster_off_across_the_matrix() {
                     Execution::Fused { threads: 1 },
                     Execution::Fused { threads: 4 },
                 ] {
-                    let base = JoinConfig {
-                        backend,
-                        loader,
-                        execution,
-                        ..JoinConfig::default()
-                    };
-                    let off = MultiStepJoin::new(JoinConfig {
-                        raster: RasterConfig::off(),
-                        ..base
-                    })
-                    .execute(a, b);
+                    let base = JoinConfig::builder()
+                        .backend(backend)
+                        .loader(loader)
+                        .execution(execution)
+                        .build();
+                    let off =
+                        MultiStepJoin::new(base.to_builder().raster(RasterConfig::off()).build())
+                            .execute(a, b);
                     assert_eq!(
                         sorted(off.pairs.clone()),
                         expect,
                         "{name}/{backend:?}/{loader:?}/{execution:?} raster-off vs truth"
                     );
                     for raster in [RasterConfig::default(), RasterConfig::with_bits(7)] {
-                        let on = MultiStepJoin::new(JoinConfig { raster, ..base }).execute(a, b);
+                        let on = MultiStepJoin::new(base.to_builder().raster(raster).build())
+                            .execute(a, b);
                         assert_eq!(
                             sorted(on.pairs.clone()),
                             expect,

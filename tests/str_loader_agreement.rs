@@ -90,12 +90,11 @@ fn loaders_backends_and_executions_agree_everywhere() {
                     Execution::Fused { threads: 1 },
                     Execution::Fused { threads: 4 },
                 ] {
-                    let config = JoinConfig {
-                        loader,
-                        backend,
-                        execution,
-                        ..JoinConfig::default()
-                    };
+                    let config = JoinConfig::builder()
+                        .loader(loader)
+                        .backend(backend)
+                        .execution(execution)
+                        .build();
                     let result = MultiStepJoin::new(config).execute(a, b);
                     let got = sorted(result.pairs);
                     match &reference {
@@ -122,11 +121,7 @@ fn loader_choice_preserves_candidates_and_filter_stats() {
     let a = msj::datagen::small_carto(80, 24.0, 4011);
     let b = msj::datagen::small_carto(80, 24.0, 4012);
     let run = |loader: TreeLoader| {
-        MultiStepJoin::new(JoinConfig {
-            loader,
-            ..JoinConfig::default()
-        })
-        .execute(&a, &b)
+        MultiStepJoin::new(JoinConfig::builder().loader(loader).build()).execute(&a, &b)
     };
     let str_run = run(TreeLoader::Str);
     let inc_run = run(TreeLoader::Incremental);
@@ -148,10 +143,7 @@ fn per_step_timings_are_populated() {
     let a = msj::datagen::small_carto(60, 24.0, 4021);
     let b = msj::datagen::small_carto(60, 24.0, 4022);
     for execution in [Execution::Serial, Execution::Fused { threads: 2 }] {
-        let config = JoinConfig {
-            execution,
-            ..JoinConfig::default()
-        };
+        let config = JoinConfig::builder().execution(execution).build();
         let r = MultiStepJoin::new(config).execute(&a, &b);
         assert!(r.stats.step0_nanos > 0, "{execution:?}: step0");
         assert!(
