@@ -138,7 +138,11 @@ impl<'a> PreparedBaseline<'a> {
         }
         pairs.sort_unstable();
         stats.result_pairs = pairs.len() as u64;
-        JoinResult { pairs, stats }
+        JoinResult {
+            pairs,
+            stats,
+            worker_lanes: Vec::new(),
+        }
     }
 }
 

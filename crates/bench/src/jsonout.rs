@@ -1,4 +1,4 @@
-//! Machine-readable benchmark output (`BENCH_pr5.json`).
+//! Machine-readable benchmark output (`BENCH_pr6.json`).
 //!
 //! Measures the batched hot path and the resident serving surface on the
 //! skewed cartographic workload — the PR-3/PR-4/PR-5 acceptance matrix —
@@ -16,12 +16,19 @@
 //! * **Serving** (`"serving"` records): per-query latency and
 //!   queries/sec of point/window/join traffic against the resident
 //!   engine versus paying Step-0 preparation per query, with FNV
-//!   response digests asserted equal between the two paths;
+//!   response digests asserted equal between the two paths — resident
+//!   cells additionally report p50/p90/p99 latency from the engine's
+//!   own request-latency histograms;
+//! * **Observability** (the top-level `"obs"` object): the engine's
+//!   schema-versioned metrics snapshot after a fixed request mix, plus
+//!   the always-on overhead guard — the same fused join timed with
+//!   metrics on vs [`msj_core::ObsConfig::disabled`], asserted < 3%
+//!   whenever the baseline is large enough to be signal;
 //! * the agreement verdict: every measured cell must produce the
 //!   identical canonically sorted response set.
 //!
 //! Throughput fields are **omitted** when the corresponding stage did
-//! not run in a cell (schema `msj-bench-pr5`; earlier schemas emitted a
+//! not run in a cell (schema `msj-bench-pr6`; earlier schemas emitted a
 //! misleading `0`).
 //!
 //! No serde in this workspace (offline vendored deps only), so the JSON
@@ -33,7 +40,7 @@ use crate::experiments::serving::{serving_queries, SERVING_JOIN_RUNS, SERVING_PR
 use crate::experiments::ExpConfig;
 use crate::timing::timed;
 use msj_core::{
-    join_source, Backend, Execution, JoinConfig, JoinResult, SpatialEngine, TreeLoader,
+    join_source, Backend, Execution, JoinConfig, JoinResult, ObsConfig, SpatialEngine, TreeLoader,
 };
 use msj_geom::{ObjectId, Relation};
 use std::sync::Arc;
@@ -62,6 +69,10 @@ struct ServingCell {
     /// Resident records only: per-query latency advantage over the
     /// prepare-per-query mode of the same kind.
     speedup_vs_prepare: Option<f64>,
+    /// Resident records only: (p50, p90, p99) per-query latency in
+    /// microseconds, read from the serving engine's own
+    /// `msj_request_latency_nanos{kind}` histogram.
+    latency_percentiles_micros: Option<(f64, f64, f64)>,
 }
 
 /// One flat measurement record. Optional fields are omitted from the
@@ -133,6 +144,15 @@ impl Record {
             if let Some(v) = q.speedup_vs_prepare {
                 s.push_str(&format!(",\"speedup_vs_prepare\":{v:.1}"));
             }
+            if let Some((p50, p90, p99)) = q.latency_percentiles_micros {
+                s.push_str(&format!(
+                    concat!(
+                        ",\"latency_p50_micros\":{:.2},",
+                        "\"latency_p90_micros\":{:.2},\"latency_p99_micros\":{:.2}"
+                    ),
+                    p50, p90, p99,
+                ));
+            }
         }
         s.push('}');
         s
@@ -178,7 +198,7 @@ fn join_record(
 }
 
 /// The sections a [`bench_json_only`] filter can select.
-pub const SECTIONS: [&str; 4] = ["step1", "join", "raster", "serving"];
+pub const SECTIONS: [&str; 5] = ["step1", "join", "raster", "serving", "obs"];
 
 /// Runs the full measurement matrix and renders the JSON document.
 pub fn bench_json(cfg: &ExpConfig) -> String {
@@ -386,7 +406,86 @@ pub fn bench_json_only(cfg: &ExpConfig, only: Option<&str>) -> String {
         records.extend(serving_records(cfg, &a, &b));
     }
 
-    render(cfg, &a, &b, &records)
+    // Observability: engine snapshot + the always-on overhead guard.
+    let obs = want("obs").then(|| obs_section(&a, &b));
+
+    render(cfg, &a, &b, &records, obs.as_deref())
+}
+
+/// (p50, p90, p99) per-query latency in microseconds for one request
+/// kind, read back from the engine's own metrics registry.
+fn latency_percentiles(engine: &SpatialEngine, kind: &str) -> Option<(f64, f64, f64)> {
+    let key = format!("msj_request_latency_nanos{{kind=\"{kind}\"}}");
+    let snap = engine.metrics().snapshot();
+    let h = snap.histogram(&key)?;
+    (h.count > 0).then(|| {
+        (
+            h.p50() as f64 / 1e3,
+            h.p90() as f64 / 1e3,
+            h.p99() as f64 / 1e3,
+        )
+    })
+}
+
+/// The `"obs"` payload: a schema-versioned [`SpatialEngine`] metrics
+/// snapshot after a fixed request mix, plus the overhead guard — the
+/// same fused join timed with observability on vs
+/// [`ObsConfig::disabled`]. The guard asserts the always-on promise
+/// (< 3% wall-clock) whenever the disabled baseline is ≥ 20 ms; below
+/// that the ratio is timer noise and is only reported.
+fn obs_section(a: &Arc<Relation>, b: &Arc<Relation>) -> String {
+    let engine = SpatialEngine::new(
+        JoinConfig::builder()
+            .obs(ObsConfig::with_traces(16))
+            .build(),
+    );
+    let (ha, hb) = (engine.register(a.clone()), engine.register(b.clone()));
+    let prepared = engine.prepare_join(&ha, &hb);
+    let _ = prepared.run_with(Execution::Fused { threads: 4 });
+    let (points, windows) = serving_queries(a, 8);
+    for (p, w) in points.iter().zip(&windows) {
+        let _ = engine.point_query(&ha, *p);
+        let _ = engine.window_query(&ha, *w);
+    }
+    let snapshot = engine.metrics().snapshot_json();
+
+    let timed_join = |obs: ObsConfig| {
+        let e = SpatialEngine::new(JoinConfig::builder().obs(obs).build());
+        let (xa, xb) = (e.register(a.clone()), e.register(b.clone()));
+        let p = e.prepare_join(&xa, &xb);
+        let _ = p.run_with(Execution::Fused { threads: 4 }); // warm-up
+        let (_, secs) = timed(|| p.run_with(Execution::Fused { threads: 4 }));
+        secs
+    };
+    let off_secs = timed_join(ObsConfig::disabled());
+    let on_secs = timed_join(ObsConfig::default());
+    let overhead = (on_secs - off_secs) / off_secs.max(1e-12);
+    // Enforced only in optimized builds on a ≥ 20 ms baseline: below
+    // that the ratio is timer noise, and debug binaries inside a
+    // parallel test harness share cores with other 4-thread joins.
+    let guard_enforced = off_secs >= 0.020 && !cfg!(debug_assertions);
+    if guard_enforced {
+        assert!(
+            overhead < 0.03,
+            "observability overhead {:.2}% exceeds the 3% budget \
+             (metrics on {:.2} ms vs off {:.2} ms)",
+            overhead * 100.0,
+            on_secs * 1e3,
+            off_secs * 1e3,
+        );
+    }
+    format!(
+        concat!(
+            "{{\"snapshot\":{},\"overhead\":{{",
+            "\"baseline_millis\":{:.3},\"observed_millis\":{:.3},",
+            "\"overhead_fraction\":{:.4},\"guard_enforced\":{}}}}}"
+        ),
+        snapshot,
+        off_secs * 1e3,
+        on_secs * 1e3,
+        overhead,
+        guard_enforced,
+    )
 }
 
 fn ids_digest(acc: u64, ids: &mut [ObjectId]) -> u64 {
@@ -401,6 +500,13 @@ fn ids_digest(acc: u64, ids: &mut [ObjectId]) -> u64 {
     acc.wrapping_add(ids.len() as u64 + 1)
 }
 
+/// The resident-only extras of a serving cell: the latency advantage
+/// over prepare-per-query and the engine-histogram percentiles.
+struct ResidentView {
+    speedup_vs_prepare: f64,
+    percentiles: Option<(f64, f64, f64)>,
+}
+
 fn serving_record(
     mode: &str,
     kind: &str,
@@ -408,7 +514,7 @@ fn serving_record(
     queries: u64,
     secs: f64,
     digest: u64,
-    speedup: Option<f64>,
+    resident: Option<ResidentView>,
 ) -> Record {
     let per_query = secs / queries.max(1) as f64;
     Record {
@@ -429,7 +535,8 @@ fn serving_record(
             queries_per_sec: queries as f64 / secs.max(1e-12),
             per_query_micros: per_query * 1e6,
             digest,
-            speedup_vs_prepare: speedup,
+            speedup_vs_prepare: resident.as_ref().map(|r| r.speedup_vs_prepare),
+            latency_percentiles_micros: resident.and_then(|r| r.percentiles),
         }),
     }
 }
@@ -486,7 +593,10 @@ fn serving_records(cfg: &ExpConfig, a: &Arc<Relation>, b: &Arc<Relation>) -> Vec
             q as u64,
             resident_secs,
             resident_subset_digest,
-            Some(per_query_prepare / per_query_resident.max(1e-12)),
+            Some(ResidentView {
+                speedup_vs_prepare: per_query_prepare / per_query_resident.max(1e-12),
+                percentiles: latency_percentiles(&engine, kind),
+            }),
         ));
         records.push(serving_record(
             "prepare-per-query",
@@ -535,7 +645,10 @@ fn serving_records(cfg: &ExpConfig, a: &Arc<Relation>, b: &Arc<Relation>) -> Vec
         SERVING_JOIN_RUNS as u64,
         resident_secs,
         resident_digest,
-        Some(per_query_prepare / per_query_resident.max(1e-12)),
+        Some(ResidentView {
+            speedup_vs_prepare: per_query_prepare / per_query_resident.max(1e-12),
+            percentiles: latency_percentiles(&engine, "join"),
+        }),
     ));
     records.push(serving_record(
         "prepare-per-query",
@@ -549,10 +662,16 @@ fn serving_records(cfg: &ExpConfig, a: &Arc<Relation>, b: &Arc<Relation>) -> Vec
     records
 }
 
-fn render(cfg: &ExpConfig, a: &Relation, b: &Relation, records: &[Record]) -> String {
+fn render(
+    cfg: &ExpConfig,
+    a: &Relation,
+    b: &Relation,
+    records: &[Record],
+    obs: Option<&str>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"msj-bench-pr5\",\n");
+    out.push_str("  \"schema\": \"msj-bench-pr6\",\n");
     out.push_str("  \"workload\": \"skewed_carto\",\n");
     out.push_str(&format!("  \"objects_a\": {},\n", a.len()));
     out.push_str(&format!("  \"objects_b\": {},\n", b.len()));
@@ -561,6 +680,9 @@ fn render(cfg: &ExpConfig, a: &Relation, b: &Relation, records: &[Record]) -> St
     out.push_str(
         "  \"agreement\": \"all cells produced the identical canonically sorted response set\",\n",
     );
+    if let Some(obs) = obs {
+        out.push_str(&format!("  \"obs\": {obs},\n"));
+    }
     out.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str("    ");
@@ -587,7 +709,13 @@ mod tests {
         };
         let json = bench_json(&cfg);
         for needle in [
-            "\"schema\": \"msj-bench-pr5\"",
+            "\"schema\": \"msj-bench-pr6\"",
+            "\"obs\": {",
+            "\"overhead_fraction\":",
+            "\"guard_enforced\":",
+            "\"msj-obs-v1\"",
+            "\"latency_p50_micros\":",
+            "\"latency_p99_micros\":",
             "\"experiment\":\"step1\"",
             "\"experiment\":\"join\"",
             "\"experiment\":\"raster\"",
@@ -644,6 +772,10 @@ mod tests {
                     !line.contains("speedup_vs_prepare"),
                     "prepare cell carries no speedup: {line}"
                 );
+                assert!(
+                    !line.contains("latency_p50_micros"),
+                    "prepare cell carries no engine percentiles: {line}"
+                );
             }
         }
     }
@@ -659,10 +791,32 @@ mod tests {
         assert!(!json.contains("\"experiment\":\"step1\""));
         assert!(!json.contains("\"experiment\":\"join\""));
         assert!(!json.contains("\"experiment\":\"serving\""));
+        assert!(!json.contains("\"obs\": {"));
         // The raster sweep still verifies on/off agreement internally
         // (the check closure compares every cell against the first).
         assert!(json.contains("\"mode\":\"raster-off\""));
         assert!(json.contains("\"mode\":\"raster-b10\""));
+    }
+
+    #[test]
+    fn obs_section_reports_snapshot_and_overhead() {
+        let cfg = ExpConfig {
+            seed: 7,
+            scale: Scale::Quick,
+        };
+        let json = bench_json_only(&cfg, Some("obs"));
+        assert!(json.contains("\"obs\": {"));
+        assert!(json.contains("\"schema\":\"msj-obs-v1\""));
+        // The snapshot carries live per-kind request latencies and the
+        // full described schema (metric keys escape their label quotes).
+        assert!(json.contains("msj_request_latency_nanos{kind=\\\"join\\\"}"));
+        assert!(json.contains("msj_admission_shed_total"));
+        assert!(json.contains("\"baseline_millis\":"));
+        assert!(json.contains("\"observed_millis\":"));
+        assert!(json.contains("\"overhead_fraction\":"));
+        assert!(json.contains("\"guard_enforced\":"));
+        // Only the obs payload — no measurement records.
+        assert!(!json.contains("\"experiment\":"));
     }
 
     #[test]

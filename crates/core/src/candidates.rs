@@ -21,8 +21,9 @@ use crate::config::{Backend, JoinConfig, TreeLoader, DEFAULT_BATCH_PAIRS};
 use msj_geom::{
     FnConsumer, ObjectId, PairBatchBuffer, PairConsumer, Point, Rect, RelHandle, Relation,
 };
-use msj_partition::{partition_join, partition_join_workers, GridIndex, PartitionStats};
-use msj_sam::{tree_join_chunked, JoinStats, LruBuffer, PageLayout, RStarTree};
+use msj_obs::WorkerTelemetry;
+use msj_partition::{partition_join, partition_join_workers_observed, GridIndex, PartitionStats};
+use msj_sam::{tree_join_chunked_observed, JoinStats, LruBuffer, PageLayout, RStarTree};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 
@@ -140,6 +141,22 @@ pub trait CandidateSource: Send + Sync {
     /// and candidates arrive in the backend's deterministic order; with
     /// more, each backend worker thread attaches its own sink.
     fn join_candidates(&self, consumer: &dyn PairConsumer, workers: usize) -> Step1Stats;
+
+    /// [`join_candidates`](CandidateSource::join_candidates) with
+    /// optional per-worker telemetry: when `telemetry` is given, every
+    /// backend worker records its pairs/batches/peak into its
+    /// [`msj_obs::WorkerLane`]. The default implementation ignores the
+    /// telemetry (candidate delivery is identical either way), so
+    /// third-party sources keep compiling unchanged.
+    fn join_candidates_observed(
+        &self,
+        consumer: &dyn PairConsumer,
+        workers: usize,
+        telemetry: Option<&WorkerTelemetry>,
+    ) -> Step1Stats {
+        let _ = telemetry;
+        self.join_candidates(consumer, workers)
+    }
 
     /// Appends every id of the primary relation whose MBR contains `p`.
     fn point_candidates(&self, p: Point, out: &mut Vec<ObjectId>) -> SelectionStats;
@@ -298,9 +315,20 @@ impl CandidateSource for RStarSource {
     }
 
     fn join_candidates(&self, consumer: &dyn PairConsumer, workers: usize) -> Step1Stats {
+        self.join_candidates_observed(consumer, workers, None)
+    }
+
+    fn join_candidates_observed(
+        &self,
+        consumer: &dyn PairConsumer,
+        workers: usize,
+        telemetry: Option<&WorkerTelemetry>,
+    ) -> Step1Stats {
         let tree_a = &*self.tree_a;
         let tree_b = self.tree_b.as_deref().unwrap_or(tree_a);
         let batch = self.batch;
+        // The traversal is single-producer: all chunks come off lane 0.
+        let lane = telemetry.map(|t| t.backend_lane(0));
         // One lock for the whole traversal: the simulated I/O buffer is
         // inherently serial state. Concurrent runs of a shared prepared
         // join serialize here (Steps 2–3 still parallelize per run).
@@ -311,7 +339,7 @@ impl CandidateSource for RStarSource {
             // virtual dispatch (and one batched classification
             // downstream) per `batch` pairs, order unchanged.
             let mut sink = consumer.attach();
-            let join = tree_join_chunked(tree_a, tree_b, buffer, batch, |chunk| {
+            let join = tree_join_chunked_observed(tree_a, tree_b, buffer, batch, lane, |chunk| {
                 sink.consume_batch(&chunk)
             });
             return Step1Stats {
@@ -371,7 +399,7 @@ impl CandidateSource for RStarSource {
                     }
                 });
             }
-            let join = tree_join_chunked(tree_a, tree_b, buffer, batch, |chunk| {
+            let join = tree_join_chunked_observed(tree_a, tree_b, buffer, batch, lane, |chunk| {
                 let now =
                     buffered.fetch_add(chunk.len() as u64, Ordering::Relaxed) + chunk.len() as u64;
                 peak.fetch_max(now, Ordering::Relaxed);
@@ -480,6 +508,15 @@ impl CandidateSource for GridSource<'_> {
     }
 
     fn join_candidates(&self, consumer: &dyn PairConsumer, workers: usize) -> Step1Stats {
+        self.join_candidates_observed(consumer, workers, None)
+    }
+
+    fn join_candidates_observed(
+        &self,
+        consumer: &dyn PairConsumer,
+        workers: usize,
+        telemetry: Option<&WorkerTelemetry>,
+    ) -> Step1Stats {
         let (tiles_per_axis, threads, batch) = (self.tiles_per_axis, self.threads, self.batch);
         let (items_a, items_b) = self.join_items();
         let (stats, workers_fed) = if workers <= 1 {
@@ -493,13 +530,29 @@ impl CandidateSource for GridSource<'_> {
                 buffer.pair(id_a, id_b)
             });
             drop(buffer); // flush the tail before the sink detaches
+            if let Some(t) = telemetry {
+                // Everything funneled through one caller-side lane, in
+                // full batches plus one tail flush.
+                let lane = t.backend_lane(0);
+                let candidates = stats.candidates();
+                lane.add_pairs(candidates);
+                lane.add_batches(candidates.div_ceil(batch as u64));
+                lane.record_buffered(candidates.min(batch as u64));
+            }
             (stats, 1)
         } else {
             // Fused: every tile worker attaches its own sink and sweeps
             // straight into it in tile-boundary-flushed batches — nothing
             // is buffered across threads or funneled.
-            let stats =
-                partition_join_workers(items_a, items_b, tiles_per_axis, workers, batch, consumer);
+            let stats = partition_join_workers_observed(
+                items_a,
+                items_b,
+                tiles_per_axis,
+                workers,
+                batch,
+                consumer,
+                telemetry,
+            );
             let fed = stats.threads as u64;
             (stats, fed)
         };

@@ -3,6 +3,7 @@
 use crate::execution::Execution;
 use msj_approx::{ConservativeKind, ProgressiveKind};
 use msj_exact::ExactAlgorithm;
+use msj_obs::ObsConfig;
 
 /// The Step-1 candidate backend (see [`crate::candidates`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -168,6 +169,11 @@ pub struct JoinConfig {
     /// dispatch and synchronization; smaller ones bound latency and the
     /// in-flight candidate count. Clamped to at least 1.
     pub batch_pairs: usize,
+    /// Runtime observability: step/request timing, worker telemetry and
+    /// opt-in per-request traces ([`msj_obs::ObsConfig`]). Enabled by
+    /// default (no traces); [`msj_obs::ObsConfig::disabled`] skips every
+    /// clock read, leaving all `*_nanos` statistics at zero.
+    pub obs: ObsConfig,
 }
 
 impl Default for JoinConfig {
@@ -187,6 +193,7 @@ impl Default for JoinConfig {
             execution: Execution::Serial,
             loader: TreeLoader::Str,
             batch_pairs: DEFAULT_BATCH_PAIRS,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -329,6 +336,12 @@ impl JoinConfigBuilder {
         self
     }
 
+    /// Observability: step timing, worker telemetry, per-request traces.
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.config.obs = obs;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> JoinConfig {
         self.config
@@ -421,6 +434,7 @@ mod tests {
             .execution(Execution::Fused { threads: 3 })
             .loader(TreeLoader::Incremental)
             .batch_pairs(64)
+            .obs(ObsConfig::disabled())
             .build();
         assert_eq!(
             c.backend,
@@ -439,6 +453,11 @@ mod tests {
         assert_eq!(c.execution, Execution::Fused { threads: 3 });
         assert_eq!(c.loader, TreeLoader::Incremental);
         assert_eq!(c.batch_pairs, 64);
+        assert_eq!(c.obs, ObsConfig::disabled());
+        assert!(!c.obs.enabled);
+        // The default configuration keeps observability on (no traces).
+        assert!(JoinConfig::default().obs.enabled);
+        assert_eq!(JoinConfig::default().obs.trace_capacity, 0);
         // to_builder picks up a preset.
         let v2 = JoinConfig::version2().to_builder().build();
         assert_eq!(v2, JoinConfig::version2());

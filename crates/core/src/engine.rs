@@ -62,8 +62,11 @@ use crate::stats::MultiStepStats;
 use msj_approx::{ConservativeStore, ProgressiveStore};
 use msj_exact::{ExactAlgorithm, ExactProcessor, OpCounts, TrStarStore};
 use msj_geom::{ObjectId, Point, Rect, RelHandle, Relation};
+use msj_obs::{
+    LaneRole, MetricsRegistry, ObsConfig, Span, Step, StepSpans, Trace, TraceRing, TraceSteps,
+};
 use msj_sam::RStarTree;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
@@ -133,6 +136,92 @@ impl std::fmt::Debug for DatasetHandle {
     }
 }
 
+/// Per-run statistics a [`PreparedJoin`] retains as admission history
+/// ([`PreparedJoin::run_history`]).
+pub const RUN_HISTORY: usize = 32;
+
+/// Shared observability state of one engine: the metrics registry plus
+/// the trace ring, `Arc`-co-owned by every [`PreparedJoin`] so direct
+/// `prepared.run()` calls record exactly like submitted requests.
+struct EngineObs {
+    registry: MetricsRegistry,
+    traces: TraceRing,
+}
+
+impl EngineObs {
+    fn new(config: ObsConfig) -> Self {
+        let registry = MetricsRegistry::with_enabled(config.enabled);
+        // Describe and pre-register the whole metric schema up front:
+        // exporters render every family from the first scrape on, at
+        // zero, instead of families popping into existence per request.
+        registry.describe(
+            "msj_request_latency_nanos",
+            "End-to-end request latency in nanoseconds, by request kind",
+        );
+        registry.describe(
+            "msj_step_nanos_total",
+            "Cumulative pipeline wall-clock nanoseconds, by step",
+        );
+        registry.describe(
+            "msj_admission_accept_total",
+            "Join requests admitted under the section-5 cost model",
+        );
+        registry.describe(
+            "msj_admission_shed_total",
+            "Join requests refused by the admission limit",
+        );
+        registry.describe(
+            "msj_admission_error_ratio",
+            "Relative error of the latest admission estimate vs the observed cost",
+        );
+        registry.describe(
+            "msj_prepared_cache_hits_total",
+            "prepare_join calls served from the prepared-join cache",
+        );
+        registry.describe(
+            "msj_prepared_cache_misses_total",
+            "prepare_join calls that built pair-level Step-0 state",
+        );
+        registry.describe(
+            "msj_datasets_registered_total",
+            "Datasets registered on the engine (Step-0 runs)",
+        );
+        registry.describe(
+            "msj_registration_nanos",
+            "Step-0 registration wall-clock nanoseconds per dataset",
+        );
+        registry.describe(
+            "msj_worker_pairs_total",
+            "Candidate pairs handled by execution workers, by lane role",
+        );
+        registry.describe(
+            "msj_worker_batches_total",
+            "Batches flushed by execution workers, by lane role",
+        );
+        for kind in ["join", "self_join", "point", "window"] {
+            registry.histogram("msj_request_latency_nanos", &[("kind", kind)]);
+        }
+        for step in Step::ALL {
+            registry.counter("msj_step_nanos_total", &[("step", step.name())]);
+        }
+        for role in [LaneRole::Backend, LaneRole::Consumer] {
+            registry.counter("msj_worker_pairs_total", &[("role", role.as_str())]);
+            registry.counter("msj_worker_batches_total", &[("role", role.as_str())]);
+        }
+        registry.counter("msj_admission_accept_total", &[]);
+        registry.counter("msj_admission_shed_total", &[]);
+        registry.counter("msj_prepared_cache_hits_total", &[]);
+        registry.counter("msj_prepared_cache_misses_total", &[]);
+        registry.counter("msj_datasets_registered_total", &[]);
+        registry.histogram("msj_registration_nanos", &[]);
+        registry.gauge("msj_admission_error_ratio", &[]);
+        EngineObs {
+            registry,
+            traces: TraceRing::new(config.trace_capacity),
+        }
+    }
+}
+
 /// An **owned** prepared join — the resident counterpart of
 /// [`ScopedPreparedJoin`], with no borrowed lifetime: both datasets'
 /// Step-0 state is co-owned behind `Arc`, so the value can be cached,
@@ -141,15 +230,23 @@ impl std::fmt::Debug for DatasetHandle {
 /// Every run produces the identical response set (canonically sorted
 /// under fused execution); the only run-to-run drift is the simulated
 /// LRU buffer of the R*-traversal staying warm (later runs report fewer
-/// physical reads). The most recent run's statistics are retained as the
-/// admission history the engine's §5 cost model estimates from.
+/// physical reads). The [`RUN_HISTORY`] most recent runs' statistics are
+/// retained as the admission history the engine's §5 cost model
+/// estimates from.
 pub struct PreparedJoin {
     a: DatasetHandle,
     b: DatasetHandle,
     exact_cost_kind: ExactCostKind,
     scoped: ScopedPreparedJoin<'static>,
-    /// Most recent run's statistics (admission history).
-    last: Mutex<Option<MultiStepStats>>,
+    /// Request-kind label of every run (`"join"` / `"self_join"`).
+    kind: &'static str,
+    /// §5 constants for the trace-time estimate.
+    params: CostModelParams,
+    /// The owning engine's registry/trace ring.
+    obs: Arc<EngineObs>,
+    /// Bounded ring of per-run statistics, newest last (admission
+    /// history).
+    history: Mutex<VecDeque<MultiStepStats>>,
 }
 
 impl PreparedJoin {
@@ -158,11 +255,86 @@ impl PreparedJoin {
         self.run_with(self.scoped.execution())
     }
 
-    /// Runs Steps 1–3 under an explicit policy.
+    /// Runs Steps 1–3 under an explicit policy. Every run records into
+    /// the owning engine's metrics registry (and trace ring, when
+    /// tracing is on) — direct runs and submitted requests are
+    /// indistinguishable to the exporters.
     pub fn run_with(&self, execution: Execution) -> JoinResult {
+        let enabled = self.obs.registry.is_enabled();
+        // The trace carries the estimate the run would have been
+        // admitted under — taken before this run extends the history.
+        let estimated_s =
+            (enabled && self.obs.traces.enabled()).then(|| self.admission_estimate(&self.params).0);
+        let t_run = enabled.then(Span::start);
         let result = self.scoped.run_with(execution);
-        *self.last.lock().expect("stats lock poisoned") = Some(result.stats);
+        {
+            let mut history = self.history.lock().expect("stats lock poisoned");
+            if history.len() == RUN_HISTORY {
+                history.pop_front();
+            }
+            history.push_back(result.stats);
+        }
+        if enabled {
+            let latency_nanos = t_run.map_or(0, |t| t.elapsed_nanos());
+            self.record_run(&result, latency_nanos, estimated_s.unwrap_or(0.0));
+        }
         result
+    }
+
+    /// Publishes one finished run: latency histogram, per-step counters,
+    /// worker-lane aggregates and (when tracing) the request trace.
+    fn record_run(&self, result: &JoinResult, latency_nanos: u64, estimated_s: f64) {
+        let reg = &self.obs.registry;
+        let s = &result.stats;
+        reg.histogram("msj_request_latency_nanos", &[("kind", self.kind)])
+            .record(latency_nanos);
+        for (step, nanos) in [
+            (Step::Step1, s.step1_nanos),
+            (Step::Step2, s.step2_nanos),
+            (Step::Step2a, s.step2a_nanos),
+            (Step::Step3, s.step3_nanos),
+        ] {
+            reg.counter("msj_step_nanos_total", &[("step", step.name())])
+                .add(nanos);
+        }
+        let mut pairs = [0u64; 2];
+        let mut batches = [0u64; 2];
+        for lane in &result.worker_lanes {
+            let i = match lane.role {
+                LaneRole::Backend => 0,
+                LaneRole::Consumer => 1,
+            };
+            pairs[i] += lane.pairs;
+            batches[i] += lane.batches;
+        }
+        for (i, role) in [LaneRole::Backend, LaneRole::Consumer]
+            .into_iter()
+            .enumerate()
+        {
+            reg.counter("msj_worker_pairs_total", &[("role", role.as_str())])
+                .add(pairs[i]);
+            reg.counter("msj_worker_batches_total", &[("role", role.as_str())])
+                .add(batches[i]);
+        }
+        if self.obs.traces.enabled() {
+            self.obs.traces.push(Trace {
+                seq: self.obs.traces.next_seq(),
+                kind: self.kind,
+                datasets: self.datasets(),
+                admitted: true,
+                estimated_s,
+                latency_nanos,
+                candidates: s.mbr_join.candidates,
+                results: s.result_pairs,
+                steps: TraceSteps {
+                    step0_nanos: s.step0_nanos,
+                    step1_nanos: s.step1_nanos,
+                    step2_nanos: s.step2_nanos,
+                    step2a_nanos: s.step2a_nanos,
+                    step3_nanos: s.step3_nanos,
+                },
+            });
+        }
     }
 
     /// The joined dataset ids `(a, b)`.
@@ -172,7 +344,22 @@ impl PreparedJoin {
 
     /// Statistics of the most recent run, if any ran yet.
     pub fn last_stats(&self) -> Option<MultiStepStats> {
-        *self.last.lock().expect("stats lock poisoned")
+        self.history
+            .lock()
+            .expect("stats lock poisoned")
+            .back()
+            .copied()
+    }
+
+    /// Statistics of up to [`RUN_HISTORY`] most recent runs, oldest
+    /// first.
+    pub fn run_history(&self) -> Vec<MultiStepStats> {
+        self.history
+            .lock()
+            .expect("stats lock poisoned")
+            .iter()
+            .copied()
+            .collect()
     }
 
     /// The §5 modeled cost this join would be admitted under right now:
@@ -321,6 +508,8 @@ pub struct SpatialEngine {
     config: JoinConfig,
     params: CostModelParams,
     admission_limit_s: Option<f64>,
+    /// Registry + trace ring, `Arc`-shared into every prepared join.
+    obs: Arc<EngineObs>,
     datasets: RwLock<Vec<Arc<DatasetState>>>,
     /// Prepared-join cache keyed by dataset-id pair.
     prepared: Mutex<HashMap<(DatasetId, DatasetId), Arc<PreparedJoin>>>,
@@ -331,12 +520,28 @@ impl SpatialEngine {
     /// every query it serves.
     pub fn new(config: JoinConfig) -> Self {
         SpatialEngine {
+            obs: Arc::new(EngineObs::new(config.obs)),
             config,
             params: CostModelParams::default(),
             admission_limit_s: None,
             datasets: RwLock::new(Vec::new()),
             prepared: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The engine's metrics registry: always present (and always
+    /// renderable via [`MetricsRegistry::snapshot_json`] /
+    /// [`MetricsRegistry::render_prometheus`]); with
+    /// [`ObsConfig::disabled`] it stays at the described schema and
+    /// records nothing.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.obs.registry
+    }
+
+    /// The retained request traces, oldest first — empty unless the
+    /// engine was configured with [`ObsConfig::with_traces`].
+    pub fn recent_traces(&self) -> Vec<Trace> {
+        self.obs.traces.recent()
     }
 
     /// Overrides the §5 cost constants used for admission estimates.
@@ -370,7 +575,8 @@ impl SpatialEngine {
     /// `Arc<Relation>` (no copy either way).
     pub fn register(&self, relation: impl Into<Arc<Relation>>) -> DatasetHandle {
         let relation = relation.into();
-        let t_step0 = Instant::now();
+        let enabled = self.obs.registry.is_enabled();
+        let t_step0 = enabled.then(Instant::now);
         let tree = matches!(self.config.backend, Backend::RStarTraversal)
             .then(|| Arc::new(candidates::build_tree(&self.config, &relation)));
         let conservative = self
@@ -394,7 +600,15 @@ impl SpatialEngine {
             conservative.clone(),
             progressive.clone(),
         );
-        let step0_nanos = t_step0.elapsed().as_nanos() as u64;
+        let step0_nanos = t_step0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        if enabled {
+            let reg = &self.obs.registry;
+            reg.counter("msj_datasets_registered_total", &[]).inc();
+            reg.histogram("msj_registration_nanos", &[])
+                .record(step0_nanos);
+            reg.counter("msj_step_nanos_total", &[("step", Step::Step0.name())])
+                .add(step0_nanos);
+        }
         let mut datasets = self.datasets.write().expect("datasets lock poisoned");
         let state = Arc::new(DatasetState {
             id: datasets.len() as DatasetId,
@@ -477,8 +691,21 @@ impl SpatialEngine {
         self.assert_registered(a);
         self.assert_registered(b);
         let key = (a.id(), b.id());
+        let enabled = self.obs.registry.is_enabled();
         if let Some(prepared) = self.cached_join(key) {
+            if enabled {
+                self.obs
+                    .registry
+                    .counter("msj_prepared_cache_hits_total", &[])
+                    .inc();
+            }
             return prepared;
+        }
+        if enabled {
+            self.obs
+                .registry
+                .counter("msj_prepared_cache_misses_total", &[])
+                .inc();
         }
         // Build outside the cache lock so a slow pair-level Step 0 never
         // blocks requests for other pairs; a concurrent double build is
@@ -494,7 +721,8 @@ impl SpatialEngine {
     }
 
     fn build_prepared(&self, a: &DatasetHandle, b: &DatasetHandle) -> PreparedJoin {
-        let t_pair = Instant::now();
+        let enabled = self.obs.registry.is_enabled();
+        let t_pair = enabled.then(Instant::now);
         let (sa, sb) = (&a.state, &b.state);
         let source = candidates::join_source_with(
             &self.config,
@@ -536,10 +764,8 @@ impl SpatialEngine {
         } else {
             sa.step0_nanos + sb.step0_nanos
         };
-        let step0_nanos = datasets_step0 + t_pair.elapsed().as_nanos() as u64;
+        let step0_nanos = datasets_step0 + t_pair.map_or(0, |t| t.elapsed().as_nanos() as u64);
         PreparedJoin {
-            a: a.clone(),
-            b: b.clone(),
             exact_cost_kind: self.exact_cost_kind(),
             scoped: ScopedPreparedJoin::from_parts(
                 self.config.execution,
@@ -547,8 +773,18 @@ impl SpatialEngine {
                 filter,
                 exact,
                 step0_nanos,
+                self.config.obs,
             ),
-            last: Mutex::new(None),
+            kind: if a.id() == b.id() {
+                "self_join"
+            } else {
+                "join"
+            },
+            params: self.params,
+            obs: self.obs.clone(),
+            history: Mutex::new(VecDeque::with_capacity(RUN_HISTORY)),
+            a: a.clone(),
+            b: b.clone(),
         }
     }
 
@@ -556,15 +792,90 @@ impl SpatialEngine {
     /// probe, approximation filter, exact containment).
     pub fn point_query(&self, dataset: &DatasetHandle, point: Point) -> SelectionResponse {
         let mut exact_ops = OpCounts::new();
-        let (ids, stats) = dataset.state.selection.point_query(point, &mut exact_ops);
+        if !self.obs.registry.is_enabled() {
+            let (ids, stats) = dataset.state.selection.point_query(point, &mut exact_ops);
+            return self.selection_response(ids, stats, exact_ops);
+        }
+        let spans = StepSpans::new();
+        let t_req = Span::start();
+        let (ids, stats) =
+            dataset
+                .state
+                .selection
+                .point_query_observed(point, &mut exact_ops, Some(&spans));
+        self.record_selection(
+            "point",
+            dataset,
+            &spans,
+            t_req.elapsed_nanos(),
+            &stats,
+            &ids,
+        );
         self.selection_response(ids, stats, exact_ops)
     }
 
     /// Window selection against a registered dataset.
     pub fn window_query(&self, dataset: &DatasetHandle, window: Rect) -> SelectionResponse {
         let mut exact_ops = OpCounts::new();
-        let (ids, stats) = dataset.state.selection.window_query(window, &mut exact_ops);
+        if !self.obs.registry.is_enabled() {
+            let (ids, stats) = dataset.state.selection.window_query(window, &mut exact_ops);
+            return self.selection_response(ids, stats, exact_ops);
+        }
+        let spans = StepSpans::new();
+        let t_req = Span::start();
+        let (ids, stats) =
+            dataset
+                .state
+                .selection
+                .window_query_observed(window, &mut exact_ops, Some(&spans));
+        self.record_selection(
+            "window",
+            dataset,
+            &spans,
+            t_req.elapsed_nanos(),
+            &stats,
+            &ids,
+        );
         self.selection_response(ids, stats, exact_ops)
+    }
+
+    /// Publishes one finished selection: latency histogram, per-step
+    /// counters and (when tracing) the request trace.
+    fn record_selection(
+        &self,
+        kind: &'static str,
+        dataset: &DatasetHandle,
+        spans: &StepSpans,
+        latency_nanos: u64,
+        stats: &QueryStats,
+        ids: &[ObjectId],
+    ) {
+        let reg = &self.obs.registry;
+        reg.histogram("msj_request_latency_nanos", &[("kind", kind)])
+            .record(latency_nanos);
+        for step in [Step::Step1, Step::Step2, Step::Step3] {
+            reg.counter("msj_step_nanos_total", &[("step", step.name())])
+                .add(spans.get(step));
+        }
+        if self.obs.traces.enabled() {
+            self.obs.traces.push(Trace {
+                seq: self.obs.traces.next_seq(),
+                kind,
+                datasets: (dataset.id(), dataset.id()),
+                admitted: true,
+                estimated_s: 0.0,
+                latency_nanos,
+                candidates: stats.candidates,
+                results: ids.len() as u64,
+                steps: TraceSteps {
+                    step0_nanos: 0,
+                    step1_nanos: spans.get(Step::Step1),
+                    step2_nanos: spans.get(Step::Step2),
+                    step2a_nanos: 0,
+                    step3_nanos: spans.get(Step::Step3),
+                },
+            });
+        }
     }
 
     fn selection_response(
@@ -630,17 +941,54 @@ impl SpatialEngine {
                 false,
             ),
         };
+        let enabled = self.obs.registry.is_enabled();
         if let Some(limit_s) = self.admission_limit_s {
             if estimated_s > limit_s {
+                if enabled {
+                    self.obs
+                        .registry
+                        .counter("msj_admission_shed_total", &[])
+                        .inc();
+                }
+                if self.obs.traces.enabled() {
+                    self.obs.traces.push(Trace {
+                        seq: self.obs.traces.next_seq(),
+                        kind: if a == b { "self_join" } else { "join" },
+                        datasets: (a, b),
+                        admitted: false,
+                        estimated_s,
+                        latency_nanos: 0,
+                        candidates: 0,
+                        results: 0,
+                        steps: TraceSteps::default(),
+                    });
+                }
                 return Err(EngineError::AdmissionDenied {
                     estimated_s,
                     limit_s,
                 });
             }
         }
+        if enabled {
+            self.obs
+                .registry
+                .counter("msj_admission_accept_total", &[])
+                .inc();
+        }
         let prepared = self.prepare_join(&ha, &hb);
         let result = prepared.run_with(execution.unwrap_or(self.config.execution));
         let cost = figure18_cost(&result.stats, self.exact_cost_kind(), &self.params);
+        if enabled {
+            // §5 feedback: how far the admission-time estimate missed
+            // the cost the run actually modeled out to.
+            let observed_s = cost.total_s();
+            if observed_s > 0.0 {
+                self.obs
+                    .registry
+                    .gauge("msj_admission_error_ratio", &[])
+                    .set((estimated_s - observed_s).abs() / observed_s);
+            }
+        }
         Ok(Response::Join(JoinResponse {
             pairs: result.pairs,
             stats: result.stats,
@@ -868,6 +1216,157 @@ mod tests {
             point: Point::new(world.xmin(), world.ymin()),
         });
         assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn metrics_and_traces_populate_after_requests() {
+        let a = msj_datagen::small_carto(40, 24.0, 1012);
+        let b = msj_datagen::small_carto(40, 24.0, 1013);
+        let world = a.bounding_rect().unwrap();
+        let engine =
+            SpatialEngine::new(JoinConfig::builder().obs(ObsConfig::with_traces(8)).build());
+        let (ha, hb) = (engine.register(a), engine.register(b));
+        let p = Point::new(
+            world.xmin() + world.width() * 0.5,
+            world.ymin() + world.height() * 0.5,
+        );
+        let w = Rect::from_bounds(
+            p.x,
+            p.y,
+            p.x + world.width() * 0.1,
+            p.y + world.height() * 0.1,
+        );
+        let responses = engine.submit_batch([
+            Request::Join {
+                a: ha.id(),
+                b: hb.id(),
+                execution: None,
+            },
+            Request::Point {
+                dataset: ha.id(),
+                point: p,
+            },
+            Request::Window {
+                dataset: ha.id(),
+                window: w,
+            },
+        ]);
+        assert!(responses.iter().all(|r| r.is_ok()));
+        let snap = engine.metrics().snapshot();
+        assert_eq!(snap.counter("msj_datasets_registered_total"), 2);
+        assert_eq!(snap.counter("msj_admission_accept_total"), 1);
+        assert_eq!(snap.counter("msj_prepared_cache_misses_total"), 1);
+        for kind in ["join", "point", "window"] {
+            let key = format!("msj_request_latency_nanos{{kind=\"{kind}\"}}");
+            let hist = snap
+                .histogram(&key)
+                .unwrap_or_else(|| panic!("{key} missing"));
+            assert_eq!(hist.count, 1, "{key}");
+            assert!(hist.sum > 0, "{key} recorded no time");
+        }
+        assert!(snap.counter("msj_step_nanos_total{step=\"step0\"}") > 0);
+        assert!(snap.counter("msj_step_nanos_total{step=\"step1\"}") > 0);
+        // Both exporters render the live values.
+        let prom = engine.metrics().render_prometheus();
+        for family in [
+            "msj_request_latency_nanos",
+            "msj_step_nanos_total",
+            "msj_admission_shed_total",
+        ] {
+            assert!(prom.contains(family), "{family} missing from exposition");
+        }
+        assert!(engine
+            .metrics()
+            .snapshot_json()
+            .contains(msj_obs::SNAPSHOT_SCHEMA));
+        // The ring carries one trace per request, newest last.
+        let traces = engine.recent_traces();
+        assert_eq!(traces.len(), 3);
+        assert!(traces.iter().all(|t| t.admitted));
+        let join_trace = traces
+            .iter()
+            .find(|t| t.kind == "join")
+            .expect("join trace");
+        assert!(join_trace.candidates > 0);
+        assert!(join_trace.estimated_s > 0.0);
+        assert_eq!(join_trace.datasets, (ha.id(), hb.id()));
+    }
+
+    #[test]
+    fn disabled_obs_is_silent_and_changes_nothing() {
+        let a = msj_datagen::small_carto(40, 24.0, 1014);
+        let b = msj_datagen::small_carto(40, 24.0, 1015);
+        let on = SpatialEngine::new(JoinConfig::default());
+        let off = SpatialEngine::new(JoinConfig::builder().obs(ObsConfig::disabled()).build());
+        let (oa, ob) = (on.register(a.clone()), on.register(b.clone()));
+        let (fa, fb) = (off.register(a), off.register(b));
+        let want = on.prepare_join(&oa, &ob).run();
+        let got = off.prepare_join(&fa, &fb).run();
+        assert_eq!(got.pairs, want.pairs);
+        assert_eq!(got.stats.exact_ops, want.stats.exact_ops);
+        // Disabled means zero clock reads: every wall-clock stat is zero
+        // and the registry stays empty.
+        assert_eq!(got.stats.step0_nanos, 0);
+        assert_eq!(
+            got.stats.step1_nanos + got.stats.step2_nanos + got.stats.step3_nanos,
+            0
+        );
+        assert!(got.worker_lanes.is_empty());
+        let snap = off.metrics().snapshot();
+        assert_eq!(snap.counter("msj_datasets_registered_total"), 0);
+        assert_eq!(snap.counter("msj_request_latency_nanos{kind=\"join\"}"), 0);
+        assert!(off.recent_traces().is_empty());
+        // The enabled engine recorded the same traffic.
+        assert!(
+            on.metrics()
+                .snapshot()
+                .counter("msj_step_nanos_total{step=\"step1\"}")
+                > 0
+        );
+    }
+
+    #[test]
+    fn run_history_is_a_bounded_ring() {
+        let a = msj_datagen::small_carto(12, 16.0, 1016);
+        let b = msj_datagen::small_carto(12, 16.0, 1017);
+        let engine = SpatialEngine::new(JoinConfig::default());
+        let (ha, hb) = (engine.register(a), engine.register(b));
+        let prepared = engine.prepare_join(&ha, &hb);
+        for _ in 0..RUN_HISTORY + 5 {
+            prepared.run();
+        }
+        let history = prepared.run_history();
+        assert_eq!(history.len(), RUN_HISTORY);
+        assert_eq!(
+            history.last().unwrap().result_pairs,
+            prepared.last_stats().unwrap().result_pairs
+        );
+        assert!(history
+            .iter()
+            .all(|s| s.result_pairs == prepared.last_stats().unwrap().result_pairs));
+    }
+
+    #[test]
+    fn shed_requests_are_counted_and_traced() {
+        let a = msj_datagen::small_carto(30, 24.0, 1018);
+        let b = msj_datagen::small_carto(30, 24.0, 1019);
+        let engine =
+            SpatialEngine::new(JoinConfig::builder().obs(ObsConfig::with_traces(4)).build())
+                .with_admission_limit(0.0);
+        let (ha, hb) = (engine.register(a), engine.register(b));
+        let denied = engine.submit(Request::Join {
+            a: ha.id(),
+            b: hb.id(),
+            execution: None,
+        });
+        assert!(matches!(denied, Err(EngineError::AdmissionDenied { .. })));
+        let snap = engine.metrics().snapshot();
+        assert_eq!(snap.counter("msj_admission_shed_total"), 1);
+        assert_eq!(snap.counter("msj_admission_accept_total"), 0);
+        let traces = engine.recent_traces();
+        assert_eq!(traces.len(), 1);
+        assert!(!traces[0].admitted);
+        assert_eq!(traces[0].results, 0);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::pipeline::JoinResult;
 use crate::stats::MultiStepStats;
 use msj_exact::ExactProcessor;
 use msj_geom::{resolve_threads, ObjectId, PairConsumer, PairSink, Relation};
+use msj_obs::{ObsConfig, Span, Step, StepSpans, WorkerLane, WorkerTelemetry};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -82,14 +83,31 @@ struct FusedConsumer<'a> {
     filter: &'a GeometricFilter,
     exact: &'a ExactProcessor<'a>,
     partials: Mutex<Vec<Partial>>,
+    /// Shared per-step wall-clock accumulators of the run (every sink
+    /// adds its filter/exact time; relaxed atomics, no contention).
+    spans: &'a StepSpans,
+    /// Per-worker lanes; `None` when observability is disabled.
+    telemetry: Option<&'a WorkerTelemetry>,
+    /// Whether sinks read the clock at all
+    /// ([`msj_obs::ObsConfig::enabled`]).
+    timed: bool,
 }
 
 impl<'a> FusedConsumer<'a> {
-    fn new(filter: &'a GeometricFilter, exact: &'a ExactProcessor<'a>) -> Self {
+    fn new(
+        filter: &'a GeometricFilter,
+        exact: &'a ExactProcessor<'a>,
+        spans: &'a StepSpans,
+        telemetry: Option<&'a WorkerTelemetry>,
+        timed: bool,
+    ) -> Self {
         FusedConsumer {
             filter,
             exact,
             partials: Mutex::new(Vec::new()),
+            spans,
+            telemetry,
+            timed,
         }
     }
 
@@ -102,6 +120,7 @@ impl PairConsumer for FusedConsumer<'_> {
     fn attach(&self) -> Box<dyn PairSink + '_> {
         Box::new(FusedSink {
             owner: self,
+            lane: self.telemetry.map(|t| t.attach_consumer()),
             pairs: Vec::new(),
             stats: MultiStepStats::default(),
             outcomes: Vec::new(),
@@ -112,6 +131,8 @@ impl PairConsumer for FusedConsumer<'_> {
 /// One worker's sink: Steps 2–3 fused into the candidate stream.
 struct FusedSink<'a> {
     owner: &'a FusedConsumer<'a>,
+    /// This sink's consumer-side telemetry lane (attach order).
+    lane: Option<&'a WorkerLane>,
     pairs: Vec<(ObjectId, ObjectId)>,
     stats: MultiStepStats,
     /// Scratch for batched classification (reused across batches).
@@ -151,6 +172,20 @@ impl FusedSink<'_> {
             }
         }
     }
+
+    /// Applies a classified batch: Step-2/2a counter bookkeeping plus
+    /// the Step-3 exact tests — identical work whether timed or not.
+    fn apply_batch(&mut self, batch: &[(ObjectId, ObjectId)], outcomes: &[FilterOutcome]) {
+        let raster_decided_before = self.stats.raster_hits + self.stats.raster_drops;
+        for (&(id_a, id_b), &outcome) in batch.iter().zip(outcomes) {
+            self.apply(id_a, id_b, outcome);
+        }
+        if self.owner.filter.raster_active() {
+            let decided = self.stats.raster_hits + self.stats.raster_drops;
+            self.stats.raster_inconclusive +=
+                batch.len() as u64 - (decided - raster_decided_before);
+        }
+    }
 }
 
 impl PairSink for FusedSink<'_> {
@@ -161,24 +196,33 @@ impl PairSink for FusedSink<'_> {
     }
 
     fn consume_batch(&mut self, batch: &[(ObjectId, ObjectId)]) {
-        // Step 2, batch-wide: one compiled-plan dispatch for the run
-        // (the raster prepass reports its own share of the time).
+        if let Some(lane) = self.lane {
+            lane.add_pairs(batch.len() as u64);
+            lane.inc_batches();
+            lane.record_buffered(batch.len() as u64);
+        }
         let mut outcomes = std::mem::take(&mut self.outcomes);
-        let t_filter = Instant::now();
-        self.stats.step2a_nanos += self.owner.filter.classify_batch(batch, &mut outcomes);
-        self.stats.step2_nanos += t_filter.elapsed().as_nanos() as u64;
-        // Step 3 (plus cheap bookkeeping) for the whole batch.
-        let t_exact = Instant::now();
-        let raster_decided_before = self.stats.raster_hits + self.stats.raster_drops;
-        for (&(id_a, id_b), &outcome) in batch.iter().zip(&outcomes) {
-            self.apply(id_a, id_b, outcome);
+        let spans = self.owner.spans;
+        if self.owner.timed {
+            // Step 2, batch-wide: one compiled-plan dispatch for the run
+            // (the raster prepass reports its own share of the time into
+            // the Step-2a span; Step 2 covers it).
+            let t_filter = Span::start();
+            self.owner
+                .filter
+                .classify_batch_observed(batch, &mut outcomes, Some(spans));
+            spans.finish(Step::Step2, t_filter);
+            // Step 3 (plus cheap bookkeeping) for the whole batch.
+            let t_exact = Span::start();
+            self.apply_batch(batch, &outcomes);
+            spans.finish(Step::Step3, t_exact);
+        } else {
+            // Observability off: the identical work, zero clock reads.
+            self.owner
+                .filter
+                .classify_batch_observed(batch, &mut outcomes, None);
+            self.apply_batch(batch, &outcomes);
         }
-        if self.owner.filter.raster_active() {
-            let decided = self.stats.raster_hits + self.stats.raster_drops;
-            self.stats.raster_inconclusive +=
-                batch.len() as u64 - (decided - raster_decided_before);
-        }
-        self.stats.step3_nanos += t_exact.elapsed().as_nanos() as u64;
         self.outcomes = outcomes;
     }
 }
@@ -215,6 +259,8 @@ pub struct ScopedPreparedJoin<'a> {
     exact: ExactProcessor<'a>,
     /// Step-0 wall-clock, attached to every run's statistics.
     step0_nanos: u64,
+    /// Whether runs read clocks and collect worker telemetry.
+    obs: ObsConfig,
 }
 
 impl<'a> ScopedPreparedJoin<'a> {
@@ -226,6 +272,7 @@ impl<'a> ScopedPreparedJoin<'a> {
         filter: GeometricFilter,
         exact: ExactProcessor<'a>,
         step0_nanos: u64,
+        obs: ObsConfig,
     ) -> Self {
         ScopedPreparedJoin {
             execution,
@@ -233,6 +280,7 @@ impl<'a> ScopedPreparedJoin<'a> {
             filter,
             exact,
             step0_nanos,
+            obs,
         }
     }
 
@@ -255,10 +303,22 @@ impl<'a> ScopedPreparedJoin<'a> {
         };
 
         // Steps 1–3: the backend feeds candidates to one sink per
-        // worker; every sink runs filter + exact immediately.
-        let consumer = FusedConsumer::new(&self.filter, &self.exact);
-        let t_run = Instant::now();
-        let step1 = self.source.join_candidates(&consumer, workers);
+        // worker; every sink runs filter + exact immediately. With
+        // observability disabled the spans stay zero and no clock is
+        // ever read — the telemetry lanes are never allocated either.
+        let spans = StepSpans::new();
+        let telemetry = self.obs.enabled.then(|| WorkerTelemetry::new(workers));
+        let consumer = FusedConsumer::new(
+            &self.filter,
+            &self.exact,
+            &spans,
+            telemetry.as_ref(),
+            self.obs.enabled,
+        );
+        let t_run = self.obs.enabled.then(Span::start);
+        let step1 = self
+            .source
+            .join_candidates_observed(&consumer, workers, telemetry.as_ref());
 
         // Deterministic merge: all counters are commutative sums, so the
         // worker completion order cannot influence the totals.
@@ -286,20 +346,21 @@ impl<'a> ScopedPreparedJoin<'a> {
             stats.exact_tests += s.exact_tests;
             stats.exact_hits += s.exact_hits;
             stats.exact_ops.merge(&s.exact_ops);
-            stats.step2_nanos += s.step2_nanos;
-            stats.step2a_nanos += s.step2a_nanos;
-            stats.step3_nanos += s.step3_nanos;
         }
         if fused {
             // Canonical response order, independent of worker
             // interleaving.
             pairs.sort_unstable();
         }
-        // Per-step wall-clock attribution: Step-2/3 times are summed
-        // across workers inside the merge above; Step 1 is the residual
-        // of the Steps-1–3 wall (exact when serial, a lower bound under
-        // fused overlap — see the field docs).
-        let steps123 = t_run.elapsed().as_nanos() as u64;
+        // Per-step wall-clock attribution: Step-2/2a/3 times are summed
+        // across workers in the shared spans; Step 1 is the residual of
+        // the Steps-1–3 wall (exact when serial, a lower bound under
+        // fused overlap — see the field docs). All zero when
+        // observability is disabled.
+        stats.step2_nanos = spans.get(Step::Step2);
+        stats.step2a_nanos = spans.get(Step::Step2a);
+        stats.step3_nanos = spans.get(Step::Step3);
+        let steps123 = t_run.map_or(0, |t| t.elapsed_nanos());
         stats.step0_nanos = self.step0_nanos;
         stats.step1_nanos = steps123.saturating_sub(stats.step2_nanos + stats.step3_nanos);
         // The largest worker pool that actually ran anywhere in the
@@ -310,7 +371,11 @@ impl<'a> ScopedPreparedJoin<'a> {
             .max(step1.partition.map_or(1, |p| p.threads))
             .max(1);
         stats.result_pairs = pairs.len() as u64;
-        JoinResult { pairs, stats }
+        JoinResult {
+            pairs,
+            stats,
+            worker_lanes: telemetry.map(|t| t.snapshot()).unwrap_or_default(),
+        }
     }
 }
 
@@ -321,7 +386,7 @@ pub(crate) fn prepare<'a>(
     rel_a: &'a Relation,
     rel_b: &'a Relation,
 ) -> ScopedPreparedJoin<'a> {
-    let t_prep = Instant::now();
+    let t_prep = config.obs.enabled.then(Instant::now);
     let source = candidates::join_source(config, rel_a, rel_b);
     let filter = GeometricFilter::from_config(config, rel_a, rel_b);
     let exact = ExactProcessor::new(config.exact, rel_a, rel_b);
@@ -330,7 +395,8 @@ pub(crate) fn prepare<'a>(
         source,
         filter,
         exact,
-        step0_nanos: t_prep.elapsed().as_nanos() as u64,
+        step0_nanos: t_prep.map_or(0, |t| t.elapsed().as_nanos() as u64),
+        obs: config.obs,
     }
 }
 

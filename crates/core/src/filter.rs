@@ -33,8 +33,8 @@ use msj_approx::{
     ProgressiveStore, RasterDecision, RasterGrid, RasterStore, MAX_GRID_BITS, MIN_GRID_BITS,
 };
 use msj_geom::{convex_intersect, ObjectId, Relation};
+use msj_obs::{Span, Step, StepSpans};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Classification of one candidate pair by the geometric filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -303,14 +303,30 @@ impl GeometricFilter {
         pairs: &[(ObjectId, ObjectId)],
         out: &mut Vec<FilterOutcome>,
     ) -> u64 {
+        let spans = StepSpans::new();
+        self.classify_batch_observed(pairs, out, Some(&spans));
+        spans.get(Step::Step2a)
+    }
+
+    /// [`classify_batch`](GeometricFilter::classify_batch) with explicit
+    /// span accounting: the Step-2a raster time lands in `spans` when
+    /// given, and `None` skips the clock reads entirely (the
+    /// [`msj_obs::ObsConfig::disabled`] path). Outcomes are identical
+    /// either way.
+    pub fn classify_batch_observed(
+        &self,
+        pairs: &[(ObjectId, ObjectId)],
+        out: &mut Vec<FilterOutcome>,
+        spans: Option<&StepSpans>,
+    ) {
         out.clear();
         out.reserve(pairs.len());
-        let step2a_nanos = match (&self.raster_a, &self.raster_b) {
+        match (&self.raster_a, &self.raster_b) {
             (Some(ra), Some(rb)) => {
                 // Step 2a: the raster loop decides in place; undecided
                 // slots stay `Candidate` (a raster-decided slot is never
                 // `Candidate`, so the fill below is unambiguous).
-                let t_raster = Instant::now();
+                let t_raster = spans.map(|_| Span::start());
                 out.extend(pairs.iter().map(|&(id_a, id_b)| {
                     match raster_decide(ra.signature(id_a), rb.signature(id_b)) {
                         RasterDecision::Hit => FilterOutcome::HitRaster,
@@ -318,15 +334,15 @@ impl GeometricFilter {
                         RasterDecision::Inconclusive => FilterOutcome::Candidate,
                     }
                 }));
-                t_raster.elapsed().as_nanos() as u64
+                if let (Some(spans), Some(t)) = (spans, t_raster) {
+                    spans.finish(Step::Step2a, t);
+                }
             }
             _ => {
                 out.extend(std::iter::repeat_n(FilterOutcome::Candidate, pairs.len()));
-                0
             }
         };
         self.classify_plan_fill(pairs, out);
-        step2a_nanos
     }
 
     /// The compiled-plan loop (Step 2b): classifies every slot still

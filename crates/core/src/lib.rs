@@ -116,7 +116,7 @@ pub use cost::{
 };
 pub use engine::{
     Admission, DatasetHandle, DatasetId, EngineError, JoinResponse, PreparedJoin, Request,
-    Response, SelectionResponse, SpatialEngine,
+    Response, SelectionResponse, SpatialEngine, RUN_HISTORY,
 };
 pub use execution::{Execution, ScopedPreparedJoin};
 pub use filter::{FilterOutcome, FilterPlan, GeometricFilter};
@@ -127,3 +127,10 @@ pub use pipeline::{ground_truth_join, JoinResult, MultiStepJoin};
 pub use queries::QueryProcessor;
 pub use queries::QueryStats;
 pub use stats::MultiStepStats;
+// Re-exported observability surface (vendored `msj-obs`): configure via
+// [`JoinConfig::obs`], inspect via [`SpatialEngine::metrics`] /
+// [`SpatialEngine::recent_traces`].
+pub use msj_obs::{
+    EngineSnapshot, Histogram, HistogramSnapshot, LaneRole, MetricsRegistry, ObsConfig, Step,
+    Trace, TraceSteps, WorkerLaneSnapshot, SNAPSHOT_SCHEMA,
+};

@@ -10,6 +10,7 @@ use crate::config::JoinConfig;
 use crate::execution;
 use crate::stats::MultiStepStats;
 use msj_geom::{ObjectId, Relation};
+use msj_obs::WorkerLaneSnapshot;
 
 /// The outcome of one multi-step join: the response set plus per-step
 /// statistics.
@@ -18,6 +19,10 @@ pub struct JoinResult {
     /// The response set: pairs whose regions intersect.
     pub pairs: Vec<(ObjectId, ObjectId)>,
     pub stats: MultiStepStats,
+    /// Per-worker telemetry of the run (empty when
+    /// [`msj_obs::ObsConfig`] is disabled): one lane per Step-1 backend
+    /// worker and one per fused consumer sink.
+    pub worker_lanes: Vec<WorkerLaneSnapshot>,
 }
 
 /// The multi-step spatial join processor.

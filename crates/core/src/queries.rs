@@ -15,6 +15,7 @@ use crate::config::JoinConfig;
 use msj_approx::{ConsView, ConservativeStore, Progressive, ProgressiveStore};
 use msj_exact::{region_contains_point, region_intersects_rect, OpCounts};
 use msj_geom::{ObjectId, Point, Rect, RelHandle, Relation};
+use msj_obs::{Span, Step, StepSpans};
 use std::sync::Arc;
 
 /// Per-query statistics of a multi-step query execution.
@@ -97,13 +98,32 @@ impl<'a> SelectionState<'a> {
 
     /// All objects whose region contains `p` (closed semantics).
     pub fn point_query(&self, p: Point, counts: &mut OpCounts) -> (Vec<ObjectId>, QueryStats) {
+        self.point_query_observed(p, counts, None)
+    }
+
+    /// [`point_query`](SelectionState::point_query) with step timing:
+    /// the index probe lands in `Step1`, the filter chain in `Step2` and
+    /// the exact tests in `Step3` of `spans`; `None` skips every clock
+    /// read. Results are identical either way.
+    pub fn point_query_observed(
+        &self,
+        p: Point,
+        counts: &mut OpCounts,
+        spans: Option<&StepSpans>,
+    ) -> (Vec<ObjectId>, QueryStats) {
+        let t_probe = spans.map(|_| Span::start());
         let mut candidates = Vec::new();
         let step1 = self.source.point_candidates(p, &mut candidates);
+        if let (Some(spans), Some(t)) = (spans, t_probe) {
+            spans.finish(Step::Step1, t);
+        }
         let mut stats = QueryStats {
             candidates: step1.candidates,
             physical_reads: step1.physical_reads,
             ..QueryStats::default()
         };
+        let t_rest = spans.map(|_| Span::start());
+        let mut exact_nanos = 0u64;
         let mut result = Vec::new();
         for id in candidates {
             // Conservative: point outside the approximation → false hit.
@@ -122,23 +142,51 @@ impl<'a> SelectionState<'a> {
                 }
             }
             stats.exact_tests += 1;
-            if region_contains_point(&self.relation.object(id).region, p, counts) {
+            let t_exact = spans.map(|_| Span::start());
+            let hit = region_contains_point(&self.relation.object(id).region, p, counts);
+            if let Some(t) = t_exact {
+                exact_nanos += t.elapsed_nanos();
+            }
+            if hit {
                 result.push(id);
             }
+        }
+        if let (Some(spans), Some(t)) = (spans, t_rest) {
+            // Step 2 is the candidate loop minus its exact share.
+            spans.add(Step::Step3, exact_nanos);
+            spans.add(Step::Step2, t.elapsed_nanos().saturating_sub(exact_nanos));
         }
         (result, stats)
     }
 
     /// All objects whose region intersects `window` (closed semantics).
     pub fn window_query(&self, window: Rect, counts: &mut OpCounts) -> (Vec<ObjectId>, QueryStats) {
+        self.window_query_observed(window, counts, None)
+    }
+
+    /// [`window_query`](SelectionState::window_query) with step timing —
+    /// same attribution as
+    /// [`point_query_observed`](SelectionState::point_query_observed).
+    pub fn window_query_observed(
+        &self,
+        window: Rect,
+        counts: &mut OpCounts,
+        spans: Option<&StepSpans>,
+    ) -> (Vec<ObjectId>, QueryStats) {
+        let t_probe = spans.map(|_| Span::start());
         let mut candidates = Vec::new();
         let step1 = self.source.window_candidates(window, &mut candidates);
+        if let (Some(spans), Some(t)) = (spans, t_probe) {
+            spans.finish(Step::Step1, t);
+        }
         let mut stats = QueryStats {
             candidates: step1.candidates,
             physical_reads: step1.physical_reads,
             ..QueryStats::default()
         };
         let window_ring = window.corners().to_vec();
+        let t_rest = spans.map(|_| Span::start());
+        let mut exact_nanos = 0u64;
         let mut result = Vec::new();
         for id in candidates {
             if let Some(cons) = &self.conservative {
@@ -155,9 +203,18 @@ impl<'a> SelectionState<'a> {
                 }
             }
             stats.exact_tests += 1;
-            if region_intersects_rect(&self.relation.object(id).region, &window, counts) {
+            let t_exact = spans.map(|_| Span::start());
+            let hit = region_intersects_rect(&self.relation.object(id).region, &window, counts);
+            if let Some(t) = t_exact {
+                exact_nanos += t.elapsed_nanos();
+            }
+            if hit {
                 result.push(id);
             }
+        }
+        if let (Some(spans), Some(t)) = (spans, t_rest) {
+            spans.add(Step::Step3, exact_nanos);
+            spans.add(Step::Step2, t.elapsed_nanos().saturating_sub(exact_nanos));
         }
         (result, stats)
     }

@@ -1,0 +1,135 @@
+//! Per-step wall-clock accumulation shared across worker threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A started wall-clock span; read it with
+/// [`elapsed_nanos`](Span::elapsed_nanos).
+#[derive(Debug, Clone, Copy)]
+pub struct Span(Instant);
+
+impl Span {
+    /// Starts the clock.
+    #[inline]
+    pub fn start() -> Self {
+        Span(Instant::now())
+    }
+
+    /// Nanoseconds since [`start`](Span::start), saturating at
+    /// `u64::MAX`.
+    #[inline]
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// The pipeline steps a [`StepSpans`] accounts for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Preprocessing (index/store construction).
+    Step0,
+    /// MBR join (candidate production).
+    Step1,
+    /// Geometric filter (includes Step 2a).
+    Step2,
+    /// Raster-signature pre-filter (⊆ Step 2).
+    Step2a,
+    /// Exact geometry.
+    Step3,
+}
+
+impl Step {
+    /// All steps, in pipeline order.
+    pub const ALL: [Step; 5] = [
+        Step::Step0,
+        Step::Step1,
+        Step::Step2,
+        Step::Step2a,
+        Step::Step3,
+    ];
+
+    /// The step's label (`"step0"` … `"step3"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Step::Step0 => "step0",
+            Step::Step1 => "step1",
+            Step::Step2 => "step2",
+            Step::Step2a => "step2a",
+            Step::Step3 => "step3",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Step::Step0 => 0,
+            Step::Step1 => 1,
+            Step::Step2 => 2,
+            Step::Step2a => 3,
+            Step::Step3 => 4,
+        }
+    }
+}
+
+/// Per-step nanosecond accumulators for one run, shared by reference
+/// across every worker thread of that run — relaxed atomic adds, so
+/// cross-worker sums happen for free.
+#[derive(Debug, Default)]
+pub struct StepSpans {
+    nanos: [AtomicU64; 5],
+}
+
+impl StepSpans {
+    pub fn new() -> Self {
+        StepSpans::default()
+    }
+
+    /// Adds `nanos` to `step`'s accumulator.
+    #[inline]
+    pub fn add(&self, step: Step, nanos: u64) {
+        self.nanos[step.index()].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Stops `span` and adds its elapsed time to `step`.
+    #[inline]
+    pub fn finish(&self, step: Step, span: Span) {
+        self.add(step, span.elapsed_nanos());
+    }
+
+    /// `step`'s accumulated nanoseconds.
+    pub fn get(&self, step: Step) -> u64 {
+        self.nanos[step.index()].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_across_threads() {
+        let spans = StepSpans::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let spans = &spans;
+                scope.spawn(move || {
+                    spans.add(Step::Step2, 10);
+                    spans.add(Step::Step3, 1);
+                });
+            }
+        });
+        assert_eq!(spans.get(Step::Step2), 40);
+        assert_eq!(spans.get(Step::Step3), 4);
+        assert_eq!(spans.get(Step::Step1), 0);
+    }
+
+    #[test]
+    fn span_measures_nonnegative_time() {
+        let spans = StepSpans::new();
+        let t = Span::start();
+        spans.finish(Step::Step1, t);
+        // Just proves the plumbing; durations are environment-dependent.
+        assert!(spans.get(Step::Step1) < u64::MAX);
+        assert_eq!(Step::Step2a.name(), "step2a");
+        assert_eq!(Step::ALL.len(), 5);
+    }
+}

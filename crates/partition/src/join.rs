@@ -6,6 +6,7 @@
 use crate::grid::Grid;
 use crate::stats::PartitionStats;
 use msj_geom::{resolve_threads, ObjectId, PairBatchBuffer, PairConsumer, Rect};
+use msj_obs::{WorkerLane, WorkerTelemetry};
 
 /// What one tile's mini-join produced.
 #[derive(Debug, Default)]
@@ -256,6 +257,34 @@ pub fn partition_join_workers(
     batch: usize,
     consumer: &dyn PairConsumer,
 ) -> PartitionStats {
+    partition_join_workers_observed(a, b, tiles_per_axis, workers, batch, consumer, None)
+}
+
+/// Records one tile's outcome into the worker's backend lane: pairs
+/// swept, one batch per tile flushed, the busiest tile as the peak.
+#[inline]
+fn observe_tile(lane: Option<&WorkerLane>, outcome: &TileOutcome) {
+    if let Some(lane) = lane {
+        lane.add_pairs(outcome.candidates);
+        lane.inc_batches();
+        lane.record_buffered(outcome.candidates);
+    }
+}
+
+/// [`partition_join_workers`] with optional per-worker telemetry: worker
+/// `w` records into `telemetry.backend_lane(w)` the candidate pairs it
+/// swept, the tile flushes it performed, and its busiest tile's
+/// candidate count. `None` is the zero-overhead path the plain driver
+/// delegates to.
+pub fn partition_join_workers_observed(
+    a: &[(Rect, ObjectId)],
+    b: &[(Rect, ObjectId)],
+    tiles_per_axis: usize,
+    workers: usize,
+    batch: usize,
+    consumer: &dyn PairConsumer,
+    telemetry: Option<&WorkerTelemetry>,
+) -> PartitionStats {
     let workers = resolve_threads(workers);
     let Some(mut prep) = prepare(a, b, tiles_per_axis) else {
         return PartitionStats::empty(tiles_per_axis, 1);
@@ -265,6 +294,7 @@ pub fn partition_join_workers(
 
     let mut outcomes: Vec<TileOutcome> = Vec::with_capacity(tile_count);
     if workers <= 1 {
+        let lane = telemetry.map(|t| t.backend_lane(0));
         let mut sink = consumer.attach();
         let mut buffer = PairBatchBuffer::new(&mut *sink, batch);
         for (tile, (bucket_a, bucket_b)) in prep
@@ -273,14 +303,10 @@ pub fn partition_join_workers(
             .zip(prep.buckets_b.iter_mut())
             .enumerate()
         {
-            outcomes.push(sweep_into(
-                &prep.grid,
-                tile,
-                bucket_a,
-                bucket_b,
-                &mut buffer,
-            ));
+            let outcome = sweep_into(&prep.grid, tile, bucket_a, bucket_b, &mut buffer);
             buffer.flush(); // tile boundary
+            observe_tile(lane, &outcome);
+            outcomes.push(outcome);
         }
     } else {
         let mut per_worker: Vec<Vec<(usize, _, _)>> = (0..workers).map(|_| Vec::new()).collect();
@@ -297,8 +323,10 @@ pub fn partition_join_workers(
         std::thread::scope(|scope| {
             let handles: Vec<_> = per_worker
                 .into_iter()
-                .map(|own| {
+                .enumerate()
+                .map(|(w, own)| {
                     scope.spawn(move || {
+                        let lane = telemetry.map(|t| t.backend_lane(w));
                         let mut sink = consumer.attach();
                         let mut buffer = PairBatchBuffer::new(&mut *sink, batch);
                         own.into_iter()
@@ -306,6 +334,7 @@ pub fn partition_join_workers(
                                 let outcome =
                                     sweep_into(grid, tile, bucket_a, bucket_b, &mut buffer);
                                 buffer.flush(); // tile boundary
+                                observe_tile(lane, &outcome);
                                 outcome
                             })
                             .collect::<Vec<TileOutcome>>()
@@ -495,6 +524,30 @@ mod tests {
             // One sink per worker, clamped to the tile count.
             assert_eq!(stats.threads, workers.min(16));
             assert_eq!(*consumer.attaches.lock().unwrap(), stats.threads);
+        }
+
+        // The observed variant accounts every candidate to exactly one
+        // backend lane; peaks bound the busiest tile.
+        for workers in [1usize, 3, 8] {
+            let telemetry = WorkerTelemetry::new(workers);
+            let consumer = Collecting::new();
+            let stats =
+                partition_join_workers_observed(&a, &b, 4, workers, 7, &consumer, Some(&telemetry));
+            let lanes = telemetry.snapshot();
+            let backend_pairs: u64 = lanes
+                .iter()
+                .filter(|l| l.role == msj_obs::LaneRole::Backend)
+                .map(|l| l.pairs)
+                .sum();
+            let backend_batches: u64 = lanes
+                .iter()
+                .filter(|l| l.role == msj_obs::LaneRole::Backend)
+                .map(|l| l.batches)
+                .sum();
+            let peak = lanes.iter().map(|l| l.peak_buffered).max().unwrap();
+            assert_eq!(backend_pairs, stats.candidates(), "workers {workers}");
+            assert_eq!(backend_batches, stats.tile_candidates.len() as u64);
+            assert_eq!(peak, stats.busiest_tile().unwrap().1);
         }
     }
 

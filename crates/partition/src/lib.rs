@@ -36,5 +36,7 @@ pub mod join;
 pub mod stats;
 
 pub use grid::{Grid, GridIndex};
-pub use join::{partition_join, partition_join_workers, tile_sweep};
+pub use join::{
+    partition_join, partition_join_workers, partition_join_workers_observed, tile_sweep,
+};
 pub use stats::PartitionStats;

@@ -211,19 +211,42 @@ pub fn tree_join_chunked<F: FnMut(Vec<(ObjectId, ObjectId)>)>(
     b: &RStarTree,
     buffer: &mut LruBuffer,
     chunk_capacity: usize,
+    on_chunk: F,
+) -> JoinStats {
+    tree_join_chunked_observed(a, b, buffer, chunk_capacity, None, on_chunk)
+}
+
+/// [`tree_join_chunked`] with producer-side telemetry: when `lane` is
+/// given, every emitted chunk is counted into it (pairs produced,
+/// chunks flushed, largest chunk as the buffered peak) — the per-worker
+/// view fused-execution imbalance diagnostics read.
+pub fn tree_join_chunked_observed<F: FnMut(Vec<(ObjectId, ObjectId)>)>(
+    a: &RStarTree,
+    b: &RStarTree,
+    buffer: &mut LruBuffer,
+    chunk_capacity: usize,
+    lane: Option<&msj_obs::WorkerLane>,
     mut on_chunk: F,
 ) -> JoinStats {
     let chunk_capacity = chunk_capacity.max(1);
+    let mut emit = |chunk: Vec<(ObjectId, ObjectId)>| {
+        if let Some(lane) = lane {
+            lane.add_pairs(chunk.len() as u64);
+            lane.inc_batches();
+            lane.record_buffered(chunk.len() as u64);
+        }
+        on_chunk(chunk);
+    };
     let mut chunk: Vec<(ObjectId, ObjectId)> = Vec::with_capacity(chunk_capacity);
     let stats = tree_join(a, b, buffer, |id_a, id_b| {
         chunk.push((id_a, id_b));
         if chunk.len() == chunk_capacity {
             let full = std::mem::replace(&mut chunk, Vec::with_capacity(chunk_capacity));
-            on_chunk(full);
+            emit(full);
         }
     });
     if !chunk.is_empty() {
-        on_chunk(chunk);
+        emit(chunk);
     }
     stats
 }
@@ -319,6 +342,28 @@ mod tests {
         let mut n = 0u64;
         tree_join_chunked(&ta, &tb, &mut buffer, 0, |chunk| n += chunk.len() as u64);
         assert_eq!(n, streamed.len() as u64);
+        // The observed variant records the producer lane without
+        // changing the delivered stream.
+        let telemetry = msj_obs::WorkerTelemetry::new(1);
+        let mut buffer = LruBuffer::new(4096);
+        let mut observed = Vec::new();
+        let mut chunks = 0u64;
+        tree_join_chunked_observed(
+            &ta,
+            &tb,
+            &mut buffer,
+            7,
+            Some(telemetry.backend_lane(0)),
+            |chunk| {
+                chunks += 1;
+                observed.extend(chunk);
+            },
+        );
+        assert_eq!(observed, streamed);
+        let lane = telemetry.snapshot()[0];
+        assert_eq!(lane.pairs, streamed.len() as u64);
+        assert_eq!(lane.batches, chunks);
+        assert!(lane.peak_buffered >= 1 && lane.peak_buffered <= 7);
     }
 
     #[test]

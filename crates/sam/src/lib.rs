@@ -21,5 +21,7 @@ pub mod rstar;
 
 pub use buffer::{IoStats, LruBuffer, PageId};
 pub use inl::index_nested_loop_join;
-pub use join::{nested_loops_join, tree_join, tree_join_chunked, JoinStats};
+pub use join::{
+    nested_loops_join, tree_join, tree_join_chunked, tree_join_chunked_observed, JoinStats,
+};
 pub use rstar::{Entry, PageLayout, RStarTree};

@@ -7,22 +7,27 @@
 //!   the unified `Request`/`Response` surface;
 //! * shares the owned `PreparedJoin` across worker threads via `Arc`;
 //! * demonstrates §5 cost-model admission control refusing a join whose
-//!   modeled cost exceeds the configured budget.
+//!   modeled cost exceeds the configured budget;
+//! * dumps what the engine observed about all of the above: the
+//!   Prometheus-style exposition, the schema-versioned JSON snapshot
+//!   and the most recent request trace.
 //!
 //! ```text
 //! cargo run --release --example serving
 //! ```
 
-use msj::core::{Execution, JoinConfig, RasterConfig, Request, Response, SpatialEngine};
+use msj::core::{Execution, JoinConfig, ObsConfig, RasterConfig, Request, Response, SpatialEngine};
 use msj::geom::{Point, Rect};
 use std::sync::Arc;
 
 fn main() {
     // The builder is the way to assemble a non-preset configuration:
-    // fused execution across 4 workers, auto-sized raster pre-filter.
+    // fused execution across 4 workers, auto-sized raster pre-filter,
+    // metrics plus a ring of the 16 most recent request traces.
     let config = JoinConfig::builder()
         .execution(Execution::Fused { threads: 4 })
         .raster(RasterConfig::auto())
+        .obs(ObsConfig::with_traces(16))
         .build();
 
     let engine = Arc::new(SpatialEngine::new(config));
@@ -115,4 +120,48 @@ fn main() {
         Err(e) => println!("strict engine: {e}"),
         Ok(_) => unreachable!("a 1ns budget admits nothing"),
     }
+    println!(
+        "strict engine shed {} of {} join submissions",
+        strict
+            .metrics()
+            .snapshot()
+            .counter("msj_admission_shed_total"),
+        1,
+    );
+
+    // --- Observability: what the engine saw while doing all of that ---
+    // Everything above was recorded as it ran — per-kind latency
+    // histograms, per-step time, admission and cache counters, worker
+    // lanes — at a cost low enough to leave on in production.
+    println!("\n=== Prometheus exposition (scrape of the serving engine) ===");
+    print!("{}", engine.metrics().render_prometheus());
+
+    println!("=== JSON snapshot (schema-versioned, diffable) ===");
+    println!("{}", engine.metrics().snapshot_json());
+
+    let traces = engine.recent_traces();
+    let last = traces.last().expect("tracing is on and traffic was served");
+    println!("=== most recent of {} retained traces ===", traces.len());
+    println!(
+        "seq {} kind {} datasets ({}, {}) admitted {} estimated {:.4}s \
+         latency {:.3} ms candidates {} results {}",
+        last.seq,
+        last.kind,
+        last.datasets.0,
+        last.datasets.1,
+        last.admitted,
+        last.estimated_s,
+        last.latency_nanos as f64 / 1e6,
+        last.candidates,
+        last.results,
+    );
+    println!(
+        "  steps: step0 {:.3} ms | step1 {:.3} ms | step2a {:.3} ms | \
+         step2 {:.3} ms | step3 {:.3} ms",
+        last.steps.step0_nanos as f64 / 1e6,
+        last.steps.step1_nanos as f64 / 1e6,
+        last.steps.step2a_nanos as f64 / 1e6,
+        last.steps.step2_nanos as f64 / 1e6,
+        last.steps.step3_nanos as f64 / 1e6,
+    );
 }

@@ -22,6 +22,9 @@
 //!   trapezoid decomposition + TR*-trees) with the Table 6 cost model;
 //! * [`datagen`] — seeded synthetic cartography calibrated against the
 //!   paper's dataset statistics;
+//! * [`obs`] — always-on runtime observability (lock-free counters,
+//!   gauges and log-bucketed latency histograms, per-request traces,
+//!   JSON + Prometheus-style exporters) threaded through the engine;
 //! * [`core`] — the multi-step join pipeline, the `Serial`/`Fused`
 //!   execution engine ([`core::Execution`]), statistics and the §5
 //!   total cost model.
@@ -79,6 +82,7 @@ pub use msj_core as core;
 pub use msj_datagen as datagen;
 pub use msj_exact as exact;
 pub use msj_geom as geom;
+pub use msj_obs as obs;
 pub use msj_partition as partition;
 pub use msj_sam as sam;
 
