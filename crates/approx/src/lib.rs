@@ -59,8 +59,9 @@ pub use quality::{
     progressive_quality,
 };
 pub use raster::{
-    auto_grid_bits, hilbert_index, raster_decide, rasterize, CellClass, RasterDecision, RasterGrid,
-    RasterInterval, RasterSignature, RasterStore, MAX_GRID_BITS, MIN_GRID_BITS,
+    auto_grid_bits, hilbert_index, raster_decide, raster_decide_with, rasterize, CellClass,
+    RasterDecision, RasterGrid, RasterInterval, RasterSignature, RasterStore, MAX_GRID_BITS,
+    MIN_GRID_BITS,
 };
 pub use store::{
     conservative_bytes, progressive_bytes, ConservativeStore, ConvexSlices, ProgressiveStore,

@@ -32,7 +32,7 @@
 //! Spatial Intersection Joins"), adapted to this workspace's columnar
 //! stores and batch protocol.
 
-use msj_geom::{ObjectId, Point, PolygonWithHoles, Rect, Relation, Segment};
+use msj_geom::{KernelDispatch, ObjectId, Point, PolygonWithHoles, Rect, Relation, Segment};
 
 /// Smallest sensible grid resolution (`2^2 = 4` cells per axis).
 pub const MIN_GRID_BITS: u32 = 2;
@@ -168,6 +168,7 @@ pub enum CellClass {
 /// 8 bytes: the class bit lives in the top bit of the exclusive end
 /// (Hilbert indexes use at most `2 * MAX_GRID_BITS = 24` bits).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
 pub struct RasterInterval {
     start: u32,
     end_class: u32,
@@ -256,7 +257,9 @@ pub enum RasterDecision {
 }
 
 /// Merge-intersect of two sorted interval lists: the whole Step-2a test,
-/// branch-light and allocation-free.
+/// branch-light and allocation-free. This is the scalar reference;
+/// [`raster_decide_with`] selects a wide path that evaluates the same
+/// decision predicate four interval endpoints at a time.
 pub fn raster_decide(a: RasterSignature<'_>, b: RasterSignature<'_>) -> RasterDecision {
     let (xs, ys) = (a.intervals, b.intervals);
     let (mut i, mut j) = (0usize, 0usize);
@@ -277,6 +280,123 @@ pub fn raster_decide(a: RasterSignature<'_>, b: RasterSignature<'_>) -> RasterDe
             i += 1;
         } else {
             j += 1;
+        }
+    }
+    if overlapped {
+        RasterDecision::Inconclusive
+    } else {
+        RasterDecision::Drop
+    }
+}
+
+/// [`raster_decide`] under an explicit [`KernelDispatch`]: the decision
+/// is a pure existential predicate over overlapping interval pairs
+/// (*any* overlap with a FULL side → `Hit`; *any* overlap → at least
+/// `Inconclusive`; none → `Drop`), so evaluation order cannot change the
+/// outcome and the wide paths are decision-identical to the scalar
+/// merge by construction (and by test).
+///
+/// The wide paths walk the shorter-signature side `x` and scan the
+/// partner's candidate window four intervals at a time: a
+/// `#[repr(C)]` [`RasterInterval`] is a `(start, end|class)` `u32`
+/// pair, so a 4-interval block is eight lanes deinterleaved into a
+/// start vector and an end vector; the FULL class bit (bit 31) is an
+/// arithmetic-shift mask applied vectorwise, and all compares are
+/// signed 32-bit (Hilbert indexes use at most 24 bits).
+pub fn raster_decide_with(
+    d: KernelDispatch,
+    a: RasterSignature<'_>,
+    b: RasterSignature<'_>,
+) -> RasterDecision {
+    match d {
+        KernelDispatch::Scalar => raster_decide(a, b),
+        #[cfg(target_arch = "x86_64")]
+        KernelDispatch::Sse2 | KernelDispatch::Avx2 => raster_decide_wide(a, b),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => raster_decide(a, b),
+    }
+}
+
+/// Block-scanning evaluation of the Step-2a predicate (see
+/// [`raster_decide_with`]). Outer loop over `a`'s intervals with a
+/// rolling lower bound into `b`; the 4-wide SSE2 inner block test works
+/// on every x86-64 (SSE2 is baseline), so both wide dispatch paths
+/// share it.
+#[cfg(target_arch = "x86_64")]
+fn raster_decide_wide(a: RasterSignature<'_>, b: RasterSignature<'_>) -> RasterDecision {
+    use std::arch::x86_64::*;
+    let (xs, ys) = (a.intervals, b.intervals);
+    if xs.is_empty() || ys.is_empty() {
+        return RasterDecision::Drop;
+    }
+    let mut overlapped = false;
+    // Rolling start of y's candidate window: ys are sorted and
+    // non-overlapping, and xs only move right, so the window start is
+    // monotone.
+    let mut j0 = 0usize;
+    unsafe {
+        for x in xs {
+            let (x_start, x_end, x_full) = (x.start() as i32, x.end() as i32, x.is_full());
+            while j0 < ys.len() && (ys[j0].end() as i32) <= x_start {
+                j0 += 1;
+            }
+            if j0 == ys.len() {
+                break;
+            }
+            let xs_start = _mm_set1_epi32(x_start);
+            let xs_end = _mm_set1_epi32(x_end);
+            let mut j = j0;
+            loop {
+                if j + 4 <= ys.len() {
+                    // Deinterleave 4 intervals: [s0 e0 s1 e1 | s2 e2 s3 e3]
+                    // → starts [s0..s3], raw ends [e0..e3].
+                    let v0 = _mm_loadu_si128(ys.as_ptr().add(j) as *const __m128i);
+                    let v1 = _mm_loadu_si128(ys.as_ptr().add(j + 2) as *const __m128i);
+                    let p0 = _mm_shuffle_epi32::<0b11_01_10_00>(v0);
+                    let p1 = _mm_shuffle_epi32::<0b11_01_10_00>(v1);
+                    let starts = _mm_unpacklo_epi64(p0, p1);
+                    let ends_raw = _mm_unpackhi_epi64(p0, p1);
+                    // FULL lanes: the class bit is bit 31, so an
+                    // arithmetic shift turns it into an all-ones mask.
+                    let full = _mm_srai_epi32::<31>(ends_raw);
+                    let ends = _mm_andnot_si128(_mm_set1_epi32(i32::MIN), ends_raw);
+                    // Overlap of non-empty runs: y.start < x.end  ∧
+                    // x.start < y.end.
+                    let ov = _mm_and_si128(
+                        _mm_cmplt_epi32(starts, xs_end),
+                        _mm_cmpgt_epi32(ends, xs_start),
+                    );
+                    let ov_bits = _mm_movemask_epi8(ov);
+                    if ov_bits != 0 {
+                        if x_full || _mm_movemask_epi8(_mm_and_si128(ov, full)) != 0 {
+                            return RasterDecision::Hit;
+                        }
+                        overlapped = true;
+                    }
+                    // Every later y starts at or beyond this block's last
+                    // start; if that is already past x, x is done.
+                    if ys[j + 3].start() as i32 >= x_end {
+                        break;
+                    }
+                    j += 4;
+                } else {
+                    // Scalar tail of the window.
+                    while j < ys.len() {
+                        let y = ys[j];
+                        if y.start() as i32 >= x_end {
+                            break;
+                        }
+                        if (y.end() as i32) > x_start {
+                            if x_full || y.is_full() {
+                                return RasterDecision::Hit;
+                            }
+                            overlapped = true;
+                        }
+                        j += 1;
+                    }
+                    break;
+                }
+            }
         }
     }
     if overlapped {
@@ -692,6 +812,89 @@ mod tests {
             raster_decide(thin.signature(0), thin.signature(1)),
             RasterDecision::Inconclusive
         );
+    }
+
+    /// The wide merge-intersect must produce the identical decision as
+    /// the scalar two-pointer reference on every signature pair —
+    /// including interval counts at every lane boundary (len % 4 ∈
+    /// {0,1,2,3}) and hand-built adversarial lists.
+    #[test]
+    fn raster_decide_with_matches_scalar_reference() {
+        // Real signatures from rasterized workloads.
+        let grid = RasterGrid::new(Rect::from_bounds(0.0, 0.0, 32.0, 32.0), 6);
+        let rel_a = msj_datagen::small_carto(40, 30.0, 9301);
+        let rel_b = msj_datagen::skewed_carto(40, 30.0, 9302);
+        let sa = RasterStore::build(&grid, &rel_a);
+        let sb = RasterStore::build(&grid, &rel_b);
+        for d in KernelDispatch::all_available() {
+            for i in 0..rel_a.len() as u32 {
+                for j in 0..rel_b.len() as u32 {
+                    assert_eq!(
+                        raster_decide_with(d, sa.signature(i), sb.signature(j)),
+                        raster_decide(sa.signature(i), sb.signature(j)),
+                        "{d:?} diverged on pair ({i},{j})"
+                    );
+                }
+            }
+        }
+        // Synthetic lists at every block length and class mix.
+        let mk = |runs: &[(u32, u32, bool)]| -> Vec<RasterInterval> {
+            runs.iter()
+                .map(|&(s, e, full)| {
+                    RasterInterval::new(
+                        s,
+                        e,
+                        if full {
+                            CellClass::Full
+                        } else {
+                            CellClass::Partial
+                        },
+                    )
+                })
+                .collect()
+        };
+        let mut lists: Vec<Vec<RasterInterval>> = vec![
+            vec![],
+            mk(&[(0, 1, false)]),
+            mk(&[(5, 9, true)]),
+            mk(&[(0, 2, false), (4, 6, true), (8, 10, false)]),
+        ];
+        // Lengths 1..=9 alternating classes, gapped and adjacent runs.
+        for n in 1..=9u32 {
+            lists.push(
+                (0..n)
+                    .map(|k| {
+                        RasterInterval::new(
+                            3 * k,
+                            3 * k + 2,
+                            if k % 2 == 0 {
+                                CellClass::Partial
+                            } else {
+                                CellClass::Full
+                            },
+                        )
+                    })
+                    .collect(),
+            );
+            lists.push(
+                (0..n)
+                    .map(|k| RasterInterval::new(2 * k + 1, 2 * k + 2, CellClass::Partial))
+                    .collect(),
+            );
+        }
+        for d in KernelDispatch::all_available() {
+            for xs in &lists {
+                for ys in &lists {
+                    let a = RasterSignature::from_intervals(xs);
+                    let b = RasterSignature::from_intervals(ys);
+                    assert_eq!(
+                        raster_decide_with(d, a, b),
+                        raster_decide(a, b),
+                        "{d:?} diverged on {xs:?} vs {ys:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -154,7 +154,7 @@ fn print_help() {
          \u{20}      repro all [--scale ...]\n\
          \u{20}      repro --only <id> [--scale ...]     (one experiment, no suite)\n\
          \u{20}      repro --json <path> [--scale ...]   (machine-readable bench)\n\
-         \u{20}      repro --json <path> --only step1|join|raster|serving|obs   (one section)\n\
+         \u{20}      repro --json <path> --only step1|join|raster|serving|kernels|obs   (one section)\n\
          \u{20}      repro --list"
     );
 }

@@ -1,0 +1,311 @@
+//! The `kernels` experiment: the vectorized hot-path kernels measured in
+//! isolation, per dispatch path.
+//!
+//! Three microbenches mirror the three batched loops the join pipeline
+//! runs hottest (the same inputs every path, straight out of the skewed
+//! cartographic workload):
+//!
+//! * **sweep** — the forward plane-sweep MBR kernel
+//!   ([`msj_geom::kernels::sweep_scan`]) over the xmin-sorted SoA
+//!   columns of both relations, exactly the Step-1 inner loop of the
+//!   partitioned backend and the R*-traversal's equal-level merge;
+//! * **mer-accept** — the pair-gathered MER fast-accept
+//!   ([`msj_geom::kernels::rect_pairs_intersect`]) over the candidate
+//!   stream, the Step-2 `ConvexMer` wide mask;
+//! * **raster-decide** — the Step-2a interval merge-intersect
+//!   ([`msj_approx::raster_decide_with`]) over the candidate stream's
+//!   Hilbert signatures.
+//!
+//! Every cell reports items/sec and ns/item; the FNV digest of each
+//! kernel's full output is asserted equal across dispatch paths —
+//! the scalar-agreement gate, measured rather than assumed.
+
+use super::ExpConfig;
+use crate::report::{f, section, Table};
+use crate::timing::timed;
+use msj_approx::{
+    auto_grid_bits, raster_decide_with, ProgressiveKind, ProgressiveStore, RasterDecision,
+    RasterGrid, RasterStore,
+};
+use msj_geom::kernels::{self, KernelDispatch};
+use msj_geom::{ObjectId, Rect, Relation};
+
+/// One measured cell: a kernel on a dispatch path.
+pub(crate) struct KernelCell {
+    pub kernel: &'static str,
+    pub path: &'static str,
+    /// Items the kernel consumed per run (pair tests for the sweep,
+    /// candidate pairs for the mask kernels).
+    pub items: u64,
+    pub ns_per_item: f64,
+    pub items_per_sec: f64,
+    /// Scalar ns/item over this path's ns/item (1.0 for scalar).
+    pub speedup_vs_scalar: f64,
+    /// FNV-1a over the kernel's full output — equal across paths by
+    /// assertion.
+    pub digest: u64,
+}
+
+fn fnv_bytes(acc: u64, bytes: &[u8]) -> u64 {
+    let mut h = acc;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// xmin-sorted SoA columns of one relation's MBRs (the layout the
+/// partitioned sweep repacks per tile).
+struct SweepSide {
+    ids: Vec<ObjectId>,
+    xmin: Vec<f64>,
+    ymin: Vec<f64>,
+    xmax: Vec<f64>,
+    ymax: Vec<f64>,
+}
+
+impl SweepSide {
+    fn build(rel: &Relation) -> Self {
+        let mut rects: Vec<(Rect, ObjectId)> = rel.iter().map(|o| (o.mbr(), o.id)).collect();
+        rects.sort_by(|p, q| p.0.xmin().partial_cmp(&q.0.xmin()).expect("finite xmin"));
+        let mut side = SweepSide {
+            ids: Vec::with_capacity(rects.len()),
+            xmin: Vec::with_capacity(rects.len()),
+            ymin: Vec::with_capacity(rects.len()),
+            xmax: Vec::with_capacity(rects.len()),
+            ymax: Vec::with_capacity(rects.len()),
+        };
+        for (r, id) in rects {
+            side.ids.push(id);
+            side.xmin.push(r.xmin());
+            side.ymin.push(r.ymin());
+            side.xmax.push(r.xmax());
+            side.ymax.push(r.ymax());
+        }
+        side
+    }
+}
+
+/// One full forward plane sweep over both sorted sides — the tile_sweep
+/// merge loop with the whole workload as a single tile. Returns
+/// (pair tests, hit pairs).
+fn run_sweep(d: KernelDispatch, a: &SweepSide, b: &SweepSide) -> (u64, Vec<(ObjectId, ObjectId)>) {
+    let mut tests = 0u64;
+    let mut pairs = Vec::new();
+    let mut hits: Vec<u32> = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.ids.len() && j < b.ids.len() {
+        if a.xmin[i] <= b.xmin[j] {
+            hits.clear();
+            tests += kernels::sweep_scan(
+                d, a.xmax[i], a.ymin[i], a.ymax[i], &b.xmin, &b.ymin, &b.ymax, j, &mut hits,
+            );
+            for &k in &hits {
+                pairs.push((a.ids[i], b.ids[k as usize]));
+            }
+            i += 1;
+        } else {
+            hits.clear();
+            tests += kernels::sweep_scan(
+                d, b.xmax[j], b.ymin[j], b.ymax[j], &a.xmin, &a.ymin, &a.ymax, i, &mut hits,
+            );
+            for &k in &hits {
+                pairs.push((a.ids[k as usize], b.ids[j]));
+            }
+            j += 1;
+        }
+    }
+    (tests, pairs)
+}
+
+/// Measures the three kernels on every available dispatch path over the
+/// skewed cartographic workload; asserts cross-path digest agreement.
+pub(crate) fn measure_kernels(cfg: &ExpConfig) -> Vec<KernelCell> {
+    let n = cfg.large_count() / 2;
+    let a = msj_datagen::skewed_carto(n, 24.0, cfg.seed);
+    let b = msj_datagen::skewed_carto(n, 24.0, cfg.seed + 1);
+    let side_a = SweepSide::build(&a);
+    let side_b = SweepSide::build(&b);
+
+    // The candidate stream and columnar payloads the mask kernels
+    // consume — built once, shared by every path.
+    let (_, candidates) = run_sweep(KernelDispatch::Scalar, &side_a, &side_b);
+    let mer_a = ProgressiveStore::build(ProgressiveKind::Mer, &a);
+    let mer_b = ProgressiveStore::build(ProgressiveKind::Mer, &b);
+    let (mers_a, mers_b) = (
+        mer_a.mer_column().expect("MER column"),
+        mer_b.mer_column().expect("MER column"),
+    );
+    let grid = RasterGrid::covering(&a, &b, auto_grid_bits(&a, &b)).expect("raster grid");
+    let raster_a = RasterStore::build(&grid, &a);
+    let raster_b = RasterStore::build(&grid, &b);
+
+    let mut cells: Vec<KernelCell> = Vec::new();
+    let push = |kernel: &'static str,
+                path: &'static str,
+                items: u64,
+                secs: f64,
+                digest: u64,
+                cells: &mut Vec<KernelCell>| {
+        let scalar_ns = cells
+            .iter()
+            .find(|c| c.kernel == kernel && c.path == "scalar")
+            .map(|c| c.ns_per_item);
+        let ns = secs * 1e9 / items.max(1) as f64;
+        if let Some(expect) = cells.iter().find(|c| c.kernel == kernel).map(|c| c.digest) {
+            assert_eq!(digest, expect, "{kernel}/{path}: output digest diverged");
+        }
+        cells.push(KernelCell {
+            kernel,
+            path,
+            items,
+            ns_per_item: ns,
+            items_per_sec: items as f64 / secs.max(1e-12),
+            speedup_vs_scalar: scalar_ns.map_or(1.0, |s| s / ns.max(1e-12)),
+            digest,
+        });
+    };
+
+    for d in KernelDispatch::all_available() {
+        let path = d.label();
+
+        // Kernel 1: the plane-sweep MBR join loop.
+        let _ = run_sweep(d, &side_a, &side_b); // warm-up
+        let ((tests, pairs), secs) = timed(|| run_sweep(d, &side_a, &side_b));
+        let digest = pairs.iter().fold(FNV_OFFSET, |acc, &(x, y)| {
+            fnv_bytes(fnv_bytes(acc, &x.to_le_bytes()), &y.to_le_bytes())
+        });
+        push("sweep", path, tests, secs, digest, &mut cells);
+
+        // Kernel 2: the pair-gathered MER fast-accept mask.
+        let run_mer = || {
+            let mut mask = Vec::new();
+            kernels::rect_pairs_intersect(d, mers_a, mers_b, &candidates, &mut mask);
+            mask
+        };
+        let _ = run_mer();
+        let (mask, secs) = timed(run_mer);
+        let digest = mask
+            .iter()
+            .fold(FNV_OFFSET, |acc, &hit| fnv_bytes(acc, &[hit as u8]));
+        push(
+            "mer-accept",
+            path,
+            candidates.len() as u64,
+            secs,
+            digest,
+            &mut cells,
+        );
+
+        // Kernel 3: the Step-2a raster interval merge-intersect.
+        let run_raster = || {
+            let mut out = Vec::with_capacity(candidates.len());
+            for &(ia, ib) in &candidates {
+                out.push(
+                    match raster_decide_with(d, raster_a.signature(ia), raster_b.signature(ib)) {
+                        RasterDecision::Hit => 1u8,
+                        RasterDecision::Drop => 2,
+                        RasterDecision::Inconclusive => 0,
+                    },
+                );
+            }
+            out
+        };
+        let _ = run_raster();
+        let (decisions, secs) = timed(run_raster);
+        let digest = fnv_bytes(FNV_OFFSET, &decisions);
+        push(
+            "raster-decide",
+            path,
+            candidates.len() as u64,
+            secs,
+            digest,
+            &mut cells,
+        );
+    }
+    cells
+}
+
+/// The `kernels` experiment (see the module docs).
+pub fn kernels(cfg: &ExpConfig) -> String {
+    let mut out = section(
+        "kernels",
+        "vectorized hot-path kernels: per-dispatch microbenchmarks",
+    );
+    out.push_str(&format!(
+        "auto-detected widest path: {}; every kernel's output digest is asserted\n\
+         equal across paths (the scalar-agreement gate); items = pair tests for\n\
+         the sweep, candidate pairs for the mask kernels\n\n",
+        KernelDispatch::auto().label()
+    ));
+    let cells = measure_kernels(cfg);
+    let mut table = Table::new([
+        "kernel",
+        "path",
+        "items",
+        "ns/item",
+        "M items/s",
+        "speedup",
+        "digest",
+    ]);
+    for c in &cells {
+        table.row([
+            c.kernel.into(),
+            c.path.into(),
+            format!("{}", c.items),
+            f(c.ns_per_item, 2),
+            f(c.items_per_sec / 1e6, 2),
+            format!("{:.2}x", c.speedup_vs_scalar),
+            format!("{:#018x}", c.digest),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+    out.push_str("all dispatch paths produced identical kernel outputs\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+
+    #[test]
+    fn kernels_experiment_measures_every_available_path() {
+        let cfg = ExpConfig {
+            seed: 9,
+            scale: Scale::Quick,
+        };
+        let report = kernels(&cfg);
+        assert!(report.contains("sweep"));
+        assert!(report.contains("mer-accept"));
+        assert!(report.contains("raster-decide"));
+        assert!(report.contains("scalar"));
+        assert!(report.contains("identical kernel outputs"));
+    }
+
+    #[test]
+    fn sweep_matches_quadratic_reference() {
+        let a = msj_datagen::small_carto(30, 20.0, 41);
+        let b = msj_datagen::small_carto(30, 20.0, 42);
+        let (sa, sb) = (SweepSide::build(&a), SweepSide::build(&b));
+        let mut expect: Vec<(ObjectId, ObjectId)> = Vec::new();
+        for oa in a.iter() {
+            for ob in b.iter() {
+                if oa.mbr().intersects(&ob.mbr()) {
+                    expect.push((oa.id, ob.id));
+                }
+            }
+        }
+        expect.sort_unstable();
+        for d in KernelDispatch::all_available() {
+            let (tests, mut pairs) = run_sweep(d, &sa, &sb);
+            pairs.sort_unstable();
+            assert_eq!(pairs, expect, "{}", d.label());
+            assert!(tests >= pairs.len() as u64);
+        }
+    }
+}

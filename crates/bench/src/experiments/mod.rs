@@ -9,6 +9,7 @@ pub mod datasets;
 pub mod exactgeo;
 pub mod filters;
 pub mod fused;
+pub mod kernels;
 pub mod partitioned;
 pub mod raster;
 pub mod serving;
@@ -254,6 +255,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "serving",
             description: "resident engine vs prepare-per-query (points, windows, joins)",
             run: serving::serving,
+        },
+        Experiment {
+            id: "kernels",
+            description: "vectorized hot-path kernels: per-dispatch microbenchmarks",
+            run: kernels::kernels,
         },
     ]
 }

@@ -1,6 +1,5 @@
 //! Shared wall-clock measurement discipline for the bench crate.
 
-use msj_core::JoinResult;
 use std::time::Instant;
 
 /// Repetitions per timed cell. The runs are deterministic, so the
@@ -9,7 +8,7 @@ pub(crate) const REPS: usize = 3;
 
 /// Runs `run` [`REPS`] times and returns the last result with the
 /// minimum wall-clock in seconds.
-pub(crate) fn timed(mut run: impl FnMut() -> JoinResult) -> (JoinResult, f64) {
+pub(crate) fn timed<T>(mut run: impl FnMut() -> T) -> (T, f64) {
     let mut best = f64::INFINITY;
     let mut result = None;
     for _ in 0..REPS {

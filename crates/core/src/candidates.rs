@@ -19,11 +19,14 @@
 
 use crate::config::{Backend, JoinConfig, TreeLoader, DEFAULT_BATCH_PAIRS};
 use msj_geom::{
-    FnConsumer, ObjectId, PairBatchBuffer, PairConsumer, Point, Rect, RelHandle, Relation,
+    FnConsumer, KernelDispatch, ObjectId, PairBatchBuffer, PairConsumer, Point, Rect, RelHandle,
+    Relation,
 };
 use msj_obs::WorkerTelemetry;
-use msj_partition::{partition_join, partition_join_workers_observed, GridIndex, PartitionStats};
-use msj_sam::{tree_join_chunked_observed, JoinStats, LruBuffer, PageLayout, RStarTree};
+use msj_partition::{
+    partition_join_with, partition_join_workers_observed_with, GridIndex, PartitionStats,
+};
+use msj_sam::{tree_join_chunked_observed_with, JoinStats, LruBuffer, PageLayout, RStarTree};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 
@@ -226,11 +229,11 @@ pub(crate) fn join_source_with<'a>(
             tiles_per_axis,
             threads,
         } => Box::new(GridSource::new(
+            config,
             rel_a,
             Some(rel_b),
             tiles_per_axis,
             threads,
-            config.batch_pairs,
         )),
     }
 }
@@ -262,11 +265,11 @@ pub(crate) fn selection_source_with<'a>(
             tiles_per_axis,
             threads,
         } => Box::new(GridSource::new(
+            config,
             relation,
             None,
             tiles_per_axis,
             threads,
-            config.batch_pairs,
         )),
     }
 }
@@ -296,6 +299,9 @@ struct RStarSource {
     buffer: Mutex<LruBuffer>,
     /// Candidate pairs per batched delivery / cross-thread chunk.
     batch: usize,
+    /// Kernel path for the traversal's wide scans, resolved once at
+    /// source construction.
+    dispatch: KernelDispatch,
 }
 
 impl RStarSource {
@@ -305,6 +311,7 @@ impl RStarSource {
             tree_b,
             buffer: Mutex::new(LruBuffer::with_bytes(config.buffer_bytes, config.page_size)),
             batch: config.batch_pairs.max(1),
+            dispatch: config.kernel_dispatch(),
         }
     }
 }
@@ -339,9 +346,15 @@ impl CandidateSource for RStarSource {
             // virtual dispatch (and one batched classification
             // downstream) per `batch` pairs, order unchanged.
             let mut sink = consumer.attach();
-            let join = tree_join_chunked_observed(tree_a, tree_b, buffer, batch, lane, |chunk| {
-                sink.consume_batch(&chunk)
-            });
+            let join = tree_join_chunked_observed_with(
+                self.dispatch,
+                tree_a,
+                tree_b,
+                buffer,
+                batch,
+                lane,
+                |chunk| sink.consume_batch(&chunk),
+            );
             return Step1Stats {
                 join,
                 partition: None,
@@ -399,12 +412,20 @@ impl CandidateSource for RStarSource {
                     }
                 });
             }
-            let join = tree_join_chunked_observed(tree_a, tree_b, buffer, batch, lane, |chunk| {
-                let now =
-                    buffered.fetch_add(chunk.len() as u64, Ordering::Relaxed) + chunk.len() as u64;
-                peak.fetch_max(now, Ordering::Relaxed);
-                tx.send(chunk).expect("queue receiver alive");
-            });
+            let join = tree_join_chunked_observed_with(
+                self.dispatch,
+                tree_a,
+                tree_b,
+                buffer,
+                batch,
+                lane,
+                |chunk| {
+                    let now = buffered.fetch_add(chunk.len() as u64, Ordering::Relaxed)
+                        + chunk.len() as u64;
+                    peak.fetch_max(now, Ordering::Relaxed);
+                    tx.send(chunk).expect("queue receiver alive");
+                },
+            );
             drop(tx); // workers drain and exit; the scope joins them
             join
         });
@@ -454,6 +475,9 @@ struct GridSource<'a> {
     threads: usize,
     /// Candidate pairs per batched sink delivery.
     batch: usize,
+    /// Kernel path for the tile sweeps, resolved once at source
+    /// construction.
+    dispatch: KernelDispatch,
     /// Single-relation grid for selection probes, built on first use.
     index: OnceLock<GridIndex>,
     /// `(items_a, items_b)` MBR lists for joins, collected on first use
@@ -464,18 +488,19 @@ struct GridSource<'a> {
 
 impl<'a> GridSource<'a> {
     fn new(
+        config: &JoinConfig,
         rel_a: RelHandle<'a>,
         rel_b: Option<RelHandle<'a>>,
         tiles_per_axis: usize,
         threads: usize,
-        batch: usize,
     ) -> Self {
         GridSource {
             rel_a,
             rel_b,
             tiles_per_axis,
             threads,
-            batch: batch.max(1),
+            batch: config.batch_pairs.max(1),
+            dispatch: config.kernel_dispatch(),
             index: OnceLock::new(),
             join_items: OnceLock::new(),
         }
@@ -526,9 +551,14 @@ impl CandidateSource for GridSource<'_> {
             // re-batched caller-side so the sink still sees runs.
             let mut sink = consumer.attach();
             let mut buffer = PairBatchBuffer::new(&mut *sink, batch);
-            let stats = partition_join(items_a, items_b, tiles_per_axis, threads, |id_a, id_b| {
-                buffer.pair(id_a, id_b)
-            });
+            let stats = partition_join_with(
+                self.dispatch,
+                items_a,
+                items_b,
+                tiles_per_axis,
+                threads,
+                |id_a, id_b| buffer.pair(id_a, id_b),
+            );
             drop(buffer); // flush the tail before the sink detaches
             if let Some(t) = telemetry {
                 // Everything funneled through one caller-side lane, in
@@ -544,7 +574,8 @@ impl CandidateSource for GridSource<'_> {
             // Fused: every tile worker attaches its own sink and sweeps
             // straight into it in tile-boundary-flushed batches — nothing
             // is buffered across threads or funneled.
-            let stats = partition_join_workers_observed(
+            let stats = partition_join_workers_observed_with(
+                self.dispatch,
                 items_a,
                 items_b,
                 tiles_per_axis,

@@ -59,6 +59,11 @@ pub enum TreeLoader {
 /// chunk of the fused R*-traversal fan-out).
 pub const DEFAULT_BATCH_PAIRS: usize = 1024;
 
+/// Default [`JoinConfig::prepared_cache_cap`]: generous enough that
+/// typical engines never evict, small enough to bound resident pair
+/// state on engines joining many dataset combinations.
+pub const DEFAULT_PREPARED_CACHE_CAP: usize = 64;
+
 /// Configuration of the **Step-2a raster pre-filter**
 /// ([`msj_approx::raster`]): Hilbert-interval signatures decided by a
 /// merge-intersect, run on every candidate batch *before* the
@@ -174,6 +179,17 @@ pub struct JoinConfig {
     /// default (no traces); [`msj_obs::ObsConfig::disabled`] skips every
     /// clock read, leaving all `*_nanos` statistics at zero.
     pub obs: ObsConfig,
+    /// Pin every hot-loop kernel to the scalar reference path instead of
+    /// the widest SIMD path the CPU supports. Results are byte-identical
+    /// either way (the agreement gate enforces it); this knob exists for
+    /// A/B measurement and as a belt-and-braces escape hatch. The
+    /// `MSJ_FORCE_SCALAR` environment variable forces scalar even when
+    /// this is `false`.
+    pub force_scalar: bool,
+    /// Maximum prepared joins a [`crate::SpatialEngine`] keeps resident
+    /// at once; the least-recently-used pair is evicted beyond the cap
+    /// (and rebuilt transparently on next use). Clamped to at least 1.
+    pub prepared_cache_cap: usize,
 }
 
 impl Default for JoinConfig {
@@ -194,6 +210,8 @@ impl Default for JoinConfig {
             loader: TreeLoader::Str,
             batch_pairs: DEFAULT_BATCH_PAIRS,
             obs: ObsConfig::default(),
+            force_scalar: false,
+            prepared_cache_cap: DEFAULT_PREPARED_CACHE_CAP,
         }
     }
 }
@@ -243,6 +261,15 @@ impl JoinConfig {
     /// `JoinConfig::version2().to_builder().false_area_test(true).build()`).
     pub fn to_builder(self) -> JoinConfigBuilder {
         JoinConfigBuilder { config: self }
+    }
+
+    /// The kernel dispatch path this configuration selects: scalar when
+    /// [`JoinConfig::force_scalar`] (or the `MSJ_FORCE_SCALAR`
+    /// environment variable) is set, otherwise the widest path the CPU
+    /// supports. Resolved once per join/engine and threaded to every
+    /// kernel call site.
+    pub fn kernel_dispatch(&self) -> msj_geom::KernelDispatch {
+        msj_geom::KernelDispatch::select(self.force_scalar)
     }
 
     /// Extra leaf-entry bytes for the stored approximations (MBR itself
@@ -342,6 +369,18 @@ impl JoinConfigBuilder {
         self
     }
 
+    /// Pin every hot-loop kernel to the scalar reference path.
+    pub fn force_scalar(mut self, force: bool) -> Self {
+        self.config.force_scalar = force;
+        self
+    }
+
+    /// Caps resident prepared joins (LRU eviction beyond `cap`).
+    pub fn prepared_cache_cap(mut self, cap: usize) -> Self {
+        self.config.prepared_cache_cap = cap;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> JoinConfig {
         self.config
@@ -435,6 +474,8 @@ mod tests {
             .loader(TreeLoader::Incremental)
             .batch_pairs(64)
             .obs(ObsConfig::disabled())
+            .force_scalar(true)
+            .prepared_cache_cap(3)
             .build();
         assert_eq!(
             c.backend,
@@ -455,6 +496,14 @@ mod tests {
         assert_eq!(c.batch_pairs, 64);
         assert_eq!(c.obs, ObsConfig::disabled());
         assert!(!c.obs.enabled);
+        assert!(c.force_scalar);
+        assert_eq!(c.kernel_dispatch(), msj_geom::KernelDispatch::Scalar);
+        assert_eq!(c.prepared_cache_cap, 3);
+        assert!(!JoinConfig::default().force_scalar);
+        assert_eq!(
+            JoinConfig::default().prepared_cache_cap,
+            DEFAULT_PREPARED_CACHE_CAP
+        );
         // The default configuration keeps observability on (no traces).
         assert!(JoinConfig::default().obs.enabled);
         assert_eq!(JoinConfig::default().obs.trace_capacity, 0);

@@ -146,10 +146,13 @@ pub const RUN_HISTORY: usize = 32;
 struct EngineObs {
     registry: MetricsRegistry,
     traces: TraceRing,
+    /// Kernel dispatch label (`"scalar"`/`"sse2"`/`"avx2"`) the engine's
+    /// batched loops run on — stamped onto every trace.
+    dispatch: &'static str,
 }
 
 impl EngineObs {
-    fn new(config: ObsConfig) -> Self {
+    fn new(config: ObsConfig, dispatch: msj_geom::KernelDispatch) -> Self {
         let registry = MetricsRegistry::with_enabled(config.enabled);
         // Describe and pre-register the whole metric schema up front:
         // exporters render every family from the first scrape on, at
@@ -183,6 +186,14 @@ impl EngineObs {
             "prepare_join calls that built pair-level Step-0 state",
         );
         registry.describe(
+            "msj_prepared_cache_evictions_total",
+            "Prepared joins evicted by the LRU count cap",
+        );
+        registry.describe(
+            "msj_kernel_dispatch",
+            "Selected kernel dispatch path (1 = active), by path",
+        );
+        registry.describe(
             "msj_datasets_registered_total",
             "Datasets registered on the engine (Step-0 runs)",
         );
@@ -212,12 +223,24 @@ impl EngineObs {
         registry.counter("msj_admission_shed_total", &[]);
         registry.counter("msj_prepared_cache_hits_total", &[]);
         registry.counter("msj_prepared_cache_misses_total", &[]);
+        registry.counter("msj_prepared_cache_evictions_total", &[]);
         registry.counter("msj_datasets_registered_total", &[]);
         registry.histogram("msj_registration_nanos", &[]);
         registry.gauge("msj_admission_error_ratio", &[]);
+        // The dispatch gauge family carries every path the engine could
+        // run on; the selected one sits at 1.
+        for path in ["scalar", "sse2", "avx2"] {
+            registry.gauge("msj_kernel_dispatch", &[("path", path)]);
+        }
+        if registry.is_enabled() {
+            registry
+                .gauge("msj_kernel_dispatch", &[("path", dispatch.label())])
+                .set(1.0);
+        }
         EngineObs {
             registry,
             traces: TraceRing::new(config.trace_capacity),
+            dispatch: dispatch.label(),
         }
     }
 }
@@ -326,6 +349,7 @@ impl PreparedJoin {
                 latency_nanos,
                 candidates: s.mbr_join.candidates,
                 results: s.result_pairs,
+                dispatch: self.obs.dispatch,
                 steps: TraceSteps {
                     step0_nanos: s.step0_nanos,
                     step1_nanos: s.step1_nanos,
@@ -511,8 +535,71 @@ pub struct SpatialEngine {
     /// Registry + trace ring, `Arc`-shared into every prepared join.
     obs: Arc<EngineObs>,
     datasets: RwLock<Vec<Arc<DatasetState>>>,
-    /// Prepared-join cache keyed by dataset-id pair.
-    prepared: Mutex<HashMap<(DatasetId, DatasetId), Arc<PreparedJoin>>>,
+    /// Prepared-join cache keyed by dataset-id pair, LRU-capped at
+    /// [`JoinConfig::prepared_cache_cap`].
+    prepared: Mutex<PreparedCache>,
+}
+
+/// The engine's prepared-join cache: id-pair keyed, bounded by an LRU
+/// count cap. Entries carry a recency stamp refreshed on every hit; an
+/// insert beyond the cap evicts the stalest pair (its Step-0 state is
+/// rebuilt transparently on next use — results are unaffected, only the
+/// pair-level build cost is paid again).
+struct PreparedCache {
+    cap: usize,
+    clock: u64,
+    map: HashMap<(DatasetId, DatasetId), (Arc<PreparedJoin>, u64)>,
+}
+
+impl PreparedCache {
+    fn new(cap: usize) -> Self {
+        PreparedCache {
+            cap: cap.max(1),
+            clock: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Cache lookup; a hit refreshes the entry's recency stamp.
+    fn get(&mut self, key: (DatasetId, DatasetId)) -> Option<Arc<PreparedJoin>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(&key).map(|(join, stamp)| {
+            *stamp = clock;
+            join.clone()
+        })
+    }
+
+    /// Inserts `built` unless the key landed concurrently (the first
+    /// insert wins — callers build outside the lock), then evicts
+    /// least-recently-used entries beyond the cap. Returns the `Arc`
+    /// actually cached and the number of evictions.
+    fn insert(
+        &mut self,
+        key: (DatasetId, DatasetId),
+        built: Arc<PreparedJoin>,
+    ) -> (Arc<PreparedJoin>, u64) {
+        self.clock += 1;
+        let entry = self.map.entry(key).or_insert((built, 0));
+        entry.1 = self.clock;
+        let served = entry.0.clone();
+        let mut evicted = 0;
+        while self.map.len() > self.cap {
+            let stalest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(&k, _)| k);
+            match stalest {
+                Some(k) => {
+                    self.map.remove(&k);
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        (served, evicted)
+    }
 }
 
 impl SpatialEngine {
@@ -520,12 +607,12 @@ impl SpatialEngine {
     /// every query it serves.
     pub fn new(config: JoinConfig) -> Self {
         SpatialEngine {
-            obs: Arc::new(EngineObs::new(config.obs)),
+            obs: Arc::new(EngineObs::new(config.obs, config.kernel_dispatch())),
+            prepared: Mutex::new(PreparedCache::new(config.prepared_cache_cap)),
             config,
             params: CostModelParams::default(),
             admission_limit_s: None,
             datasets: RwLock::new(Vec::new()),
-            prepared: Mutex::new(HashMap::new()),
         }
     }
 
@@ -669,13 +756,13 @@ impl SpatialEngine {
         );
     }
 
-    /// The cached prepared join of a dataset-id pair, if one was built.
+    /// The cached prepared join of a dataset-id pair, if one was built
+    /// (refreshes the pair's LRU recency).
     fn cached_join(&self, key: (DatasetId, DatasetId)) -> Option<Arc<PreparedJoin>> {
         self.prepared
             .lock()
             .expect("prepared cache poisoned")
-            .get(&key)
-            .cloned()
+            .get(key)
     }
 
     /// The owned prepared join of two registered datasets, building it
@@ -712,12 +799,18 @@ impl SpatialEngine {
         // harmless (both are deterministic over the same shared state)
         // and the first insert wins.
         let built = Arc::new(self.build_prepared(a, b));
-        self.prepared
+        let (served, evicted) = self
+            .prepared
             .lock()
             .expect("prepared cache poisoned")
-            .entry(key)
-            .or_insert(built)
-            .clone()
+            .insert(key, built);
+        if enabled && evicted > 0 {
+            self.obs
+                .registry
+                .counter("msj_prepared_cache_evictions_total", &[])
+                .add(evicted);
+        }
+        served
     }
 
     fn build_prepared(&self, a: &DatasetHandle, b: &DatasetHandle) -> PreparedJoin {
@@ -750,6 +843,7 @@ impl SpatialEngine {
         } else {
             filter
         };
+        let filter = filter.with_dispatch(self.config.kernel_dispatch());
         let exact = ExactProcessor::from_shared(
             self.config.exact,
             RelHandle::from(sa.relation.clone()),
@@ -867,6 +961,7 @@ impl SpatialEngine {
                 latency_nanos,
                 candidates: stats.candidates,
                 results: ids.len() as u64,
+                dispatch: self.obs.dispatch,
                 steps: TraceSteps {
                     step0_nanos: 0,
                     step1_nanos: spans.get(Step::Step1),
@@ -960,6 +1055,7 @@ impl SpatialEngine {
                         latency_nanos: 0,
                         candidates: 0,
                         results: 0,
+                        dispatch: self.obs.dispatch,
                         steps: TraceSteps::default(),
                     });
                 }
@@ -1064,6 +1160,61 @@ mod tests {
         );
         // The cache serves the same prepared join again.
         assert!(Arc::ptr_eq(&prepared, &engine.prepare_join(&ha, &hb)));
+    }
+
+    #[test]
+    fn prepared_cache_evicts_least_recently_used_beyond_cap() {
+        let engine = SpatialEngine::new(JoinConfig::builder().prepared_cache_cap(2).build());
+        let a = engine.register(msj_datagen::small_carto(12, 16.0, 2001));
+        let b = engine.register(msj_datagen::small_carto(12, 16.0, 2002));
+        let c = engine.register(msj_datagen::small_carto(12, 16.0, 2003));
+        let ab = engine.prepare_join(&a, &b);
+        let ac = engine.prepare_join(&a, &c);
+        let expect_ac = ac.run().pairs;
+        // Touch (a,b) so (a,c) is the stalest pair, then overflow the cap.
+        assert!(Arc::ptr_eq(&ab, &engine.prepare_join(&a, &b)));
+        let _bc = engine.prepare_join(&b, &c);
+        assert_eq!(
+            engine
+                .metrics()
+                .snapshot()
+                .counter("msj_prepared_cache_evictions_total"),
+            1
+        );
+        // The touched pair survived; the evicted pair is rebuilt on next
+        // use (fresh Arc, identical results).
+        assert!(Arc::ptr_eq(&ab, &engine.prepare_join(&a, &b)));
+        let rebuilt = engine.prepare_join(&a, &c);
+        assert!(!Arc::ptr_eq(&ac, &rebuilt));
+        assert_eq!(rebuilt.run().pairs, expect_ac);
+    }
+
+    #[test]
+    fn kernel_dispatch_gauge_marks_the_selected_path() {
+        let engine = SpatialEngine::new(JoinConfig::default());
+        let snap = engine.metrics().snapshot();
+        let label = JoinConfig::default().kernel_dispatch().label();
+        assert_eq!(
+            snap.gauge(&format!("msj_kernel_dispatch{{path=\"{label}\"}}")),
+            1.0
+        );
+        // Forcing scalar moves the marker.
+        let scalar = SpatialEngine::new(JoinConfig::builder().force_scalar(true).build());
+        let snap = scalar.metrics().snapshot();
+        assert_eq!(snap.gauge("msj_kernel_dispatch{path=\"scalar\"}"), 1.0);
+        // Traces carry the same label per request.
+        let traced = SpatialEngine::new(
+            JoinConfig::builder()
+                .obs(msj_obs::ObsConfig::with_traces(8))
+                .build(),
+        );
+        let h = traced.register(msj_datagen::small_carto(10, 16.0, 2004));
+        let _ = traced.prepare_join(&h, &h).run();
+        let traces = traced.recent_traces();
+        assert!(!traces.is_empty());
+        assert!(traces
+            .iter()
+            .all(|t| t.dispatch == traced.config().kernel_dispatch().label()));
     }
 
     #[test]

@@ -29,9 +29,11 @@
 //! are outcome-identical by construction (and by test).
 
 use msj_approx::{
-    auto_grid_bits, raster_decide, ConservativeKind, ConservativeStore, ProgressiveKind,
-    ProgressiveStore, RasterDecision, RasterGrid, RasterStore, MAX_GRID_BITS, MIN_GRID_BITS,
+    auto_grid_bits, raster_decide, raster_decide_with, ConservativeKind, ConservativeStore,
+    ProgressiveKind, ProgressiveStore, RasterDecision, RasterGrid, RasterStore, MAX_GRID_BITS,
+    MIN_GRID_BITS,
 };
+use msj_geom::kernels::{self, KernelDispatch};
 use msj_geom::{convex_intersect, ObjectId, Relation};
 use msj_obs::{Span, Step, StepSpans};
 use std::sync::Arc;
@@ -93,6 +95,10 @@ pub struct GeometricFilter {
     progressive_b: Option<Arc<ProgressiveStore>>,
     use_false_area: bool,
     plan: FilterPlan,
+    /// Kernel path for the batched loops (Step-2a wide merge-intersect,
+    /// MER fast-accept). The per-pair reference chain stays scalar; both
+    /// are outcome-identical.
+    dispatch: KernelDispatch,
 }
 
 impl GeometricFilter {
@@ -135,9 +141,23 @@ impl GeometricFilter {
             progressive_b,
             use_false_area,
             plan: FilterPlan::Generic,
+            dispatch: KernelDispatch::auto(),
         };
         filter.plan = filter.compile();
         filter
+    }
+
+    /// Pins the kernel dispatch path of the batched loops (the engine
+    /// sets this from [`crate::JoinConfig::kernel_dispatch`]). Outcomes
+    /// are identical on every path.
+    pub fn with_dispatch(mut self, dispatch: KernelDispatch) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// The kernel dispatch path the batched loops run on.
+    pub fn dispatch(&self) -> KernelDispatch {
+        self.dispatch
     }
 
     /// Attaches the Step-2a raster stage: both relations rasterized on
@@ -172,11 +192,12 @@ impl GeometricFilter {
         } else {
             GeometricFilter::disabled()
         };
-        if config.raster.enabled {
+        let filter = if config.raster.enabled {
             filter.with_raster(rel_a, rel_b, config.raster.grid_bits)
         } else {
             filter
-        }
+        };
+        filter.with_dispatch(config.kernel_dispatch())
     }
 
     /// A filter that does nothing (version 1: every candidate goes to the
@@ -191,6 +212,7 @@ impl GeometricFilter {
             progressive_b: None,
             use_false_area: false,
             plan: FilterPlan::Passthrough,
+            dispatch: KernelDispatch::auto(),
         }
     }
 
@@ -328,7 +350,8 @@ impl GeometricFilter {
                 // `Candidate`, so the fill below is unambiguous).
                 let t_raster = spans.map(|_| Span::start());
                 out.extend(pairs.iter().map(|&(id_a, id_b)| {
-                    match raster_decide(ra.signature(id_a), rb.signature(id_b)) {
+                    match raster_decide_with(self.dispatch, ra.signature(id_a), rb.signature(id_b))
+                    {
                         RasterDecision::Hit => FilterOutcome::HitRaster,
                         RasterDecision::Drop => FilterOutcome::DropRaster,
                         RasterDecision::Inconclusive => FilterOutcome::Candidate,
@@ -364,15 +387,37 @@ impl GeometricFilter {
                 let (Some(mer_a), Some(mer_b)) = (mer_a, mer_b) else {
                     unreachable!("ConvexMer plan requires MER columns");
                 };
+                // The MER fast-accept column is gathered wide for the
+                // whole undecided remainder up front; the per-slot loop
+                // keeps the paper's test order (conservative first) and
+                // consumes the precomputed lane only when the convex test
+                // passes — outcome-identical to testing inline. NaN
+                // sentinel slots (degenerate MERs) compare false in every
+                // lane, exactly like `Progressive::Empty`.
+                let undecided: Vec<(u32, u32)> = out
+                    .iter()
+                    .zip(pairs)
+                    .filter(|(slot, _)| **slot == FilterOutcome::Candidate)
+                    .map(|(_, &pair)| pair)
+                    .collect();
+                let mut mer_hits = Vec::new();
+                kernels::rect_pairs_intersect(
+                    self.dispatch,
+                    mer_a,
+                    mer_b,
+                    &undecided,
+                    &mut mer_hits,
+                );
+                let mut next = 0usize;
                 for (slot, &(id_a, id_b)) in out.iter_mut().zip(pairs) {
                     if *slot != FilterOutcome::Candidate {
                         continue;
                     }
+                    let mer_hit = mer_hits[next];
+                    next += 1;
                     *slot = if !convex_intersect(rings_a.ring(id_a), rings_b.ring(id_b)) {
                         FilterOutcome::FalseHit
-                    } else if mer_a[id_a as usize].intersects(&mer_b[id_b as usize]) {
-                        // NaN sentinel slots (degenerate MERs) never
-                        // intersect, exactly like `Progressive::Empty`.
+                    } else if mer_hit {
                         FilterOutcome::HitProgressive
                     } else {
                         FilterOutcome::Candidate

@@ -14,6 +14,7 @@ use crate::candidates::{self, CandidateSource};
 use crate::config::JoinConfig;
 use msj_approx::{ConsView, ConservativeStore, Progressive, ProgressiveStore};
 use msj_exact::{region_contains_point, region_intersects_rect, OpCounts};
+use msj_geom::kernels::{self, KernelDispatch};
 use msj_geom::{ObjectId, Point, Rect, RelHandle, Relation};
 use msj_obs::{Span, Step, StepSpans};
 use std::sync::Arc;
@@ -42,6 +43,10 @@ pub(crate) struct SelectionState<'a> {
     pub source: Box<dyn CandidateSource + 'a>,
     pub conservative: Option<Arc<ConservativeStore>>,
     pub progressive: Option<Arc<ProgressiveStore>>,
+    /// Kernel path of the wide MER probe masks; the per-candidate
+    /// fallback chain stays scalar. Outcomes are identical on every
+    /// path.
+    pub dispatch: KernelDispatch,
 }
 
 impl<'a> SelectionState<'a> {
@@ -75,6 +80,7 @@ impl<'a> SelectionState<'a> {
             source,
             conservative,
             progressive,
+            dispatch: config.kernel_dispatch(),
         }
     }
 
@@ -93,6 +99,7 @@ impl<'a> SelectionState<'a> {
             source,
             conservative,
             progressive,
+            dispatch: config.kernel_dispatch(),
         }
     }
 
@@ -123,9 +130,20 @@ impl<'a> SelectionState<'a> {
             ..QueryStats::default()
         };
         let t_rest = spans.map(|_| Span::start());
+        // MER progressive columns admit a wide probe: one id-gathered
+        // point-in-rect mask over the whole candidate list (NaN-sentinel
+        // slots land `false`, exactly like `Progressive::Empty`). The
+        // per-candidate chain below consumes it by index.
+        let mer_mask = self.progressive.as_deref().and_then(|prog| {
+            prog.mer_column().map(|mers| {
+                let mut mask = Vec::new();
+                kernels::rects_contain_point(self.dispatch, mers, &candidates, p, &mut mask);
+                mask
+            })
+        });
         let mut exact_nanos = 0u64;
         let mut result = Vec::new();
-        for id in candidates {
+        for (slot, id) in candidates.into_iter().enumerate() {
             // Conservative: point outside the approximation → false hit.
             if let Some(cons) = &self.conservative {
                 if !cons.view(id).contains_point(p) {
@@ -135,7 +153,11 @@ impl<'a> SelectionState<'a> {
             }
             // Progressive: point inside the enclosed shape → hit.
             if let Some(prog) = &self.progressive {
-                if progressive_contains(&prog.get(id), p) {
+                let hit = match &mer_mask {
+                    Some(mask) => mask[slot],
+                    None => progressive_contains(&prog.get(id), p),
+                };
+                if hit {
                     stats.filter_hits += 1;
                     result.push(id);
                     continue;
@@ -186,9 +208,24 @@ impl<'a> SelectionState<'a> {
         };
         let window_ring = window.corners().to_vec();
         let t_rest = spans.map(|_| Span::start());
+        // Same wide MER probe as the point path, with the window-vs-rect
+        // kernel.
+        let mer_mask = self.progressive.as_deref().and_then(|prog| {
+            prog.mer_column().map(|mers| {
+                let mut mask = Vec::new();
+                kernels::rects_intersect_query(
+                    self.dispatch,
+                    mers,
+                    &candidates,
+                    &window,
+                    &mut mask,
+                );
+                mask
+            })
+        });
         let mut exact_nanos = 0u64;
         let mut result = Vec::new();
-        for id in candidates {
+        for (slot, id) in candidates.into_iter().enumerate() {
             if let Some(cons) = &self.conservative {
                 if !conservative_intersects_window(&cons.view(id), &window, &window_ring) {
                     stats.filter_false_hits += 1;
@@ -196,7 +233,11 @@ impl<'a> SelectionState<'a> {
                 }
             }
             if let Some(prog) = &self.progressive {
-                if progressive_intersects_window(&prog.get(id), &window) {
+                let hit = match &mer_mask {
+                    Some(mask) => mask[slot],
+                    None => progressive_intersects_window(&prog.get(id), &window),
+                };
+                if hit {
                     stats.filter_hits += 1;
                     result.push(id);
                     continue;

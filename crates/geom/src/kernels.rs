@@ -1,0 +1,785 @@
+//! Runtime-dispatched wide kernels for the engine's hot loops.
+//!
+//! Four kernels cover the inner loops of the Step 1 → 2a → 2 spine:
+//!
+//! * [`sweep_scan`] — the forward plane-sweep inner run (`msj-partition`
+//!   tile sweeps, `msj-sam` equal-level node sweeps): scan a window of
+//!   x-sorted entries, stop at the first `xmin > bound`, emit the
+//!   indices whose y-extent overlaps the query band;
+//! * [`rects_vs_rect`] — one query rectangle against SoA MBR columns
+//!   (R*-tree directory pruning and window restriction over per-node
+//!   repacked entry columns);
+//! * [`rect_pairs_intersect`] — id-gathered rectangle-pair overlap over
+//!   two `Rect` columns (the MER fast-accept of the compiled filter
+//!   plan);
+//! * [`rects_contain_point`] / [`rects_intersect_query`] — id-gathered
+//!   point-in-rect and window-vs-rect masks (resident point/window
+//!   probes).
+//!
+//! Each kernel has three implementations selected by [`KernelDispatch`]:
+//! a portable scalar loop (the semantic reference), an SSE2 path and an
+//! AVX2 path (`core::arch::x86_64` behind `is_x86_feature_detected!`).
+//! The wide paths are outcome-identical to the scalar reference for
+//! *arbitrary* inputs, including NaN lanes:
+//!
+//! * every wide comparison uses an **ordered** predicate (`_CMP_LE_OQ`,
+//!   `_CMP_GT_OQ`), which is `false` when either operand is NaN —
+//!   exactly like the scalar `<=` / `>` it replaces;
+//! * the sweep stop test is `xmin > bound` (break) in both paths, so a
+//!   NaN `xmin` lane *continues* the scan in both;
+//! * NaN-sentinel rectangles (empty progressive MERs) never intersect
+//!   and never contain a point in either path.
+//!
+//! Dispatch is chosen **once per join** ([`KernelDispatch::select`]) and
+//! threaded through every call site; `force_scalar` (config) or the
+//! `MSJ_FORCE_SCALAR` environment variable pin the reference path.
+
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64 as x86;
+
+use crate::{Point, Rect};
+
+/// Environment variable that pins every kernel to the scalar reference
+/// path, overriding runtime CPU feature detection (any non-empty value
+/// other than `0`).
+pub const FORCE_SCALAR_ENV: &str = "MSJ_FORCE_SCALAR";
+
+/// The kernel implementation family, chosen once per join (or probe
+/// session) and threaded through every hot loop under it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelDispatch {
+    /// Portable scalar loops — the semantic reference every wide path is
+    /// checked against.
+    Scalar,
+    /// 2-wide `f64` lanes via `core::arch::x86_64` SSE2.
+    Sse2,
+    /// 4-wide `f64` lanes (with id gathers) via `core::arch::x86_64`
+    /// AVX2.
+    Avx2,
+}
+
+impl KernelDispatch {
+    /// The widest path this CPU supports, by runtime feature detection.
+    /// Non-x86-64 targets always get [`KernelDispatch::Scalar`].
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return KernelDispatch::Avx2;
+            }
+            if std::arch::is_x86_feature_detected!("sse2") {
+                return KernelDispatch::Sse2;
+            }
+        }
+        KernelDispatch::Scalar
+    }
+
+    /// The dispatch a join should run with: the scalar reference when
+    /// `force_scalar` is set (configuration knob) or the
+    /// [`FORCE_SCALAR_ENV`] environment variable is present and not `0`,
+    /// otherwise the detected widest path.
+    pub fn select(force_scalar: bool) -> Self {
+        if force_scalar || env_force_scalar() {
+            KernelDispatch::Scalar
+        } else {
+            KernelDispatch::detect()
+        }
+    }
+
+    /// [`KernelDispatch::select`] with only the environment override —
+    /// what call sites without a configuration handle use.
+    pub fn auto() -> Self {
+        KernelDispatch::select(false)
+    }
+
+    /// Stable label for metrics and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelDispatch::Scalar => "scalar",
+            KernelDispatch::Sse2 => "sse2",
+            KernelDispatch::Avx2 => "avx2",
+        }
+    }
+
+    /// Every dispatch this CPU can actually run, scalar first — the
+    /// matrix agreement tests and the bench iterate over this.
+    pub fn all_available() -> Vec<KernelDispatch> {
+        let mut all = vec![KernelDispatch::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("sse2") {
+                all.push(KernelDispatch::Sse2);
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                all.push(KernelDispatch::Avx2);
+            }
+        }
+        all
+    }
+}
+
+fn env_force_scalar() -> bool {
+    std::env::var_os(FORCE_SCALAR_ENV).is_some_and(|v| !v.is_empty() && v != *"0")
+}
+
+// ---------------------------------------------------------------------
+// Kernel 1: forward-sweep inner run over x-sorted SoA columns.
+// ---------------------------------------------------------------------
+
+/// Scans `from..` of the x-sorted columns, stopping at the first entry
+/// with `xmin[k] > bound_x` (the plane-sweep break), and pushes the
+/// index of every scanned entry whose y-extent overlaps the query band
+/// (`q_ymin <= ymax[k] && ymin[k] <= q_ymax`). Returns the number of
+/// entries scanned before the break — the `pair_tests` / `mbr_tests`
+/// statistic of the callers, which must stay byte-identical across
+/// dispatch paths.
+///
+/// Indices are pushed in ascending order, exactly like the scalar loop.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_scan(
+    d: KernelDispatch,
+    bound_x: f64,
+    q_ymin: f64,
+    q_ymax: f64,
+    xmin: &[f64],
+    ymin: &[f64],
+    ymax: &[f64],
+    from: usize,
+    hits: &mut Vec<u32>,
+) -> u64 {
+    debug_assert!(xmin.len() == ymin.len() && xmin.len() == ymax.len());
+    match d {
+        KernelDispatch::Scalar => {
+            sweep_scan_scalar(bound_x, q_ymin, q_ymax, xmin, ymin, ymax, from, hits)
+        }
+        #[cfg(target_arch = "x86_64")]
+        KernelDispatch::Sse2 => unsafe {
+            sweep_scan_sse2(bound_x, q_ymin, q_ymax, xmin, ymin, ymax, from, hits)
+        },
+        #[cfg(target_arch = "x86_64")]
+        KernelDispatch::Avx2 => unsafe {
+            sweep_scan_avx2(bound_x, q_ymin, q_ymax, xmin, ymin, ymax, from, hits)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => sweep_scan_scalar(bound_x, q_ymin, q_ymax, xmin, ymin, ymax, from, hits),
+    }
+}
+
+/// The reference loop. NaN `xmin` never satisfies `> bound_x`, so the
+/// scan continues past it; NaN y-extents never satisfy the band test.
+#[allow(clippy::too_many_arguments)]
+fn sweep_scan_scalar(
+    bound_x: f64,
+    q_ymin: f64,
+    q_ymax: f64,
+    xmin: &[f64],
+    ymin: &[f64],
+    ymax: &[f64],
+    from: usize,
+    hits: &mut Vec<u32>,
+) -> u64 {
+    let mut tests = 0u64;
+    for k in from..xmin.len() {
+        if xmin[k] > bound_x {
+            break;
+        }
+        tests += 1;
+        if (q_ymin <= ymax[k]) & (ymin[k] <= q_ymax) {
+            hits.push(k as u32);
+        }
+    }
+    tests
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn sweep_scan_avx2(
+    bound_x: f64,
+    q_ymin: f64,
+    q_ymax: f64,
+    xmin: &[f64],
+    ymin: &[f64],
+    ymax: &[f64],
+    from: usize,
+    hits: &mut Vec<u32>,
+) -> u64 {
+    use x86::*;
+    let n = xmin.len();
+    let bound = _mm256_set1_pd(bound_x);
+    let band_lo = _mm256_set1_pd(q_ymin);
+    let band_hi = _mm256_set1_pd(q_ymax);
+    let mut tests = 0u64;
+    let mut k = from;
+    while k + 4 <= n {
+        let xs = _mm256_loadu_pd(xmin.as_ptr().add(k));
+        // Stop lanes: xmin > bound (ordered: NaN lanes keep scanning,
+        // like the scalar break test).
+        let stop = _mm256_movemask_pd(_mm256_cmp_pd::<{ _CMP_GT_OQ }>(xs, bound)) as u32;
+        let live = if stop == 0 {
+            4
+        } else {
+            stop.trailing_zeros() as usize
+        };
+        if live > 0 {
+            let ylo = _mm256_loadu_pd(ymin.as_ptr().add(k));
+            let yhi = _mm256_loadu_pd(ymax.as_ptr().add(k));
+            let c1 = _mm256_cmp_pd::<{ _CMP_LE_OQ }>(band_lo, yhi);
+            let c2 = _mm256_cmp_pd::<{ _CMP_LE_OQ }>(ylo, band_hi);
+            let mut m = (_mm256_movemask_pd(_mm256_and_pd(c1, c2)) as u32) & ((1u32 << live) - 1);
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                hits.push((k + lane) as u32);
+                m &= m - 1;
+            }
+            tests += live as u64;
+        }
+        if live < 4 {
+            return tests;
+        }
+        k += 4;
+    }
+    tests + sweep_scan_scalar(bound_x, q_ymin, q_ymax, xmin, ymin, ymax, k, hits)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn sweep_scan_sse2(
+    bound_x: f64,
+    q_ymin: f64,
+    q_ymax: f64,
+    xmin: &[f64],
+    ymin: &[f64],
+    ymax: &[f64],
+    from: usize,
+    hits: &mut Vec<u32>,
+) -> u64 {
+    use x86::*;
+    let n = xmin.len();
+    let bound = _mm_set1_pd(bound_x);
+    let band_lo = _mm_set1_pd(q_ymin);
+    let band_hi = _mm_set1_pd(q_ymax);
+    let mut tests = 0u64;
+    let mut k = from;
+    while k + 2 <= n {
+        let xs = _mm_loadu_pd(xmin.as_ptr().add(k));
+        let stop = _mm_movemask_pd(_mm_cmpgt_pd(xs, bound)) as u32;
+        let live = if stop == 0 {
+            2
+        } else {
+            stop.trailing_zeros() as usize
+        };
+        if live > 0 {
+            let ylo = _mm_loadu_pd(ymin.as_ptr().add(k));
+            let yhi = _mm_loadu_pd(ymax.as_ptr().add(k));
+            let c = _mm_and_pd(_mm_cmple_pd(band_lo, yhi), _mm_cmple_pd(ylo, band_hi));
+            let mut m = (_mm_movemask_pd(c) as u32) & ((1u32 << live) - 1);
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                hits.push((k + lane) as u32);
+                m &= m - 1;
+            }
+            tests += live as u64;
+        }
+        if live < 2 {
+            return tests;
+        }
+        k += 2;
+    }
+    tests + sweep_scan_scalar(bound_x, q_ymin, q_ymax, xmin, ymin, ymax, k, hits)
+}
+
+// ---------------------------------------------------------------------
+// Kernel 2: one query rectangle vs SoA MBR columns (full scan).
+// ---------------------------------------------------------------------
+
+/// Pushes the index of every column entry whose rectangle intersects
+/// `q` (closed semantics, [`Rect::intersects`]), in ascending order.
+/// The R*-tree directory-pruning and window-restriction loops run this
+/// over per-node repacked entry columns.
+pub fn rects_vs_rect(
+    d: KernelDispatch,
+    q: &Rect,
+    xmin: &[f64],
+    ymin: &[f64],
+    xmax: &[f64],
+    ymax: &[f64],
+    hits: &mut Vec<u32>,
+) {
+    debug_assert!(xmin.len() == ymin.len() && xmin.len() == xmax.len() && xmin.len() == ymax.len());
+    match d {
+        KernelDispatch::Scalar => rects_vs_rect_scalar(q, xmin, ymin, xmax, ymax, 0, hits),
+        #[cfg(target_arch = "x86_64")]
+        KernelDispatch::Sse2 => unsafe { rects_vs_rect_sse2(q, xmin, ymin, xmax, ymax, hits) },
+        #[cfg(target_arch = "x86_64")]
+        KernelDispatch::Avx2 => unsafe { rects_vs_rect_avx2(q, xmin, ymin, xmax, ymax, hits) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => rects_vs_rect_scalar(q, xmin, ymin, xmax, ymax, 0, hits),
+    }
+}
+
+fn rects_vs_rect_scalar(
+    q: &Rect,
+    xmin: &[f64],
+    ymin: &[f64],
+    xmax: &[f64],
+    ymax: &[f64],
+    from: usize,
+    hits: &mut Vec<u32>,
+) {
+    let (qx0, qy0, qx1, qy1) = (q.xmin(), q.ymin(), q.xmax(), q.ymax());
+    for k in from..xmin.len() {
+        if (xmin[k] <= qx1) & (qx0 <= xmax[k]) & (ymin[k] <= qy1) & (qy0 <= ymax[k]) {
+            hits.push(k as u32);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn rects_vs_rect_avx2(
+    q: &Rect,
+    xmin: &[f64],
+    ymin: &[f64],
+    xmax: &[f64],
+    ymax: &[f64],
+    hits: &mut Vec<u32>,
+) {
+    use x86::*;
+    let n = xmin.len();
+    let qx0 = _mm256_set1_pd(q.xmin());
+    let qy0 = _mm256_set1_pd(q.ymin());
+    let qx1 = _mm256_set1_pd(q.xmax());
+    let qy1 = _mm256_set1_pd(q.ymax());
+    let mut k = 0usize;
+    while k + 4 <= n {
+        let c1 = _mm256_cmp_pd::<{ _CMP_LE_OQ }>(_mm256_loadu_pd(xmin.as_ptr().add(k)), qx1);
+        let c2 = _mm256_cmp_pd::<{ _CMP_LE_OQ }>(qx0, _mm256_loadu_pd(xmax.as_ptr().add(k)));
+        let c3 = _mm256_cmp_pd::<{ _CMP_LE_OQ }>(_mm256_loadu_pd(ymin.as_ptr().add(k)), qy1);
+        let c4 = _mm256_cmp_pd::<{ _CMP_LE_OQ }>(qy0, _mm256_loadu_pd(ymax.as_ptr().add(k)));
+        let m = _mm256_and_pd(_mm256_and_pd(c1, c2), _mm256_and_pd(c3, c4));
+        let mut bits = _mm256_movemask_pd(m) as u32;
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            hits.push((k + lane) as u32);
+            bits &= bits - 1;
+        }
+        k += 4;
+    }
+    rects_vs_rect_scalar(q, xmin, ymin, xmax, ymax, k, hits);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn rects_vs_rect_sse2(
+    q: &Rect,
+    xmin: &[f64],
+    ymin: &[f64],
+    xmax: &[f64],
+    ymax: &[f64],
+    hits: &mut Vec<u32>,
+) {
+    use x86::*;
+    let n = xmin.len();
+    let qx0 = _mm_set1_pd(q.xmin());
+    let qy0 = _mm_set1_pd(q.ymin());
+    let qx1 = _mm_set1_pd(q.xmax());
+    let qy1 = _mm_set1_pd(q.ymax());
+    let mut k = 0usize;
+    while k + 2 <= n {
+        let c1 = _mm_cmple_pd(_mm_loadu_pd(xmin.as_ptr().add(k)), qx1);
+        let c2 = _mm_cmple_pd(qx0, _mm_loadu_pd(xmax.as_ptr().add(k)));
+        let c3 = _mm_cmple_pd(_mm_loadu_pd(ymin.as_ptr().add(k)), qy1);
+        let c4 = _mm_cmple_pd(qy0, _mm_loadu_pd(ymax.as_ptr().add(k)));
+        let m = _mm_and_pd(_mm_and_pd(c1, c2), _mm_and_pd(c3, c4));
+        let mut bits = _mm_movemask_pd(m) as u32;
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            hits.push((k + lane) as u32);
+            bits &= bits - 1;
+        }
+        k += 2;
+    }
+    rects_vs_rect_scalar(q, xmin, ymin, xmax, ymax, k, hits);
+}
+
+// ---------------------------------------------------------------------
+// Kernel 3: id-gathered rectangle-pair overlap (MER fast-accept).
+// ---------------------------------------------------------------------
+
+/// For every `(id_a, id_b)` pair pushes whether
+/// `rects_a[id_a].intersects(&rects_b[id_b])` — the MER fast-accept of
+/// the compiled `ConvexMer` filter plan. NaN-sentinel rectangles
+/// (empty MERs) produce `false` in every path.
+///
+/// `Rect` is `#[repr(C)]` over `[xmin, ymin, xmax, ymax]`, so the AVX2
+/// path gathers the four columns of four pairs at a time by object id.
+pub fn rect_pairs_intersect(
+    d: KernelDispatch,
+    rects_a: &[Rect],
+    rects_b: &[Rect],
+    pairs: &[(u32, u32)],
+    out: &mut Vec<bool>,
+) {
+    match d {
+        KernelDispatch::Scalar => rect_pairs_scalar(rects_a, rects_b, pairs, out),
+        // Random-index pair gathering defeats 4-lane gathers (the
+        // `kernels` bench measured `vgatherdpd` at ~0.5x scalar here),
+        // so the widest path also runs the 2-lane direct-load form —
+        // each pair's two rects are contiguous 32-byte loads.
+        #[cfg(target_arch = "x86_64")]
+        KernelDispatch::Sse2 | KernelDispatch::Avx2 => unsafe {
+            rect_pairs_sse2(rects_a, rects_b, pairs, out)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => rect_pairs_scalar(rects_a, rects_b, pairs, out),
+    }
+}
+
+fn rect_pairs_scalar(
+    rects_a: &[Rect],
+    rects_b: &[Rect],
+    pairs: &[(u32, u32)],
+    out: &mut Vec<bool>,
+) {
+    out.extend(
+        pairs
+            .iter()
+            .map(|&(a, b)| rects_a[a as usize].intersects(&rects_b[b as usize])),
+    );
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn rect_pairs_sse2(
+    rects_a: &[Rect],
+    rects_b: &[Rect],
+    pairs: &[(u32, u32)],
+    out: &mut Vec<bool>,
+) {
+    use x86::*;
+    for &(a, b) in pairs {
+        let ra = rects_a.as_ptr().add(a as usize) as *const f64;
+        let rb = rects_b.as_ptr().add(b as usize) as *const f64;
+        let a_lo = _mm_loadu_pd(ra);
+        let a_hi = _mm_loadu_pd(ra.add(2));
+        let b_lo = _mm_loadu_pd(rb);
+        let b_hi = _mm_loadu_pd(rb.add(2));
+        let m = _mm_and_pd(_mm_cmple_pd(a_lo, b_hi), _mm_cmple_pd(b_lo, a_hi));
+        out.push(_mm_movemask_pd(m) == 0b11);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel 4: id-gathered point-in-rect / window-vs-rect masks.
+// ---------------------------------------------------------------------
+
+/// For every id pushes whether `rects[id].contains_point(p)` (closed
+/// semantics). NaN-sentinel rectangles contain nothing in every path.
+pub fn rects_contain_point(
+    d: KernelDispatch,
+    rects: &[Rect],
+    ids: &[u32],
+    p: Point,
+    out: &mut Vec<bool>,
+) {
+    match d {
+        KernelDispatch::Scalar => rects_contain_point_scalar(rects, ids, p, out),
+        #[cfg(target_arch = "x86_64")]
+        KernelDispatch::Sse2 => unsafe { rects_contain_point_sse2(rects, ids, p, out) },
+        #[cfg(target_arch = "x86_64")]
+        KernelDispatch::Avx2 => unsafe { rects_contain_point_avx2(rects, ids, p, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => rects_contain_point_scalar(rects, ids, p, out),
+    }
+}
+
+fn rects_contain_point_scalar(rects: &[Rect], ids: &[u32], p: Point, out: &mut Vec<bool>) {
+    out.extend(ids.iter().map(|&id| rects[id as usize].contains_point(p)));
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn rects_contain_point_avx2(rects: &[Rect], ids: &[u32], p: Point, out: &mut Vec<bool>) {
+    use x86::*;
+    let base = rects.as_ptr() as *const f64;
+    let px = _mm256_set1_pd(p.x);
+    let py = _mm256_set1_pd(p.y);
+    let mut k = 0usize;
+    while k + 4 <= ids.len() {
+        let idx = _mm_slli_epi32::<2>(_mm_set_epi32(
+            ids[k + 3] as i32,
+            ids[k + 2] as i32,
+            ids[k + 1] as i32,
+            ids[k] as i32,
+        ));
+        let x0 = _mm256_i32gather_pd::<8>(base, idx);
+        let y0 = _mm256_i32gather_pd::<8>(base.add(1), idx);
+        let x1 = _mm256_i32gather_pd::<8>(base.add(2), idx);
+        let y1 = _mm256_i32gather_pd::<8>(base.add(3), idx);
+        let c1 = _mm256_cmp_pd::<{ _CMP_LE_OQ }>(x0, px);
+        let c2 = _mm256_cmp_pd::<{ _CMP_LE_OQ }>(px, x1);
+        let c3 = _mm256_cmp_pd::<{ _CMP_LE_OQ }>(y0, py);
+        let c4 = _mm256_cmp_pd::<{ _CMP_LE_OQ }>(py, y1);
+        let bits =
+            _mm256_movemask_pd(_mm256_and_pd(_mm256_and_pd(c1, c2), _mm256_and_pd(c3, c4))) as u32;
+        for lane in 0..4 {
+            out.push(bits & (1 << lane) != 0);
+        }
+        k += 4;
+    }
+    rects_contain_point_scalar(rects, &ids[k..], p, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn rects_contain_point_sse2(rects: &[Rect], ids: &[u32], p: Point, out: &mut Vec<bool>) {
+    use x86::*;
+    let pv = _mm_set_pd(p.y, p.x);
+    for &id in ids {
+        let r = rects.as_ptr().add(id as usize) as *const f64;
+        let lo = _mm_loadu_pd(r);
+        let hi = _mm_loadu_pd(r.add(2));
+        let m = _mm_and_pd(_mm_cmple_pd(lo, pv), _mm_cmple_pd(pv, hi));
+        out.push(_mm_movemask_pd(m) == 0b11);
+    }
+}
+
+/// For every id pushes whether `rects[id].intersects(q)` (closed
+/// semantics) — the window-probe companion of
+/// [`rects_contain_point`].
+pub fn rects_intersect_query(
+    d: KernelDispatch,
+    rects: &[Rect],
+    ids: &[u32],
+    q: &Rect,
+    out: &mut Vec<bool>,
+) {
+    match d {
+        KernelDispatch::Scalar => rects_intersect_query_scalar(rects, ids, q, out),
+        #[cfg(target_arch = "x86_64")]
+        KernelDispatch::Sse2 => unsafe { rects_intersect_query_sse2(rects, ids, q, out) },
+        #[cfg(target_arch = "x86_64")]
+        KernelDispatch::Avx2 => unsafe { rects_intersect_query_avx2(rects, ids, q, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => rects_intersect_query_scalar(rects, ids, q, out),
+    }
+}
+
+fn rects_intersect_query_scalar(rects: &[Rect], ids: &[u32], q: &Rect, out: &mut Vec<bool>) {
+    out.extend(ids.iter().map(|&id| rects[id as usize].intersects(q)));
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn rects_intersect_query_avx2(rects: &[Rect], ids: &[u32], q: &Rect, out: &mut Vec<bool>) {
+    use x86::*;
+    let base = rects.as_ptr() as *const f64;
+    let qx0 = _mm256_set1_pd(q.xmin());
+    let qy0 = _mm256_set1_pd(q.ymin());
+    let qx1 = _mm256_set1_pd(q.xmax());
+    let qy1 = _mm256_set1_pd(q.ymax());
+    let mut k = 0usize;
+    while k + 4 <= ids.len() {
+        let idx = _mm_slli_epi32::<2>(_mm_set_epi32(
+            ids[k + 3] as i32,
+            ids[k + 2] as i32,
+            ids[k + 1] as i32,
+            ids[k] as i32,
+        ));
+        let x0 = _mm256_i32gather_pd::<8>(base, idx);
+        let y0 = _mm256_i32gather_pd::<8>(base.add(1), idx);
+        let x1 = _mm256_i32gather_pd::<8>(base.add(2), idx);
+        let y1 = _mm256_i32gather_pd::<8>(base.add(3), idx);
+        let c1 = _mm256_cmp_pd::<{ _CMP_LE_OQ }>(x0, qx1);
+        let c2 = _mm256_cmp_pd::<{ _CMP_LE_OQ }>(qx0, x1);
+        let c3 = _mm256_cmp_pd::<{ _CMP_LE_OQ }>(y0, qy1);
+        let c4 = _mm256_cmp_pd::<{ _CMP_LE_OQ }>(qy0, y1);
+        let bits =
+            _mm256_movemask_pd(_mm256_and_pd(_mm256_and_pd(c1, c2), _mm256_and_pd(c3, c4))) as u32;
+        for lane in 0..4 {
+            out.push(bits & (1 << lane) != 0);
+        }
+        k += 4;
+    }
+    rects_intersect_query_scalar(rects, &ids[k..], q, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn rects_intersect_query_sse2(rects: &[Rect], ids: &[u32], q: &Rect, out: &mut Vec<bool>) {
+    use x86::*;
+    let q_lo = _mm_set_pd(q.ymin(), q.xmin());
+    let q_hi = _mm_set_pd(q.ymax(), q.xmax());
+    for &id in ids {
+        let r = rects.as_ptr().add(id as usize) as *const f64;
+        let lo = _mm_loadu_pd(r);
+        let hi = _mm_loadu_pd(r.add(2));
+        let m = _mm_and_pd(_mm_cmple_pd(lo, q_hi), _mm_cmple_pd(q_lo, hi));
+        out.push(_mm_movemask_pd(m) == 0b11);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nan_rect() -> Rect {
+        Rect::from_bounds(f64::NAN, f64::NAN, f64::NAN, f64::NAN)
+    }
+
+    #[test]
+    fn repr_c_rect_is_four_doubles() {
+        assert_eq!(std::mem::size_of::<Rect>(), 4 * 8);
+        assert_eq!(std::mem::size_of::<Point>(), 2 * 8);
+        let r = Rect::from_bounds(1.0, 2.0, 3.0, 4.0);
+        let view = unsafe { std::slice::from_raw_parts(&r as *const Rect as *const f64, 4) };
+        assert_eq!(view, &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn dispatch_selection_honors_force_scalar() {
+        assert_eq!(KernelDispatch::select(true), KernelDispatch::Scalar);
+        assert!(KernelDispatch::all_available().contains(&KernelDispatch::auto()));
+        assert_eq!(KernelDispatch::all_available()[0], KernelDispatch::Scalar);
+        for d in KernelDispatch::all_available() {
+            assert!(!d.label().is_empty());
+        }
+    }
+
+    /// Deterministic pseudo-random f64 in a small range, with occasional
+    /// NaN lanes when `with_nan`.
+    fn gen_vals(seed: u64, n: usize, with_nan: bool) -> Vec<f64> {
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let u = (s >> 33) as f64 / (1u64 << 31) as f64;
+                if with_nan && (s >> 7).is_multiple_of(11) {
+                    f64::NAN
+                } else {
+                    u * 20.0 - 10.0
+                }
+            })
+            .collect()
+    }
+
+    /// Every kernel must agree with the scalar reference at every lane
+    /// boundary (`len % 4 ∈ {0,1,2,3}`, and smaller), with NaN lanes
+    /// mixed in.
+    #[test]
+    fn sweep_scan_matches_scalar_at_lane_boundaries() {
+        for n in 0..=13usize {
+            for with_nan in [false, true] {
+                for seed in 1..=6u64 {
+                    let mut xmin = gen_vals(seed, n, with_nan);
+                    // Mostly sorted like real input, but leave NaNs and
+                    // occasional disorder in place: the kernel contract
+                    // is agreement on *arbitrary* input.
+                    xmin.sort_unstable_by(|a, b| {
+                        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    let ymin = gen_vals(seed + 100, n, with_nan);
+                    let ymax = gen_vals(seed + 200, n, with_nan);
+                    for from in [0usize, 1, n / 2, n.saturating_sub(1)] {
+                        for bound in [-5.0, 0.0, 5.0, f64::NAN] {
+                            let mut want = Vec::new();
+                            let t0 = sweep_scan_scalar(
+                                bound, -3.0, 4.0, &xmin, &ymin, &ymax, from, &mut want,
+                            );
+                            for d in KernelDispatch::all_available() {
+                                let mut got = Vec::new();
+                                let t = sweep_scan(
+                                    d, bound, -3.0, 4.0, &xmin, &ymin, &ymax, from, &mut got,
+                                );
+                                assert_eq!(got, want, "{d:?} n={n} from={from} bound={bound}");
+                                assert_eq!(t, t0, "{d:?} pair-test count diverged");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rects_vs_rect_matches_scalar_at_lane_boundaries() {
+        let q = Rect::from_bounds(-2.0, -2.0, 3.0, 3.0);
+        for n in 0..=11usize {
+            for with_nan in [false, true] {
+                let xmin = gen_vals(7, n, with_nan);
+                let ymin = gen_vals(8, n, with_nan);
+                let xmax: Vec<f64> = xmin.iter().map(|v| v + 2.0).collect();
+                let ymax: Vec<f64> = ymin.iter().map(|v| v + 2.0).collect();
+                let mut want = Vec::new();
+                rects_vs_rect_scalar(&q, &xmin, &ymin, &xmax, &ymax, 0, &mut want);
+                for d in KernelDispatch::all_available() {
+                    let mut got = Vec::new();
+                    rects_vs_rect(d, &q, &xmin, &ymin, &xmax, &ymax, &mut got);
+                    assert_eq!(got, want, "{d:?} n={n} nan={with_nan}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rect_pairs_match_scalar_including_nan_sentinels() {
+        let mut rects_a: Vec<Rect> = (0..9)
+            .map(|i| Rect::from_bounds(i as f64, 0.0, i as f64 + 2.0, 2.0))
+            .collect();
+        let mut rects_b: Vec<Rect> = (0..9)
+            .map(|i| Rect::from_bounds(0.5 * i as f64, 1.0, 0.5 * i as f64 + 1.5, 3.0))
+            .collect();
+        rects_a[3] = nan_rect();
+        rects_b[5] = nan_rect();
+        for n in 0..=9usize {
+            let pairs: Vec<(u32, u32)> = (0..n).map(|i| (i as u32, (n - 1 - i) as u32)).collect();
+            let mut want = Vec::new();
+            rect_pairs_scalar(&rects_a, &rects_b, &pairs, &mut want);
+            // NaN sentinel lanes never accept.
+            for (i, &(a, b)) in pairs.iter().enumerate() {
+                if a == 3 || b == 5 {
+                    assert!(!want[i], "NaN sentinel must not intersect");
+                }
+            }
+            for d in KernelDispatch::all_available() {
+                let mut got = Vec::new();
+                rect_pairs_intersect(d, &rects_a, &rects_b, &pairs, &mut got);
+                assert_eq!(got, want, "{d:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn point_and_window_masks_match_scalar() {
+        let mut rects: Vec<Rect> = (0..10)
+            .map(|i| Rect::from_bounds(i as f64 - 4.0, -1.0, i as f64 - 2.0, 1.0))
+            .collect();
+        rects[2] = nan_rect();
+        let p = Point::new(0.0, 0.0);
+        let q = Rect::from_bounds(-1.0, -0.5, 1.0, 0.5);
+        for n in 0..=10usize {
+            let ids: Vec<u32> = (0..n).map(|i| ((i * 7) % 10) as u32).collect();
+            let mut want_p = Vec::new();
+            rects_contain_point_scalar(&rects, &ids, p, &mut want_p);
+            let mut want_q = Vec::new();
+            rects_intersect_query_scalar(&rects, &ids, &q, &mut want_q);
+            for (i, &id) in ids.iter().enumerate() {
+                if id == 2 {
+                    assert!(!want_p[i] && !want_q[i], "NaN sentinel accepted");
+                }
+            }
+            for d in KernelDispatch::all_available() {
+                let mut got_p = Vec::new();
+                rects_contain_point(d, &rects, &ids, p, &mut got_p);
+                assert_eq!(got_p, want_p, "{d:?} point n={n}");
+                let mut got_q = Vec::new();
+                rects_intersect_query(d, &rects, &ids, &q, &mut got_q);
+                assert_eq!(got_q, want_q, "{d:?} window n={n}");
+            }
+        }
+    }
+}

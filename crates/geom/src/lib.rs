@@ -15,7 +15,10 @@
 //! * structural validators ([`validate`]) used by tests and the data
 //!   generator;
 //! * the execution plumbing shared by every join path ([`exec`]): the
-//!   `Sync` pair-consumer protocol and thread-count resolution.
+//!   `Sync` pair-consumer protocol and thread-count resolution;
+//! * runtime-dispatched wide kernels for the hot loops ([`kernels`]):
+//!   SoA MBR scans, MER fast-accept and probe masks, with a scalar
+//!   reference path selectable via [`KernelDispatch`].
 //!
 //! All coordinates are `f64`. Every region predicate in this workspace uses
 //! *closed* semantics: touching boundaries intersect and containment counts
@@ -25,6 +28,7 @@ pub mod calipers;
 pub mod clip;
 pub mod exec;
 pub mod hull;
+pub mod kernels;
 pub mod object;
 pub mod point;
 pub mod polygon;
@@ -39,6 +43,7 @@ pub use calipers::{min_area_rect, OrientedRect};
 pub use clip::{clip_convex, convex_intersect, convex_intersection_area, ring_area};
 pub use exec::{resolve_threads, FnConsumer, PairBatchBuffer, PairConsumer, PairSink};
 pub use hull::{convex_contains_point, convex_hull};
+pub use kernels::KernelDispatch;
 pub use object::{ObjectId, RelHandle, Relation, SpatialObject};
 pub use point::Point;
 pub use polygon::{Polygon, PolygonError, PolygonWithHoles};

@@ -8,6 +8,7 @@ use std::ops::{Add, Div, Mul, Neg, Sub};
 /// Coordinates are `f64`. The kernel treats points and vectors uniformly;
 /// operators are defined so that `b - a` is the vector from `a` to `b`.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Point {
     pub x: f64,
     pub y: f64,

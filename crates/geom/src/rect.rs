@@ -13,6 +13,7 @@ use crate::point::Point;
 /// are allowed because points and horizontal/vertical segments have such
 /// MBRs.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
 pub struct Rect {
     lo: Point,
     hi: Point,
@@ -132,12 +133,19 @@ impl Rect {
     ///
     /// This is the fundamental *rectangle intersection test* counted by the
     /// exact-geometry cost model (Table 6, weight 28).
+    ///
+    /// Branchless on purpose: all four comparisons are evaluated and
+    /// combined with non-short-circuiting `&`, so the compiled form is
+    /// four compares and three ANDs with no data-dependent branches —
+    /// the scalar seed the wide kernels in [`crate::kernels`] are
+    /// checked against. Each `<=` is `false` on NaN operands, so a
+    /// NaN-sentinel rectangle intersects nothing in either form.
     #[inline]
     pub fn intersects(&self, other: &Rect) -> bool {
-        self.lo.x <= other.hi.x
-            && other.lo.x <= self.hi.x
-            && self.lo.y <= other.hi.y
-            && other.lo.y <= self.hi.y
+        (self.lo.x <= other.hi.x)
+            & (other.lo.x <= self.hi.x)
+            & (self.lo.y <= other.hi.y)
+            & (other.lo.y <= self.hi.y)
     }
 
     /// Whether `p` lies in the closed rectangle (the *point-in-MBR test*).

@@ -193,3 +193,50 @@ proptest! {
         }
     }
 }
+
+/// Strategy: an f64 that is usually finite but sometimes NaN, ±inf,
+/// zero, or subnormal — the adversarial coordinate pool for the
+/// branchless-`intersects` agreement test.
+fn weird_f64_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -50.0f64..50.0,
+        -2.0f64..2.0,
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(0.0f64),
+        Just(-0.0f64),
+        Just(f64::MIN_POSITIVE / 2.0),
+    ]
+}
+
+proptest! {
+    /// The branchless `Rect::intersects` (non-short-circuiting `&`) must
+    /// agree with the old short-circuit `&&` chain on every input the
+    /// type can represent — NaN-sentinel, infinite, degenerate and
+    /// inverted-then-normalized bounds included. This is the scalar seed
+    /// the wide kernels are checked against.
+    #[test]
+    fn branchless_intersects_agrees_with_short_circuit_form(
+        ax0 in weird_f64_strategy(), ay0 in weird_f64_strategy(),
+        ax1 in weird_f64_strategy(), ay1 in weird_f64_strategy(),
+        bx0 in weird_f64_strategy(), by0 in weird_f64_strategy(),
+        bx1 in weird_f64_strategy(), by1 in weird_f64_strategy(),
+    ) {
+        // `from_bounds` accepts inverted corners (it normalizes them) and
+        // passes NaN through, so the constructed rects cover the
+        // NaN-sentinel and degenerate cases the filter columns contain.
+        let a = Rect::from_bounds(ax0, ay0, ax1, ay1);
+        let b = Rect::from_bounds(bx0, by0, bx1, by1);
+        let reference = a.xmin() <= b.xmax()
+            && b.xmin() <= a.xmax()
+            && a.ymin() <= b.ymax()
+            && b.ymin() <= a.ymax();
+        prop_assert_eq!(a.intersects(&b), reference);
+        prop_assert_eq!(b.intersects(&a), reference);
+        // A NaN-poisoned rect intersects nothing, itself included.
+        if ax0.is_nan() && ax1.is_nan() {
+            prop_assert!(!a.intersects(&a));
+        }
+    }
+}

@@ -38,6 +38,9 @@ pub struct Trace {
     pub candidates: u64,
     /// Result rows (pairs or selected objects).
     pub results: u64,
+    /// Kernel dispatch path the request's batched loops ran on
+    /// (`"scalar"` / `"sse2"` / `"avx2"`), chosen once per engine.
+    pub dispatch: &'static str,
     pub steps: TraceSteps,
 }
 
@@ -113,6 +116,7 @@ mod tests {
             latency_nanos: 100 + seq,
             candidates: 10,
             results: 5,
+            dispatch: "scalar",
             steps: TraceSteps::default(),
         }
     }

@@ -5,6 +5,7 @@
 
 use crate::grid::Grid;
 use crate::stats::PartitionStats;
+use msj_geom::kernels::{self, KernelDispatch};
 use msj_geom::{resolve_threads, ObjectId, PairBatchBuffer, PairConsumer, Rect};
 use msj_obs::{WorkerLane, WorkerTelemetry};
 
@@ -26,11 +27,54 @@ struct TileOutcome {
     dedup_skipped: u64,
 }
 
+/// Reusable sweep scratch: the wide-kernel hit list and the x-sorted
+/// rectangle columns of the current tile. One instance serves a whole
+/// tile loop (one per worker), so repacking never reallocates in steady
+/// state.
+#[derive(Debug, Default)]
+pub struct SweepScratch {
+    hits: Vec<u32>,
+    ax: Vec<f64>,
+    ay0: Vec<f64>,
+    ay1: Vec<f64>,
+    axm: Vec<f64>,
+    bx: Vec<f64>,
+    by0: Vec<f64>,
+    by1: Vec<f64>,
+    bxm: Vec<f64>,
+}
+
+impl SweepScratch {
+    fn repack(&mut self, side_a: &[(Rect, ObjectId)], side_b: &[(Rect, ObjectId)]) {
+        self.ax.clear();
+        self.ay0.clear();
+        self.ay1.clear();
+        self.axm.clear();
+        for (r, _) in side_a {
+            self.ax.push(r.xmin());
+            self.ay0.push(r.ymin());
+            self.ay1.push(r.ymax());
+            self.axm.push(r.xmax());
+        }
+        self.bx.clear();
+        self.by0.clear();
+        self.by1.clear();
+        self.bxm.clear();
+        for (r, _) in side_b {
+            self.bx.push(r.xmin());
+            self.by0.push(r.ymin());
+            self.by1.push(r.ymax());
+            self.bxm.push(r.xmax());
+        }
+    }
+}
+
 /// Forward plane sweep over one tile's two rectangle lists (already
 /// bucketed; sorted here by `xmin`), reporting intersecting pairs whose
 /// reference point lies in `tile`.
 ///
-/// Exposed for tests and benches; [`partition_join`] drives it per tile.
+/// Exposed for tests and benches; [`partition_join`] drives it per tile
+/// via [`tile_sweep_with`].
 pub fn tile_sweep(
     grid: &Grid,
     tile: usize,
@@ -38,46 +82,88 @@ pub fn tile_sweep(
     side_b: &mut [(Rect, ObjectId)],
     on_pair: &mut impl FnMut(ObjectId, ObjectId),
 ) -> (u64, u64) {
+    let mut scratch = SweepScratch::default();
+    tile_sweep_with(
+        KernelDispatch::auto(),
+        grid,
+        tile,
+        side_a,
+        side_b,
+        &mut scratch,
+        on_pair,
+    )
+}
+
+/// [`tile_sweep`] with an explicit kernel dispatch path and caller-owned
+/// scratch. After sorting, both sides are repacked into SoA columns and
+/// the inner x-overlapping runs execute as wide scans; the emitted pairs,
+/// their order, and both counters are byte-identical across paths.
+pub fn tile_sweep_with(
+    dispatch: KernelDispatch,
+    grid: &Grid,
+    tile: usize,
+    side_a: &mut [(Rect, ObjectId)],
+    side_b: &mut [(Rect, ObjectId)],
+    scratch: &mut SweepScratch,
+    on_pair: &mut impl FnMut(ObjectId, ObjectId),
+) -> (u64, u64) {
     let mut pair_tests = 0u64;
     let mut dedup_skipped = 0u64;
     side_a.sort_unstable_by(|p, q| p.0.xmin().partial_cmp(&q.0.xmin()).expect("finite xmin"));
     side_b.sort_unstable_by(|p, q| p.0.xmin().partial_cmp(&q.0.xmin()).expect("finite xmin"));
+    scratch.repack(side_a, side_b);
 
-    let mut emit = |ra: &Rect, ida: ObjectId, rb: &Rect, idb: ObjectId| {
-        // x-overlap is implied by the sweep; test y, then dedup on the
-        // reference point (the pair is replicated into every tile both
-        // rectangles overlap, but counts only where the lower-left corner
-        // of their intersection falls).
-        if ra.ymin() <= rb.ymax() && rb.ymin() <= ra.ymax() {
-            if grid.reference_tile(ra, rb) == tile {
-                on_pair(ida, idb);
-            } else {
-                dedup_skipped += 1;
-            }
-        }
-    };
-
+    // The kernel handles the x-break and the y-band test of each run; the
+    // reference-point dedup (the pair is replicated into every tile both
+    // rectangles overlap, but counts only where the lower-left corner of
+    // their intersection falls) stays scalar over the few survivors.
     let mut i = 0;
     let mut j = 0;
     while i < side_a.len() && j < side_b.len() {
-        if side_a[i].0.xmin() <= side_b[j].0.xmin() {
+        if scratch.ax[i] <= scratch.bx[j] {
             let (ra, ida) = side_a[i];
-            for &(rb, idb) in side_b[j..].iter() {
-                if rb.xmin() > ra.xmax() {
-                    break;
+            scratch.hits.clear();
+            pair_tests += kernels::sweep_scan(
+                dispatch,
+                scratch.axm[i],
+                scratch.ay0[i],
+                scratch.ay1[i],
+                &scratch.bx,
+                &scratch.by0,
+                &scratch.by1,
+                j,
+                &mut scratch.hits,
+            );
+            for &k in &scratch.hits {
+                let (rb, idb) = side_b[k as usize];
+                if grid.reference_tile(&ra, &rb) == tile {
+                    on_pair(ida, idb);
+                } else {
+                    dedup_skipped += 1;
                 }
-                pair_tests += 1;
-                emit(&ra, ida, &rb, idb);
             }
             i += 1;
         } else {
             let (rb, idb) = side_b[j];
-            for &(ra, ida) in side_a[i..].iter() {
-                if ra.xmin() > rb.xmax() {
-                    break;
+            scratch.hits.clear();
+            pair_tests += kernels::sweep_scan(
+                dispatch,
+                scratch.bxm[j],
+                scratch.by0[j],
+                scratch.by1[j],
+                &scratch.ax,
+                &scratch.ay0,
+                &scratch.ay1,
+                i,
+                &mut scratch.hits,
+            );
+            for &k in &scratch.hits {
+                let (ra, ida) = side_a[k as usize];
+                if grid.reference_tile(&ra, &rb) == tile {
+                    on_pair(ida, idb);
+                } else {
+                    dedup_skipped += 1;
                 }
-                pair_tests += 1;
-                emit(&ra, ida, &rb, idb);
             }
             j += 1;
         }
@@ -153,6 +239,25 @@ pub fn partition_join<F: FnMut(ObjectId, ObjectId)>(
     b: &[(Rect, ObjectId)],
     tiles_per_axis: usize,
     threads: usize,
+    on_pair: F,
+) -> PartitionStats {
+    partition_join_with(
+        KernelDispatch::auto(),
+        a,
+        b,
+        tiles_per_axis,
+        threads,
+        on_pair,
+    )
+}
+
+/// [`partition_join`] with an explicit kernel dispatch path.
+pub fn partition_join_with<F: FnMut(ObjectId, ObjectId)>(
+    dispatch: KernelDispatch,
+    a: &[(Rect, ObjectId)],
+    b: &[(Rect, ObjectId)],
+    tiles_per_axis: usize,
+    threads: usize,
     mut on_pair: F,
 ) -> PartitionStats {
     let threads = resolve_threads(threads);
@@ -174,12 +279,15 @@ pub fn partition_join<F: FnMut(ObjectId, ObjectId)>(
     results.resize_with(tile_count, TileResult::default);
 
     if workers <= 1 {
+        let mut scratch = SweepScratch::default();
         for (tile, result) in results.iter_mut().enumerate() {
             run_tile(
+                dispatch,
                 &prep.grid,
                 tile,
                 &mut prep.buckets_a[tile],
                 &mut prep.buckets_b[tile],
+                &mut scratch,
                 result,
             );
         }
@@ -203,8 +311,17 @@ pub fn partition_join<F: FnMut(ObjectId, ObjectId)>(
                 .into_iter()
                 .map(|own| {
                     scope.spawn(move || {
+                        let mut scratch = SweepScratch::default();
                         for (tile, result, bucket_a, bucket_b) in own {
-                            run_tile(grid, tile, bucket_a, bucket_b, result);
+                            run_tile(
+                                dispatch,
+                                grid,
+                                tile,
+                                bucket_a,
+                                bucket_b,
+                                &mut scratch,
+                                result,
+                            );
                         }
                     })
                 })
@@ -285,6 +402,31 @@ pub fn partition_join_workers_observed(
     consumer: &dyn PairConsumer,
     telemetry: Option<&WorkerTelemetry>,
 ) -> PartitionStats {
+    partition_join_workers_observed_with(
+        KernelDispatch::auto(),
+        a,
+        b,
+        tiles_per_axis,
+        workers,
+        batch,
+        consumer,
+        telemetry,
+    )
+}
+
+/// [`partition_join_workers_observed`] with an explicit kernel dispatch
+/// path.
+#[allow(clippy::too_many_arguments)]
+pub fn partition_join_workers_observed_with(
+    dispatch: KernelDispatch,
+    a: &[(Rect, ObjectId)],
+    b: &[(Rect, ObjectId)],
+    tiles_per_axis: usize,
+    workers: usize,
+    batch: usize,
+    consumer: &dyn PairConsumer,
+    telemetry: Option<&WorkerTelemetry>,
+) -> PartitionStats {
     let workers = resolve_threads(workers);
     let Some(mut prep) = prepare(a, b, tiles_per_axis) else {
         return PartitionStats::empty(tiles_per_axis, 1);
@@ -297,13 +439,22 @@ pub fn partition_join_workers_observed(
         let lane = telemetry.map(|t| t.backend_lane(0));
         let mut sink = consumer.attach();
         let mut buffer = PairBatchBuffer::new(&mut *sink, batch);
+        let mut scratch = SweepScratch::default();
         for (tile, (bucket_a, bucket_b)) in prep
             .buckets_a
             .iter_mut()
             .zip(prep.buckets_b.iter_mut())
             .enumerate()
         {
-            let outcome = sweep_into(&prep.grid, tile, bucket_a, bucket_b, &mut buffer);
+            let outcome = sweep_into(
+                dispatch,
+                &prep.grid,
+                tile,
+                bucket_a,
+                bucket_b,
+                &mut scratch,
+                &mut buffer,
+            );
             buffer.flush(); // tile boundary
             observe_tile(lane, &outcome);
             outcomes.push(outcome);
@@ -329,10 +480,18 @@ pub fn partition_join_workers_observed(
                         let lane = telemetry.map(|t| t.backend_lane(w));
                         let mut sink = consumer.attach();
                         let mut buffer = PairBatchBuffer::new(&mut *sink, batch);
+                        let mut scratch = SweepScratch::default();
                         own.into_iter()
                             .map(|(tile, bucket_a, bucket_b)| {
-                                let outcome =
-                                    sweep_into(grid, tile, bucket_a, bucket_b, &mut buffer);
+                                let outcome = sweep_into(
+                                    dispatch,
+                                    grid,
+                                    tile,
+                                    bucket_a,
+                                    bucket_b,
+                                    &mut scratch,
+                                    &mut buffer,
+                                );
                                 buffer.flush(); // tile boundary
                                 observe_tile(lane, &outcome);
                                 outcome
@@ -363,20 +522,30 @@ pub fn partition_join_workers_observed(
 /// Sweeps one tile directly into a worker's sink, returning the tile's
 /// counters.
 fn sweep_into(
+    dispatch: KernelDispatch,
     grid: &Grid,
     tile: usize,
     bucket_a: &mut [(Rect, ObjectId)],
     bucket_b: &mut [(Rect, ObjectId)],
+    scratch: &mut SweepScratch,
     sink: &mut dyn msj_geom::PairSink,
 ) -> TileOutcome {
     let mut candidates = 0u64;
     let (pair_tests, dedup_skipped) = if bucket_a.is_empty() || bucket_b.is_empty() {
         (0, 0)
     } else {
-        tile_sweep(grid, tile, bucket_a, bucket_b, &mut |x, y| {
-            candidates += 1;
-            sink.pair(x, y);
-        })
+        tile_sweep_with(
+            dispatch,
+            grid,
+            tile,
+            bucket_a,
+            bucket_b,
+            scratch,
+            &mut |x, y| {
+                candidates += 1;
+                sink.pair(x, y);
+            },
+        )
     };
     TileOutcome {
         tile,
@@ -390,18 +559,22 @@ fn sweep_into(
 /// pair-collecting sink, so both drivers share one sweep-and-account
 /// implementation.
 fn run_tile(
+    dispatch: KernelDispatch,
     grid: &Grid,
     tile: usize,
     bucket_a: &mut [(Rect, ObjectId)],
     bucket_b: &mut [(Rect, ObjectId)],
+    scratch: &mut SweepScratch,
     result: &mut TileResult,
 ) {
     let mut pairs = Vec::new();
     let outcome = sweep_into(
+        dispatch,
         grid,
         tile,
         bucket_a,
         bucket_b,
+        scratch,
         &mut |x: ObjectId, y: ObjectId| pairs.push((x, y)),
     );
     *result = TileResult {
@@ -585,6 +758,25 @@ mod tests {
             let mut got = Vec::new();
             partition_join(&a, &b, 4, threads, |x, y| got.push((x, y)));
             assert_eq!(got, first, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn every_dispatch_path_emits_identical_pairs_and_stats() {
+        // Large rectangles force replication + dedup; odd counts hit the
+        // kernel tails.
+        let a = grid_items(7, 0.0, 23.0);
+        let b = grid_items(7, 9.0, 23.0);
+        type Cell = (Vec<(ObjectId, ObjectId)>, u64, u64);
+        let mut reference: Option<Cell> = None;
+        for d in KernelDispatch::all_available() {
+            let mut got = Vec::new();
+            let stats = partition_join_with(d, &a, &b, 5, 2, |x, y| got.push((x, y)));
+            let cell = (got, stats.pair_tests, stats.dedup_skipped);
+            match &reference {
+                None => reference = Some(cell),
+                Some(want) => assert_eq!(&cell, want, "dispatch {}", d.label()),
+            }
         }
     }
 

@@ -37,6 +37,7 @@ pub mod stats;
 
 pub use grid::{Grid, GridIndex};
 pub use join::{
-    partition_join, partition_join_workers, partition_join_workers_observed, tile_sweep,
+    partition_join, partition_join_with, partition_join_workers, partition_join_workers_observed,
+    partition_join_workers_observed_with, tile_sweep, tile_sweep_with, SweepScratch,
 };
 pub use stats::PartitionStats;

@@ -6,6 +6,7 @@
 
 use crate::buffer::{IoStats, LruBuffer};
 use crate::rstar::{Entry, RStarTree};
+use msj_geom::kernels::{self, KernelDispatch};
 use msj_geom::ObjectId;
 
 /// Statistics of one MBR-join execution.
@@ -31,6 +32,19 @@ pub fn tree_join<F: FnMut(ObjectId, ObjectId)>(
     a: &RStarTree,
     b: &RStarTree,
     buffer: &mut LruBuffer,
+    on_pair: F,
+) -> JoinStats {
+    tree_join_with(KernelDispatch::auto(), a, b, buffer, on_pair)
+}
+
+/// [`tree_join`] with an explicit kernel dispatch path. The candidate
+/// stream and every statistic are byte-identical across paths; only the
+/// instruction mix differs.
+pub fn tree_join_with<F: FnMut(ObjectId, ObjectId)>(
+    dispatch: KernelDispatch,
+    a: &RStarTree,
+    b: &RStarTree,
+    buffer: &mut LruBuffer,
     mut on_pair: F,
 ) -> JoinStats {
     let mut stats = JoinStats::default();
@@ -38,7 +52,20 @@ pub fn tree_join<F: FnMut(ObjectId, ObjectId)>(
     if a.is_empty() || b.is_empty() || !a.root_rect().intersects(&b.root_rect()) {
         return stats;
     }
+    let mut ctx = TraversalCtx {
+        dispatch,
+        hits: Vec::new(),
+        ax: Vec::new(),
+        ay0: Vec::new(),
+        ay1: Vec::new(),
+        axm: Vec::new(),
+        bx: Vec::new(),
+        by0: Vec::new(),
+        by1: Vec::new(),
+        bxm: Vec::new(),
+    };
     join_nodes(
+        &mut ctx,
         a,
         a.root_page(),
         b,
@@ -55,7 +82,25 @@ pub fn tree_join<F: FnMut(ObjectId, ObjectId)>(
     stats
 }
 
+/// Reusable scratch for the kernel-driven traversal: the hit-index list
+/// and the x-sorted entry columns of the current node pair (xmin, ymin,
+/// ymax, xmax per side). One allocation set serves the whole join.
+struct TraversalCtx {
+    dispatch: KernelDispatch,
+    hits: Vec<u32>,
+    ax: Vec<f64>,
+    ay0: Vec<f64>,
+    ay1: Vec<f64>,
+    axm: Vec<f64>,
+    bx: Vec<f64>,
+    by0: Vec<f64>,
+    by1: Vec<f64>,
+    bxm: Vec<f64>,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn join_nodes<F: FnMut(ObjectId, ObjectId)>(
+    ctx: &mut TraversalCtx,
     a: &RStarTree,
     pa: u32,
     b: &RStarTree,
@@ -68,33 +113,43 @@ fn join_nodes<F: FnMut(ObjectId, ObjectId)>(
     let lb = b.node_level(pb);
 
     // Unequal levels (trees of different height): descend the deeper side
-    // against the whole other node.
+    // against the whole other node. Directory nodes hold only `Dir`
+    // entries (a tree invariant), so pruning runs branchless over the
+    // node's SoA columns and every entry counts as one MBR test.
     if la > lb {
         buffer.access(a.page_id(pa));
         let rect_b = b.node_rect(pb);
-        for e in a.node_entries(pa) {
-            let Entry::Dir { rect, child } = e else {
+        let (xmin, ymin, xmax, ymax) = a.entry_soa().node_columns(pa);
+        stats.mbr_tests += xmin.len() as u64;
+        let mut hits = std::mem::take(&mut ctx.hits);
+        hits.clear();
+        kernels::rects_vs_rect(ctx.dispatch, &rect_b, xmin, ymin, xmax, ymax, &mut hits);
+        let entries = a.node_entries(pa);
+        for &k in &hits {
+            let Entry::Dir { child, .. } = entries[k as usize] else {
                 continue;
             };
-            stats.mbr_tests += 1;
-            if rect.intersects(&rect_b) {
-                join_nodes(a, *child, b, pb, buffer, stats, on_pair);
-            }
+            join_nodes(ctx, a, child, b, pb, buffer, stats, on_pair);
         }
+        ctx.hits = hits;
         return;
     }
     if lb > la {
         buffer.access(b.page_id(pb));
         let rect_a = a.node_rect(pa);
-        for e in b.node_entries(pb) {
-            let Entry::Dir { rect, child } = e else {
+        let (xmin, ymin, xmax, ymax) = b.entry_soa().node_columns(pb);
+        stats.mbr_tests += xmin.len() as u64;
+        let mut hits = std::mem::take(&mut ctx.hits);
+        hits.clear();
+        kernels::rects_vs_rect(ctx.dispatch, &rect_a, xmin, ymin, xmax, ymax, &mut hits);
+        let entries = b.node_entries(pb);
+        for &k in &hits {
+            let Entry::Dir { child, .. } = entries[k as usize] else {
                 continue;
             };
-            stats.mbr_tests += 1;
-            if rect.intersects(&rect_a) {
-                join_nodes(a, pa, b, *child, buffer, stats, on_pair);
-            }
+            join_nodes(ctx, a, pa, b, child, buffer, stats, on_pair);
         }
+        ctx.hits = hits;
         return;
     }
 
@@ -106,21 +161,21 @@ fn join_nodes<F: FnMut(ObjectId, ObjectId)>(
         return;
     };
 
-    // Search-space restriction (one window test per entry).
-    let mut ea: Vec<&Entry> = Vec::new();
-    for e in a.node_entries(pa) {
-        stats.restriction_tests += 1;
-        if e.rect().intersects(&window) {
-            ea.push(e);
-        }
-    }
-    let mut eb: Vec<&Entry> = Vec::new();
-    for e in b.node_entries(pb) {
-        stats.restriction_tests += 1;
-        if e.rect().intersects(&window) {
-            eb.push(e);
-        }
-    }
+    // Search-space restriction (one window test per entry), wide over the
+    // per-node SoA columns; the surviving indices select the entries.
+    let entries_a = a.node_entries(pa);
+    let (xmin, ymin, xmax, ymax) = a.entry_soa().node_columns(pa);
+    stats.restriction_tests += xmin.len() as u64;
+    ctx.hits.clear();
+    kernels::rects_vs_rect(ctx.dispatch, &window, xmin, ymin, xmax, ymax, &mut ctx.hits);
+    let mut ea: Vec<&Entry> = ctx.hits.iter().map(|&k| &entries_a[k as usize]).collect();
+
+    let entries_b = b.node_entries(pb);
+    let (xmin, ymin, xmax, ymax) = b.entry_soa().node_columns(pb);
+    stats.restriction_tests += xmin.len() as u64;
+    ctx.hits.clear();
+    kernels::rects_vs_rect(ctx.dispatch, &window, xmin, ymin, xmax, ymax, &mut ctx.hits);
+    let mut eb: Vec<&Entry> = ctx.hits.iter().map(|&k| &entries_b[k as usize]).collect();
 
     // Plane-sweep order: sort by xmin, then match x-overlapping runs and
     // test only the y-axis.
@@ -137,18 +192,73 @@ fn join_nodes<F: FnMut(ObjectId, ObjectId)>(
             .expect("finite")
     });
 
+    // Repack both sorted sides into sweep columns so the inner runs are
+    // a wide scan instead of per-entry pointer chasing.
+    ctx.ax.clear();
+    ctx.ay0.clear();
+    ctx.ay1.clear();
+    ctx.axm.clear();
+    for e in &ea {
+        let r = e.rect();
+        ctx.ax.push(r.xmin());
+        ctx.ay0.push(r.ymin());
+        ctx.ay1.push(r.ymax());
+        ctx.axm.push(r.xmax());
+    }
+    ctx.bx.clear();
+    ctx.by0.clear();
+    ctx.by1.clear();
+    ctx.bxm.clear();
+    for e in &eb {
+        let r = e.rect();
+        ctx.bx.push(r.xmin());
+        ctx.by0.push(r.ymin());
+        ctx.by1.push(r.ymax());
+        ctx.bxm.push(r.xmax());
+    }
+
     let mut i = 0;
     let mut j = 0;
     let mut matches: Vec<(Entry, Entry)> = Vec::new();
     while i < ea.len() && j < eb.len() {
-        if ea[i].rect().xmin() <= eb[j].rect().xmin() {
-            sweep_run(ea[i], &eb, j, stats, &mut matches, false);
+        if ctx.ax[i] <= ctx.bx[j] {
+            ctx.hits.clear();
+            stats.mbr_tests += kernels::sweep_scan(
+                ctx.dispatch,
+                ctx.axm[i],
+                ctx.ay0[i],
+                ctx.ay1[i],
+                &ctx.bx,
+                &ctx.by0,
+                &ctx.by1,
+                j,
+                &mut ctx.hits,
+            );
+            for &k in &ctx.hits {
+                matches.push((*ea[i], *eb[k as usize]));
+            }
             i += 1;
         } else {
-            sweep_run(eb[j], &ea, i, stats, &mut matches, true);
+            ctx.hits.clear();
+            stats.mbr_tests += kernels::sweep_scan(
+                ctx.dispatch,
+                ctx.bxm[j],
+                ctx.by0[j],
+                ctx.by1[j],
+                &ctx.ax,
+                &ctx.ay0,
+                &ctx.ay1,
+                i,
+                &mut ctx.hits,
+            );
+            for &k in &ctx.hits {
+                matches.push((*ea[k as usize], *eb[j]));
+            }
             j += 1;
         }
     }
+    drop(ea);
+    drop(eb);
 
     if la == 0 {
         for (x, y) in matches {
@@ -163,35 +273,7 @@ fn join_nodes<F: FnMut(ObjectId, ObjectId)>(
             let (Entry::Dir { child: ca, .. }, Entry::Dir { child: cb, .. }) = (x, y) else {
                 continue;
             };
-            join_nodes(a, ca, b, cb, buffer, stats, on_pair);
-        }
-    }
-}
-
-/// Matches one entry against the x-overlapping run of the other sorted
-/// list starting at `from`. Only the y-overlap is tested (x-overlap is
-/// implied by the sweep); each test counts as an MBR test.
-fn sweep_run(
-    e: &Entry,
-    others: &[&Entry],
-    from: usize,
-    stats: &mut JoinStats,
-    matches: &mut Vec<(Entry, Entry)>,
-    swapped: bool,
-) {
-    let r = e.rect();
-    for other in others.iter().skip(from) {
-        let o = other.rect();
-        if o.xmin() > r.xmax() {
-            break;
-        }
-        stats.mbr_tests += 1;
-        if r.ymin() <= o.ymax() && o.ymin() <= r.ymax() {
-            if swapped {
-                matches.push((**other, *e));
-            } else {
-                matches.push((*e, **other));
-            }
+            join_nodes(ctx, a, ca, b, cb, buffer, stats, on_pair);
         }
     }
 }
@@ -226,6 +308,28 @@ pub fn tree_join_chunked_observed<F: FnMut(Vec<(ObjectId, ObjectId)>)>(
     buffer: &mut LruBuffer,
     chunk_capacity: usize,
     lane: Option<&msj_obs::WorkerLane>,
+    on_chunk: F,
+) -> JoinStats {
+    tree_join_chunked_observed_with(
+        KernelDispatch::auto(),
+        a,
+        b,
+        buffer,
+        chunk_capacity,
+        lane,
+        on_chunk,
+    )
+}
+
+/// [`tree_join_chunked_observed`] with an explicit kernel dispatch path.
+#[allow(clippy::too_many_arguments)]
+pub fn tree_join_chunked_observed_with<F: FnMut(Vec<(ObjectId, ObjectId)>)>(
+    dispatch: KernelDispatch,
+    a: &RStarTree,
+    b: &RStarTree,
+    buffer: &mut LruBuffer,
+    chunk_capacity: usize,
+    lane: Option<&msj_obs::WorkerLane>,
     mut on_chunk: F,
 ) -> JoinStats {
     let chunk_capacity = chunk_capacity.max(1);
@@ -238,7 +342,7 @@ pub fn tree_join_chunked_observed<F: FnMut(Vec<(ObjectId, ObjectId)>)>(
         on_chunk(chunk);
     };
     let mut chunk: Vec<(ObjectId, ObjectId)> = Vec::with_capacity(chunk_capacity);
-    let stats = tree_join(a, b, buffer, |id_a, id_b| {
+    let stats = tree_join_with(dispatch, a, b, buffer, |id_a, id_b| {
         chunk.push((id_a, id_b));
         if chunk.len() == chunk_capacity {
             let full = std::mem::replace(&mut chunk, Vec::with_capacity(chunk_capacity));
@@ -427,6 +531,31 @@ mod tests {
             stats.mbr_tests,
             quadratic
         );
+    }
+
+    #[test]
+    fn every_dispatch_path_streams_identical_candidates_and_stats() {
+        let ia = grid_items(9, 0.0);
+        let ib = grid_items(9, 4.0);
+        let ta = build(&ia, 384);
+        let tb = build(&ib, 512); // unequal heights exercise dir pruning
+        type Cell = (Vec<(ObjectId, ObjectId)>, u64, u64, u64);
+        let mut reference: Option<Cell> = None;
+        for d in KernelDispatch::all_available() {
+            let mut buffer = LruBuffer::new(4096);
+            let mut got = Vec::new();
+            let stats = tree_join_with(d, &ta, &tb, &mut buffer, |x, y| got.push((x, y)));
+            let cell = (
+                got,
+                stats.candidates,
+                stats.mbr_tests,
+                stats.restriction_tests,
+            );
+            match &reference {
+                None => reference = Some(cell),
+                Some(want) => assert_eq!(&cell, want, "dispatch {}", d.label()),
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::buffer::{LruBuffer, PageId};
 use msj_geom::{ObjectId, Point, Rect};
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
 
 /// Page / entry byte layout (§3.4: "each description of an object stored
 /// in an R*-tree needs 16 Byte for the MBR, ... and 32 Byte for additional
@@ -104,6 +105,60 @@ pub struct RStarTree {
     /// Globally unique tag namespacing this tree's pages in shared
     /// buffers.
     tag: u32,
+    /// Lazily built per-node SoA repack of the entry MBRs, consumed by the
+    /// wide join kernels. Invalidated on every mutation; rebuilding is one
+    /// linear pass over the arena.
+    soa: OnceLock<EntrySoa>,
+}
+
+/// Structure-of-arrays view of every node's entry rectangles: four f64
+/// columns per node (xmin/ymin/xmax/ymax), sliced by node via `offsets`.
+/// The column order within a node matches the node's entry order, so a
+/// column index is directly an index into [`RStarTree::node_entries`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EntrySoa {
+    offsets: Vec<u32>,
+    xmin: Vec<f64>,
+    ymin: Vec<f64>,
+    xmax: Vec<f64>,
+    ymax: Vec<f64>,
+}
+
+impl EntrySoa {
+    fn build(nodes: &[Node]) -> Self {
+        let total: usize = nodes.iter().map(|n| n.entries.len()).sum();
+        let mut soa = EntrySoa {
+            offsets: Vec::with_capacity(nodes.len() + 1),
+            xmin: Vec::with_capacity(total),
+            ymin: Vec::with_capacity(total),
+            xmax: Vec::with_capacity(total),
+            ymax: Vec::with_capacity(total),
+        };
+        soa.offsets.push(0);
+        for n in nodes {
+            for e in &n.entries {
+                let r = e.rect();
+                soa.xmin.push(r.xmin());
+                soa.ymin.push(r.ymin());
+                soa.xmax.push(r.xmax());
+                soa.ymax.push(r.ymax());
+            }
+            soa.offsets.push(soa.xmin.len() as u32);
+        }
+        soa
+    }
+
+    /// The four MBR columns of one node, in entry order.
+    pub(crate) fn node_columns(&self, node: u32) -> (&[f64], &[f64], &[f64], &[f64]) {
+        let lo = self.offsets[node as usize] as usize;
+        let hi = self.offsets[node as usize + 1] as usize;
+        (
+            &self.xmin[lo..hi],
+            &self.ymin[lo..hi],
+            &self.xmax[lo..hi],
+            &self.ymax[lo..hi],
+        )
+    }
 }
 
 impl RStarTree {
@@ -120,6 +175,7 @@ impl RStarTree {
             root: 0,
             len: 0,
             tag: TREE_TAG.fetch_add(1, Ordering::Relaxed),
+            soa: OnceLock::new(),
         }
     }
 
@@ -181,6 +237,7 @@ impl RStarTree {
             root: 0,
             len,
             tag: TREE_TAG.fetch_add(1, Ordering::Relaxed),
+            soa: OnceLock::new(),
         };
 
         // Pack the leaf level from the raw keys.
@@ -302,6 +359,7 @@ impl RStarTree {
 
     /// Inserts one object key.
     pub fn insert(&mut self, rect: Rect, id: ObjectId) {
+        self.soa = OnceLock::new();
         let mut reinserted = [false; 32];
         self.insert_entry(Entry::Leaf { rect, id }, 0, &mut reinserted);
         self.len += 1;
@@ -315,6 +373,7 @@ impl RStarTree {
     /// at their original level; a root with a single directory entry is
     /// shortened.
     pub fn delete(&mut self, rect: Rect, id: ObjectId) -> bool {
+        self.soa = OnceLock::new();
         let Some(leaf) = self.find_leaf(self.root, rect, id) else {
             return false;
         };
@@ -716,6 +775,12 @@ impl RStarTree {
 
     pub(crate) fn node_entries(&self, node: u32) -> &[Entry] {
         &self.nodes[node as usize].entries
+    }
+
+    /// The lazily built SoA repack of all entry MBRs (see [`EntrySoa`]).
+    /// First call after a mutation pays one linear rebuild pass.
+    pub(crate) fn entry_soa(&self) -> &EntrySoa {
+        self.soa.get_or_init(|| EntrySoa::build(&self.nodes))
     }
 
     /// Structural invariant checks (used by tests): entry capacities,
