@@ -571,6 +571,41 @@ impl RasterStore {
     pub fn interval_count(&self) -> usize {
         self.intervals.len()
     }
+
+    /// FNV-1a checksum over the whole store — grid geometry, offset
+    /// table, and interval arena. Recorded when the store is built and
+    /// re-verified before a join trusts the Step-2a pre-filter; a
+    /// mismatch means corrupted signatures, and the engine falls back to
+    /// the filter-only path rather than risk wrong join answers.
+    pub fn checksum(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut byte = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        };
+        for word in [self.grid.bits() as u64, self.offsets.len() as u64] {
+            for b in word.to_le_bytes() {
+                byte(b);
+            }
+        }
+        for &off in &self.offsets {
+            for b in off.to_le_bytes() {
+                byte(b);
+            }
+        }
+        for iv in &self.intervals {
+            for b in iv.start().to_le_bytes() {
+                byte(b);
+            }
+            for b in iv.end().to_le_bytes() {
+                byte(b);
+            }
+            byte(iv.is_full() as u8);
+        }
+        h
+    }
 }
 
 /// Auto-sizes `grid_bits` from the workload, following the §5 cost-model

@@ -12,6 +12,7 @@ pub mod fused;
 pub mod kernels;
 pub mod partitioned;
 pub mod raster;
+pub mod robustness;
 pub mod serving;
 pub mod storage;
 pub mod total;
@@ -260,6 +261,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "kernels",
             description: "vectorized hot-path kernels: per-dispatch microbenchmarks",
             run: kernels::kernels,
+        },
+        Experiment {
+            id: "robustness",
+            description: "failure story: cancellation latency and fault-hook overhead",
+            run: robustness::robustness,
         },
     ]
 }

@@ -28,11 +28,16 @@
 //!   identical canonically sorted response set.
 //!
 //! Throughput fields are **omitted** when the corresponding stage did
-//! not run in a cell (schema `msj-bench-pr7`; earlier schemas emitted a
+//! not run in a cell (schema `msj-bench-pr8`; earlier schemas emitted a
 //! misleading `0`). Since PR 7 the document also carries the `kernels`
 //! section: the vectorized hot-path kernels (sweep / MER-accept /
 //! raster-decide) measured per dispatch path, scalar vs wide, with
-//! cross-path output digests asserted equal.
+//! cross-path output digests asserted equal. Since PR 8 the top-level
+//! `"robustness"` object reports the failure story: the time-to-error of
+//! a join issued with a deadline at 50% of its §5 estimate (overshoot
+//! bounded by 2× one batch's wall-clock) and the overhead of the
+//! fault-injection hooks, upper-bounded by an armed-but-never-firing run
+//! against the disabled default and asserted < 1% on the fused ×4 join.
 //!
 //! No serde in this workspace (offline vendored deps only), so the JSON
 //! is emitted by hand — flat records, numbers and strings only.
@@ -40,6 +45,7 @@
 use crate::baseline::PreparedBaseline;
 use crate::experiments::kernels::{measure_kernels, KernelCell};
 use crate::experiments::raster::{resolved_grid_bits, response_digest, SWEEP};
+use crate::experiments::robustness::measure_robustness;
 use crate::experiments::serving::{serving_queries, SERVING_JOIN_RUNS, SERVING_PREPARE_QUERIES};
 use crate::experiments::ExpConfig;
 use crate::timing::timed;
@@ -221,7 +227,15 @@ fn join_record(
 }
 
 /// The sections a [`bench_json_only`] filter can select.
-pub const SECTIONS: [&str; 6] = ["step1", "join", "raster", "serving", "kernels", "obs"];
+pub const SECTIONS: [&str; 7] = [
+    "step1",
+    "join",
+    "raster",
+    "serving",
+    "kernels",
+    "obs",
+    "robustness",
+];
 
 /// Runs the full measurement matrix and renders the JSON document.
 pub fn bench_json(cfg: &ExpConfig) -> String {
@@ -456,7 +470,40 @@ pub fn bench_json_only(cfg: &ExpConfig, only: Option<&str>) -> String {
     // Observability: engine snapshot + the always-on overhead guard.
     let obs = want("obs").then(|| obs_section(&a, &b));
 
-    render(cfg, &a, &b, &records, obs.as_deref())
+    // Robustness: deadline time-to-error + fault-hook overhead guard.
+    let robustness = want("robustness").then(|| robustness_section(cfg));
+
+    render(cfg, &a, &b, &records, obs.as_deref(), robustness.as_deref())
+}
+
+/// The `"robustness"` payload: the PR-8 failure-story measurements
+/// (cancellation latency against a 50%-of-estimate deadline, and the
+/// armed-vs-disabled fault-hook overhead guard).
+fn robustness_section(cfg: &ExpConfig) -> String {
+    let m = measure_robustness(cfg);
+    format!(
+        concat!(
+            "{{\"deadline\":{{\"estimated_millis\":{:.3},\"from_history\":{},",
+            "\"deadline_millis\":{:.3},\"time_to_error_millis\":{:.3},",
+            "\"overshoot_millis\":{:.3},\"batch_wall_millis\":{:.3},",
+            "\"batches\":{},\"partial_candidates\":{},\"guard_enforced\":{}}},",
+            "\"fault_hooks\":{{\"disabled_millis\":{:.3},\"armed_millis\":{:.3},",
+            "\"overhead_fraction\":{:.4},\"guard_enforced\":{}}}}}"
+        ),
+        m.estimated_millis,
+        m.from_history,
+        m.deadline_millis,
+        m.time_to_error_millis,
+        m.overshoot_millis,
+        m.batch_wall_millis,
+        m.batches,
+        m.partial_candidates,
+        m.deadline_guard_enforced,
+        m.disabled_millis,
+        m.armed_millis,
+        m.hook_overhead_fraction,
+        m.hook_guard_enforced,
+    )
 }
 
 /// (p50, p90, p99) per-query latency in microseconds for one request
@@ -730,10 +777,11 @@ fn render(
     b: &Relation,
     records: &[Record],
     obs: Option<&str>,
+    robustness: Option<&str>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"msj-bench-pr7\",\n");
+    out.push_str("  \"schema\": \"msj-bench-pr8\",\n");
     out.push_str("  \"workload\": \"skewed_carto\",\n");
     out.push_str(&format!("  \"objects_a\": {},\n", a.len()));
     out.push_str(&format!("  \"objects_b\": {},\n", b.len()));
@@ -744,6 +792,9 @@ fn render(
     );
     if let Some(obs) = obs {
         out.push_str(&format!("  \"obs\": {obs},\n"));
+    }
+    if let Some(robustness) = robustness {
+        out.push_str(&format!("  \"robustness\": {robustness},\n"));
     }
     out.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -771,8 +822,11 @@ mod tests {
         };
         let json = bench_json(&cfg);
         for needle in [
-            "\"schema\": \"msj-bench-pr7\"",
+            "\"schema\": \"msj-bench-pr8\"",
             "\"obs\": {",
+            "\"robustness\": {",
+            "\"time_to_error_millis\":",
+            "\"fault_hooks\":",
             "\"overhead_fraction\":",
             "\"guard_enforced\":",
             "\"msj-obs-v1\"",
@@ -923,6 +977,35 @@ mod tests {
                 assert!(line.contains("\"speedup_vs_scalar\":1.000"), "{line}");
             }
         }
+    }
+
+    #[test]
+    fn robustness_section_reports_deadline_and_hook_guard() {
+        let cfg = ExpConfig {
+            seed: 17,
+            scale: Scale::Quick,
+        };
+        let json = bench_json_only(&cfg, Some("robustness"));
+        assert!(json.contains("\"robustness\": {"));
+        for needle in [
+            "\"deadline\":{",
+            "\"estimated_millis\":",
+            "\"deadline_millis\":",
+            "\"time_to_error_millis\":",
+            "\"overshoot_millis\":",
+            "\"batch_wall_millis\":",
+            "\"partial_candidates\":",
+            "\"fault_hooks\":{",
+            "\"disabled_millis\":",
+            "\"armed_millis\":",
+            "\"overhead_fraction\":",
+            "\"guard_enforced\":",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Only the robustness payload — no measurement records.
+        assert!(!json.contains("\"experiment\":"));
+        assert!(!json.contains("\"obs\": {"));
     }
 
     #[test]

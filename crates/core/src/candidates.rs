@@ -19,12 +19,13 @@
 
 use crate::config::{Backend, JoinConfig, TreeLoader, DEFAULT_BATCH_PAIRS};
 use msj_geom::{
-    FnConsumer, KernelDispatch, ObjectId, PairBatchBuffer, PairConsumer, Point, Rect, RelHandle,
-    Relation,
+    CancelToken, FnConsumer, KernelDispatch, ObjectId, PairBatchBuffer, PairConsumer, Point, Rect,
+    RelHandle, Relation,
 };
 use msj_obs::WorkerTelemetry;
 use msj_partition::{
-    partition_join_with, partition_join_workers_observed_with, GridIndex, PartitionStats,
+    partition_join_cancellable_with, partition_join_workers_observed_with, GridIndex,
+    PartitionStats,
 };
 use msj_sam::{tree_join_chunked_observed_with, JoinStats, LruBuffer, PageLayout, RStarTree};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -159,6 +160,24 @@ pub trait CandidateSource: Send + Sync {
     ) -> Step1Stats {
         let _ = telemetry;
         self.join_candidates(consumer, workers)
+    }
+
+    /// [`join_candidates_observed`](CandidateSource::join_candidates_observed)
+    /// with an optional cooperative [`CancelToken`]: backends that honor
+    /// it stop delivering candidates at their next batch/tile boundary
+    /// once the token reads cancelled, reporting the partial counts
+    /// accumulated so far. The default implementation ignores the token
+    /// (delivery simply runs to completion), so third-party sources keep
+    /// compiling unchanged.
+    fn join_candidates_controlled(
+        &self,
+        consumer: &dyn PairConsumer,
+        workers: usize,
+        telemetry: Option<&WorkerTelemetry>,
+        cancel: Option<&CancelToken>,
+    ) -> Step1Stats {
+        let _ = cancel;
+        self.join_candidates_observed(consumer, workers, telemetry)
     }
 
     /// Appends every id of the primary relation whose MBR contains `p`.
@@ -322,7 +341,7 @@ impl CandidateSource for RStarSource {
     }
 
     fn join_candidates(&self, consumer: &dyn PairConsumer, workers: usize) -> Step1Stats {
-        self.join_candidates_observed(consumer, workers, None)
+        self.join_candidates_controlled(consumer, workers, None, None)
     }
 
     fn join_candidates_observed(
@@ -330,6 +349,16 @@ impl CandidateSource for RStarSource {
         consumer: &dyn PairConsumer,
         workers: usize,
         telemetry: Option<&WorkerTelemetry>,
+    ) -> Step1Stats {
+        self.join_candidates_controlled(consumer, workers, telemetry, None)
+    }
+
+    fn join_candidates_controlled(
+        &self,
+        consumer: &dyn PairConsumer,
+        workers: usize,
+        telemetry: Option<&WorkerTelemetry>,
+        cancel: Option<&CancelToken>,
     ) -> Step1Stats {
         let tree_a = &*self.tree_a;
         let tree_b = self.tree_b.as_deref().unwrap_or(tree_a);
@@ -339,7 +368,13 @@ impl CandidateSource for RStarSource {
         // One lock for the whole traversal: the simulated I/O buffer is
         // inherently serial state. Concurrent runs of a shared prepared
         // join serialize here (Steps 2–3 still parallelize per run).
-        let mut buffer = self.buffer.lock().expect("buffer poisoned");
+        // Poison is recovered: a sink panic can unwind through the
+        // traversal while this guard is live, and the buffer is only
+        // I/O accounting — always safe to reuse.
+        let mut buffer = self
+            .buffer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         let buffer = &mut *buffer;
         if workers <= 1 {
             // Serial: the traversal's chunks double as sink batches — one
@@ -353,6 +388,7 @@ impl CandidateSource for RStarSource {
                 buffer,
                 batch,
                 lane,
+                cancel,
                 |chunk| sink.consume_batch(&chunk),
             );
             return Step1Stats {
@@ -384,17 +420,22 @@ impl CandidateSource for RStarSource {
                 .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .recv()
         };
+        // First worker panic, parked here until every thread joined.
+        // Rethrowing *inside* a scoped thread would make `scope` itself
+        // panic with a generic payload, losing the `WorkerPanic` the
+        // run boundary downcasts — so workers deposit the payload and
+        // the calling thread resumes it after the scope.
+        let caught: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         let join = std::thread::scope(|scope| {
             for _ in 0..workers {
-                let (buffered, rx, recv) = (&buffered, &rx, &recv);
+                let (buffered, rx, recv, caught) = (&buffered, &rx, &recv, &caught);
                 scope.spawn(move || {
                     // A panic in the sink (filter/exact code downstream)
-                    // must propagate, not deadlock: if this worker simply
-                    // died, the bounded queue could fill and block the
-                    // producer forever inside the scope. So catch the
-                    // panic, keep draining the queue so the producer
-                    // always finishes, then rethrow — the scope forwards
-                    // it to the caller.
+                    // must not deadlock: if this worker simply died, the
+                    // bounded queue could fill and block the producer
+                    // forever inside the scope. So catch the panic, keep
+                    // draining the queue so the producer always
+                    // finishes, then park the payload for the caller.
                     let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         let mut sink = consumer.attach();
                         while let Ok(chunk) = recv(rx) {
@@ -408,7 +449,12 @@ impl CandidateSource for RStarSource {
                         while let Ok(chunk) = recv(rx) {
                             buffered.fetch_sub(chunk.len() as u64, Ordering::Relaxed);
                         }
-                        std::panic::resume_unwind(panic);
+                        let mut slot = caught
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(panic);
+                        }
                     }
                 });
             }
@@ -419,6 +465,7 @@ impl CandidateSource for RStarSource {
                 buffer,
                 batch,
                 lane,
+                cancel,
                 |chunk| {
                     let now = buffered.fetch_add(chunk.len() as u64, Ordering::Relaxed)
                         + chunk.len() as u64;
@@ -429,6 +476,12 @@ impl CandidateSource for RStarSource {
             drop(tx); // workers drain and exit; the scope joins them
             join
         });
+        if let Some(panic) = caught
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        {
+            std::panic::resume_unwind(panic);
+        }
         Step1Stats {
             join,
             partition: None,
@@ -438,7 +491,10 @@ impl CandidateSource for RStarSource {
     }
 
     fn point_candidates(&self, p: Point, out: &mut Vec<ObjectId>) -> SelectionStats {
-        let mut buffer = self.buffer.lock().expect("buffer poisoned");
+        let mut buffer = self
+            .buffer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         let before = buffer.stats().physical;
         let hits = self.tree_a.point_query(p, &mut buffer);
         let stats = SelectionStats {
@@ -450,7 +506,10 @@ impl CandidateSource for RStarSource {
     }
 
     fn window_candidates(&self, window: Rect, out: &mut Vec<ObjectId>) -> SelectionStats {
-        let mut buffer = self.buffer.lock().expect("buffer poisoned");
+        let mut buffer = self
+            .buffer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         let before = buffer.stats().physical;
         let hits = self.tree_a.window_query(window, &mut buffer);
         let stats = SelectionStats {
@@ -533,7 +592,7 @@ impl CandidateSource for GridSource<'_> {
     }
 
     fn join_candidates(&self, consumer: &dyn PairConsumer, workers: usize) -> Step1Stats {
-        self.join_candidates_observed(consumer, workers, None)
+        self.join_candidates_controlled(consumer, workers, None, None)
     }
 
     fn join_candidates_observed(
@@ -541,6 +600,16 @@ impl CandidateSource for GridSource<'_> {
         consumer: &dyn PairConsumer,
         workers: usize,
         telemetry: Option<&WorkerTelemetry>,
+    ) -> Step1Stats {
+        self.join_candidates_controlled(consumer, workers, telemetry, None)
+    }
+
+    fn join_candidates_controlled(
+        &self,
+        consumer: &dyn PairConsumer,
+        workers: usize,
+        telemetry: Option<&WorkerTelemetry>,
+        cancel: Option<&CancelToken>,
     ) -> Step1Stats {
         let (tiles_per_axis, threads, batch) = (self.tiles_per_axis, self.threads, self.batch);
         let (items_a, items_b) = self.join_items();
@@ -551,12 +620,13 @@ impl CandidateSource for GridSource<'_> {
             // re-batched caller-side so the sink still sees runs.
             let mut sink = consumer.attach();
             let mut buffer = PairBatchBuffer::new(&mut *sink, batch);
-            let stats = partition_join_with(
+            let stats = partition_join_cancellable_with(
                 self.dispatch,
                 items_a,
                 items_b,
                 tiles_per_axis,
                 threads,
+                cancel,
                 |id_a, id_b| buffer.pair(id_a, id_b),
             );
             drop(buffer); // flush the tail before the sink detaches
@@ -583,6 +653,7 @@ impl CandidateSource for GridSource<'_> {
                 batch,
                 consumer,
                 telemetry,
+                cancel,
             );
             let fed = stats.threads as u64;
             (stats, fed)

@@ -3,7 +3,9 @@
 use crate::execution::Execution;
 use msj_approx::{ConservativeKind, ProgressiveKind};
 use msj_exact::ExactAlgorithm;
+use msj_fault::FaultConfig;
 use msj_obs::ObsConfig;
+use std::time::Duration;
 
 /// The Step-1 candidate backend (see [`crate::candidates`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -190,6 +192,23 @@ pub struct JoinConfig {
     /// at once; the least-recently-used pair is evicted beyond the cap
     /// (and rebuilt transparently on next use). Clamped to at least 1.
     pub prepared_cache_cap: usize,
+    /// Per-request wall-clock deadline. When set, every join request
+    /// arms a [`msj_geom::CancelToken`] with this budget; a request that
+    /// outlives it stops cooperatively at the next batch boundary and
+    /// returns [`crate::EngineError::DeadlineExceeded`]. `None` (the
+    /// default) means no deadline.
+    pub deadline: Option<Duration>,
+    /// Deterministic fault injection ([`msj_fault::FaultConfig`]).
+    /// Disabled by default (one never-taken branch per batch); the
+    /// `MSJ_FAULT_PLAN` / `MSJ_FAULT_SEED` environment variables arm a
+    /// plan when this field is disabled.
+    pub fault: FaultConfig,
+    /// Whether a join whose Step-2a raster signatures fail their
+    /// checksum may continue on the filter-only path (correct answers,
+    /// degraded speed). `false` turns detected corruption into
+    /// [`crate::EngineError::DegradedUnavailable`] instead. Defaults to
+    /// `true`.
+    pub allow_degraded: bool,
 }
 
 impl Default for JoinConfig {
@@ -212,6 +231,9 @@ impl Default for JoinConfig {
             obs: ObsConfig::default(),
             force_scalar: false,
             prepared_cache_cap: DEFAULT_PREPARED_CACHE_CAP,
+            deadline: None,
+            fault: FaultConfig::disabled(),
+            allow_degraded: true,
         }
     }
 }
@@ -381,6 +403,26 @@ impl JoinConfigBuilder {
         self
     }
 
+    /// Per-request wall-clock deadline (`None` = unlimited).
+    pub fn deadline(mut self, deadline: impl Into<Option<Duration>>) -> Self {
+        self.config.deadline = deadline.into();
+        self
+    }
+
+    /// Deterministic fault-injection plan
+    /// ([`msj_fault::FaultConfig::disabled`] by default).
+    pub fn fault(mut self, fault: FaultConfig) -> Self {
+        self.config.fault = fault;
+        self
+    }
+
+    /// Whether raster-corruption detection degrades to the filter-only
+    /// path (`true`, default) or fails the request (`false`).
+    pub fn allow_degraded(mut self, allow: bool) -> Self {
+        self.config.allow_degraded = allow;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> JoinConfig {
         self.config
@@ -476,6 +518,9 @@ mod tests {
             .obs(ObsConfig::disabled())
             .force_scalar(true)
             .prepared_cache_cap(3)
+            .deadline(Duration::from_millis(250))
+            .fault(FaultConfig::seeded(7, msj_fault::FaultKind::WorkerPanic))
+            .allow_degraded(false)
             .build();
         assert_eq!(
             c.backend,
@@ -499,6 +544,17 @@ mod tests {
         assert!(c.force_scalar);
         assert_eq!(c.kernel_dispatch(), msj_geom::KernelDispatch::Scalar);
         assert_eq!(c.prepared_cache_cap, 3);
+        assert_eq!(c.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(
+            c.fault,
+            FaultConfig::seeded(7, msj_fault::FaultKind::WorkerPanic)
+        );
+        assert!(!c.allow_degraded);
+        // Robustness knobs default to off / permissive.
+        assert_eq!(JoinConfig::default().deadline, None);
+        assert_eq!(JoinConfig::default().fault, FaultConfig::disabled());
+        assert!(!JoinConfig::default().fault.enabled());
+        assert!(JoinConfig::default().allow_degraded);
         assert!(!JoinConfig::default().force_scalar);
         assert_eq!(
             JoinConfig::default().prepared_cache_cap,

@@ -54,21 +54,23 @@
 use crate::candidates::{self, SharedStep1};
 use crate::config::{Backend, JoinConfig};
 use crate::cost::{estimate_cost, figure18_cost, CostBreakdown, CostModelParams, ExactCostKind};
-use crate::execution::{Execution, ScopedPreparedJoin};
+use crate::execution::{Execution, RunError, ScopedPreparedJoin};
 use crate::filter::GeometricFilter;
 use crate::pipeline::JoinResult;
 use crate::queries::{QueryStats, SelectionState};
 use crate::stats::MultiStepStats;
 use msj_approx::{ConservativeStore, ProgressiveStore};
 use msj_exact::{ExactAlgorithm, ExactProcessor, OpCounts, TrStarStore};
-use msj_geom::{ObjectId, Point, Rect, RelHandle, Relation};
+use msj_fault::{FaultConfig, FaultSession};
+use msj_geom::{CancelReason, CancelToken, ObjectId, Point, Rect, RelHandle, Relation};
 use msj_obs::{
     LaneRole, MetricsRegistry, ObsConfig, Span, Step, StepSpans, Trace, TraceRing, TraceSteps,
 };
 use msj_sam::RStarTree;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Identifier of a dataset registered on one engine (assigned in
 /// registration order).
@@ -140,6 +142,30 @@ impl std::fmt::Debug for DatasetHandle {
 /// ([`PreparedJoin::run_history`]).
 pub const RUN_HISTORY: usize = 32;
 
+/// `reason` labels of `msj_degraded_mode_total`, pre-registered so the
+/// family renders at zero from the first scrape.
+const DEGRADED_REASONS: [&str; 2] = ["raster_checksum", "fault_injected"];
+
+/// `kind` labels of `msj_request_errors_total` — one per
+/// [`EngineError`] variant.
+const ERROR_KINDS: [&str; 6] = [
+    "unknown_dataset",
+    "admission_denied",
+    "deadline_exceeded",
+    "cancelled",
+    "worker_panicked",
+    "degraded_unavailable",
+];
+
+/// `site` labels of `msj_fault_injected_total` — the
+/// [`msj_fault::FaultKind::site`] names.
+const FAULT_SITES: [&str; 4] = [
+    "worker_panic",
+    "slow_worker",
+    "raster_corrupt",
+    "cancel_at_batch",
+];
+
 /// Shared observability state of one engine: the metrics registry plus
 /// the trace ring, `Arc`-co-owned by every [`PreparedJoin`] so direct
 /// `prepared.run()` calls record exactly like submitted requests.
@@ -209,6 +235,30 @@ impl EngineObs {
             "msj_worker_batches_total",
             "Batches flushed by execution workers, by lane role",
         );
+        registry.describe(
+            "msj_request_cancelled_total",
+            "Join requests stopped by explicit cooperative cancellation",
+        );
+        registry.describe(
+            "msj_deadline_exceeded_total",
+            "Join requests stopped because their deadline expired",
+        );
+        registry.describe(
+            "msj_worker_panics_total",
+            "Worker panics contained at the run boundary",
+        );
+        registry.describe(
+            "msj_degraded_mode_total",
+            "Joins that fell back to the filter-only path, by reason",
+        );
+        registry.describe(
+            "msj_request_errors_total",
+            "Requests that returned an error, by error kind",
+        );
+        registry.describe(
+            "msj_fault_injected_total",
+            "Deterministic fault injections that fired, by site",
+        );
         for kind in ["join", "self_join", "point", "window"] {
             registry.histogram("msj_request_latency_nanos", &[("kind", kind)]);
         }
@@ -219,6 +269,18 @@ impl EngineObs {
             registry.counter("msj_worker_pairs_total", &[("role", role.as_str())]);
             registry.counter("msj_worker_batches_total", &[("role", role.as_str())]);
         }
+        for reason in DEGRADED_REASONS {
+            registry.counter("msj_degraded_mode_total", &[("reason", reason)]);
+        }
+        for kind in ERROR_KINDS {
+            registry.counter("msj_request_errors_total", &[("kind", kind)]);
+        }
+        for site in FAULT_SITES {
+            registry.counter("msj_fault_injected_total", &[("site", site)]);
+        }
+        registry.counter("msj_request_cancelled_total", &[]);
+        registry.counter("msj_deadline_exceeded_total", &[]);
+        registry.counter("msj_worker_panics_total", &[]);
         registry.counter("msj_admission_accept_total", &[]);
         registry.counter("msj_admission_shed_total", &[]);
         registry.counter("msj_prepared_cache_hits_total", &[]);
@@ -267,6 +329,18 @@ pub struct PreparedJoin {
     params: CostModelParams,
     /// The owning engine's registry/trace ring.
     obs: Arc<EngineObs>,
+    /// Resolved fault-injection plan (disabled in production).
+    fault: FaultConfig,
+    /// Engine-shared latch: an armed plan fires at most once per engine,
+    /// so the run after an injected failure is fault-free — exactly the
+    /// recover-and-serve sequence the chaos suite exercises.
+    fault_spent: Arc<AtomicBool>,
+    /// Engine-configured default deadline armed per run when the caller
+    /// passes no token of their own.
+    deadline: Option<Duration>,
+    /// `Some(reason)` when Step 2a was disabled for this pair because
+    /// its raster signatures failed verification (degraded mode).
+    degraded: Option<&'static str>,
     /// Bounded ring of per-run statistics, newest last (admission
     /// history).
     history: Mutex<VecDeque<MultiStepStats>>,
@@ -274,34 +348,159 @@ pub struct PreparedJoin {
 
 impl PreparedJoin {
     /// Runs Steps 1–3 under the engine-configured execution policy.
+    ///
+    /// Panics on cancellation / worker panic; use [`Self::try_run`] when
+    /// a deadline or fault plan is armed.
     pub fn run(&self) -> JoinResult {
         self.run_with(self.scoped.execution())
     }
 
-    /// Runs Steps 1–3 under an explicit policy. Every run records into
-    /// the owning engine's metrics registry (and trace ring, when
-    /// tracing is on) — direct runs and submitted requests are
-    /// indistinguishable to the exporters.
+    /// Runs Steps 1–3 under an explicit policy, panicking on failure.
     pub fn run_with(&self, execution: Execution) -> JoinResult {
+        match self.try_run_with(execution, None) {
+            Ok(result) => result,
+            Err(err) => panic!("prepared join failed: {err}"),
+        }
+    }
+
+    /// Runs Steps 1–3 under the engine-configured execution policy,
+    /// surfacing deadline / cancellation / worker-panic failures as
+    /// structured errors.
+    pub fn try_run(&self) -> Result<JoinResult, EngineError> {
+        self.try_run_with(self.scoped.execution(), None)
+    }
+
+    /// Runs Steps 1–3 under an explicit policy. Every run — successful
+    /// or failed — records into the owning engine's metrics registry
+    /// (and trace ring, when tracing is on): direct runs and submitted
+    /// requests are indistinguishable to the exporters.
+    ///
+    /// When `cancel` is `None` and the engine configures a default
+    /// deadline, a fresh token armed with that deadline governs the run.
+    /// A caller-supplied token always wins (its deadline, if any, is the
+    /// caller's business).
+    pub fn try_run_with(
+        &self,
+        execution: Execution,
+        cancel: Option<&CancelToken>,
+    ) -> Result<JoinResult, EngineError> {
+        let own_token = match (cancel, self.deadline) {
+            (None, Some(deadline)) => Some(CancelToken::with_deadline(deadline)),
+            _ => None,
+        };
+        let cancel = cancel.or(own_token.as_ref());
+        let session = if self.fault_spent.load(Ordering::Acquire) {
+            FaultSession::inert()
+        } else {
+            FaultSession::new(self.fault)
+        };
         let enabled = self.obs.registry.is_enabled();
         // The trace carries the estimate the run would have been
         // admitted under — taken before this run extends the history.
         let estimated_s =
             (enabled && self.obs.traces.enabled()).then(|| self.admission_estimate(&self.params).0);
         let t_run = enabled.then(Span::start);
-        let result = self.scoped.run_with(execution);
-        {
-            let mut history = self.history.lock().expect("stats lock poisoned");
-            if history.len() == RUN_HISTORY {
-                history.pop_front();
+        let outcome = self.scoped.try_run_with(execution, cancel, &session);
+        let latency_nanos = t_run.map_or(0, |t| t.elapsed_nanos());
+        if let Some(site) = session.fired() {
+            self.fault_spent.store(true, Ordering::Release);
+            if enabled {
+                self.obs
+                    .registry
+                    .counter("msj_fault_injected_total", &[("site", site)])
+                    .inc();
             }
-            history.push_back(result.stats);
         }
-        if enabled {
-            let latency_nanos = t_run.map_or(0, |t| t.elapsed_nanos());
-            self.record_run(&result, latency_nanos, estimated_s.unwrap_or(0.0));
+        match outcome {
+            Ok(result) => {
+                {
+                    let mut history = self
+                        .history
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    if history.len() == RUN_HISTORY {
+                        history.pop_front();
+                    }
+                    history.push_back(result.stats);
+                }
+                if enabled {
+                    self.record_run(&result, latency_nanos, estimated_s.unwrap_or(0.0));
+                }
+                Ok(result)
+            }
+            Err(run_err) => {
+                let err = match run_err {
+                    RunError::Cancelled {
+                        reason: CancelReason::DeadlineExpired,
+                        elapsed,
+                        partial_candidates,
+                    } => EngineError::DeadlineExceeded {
+                        elapsed,
+                        partial_candidates,
+                    },
+                    RunError::Cancelled {
+                        reason: CancelReason::Explicit,
+                        partial_candidates,
+                        ..
+                    } => EngineError::Cancelled { partial_candidates },
+                    RunError::Panicked { worker, message } => {
+                        EngineError::WorkerPanicked { worker, message }
+                    }
+                };
+                if enabled {
+                    self.record_failure(&err, latency_nanos, estimated_s.unwrap_or(0.0));
+                }
+                Err(err)
+            }
         }
-        result
+    }
+
+    /// Publishes one failed run: the per-cause counter and (when
+    /// tracing) a trace whose kind names the failure. The per-kind
+    /// `msj_request_errors_total` counter is incremented once at the
+    /// request surface, not here, so a submitted request is never
+    /// double-counted.
+    fn record_failure(&self, err: &EngineError, latency_nanos: u64, estimated_s: f64) {
+        let reg = &self.obs.registry;
+        let (trace_kind, partial) = match err {
+            EngineError::DeadlineExceeded {
+                partial_candidates, ..
+            } => {
+                reg.counter("msj_deadline_exceeded_total", &[]).inc();
+                ("join_deadline", *partial_candidates)
+            }
+            EngineError::Cancelled { partial_candidates } => {
+                reg.counter("msj_request_cancelled_total", &[]).inc();
+                ("join_cancelled", *partial_candidates)
+            }
+            EngineError::WorkerPanicked { .. } => {
+                reg.counter("msj_worker_panics_total", &[]).inc();
+                ("join_panic", 0)
+            }
+            _ => ("join_error", 0),
+        };
+        if self.obs.traces.enabled() {
+            self.obs.traces.push(Trace {
+                seq: self.obs.traces.next_seq(),
+                kind: trace_kind,
+                datasets: self.datasets(),
+                admitted: true,
+                estimated_s,
+                latency_nanos,
+                candidates: partial,
+                results: 0,
+                dispatch: self.obs.dispatch,
+                steps: TraceSteps::default(),
+            });
+        }
+    }
+
+    /// `Some(reason)` when this pair runs in degraded mode — its raster
+    /// signatures failed verification, so Step 2a is disabled and every
+    /// candidate surviving Step 2 goes to exact geometry. Answers stay
+    /// correct; only the §4 filter speedup is lost.
+    pub fn degraded_reason(&self) -> Option<&'static str> {
+        self.degraded
     }
 
     /// Publishes one finished run: latency histogram, per-step counters,
@@ -368,9 +567,11 @@ impl PreparedJoin {
 
     /// Statistics of the most recent run, if any ran yet.
     pub fn last_stats(&self) -> Option<MultiStepStats> {
+        // Plain-data ring: a panic mid-push can't leave it half-written,
+        // so recover from poisoning instead of cascading the panic.
         self.history
             .lock()
-            .expect("stats lock poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .back()
             .copied()
     }
@@ -380,7 +581,7 @@ impl PreparedJoin {
     pub fn run_history(&self) -> Vec<MultiStepStats> {
         self.history
             .lock()
-            .expect("stats lock poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .iter()
             .copied()
             .collect()
@@ -498,13 +699,61 @@ impl Response {
     }
 }
 
-/// Why the engine refused a request.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Why the engine refused — or had to abandon — a request.
+///
+/// `#[non_exhaustive]`: match with a wildcard arm; the failure surface
+/// can grow (a future network front will add transport-shaped errors).
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
     /// The request names a dataset id this engine never registered.
     UnknownDataset(DatasetId),
     /// The §5 modeled cost exceeds the configured admission limit.
     AdmissionDenied { estimated_s: f64, limit_s: f64 },
+    /// The request outlived its deadline and was stopped cooperatively
+    /// at the next batch boundary.
+    DeadlineExceeded {
+        /// Wall-clock from token arming to the stop.
+        elapsed: Duration,
+        /// Step-1 candidates delivered before the stop.
+        partial_candidates: u64,
+    },
+    /// The request's cancel token was cancelled explicitly.
+    Cancelled {
+        /// Step-1 candidates delivered before the stop.
+        partial_candidates: u64,
+    },
+    /// A worker thread panicked mid-run; the panic was contained at the
+    /// run boundary and the engine (datasets, caches, metrics) stays
+    /// fully serviceable.
+    WorkerPanicked {
+        /// Attach-order index of the panicking worker.
+        worker: usize,
+        /// The rendered panic payload.
+        message: String,
+    },
+    /// The pair's Step-2a raster signatures failed verification and the
+    /// configuration forbids the degraded filter-only fallback
+    /// ([`JoinConfig::allow_degraded`] is `false`).
+    DegradedUnavailable {
+        /// What failed verification.
+        reason: &'static str,
+    },
+}
+
+impl EngineError {
+    /// The stable `kind` label this error is counted under in
+    /// `msj_request_errors_total`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineError::UnknownDataset(_) => "unknown_dataset",
+            EngineError::AdmissionDenied { .. } => "admission_denied",
+            EngineError::DeadlineExceeded { .. } => "deadline_exceeded",
+            EngineError::Cancelled { .. } => "cancelled",
+            EngineError::WorkerPanicked { .. } => "worker_panicked",
+            EngineError::DegradedUnavailable { .. } => "degraded_unavailable",
+        }
+    }
 }
 
 impl std::fmt::Display for EngineError {
@@ -517,6 +766,24 @@ impl std::fmt::Display for EngineError {
             } => write!(
                 f,
                 "admission denied: modeled cost {estimated_s:.3}s exceeds limit {limit_s:.3}s"
+            ),
+            EngineError::DeadlineExceeded {
+                elapsed,
+                partial_candidates,
+            } => write!(
+                f,
+                "deadline exceeded after {elapsed:?} ({partial_candidates} candidates delivered)"
+            ),
+            EngineError::Cancelled { partial_candidates } => write!(
+                f,
+                "request cancelled ({partial_candidates} candidates delivered)"
+            ),
+            EngineError::WorkerPanicked { worker, message } => {
+                write!(f, "worker {worker} panicked: {message}")
+            }
+            EngineError::DegradedUnavailable { reason } => write!(
+                f,
+                "raster signatures unavailable ({reason}) and degraded mode is disabled"
             ),
         }
     }
@@ -532,6 +799,14 @@ pub struct SpatialEngine {
     config: JoinConfig,
     params: CostModelParams,
     admission_limit_s: Option<f64>,
+    /// Fault-injection plan resolved once at construction: the config's
+    /// plan when set, else whatever `MSJ_FAULT_SEED`/`MSJ_FAULT_PLAN`
+    /// name, else disabled. Resolving here keeps the per-run path free
+    /// of env lookups.
+    fault: FaultConfig,
+    /// Shared into every prepared join: set once the plan fires, so the
+    /// injected fault happens at most once per engine.
+    fault_spent: Arc<AtomicBool>,
     /// Registry + trace ring, `Arc`-shared into every prepared join.
     obs: Arc<EngineObs>,
     datasets: RwLock<Vec<Arc<DatasetState>>>,
@@ -606,12 +881,19 @@ impl SpatialEngine {
     /// An engine applying `config` to every dataset it registers and
     /// every query it serves.
     pub fn new(config: JoinConfig) -> Self {
+        let fault = if config.fault.enabled() {
+            config.fault
+        } else {
+            FaultConfig::from_env()
+        };
         SpatialEngine {
             obs: Arc::new(EngineObs::new(config.obs, config.kernel_dispatch())),
             prepared: Mutex::new(PreparedCache::new(config.prepared_cache_cap)),
             config,
             params: CostModelParams::default(),
             admission_limit_s: None,
+            fault,
+            fault_spent: Arc::new(AtomicBool::new(false)),
             datasets: RwLock::new(Vec::new()),
         }
     }
@@ -696,7 +978,14 @@ impl SpatialEngine {
             reg.counter("msj_step_nanos_total", &[("step", Step::Step0.name())])
                 .add(step0_nanos);
         }
-        let mut datasets = self.datasets.write().expect("datasets lock poisoned");
+        // Dataset/cache guards protect plain data (Vec pushes, HashMap
+        // inserts) that a worker panic can't leave half-written — the
+        // panic is contained at the run boundary before any guard here
+        // unwinds — so recover from poisoning rather than cascading.
+        let mut datasets = self
+            .datasets
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         let state = Arc::new(DatasetState {
             id: datasets.len() as DatasetId,
             relation,
@@ -715,7 +1004,7 @@ impl SpatialEngine {
     pub fn dataset(&self, id: DatasetId) -> Option<DatasetHandle> {
         self.datasets
             .read()
-            .expect("datasets lock poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .get(id as usize)
             .map(|state| DatasetHandle {
                 state: state.clone(),
@@ -724,7 +1013,10 @@ impl SpatialEngine {
 
     /// Number of registered datasets.
     pub fn num_datasets(&self) -> usize {
-        self.datasets.read().expect("datasets lock poisoned").len()
+        self.datasets
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
     }
 
     fn require(&self, id: DatasetId) -> Result<DatasetHandle, EngineError> {
@@ -746,7 +1038,7 @@ impl SpatialEngine {
         let owned = self
             .datasets
             .read()
-            .expect("datasets lock poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .get(handle.id() as usize)
             .is_some_and(|state| Arc::ptr_eq(state, &handle.state));
         assert!(
@@ -761,7 +1053,7 @@ impl SpatialEngine {
     fn cached_join(&self, key: (DatasetId, DatasetId)) -> Option<Arc<PreparedJoin>> {
         self.prepared
             .lock()
-            .expect("prepared cache poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .get(key)
     }
 
@@ -775,6 +1067,21 @@ impl SpatialEngine {
     /// pair-level state (the raster signatures on the pair's shared
     /// grid, the Step-1 source wiring) is built here.
     pub fn prepare_join(&self, a: &DatasetHandle, b: &DatasetHandle) -> Arc<PreparedJoin> {
+        match self.try_prepare_join(a, b) {
+            Ok(prepared) => prepared,
+            Err(err) => panic!("prepare_join failed: {err}"),
+        }
+    }
+
+    /// [`Self::prepare_join`] surfacing preparation failures — today
+    /// only [`EngineError::DegradedUnavailable`], when the pair's raster
+    /// signatures fail verification and [`JoinConfig::allow_degraded`]
+    /// is off — as structured errors.
+    pub fn try_prepare_join(
+        &self,
+        a: &DatasetHandle,
+        b: &DatasetHandle,
+    ) -> Result<Arc<PreparedJoin>, EngineError> {
         self.assert_registered(a);
         self.assert_registered(b);
         let key = (a.id(), b.id());
@@ -786,7 +1093,7 @@ impl SpatialEngine {
                     .counter("msj_prepared_cache_hits_total", &[])
                     .inc();
             }
-            return prepared;
+            return Ok(prepared);
         }
         if enabled {
             self.obs
@@ -798,11 +1105,11 @@ impl SpatialEngine {
         // blocks requests for other pairs; a concurrent double build is
         // harmless (both are deterministic over the same shared state)
         // and the first insert wins.
-        let built = Arc::new(self.build_prepared(a, b));
+        let built = Arc::new(self.build_prepared(a, b)?);
         let (served, evicted) = self
             .prepared
             .lock()
-            .expect("prepared cache poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .insert(key, built);
         if enabled && evicted > 0 {
             self.obs
@@ -810,10 +1117,14 @@ impl SpatialEngine {
                 .counter("msj_prepared_cache_evictions_total", &[])
                 .add(evicted);
         }
-        served
+        Ok(served)
     }
 
-    fn build_prepared(&self, a: &DatasetHandle, b: &DatasetHandle) -> PreparedJoin {
+    fn build_prepared(
+        &self,
+        a: &DatasetHandle,
+        b: &DatasetHandle,
+    ) -> Result<PreparedJoin, EngineError> {
         let enabled = self.obs.registry.is_enabled();
         let t_pair = enabled.then(Instant::now);
         let (sa, sb) = (&a.state, &b.state);
@@ -835,7 +1146,7 @@ impl SpatialEngine {
             sb.progressive.clone(),
             self.config.false_area_test,
         );
-        let filter = if self.config.raster.enabled {
+        let mut filter = if self.config.raster.enabled {
             // Pair-level Step 0: both relations rasterized on one shared
             // grid (signatures are only comparable on the same grid, so
             // they cannot be a per-dataset artifact).
@@ -843,6 +1154,58 @@ impl SpatialEngine {
         } else {
             filter
         };
+        // Degraded mode: the raster stores carry build-time checksums;
+        // a mismatch (or an injected `raster_corrupt` fault) means Step
+        // 2a would filter with untrustworthy signatures. The fallback
+        // strips the rasters for this pair — every Step-2 survivor goes
+        // to exact geometry, answers stay correct, only the §4 filter
+        // speedup is lost.
+        let mut degraded = None;
+        if self.config.raster.enabled {
+            let session = if self.fault_spent.load(Ordering::Acquire) {
+                FaultSession::inert()
+            } else {
+                FaultSession::new(self.fault)
+            };
+            if session.corrupt_raster() {
+                self.fault_spent.store(true, Ordering::Release);
+                degraded = Some("fault_injected");
+            } else if !filter.verify_raster() {
+                degraded = Some("raster_checksum");
+            }
+            if let Some(reason) = degraded {
+                if !self.config.allow_degraded {
+                    return Err(EngineError::DegradedUnavailable { reason });
+                }
+                filter.strip_raster();
+                if self.obs.registry.is_enabled() {
+                    self.obs
+                        .registry
+                        .counter("msj_degraded_mode_total", &[("reason", reason)])
+                        .inc();
+                    if let Some(site) = session.fired() {
+                        self.obs
+                            .registry
+                            .counter("msj_fault_injected_total", &[("site", site)])
+                            .inc();
+                    }
+                }
+                if self.obs.traces.enabled() {
+                    self.obs.traces.push(Trace {
+                        seq: self.obs.traces.next_seq(),
+                        kind: "degraded_mode",
+                        datasets: (a.id(), b.id()),
+                        admitted: true,
+                        estimated_s: 0.0,
+                        latency_nanos: 0,
+                        candidates: 0,
+                        results: 0,
+                        dispatch: self.obs.dispatch,
+                        steps: TraceSteps::default(),
+                    });
+                }
+            }
+        }
         let filter = filter.with_dispatch(self.config.kernel_dispatch());
         let exact = ExactProcessor::from_shared(
             self.config.exact,
@@ -859,7 +1222,7 @@ impl SpatialEngine {
             sa.step0_nanos + sb.step0_nanos
         };
         let step0_nanos = datasets_step0 + t_pair.map_or(0, |t| t.elapsed().as_nanos() as u64);
-        PreparedJoin {
+        Ok(PreparedJoin {
             exact_cost_kind: self.exact_cost_kind(),
             scoped: ScopedPreparedJoin::from_parts(
                 self.config.execution,
@@ -876,10 +1239,14 @@ impl SpatialEngine {
             },
             params: self.params,
             obs: self.obs.clone(),
+            fault: self.fault,
+            fault_spent: self.fault_spent.clone(),
+            deadline: self.config.deadline,
+            degraded,
             history: Mutex::new(VecDeque::with_capacity(RUN_HISTORY)),
             a: a.clone(),
             b: b.clone(),
-        }
+        })
     }
 
     /// Point selection against a registered dataset (three steps: index
@@ -1022,7 +1389,31 @@ impl SpatialEngine {
         a: DatasetId,
         b: DatasetId,
         execution: Option<Execution>,
+        cancel: Option<&CancelToken>,
     ) -> Result<Response, EngineError> {
+        // A token cancelled before any work begins short-circuits the
+        // whole request — no admission, no preparation.
+        if let Some(token) = cancel {
+            if token.is_cancelled() {
+                let err = match token.reason() {
+                    Some(CancelReason::DeadlineExpired) => EngineError::DeadlineExceeded {
+                        elapsed: token.elapsed(),
+                        partial_candidates: 0,
+                    },
+                    _ => EngineError::Cancelled {
+                        partial_candidates: 0,
+                    },
+                };
+                if self.obs.registry.is_enabled() {
+                    let name = match err {
+                        EngineError::DeadlineExceeded { .. } => "msj_deadline_exceeded_total",
+                        _ => "msj_request_cancelled_total",
+                    };
+                    self.obs.registry.counter(name, &[]).inc();
+                }
+                return Err(err);
+            }
+        }
         let (ha, hb) = (self.require(a)?, self.require(b)?);
         // Admission runs before any pair-level Step 0 is built: a
         // request the limit refuses must not pay the preparation the
@@ -1071,8 +1462,8 @@ impl SpatialEngine {
                 .counter("msj_admission_accept_total", &[])
                 .inc();
         }
-        let prepared = self.prepare_join(&ha, &hb);
-        let result = prepared.run_with(execution.unwrap_or(self.config.execution));
+        let prepared = self.try_prepare_join(&ha, &hb)?;
+        let result = prepared.try_run_with(execution.unwrap_or(self.config.execution), cancel)?;
         let cost = figure18_cost(&result.stats, self.exact_cost_kind(), &self.params);
         if enabled {
             // §5 feedback: how far the admission-time estimate missed
@@ -1098,20 +1489,51 @@ impl SpatialEngine {
 
     /// Serves one request.
     pub fn submit(&self, request: Request) -> Result<Response, EngineError> {
-        match request {
-            Request::Join { a, b, execution } => self.run_join_request(a, b, execution),
+        self.submit_inner(request, None)
+    }
+
+    /// Serves one request under a caller-owned cancel token. Cancel the
+    /// token from any thread (or arm it with a deadline via
+    /// [`CancelToken::with_deadline`]) and the request stops
+    /// cooperatively at the next batch boundary, returning
+    /// [`EngineError::Cancelled`] / [`EngineError::DeadlineExceeded`].
+    /// The engine stays fully serviceable afterwards.
+    pub fn submit_with_cancel(
+        &self,
+        request: Request,
+        cancel: &CancelToken,
+    ) -> Result<Response, EngineError> {
+        self.submit_inner(request, Some(cancel))
+    }
+
+    fn submit_inner(
+        &self,
+        request: Request,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Response, EngineError> {
+        let result = match request {
+            Request::Join { a, b, execution } => self.run_join_request(a, b, execution, cancel),
             Request::SelfJoin { dataset, execution } => {
-                self.run_join_request(dataset, dataset, execution)
+                self.run_join_request(dataset, dataset, execution, cancel)
             }
-            Request::Point { dataset, point } => {
-                let handle = self.require(dataset)?;
-                Ok(Response::Selection(self.point_query(&handle, point)))
-            }
-            Request::Window { dataset, window } => {
-                let handle = self.require(dataset)?;
-                Ok(Response::Selection(self.window_query(&handle, window)))
+            Request::Point { dataset, point } => self
+                .require(dataset)
+                .map(|handle| Response::Selection(self.point_query(&handle, point))),
+            Request::Window { dataset, window } => self
+                .require(dataset)
+                .map(|handle| Response::Selection(self.window_query(&handle, window))),
+        };
+        // One increment per failed request, whatever the failure path —
+        // deeper layers own the cause-specific counters.
+        if let Err(err) = &result {
+            if self.obs.registry.is_enabled() {
+                self.obs
+                    .registry
+                    .counter("msj_request_errors_total", &[("kind", err.kind())])
+                    .inc();
             }
         }
+        result
     }
 
     /// Serves a batch of requests in order, one result per request.
@@ -1518,6 +1940,366 @@ mod tests {
         assert_eq!(traces.len(), 1);
         assert!(!traces[0].admitted);
         assert_eq!(traces[0].results, 0);
+    }
+
+    /// Satellite requirement: one test that matches on *every*
+    /// `EngineError` variant, so adding a variant without Display/kind
+    /// coverage fails here first.
+    #[test]
+    fn engine_error_matches_display_and_kind_on_every_variant() {
+        let variants: Vec<EngineError> = vec![
+            EngineError::UnknownDataset(7),
+            EngineError::AdmissionDenied {
+                estimated_s: 2.0,
+                limit_s: 1.0,
+            },
+            EngineError::DeadlineExceeded {
+                elapsed: Duration::from_millis(12),
+                partial_candidates: 34,
+            },
+            EngineError::Cancelled {
+                partial_candidates: 5,
+            },
+            EngineError::WorkerPanicked {
+                worker: 2,
+                message: "boom".into(),
+            },
+            EngineError::DegradedUnavailable {
+                reason: "raster_checksum",
+            },
+        ];
+        for err in variants {
+            // The enum is #[non_exhaustive]; the wildcard arm is the
+            // forward-compatibility seam every caller needs (redundant
+            // only inside the defining crate, hence the allow).
+            #[allow(unreachable_patterns)]
+            let expected_kind = match &err {
+                EngineError::UnknownDataset(id) => {
+                    assert_eq!(*id, 7);
+                    "unknown_dataset"
+                }
+                EngineError::AdmissionDenied {
+                    estimated_s,
+                    limit_s,
+                } => {
+                    assert!(estimated_s > limit_s);
+                    "admission_denied"
+                }
+                EngineError::DeadlineExceeded {
+                    elapsed,
+                    partial_candidates,
+                } => {
+                    assert_eq!(*elapsed, Duration::from_millis(12));
+                    assert_eq!(*partial_candidates, 34);
+                    "deadline_exceeded"
+                }
+                EngineError::Cancelled { partial_candidates } => {
+                    assert_eq!(*partial_candidates, 5);
+                    "cancelled"
+                }
+                EngineError::WorkerPanicked { worker, message } => {
+                    assert_eq!(*worker, 2);
+                    assert_eq!(message, "boom");
+                    "worker_panicked"
+                }
+                EngineError::DegradedUnavailable { reason } => {
+                    assert_eq!(*reason, "raster_checksum");
+                    "degraded_unavailable"
+                }
+                _ => unreachable!("non_exhaustive wildcard"),
+            };
+            assert_eq!(err.kind(), expected_kind);
+            assert!(ERROR_KINDS.contains(&err.kind()));
+            let shown = err.to_string();
+            assert!(!shown.is_empty());
+            let dyn_err: &dyn std::error::Error = &err;
+            assert_eq!(dyn_err.to_string(), shown);
+        }
+    }
+
+    #[test]
+    fn expired_deadline_returns_deadline_exceeded_and_engine_recovers() {
+        let a = msj_datagen::small_carto(60, 24.0, 1101);
+        let b = msj_datagen::small_carto(60, 24.0, 1102);
+        let engine = SpatialEngine::new(JoinConfig::default());
+        let (ha, hb) = (engine.register(a), engine.register(b));
+        for execution in [Execution::Serial, Execution::Fused { threads: 4 }] {
+            // Baseline under this exact policy (serial keeps Step-1
+            // order; fused sorts canonically).
+            let expect = match engine
+                .submit(Request::Join {
+                    a: ha.id(),
+                    b: hb.id(),
+                    execution: Some(execution),
+                })
+                .unwrap()
+            {
+                Response::Join(resp) => resp.pairs,
+                other => panic!("expected a join response, got {other:?}"),
+            };
+            // A token whose deadline already passed stops the run at the
+            // first batch boundary.
+            let token = CancelToken::with_deadline(Duration::ZERO);
+            let err = engine
+                .submit_with_cancel(
+                    Request::Join {
+                        a: ha.id(),
+                        b: hb.id(),
+                        execution: Some(execution),
+                    },
+                    &token,
+                )
+                .unwrap_err();
+            match err {
+                EngineError::DeadlineExceeded { elapsed, .. } => {
+                    assert!(elapsed >= Duration::ZERO)
+                }
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+            // Same engine, same request, fresh token: byte-identical.
+            let clean = engine
+                .submit(Request::Join {
+                    a: ha.id(),
+                    b: hb.id(),
+                    execution: Some(execution),
+                })
+                .unwrap();
+            match clean {
+                Response::Join(resp) => assert_eq!(resp.pairs, expect),
+                other => panic!("expected a join response, got {other:?}"),
+            }
+        }
+        let snap = engine.metrics().snapshot();
+        assert!(snap.counter("msj_deadline_exceeded_total") >= 2);
+        assert_eq!(
+            snap.counter("msj_request_errors_total{kind=\"deadline_exceeded\"}"),
+            2
+        );
+    }
+
+    #[test]
+    fn config_deadline_arms_a_token_per_request() {
+        let a = msj_datagen::small_carto(60, 24.0, 1103);
+        let b = msj_datagen::small_carto(60, 24.0, 1104);
+        let engine = SpatialEngine::new(JoinConfig::builder().deadline(Duration::ZERO).build());
+        let (ha, hb) = (engine.register(a), engine.register(b));
+        let err = engine
+            .submit(Request::Join {
+                a: ha.id(),
+                b: hb.id(),
+                execution: None,
+            })
+            .unwrap_err();
+        assert!(matches!(err, EngineError::DeadlineExceeded { .. }));
+    }
+
+    #[test]
+    fn explicit_cancellation_returns_cancelled() {
+        let a = msj_datagen::small_carto(40, 24.0, 1105);
+        let b = msj_datagen::small_carto(40, 24.0, 1106);
+        let engine = SpatialEngine::new(JoinConfig::default());
+        let (ha, hb) = (engine.register(a), engine.register(b));
+        let token = CancelToken::new();
+        token.cancel();
+        let err = engine
+            .submit_with_cancel(
+                Request::Join {
+                    a: ha.id(),
+                    b: hb.id(),
+                    execution: None,
+                },
+                &token,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Cancelled { .. }));
+        assert_eq!(
+            engine
+                .metrics()
+                .snapshot()
+                .counter("msj_request_cancelled_total"),
+            1
+        );
+    }
+
+    #[test]
+    fn injected_cancel_fault_stops_mid_run() {
+        let a = msj_datagen::small_carto(80, 24.0, 1107);
+        let b = msj_datagen::small_carto(80, 24.0, 1108);
+        let engine = SpatialEngine::new(
+            JoinConfig::builder()
+                .batch_pairs(16)
+                .fault(FaultConfig::seeded(
+                    3,
+                    msj_fault::FaultKind::CancelAtBatch { batch: 0 },
+                ))
+                .build(),
+        );
+        let (ha, hb) = (engine.register(a), engine.register(b));
+        let token = CancelToken::new();
+        let err = engine
+            .submit_with_cancel(
+                Request::Join {
+                    a: ha.id(),
+                    b: hb.id(),
+                    execution: None,
+                },
+                &token,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Cancelled { .. }), "{err:?}");
+        // The injected fault is one-shot per engine: the retry completes.
+        let clean = engine.submit(Request::Join {
+            a: ha.id(),
+            b: hb.id(),
+            execution: None,
+        });
+        assert!(clean.is_ok());
+        let snap = engine.metrics().snapshot();
+        assert_eq!(
+            snap.counter("msj_fault_injected_total{site=\"cancel_at_batch\"}"),
+            1
+        );
+    }
+
+    #[test]
+    fn injected_worker_panic_is_contained_and_engine_stays_clean() {
+        let a = msj_datagen::small_carto(80, 24.0, 1109);
+        let b = msj_datagen::small_carto(80, 24.0, 1110);
+        for execution in [Execution::Serial, Execution::Fused { threads: 4 }] {
+            // Fault-free reference under this exact policy.
+            let baseline = {
+                let engine = SpatialEngine::new(JoinConfig::builder().execution(execution).build());
+                let (ha, hb) = (engine.register(a.clone()), engine.register(b.clone()));
+                engine.prepare_join(&ha, &hb).run().pairs
+            };
+            for seed in [1u64, 42, 977] {
+                // Small batches guarantee every run sees at least
+                // BATCH_SPREAD batch boundaries, so the seeded fault
+                // always lands.
+                let engine = SpatialEngine::new(
+                    JoinConfig::builder()
+                        .execution(execution)
+                        .batch_pairs(8)
+                        .fault(FaultConfig::seeded(seed, msj_fault::FaultKind::WorkerPanic))
+                        .build(),
+                );
+                let (ha, hb) = (engine.register(a.clone()), engine.register(b.clone()));
+                let request = Request::Join {
+                    a: ha.id(),
+                    b: hb.id(),
+                    execution: None,
+                };
+                let err = engine.submit(request).unwrap_err();
+                match &err {
+                    EngineError::WorkerPanicked { message, .. } => {
+                        assert!(message.contains("injected fault"), "{message}")
+                    }
+                    other => panic!("expected WorkerPanicked, got {other:?}"),
+                }
+                // The panic never poisons engine state: the identical
+                // request on the same instance completes byte-identically
+                // to the fault-free engine.
+                let clean = engine
+                    .submit(Request::Join {
+                        a: ha.id(),
+                        b: hb.id(),
+                        execution: None,
+                    })
+                    .unwrap();
+                match clean {
+                    Response::Join(resp) => assert_eq!(resp.pairs, baseline),
+                    other => panic!("expected a join response, got {other:?}"),
+                }
+                let snap = engine.metrics().snapshot();
+                assert_eq!(snap.counter("msj_worker_panics_total"), 1);
+                assert_eq!(
+                    snap.counter("msj_fault_injected_total{site=\"worker_panic\"}"),
+                    1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injected_raster_corruption_degrades_and_answers_stay_correct() {
+        let a = msj_datagen::small_carto(60, 24.0, 1111);
+        let b = msj_datagen::small_carto(60, 24.0, 1112);
+        let baseline = {
+            let engine = SpatialEngine::new(JoinConfig::default());
+            let (ha, hb) = (engine.register(a.clone()), engine.register(b.clone()));
+            engine.prepare_join(&ha, &hb).run().pairs
+        };
+        let engine = SpatialEngine::new(
+            JoinConfig::builder()
+                .obs(ObsConfig::with_traces(8))
+                .fault(FaultConfig::seeded(5, msj_fault::FaultKind::RasterCorrupt))
+                .build(),
+        );
+        let (ha, hb) = (engine.register(a.clone()), engine.register(b.clone()));
+        let prepared = engine.prepare_join(&ha, &hb);
+        assert_eq!(prepared.degraded_reason(), Some("fault_injected"));
+        // Filter-only path: answers identical, Step 2a simply absent.
+        let result = prepared.run();
+        assert_eq!(result.pairs, baseline);
+        assert_eq!(result.stats.raster_hits + result.stats.raster_drops, 0);
+        let snap = engine.metrics().snapshot();
+        assert_eq!(
+            snap.counter("msj_degraded_mode_total{reason=\"fault_injected\"}"),
+            1
+        );
+        assert_eq!(
+            snap.counter("msj_fault_injected_total{site=\"raster_corrupt\"}"),
+            1
+        );
+        assert!(engine
+            .recent_traces()
+            .iter()
+            .any(|t| t.kind == "degraded_mode"));
+        // With the fallback forbidden, the same corruption is an error.
+        let strict = SpatialEngine::new(
+            JoinConfig::builder()
+                .allow_degraded(false)
+                .fault(FaultConfig::seeded(5, msj_fault::FaultKind::RasterCorrupt))
+                .build(),
+        );
+        let (sa, sb) = (strict.register(a), strict.register(b));
+        let err = strict
+            .try_prepare_join(&sa, &sb)
+            .err()
+            .expect("strict engine must refuse the corrupted pair");
+        assert_eq!(
+            err,
+            EngineError::DegradedUnavailable {
+                reason: "fault_injected"
+            }
+        );
+    }
+
+    #[test]
+    fn failed_requests_are_traced_and_counted_per_kind() {
+        let a = msj_datagen::small_carto(40, 24.0, 1113);
+        let b = msj_datagen::small_carto(40, 24.0, 1114);
+        let engine = SpatialEngine::new(
+            JoinConfig::builder()
+                .obs(ObsConfig::with_traces(8))
+                .batch_pairs(8)
+                .fault(FaultConfig::seeded(9, msj_fault::FaultKind::WorkerPanic))
+                .build(),
+        );
+        let (ha, hb) = (engine.register(a), engine.register(b));
+        let err = engine
+            .submit(Request::Join {
+                a: ha.id(),
+                b: hb.id(),
+                execution: None,
+            })
+            .unwrap_err();
+        assert!(matches!(err, EngineError::WorkerPanicked { .. }));
+        let traces = engine.recent_traces();
+        assert!(traces.iter().any(|t| t.kind == "join_panic"));
+        let prom = engine.metrics().render_prometheus();
+        assert!(prom.contains("msj_worker_panics_total 1"));
+        assert!(prom.contains("msj_request_errors_total{kind=\"worker_panicked\"} 1"));
     }
 
     #[test]

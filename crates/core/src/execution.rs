@@ -31,10 +31,15 @@ use crate::filter::{FilterOutcome, GeometricFilter};
 use crate::pipeline::JoinResult;
 use crate::stats::MultiStepStats;
 use msj_exact::ExactProcessor;
-use msj_geom::{resolve_threads, ObjectId, PairConsumer, PairSink, Relation};
+use msj_fault::{FaultAction, FaultSession};
+use msj_geom::{
+    panic_message, resolve_threads, CancelReason, CancelToken, ObjectId, PairConsumer, PairSink,
+    Relation, WorkerPanic,
+};
 use msj_obs::{ObsConfig, Span, Step, StepSpans, WorkerLane, WorkerTelemetry};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How the engine schedules Steps 2–3 relative to Step 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,6 +81,30 @@ const _: () = {
 /// counters (including its private `exact_ops`).
 type Partial = (Vec<(ObjectId, ObjectId)>, MultiStepStats);
 
+/// Why a controlled run ([`ScopedPreparedJoin::try_run_with`]) failed.
+/// The engine maps this onto its public [`crate::EngineError`] variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum RunError {
+    /// The run's cancel token read cancelled (explicitly or because its
+    /// deadline expired); the run stopped at a batch boundary.
+    Cancelled {
+        /// Why the token tripped.
+        reason: CancelReason,
+        /// Wall-clock since the token was armed.
+        elapsed: Duration,
+        /// Step-1 candidates delivered before the stop.
+        partial_candidates: u64,
+    },
+    /// A worker thread (or the calling thread's fused sink) panicked;
+    /// the panic was contained at the run boundary.
+    Panicked {
+        /// Attach-order index of the panicking worker.
+        worker: usize,
+        /// The panic payload, rendered.
+        message: String,
+    },
+}
+
 /// The engine's pair consumer: every attached sink classifies candidates
 /// through the shared filter and exact processor, accumulating into
 /// worker-local state that is published on detach (sink drop).
@@ -91,15 +120,31 @@ struct FusedConsumer<'a> {
     /// Whether sinks read the clock at all
     /// ([`msj_obs::ObsConfig::enabled`]).
     timed: bool,
+    /// The run's cooperative cancel token; sinks poll it once per batch
+    /// and drop further candidates once it reads cancelled.
+    cancel: Option<&'a CancelToken>,
+    /// The run's armed fault plan (inert in production); sinks offer it
+    /// every batch boundary as an injection site.
+    fault: &'a FaultSession,
+    /// Requested downstream worker count (the fault plan derives its
+    /// target worker modulo this).
+    workers: usize,
+    /// Attach-order counter — gives every sink a stable worker index
+    /// even when telemetry is off.
+    attached: AtomicUsize,
 }
 
 impl<'a> FusedConsumer<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         filter: &'a GeometricFilter,
         exact: &'a ExactProcessor<'a>,
         spans: &'a StepSpans,
         telemetry: Option<&'a WorkerTelemetry>,
         timed: bool,
+        cancel: Option<&'a CancelToken>,
+        fault: &'a FaultSession,
+        workers: usize,
     ) -> Self {
         FusedConsumer {
             filter,
@@ -108,11 +153,20 @@ impl<'a> FusedConsumer<'a> {
             spans,
             telemetry,
             timed,
+            cancel,
+            fault,
+            workers,
+            attached: AtomicUsize::new(0),
         }
     }
 
     fn into_partials(self) -> Vec<Partial> {
-        self.partials.into_inner().expect("worker panicked")
+        // A sink that panicked mid-batch still published its partial on
+        // drop but poisoned the mutex doing so; the data is a plain
+        // commutative accumulator, so recover it rather than propagate.
+        self.partials
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 }
 
@@ -120,6 +174,7 @@ impl PairConsumer for FusedConsumer<'_> {
     fn attach(&self) -> Box<dyn PairSink + '_> {
         Box::new(FusedSink {
             owner: self,
+            worker: self.attached.fetch_add(1, Ordering::Relaxed),
             lane: self.telemetry.map(|t| t.attach_consumer()),
             pairs: Vec::new(),
             stats: MultiStepStats::default(),
@@ -131,6 +186,9 @@ impl PairConsumer for FusedConsumer<'_> {
 /// One worker's sink: Steps 2–3 fused into the candidate stream.
 struct FusedSink<'a> {
     owner: &'a FusedConsumer<'a>,
+    /// This sink's attach-order worker index (fault-targeting and panic
+    /// attribution).
+    worker: usize,
     /// This sink's consumer-side telemetry lane (attach order).
     lane: Option<&'a WorkerLane>,
     pairs: Vec<(ObjectId, ObjectId)>,
@@ -196,6 +254,29 @@ impl PairSink for FusedSink<'_> {
     }
 
     fn consume_batch(&mut self, batch: &[(ObjectId, ObjectId)]) {
+        // Batch boundary: the one injection site and cancellation point
+        // shared by every execution policy and backend — a disabled
+        // plan costs a single never-taken branch here.
+        if self.owner.fault.armed() {
+            match self.owner.fault.on_batch(self.worker, self.owner.workers) {
+                FaultAction::Proceed => {}
+                FaultAction::Panic => std::panic::panic_any(WorkerPanic {
+                    worker: self.worker,
+                    message: self.owner.fault.panic_message(),
+                }),
+                FaultAction::Sleep(stall) => std::thread::sleep(stall),
+                FaultAction::Cancel => {
+                    if let Some(token) = self.owner.cancel {
+                        token.cancel();
+                    }
+                }
+            }
+        }
+        if self.owner.cancel.is_some_and(|c| c.is_cancelled()) {
+            // The run is tearing down: drop the batch unprocessed. The
+            // Step-1 backend stops producing at its own next boundary.
+            return;
+        }
         if let Some(lane) = self.lane {
             lane.add_pairs(batch.len() as u64);
             lane.inc_batches();
@@ -230,10 +311,13 @@ impl PairSink for FusedSink<'_> {
 impl Drop for FusedSink<'_> {
     fn drop(&mut self) {
         let partial = (std::mem::take(&mut self.pairs), self.stats);
+        // Runs during unwind too (a panicking worker detaches its sink):
+        // never double-panic on a mutex another panicking worker
+        // poisoned — the partials are commutative sums, safe to recover.
         self.owner
             .partials
             .lock()
-            .expect("worker panicked")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .push(partial);
     }
 }
@@ -297,6 +381,58 @@ impl<'a> ScopedPreparedJoin<'a> {
     /// Runs Steps 1–3 under an explicit policy (the preparation is
     /// policy-independent).
     pub fn run_with(&self, execution: Execution) -> JoinResult {
+        let fault = FaultSession::inert();
+        self.run_controlled(execution, None, &fault)
+    }
+
+    /// [`run_with`](Self::run_with) that can fail: the run polls `cancel`
+    /// at every batch boundary, offers `fault` every batch as an
+    /// injection site, and catches worker panics at the join boundary —
+    /// a panicking worker yields [`RunError::Panicked`] instead of
+    /// unwinding through the caller, leaving the prepared join reusable.
+    pub(crate) fn try_run_with(
+        &self,
+        execution: Execution,
+        cancel: Option<&CancelToken>,
+        fault: &FaultSession,
+    ) -> Result<JoinResult, RunError> {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_controlled(execution, cancel, fault)
+        }));
+        let result = match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                let panic = match payload.downcast::<WorkerPanic>() {
+                    Ok(panic) => *panic,
+                    Err(payload) => WorkerPanic {
+                        worker: 0,
+                        message: panic_message(payload.as_ref()),
+                    },
+                };
+                return Err(RunError::Panicked {
+                    worker: panic.worker,
+                    message: panic.message,
+                });
+            }
+        };
+        if let Some(token) = cancel {
+            if let Some(reason) = token.reason() {
+                return Err(RunError::Cancelled {
+                    reason,
+                    elapsed: token.elapsed(),
+                    partial_candidates: result.stats.mbr_join.candidates,
+                });
+            }
+        }
+        Ok(result)
+    }
+
+    fn run_controlled(
+        &self,
+        execution: Execution,
+        cancel: Option<&CancelToken>,
+        fault: &FaultSession,
+    ) -> JoinResult {
         let (workers, fused) = match execution {
             Execution::Serial => (1, false),
             Execution::Fused { threads } => (resolve_threads(threads), true),
@@ -314,11 +450,14 @@ impl<'a> ScopedPreparedJoin<'a> {
             &spans,
             telemetry.as_ref(),
             self.obs.enabled,
+            cancel,
+            fault,
+            workers,
         );
         let t_run = self.obs.enabled.then(Span::start);
-        let step1 = self
-            .source
-            .join_candidates_observed(&consumer, workers, telemetry.as_ref());
+        let step1 =
+            self.source
+                .join_candidates_controlled(&consumer, workers, telemetry.as_ref(), cancel);
 
         // Deterministic merge: all counters are commutative sums, so the
         // worker completion order cannot influence the totals.

@@ -89,6 +89,11 @@ pub struct GeometricFilter {
     /// Step-2a raster signatures, both relations on one shared grid.
     raster_a: Option<Arc<RasterStore>>,
     raster_b: Option<Arc<RasterStore>>,
+    /// FNV checksums of the two raster stores recorded when they were
+    /// built ([`msj_approx::RasterStore::checksum`]); the engine
+    /// re-verifies them to detect signature corruption and fall back to
+    /// the filter-only path.
+    raster_checksums: Option<(u64, u64)>,
     conservative_a: Option<Arc<ConservativeStore>>,
     conservative_b: Option<Arc<ConservativeStore>>,
     progressive_a: Option<Arc<ProgressiveStore>>,
@@ -135,6 +140,7 @@ impl GeometricFilter {
         let mut filter = GeometricFilter {
             raster_a: None,
             raster_b: None,
+            raster_checksums: None,
             conservative_a,
             conservative_b,
             progressive_a,
@@ -171,10 +177,40 @@ impl GeometricFilter {
             grid_bits.clamp(MIN_GRID_BITS, MAX_GRID_BITS)
         };
         if let Some(grid) = RasterGrid::covering(rel_a, rel_b, bits) {
-            self.raster_a = Some(Arc::new(RasterStore::build(&grid, rel_a)));
-            self.raster_b = Some(Arc::new(RasterStore::build(&grid, rel_b)));
+            let store_a = RasterStore::build(&grid, rel_a);
+            let store_b = RasterStore::build(&grid, rel_b);
+            self.raster_checksums = Some((store_a.checksum(), store_b.checksum()));
+            self.raster_a = Some(Arc::new(store_a));
+            self.raster_b = Some(Arc::new(store_b));
         }
         self
+    }
+
+    /// Recomputes the raster-store checksums and compares them with the
+    /// values recorded at build. `true` means intact (vacuously so when
+    /// the stage is inactive); `false` means the signatures no longer
+    /// match what was built — the engine then degrades to the
+    /// filter-only path or refuses, per
+    /// [`crate::JoinConfig::allow_degraded`].
+    pub fn verify_raster(&self) -> bool {
+        match (&self.raster_a, &self.raster_b, self.raster_checksums) {
+            (Some(a), Some(b), Some((ca, cb))) => a.checksum() == ca && b.checksum() == cb,
+            (None, None, _) => true,
+            // Stores without recorded checksums (or vice versa) are
+            // themselves an integrity violation.
+            _ => false,
+        }
+    }
+
+    /// Drops the Step-2a raster stage, keeping the conservative /
+    /// progressive chain — the **degraded mode** entered on detected
+    /// signature corruption. The response set is unaffected (the stage
+    /// only pre-decides pairs the chain and exact step would decide the
+    /// same way); only speed degrades.
+    pub fn strip_raster(&mut self) {
+        self.raster_a = None;
+        self.raster_b = None;
+        self.raster_checksums = None;
     }
 
     /// The filter a [`crate::JoinConfig`] asks for: built stores when any
@@ -206,6 +242,7 @@ impl GeometricFilter {
         GeometricFilter {
             raster_a: None,
             raster_b: None,
+            raster_checksums: None,
             conservative_a: None,
             conservative_b: None,
             progressive_a: None,

@@ -134,3 +134,8 @@ pub use msj_obs::{
     EngineSnapshot, Histogram, HistogramSnapshot, LaneRole, MetricsRegistry, ObsConfig, Step,
     Trace, TraceSteps, WorkerLaneSnapshot, SNAPSHOT_SCHEMA,
 };
+// Robustness surface: deadlines / cooperative cancellation
+// ([`CancelToken`] on [`SpatialEngine::submit_with_cancel`]) and the
+// deterministic fault-injection plan ([`JoinConfig::fault`]).
+pub use msj_fault::{FaultConfig, FaultKind};
+pub use msj_geom::{CancelReason, CancelToken};

@@ -1,0 +1,415 @@
+//! # msj-fault — deterministic fault injection for the join engine
+//!
+//! The engine's failure story is only trustworthy if failures can be
+//! *manufactured on demand, deterministically*: the chaos suite replays
+//! the same seed and must see the same fault at the same site. This crate
+//! is the seed-driven fault plan shared by the execution engine
+//! (`msj-core`) and the chaos tests — vendored, dependency-free, and
+//! zero-cost when disabled (every injection hook is one branch on a
+//! `Copy` field).
+//!
+//! ## The model
+//!
+//! A [`FaultConfig`] is a *plan* ([`FaultKind`]) plus a *seed*. The plan
+//! names what goes wrong; the seed picks **where** — which candidate
+//! batch boundary the fault lands on, via a splitmix64 derivation over a
+//! small spread ([`BATCH_SPREAD`]) — so sweeping seeds sweeps the
+//! injection site without changing any other input. Batch boundaries,
+//! not worker identities, anchor the derivation: under the fused
+//! fan-out, *which* worker consumes a given chunk is scheduler-dependent
+//! (a starved worker may never see one), while the global batch stream
+//! always arrives. Per run, the engine arms a [`FaultSession`] and polls
+//! it from the existing span boundaries:
+//!
+//! * [`FaultSession::on_batch`] — called by each consumer sink once per
+//!   candidate batch (the Step-2/Step-3 span boundary). Returns the
+//!   [`FaultAction`] to take: panic, stall, cancel, or proceed.
+//! * [`FaultSession::corrupt_raster`] — consulted when the Step-2a raster
+//!   stores are built/verified; `true` simulates a checksum mismatch.
+//!
+//! The session records the first site that fired ([`FaultSession::fired`])
+//! so the engine can turn every injected fault into a trace event and a
+//! metrics increment.
+//!
+//! ## Environment knobs
+//!
+//! [`FaultConfig::from_env`] reads:
+//!
+//! * `MSJ_FAULT_PLAN` — `worker_panic`, `slow_worker:<millis>`,
+//!   `raster_corrupt`, or `cancel_at_batch:<n>`; unset or unparsable
+//!   means *disabled*.
+//! * `MSJ_FAULT_SEED` — decimal `u64`, defaults to `0`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What the fault plan injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker consuming the seed-selected candidate batch panics.
+    WorkerPanic,
+    /// The worker consuming the seed-selected candidate batch stalls
+    /// `millis` — a straggler, not a failure.
+    SlowWorker {
+        /// Stall duration in milliseconds.
+        millis: u32,
+    },
+    /// The Step-2a raster signatures read as corrupted (checksum
+    /// mismatch), forcing the degraded filter-only path.
+    RasterCorrupt,
+    /// The request's cancel token fires when the `batch`-th candidate
+    /// batch (0-based, counted across all workers) is consumed.
+    CancelAtBatch {
+        /// Global 0-based batch index at which cancellation fires.
+        batch: u32,
+    },
+}
+
+impl FaultKind {
+    /// The stable site name used for metrics labels and trace events.
+    pub fn site(&self) -> &'static str {
+        match self {
+            FaultKind::WorkerPanic => "worker_panic",
+            FaultKind::SlowWorker { .. } => "slow_worker",
+            FaultKind::RasterCorrupt => "raster_corrupt",
+            FaultKind::CancelAtBatch { .. } => "cancel_at_batch",
+        }
+    }
+}
+
+/// The engine-facing fault plan: a [`FaultKind`] plus the seed that
+/// derives the injection site. `Copy` so it rides on `JoinConfig`
+/// unchanged; [`FaultConfig::disabled`] (the default) is the zero-cost
+/// no-op plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultConfig {
+    /// Derives which worker a worker-targeted fault lands on.
+    pub seed: u64,
+    /// The plan; `None` disables injection entirely.
+    pub kind: Option<FaultKind>,
+}
+
+impl FaultConfig {
+    /// No injection — the default, and the production configuration.
+    pub const fn disabled() -> Self {
+        FaultConfig {
+            seed: 0,
+            kind: None,
+        }
+    }
+
+    /// A seeded plan.
+    pub const fn seeded(seed: u64, kind: FaultKind) -> Self {
+        FaultConfig {
+            seed,
+            kind: Some(kind),
+        }
+    }
+
+    /// Whether any fault is armed.
+    pub const fn enabled(&self) -> bool {
+        self.kind.is_some()
+    }
+
+    /// Reads `MSJ_FAULT_PLAN` / `MSJ_FAULT_SEED`; unset or unparsable
+    /// plan means [`disabled`](Self::disabled).
+    pub fn from_env() -> Self {
+        let seed = std::env::var("MSJ_FAULT_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        let kind = std::env::var("MSJ_FAULT_PLAN")
+            .ok()
+            .and_then(|s| parse_plan(&s));
+        FaultConfig { seed, kind }
+    }
+}
+
+/// Parses a `MSJ_FAULT_PLAN` value; `None` when unrecognized.
+pub fn parse_plan(text: &str) -> Option<FaultKind> {
+    let text = text.trim();
+    if let Some(rest) = text.strip_prefix("slow_worker:") {
+        return rest
+            .parse::<u32>()
+            .ok()
+            .map(|millis| FaultKind::SlowWorker { millis });
+    }
+    if let Some(rest) = text.strip_prefix("cancel_at_batch:") {
+        return rest
+            .parse::<u32>()
+            .ok()
+            .map(|batch| FaultKind::CancelAtBatch { batch });
+    }
+    match text {
+        "worker_panic" => Some(FaultKind::WorkerPanic),
+        "raster_corrupt" => Some(FaultKind::RasterCorrupt),
+        _ => None,
+    }
+}
+
+/// What an injection hook tells its caller to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No fault here — continue.
+    Proceed,
+    /// Panic with [`FaultSession::panic_message`] — the injected worker
+    /// failure.
+    Panic,
+    /// Stall this long, then continue — the injected straggler.
+    Sleep(Duration),
+    /// Cancel the request's token, then continue draining.
+    Cancel,
+}
+
+/// How far into the batch stream a seed-targeted fault can land: the
+/// derived batch index is `splitmix64(seed) % BATCH_SPREAD`. Kept small
+/// so any run with at least this many candidate batches is guaranteed to
+/// fire the plan.
+pub const BATCH_SPREAD: u64 = 4;
+
+/// splitmix64 — the one-instruction-deep seed mixer (Steele et al.),
+/// vendored so the crate stays dependency-free.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// One run's armed fault state: the per-run counters that make "first
+/// batch", "`n`-th batch" well-defined, plus the fired-site latch the
+/// engine reads back for observability.
+#[derive(Debug)]
+pub struct FaultSession {
+    config: FaultConfig,
+    /// Global batch counter across all workers (drives `CancelAtBatch`).
+    batches: AtomicU64,
+    /// One-shot latch: worker-targeted faults fire exactly once per run.
+    fired: AtomicBool,
+}
+
+impl FaultSession {
+    /// Arms `config` for one run.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultSession {
+            config,
+            batches: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// A permanently inert session.
+    pub fn inert() -> Self {
+        FaultSession::new(FaultConfig::disabled())
+    }
+
+    /// Whether any fault is armed (the zero-cost fast-path check).
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.config.enabled()
+    }
+
+    /// The armed plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.config.seed
+    }
+
+    /// The 0-based global batch index a seed-targeted fault lands on:
+    /// the first batch at or after it fires the plan. Chaos
+    /// configurations keep `batch_pairs` small enough that every run
+    /// sees at least [`BATCH_SPREAD`] batches, so the fault is
+    /// guaranteed to fire.
+    pub fn target_batch(&self) -> u64 {
+        splitmix64(self.config.seed) % BATCH_SPREAD
+    }
+
+    /// The per-batch injection hook, called by each consumer sink once
+    /// per candidate batch with its 0-based `worker` index and the run's
+    /// total worker count (reported in the panic site, not used for
+    /// targeting). One branch when disabled.
+    #[inline]
+    pub fn on_batch(&self, worker: usize, workers: usize) -> FaultAction {
+        let Some(kind) = self.config.kind else {
+            return FaultAction::Proceed;
+        };
+        self.on_batch_armed(kind, worker, workers)
+    }
+
+    #[cold]
+    fn on_batch_armed(&self, kind: FaultKind, _worker: usize, _workers: usize) -> FaultAction {
+        match kind {
+            FaultKind::WorkerPanic => {
+                let seen = self.batches.fetch_add(1, Ordering::Relaxed);
+                if seen >= self.target_batch() && self.latch() {
+                    FaultAction::Panic
+                } else {
+                    FaultAction::Proceed
+                }
+            }
+            FaultKind::SlowWorker { millis } => {
+                let seen = self.batches.fetch_add(1, Ordering::Relaxed);
+                if seen >= self.target_batch() && self.latch() {
+                    FaultAction::Sleep(Duration::from_millis(u64::from(millis)))
+                } else {
+                    FaultAction::Proceed
+                }
+            }
+            FaultKind::CancelAtBatch { batch } => {
+                let seen = self.batches.fetch_add(1, Ordering::Relaxed);
+                if seen >= u64::from(batch) && self.latch() {
+                    FaultAction::Cancel
+                } else {
+                    FaultAction::Proceed
+                }
+            }
+            FaultKind::RasterCorrupt => FaultAction::Proceed,
+        }
+    }
+
+    /// Whether the Step-2a raster stores should read as corrupted this
+    /// run (consulted where the stores are built/verified).
+    #[inline]
+    pub fn corrupt_raster(&self) -> bool {
+        if matches!(self.config.kind, Some(FaultKind::RasterCorrupt)) {
+            self.latch();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The site that fired this run, if any — the engine turns this into
+    /// a trace event and a `msj_fault_injected_total{site}` increment.
+    pub fn fired(&self) -> Option<&'static str> {
+        if self.fired.load(Ordering::Acquire) {
+            self.config.kind.map(|k| k.site())
+        } else {
+            None
+        }
+    }
+
+    /// The message worker-panic injections unwind with.
+    pub fn panic_message(&self) -> String {
+        format!("injected fault: worker_panic (seed {})", self.config.seed)
+    }
+
+    /// Latches the one-shot flag; `true` for the caller that won.
+    fn latch(&self) -> bool {
+        !self.fired.swap(true, Ordering::AcqRel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_session_always_proceeds() {
+        let s = FaultSession::inert();
+        assert!(!s.armed());
+        for w in 0..8 {
+            assert_eq!(s.on_batch(w, 8), FaultAction::Proceed);
+        }
+        assert!(!s.corrupt_raster());
+        assert_eq!(s.fired(), None);
+    }
+
+    #[test]
+    fn worker_panic_fires_once_at_the_seeded_batch() {
+        let s = FaultSession::new(FaultConfig::seeded(42, FaultKind::WorkerPanic));
+        let target = s.target_batch();
+        assert!(target < BATCH_SPREAD);
+        let mut fired_at = None;
+        for batch in 0..(BATCH_SPREAD * 3) {
+            match s.on_batch((batch % 4) as usize, 4) {
+                FaultAction::Panic => {
+                    assert_eq!(fired_at.replace(batch), None, "one-shot");
+                    assert_eq!(batch, target, "fires at the derived batch");
+                }
+                FaultAction::Proceed => {}
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert_eq!(fired_at, Some(target));
+        assert_eq!(s.fired(), Some("worker_panic"));
+    }
+
+    #[test]
+    fn target_batch_is_seed_deterministic_and_bounded() {
+        let a = FaultSession::new(FaultConfig::seeded(7, FaultKind::WorkerPanic));
+        let b = FaultSession::new(FaultConfig::seeded(7, FaultKind::WorkerPanic));
+        assert_eq!(a.target_batch(), b.target_batch());
+        for seed in 0..64 {
+            let s = FaultSession::new(FaultConfig::seeded(seed, FaultKind::WorkerPanic));
+            assert!(s.target_batch() < BATCH_SPREAD);
+        }
+    }
+
+    #[test]
+    fn cancel_at_batch_counts_globally() {
+        let s = FaultSession::new(FaultConfig::seeded(
+            1,
+            FaultKind::CancelAtBatch { batch: 2 },
+        ));
+        assert_eq!(s.on_batch(0, 1), FaultAction::Proceed);
+        assert_eq!(s.on_batch(0, 1), FaultAction::Proceed);
+        assert_eq!(s.on_batch(0, 1), FaultAction::Cancel);
+        assert_eq!(s.on_batch(0, 1), FaultAction::Proceed, "one-shot");
+        assert_eq!(s.fired(), Some("cancel_at_batch"));
+    }
+
+    #[test]
+    fn slow_worker_reports_the_configured_stall() {
+        let s = FaultSession::new(FaultConfig::seeded(3, FaultKind::SlowWorker { millis: 25 }));
+        let mut stalls = 0;
+        for _ in 0..(BATCH_SPREAD * 2) {
+            match s.on_batch(0, 1) {
+                FaultAction::Sleep(d) => {
+                    assert_eq!(d, Duration::from_millis(25));
+                    stalls += 1;
+                }
+                FaultAction::Proceed => {}
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert_eq!(stalls, 1, "one-shot");
+    }
+
+    #[test]
+    fn raster_corrupt_latches_the_fired_site() {
+        let s = FaultSession::new(FaultConfig::seeded(9, FaultKind::RasterCorrupt));
+        assert!(s.corrupt_raster());
+        assert_eq!(s.on_batch(0, 1), FaultAction::Proceed);
+        assert_eq!(s.fired(), Some("raster_corrupt"));
+    }
+
+    #[test]
+    fn plan_parsing_covers_every_kind_and_rejects_noise() {
+        assert_eq!(parse_plan("worker_panic"), Some(FaultKind::WorkerPanic));
+        assert_eq!(
+            parse_plan("slow_worker:15"),
+            Some(FaultKind::SlowWorker { millis: 15 })
+        );
+        assert_eq!(parse_plan("raster_corrupt"), Some(FaultKind::RasterCorrupt));
+        assert_eq!(
+            parse_plan(" cancel_at_batch:3 "),
+            Some(FaultKind::CancelAtBatch { batch: 3 })
+        );
+        assert_eq!(parse_plan("slow_worker:"), None);
+        assert_eq!(parse_plan("unplugged"), None);
+        assert_eq!(parse_plan(""), None);
+    }
+
+    #[test]
+    fn config_roundtrips_site_names() {
+        for (kind, site) in [
+            (FaultKind::WorkerPanic, "worker_panic"),
+            (FaultKind::SlowWorker { millis: 1 }, "slow_worker"),
+            (FaultKind::RasterCorrupt, "raster_corrupt"),
+            (FaultKind::CancelAtBatch { batch: 0 }, "cancel_at_batch"),
+        ] {
+            assert_eq!(kind.site(), site);
+        }
+    }
+}

@@ -13,7 +13,37 @@
 //! step right there, on the producing thread.
 
 use crate::object::ObjectId;
+use std::any::Any;
 use std::sync::{Mutex, MutexGuard};
+
+/// The structured payload a Step-1 backend re-raises when one of its
+/// worker threads panicked: which worker, and the panic message it died
+/// with. The execution engine (`msj-core`) catches this at the join
+/// boundary and converts it into a structured `WorkerPanicked` error, so
+/// a panic in one tile/chunk worker fails *the request*, not the engine.
+#[derive(Debug)]
+pub struct WorkerPanic {
+    /// 0-based index of the worker thread that panicked.
+    pub worker: usize,
+    /// The panic payload rendered as text (see [`panic_message`]).
+    pub message: String,
+}
+
+/// Renders a caught panic payload as text: `&str` and `String` payloads
+/// (what `panic!` produces) pass through; anything else gets a
+/// placeholder. Also unwraps an already-structured [`WorkerPanic`] so
+/// nested catch/re-raise layers don't stack placeholders.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(wp) = payload.downcast_ref::<WorkerPanic>() {
+        wp.message.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// Resolves a requested worker-thread count: `0` means "use the machine's
 /// available parallelism". Shared by every execution path (the fused
@@ -105,7 +135,13 @@ impl<'a, 'b> PairBatchBuffer<'a, 'b> {
 
 impl Drop for PairBatchBuffer<'_, '_> {
     fn drop(&mut self) {
-        self.flush();
+        // Never re-enter the sink while this thread is unwinding: the
+        // sink is what panicked, and a second panic would abort the
+        // process. A cancelled/panicked worker's buffered pairs are
+        // discarded with the run.
+        if !std::thread::panicking() {
+            self.flush();
+        }
     }
 }
 

@@ -15,7 +15,9 @@
 //! * structural validators ([`validate`]) used by tests and the data
 //!   generator;
 //! * the execution plumbing shared by every join path ([`exec`]): the
-//!   `Sync` pair-consumer protocol and thread-count resolution;
+//!   `Sync` pair-consumer protocol and thread-count resolution, plus the
+//!   cooperative [`CancelToken`] every backend polls at batch boundaries
+//!   ([`cancel`]);
 //! * runtime-dispatched wide kernels for the hot loops ([`kernels`]):
 //!   SoA MBR scans, MER fast-accept and probe masks, with a scalar
 //!   reference path selectable via [`KernelDispatch`].
@@ -25,6 +27,7 @@
 //! as intersection, matching the intersection join of the paper.
 
 pub mod calipers;
+pub mod cancel;
 pub mod clip;
 pub mod exec;
 pub mod hull;
@@ -40,8 +43,12 @@ pub mod validate;
 pub mod wkt;
 
 pub use calipers::{min_area_rect, OrientedRect};
+pub use cancel::{CancelReason, CancelToken};
 pub use clip::{clip_convex, convex_intersect, convex_intersection_area, ring_area};
-pub use exec::{resolve_threads, FnConsumer, PairBatchBuffer, PairConsumer, PairSink};
+pub use exec::{
+    panic_message, resolve_threads, FnConsumer, PairBatchBuffer, PairConsumer, PairSink,
+    WorkerPanic,
+};
 pub use hull::{convex_contains_point, convex_hull};
 pub use kernels::KernelDispatch;
 pub use object::{ObjectId, RelHandle, Relation, SpatialObject};

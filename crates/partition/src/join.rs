@@ -6,8 +6,37 @@
 use crate::grid::Grid;
 use crate::stats::PartitionStats;
 use msj_geom::kernels::{self, KernelDispatch};
-use msj_geom::{resolve_threads, ObjectId, PairBatchBuffer, PairConsumer, Rect};
+use msj_geom::{
+    panic_message, resolve_threads, CancelToken, ObjectId, PairBatchBuffer, PairConsumer, Rect,
+    WorkerPanic,
+};
 use msj_obs::{WorkerLane, WorkerTelemetry};
+use std::thread::ScopedJoinHandle;
+
+/// Joins every scoped worker, isolating panics: all workers are drained
+/// (no thread leak, deterministic teardown), then the *first* panic is
+/// re-raised as a structured [`WorkerPanic`] carrying the worker index —
+/// the engine layer catches it at the join boundary and fails the request
+/// instead of the process.
+fn join_isolating_panics<T>(handles: Vec<ScopedJoinHandle<'_, T>>, mut on_ok: impl FnMut(T)) {
+    let mut panicked: Option<WorkerPanic> = None;
+    for (worker, handle) in handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(value) => on_ok(value),
+            Err(payload) => {
+                if panicked.is_none() {
+                    panicked = Some(WorkerPanic {
+                        worker,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            }
+        }
+    }
+    if let Some(panic) = panicked {
+        std::panic::resume_unwind(Box::new(panic));
+    }
+}
 
 /// What one tile's mini-join produced.
 #[derive(Debug, Default)]
@@ -258,6 +287,22 @@ pub fn partition_join_with<F: FnMut(ObjectId, ObjectId)>(
     b: &[(Rect, ObjectId)],
     tiles_per_axis: usize,
     threads: usize,
+    on_pair: F,
+) -> PartitionStats {
+    partition_join_cancellable_with(dispatch, a, b, tiles_per_axis, threads, None, on_pair)
+}
+
+/// [`partition_join_with`] with a cooperative [`CancelToken`], polled at
+/// every tile boundary (sweep side and replay side). Once cancelled, no
+/// further tiles are swept and no further pairs are replayed; the stats
+/// cover exactly the tiles that ran. `None` is the zero-overhead path.
+pub fn partition_join_cancellable_with<F: FnMut(ObjectId, ObjectId)>(
+    dispatch: KernelDispatch,
+    a: &[(Rect, ObjectId)],
+    b: &[(Rect, ObjectId)],
+    tiles_per_axis: usize,
+    threads: usize,
+    cancel: Option<&CancelToken>,
     mut on_pair: F,
 ) -> PartitionStats {
     let threads = resolve_threads(threads);
@@ -281,6 +326,9 @@ pub fn partition_join_with<F: FnMut(ObjectId, ObjectId)>(
     if workers <= 1 {
         let mut scratch = SweepScratch::default();
         for (tile, result) in results.iter_mut().enumerate() {
+            if cancel.is_some_and(|c| c.is_cancelled()) {
+                break; // tile boundary: stop sweeping, replay what ran
+            }
             run_tile(
                 dispatch,
                 &prep.grid,
@@ -313,6 +361,9 @@ pub fn partition_join_with<F: FnMut(ObjectId, ObjectId)>(
                     scope.spawn(move || {
                         let mut scratch = SweepScratch::default();
                         for (tile, result, bucket_a, bucket_b) in own {
+                            if cancel.is_some_and(|c| c.is_cancelled()) {
+                                break; // tile boundary: drop remaining tiles
+                            }
                             run_tile(
                                 dispatch,
                                 grid,
@@ -326,9 +377,7 @@ pub fn partition_join_with<F: FnMut(ObjectId, ObjectId)>(
                     })
                 })
                 .collect();
-            for handle in handles {
-                handle.join().expect("tile worker panicked");
-            }
+            join_isolating_panics(handles, |()| {});
         });
     }
 
@@ -336,6 +385,9 @@ pub fn partition_join_with<F: FnMut(ObjectId, ObjectId)>(
     // calling thread.
     let mut stats = base_stats(&prep, a.len(), b.len(), workers);
     for result in results {
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            break; // tile boundary: stop replaying delivered pairs
+        }
         stats.pair_tests += result.pair_tests;
         stats.dedup_skipped += result.dedup_skipped;
         stats.tile_candidates.push(result.pairs.len() as u64);
@@ -411,11 +463,17 @@ pub fn partition_join_workers_observed(
         batch,
         consumer,
         telemetry,
+        None,
     )
 }
 
 /// [`partition_join_workers_observed`] with an explicit kernel dispatch
-/// path.
+/// path and an optional cooperative [`CancelToken`], polled by every
+/// worker at each tile boundary: once cancelled, workers stop sweeping
+/// their remaining tiles, flush nothing further, and tear down normally.
+/// A worker that *panics* is isolated: the other workers drain, then the
+/// panic is re-raised as a structured [`WorkerPanic`] for the engine
+/// layer to catch.
 #[allow(clippy::too_many_arguments)]
 pub fn partition_join_workers_observed_with(
     dispatch: KernelDispatch,
@@ -426,6 +484,7 @@ pub fn partition_join_workers_observed_with(
     batch: usize,
     consumer: &dyn PairConsumer,
     telemetry: Option<&WorkerTelemetry>,
+    cancel: Option<&CancelToken>,
 ) -> PartitionStats {
     let workers = resolve_threads(workers);
     let Some(mut prep) = prepare(a, b, tiles_per_axis) else {
@@ -446,6 +505,9 @@ pub fn partition_join_workers_observed_with(
             .zip(prep.buckets_b.iter_mut())
             .enumerate()
         {
+            if cancel.is_some_and(|c| c.is_cancelled()) {
+                break; // tile boundary: stop sweeping
+            }
             let outcome = sweep_into(
                 dispatch,
                 &prep.grid,
@@ -481,28 +543,29 @@ pub fn partition_join_workers_observed_with(
                         let mut sink = consumer.attach();
                         let mut buffer = PairBatchBuffer::new(&mut *sink, batch);
                         let mut scratch = SweepScratch::default();
-                        own.into_iter()
-                            .map(|(tile, bucket_a, bucket_b)| {
-                                let outcome = sweep_into(
-                                    dispatch,
-                                    grid,
-                                    tile,
-                                    bucket_a,
-                                    bucket_b,
-                                    &mut scratch,
-                                    &mut buffer,
-                                );
-                                buffer.flush(); // tile boundary
-                                observe_tile(lane, &outcome);
-                                outcome
-                            })
-                            .collect::<Vec<TileOutcome>>()
+                        let mut done: Vec<TileOutcome> = Vec::with_capacity(own.len());
+                        for (tile, bucket_a, bucket_b) in own {
+                            if cancel.is_some_and(|c| c.is_cancelled()) {
+                                break; // tile boundary: drop remaining tiles
+                            }
+                            let outcome = sweep_into(
+                                dispatch,
+                                grid,
+                                tile,
+                                bucket_a,
+                                bucket_b,
+                                &mut scratch,
+                                &mut buffer,
+                            );
+                            buffer.flush(); // tile boundary
+                            observe_tile(lane, &outcome);
+                            done.push(outcome);
+                        }
+                        done
                     })
                 })
                 .collect();
-            for handle in handles {
-                outcomes.extend(handle.join().expect("tile worker panicked"));
-            }
+            join_isolating_panics(handles, |done| outcomes.extend(done));
         });
     }
 
@@ -660,6 +723,95 @@ mod tests {
                 local: Vec::new(),
             })
         }
+    }
+
+    #[test]
+    fn cancelled_worker_join_stops_at_tile_boundaries() {
+        let a = grid_items(10, 0.0, 8.0);
+        let b = grid_items(10, 4.0, 8.0);
+        let expect = reference(&a, &b);
+
+        // Pre-cancelled: no tiles sweep, no pairs arrive, stats stay
+        // well-formed.
+        for workers in [1usize, 4] {
+            let token = CancelToken::new();
+            token.cancel();
+            let consumer = Collecting::new();
+            let stats = partition_join_workers_observed_with(
+                KernelDispatch::auto(),
+                &a,
+                &b,
+                4,
+                workers,
+                7,
+                &consumer,
+                None,
+                Some(&token),
+            );
+            assert!(consumer.pairs.into_inner().unwrap().is_empty());
+            assert_eq!(stats.candidates(), 0, "workers {workers}");
+        }
+
+        // Cancelled mid-run from a sink: the delivered pairs are a
+        // subset of the full join (tiles that completed before the poll).
+        let token = CancelToken::new();
+        struct CancelAfter<'t> {
+            token: &'t CancelToken,
+            seen: Mutex<Vec<(ObjectId, ObjectId)>>,
+        }
+        impl msj_geom::PairConsumer for CancelAfter<'_> {
+            fn attach(&self) -> Box<dyn msj_geom::PairSink + '_> {
+                let token = self.token;
+                let seen = &self.seen;
+                Box::new(move |x: ObjectId, y: ObjectId| {
+                    let mut guard = seen.lock().unwrap();
+                    guard.push((x, y));
+                    if guard.len() == 8 {
+                        token.cancel();
+                    }
+                })
+            }
+        }
+        let consumer = CancelAfter {
+            token: &token,
+            seen: Mutex::new(Vec::new()),
+        };
+        partition_join_workers_observed_with(
+            KernelDispatch::auto(),
+            &a,
+            &b,
+            4,
+            1,
+            7,
+            &consumer,
+            None,
+            Some(&token),
+        );
+        let got = sorted(consumer.seen.into_inner().unwrap());
+        assert!(!got.is_empty());
+        assert!(got.len() < expect.len(), "stopped before completion");
+        assert!(got.iter().all(|p| expect.binary_search(p).is_ok()));
+    }
+
+    #[test]
+    fn worker_panic_is_reraised_as_structured_payload() {
+        let a = grid_items(10, 0.0, 8.0);
+        let b = grid_items(10, 4.0, 8.0);
+        struct Exploding;
+        impl msj_geom::PairConsumer for Exploding {
+            fn attach(&self) -> Box<dyn msj_geom::PairSink + '_> {
+                Box::new(|_: ObjectId, _: ObjectId| panic!("sink exploded"))
+            }
+        }
+        let caught = std::panic::catch_unwind(|| {
+            partition_join_workers(&a, &b, 4, 4, 7, &Exploding);
+        })
+        .expect_err("worker panic must propagate");
+        let wp = caught
+            .downcast_ref::<msj_geom::WorkerPanic>()
+            .expect("structured WorkerPanic payload");
+        assert!(wp.worker < 4, "worker index in range, got {}", wp.worker);
+        assert_eq!(wp.message, "sink exploded");
     }
 
     #[test]

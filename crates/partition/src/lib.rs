@@ -37,7 +37,8 @@ pub mod stats;
 
 pub use grid::{Grid, GridIndex};
 pub use join::{
-    partition_join, partition_join_with, partition_join_workers, partition_join_workers_observed,
-    partition_join_workers_observed_with, tile_sweep, tile_sweep_with, SweepScratch,
+    partition_join, partition_join_cancellable_with, partition_join_with, partition_join_workers,
+    partition_join_workers_observed, partition_join_workers_observed_with, tile_sweep,
+    tile_sweep_with, SweepScratch,
 };
 pub use stats::PartitionStats;

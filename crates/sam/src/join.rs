@@ -7,7 +7,7 @@
 use crate::buffer::{IoStats, LruBuffer};
 use crate::rstar::{Entry, RStarTree};
 use msj_geom::kernels::{self, KernelDispatch};
-use msj_geom::ObjectId;
+use msj_geom::{CancelToken, ObjectId};
 
 /// Statistics of one MBR-join execution.
 #[derive(Debug, Clone, Copy, Default)]
@@ -45,6 +45,22 @@ pub fn tree_join_with<F: FnMut(ObjectId, ObjectId)>(
     a: &RStarTree,
     b: &RStarTree,
     buffer: &mut LruBuffer,
+    on_pair: F,
+) -> JoinStats {
+    tree_join_cancellable_with(dispatch, a, b, buffer, None, on_pair)
+}
+
+/// [`tree_join_with`] with a cooperative [`CancelToken`]: the traversal
+/// polls the token once per node pair (one page's worth of sweep work)
+/// and, once cancelled, unwinds the recursion without visiting further
+/// nodes. Pairs already streamed stay streamed; the returned stats cover
+/// exactly the work performed. `None` is the zero-overhead path.
+pub fn tree_join_cancellable_with<F: FnMut(ObjectId, ObjectId)>(
+    dispatch: KernelDispatch,
+    a: &RStarTree,
+    b: &RStarTree,
+    buffer: &mut LruBuffer,
+    cancel: Option<&CancelToken>,
     mut on_pair: F,
 ) -> JoinStats {
     let mut stats = JoinStats::default();
@@ -54,6 +70,7 @@ pub fn tree_join_with<F: FnMut(ObjectId, ObjectId)>(
     }
     let mut ctx = TraversalCtx {
         dispatch,
+        cancel,
         hits: Vec::new(),
         ax: Vec::new(),
         ay0: Vec::new(),
@@ -85,8 +102,11 @@ pub fn tree_join_with<F: FnMut(ObjectId, ObjectId)>(
 /// Reusable scratch for the kernel-driven traversal: the hit-index list
 /// and the x-sorted entry columns of the current node pair (xmin, ymin,
 /// ymax, xmax per side). One allocation set serves the whole join.
-struct TraversalCtx {
+struct TraversalCtx<'c> {
     dispatch: KernelDispatch,
+    /// Polled once per node pair; `Some` + cancelled unwinds the
+    /// recursion at the next node boundary.
+    cancel: Option<&'c CancelToken>,
     hits: Vec<u32>,
     ax: Vec<f64>,
     ay0: Vec<f64>,
@@ -100,7 +120,7 @@ struct TraversalCtx {
 
 #[allow(clippy::too_many_arguments)]
 fn join_nodes<F: FnMut(ObjectId, ObjectId)>(
-    ctx: &mut TraversalCtx,
+    ctx: &mut TraversalCtx<'_>,
     a: &RStarTree,
     pa: u32,
     b: &RStarTree,
@@ -109,6 +129,11 @@ fn join_nodes<F: FnMut(ObjectId, ObjectId)>(
     stats: &mut JoinStats,
     on_pair: &mut F,
 ) {
+    // The cooperative cancellation point: one relaxed load per node pair
+    // keeps an over-deadline join within one page of extra sweep work.
+    if ctx.cancel.is_some_and(|c| c.is_cancelled()) {
+        return;
+    }
     let la = a.node_level(pa);
     let lb = b.node_level(pb);
 
@@ -317,11 +342,16 @@ pub fn tree_join_chunked_observed<F: FnMut(Vec<(ObjectId, ObjectId)>)>(
         buffer,
         chunk_capacity,
         lane,
+        None,
         on_chunk,
     )
 }
 
-/// [`tree_join_chunked_observed`] with an explicit kernel dispatch path.
+/// [`tree_join_chunked_observed`] with an explicit kernel dispatch path
+/// and an optional cooperative [`CancelToken`]. Cancellation stops the
+/// traversal at the next node boundary and suppresses the trailing
+/// partial chunk — a cancelled join's candidates are discarded anyway,
+/// so no downstream work is queued for them.
 #[allow(clippy::too_many_arguments)]
 pub fn tree_join_chunked_observed_with<F: FnMut(Vec<(ObjectId, ObjectId)>)>(
     dispatch: KernelDispatch,
@@ -330,6 +360,7 @@ pub fn tree_join_chunked_observed_with<F: FnMut(Vec<(ObjectId, ObjectId)>)>(
     buffer: &mut LruBuffer,
     chunk_capacity: usize,
     lane: Option<&msj_obs::WorkerLane>,
+    cancel: Option<&CancelToken>,
     mut on_chunk: F,
 ) -> JoinStats {
     let chunk_capacity = chunk_capacity.max(1);
@@ -342,14 +373,14 @@ pub fn tree_join_chunked_observed_with<F: FnMut(Vec<(ObjectId, ObjectId)>)>(
         on_chunk(chunk);
     };
     let mut chunk: Vec<(ObjectId, ObjectId)> = Vec::with_capacity(chunk_capacity);
-    let stats = tree_join_with(dispatch, a, b, buffer, |id_a, id_b| {
+    let stats = tree_join_cancellable_with(dispatch, a, b, buffer, cancel, |id_a, id_b| {
         chunk.push((id_a, id_b));
         if chunk.len() == chunk_capacity {
             let full = std::mem::replace(&mut chunk, Vec::with_capacity(chunk_capacity));
             emit(full);
         }
     });
-    if !chunk.is_empty() {
+    if !chunk.is_empty() && !cancel.is_some_and(|c| c.is_cancelled()) {
         emit(chunk);
     }
     stats
@@ -468,6 +499,62 @@ mod tests {
         assert_eq!(lane.pairs, streamed.len() as u64);
         assert_eq!(lane.batches, chunks);
         assert!(lane.peak_buffered >= 1 && lane.peak_buffered <= 7);
+    }
+
+    #[test]
+    fn cancelled_traversal_stops_within_one_chunk() {
+        let ia = grid_items(12, 0.0);
+        let ib = grid_items(12, 4.0);
+        let ta = build(&ia, 384);
+        let tb = build(&ib, 512);
+        let mut buffer = LruBuffer::new(4096);
+        let mut full = Vec::new();
+        tree_join(&ta, &tb, &mut buffer, |x, y| full.push((x, y)));
+        assert!(full.len() > 64);
+
+        // Cancel after the second chunk: delivery stops, the stream so
+        // far is a prefix of the full stream, and the trailing partial
+        // chunk is suppressed.
+        let token = CancelToken::new();
+        let mut got = Vec::new();
+        let mut chunks = 0;
+        let mut buffer = LruBuffer::new(4096);
+        let stats = tree_join_chunked_observed_with(
+            KernelDispatch::auto(),
+            &ta,
+            &tb,
+            &mut buffer,
+            16,
+            None,
+            Some(&token),
+            |chunk| {
+                chunks += 1;
+                got.extend(chunk);
+                if chunks == 2 {
+                    token.cancel();
+                }
+            },
+        );
+        assert_eq!(chunks, 2, "no chunks delivered after cancellation");
+        assert_eq!(got, full[..got.len()], "prefix of the full stream");
+        assert!(got.len() < full.len());
+        assert!(
+            stats.candidates < full.len() as u64,
+            "traversal stopped early"
+        );
+
+        // A pre-cancelled token yields no pairs at all.
+        let token = CancelToken::new();
+        token.cancel();
+        let mut buffer = LruBuffer::new(4096);
+        tree_join_cancellable_with(
+            KernelDispatch::auto(),
+            &ta,
+            &tb,
+            &mut buffer,
+            Some(&token),
+            |_, _| panic!("no pairs expected"),
+        );
     }
 
     #[test]

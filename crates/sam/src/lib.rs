@@ -22,7 +22,7 @@ pub mod rstar;
 pub use buffer::{IoStats, LruBuffer, PageId};
 pub use inl::index_nested_loop_join;
 pub use join::{
-    nested_loops_join, tree_join, tree_join_chunked, tree_join_chunked_observed,
-    tree_join_chunked_observed_with, tree_join_with, JoinStats,
+    nested_loops_join, tree_join, tree_join_cancellable_with, tree_join_chunked,
+    tree_join_chunked_observed, tree_join_chunked_observed_with, tree_join_with, JoinStats,
 };
 pub use rstar::{Entry, PageLayout, RStarTree};

@@ -81,6 +81,7 @@ pub use msj_approx as approx;
 pub use msj_core as core;
 pub use msj_datagen as datagen;
 pub use msj_exact as exact;
+pub use msj_fault as fault;
 pub use msj_geom as geom;
 pub use msj_obs as obs;
 pub use msj_partition as partition;
