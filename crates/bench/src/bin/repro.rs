@@ -77,7 +77,8 @@ fn main() {
 
     // The machine-readable bench can run standalone (`--json out.json`)
     // or alongside named experiments; `--only <section>` restricts it to
-    // one measurement section (step1 | join | raster | serving | kernels | obs | robustness).
+    // one measurement section (step1 | join | raster | serving | kernels | obs |
+    // robustness | serving_load).
     if let Some(path) = &json_path {
         if let Some(section) = &only {
             if !msj_bench::jsonout::SECTIONS.contains(&section.as_str()) {
@@ -154,7 +155,7 @@ fn print_help() {
          \u{20}      repro all [--scale ...]\n\
          \u{20}      repro --only <id> [--scale ...]     (one experiment, no suite)\n\
          \u{20}      repro --json <path> [--scale ...]   (machine-readable bench)\n\
-         \u{20}      repro --json <path> --only step1|join|...|robustness       (one section)\n\
+         \u{20}      repro --json <path> --only step1|join|...|serving_load     (one section)\n\
          \u{20}      repro --list"
     );
 }

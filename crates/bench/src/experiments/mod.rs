@@ -14,6 +14,7 @@ pub mod partitioned;
 pub mod raster;
 pub mod robustness;
 pub mod serving;
+pub mod serving_load;
 pub mod storage;
 pub mod total;
 
@@ -266,6 +267,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "robustness",
             description: "failure story: cancellation latency and fault-hook overhead",
             run: robustness::robustness,
+        },
+        Experiment {
+            id: "serving-load",
+            description: "network front: batched throughput, overload shedding, drain",
+            run: serving_load::serving_load,
         },
     ]
 }

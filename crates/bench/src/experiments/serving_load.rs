@@ -1,0 +1,359 @@
+//! Serving under concurrent network load (the PR-9 acceptance matrix).
+//!
+//! Three phases against a live `msj-serve` front:
+//!
+//! 1. **Serial** — one connection, one request outstanding at a time:
+//!    the per-query serving baseline including the full wire round trip;
+//! 2. **Batched** — 8 concurrent connections pipelining the same point
+//!    workload: concurrent probes coalesce into shared tree descents,
+//!    and the measured throughput must *exceed* the serial baseline
+//!    (the cross-request-batching acceptance bar);
+//! 3. **Overload** — a fresh single-worker server with a tiny join
+//!    queue, flooded well past 2× its bound while a join occupies the
+//!    worker: every response must be a byte-identical completed answer
+//!    or an explicit `Shed`/`Draining`/`DeadlineExceeded` — zero hangs,
+//!    zero silent drops — and at least one request must shed.
+//!
+//! Completed responses in every phase are compared frame-for-frame
+//! against an oracle computed on a *twin* engine (same datasets, never
+//! serves), so the check also pins cross-engine determinism of the wire
+//! projection. Queue-wait and end-to-end percentiles come from the
+//! serving engine's own `msj-obs` histograms, not client-side clocks.
+
+use crate::experiments::ExpConfig;
+use msj_core::{JoinConfig, Request, SpatialEngine};
+use msj_geom::Point;
+use msj_serve::{
+    encode_response, response_body_for, Client, ServeConfig, Server, WireRequest, WireRequestBody,
+    WireStatus,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Concurrent connections in the batched phase.
+pub const LOAD_CLIENTS: usize = 8;
+
+/// Join queue bound in the overload phase; the flood exceeds 2× this.
+pub const OVERLOAD_QUEUE_BOUND: usize = 4;
+
+/// Everything the `serving_load` section reports.
+pub struct ServingLoadMeasurement {
+    pub queries: u64,
+    pub serial_qps: f64,
+    pub batched_qps: f64,
+    /// Batched-over-serial throughput; must exceed 1 (asserted).
+    pub batched_speedup: f64,
+    pub queue_wait_micros: (f64, f64, f64),
+    pub e2e_micros: (f64, f64, f64),
+    pub overload_sent: u64,
+    pub overload_completed: u64,
+    pub overload_shed: u64,
+    /// Explicit non-shed refusals under overload (`Draining`,
+    /// `DeadlineExceeded`, `Cancelled`); completed + shed + other must
+    /// equal sent — no silent drops.
+    pub overload_other: u64,
+    pub drain_clean: bool,
+}
+
+fn to_request(body: &WireRequestBody) -> Request {
+    match *body {
+        WireRequestBody::Join { a, b } => Request::Join {
+            a,
+            b,
+            execution: None,
+        },
+        WireRequestBody::SelfJoin { dataset } => Request::SelfJoin {
+            dataset,
+            execution: None,
+        },
+        WireRequestBody::Point { dataset, x, y } => Request::Point {
+            dataset,
+            point: Point::new(x, y),
+        },
+        WireRequestBody::Window { dataset, bounds } => Request::Window {
+            dataset,
+            window: msj_geom::Rect::new(
+                Point::new(bounds[0], bounds[1]),
+                Point::new(bounds[2], bounds[3]),
+            ),
+        },
+        WireRequestBody::Metrics => unreachable!("metrics is not an engine request"),
+    }
+}
+
+/// Expected frames per request id, computed on the oracle twin.
+fn oracle_frames(oracle: &SpatialEngine, requests: &[WireRequest]) -> HashMap<u64, Vec<u8>> {
+    requests
+        .iter()
+        .map(|req| {
+            (
+                req.request_id,
+                encode_response(
+                    req.request_id,
+                    &response_body_for(&oracle.submit(to_request(&req.body))),
+                ),
+            )
+        })
+        .collect()
+}
+
+/// The point workload: `q` probes spread over the unit square, one
+/// request id per index.
+fn point_workload(dataset: u32, q: usize) -> Vec<WireRequest> {
+    (0..q)
+        .map(|i| {
+            let t = (i as f64 + 0.5) / q as f64;
+            WireRequest::point(i as u64, dataset, t, 1.0 - t)
+        })
+        .collect()
+}
+
+/// Sends `requests` pipelined on one connection and collects one reply
+/// each; completed replies are checked against the oracle. Returns
+/// (completed, shed, other-refusals).
+fn drive(
+    addr: std::net::SocketAddr,
+    requests: &[WireRequest],
+    oracle: &HashMap<u64, Vec<u8>>,
+) -> (u64, u64, u64) {
+    let mut client = Client::connect_with_timeout(addr, Duration::from_secs(60)).expect("connect");
+    for req in requests {
+        client.send(req).expect("send");
+    }
+    let (mut completed, mut shed, mut other) = (0, 0, 0);
+    for _ in requests {
+        let reply = client.recv().expect("every request gets a reply");
+        match reply.body.status() {
+            WireStatus::Ok => {
+                assert_eq!(
+                    Some(&reply.frame),
+                    oracle.get(&reply.request_id),
+                    "completed reply {} diverged from the oracle twin",
+                    reply.request_id
+                );
+                completed += 1;
+            }
+            WireStatus::Shed => shed += 1,
+            WireStatus::Draining | WireStatus::DeadlineExceeded | WireStatus::Cancelled => {
+                other += 1
+            }
+            unexpected => panic!("unexpected status {unexpected:?}"),
+        }
+    }
+    (completed, shed, other)
+}
+
+pub fn measure_serving_load(cfg: &ExpConfig) -> ServingLoadMeasurement {
+    let objects = (cfg.large_count() / 8).clamp(200, 2_000);
+    let q = cfg.query_count();
+    let rel_a = Arc::new(msj_datagen::small_carto(objects, 8.0, cfg.seed));
+    let rel_b = Arc::new(msj_datagen::small_carto(objects, 8.0, cfg.seed + 1));
+    let oracle_engine = SpatialEngine::new(JoinConfig::default());
+    let oa = oracle_engine.register(rel_a.clone()).id();
+    let ob = oracle_engine.register(rel_b.clone()).id();
+
+    // ---- Phases 1–2: throughput on a roomy server (nothing sheds). ----
+    let engine = Arc::new(SpatialEngine::new(JoinConfig::default()));
+    let a = engine.register(rel_a.clone()).id();
+    let points = point_workload(a, q);
+    // The oracle ids match because both engines register a first.
+    assert_eq!(a, oa);
+    let oracle = Arc::new(oracle_frames(&oracle_engine, &points));
+
+    let server = Server::start(
+        engine.clone(),
+        ServeConfig {
+            workers: 2,
+            queue_bound: 8_192,
+            batch_max: 32,
+            conn_inflight_cap: 8_192,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("throughput server");
+    let addr = server.addr();
+
+    // Serial: ping-pong, one outstanding request. A short warm-up pays
+    // the lazy per-dataset costs outside the timed window.
+    let mut client = Client::connect_with_timeout(addr, Duration::from_secs(60)).expect("connect");
+    for req in points.iter().take(4) {
+        let reply = client.call(req).expect("warm-up");
+        assert_eq!(reply.body.status(), WireStatus::Ok);
+    }
+    let t = Instant::now();
+    for req in &points {
+        let reply = client.call(req).expect("serial call");
+        assert_eq!(
+            Some(&reply.frame),
+            oracle.get(&reply.request_id),
+            "serial reply diverged"
+        );
+    }
+    let serial_secs = t.elapsed().as_secs_f64().max(1e-9);
+    drop(client);
+
+    // Batched: the same workload split over concurrent pipelining
+    // connections; the server coalesces co-queued probes into shared
+    // descents.
+    let t = Instant::now();
+    let handles: Vec<_> = points
+        .chunks(q.div_ceil(LOAD_CLIENTS))
+        .map(|chunk| {
+            let chunk = chunk.to_vec();
+            let oracle = oracle.clone();
+            std::thread::spawn(move || drive(addr, &chunk, &oracle))
+        })
+        .collect();
+    let mut batched_completed = 0;
+    for handle in handles {
+        let (completed, shed, other) = handle.join().expect("client thread");
+        assert_eq!(shed + other, 0, "the roomy server must not refuse");
+        batched_completed += completed;
+    }
+    let batched_secs = t.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(batched_completed, q as u64);
+
+    let snapshot = engine.metrics().snapshot();
+    let percentiles = |key: &str| {
+        let h = snapshot.histogram(key).expect(key);
+        assert!(h.count > 0, "{key} recorded no samples");
+        (
+            h.p50() as f64 / 1e3,
+            h.p90() as f64 / 1e3,
+            h.p99() as f64 / 1e3,
+        )
+    };
+    let queue_wait_micros = percentiles("msj_queue_wait_nanos");
+    let e2e_micros = percentiles("msj_serve_e2e_nanos");
+
+    server.shutdown();
+    let mut drain_clean = server.join().clean;
+
+    let serial_qps = q as f64 / serial_secs;
+    let batched_qps = q as f64 / batched_secs;
+    let batched_speedup = batched_qps / serial_qps;
+    assert!(
+        batched_speedup > 1.0,
+        "cross-request batching must beat serial serving \
+         (batched {batched_qps:.0} qps vs serial {serial_qps:.0} qps)"
+    );
+
+    // ---- Phase 3: overload at a tiny bound, flooded past 2×. ----
+    // A fresh engine (cold prepared-join cache) and one worker: the
+    // leading join occupies it while the point flood overflows the
+    // selection queue.
+    let engine = Arc::new(SpatialEngine::new(JoinConfig::default()));
+    let a = engine.register(rel_a.clone()).id();
+    let b2 = engine.register(rel_b.clone()).id();
+    assert_eq!((a, b2), (oa, ob));
+    let clients = 4;
+    let per_client = 32;
+    let workloads: Vec<Vec<WireRequest>> = (0..clients as u64)
+        .map(|c| {
+            let base = 1_000 * (c + 1);
+            let mut reqs = vec![WireRequest::join(base, a, b2)];
+            for i in 0..per_client {
+                let t = (i as f64 + 0.5) / per_client as f64;
+                reqs.push(WireRequest::point(base + 1 + i as u64, a, t, t));
+            }
+            reqs
+        })
+        .collect();
+    let flood: Vec<WireRequest> = workloads.iter().flatten().cloned().collect();
+    let overload_oracle = Arc::new(oracle_frames(&oracle_engine, &flood));
+
+    let server = Server::start(
+        engine,
+        ServeConfig {
+            workers: 1,
+            queue_bound: OVERLOAD_QUEUE_BOUND,
+            batch_max: 2,
+            conn_inflight_cap: 8_192,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("overload server");
+    let addr = server.addr();
+    let handles: Vec<_> = workloads
+        .into_iter()
+        .map(|requests| {
+            let oracle = overload_oracle.clone();
+            std::thread::spawn(move || drive(addr, &requests, &oracle))
+        })
+        .collect();
+    let (mut completed, mut shed, mut other) = (0, 0, 0);
+    for handle in handles {
+        let (c, s, o) = handle.join().expect("overload client");
+        completed += c;
+        shed += s;
+        other += o;
+    }
+    server.shutdown();
+    drain_clean &= server.join().clean;
+
+    let sent = flood.len() as u64;
+    assert_eq!(
+        completed + shed + other,
+        sent,
+        "every flooded request must be answered exactly once"
+    );
+    assert!(
+        shed > 0,
+        "a {OVERLOAD_QUEUE_BOUND}-deep queue flooded with {sent} requests must shed"
+    );
+
+    ServingLoadMeasurement {
+        queries: q as u64,
+        serial_qps,
+        batched_qps,
+        batched_speedup,
+        queue_wait_micros,
+        e2e_micros,
+        overload_sent: sent,
+        overload_completed: completed,
+        overload_shed: shed,
+        overload_other: other,
+        drain_clean,
+    }
+}
+
+/// The human-readable report for `repro -- serving-load`.
+pub fn serving_load(cfg: &ExpConfig) -> String {
+    let m = measure_serving_load(cfg);
+    let (qw50, qw90, qw99) = m.queue_wait_micros;
+    let (e50, e90, e99) = m.e2e_micros;
+    let mut out = String::new();
+    out.push_str("serving-load: the network front under concurrent traffic\n");
+    out.push_str(&format!(
+        "  point probes        {} per phase, {} concurrent connections\n",
+        m.queries, LOAD_CLIENTS
+    ));
+    out.push_str(&format!(
+        "  serial (1 conn)     {:>10.0} queries/sec\n",
+        m.serial_qps
+    ));
+    out.push_str(&format!(
+        "  batched ({} conns)   {:>10.0} queries/sec ({:.1}x serial)\n",
+        LOAD_CLIENTS, m.batched_qps, m.batched_speedup
+    ));
+    out.push_str(&format!(
+        "  queue wait          p50 {qw50:.1} us, p90 {qw90:.1} us, p99 {qw99:.1} us\n"
+    ));
+    out.push_str(&format!(
+        "  end-to-end          p50 {e50:.1} us, p90 {e90:.1} us, p99 {e99:.1} us\n"
+    ));
+    out.push_str(&format!(
+        "  overload (bound {})  {} sent: {} completed byte-identical, {} shed, {} other refusals\n",
+        OVERLOAD_QUEUE_BOUND,
+        m.overload_sent,
+        m.overload_completed,
+        m.overload_shed,
+        m.overload_other
+    ));
+    out.push_str(&format!("  clean drains        {}\n", m.drain_clean));
+    out.push_str(
+        "  invariant           every response completed byte-identically or refused explicitly\n",
+    );
+    out
+}

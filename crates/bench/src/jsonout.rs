@@ -28,7 +28,7 @@
 //!   identical canonically sorted response set.
 //!
 //! Throughput fields are **omitted** when the corresponding stage did
-//! not run in a cell (schema `msj-bench-pr8`; earlier schemas emitted a
+//! not run in a cell (schema `msj-bench-pr9`; earlier schemas emitted a
 //! misleading `0`). Since PR 7 the document also carries the `kernels`
 //! section: the vectorized hot-path kernels (sweep / MER-accept /
 //! raster-decide) measured per dispatch path, scalar vs wide, with
@@ -38,6 +38,12 @@
 //! bounded by 2× one batch's wall-clock) and the overhead of the
 //! fault-injection hooks, upper-bounded by an armed-but-never-firing run
 //! against the disabled default and asserted < 1% on the fused ×4 join.
+//! Since PR 9 the top-level `"serving_load"` object measures the network
+//! front: serial vs 8-connection batched point throughput over a live
+//! `msj-serve` socket (the batched speedup asserted > 1), queue-wait and
+//! end-to-end percentiles from the serving histograms, and an overload
+//! flood past 2× a tiny queue bound where every response is either a
+//! byte-identical completed answer or an explicit refusal.
 //!
 //! No serde in this workspace (offline vendored deps only), so the JSON
 //! is emitted by hand — flat records, numbers and strings only.
@@ -47,6 +53,7 @@ use crate::experiments::kernels::{measure_kernels, KernelCell};
 use crate::experiments::raster::{resolved_grid_bits, response_digest, SWEEP};
 use crate::experiments::robustness::measure_robustness;
 use crate::experiments::serving::{serving_queries, SERVING_JOIN_RUNS, SERVING_PREPARE_QUERIES};
+use crate::experiments::serving_load::{measure_serving_load, LOAD_CLIENTS, OVERLOAD_QUEUE_BOUND};
 use crate::experiments::ExpConfig;
 use crate::timing::timed;
 use msj_core::{
@@ -227,7 +234,7 @@ fn join_record(
 }
 
 /// The sections a [`bench_json_only`] filter can select.
-pub const SECTIONS: [&str; 7] = [
+pub const SECTIONS: [&str; 8] = [
     "step1",
     "join",
     "raster",
@@ -235,6 +242,7 @@ pub const SECTIONS: [&str; 7] = [
     "kernels",
     "obs",
     "robustness",
+    "serving_load",
 ];
 
 /// Runs the full measurement matrix and renders the JSON document.
@@ -473,7 +481,56 @@ pub fn bench_json_only(cfg: &ExpConfig, only: Option<&str>) -> String {
     // Robustness: deadline time-to-error + fault-hook overhead guard.
     let robustness = want("robustness").then(|| robustness_section(cfg));
 
-    render(cfg, &a, &b, &records, obs.as_deref(), robustness.as_deref())
+    // Serving load: the network front's throughput/overload/drain story.
+    let serving_load = want("serving_load").then(|| serving_load_section(cfg));
+
+    render(
+        cfg,
+        &a,
+        &b,
+        &records,
+        obs.as_deref(),
+        robustness.as_deref(),
+        serving_load.as_deref(),
+    )
+}
+
+/// The `"serving_load"` payload: the PR-9 network-front measurements.
+/// The phase-level invariants (batched > serial, answered == sent,
+/// shed > 0 under the flood, byte-identical completed frames) are
+/// asserted inside the measurement; the payload reports the numbers.
+fn serving_load_section(cfg: &ExpConfig) -> String {
+    let m = measure_serving_load(cfg);
+    format!(
+        concat!(
+            "{{\"clients\":{},\"queries\":{},",
+            "\"serial_queries_per_sec\":{:.1},\"batched_queries_per_sec\":{:.1},",
+            "\"batched_speedup\":{:.3},",
+            "\"queue_wait_p50_micros\":{:.2},\"queue_wait_p90_micros\":{:.2},",
+            "\"queue_wait_p99_micros\":{:.2},",
+            "\"e2e_p50_micros\":{:.2},\"e2e_p90_micros\":{:.2},",
+            "\"e2e_p99_micros\":{:.2},",
+            "\"overload\":{{\"queue_bound\":{},\"sent\":{},\"completed\":{},",
+            "\"shed\":{},\"other_refusals\":{}}},\"drain_clean\":{}}}"
+        ),
+        LOAD_CLIENTS,
+        m.queries,
+        m.serial_qps,
+        m.batched_qps,
+        m.batched_speedup,
+        m.queue_wait_micros.0,
+        m.queue_wait_micros.1,
+        m.queue_wait_micros.2,
+        m.e2e_micros.0,
+        m.e2e_micros.1,
+        m.e2e_micros.2,
+        OVERLOAD_QUEUE_BOUND,
+        m.overload_sent,
+        m.overload_completed,
+        m.overload_shed,
+        m.overload_other,
+        m.drain_clean,
+    )
 }
 
 /// The `"robustness"` payload: the PR-8 failure-story measurements
@@ -778,10 +835,11 @@ fn render(
     records: &[Record],
     obs: Option<&str>,
     robustness: Option<&str>,
+    serving_load: Option<&str>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"msj-bench-pr8\",\n");
+    out.push_str("  \"schema\": \"msj-bench-pr9\",\n");
     out.push_str("  \"workload\": \"skewed_carto\",\n");
     out.push_str(&format!("  \"objects_a\": {},\n", a.len()));
     out.push_str(&format!("  \"objects_b\": {},\n", b.len()));
@@ -795,6 +853,9 @@ fn render(
     }
     if let Some(robustness) = robustness {
         out.push_str(&format!("  \"robustness\": {robustness},\n"));
+    }
+    if let Some(serving_load) = serving_load {
+        out.push_str(&format!("  \"serving_load\": {serving_load},\n"));
     }
     out.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -822,9 +883,14 @@ mod tests {
         };
         let json = bench_json(&cfg);
         for needle in [
-            "\"schema\": \"msj-bench-pr8\"",
+            "\"schema\": \"msj-bench-pr9\"",
             "\"obs\": {",
             "\"robustness\": {",
+            "\"serving_load\": {",
+            "\"batched_speedup\":",
+            "\"queue_wait_p99_micros\":",
+            "\"e2e_p99_micros\":",
+            "\"drain_clean\":true",
             "\"time_to_error_millis\":",
             "\"fault_hooks\":",
             "\"overhead_fraction\":",
@@ -915,6 +981,7 @@ mod tests {
         assert!(!json.contains("\"experiment\":\"serving\""));
         assert!(!json.contains("\"experiment\":\"kernels\""));
         assert!(!json.contains("\"obs\": {"));
+        assert!(!json.contains("\"serving_load\": {"));
         // The raster sweep still verifies on/off agreement internally
         // (the check closure compares every cell against the first).
         assert!(json.contains("\"mode\":\"raster-off\""));
@@ -1004,6 +1071,36 @@ mod tests {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
         // Only the robustness payload — no measurement records.
+        assert!(!json.contains("\"experiment\":"));
+        assert!(!json.contains("\"obs\": {"));
+    }
+
+    #[test]
+    fn serving_load_section_reports_phases_and_overload() {
+        let cfg = ExpConfig {
+            seed: 23,
+            scale: Scale::Quick,
+        };
+        let json = bench_json_only(&cfg, Some("serving_load"));
+        assert!(json.contains("\"serving_load\": {"));
+        for needle in [
+            "\"clients\":8",
+            "\"serial_queries_per_sec\":",
+            "\"batched_queries_per_sec\":",
+            "\"batched_speedup\":",
+            "\"queue_wait_p50_micros\":",
+            "\"queue_wait_p90_micros\":",
+            "\"queue_wait_p99_micros\":",
+            "\"e2e_p50_micros\":",
+            "\"e2e_p99_micros\":",
+            "\"overload\":{\"queue_bound\":",
+            "\"shed\":",
+            "\"other_refusals\":",
+            "\"drain_clean\":true",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Only the serving-load payload — no measurement records.
         assert!(!json.contains("\"experiment\":"));
         assert!(!json.contains("\"obs\": {"));
     }

@@ -186,6 +186,39 @@ pub trait CandidateSource: Send + Sync {
     /// Appends every id of the primary relation whose MBR intersects
     /// `window`.
     fn window_candidates(&self, window: Rect, out: &mut Vec<ObjectId>) -> SelectionStats;
+
+    /// One shared descent for a *batch* of point probes: candidates of
+    /// query `i` are appended to `out` contiguously (segment length =
+    /// `stats[i].candidates`), in exactly the order
+    /// [`point_candidates`](CandidateSource::point_candidates) would
+    /// produce for each query alone. Backends override this to share
+    /// per-probe setup (the R*-source holds its simulated-buffer lock
+    /// once for the whole batch); the default simply loops.
+    fn point_candidates_batch(
+        &self,
+        points: &[Point],
+        out: &mut Vec<ObjectId>,
+        stats: &mut Vec<SelectionStats>,
+    ) {
+        for &p in points {
+            stats.push(self.point_candidates(p, out));
+        }
+    }
+
+    /// Batched counterpart of
+    /// [`window_candidates`](CandidateSource::window_candidates) — same
+    /// contract as
+    /// [`point_candidates_batch`](CandidateSource::point_candidates_batch).
+    fn window_candidates_batch(
+        &self,
+        windows: &[Rect],
+        out: &mut Vec<ObjectId>,
+        stats: &mut Vec<SelectionStats>,
+    ) {
+        for &w in windows {
+            stats.push(self.window_candidates(w, out));
+        }
+    }
 }
 
 impl dyn CandidateSource + '_ {
@@ -518,6 +551,53 @@ impl CandidateSource for RStarSource {
         };
         out.extend(hits);
         stats
+    }
+
+    // The batched probes take the simulated-buffer lock once for the
+    // whole batch: concurrent cross-request probes merged by a serving
+    // front descend back-to-back over a warm buffer instead of paying a
+    // lock handoff (and a likely-evicted root path) per query. Candidate
+    // ids and their order are identical to the per-query methods.
+    fn point_candidates_batch(
+        &self,
+        points: &[Point],
+        out: &mut Vec<ObjectId>,
+        stats: &mut Vec<SelectionStats>,
+    ) {
+        let mut buffer = self
+            .buffer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for &p in points {
+            let before = buffer.stats().physical;
+            let hits = self.tree_a.point_query(p, &mut buffer);
+            stats.push(SelectionStats {
+                candidates: hits.len() as u64,
+                physical_reads: buffer.stats().physical - before,
+            });
+            out.extend(hits);
+        }
+    }
+
+    fn window_candidates_batch(
+        &self,
+        windows: &[Rect],
+        out: &mut Vec<ObjectId>,
+        stats: &mut Vec<SelectionStats>,
+    ) {
+        let mut buffer = self
+            .buffer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for &w in windows {
+            let before = buffer.stats().physical;
+            let hits = self.tree_a.window_query(w, &mut buffer);
+            stats.push(SelectionStats {
+                candidates: hits.len() as u64,
+                physical_reads: buffer.stats().physical - before,
+            });
+            out.extend(hits);
+        }
     }
 }
 

@@ -68,7 +68,7 @@ use msj_obs::{
 };
 use msj_sam::RStarTree;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -147,23 +147,23 @@ pub const RUN_HISTORY: usize = 32;
 const DEGRADED_REASONS: [&str; 2] = ["raster_checksum", "fault_injected"];
 
 /// `kind` labels of `msj_request_errors_total` — one per
-/// [`EngineError`] variant.
-const ERROR_KINDS: [&str; 6] = [
-    "unknown_dataset",
-    "admission_denied",
-    "deadline_exceeded",
-    "cancelled",
-    "worker_panicked",
-    "degraded_unavailable",
-];
+/// [`EngineError`] variant (the canonical list lives on
+/// [`EngineError::ALL_KINDS`] so wire mappings outside this crate can
+/// assert exhaustiveness).
+const ERROR_KINDS: [&str; 6] = EngineError::ALL_KINDS;
 
 /// `site` labels of `msj_fault_injected_total` — the
-/// [`msj_fault::FaultKind::site`] names.
-const FAULT_SITES: [&str; 4] = [
+/// [`msj_fault::FaultKind::site`] names, engine-internal sites and the
+/// wire-level sites a network front injects at.
+const FAULT_SITES: [&str; 8] = [
     "worker_panic",
     "slow_worker",
     "raster_corrupt",
     "cancel_at_batch",
+    "conn_reset",
+    "partial_write",
+    "slow_client",
+    "drop_before_reply",
 ];
 
 /// Shared observability state of one engine: the metrics registry plus
@@ -709,7 +709,15 @@ pub enum EngineError {
     /// The request names a dataset id this engine never registered.
     UnknownDataset(DatasetId),
     /// The §5 modeled cost exceeds the configured admission limit.
-    AdmissionDenied { estimated_s: f64, limit_s: f64 },
+    AdmissionDenied {
+        estimated_s: f64,
+        limit_s: f64,
+        /// Whether `estimated_s` came from the observed run history of a
+        /// cached prepared join (`true`) or the a-priori size-based
+        /// model (`false`) — a network front turns this estimate into a
+        /// retry-after hint, and the provenance travels with it.
+        from_history: bool,
+    },
     /// The request outlived its deadline and was stopped cooperatively
     /// at the next batch boundary.
     DeadlineExceeded {
@@ -742,6 +750,19 @@ pub enum EngineError {
 }
 
 impl EngineError {
+    /// Every [`kind`](EngineError::kind) label, one per variant, in
+    /// declaration order. Frontends that map engine errors onto another
+    /// surface (e.g. `msj-serve`'s wire statuses) iterate this list in a
+    /// completeness test so a new variant cannot ship unmapped.
+    pub const ALL_KINDS: [&'static str; 6] = [
+        "unknown_dataset",
+        "admission_denied",
+        "deadline_exceeded",
+        "cancelled",
+        "worker_panicked",
+        "degraded_unavailable",
+    ];
+
     /// The stable `kind` label this error is counted under in
     /// `msj_request_errors_total`.
     pub fn kind(&self) -> &'static str {
@@ -763,6 +784,7 @@ impl std::fmt::Display for EngineError {
             EngineError::AdmissionDenied {
                 estimated_s,
                 limit_s,
+                ..
             } => write!(
                 f,
                 "admission denied: modeled cost {estimated_s:.3}s exceeds limit {limit_s:.3}s"
@@ -798,7 +820,10 @@ impl std::error::Error for EngineError {}
 pub struct SpatialEngine {
     config: JoinConfig,
     params: CostModelParams,
-    admission_limit_s: Option<f64>,
+    /// The §5 admission limit in seconds, stored as `f64` bits so it can
+    /// be tightened or lifted at runtime through `&self` (a serving
+    /// front adjusts it under load). `+inf` means *no limit*.
+    admission_limit_bits: AtomicU64,
     /// Fault-injection plan resolved once at construction: the config's
     /// plan when set, else whatever `MSJ_FAULT_SEED`/`MSJ_FAULT_PLAN`
     /// name, else disabled. Resolving here keeps the per-run path free
@@ -891,7 +916,7 @@ impl SpatialEngine {
             prepared: Mutex::new(PreparedCache::new(config.prepared_cache_cap)),
             config,
             params: CostModelParams::default(),
-            admission_limit_s: None,
+            admission_limit_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             fault,
             fault_spent: Arc::new(AtomicBool::new(false)),
             datasets: RwLock::new(Vec::new()),
@@ -922,9 +947,59 @@ impl SpatialEngine {
     /// Enables admission control: join requests whose §5 modeled cost
     /// exceeds `limit_s` seconds are refused with
     /// [`EngineError::AdmissionDenied`] instead of executed.
-    pub fn with_admission_limit(mut self, limit_s: f64) -> Self {
-        self.admission_limit_s = Some(limit_s);
+    pub fn with_admission_limit(self, limit_s: f64) -> Self {
+        self.set_admission_limit(Some(limit_s));
         self
+    }
+
+    /// Sets or lifts the admission limit at runtime (`None` = admit
+    /// everything). Takes `&self`: a serving front tightens the limit
+    /// under load without exclusive access to the engine.
+    pub fn set_admission_limit(&self, limit_s: Option<f64>) {
+        let value = limit_s.unwrap_or(f64::INFINITY);
+        self.admission_limit_bits
+            .store(value.to_bits(), Ordering::Release);
+    }
+
+    /// The currently configured admission limit, if any.
+    pub fn admission_limit(&self) -> Option<f64> {
+        let value = f64::from_bits(self.admission_limit_bits.load(Ordering::Acquire));
+        (value != f64::INFINITY).then_some(value)
+    }
+
+    /// The §5 cost the engine would model for `request` right now,
+    /// plus whether that estimate is history-informed (`true` when the
+    /// pair is already prepared and carries observed run statistics).
+    /// `None` when the request names an unregistered dataset.
+    ///
+    /// This is the read-only face of the admission estimate: a network
+    /// front uses it to derive `retry_after` hints for requests it
+    /// sheds *before* they reach the engine (full queue, connection
+    /// cap), keeping those hints on the same model admission itself
+    /// applies. Selections are modeled as one index descent of
+    /// page-access cost (coarse, a-priori — selections keep no
+    /// per-pair history).
+    pub fn estimate_request(&self, request: &Request) -> Option<(f64, bool)> {
+        let pair = match *request {
+            Request::Join { a, b, .. } => Some((a, b)),
+            Request::SelfJoin { dataset, .. } => Some((dataset, dataset)),
+            Request::Point { dataset, .. } | Request::Window { dataset, .. } => {
+                let handle = self.dataset(dataset)?;
+                // One root-to-leaf descent plus a leaf page, in the
+                // model's page-access currency.
+                let depth = (handle.len().max(2) as f64).log2().ceil().max(1.0);
+                return Some(((depth + 1.0) * self.params.page_access_ms / 1000.0, false));
+            }
+        };
+        let (a, b) = pair.expect("join-shaped request");
+        let (ha, hb) = (self.dataset(a)?, self.dataset(b)?);
+        Some(match self.cached_join((ha.id(), hb.id())) {
+            Some(prepared) => prepared.admission_estimate(&self.params),
+            None => (
+                a_priori_estimate(ha.len(), hb.len(), self.exact_cost_kind(), &self.params),
+                false,
+            ),
+        })
     }
 
     /// The configuration every dataset and query runs under.
@@ -1300,6 +1375,114 @@ impl SpatialEngine {
         self.selection_response(ids, stats, exact_ops)
     }
 
+    /// Serves a *batch* of point queries against one dataset through a
+    /// single shared Step-1 descent and one filter pass (the
+    /// cross-request batching path of a serving front). Each response is
+    /// identical to what [`point_query`](SpatialEngine::point_query)
+    /// returns for the same point — ids, filter counts and exact-op
+    /// counts agree exactly; only the simulated-buffer physical-read
+    /// attribution can differ, because the batch keeps the buffer warm.
+    pub fn point_query_batch(
+        &self,
+        dataset: &DatasetHandle,
+        points: &[Point],
+    ) -> Vec<SelectionResponse> {
+        let mut merged_ops = OpCounts::new();
+        if !self.obs.registry.is_enabled() {
+            return dataset
+                .state
+                .selection
+                .point_query_batch(points, &mut merged_ops, None)
+                .into_iter()
+                .map(|(ids, stats, ops)| self.selection_response(ids, stats, ops))
+                .collect();
+        }
+        let spans = StepSpans::new();
+        let t_req = Span::start();
+        let raw = dataset
+            .state
+            .selection
+            .point_query_batch(points, &mut merged_ops, Some(&spans));
+        self.record_selection_batch("point", dataset, &spans, t_req.elapsed_nanos(), &raw);
+        raw.into_iter()
+            .map(|(ids, stats, ops)| self.selection_response(ids, stats, ops))
+            .collect()
+    }
+
+    /// Batched window queries — the window-shaped counterpart of
+    /// [`point_query_batch`](SpatialEngine::point_query_batch), with the
+    /// same identical-per-query contract.
+    pub fn window_query_batch(
+        &self,
+        dataset: &DatasetHandle,
+        windows: &[Rect],
+    ) -> Vec<SelectionResponse> {
+        let mut merged_ops = OpCounts::new();
+        if !self.obs.registry.is_enabled() {
+            return dataset
+                .state
+                .selection
+                .window_query_batch(windows, &mut merged_ops, None)
+                .into_iter()
+                .map(|(ids, stats, ops)| self.selection_response(ids, stats, ops))
+                .collect();
+        }
+        let spans = StepSpans::new();
+        let t_req = Span::start();
+        let raw =
+            dataset
+                .state
+                .selection
+                .window_query_batch(windows, &mut merged_ops, Some(&spans));
+        self.record_selection_batch("window", dataset, &spans, t_req.elapsed_nanos(), &raw);
+        raw.into_iter()
+            .map(|(ids, stats, ops)| self.selection_response(ids, stats, ops))
+            .collect()
+    }
+
+    /// Publishes one finished selection batch: per-query latency samples
+    /// (the batch wall-clock amortized over its queries — the number a
+    /// serving percentile should see), step counters added **once** for
+    /// the whole batch, and one trace per query.
+    fn record_selection_batch(
+        &self,
+        kind: &'static str,
+        dataset: &DatasetHandle,
+        spans: &StepSpans,
+        batch_nanos: u64,
+        raw: &[(Vec<ObjectId>, QueryStats, OpCounts)],
+    ) {
+        if raw.is_empty() {
+            return;
+        }
+        let reg = &self.obs.registry;
+        let amortized = batch_nanos / raw.len() as u64;
+        let hist = reg.histogram("msj_request_latency_nanos", &[("kind", kind)]);
+        for _ in raw {
+            hist.record(amortized);
+        }
+        for step in [Step::Step1, Step::Step2, Step::Step3] {
+            reg.counter("msj_step_nanos_total", &[("step", step.name())])
+                .add(spans.get(step));
+        }
+        if self.obs.traces.enabled() {
+            for (ids, stats, _) in raw {
+                self.obs.traces.push(Trace {
+                    seq: self.obs.traces.next_seq(),
+                    kind,
+                    datasets: (dataset.id(), dataset.id()),
+                    admitted: true,
+                    estimated_s: 0.0,
+                    latency_nanos: amortized,
+                    candidates: stats.candidates,
+                    results: ids.len() as u64,
+                    dispatch: self.obs.dispatch,
+                    steps: TraceSteps::default(),
+                });
+            }
+        }
+    }
+
     /// Publishes one finished selection: latency histogram, per-step
     /// counters and (when tracing) the request trace.
     fn record_selection(
@@ -1428,7 +1611,7 @@ impl SpatialEngine {
             ),
         };
         let enabled = self.obs.registry.is_enabled();
-        if let Some(limit_s) = self.admission_limit_s {
+        if let Some(limit_s) = self.admission_limit() {
             if estimated_s > limit_s {
                 if enabled {
                     self.obs
@@ -1453,6 +1636,7 @@ impl SpatialEngine {
                 return Err(EngineError::AdmissionDenied {
                     estimated_s,
                     limit_s,
+                    from_history,
                 });
             }
         }
@@ -1942,6 +2126,101 @@ mod tests {
         assert_eq!(traces[0].results, 0);
     }
 
+    /// Satellite: the retry-after hint a network front derives from an
+    /// `AdmissionDenied` must come from the history-informed §5 estimate
+    /// when the pair has run before, and from the a-priori size-based
+    /// estimate otherwise — `from_history` pins which path produced it.
+    #[test]
+    fn admission_denied_provenance_pins_history_and_a_priori_paths() {
+        let engine = SpatialEngine::new(JoinConfig::default());
+        let a = engine.register(msj_datagen::small_carto(30, 24.0, 1301));
+        let b = engine.register(msj_datagen::small_carto(30, 24.0, 1302));
+        let request = Request::Join {
+            a: a.id(),
+            b: b.id(),
+            execution: None,
+        };
+        // Fresh pair, tight limit: the a-priori estimate decides.
+        engine.set_admission_limit(Some(0.0));
+        match engine.submit(request) {
+            Err(EngineError::AdmissionDenied {
+                from_history,
+                estimated_s,
+                ..
+            }) => {
+                assert!(!from_history, "no run history exists yet");
+                assert!(estimated_s > 0.0);
+            }
+            other => panic!("expected AdmissionDenied, got {other:?}"),
+        }
+        // Lift the limit, run once (history forms), tighten again: the
+        // observed-history estimate decides.
+        engine.set_admission_limit(None);
+        assert_eq!(engine.admission_limit(), None);
+        engine.submit(request).expect("admitted without a limit");
+        engine.set_admission_limit(Some(0.0));
+        assert_eq!(engine.admission_limit(), Some(0.0));
+        match engine.submit(request) {
+            Err(EngineError::AdmissionDenied {
+                from_history,
+                estimated_s,
+                ..
+            }) => {
+                assert!(from_history, "the pair ran; history must decide");
+                assert!(estimated_s > 0.0);
+            }
+            other => panic!("expected AdmissionDenied, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_batched_selections_match_serial_responses() {
+        let rel = msj_datagen::small_carto(60, 24.0, 1401);
+        let world = rel.bounding_rect().unwrap();
+        let engine = SpatialEngine::new(JoinConfig::default());
+        let h = engine.register(rel);
+        let points: Vec<Point> = (0..20)
+            .map(|i| {
+                Point::new(
+                    world.xmin() + world.width() * (i as f64 * 0.37).fract(),
+                    world.ymin() + world.height() * (i as f64 * 0.61).fract(),
+                )
+            })
+            .collect();
+        let windows: Vec<Rect> = (0..12)
+            .map(|i| {
+                let cx = world.xmin() + world.width() * (i as f64 * 0.31).fract();
+                let cy = world.ymin() + world.height() * (i as f64 * 0.47).fract();
+                let side = world.width() * (0.01 + 0.08 * (i as f64 * 0.13).fract());
+                Rect::from_bounds(cx, cy, cx + side, cy + side)
+            })
+            .collect();
+        let batched = engine.point_query_batch(&h, &points);
+        assert_eq!(batched.len(), points.len());
+        for (i, &p) in points.iter().enumerate() {
+            let serial = engine.point_query(&h, p);
+            assert_eq!(batched[i].ids, serial.ids, "point {p:?}");
+            assert_eq!(batched[i].exact_ops, serial.exact_ops);
+            assert_eq!(batched[i].stats.candidates, serial.stats.candidates);
+            assert_eq!(batched[i].stats.exact_tests, serial.stats.exact_tests);
+        }
+        let batched = engine.window_query_batch(&h, &windows);
+        assert_eq!(batched.len(), windows.len());
+        for (i, w) in windows.iter().enumerate() {
+            let serial = engine.window_query(&h, *w);
+            assert_eq!(batched[i].ids, serial.ids, "window {w:?}");
+            assert_eq!(batched[i].exact_ops, serial.exact_ops);
+            assert_eq!(batched[i].stats.candidates, serial.stats.candidates);
+            assert_eq!(batched[i].stats.exact_tests, serial.stats.exact_tests);
+        }
+        // The batched path records one latency sample per query.
+        let snap = engine.metrics().snapshot();
+        let hist = snap
+            .histogram("msj_request_latency_nanos{kind=\"point\"}")
+            .expect("point latency family exists");
+        assert_eq!(hist.count, 2 * points.len() as u64);
+    }
+
     /// Satellite requirement: one test that matches on *every*
     /// `EngineError` variant, so adding a variant without Display/kind
     /// coverage fails here first.
@@ -1952,6 +2231,7 @@ mod tests {
             EngineError::AdmissionDenied {
                 estimated_s: 2.0,
                 limit_s: 1.0,
+                from_history: false,
             },
             EngineError::DeadlineExceeded {
                 elapsed: Duration::from_millis(12),
@@ -1981,8 +2261,10 @@ mod tests {
                 EngineError::AdmissionDenied {
                     estimated_s,
                     limit_s,
+                    from_history,
                 } => {
                     assert!(estimated_s > limit_s);
+                    assert!(!from_history);
                     "admission_denied"
                 }
                 EngineError::DeadlineExceeded {

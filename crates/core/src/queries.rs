@@ -181,6 +181,183 @@ impl<'a> SelectionState<'a> {
         (result, stats)
     }
 
+    /// A *batch* of point queries sharing one Step-1 descent (single
+    /// simulated-buffer lock, warm root path — see
+    /// [`crate::candidates::CandidateSource::point_candidates_batch`])
+    /// and one filter pass with shared scratch buffers. Per query, the
+    /// candidate order, the result ids and every deterministic stats
+    /// field are identical to [`point_query`](SelectionState::point_query)
+    /// — only the physical-read attribution can differ, because the
+    /// batch keeps the buffer warm between its queries.
+    pub fn point_query_batch(
+        &self,
+        points: &[Point],
+        counts: &mut OpCounts,
+        spans: Option<&StepSpans>,
+    ) -> Vec<(Vec<ObjectId>, QueryStats, OpCounts)> {
+        let t_probe = spans.map(|_| Span::start());
+        let mut all = Vec::new();
+        let mut probe_stats = Vec::with_capacity(points.len());
+        self.source
+            .point_candidates_batch(points, &mut all, &mut probe_stats);
+        if let (Some(spans), Some(t)) = (spans, t_probe) {
+            spans.finish(Step::Step1, t);
+        }
+        let t_rest = spans.map(|_| Span::start());
+        let mer = self.progressive.as_deref().and_then(|p| p.mer_column());
+        let mut mask = Vec::new();
+        let mut exact_nanos = 0u64;
+        let mut out = Vec::with_capacity(points.len());
+        let mut offset = 0usize;
+        for (qi, &p) in points.iter().enumerate() {
+            let n = probe_stats[qi].candidates as usize;
+            let candidates = &all[offset..offset + n];
+            offset += n;
+            let mut stats = QueryStats {
+                candidates: probe_stats[qi].candidates,
+                physical_reads: probe_stats[qi].physical_reads,
+                ..QueryStats::default()
+            };
+            let has_mask = match mer {
+                Some(mers) => {
+                    mask.clear();
+                    kernels::rects_contain_point(self.dispatch, mers, candidates, p, &mut mask);
+                    true
+                }
+                None => false,
+            };
+            let mut result = Vec::new();
+            let mut q_counts = OpCounts::new();
+            for (slot, &id) in candidates.iter().enumerate() {
+                if let Some(cons) = &self.conservative {
+                    if !cons.view(id).contains_point(p) {
+                        stats.filter_false_hits += 1;
+                        continue;
+                    }
+                }
+                if let Some(prog) = &self.progressive {
+                    let hit = if has_mask {
+                        mask[slot]
+                    } else {
+                        progressive_contains(&prog.get(id), p)
+                    };
+                    if hit {
+                        stats.filter_hits += 1;
+                        result.push(id);
+                        continue;
+                    }
+                }
+                stats.exact_tests += 1;
+                let t_exact = spans.map(|_| Span::start());
+                let hit = region_contains_point(&self.relation.object(id).region, p, &mut q_counts);
+                if let Some(t) = t_exact {
+                    exact_nanos += t.elapsed_nanos();
+                }
+                if hit {
+                    result.push(id);
+                }
+            }
+            counts.merge(&q_counts);
+            out.push((result, stats, q_counts));
+        }
+        if let (Some(spans), Some(t)) = (spans, t_rest) {
+            spans.add(Step::Step3, exact_nanos);
+            spans.add(Step::Step2, t.elapsed_nanos().saturating_sub(exact_nanos));
+        }
+        out
+    }
+
+    /// Batched window queries — the window-shaped counterpart of
+    /// [`point_query_batch`](SelectionState::point_query_batch), with
+    /// the same identical-per-query contract.
+    pub fn window_query_batch(
+        &self,
+        windows: &[Rect],
+        counts: &mut OpCounts,
+        spans: Option<&StepSpans>,
+    ) -> Vec<(Vec<ObjectId>, QueryStats, OpCounts)> {
+        let t_probe = spans.map(|_| Span::start());
+        let mut all = Vec::new();
+        let mut probe_stats = Vec::with_capacity(windows.len());
+        self.source
+            .window_candidates_batch(windows, &mut all, &mut probe_stats);
+        if let (Some(spans), Some(t)) = (spans, t_probe) {
+            spans.finish(Step::Step1, t);
+        }
+        let t_rest = spans.map(|_| Span::start());
+        let mer = self.progressive.as_deref().and_then(|p| p.mer_column());
+        let mut mask = Vec::new();
+        let mut window_ring = Vec::new();
+        let mut exact_nanos = 0u64;
+        let mut out = Vec::with_capacity(windows.len());
+        let mut offset = 0usize;
+        for (qi, window) in windows.iter().enumerate() {
+            let n = probe_stats[qi].candidates as usize;
+            let candidates = &all[offset..offset + n];
+            offset += n;
+            let mut stats = QueryStats {
+                candidates: probe_stats[qi].candidates,
+                physical_reads: probe_stats[qi].physical_reads,
+                ..QueryStats::default()
+            };
+            window_ring.clear();
+            window_ring.extend_from_slice(&window.corners());
+            let has_mask = match mer {
+                Some(mers) => {
+                    mask.clear();
+                    kernels::rects_intersect_query(
+                        self.dispatch,
+                        mers,
+                        candidates,
+                        window,
+                        &mut mask,
+                    );
+                    true
+                }
+                None => false,
+            };
+            let mut result = Vec::new();
+            let mut q_counts = OpCounts::new();
+            for (slot, &id) in candidates.iter().enumerate() {
+                if let Some(cons) = &self.conservative {
+                    if !conservative_intersects_window(&cons.view(id), window, &window_ring) {
+                        stats.filter_false_hits += 1;
+                        continue;
+                    }
+                }
+                if let Some(prog) = &self.progressive {
+                    let hit = if has_mask {
+                        mask[slot]
+                    } else {
+                        progressive_intersects_window(&prog.get(id), window)
+                    };
+                    if hit {
+                        stats.filter_hits += 1;
+                        result.push(id);
+                        continue;
+                    }
+                }
+                stats.exact_tests += 1;
+                let t_exact = spans.map(|_| Span::start());
+                let hit =
+                    region_intersects_rect(&self.relation.object(id).region, window, &mut q_counts);
+                if let Some(t) = t_exact {
+                    exact_nanos += t.elapsed_nanos();
+                }
+                if hit {
+                    result.push(id);
+                }
+            }
+            counts.merge(&q_counts);
+            out.push((result, stats, q_counts));
+        }
+        if let (Some(spans), Some(t)) = (spans, t_rest) {
+            spans.add(Step::Step3, exact_nanos);
+            spans.add(Step::Step2, t.elapsed_nanos().saturating_sub(exact_nanos));
+        }
+        out
+    }
+
     /// All objects whose region intersects `window` (closed semantics).
     pub fn window_query(&self, window: Rect, counts: &mut OpCounts) -> (Vec<ObjectId>, QueryStats) {
         self.window_query_observed(window, counts, None)
@@ -412,6 +589,58 @@ mod tests {
                     .collect();
                 expect.sort_unstable();
                 assert_eq!(got, expect, "window {w:?} config {config:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_queries_match_serial_per_query_for_all_configs() {
+        let rel = msj_datagen::small_carto(60, 24.0, 21);
+        let world = rel.bounding_rect().unwrap();
+        let points: Vec<Point> = (0..24)
+            .map(|i| {
+                Point::new(
+                    world.xmin() + world.width() * (i as f64 * 0.37).fract(),
+                    world.ymin() + world.height() * (i as f64 * 0.61).fract(),
+                )
+            })
+            .collect();
+        let windows: Vec<Rect> = (0..16)
+            .map(|i| {
+                let cx = world.xmin() + world.width() * (i as f64 * 0.31).fract();
+                let cy = world.ymin() + world.height() * (i as f64 * 0.47).fract();
+                let side = world.width() * (0.01 + 0.08 * (i as f64 * 0.13).fract());
+                Rect::from_bounds(cx, cy, cx + side, cy + side)
+            })
+            .collect();
+        for config in processor_configs() {
+            let state = SelectionState::build((&rel).into(), &config);
+            let mut counts = OpCounts::new();
+            let batched = state.point_query_batch(&points, &mut counts, None);
+            assert_eq!(batched.len(), points.len());
+            for (i, &p) in points.iter().enumerate() {
+                let mut serial_ops = OpCounts::new();
+                let (ids, stats) = state.point_query(p, &mut serial_ops);
+                assert_eq!(batched[i].0, ids, "point {p:?} config {config:?}");
+                // Everything but the buffer-warmth-dependent physical
+                // reads must agree exactly.
+                assert_eq!(batched[i].1.candidates, stats.candidates);
+                assert_eq!(batched[i].1.filter_false_hits, stats.filter_false_hits);
+                assert_eq!(batched[i].1.filter_hits, stats.filter_hits);
+                assert_eq!(batched[i].1.exact_tests, stats.exact_tests);
+                assert_eq!(batched[i].2, serial_ops);
+            }
+            let batched = state.window_query_batch(&windows, &mut counts, None);
+            assert_eq!(batched.len(), windows.len());
+            for (i, w) in windows.iter().enumerate() {
+                let mut serial_ops = OpCounts::new();
+                let (ids, stats) = state.window_query(*w, &mut serial_ops);
+                assert_eq!(batched[i].0, ids, "window {w:?} config {config:?}");
+                assert_eq!(batched[i].1.candidates, stats.candidates);
+                assert_eq!(batched[i].1.filter_false_hits, stats.filter_false_hits);
+                assert_eq!(batched[i].1.filter_hits, stats.filter_hits);
+                assert_eq!(batched[i].1.exact_tests, stats.exact_tests);
+                assert_eq!(batched[i].2, serial_ops);
             }
         }
     }

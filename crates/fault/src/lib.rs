@@ -63,6 +63,23 @@ pub enum FaultKind {
         /// Global 0-based batch index at which cancellation fires.
         batch: u32,
     },
+    /// **Wire:** the connection is reset (closed with nothing written)
+    /// just before the seed-selected response frame would go out.
+    ConnReset,
+    /// **Wire:** only a prefix of the seed-selected response frame is
+    /// written before the connection closes — the client sees a
+    /// truncated frame, never a corrupted complete one.
+    PartialWrite,
+    /// **Wire:** the server stalls `millis` before writing the selected
+    /// response — a slow-drain client/socket, not a failure.
+    SlowClient {
+        /// Stall duration in milliseconds.
+        millis: u32,
+    },
+    /// **Wire:** the selected response is computed, then silently
+    /// discarded and the connection closed — the client must treat the
+    /// EOF as request-failed, never as an empty result.
+    DropBeforeReply,
 }
 
 impl FaultKind {
@@ -73,7 +90,23 @@ impl FaultKind {
             FaultKind::SlowWorker { .. } => "slow_worker",
             FaultKind::RasterCorrupt => "raster_corrupt",
             FaultKind::CancelAtBatch { .. } => "cancel_at_batch",
+            FaultKind::ConnReset => "conn_reset",
+            FaultKind::PartialWrite => "partial_write",
+            FaultKind::SlowClient { .. } => "slow_client",
+            FaultKind::DropBeforeReply => "drop_before_reply",
         }
+    }
+
+    /// Whether this kind injects at the wire (a serving front's
+    /// response-write path) rather than inside the execution engine.
+    pub fn is_wire(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::ConnReset
+                | FaultKind::PartialWrite
+                | FaultKind::SlowClient { .. }
+                | FaultKind::DropBeforeReply
+        )
     }
 }
 
@@ -140,9 +173,18 @@ pub fn parse_plan(text: &str) -> Option<FaultKind> {
             .ok()
             .map(|batch| FaultKind::CancelAtBatch { batch });
     }
+    if let Some(rest) = text.strip_prefix("slow_client:") {
+        return rest
+            .parse::<u32>()
+            .ok()
+            .map(|millis| FaultKind::SlowClient { millis });
+    }
     match text {
         "worker_panic" => Some(FaultKind::WorkerPanic),
         "raster_corrupt" => Some(FaultKind::RasterCorrupt),
+        "conn_reset" => Some(FaultKind::ConnReset),
+        "partial_write" => Some(FaultKind::PartialWrite),
+        "drop_before_reply" => Some(FaultKind::DropBeforeReply),
         _ => None,
     }
 }
@@ -159,6 +201,22 @@ pub enum FaultAction {
     Sleep(Duration),
     /// Cancel the request's token, then continue draining.
     Cancel,
+}
+
+/// What the wire-level injection hook ([`FaultSession::on_response`])
+/// tells the serving front to do with the response it is about to write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireAction {
+    /// No fault on this response — write it normally.
+    Proceed,
+    /// Close the connection without writing anything.
+    ConnReset,
+    /// Write a strict prefix of the frame, then close the connection.
+    PartialWrite,
+    /// Stall this long, then write the response normally.
+    SlowThenProceed(Duration),
+    /// Discard the computed response and close the connection.
+    DropBeforeReply,
 }
 
 /// How far into the batch stream a seed-targeted fault can land: the
@@ -263,7 +321,47 @@ impl FaultSession {
                     FaultAction::Proceed
                 }
             }
-            FaultKind::RasterCorrupt => FaultAction::Proceed,
+            // Raster corruption and the wire kinds fire at their own
+            // sites, not at batch boundaries.
+            FaultKind::RasterCorrupt
+            | FaultKind::ConnReset
+            | FaultKind::PartialWrite
+            | FaultKind::SlowClient { .. }
+            | FaultKind::DropBeforeReply => FaultAction::Proceed,
+        }
+    }
+
+    /// The wire-level injection hook, called by the serving front once
+    /// per response it is about to write. Counts responses exactly like
+    /// [`on_batch`](FaultSession::on_batch) counts batches: the
+    /// seed-derived [`target_batch`](FaultSession::target_batch)-th
+    /// response (or the first one after it) fires the plan, once per
+    /// session. Engine-side kinds always proceed here.
+    #[inline]
+    pub fn on_response(&self) -> WireAction {
+        let Some(kind) = self.config.kind else {
+            return WireAction::Proceed;
+        };
+        if !kind.is_wire() {
+            return WireAction::Proceed;
+        }
+        self.on_response_armed(kind)
+    }
+
+    #[cold]
+    fn on_response_armed(&self, kind: FaultKind) -> WireAction {
+        let seen = self.batches.fetch_add(1, Ordering::Relaxed);
+        if seen < self.target_batch() || !self.latch() {
+            return WireAction::Proceed;
+        }
+        match kind {
+            FaultKind::ConnReset => WireAction::ConnReset,
+            FaultKind::PartialWrite => WireAction::PartialWrite,
+            FaultKind::SlowClient { millis } => {
+                WireAction::SlowThenProceed(Duration::from_millis(u64::from(millis)))
+            }
+            FaultKind::DropBeforeReply => WireAction::DropBeforeReply,
+            _ => WireAction::Proceed,
         }
     }
 
@@ -396,7 +494,18 @@ mod tests {
             parse_plan(" cancel_at_batch:3 "),
             Some(FaultKind::CancelAtBatch { batch: 3 })
         );
+        assert_eq!(parse_plan("conn_reset"), Some(FaultKind::ConnReset));
+        assert_eq!(parse_plan("partial_write"), Some(FaultKind::PartialWrite));
+        assert_eq!(
+            parse_plan("slow_client:40"),
+            Some(FaultKind::SlowClient { millis: 40 })
+        );
+        assert_eq!(
+            parse_plan("drop_before_reply"),
+            Some(FaultKind::DropBeforeReply)
+        );
         assert_eq!(parse_plan("slow_worker:"), None);
+        assert_eq!(parse_plan("slow_client:"), None);
         assert_eq!(parse_plan("unplugged"), None);
         assert_eq!(parse_plan(""), None);
     }
@@ -408,8 +517,62 @@ mod tests {
             (FaultKind::SlowWorker { millis: 1 }, "slow_worker"),
             (FaultKind::RasterCorrupt, "raster_corrupt"),
             (FaultKind::CancelAtBatch { batch: 0 }, "cancel_at_batch"),
+            (FaultKind::ConnReset, "conn_reset"),
+            (FaultKind::PartialWrite, "partial_write"),
+            (FaultKind::SlowClient { millis: 1 }, "slow_client"),
+            (FaultKind::DropBeforeReply, "drop_before_reply"),
         ] {
             assert_eq!(kind.site(), site);
+            assert_eq!(
+                kind.is_wire(),
+                matches!(
+                    site,
+                    "conn_reset" | "partial_write" | "slow_client" | "drop_before_reply"
+                )
+            );
         }
+    }
+
+    #[test]
+    fn wire_faults_fire_once_at_the_seeded_response() {
+        for (kind, expect) in [
+            (FaultKind::ConnReset, WireAction::ConnReset),
+            (FaultKind::PartialWrite, WireAction::PartialWrite),
+            (
+                FaultKind::SlowClient { millis: 7 },
+                WireAction::SlowThenProceed(Duration::from_millis(7)),
+            ),
+            (FaultKind::DropBeforeReply, WireAction::DropBeforeReply),
+        ] {
+            let s = FaultSession::new(FaultConfig::seeded(11, kind));
+            let target = s.target_batch();
+            let mut fired_at = None;
+            for response in 0..(BATCH_SPREAD * 3) {
+                match s.on_response() {
+                    WireAction::Proceed => {}
+                    action => {
+                        assert_eq!(action, expect);
+                        assert_eq!(fired_at.replace(response), None, "one-shot");
+                        assert_eq!(response, target, "fires at the derived response");
+                    }
+                }
+            }
+            assert_eq!(fired_at, Some(target));
+            assert_eq!(s.fired(), Some(kind.site()));
+        }
+    }
+
+    #[test]
+    fn wire_faults_never_fire_at_batch_boundaries_and_vice_versa() {
+        let wire = FaultSession::new(FaultConfig::seeded(3, FaultKind::ConnReset));
+        for _ in 0..(BATCH_SPREAD * 2) {
+            assert_eq!(wire.on_batch(0, 1), FaultAction::Proceed);
+        }
+        assert_eq!(wire.fired(), None, "batch hook must not consume the plan");
+        let engine = FaultSession::new(FaultConfig::seeded(3, FaultKind::WorkerPanic));
+        for _ in 0..(BATCH_SPREAD * 2) {
+            assert_eq!(engine.on_response(), WireAction::Proceed);
+        }
+        assert_eq!(engine.fired(), None, "wire hook must not consume the plan");
     }
 }

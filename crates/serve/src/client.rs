@@ -1,0 +1,88 @@
+//! A small blocking client for the serving protocol — used by the
+//! integration tests, the chaos suite, and the load-generator example.
+//!
+//! The client keeps the **raw response frame** next to the decoded
+//! body: byte-identity tests compare that frame against the encoding of
+//! an in-process engine submit without re-serializing anything.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::protocol::{
+    decode_response, encode_request, ResponseBody, WireRequest, MAX_RESPONSE_FRAME,
+};
+
+/// One decoded response plus the exact bytes it arrived as.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireReply {
+    pub request_id: u64,
+    pub body: ResponseBody,
+    /// The complete frame (length prefix included) as received.
+    pub frame: Vec<u8>,
+}
+
+/// A blocking connection to a [`crate::Server`].
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects with a 10-second read timeout — a client must never
+    /// hang forever on a dropped reply.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        Client::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connects with an explicit read timeout.
+    pub fn connect_with_timeout(addr: SocketAddr, read_timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Sends one request frame (does not wait for the reply — pipelining
+    /// is how load tests oversubscribe the queues).
+    pub fn send(&mut self, request: &WireRequest) -> io::Result<()> {
+        self.stream.write_all(&encode_request(request))
+    }
+
+    /// Sends arbitrary bytes — protocol-violation tests only.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Reads one response frame. EOF before or inside a frame returns
+    /// `UnexpectedEof` — the caller decides whether that was an injected
+    /// fault or a real failure.
+    pub fn recv(&mut self) -> io::Result<WireReply> {
+        let mut len_bytes = [0u8; 4];
+        self.stream.read_exact(&mut len_bytes)?;
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_RESPONSE_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response frame of {len} bytes exceeds the client cap"),
+            ));
+        }
+        let mut body = vec![0u8; len as usize];
+        self.stream.read_exact(&mut body)?;
+        let (request_id, decoded) =
+            decode_response(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut frame = Vec::with_capacity(4 + body.len());
+        frame.extend_from_slice(&len_bytes);
+        frame.extend_from_slice(&body);
+        Ok(WireReply {
+            request_id,
+            body: decoded,
+            frame,
+        })
+    }
+
+    /// One request, one reply.
+    pub fn call(&mut self, request: &WireRequest) -> io::Result<WireReply> {
+        self.send(request)?;
+        self.recv()
+    }
+}

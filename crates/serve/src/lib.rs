@@ -1,0 +1,63 @@
+//! Overload-safe network front for the resident spatial engine.
+//!
+//! `msj-serve` puts a [`msj_core::SpatialEngine`] behind a TCP listener
+//! speaking the length-prefixed protocol of [`protocol`], built on a
+//! readiness loop over nonblocking `std::net` sockets (raw-syscall
+//! `epoll` on Linux/x86-64, a portable scan poller elsewhere — no
+//! external dependencies). The design goal is the robustness story of
+//! the paper's §5 engineering: a server that **refuses load it cannot
+//! carry** instead of degrading for everyone.
+//!
+//! - **Bounded queues, wire backpressure.** Requests land in bounded
+//!   per-dataset-pair queues. A full queue — or a §5 cost estimate over
+//!   the admission limit — answers an immediate 429-style
+//!   [`protocol::WireStatus::Shed`] whose `retry_after_ms` is derived
+//!   from the same cost model that refused the work.
+//! - **Client deadlines.** A nonzero `deadline_ms` in the request
+//!   header arms the engine's one and only cancellation mechanism
+//!   ([`msj_core::CancelToken::with_deadline`]) at admission, so queue
+//!   wait spends the budget too; an over-deadline request answers a
+//!   503-style [`protocol::WireStatus::DeadlineExceeded`] carrying the
+//!   partial-work accounting.
+//! - **Connection hardening.** Idle, stalled-read and stalled-write
+//!   timeouts; a per-connection in-flight cap; a max-frame guard that
+//!   rejects oversized requests before buffering them.
+//! - **Graceful drain.** [`Server::shutdown`] closes the listener,
+//!   lets queued and in-flight requests complete, answers anything new
+//!   with [`protocol::WireStatus::Draining`], and exits within the
+//!   configured drain deadline (cancelling still-running work through
+//!   the same token path when the deadline passes).
+//! - **Cross-request batching.** Concurrent point/window probes against
+//!   the same dataset are drained from the queue as one batch and run
+//!   through the engine's shared-descent batch path — under load the
+//!   served throughput exceeds per-query serving, and every completed
+//!   response stays **byte-identical** to its in-process equivalent.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use msj_core::{JoinConfig, SpatialEngine};
+//! use msj_serve::{Client, ServeConfig, Server, WireRequest};
+//!
+//! let engine = Arc::new(SpatialEngine::new(JoinConfig::default()));
+//! // ... engine.register(...) datasets ...
+//! let server = Server::start(engine, ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let reply = client.call(&WireRequest::point(1, 0, 0.5, 0.5)).unwrap();
+//! assert!(reply.body.is_ok());
+//! server.shutdown();
+//! server.join();
+//! ```
+
+pub mod client;
+pub mod poll;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::{Client, WireReply};
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, error_body,
+    response_body_for, retry_after_ms, wire_status_for_kind, JoinWireStats, ResponseBody,
+    SelectionWireStats, ShedReason, WireRequest, WireRequestBody, WireStatus,
+};
+pub use server::{DrainReport, ServeConfig, Server};

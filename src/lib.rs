@@ -27,7 +27,12 @@
 //!   JSON + Prometheus-style exporters) threaded through the engine;
 //! * [`core`] — the multi-step join pipeline, the `Serial`/`Fused`
 //!   execution engine ([`core::Execution`]), statistics and the §5
-//!   total cost model.
+//!   total cost model;
+//! * [`serve`] — the overload-safe network front: bounded per-pair
+//!   queues with wire backpressure (§5-derived `retry_after_ms`),
+//!   client deadlines over the engine's cancel tokens, connection
+//!   hardening, graceful drain, and cross-request batching of
+//!   concurrent selection probes.
 //!
 //! ## Quickstart
 //!
@@ -86,6 +91,7 @@ pub use msj_geom as geom;
 pub use msj_obs as obs;
 pub use msj_partition as partition;
 pub use msj_sam as sam;
+pub use msj_serve as serve;
 
 /// The crate version.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
