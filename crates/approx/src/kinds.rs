@@ -61,6 +61,34 @@ impl ConservativeKind {
             ConservativeKind::ConvexHull => "CH",
         }
     }
+
+    /// Stable on-disk code for the persistent store. Inverse of
+    /// [`ConservativeKind::from_code`]; never renumber existing codes.
+    pub fn code(self) -> u8 {
+        match self {
+            ConservativeKind::Mbr => 0,
+            ConservativeKind::Mbc => 1,
+            ConservativeKind::Mbe => 2,
+            ConservativeKind::Rmbr => 3,
+            ConservativeKind::FourCorner => 4,
+            ConservativeKind::FiveCorner => 5,
+            ConservativeKind::ConvexHull => 6,
+        }
+    }
+
+    /// Decodes an on-disk kind code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => ConservativeKind::Mbr,
+            1 => ConservativeKind::Mbc,
+            2 => ConservativeKind::Mbe,
+            3 => ConservativeKind::Rmbr,
+            4 => ConservativeKind::FourCorner,
+            5 => ConservativeKind::FiveCorner,
+            6 => ConservativeKind::ConvexHull,
+            _ => return None,
+        })
+    }
 }
 
 /// The progressive approximation kinds of §3.3.
@@ -80,6 +108,23 @@ impl ProgressiveKind {
             ProgressiveKind::Mec => "MEC",
             ProgressiveKind::Mer => "MER",
         }
+    }
+
+    /// Stable on-disk code for the persistent store.
+    pub fn code(self) -> u8 {
+        match self {
+            ProgressiveKind::Mec => 0,
+            ProgressiveKind::Mer => 1,
+        }
+    }
+
+    /// Decodes an on-disk kind code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => ProgressiveKind::Mec,
+            1 => ProgressiveKind::Mer,
+            _ => return None,
+        })
     }
 }
 

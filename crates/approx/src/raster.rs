@@ -606,6 +606,81 @@ impl RasterStore {
         }
         h
     }
+
+    /// Flattens the store into a serialization-ready [`RasterExport`]:
+    /// grid geometry as raw scalars, the offset table, and the interval
+    /// arena as `(start, end_class)` word pairs — the packed class bit
+    /// included, so signatures round-trip bit-exactly.
+    pub fn export(&self) -> RasterExport {
+        let mut words = Vec::with_capacity(2 * self.intervals.len());
+        for iv in &self.intervals {
+            words.push(iv.start);
+            words.push(iv.end_class);
+        }
+        RasterExport {
+            origin_x: self.grid.origin.x,
+            origin_y: self.grid.origin.y,
+            cell_w: self.grid.cell_w,
+            cell_h: self.grid.cell_h,
+            bits: self.grid.bits,
+            offsets: self.offsets.clone(),
+            intervals: words,
+        }
+    }
+
+    /// Reconstructs a store from an export without re-rasterizing. The
+    /// grid is restored verbatim (no re-clamping — the exported values
+    /// came from a validly constructed grid), so [`RasterStore::checksum`]
+    /// of the result equals the exported store's.
+    pub fn from_export(e: RasterExport) -> Result<Self, String> {
+        if e.bits < MIN_GRID_BITS || e.bits > MAX_GRID_BITS {
+            return Err("raster grid bits out of range".into());
+        }
+        if !(e.cell_w > 0.0 && e.cell_h > 0.0 && e.origin_x.is_finite() && e.origin_y.is_finite()) {
+            return Err("raster grid geometry malformed".into());
+        }
+        if !e.intervals.len().is_multiple_of(2) {
+            return Err("raster interval arena truncated".into());
+        }
+        let count = e.intervals.len() / 2;
+        if e.offsets.first() != Some(&0)
+            || e.offsets.last().copied() != Some(count as u32)
+            || e.offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err("raster offset table malformed".into());
+        }
+        let intervals = (0..count)
+            .map(|i| RasterInterval {
+                start: e.intervals[2 * i],
+                end_class: e.intervals[2 * i + 1],
+            })
+            .collect();
+        Ok(RasterStore {
+            grid: RasterGrid {
+                origin: Point::new(e.origin_x, e.origin_y),
+                cell_w: e.cell_w,
+                cell_h: e.cell_h,
+                bits: e.bits,
+            },
+            offsets: e.offsets,
+            intervals,
+        })
+    }
+}
+
+/// Flat image of a [`RasterStore`] — the unit `msj-store` persists for
+/// each side of a prepared join pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RasterExport {
+    pub origin_x: f64,
+    pub origin_y: f64,
+    pub cell_w: f64,
+    pub cell_h: f64,
+    pub bits: u32,
+    /// Per-object interval offsets (`len + 1` entries).
+    pub offsets: Vec<u32>,
+    /// The interval arena as raw `(start, end_class)` word pairs.
+    pub intervals: Vec<u32>,
 }
 
 /// Auto-sizes `grid_bits` from the workload, following the §5 cost-model

@@ -376,6 +376,225 @@ impl ProgressiveStore {
     }
 }
 
+/// Flat, serialization-ready image of a [`ConservativeStore`] — the unit
+/// `msj-store` persists. The column shape follows the kind: MBR packs 4
+/// scalars per object, MBC 3, MBE 5, the convex kinds a point arena (2
+/// scalars per point) indexed by `offsets`. All `f64`s round-trip
+/// bit-exactly (the store encodes them via `to_bits`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsExport {
+    pub kind: ConservativeKind,
+    /// Convex ring offsets (`len + 1` entries, in points); empty for the
+    /// fixed-width kinds.
+    pub offsets: Vec<u32>,
+    /// The payload column, flattened to scalars.
+    pub scalars: Vec<f64>,
+    /// The per-object false-area column.
+    pub false_area: Vec<f64>,
+    /// §3.4 byte-model total, carried through so a reloaded store reports
+    /// the same storage accounting as the built one.
+    pub total_bytes: u64,
+}
+
+/// Scalars per object for the fixed-width conservative columns (`None`
+/// for the variable convex kinds).
+fn cons_stride(kind: ConservativeKind) -> Option<usize> {
+    match kind {
+        ConservativeKind::Mbr => Some(4),
+        ConservativeKind::Mbc => Some(3),
+        ConservativeKind::Mbe => Some(5),
+        ConservativeKind::Rmbr
+        | ConservativeKind::FourCorner
+        | ConservativeKind::FiveCorner
+        | ConservativeKind::ConvexHull => None,
+    }
+}
+
+impl ConservativeStore {
+    /// Flattens the columns into a [`ConsExport`]. Returns `None` for the
+    /// rare `Mixed` escape hatch (a curved kind that degenerated to MBR
+    /// fallbacks on some objects) — those stores are rebuilt from the
+    /// relation on load instead of persisted.
+    pub fn export(&self) -> Option<ConsExport> {
+        let (offsets, scalars) = match &self.cols {
+            ConsColumns::Rects(rects) => {
+                let mut s = Vec::with_capacity(4 * rects.len());
+                for r in rects {
+                    s.extend_from_slice(&[r.xmin(), r.ymin(), r.xmax(), r.ymax()]);
+                }
+                (Vec::new(), s)
+            }
+            ConsColumns::Circles(circles) => {
+                let mut s = Vec::with_capacity(3 * circles.len());
+                for c in circles {
+                    s.extend_from_slice(&[c.center.x, c.center.y, c.radius]);
+                }
+                (Vec::new(), s)
+            }
+            ConsColumns::Ellipses(ellipses) => {
+                let mut s = Vec::with_capacity(5 * ellipses.len());
+                for e in ellipses {
+                    s.extend_from_slice(&[e.center.x, e.center.y, e.a, e.b, e.angle]);
+                }
+                (Vec::new(), s)
+            }
+            ConsColumns::Convex { offsets, points } => {
+                let mut s = Vec::with_capacity(2 * points.len());
+                for p in points {
+                    s.extend_from_slice(&[p.x, p.y]);
+                }
+                (offsets.clone(), s)
+            }
+            ConsColumns::Mixed(_) => return None,
+        };
+        Some(ConsExport {
+            kind: self.kind,
+            offsets,
+            scalars,
+            false_area: self.false_area.clone(),
+            total_bytes: self.total_bytes as u64,
+        })
+    }
+
+    /// Reconstructs a store from an export — a linear repack of the
+    /// scalar columns, no hull/ellipse/circle recomputation. The result
+    /// is column-identical to the exported store.
+    pub fn from_export(e: ConsExport) -> Result<Self, String> {
+        let n = e.false_area.len();
+        let cols = match cons_stride(e.kind) {
+            Some(stride) => {
+                if e.scalars.len() != stride * n || !e.offsets.is_empty() {
+                    return Err("conservative column shape mismatch".into());
+                }
+                match e.kind {
+                    ConservativeKind::Mbr => ConsColumns::Rects(
+                        (0..n)
+                            .map(|i| {
+                                let s = &e.scalars[4 * i..4 * i + 4];
+                                Rect::from_bounds(s[0], s[1], s[2], s[3])
+                            })
+                            .collect(),
+                    ),
+                    ConservativeKind::Mbc => ConsColumns::Circles(
+                        (0..n)
+                            .map(|i| {
+                                let s = &e.scalars[3 * i..3 * i + 3];
+                                Circle::new(Point::new(s[0], s[1]), s[2])
+                            })
+                            .collect(),
+                    ),
+                    ConservativeKind::Mbe => ConsColumns::Ellipses(
+                        (0..n)
+                            .map(|i| {
+                                let s = &e.scalars[5 * i..5 * i + 5];
+                                Ellipse {
+                                    center: Point::new(s[0], s[1]),
+                                    a: s[2],
+                                    b: s[3],
+                                    angle: s[4],
+                                }
+                            })
+                            .collect(),
+                    ),
+                    _ => unreachable!("stride implies fixed-width kind"),
+                }
+            }
+            None => {
+                if e.offsets.len() != n + 1 || e.offsets.first() != Some(&0) {
+                    return Err("convex offset table malformed".into());
+                }
+                if e.offsets.windows(2).any(|w| w[0] > w[1]) {
+                    return Err("convex offsets not monotonic".into());
+                }
+                let total = e.offsets[n] as usize;
+                if e.scalars.len() != 2 * total {
+                    return Err("convex point arena length mismatch".into());
+                }
+                let points = (0..total)
+                    .map(|i| Point::new(e.scalars[2 * i], e.scalars[2 * i + 1]))
+                    .collect();
+                ConsColumns::Convex {
+                    offsets: e.offsets,
+                    points,
+                }
+            }
+        };
+        Ok(ConservativeStore {
+            kind: e.kind,
+            cols,
+            false_area: e.false_area,
+            total_bytes: e.total_bytes as usize,
+        })
+    }
+}
+
+/// Flat image of a [`ProgressiveStore`]: 4 scalars per object for MER, 3
+/// for MEC. NaN sentinel slots (empty approximations) round-trip
+/// bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgExport {
+    pub kind: ProgressiveKind,
+    pub scalars: Vec<f64>,
+}
+
+impl ProgressiveStore {
+    /// Flattens the column into a [`ProgExport`].
+    pub fn export(&self) -> ProgExport {
+        let scalars = match &self.cols {
+            ProgColumns::Mers(rects) => {
+                let mut s = Vec::with_capacity(4 * rects.len());
+                for r in rects {
+                    s.extend_from_slice(&[r.xmin(), r.ymin(), r.xmax(), r.ymax()]);
+                }
+                s
+            }
+            ProgColumns::Mecs(circles) => {
+                let mut s = Vec::with_capacity(3 * circles.len());
+                for c in circles {
+                    s.extend_from_slice(&[c.center.x, c.center.y, c.radius]);
+                }
+                s
+            }
+        };
+        ProgExport {
+            kind: self.kind,
+            scalars,
+        }
+    }
+
+    /// Reconstructs a store from an export, column-identical to the
+    /// exported one.
+    pub fn from_export(e: ProgExport) -> Result<Self, String> {
+        let stride = match e.kind {
+            ProgressiveKind::Mer => 4,
+            ProgressiveKind::Mec => 3,
+        };
+        if !e.scalars.len().is_multiple_of(stride) {
+            return Err("progressive column shape mismatch".into());
+        }
+        let n = e.scalars.len() / stride;
+        let cols = match e.kind {
+            ProgressiveKind::Mer => ProgColumns::Mers(
+                (0..n)
+                    .map(|i| {
+                        let s = &e.scalars[4 * i..4 * i + 4];
+                        Rect::from_bounds(s[0], s[1], s[2], s[3])
+                    })
+                    .collect(),
+            ),
+            ProgressiveKind::Mec => ProgColumns::Mecs(
+                (0..n)
+                    .map(|i| {
+                        let s = &e.scalars[3 * i..3 * i + 3];
+                        Circle::new(Point::new(s[0], s[1]), s[2])
+                    })
+                    .collect(),
+            ),
+        };
+        Ok(ProgressiveStore { kind: e.kind, cols })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

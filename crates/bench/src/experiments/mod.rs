@@ -5,6 +5,7 @@
 //! maps experiment ids (`fig2`, `table3`, ...) to their functions; the
 //! `repro` binary dispatches on it.
 
+pub mod cold_start;
 pub mod datasets;
 pub mod exactgeo;
 pub mod filters;
@@ -272,6 +273,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "serving-load",
             description: "network front: batched throughput, overload shedding, drain",
             run: serving_load::serving_load,
+        },
+        Experiment {
+            id: "cold-start",
+            description: "persistent store: segment load vs Step-0 rebuild",
+            run: cold_start::cold_start,
         },
     ]
 }

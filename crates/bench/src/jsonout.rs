@@ -28,7 +28,7 @@
 //!   identical canonically sorted response set.
 //!
 //! Throughput fields are **omitted** when the corresponding stage did
-//! not run in a cell (schema `msj-bench-pr9`; earlier schemas emitted a
+//! not run in a cell (schema `msj-bench-pr10`; earlier schemas emitted a
 //! misleading `0`). Since PR 7 the document also carries the `kernels`
 //! section: the vectorized hot-path kernels (sweep / MER-accept /
 //! raster-decide) measured per dispatch path, scalar vs wide, with
@@ -43,7 +43,12 @@
 //! `msj-serve` socket (the batched speedup asserted > 1), queue-wait and
 //! end-to-end percentiles from the serving histograms, and an overload
 //! flood past 2× a tiny queue bound where every response is either a
-//! byte-identical completed answer or an explicit refusal.
+//! byte-identical completed answer or an explicit refusal. Since PR 10
+//! the top-level `"cold_start"` object measures the persistent Step-0
+//! store: rebuild vs segment-load wall-clock (total and per section),
+//! store file sizes, and the asserted digest equality between the
+//! rebuilt and the reloaded engine (the ≥ 10× cold-start guard is
+//! enforced whenever the rebuild baseline is above the noise floor).
 //!
 //! No serde in this workspace (offline vendored deps only), so the JSON
 //! is emitted by hand — flat records, numbers and strings only.
@@ -234,7 +239,7 @@ fn join_record(
 }
 
 /// The sections a [`bench_json_only`] filter can select.
-pub const SECTIONS: [&str; 8] = [
+pub const SECTIONS: [&str; 9] = [
     "step1",
     "join",
     "raster",
@@ -243,6 +248,7 @@ pub const SECTIONS: [&str; 8] = [
     "obs",
     "robustness",
     "serving_load",
+    "cold_start",
 ];
 
 /// Runs the full measurement matrix and renders the JSON document.
@@ -484,6 +490,11 @@ pub fn bench_json_only(cfg: &ExpConfig, only: Option<&str>) -> String {
     // Serving load: the network front's throughput/overload/drain story.
     let serving_load = want("serving_load").then(|| serving_load_section(cfg));
 
+    // Cold start: persisted-segment load vs Step-0 rebuild (the PR-10
+    // acceptance guard — >= 10x above the noise floor — is asserted
+    // inside the measurement).
+    let cold_start = want("cold_start").then(|| cold_start_section(cfg));
+
     render(
         cfg,
         &a,
@@ -492,7 +503,47 @@ pub fn bench_json_only(cfg: &ExpConfig, only: Option<&str>) -> String {
         obs.as_deref(),
         robustness.as_deref(),
         serving_load.as_deref(),
+        cold_start.as_deref(),
     )
+}
+
+/// The `"cold_start"` payload: rebuild vs load wall-clock (total and
+/// per section), segment file sizes, the asserted digest equality and
+/// whether the >= 10x guard was binding for this run.
+fn cold_start_section(cfg: &ExpConfig) -> String {
+    let m = crate::experiments::cold_start::measure_cold_start(cfg);
+    let mut out = format!(
+        concat!(
+            "{{\"objects_per_dataset\":{},",
+            "\"rebuild_millis\":{:.3},\"cold_open_millis\":{:.3},",
+            "\"speedup\":{:.2},\"guard_enforced\":{},",
+            "\"store_bytes\":[{},{}],\"digest_equal\":{},",
+            "\"sections\":["
+        ),
+        m.objects,
+        m.rebuild_millis[0] + m.rebuild_millis[1],
+        m.open_millis,
+        m.speedup,
+        m.guard_enforced,
+        m.store_bytes[0],
+        m.store_bytes[1],
+        m.digest_equal,
+    );
+    for (i, row) in m.sections.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"bytes\":{},\"rebuild_millis\":{},\"load_millis\":{:.3}}}",
+            row.name,
+            row.bytes,
+            row.rebuild_millis
+                .map_or("null".into(), |v| format!("{v:.3}")),
+            row.load_millis,
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 /// The `"serving_load"` payload: the PR-9 network-front measurements.
@@ -828,6 +879,7 @@ fn serving_records(cfg: &ExpConfig, a: &Arc<Relation>, b: &Arc<Relation>) -> Vec
     records
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render(
     cfg: &ExpConfig,
     a: &Relation,
@@ -836,10 +888,11 @@ fn render(
     obs: Option<&str>,
     robustness: Option<&str>,
     serving_load: Option<&str>,
+    cold_start: Option<&str>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"msj-bench-pr9\",\n");
+    out.push_str("  \"schema\": \"msj-bench-pr10\",\n");
     out.push_str("  \"workload\": \"skewed_carto\",\n");
     out.push_str(&format!("  \"objects_a\": {},\n", a.len()));
     out.push_str(&format!("  \"objects_b\": {},\n", b.len()));
@@ -856,6 +909,9 @@ fn render(
     }
     if let Some(serving_load) = serving_load {
         out.push_str(&format!("  \"serving_load\": {serving_load},\n"));
+    }
+    if let Some(cold_start) = cold_start {
+        out.push_str(&format!("  \"cold_start\": {cold_start},\n"));
     }
     out.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -883,10 +939,13 @@ mod tests {
         };
         let json = bench_json(&cfg);
         for needle in [
-            "\"schema\": \"msj-bench-pr9\"",
+            "\"schema\": \"msj-bench-pr10\"",
             "\"obs\": {",
             "\"robustness\": {",
             "\"serving_load\": {",
+            "\"cold_start\": {",
+            "\"cold_open_millis\":",
+            "\"digest_equal\":true",
             "\"batched_speedup\":",
             "\"queue_wait_p99_micros\":",
             "\"e2e_p99_micros\":",
@@ -982,10 +1041,36 @@ mod tests {
         assert!(!json.contains("\"experiment\":\"kernels\""));
         assert!(!json.contains("\"obs\": {"));
         assert!(!json.contains("\"serving_load\": {"));
+        assert!(!json.contains("\"cold_start\": {"));
         // The raster sweep still verifies on/off agreement internally
         // (the check closure compares every cell against the first).
         assert!(json.contains("\"mode\":\"raster-off\""));
         assert!(json.contains("\"mode\":\"raster-b10\""));
+    }
+
+    #[test]
+    fn cold_start_section_reports_the_store_story() {
+        let cfg = ExpConfig {
+            seed: 3,
+            scale: Scale::Quick,
+        };
+        let json = bench_json_only(&cfg, Some("cold_start"));
+        assert!(json.contains("\"cold_start\": {"));
+        for needle in [
+            "\"rebuild_millis\":",
+            "\"cold_open_millis\":",
+            "\"speedup\":",
+            "\"store_bytes\":[",
+            "\"digest_equal\":true",
+            "\"sections\":[",
+            "\"name\":\"relation\"",
+            "\"name\":\"tree\"",
+            "\"name\":\"trstar\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Only the cold-start payload — no measurement records.
+        assert!(!json.contains("\"experiment\":"));
     }
 
     #[test]

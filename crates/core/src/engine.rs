@@ -59,6 +59,7 @@ use crate::filter::GeometricFilter;
 use crate::pipeline::JoinResult;
 use crate::queries::{QueryStats, SelectionState};
 use crate::stats::MultiStepStats;
+use msj_approx::RasterStore;
 use msj_approx::{ConservativeStore, ProgressiveStore};
 use msj_exact::{ExactAlgorithm, ExactProcessor, OpCounts, TrStarStore};
 use msj_fault::{FaultConfig, FaultSession};
@@ -67,7 +68,10 @@ use msj_obs::{
     LaneRole, MetricsRegistry, ObsConfig, Span, Step, StepSpans, Trace, TraceRing, TraceSteps,
 };
 use msj_sam::RStarTree;
+use msj_store::{DatasetParts, Section, Store};
 use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -76,11 +80,32 @@ use std::time::{Duration, Instant};
 /// registration order).
 pub type DatasetId = u32;
 
-/// One registered dataset: the relation plus every per-relation Step-0
-/// artifact the engine's configuration calls for, all `Arc`-shared.
+/// One registered dataset: the relation (always resident) plus a
+/// residency slot for its Step-0 artifacts.
+///
+/// The artifacts live behind an `RwLock<Option<…>>` so a store-backed
+/// engine can **evict** a cold dataset's artifacts under a byte budget
+/// and re-materialize them on next touch — from the persistent store
+/// when one is armed (a linear repack of the segment's columns), from
+/// the relation otherwise (a full Step-0 rebuild). In-flight work is
+/// never invalidated: anything using the artifacts holds the `Arc`, so
+/// eviction only drops this state's reference.
 struct DatasetState {
     id: DatasetId,
     relation: Arc<Relation>,
+    /// Wall-clock of this dataset's share of Step 0 at registration (or
+    /// of the store load that materialized it on an opened engine).
+    step0_nanos: u64,
+    /// Bytes this dataset's artifacts account for under the residency
+    /// budget: the segment file size when a store is armed, 0 otherwise
+    /// (no store means no budget and no eviction).
+    bytes: u64,
+    artifacts: RwLock<Option<Arc<DatasetArtifacts>>>,
+}
+
+/// Every per-relation Step-0 artifact the engine's configuration calls
+/// for, all `Arc`-shared — the evictable half of a [`DatasetState`].
+struct DatasetArtifacts {
     /// The paged R*-tree (only under [`Backend::RStarTraversal`]; the
     /// partitioned backend indexes lazily inside its sources).
     tree: Option<Arc<RStarTree>>,
@@ -91,8 +116,6 @@ struct DatasetState {
     trstar: Option<Arc<TrStarStore>>,
     /// Resident selection state serving point/window queries.
     selection: SelectionState<'static>,
-    /// Wall-clock of this dataset's share of Step 0.
-    step0_nanos: u64,
 }
 
 /// A cheap, clonable, thread-safe reference to a registered dataset.
@@ -144,7 +167,7 @@ pub const RUN_HISTORY: usize = 32;
 
 /// `reason` labels of `msj_degraded_mode_total`, pre-registered so the
 /// family renders at zero from the first scrape.
-const DEGRADED_REASONS: [&str; 2] = ["raster_checksum", "fault_injected"];
+const DEGRADED_REASONS: [&str; 3] = ["raster_checksum", "fault_injected", "store_corrupt"];
 
 /// `kind` labels of `msj_request_errors_total` — one per
 /// [`EngineError`] variant (the canonical list lives on
@@ -155,10 +178,11 @@ const ERROR_KINDS: [&str; 6] = EngineError::ALL_KINDS;
 /// `site` labels of `msj_fault_injected_total` — the
 /// [`msj_fault::FaultKind::site`] names, engine-internal sites and the
 /// wire-level sites a network front injects at.
-const FAULT_SITES: [&str; 8] = [
+const FAULT_SITES: [&str; 9] = [
     "worker_panic",
     "slow_worker",
     "raster_corrupt",
+    "store_corrupt",
     "cancel_at_batch",
     "conn_reset",
     "partial_write",
@@ -259,6 +283,22 @@ impl EngineObs {
             "msj_fault_injected_total",
             "Deterministic fault injections that fired, by site",
         );
+        registry.describe(
+            "msj_store_bytes",
+            "Resident artifact-store bytes, by dataset (0 when evicted)",
+        );
+        registry.describe(
+            "msj_store_load_nanos",
+            "Wall-clock nanoseconds per artifact load from the persistent store",
+        );
+        registry.describe(
+            "msj_store_evictions_total",
+            "Dataset artifact sets evicted by the residency byte budget",
+        );
+        registry.describe(
+            "msj_store_checksum_failures_total",
+            "Store sections that failed checksum or shape validation at load, by section",
+        );
         for kind in ["join", "self_join", "point", "window"] {
             registry.histogram("msj_request_latency_nanos", &[("kind", kind)]);
         }
@@ -278,6 +318,14 @@ impl EngineObs {
         for site in FAULT_SITES {
             registry.counter("msj_fault_injected_total", &[("site", site)]);
         }
+        for section in Section::ALL {
+            registry.counter(
+                "msj_store_checksum_failures_total",
+                &[("section", section.name())],
+            );
+        }
+        registry.counter("msj_store_evictions_total", &[]);
+        registry.histogram("msj_store_load_nanos", &[]);
         registry.counter("msj_request_cancelled_total", &[]);
         registry.counter("msj_deadline_exceeded_total", &[]);
         registry.counter("msj_worker_panics_total", &[]);
@@ -813,6 +861,136 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// Configuration of the engine's **persistent Step-0 artifact store**
+/// (`msj-store`): a directory of page-aligned, per-section checksummed
+/// segment files plus an optional dataset-residency byte budget.
+///
+/// * [`SpatialEngine::with_store`] arms write-through: every
+///   [`SpatialEngine::register`] also persists the dataset's artifacts,
+///   and every first preparation of a raster-enabled pair persists the
+///   pair's raster signatures.
+/// * [`SpatialEngine::open`] restarts from such a directory: registered
+///   datasets come back in id order with their artifacts **loaded** (a
+///   linear repack of the segment columns — no hulls, MERs, trapezoids
+///   or STR packing recomputed) instead of rebuilt.
+/// * With a byte budget set, the engine keeps at most that many artifact
+///   bytes resident: the stalest dataset's artifacts are evicted and
+///   re-materialized from the store on next touch, so the registered
+///   set may exceed RAM.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    root: PathBuf,
+    byte_budget: Option<u64>,
+}
+
+impl StoreConfig {
+    /// A store rooted at `root` (created if absent), with no residency
+    /// budget — everything registered stays resident.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            root: root.into(),
+            byte_budget: None,
+        }
+    }
+
+    /// Caps resident artifact bytes: beyond `bytes`, the
+    /// least-recently-touched datasets' artifacts are evicted (and
+    /// reloaded from the store on next touch).
+    pub fn with_byte_budget(mut self, bytes: u64) -> Self {
+        self.byte_budget = Some(bytes);
+        self
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    /// The residency byte budget, if one is set.
+    pub fn byte_budget(&self) -> Option<u64> {
+        self.byte_budget
+    }
+}
+
+/// The armed store of a [`SpatialEngine`]: segment I/O plus the
+/// dataset-residency accounting the byte budget evicts by.
+struct StoreBackend {
+    store: Store,
+    byte_budget: Option<u64>,
+    residency: Mutex<Residency>,
+}
+
+/// LRU accounting of resident dataset artifacts: recency stamps plus
+/// the resident byte total the budget is enforced against.
+struct Residency {
+    clock: u64,
+    /// Per resident dataset: (artifact bytes, recency stamp).
+    resident: HashMap<DatasetId, (u64, u64)>,
+}
+
+impl Residency {
+    fn total(&self) -> u64 {
+        self.resident.values().map(|&(bytes, _)| bytes).sum()
+    }
+
+    /// Upserts `id` as most recently used.
+    fn touch(&mut self, id: DatasetId, bytes: u64) {
+        self.clock += 1;
+        let clock = self.clock;
+        self.resident.insert(id, (bytes, clock));
+    }
+
+    /// The stalest resident dataset, excluding `keep`.
+    fn stalest(&self, keep: DatasetId) -> Option<DatasetId> {
+        self.resident
+            .iter()
+            .filter(|(&id, _)| id != keep)
+            .min_by_key(|(_, &(_, stamp))| stamp)
+            .map(|(&id, _)| id)
+    }
+}
+
+/// Fingerprint of the configuration fields that shape Step-0 artifacts
+/// (tree layout, approximation kinds, exact representations, raster
+/// grid). A persisted segment whose tag differs was built under an
+/// incompatible configuration; the engine rebuilds from the relation
+/// instead of loading it.
+fn config_tag(config: &JoinConfig) -> u64 {
+    let mut bytes = Vec::with_capacity(64);
+    bytes.push(match config.backend {
+        Backend::RStarTraversal => 1u8,
+        Backend::PartitionedSweep { .. } => 2,
+    });
+    bytes.extend((config.page_size as u64).to_le_bytes());
+    bytes.push(config.conservative.map_or(0xFF, |k| k.code()));
+    bytes.push(config.progressive.map_or(0xFF, |k| k.code()));
+    match config.exact {
+        ExactAlgorithm::TrStar { max_entries } => {
+            bytes.push(1);
+            bytes.extend((max_entries as u64).to_le_bytes());
+        }
+        _ => bytes.push(0),
+    }
+    bytes.push(match config.loader {
+        crate::config::TreeLoader::Str => 0,
+        crate::config::TreeLoader::Incremental => 1,
+    });
+    bytes.push(config.raster.enabled as u8);
+    bytes.extend(config.raster.grid_bits.to_le_bytes());
+    msj_geom::fnv1a64(&bytes)
+}
+
+/// The deterministic byte index a fired `store_corrupt` fault flips:
+/// one splitmix64 draw from the plan seed, reduced to the section
+/// length. Engine-side so the corruption flows through the *store's*
+/// verification path exactly like real media corruption would.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// The resident spatial query engine (see the module docs).
 ///
 /// All methods take `&self`; the engine is `Send + Sync` and intended to
@@ -838,6 +1016,12 @@ pub struct SpatialEngine {
     /// Prepared-join cache keyed by dataset-id pair, LRU-capped at
     /// [`JoinConfig::prepared_cache_cap`].
     prepared: Mutex<PreparedCache>,
+    /// The persistent artifact store, when armed
+    /// ([`SpatialEngine::with_store`] / [`SpatialEngine::open`]).
+    store: Option<StoreBackend>,
+    /// Fingerprint of the artifact-shaping configuration fields,
+    /// stamped into every written segment and checked on every load.
+    tag: u64,
 }
 
 /// The engine's prepared-join cache: id-pair keyed, bounded by an LRU
@@ -914,13 +1098,64 @@ impl SpatialEngine {
         SpatialEngine {
             obs: Arc::new(EngineObs::new(config.obs, config.kernel_dispatch())),
             prepared: Mutex::new(PreparedCache::new(config.prepared_cache_cap)),
+            tag: config_tag(&config),
             config,
             params: CostModelParams::default(),
             admission_limit_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             fault,
             fault_spent: Arc::new(AtomicBool::new(false)),
             datasets: RwLock::new(Vec::new()),
+            store: None,
         }
+    }
+
+    /// Arms the persistent artifact store: every subsequent
+    /// [`SpatialEngine::register`] writes the dataset's Step-0 artifacts
+    /// through to a segment file under `store.root()`, pair raster
+    /// signatures persist on first preparation, and the residency budget
+    /// (if set) starts evicting cold datasets' artifacts.
+    pub fn with_store(mut self, store: StoreConfig) -> io::Result<Self> {
+        self.store = Some(StoreBackend {
+            store: Store::open(&store.root)?,
+            byte_budget: store.byte_budget,
+            residency: Mutex::new(Residency {
+                clock: 0,
+                resident: HashMap::new(),
+            }),
+        });
+        Ok(self)
+    }
+
+    /// Re-opens an engine from a persisted store: every dataset written
+    /// by a previous engine's write-through comes back registered, in id
+    /// order, with its Step-0 artifacts **loaded** from the segment
+    /// files (checksums verified per section) instead of rebuilt — the
+    /// store's cold-start path. Corrupt artifact sections degrade to a
+    /// rebuild from the relation (counted under
+    /// `msj_degraded_mode_total{reason="store_corrupt"}`); a corrupt
+    /// manifest or relation section fails the open, since there is
+    /// nothing to rebuild from.
+    pub fn open(config: JoinConfig, store: StoreConfig) -> io::Result<Self> {
+        let engine = SpatialEngine::new(config).with_store(store)?;
+        let backend = engine.store.as_ref().expect("store just armed");
+        let ids = backend.store.dataset_ids()?;
+        for (slot, id) in ids.iter().enumerate() {
+            if *id != slot as DatasetId {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("store is missing dataset {slot} (found id {id})"),
+                ));
+            }
+        }
+        for id in ids {
+            engine.load_dataset(id)?;
+        }
+        Ok(engine)
+    }
+
+    /// Whether a persistent store is armed.
+    pub fn store_armed(&self) -> bool {
+        self.store.is_some()
     }
 
     /// The engine's metrics registry: always present (and always
@@ -1021,29 +1256,7 @@ impl SpatialEngine {
         let relation = relation.into();
         let enabled = self.obs.registry.is_enabled();
         let t_step0 = enabled.then(Instant::now);
-        let tree = matches!(self.config.backend, Backend::RStarTraversal)
-            .then(|| Arc::new(candidates::build_tree(&self.config, &relation)));
-        let conservative = self
-            .config
-            .conservative
-            .map(|k| Arc::new(ConservativeStore::build(k, &relation)));
-        let progressive = self
-            .config
-            .progressive
-            .map(|k| Arc::new(ProgressiveStore::build(k, &relation)));
-        let trstar = match self.config.exact {
-            ExactAlgorithm::TrStar { max_entries } => {
-                Some(Arc::new(TrStarStore::build(&relation, max_entries)))
-            }
-            _ => None,
-        };
-        let selection = SelectionState::from_shared_with_step1(
-            RelHandle::from(relation.clone()),
-            &self.config,
-            SharedStep1 { tree: tree.clone() },
-            conservative.clone(),
-            progressive.clone(),
-        );
+        let artifacts = self.build_artifacts(&relation);
         let step0_nanos = t_step0.map_or(0, |t| t.elapsed().as_nanos() as u64);
         if enabled {
             let reg = &self.obs.registry;
@@ -1061,18 +1274,458 @@ impl SpatialEngine {
             .datasets
             .write()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let id = datasets.len() as DatasetId;
+        // Write-through: the id is assigned under the datasets lock, so
+        // the segment write happens here too — registration is cold
+        // relative to serving, and concurrent registers must not race
+        // for the same segment file.
+        let bytes = self.persist_dataset(id, &relation, &artifacts).unwrap_or(0);
         let state = Arc::new(DatasetState {
-            id: datasets.len() as DatasetId,
+            id,
             relation,
+            step0_nanos,
+            bytes,
+            artifacts: RwLock::new(Some(Arc::new(artifacts))),
+        });
+        datasets.push(state.clone());
+        drop(datasets);
+        self.note_resident(&state);
+        self.evict_over_budget(id);
+        DatasetHandle { state }
+    }
+
+    /// Runs one relation's share of Step 0 under the engine
+    /// configuration — the rebuild path of registration and of any load
+    /// whose stored sections cannot be used.
+    fn build_artifacts(&self, relation: &Arc<Relation>) -> DatasetArtifacts {
+        let tree = matches!(self.config.backend, Backend::RStarTraversal)
+            .then(|| Arc::new(candidates::build_tree(&self.config, relation)));
+        let conservative = self
+            .config
+            .conservative
+            .map(|k| Arc::new(ConservativeStore::build(k, relation)));
+        let progressive = self
+            .config
+            .progressive
+            .map(|k| Arc::new(ProgressiveStore::build(k, relation)));
+        let trstar = match self.config.exact {
+            ExactAlgorithm::TrStar { max_entries } => {
+                Some(Arc::new(TrStarStore::build(relation, max_entries)))
+            }
+            _ => None,
+        };
+        let selection = SelectionState::from_shared_with_step1(
+            RelHandle::from(relation.clone()),
+            &self.config,
+            SharedStep1 { tree: tree.clone() },
+            conservative.clone(),
+            progressive.clone(),
+        );
+        DatasetArtifacts {
             tree,
             conservative,
             progressive,
             trstar,
             selection,
+        }
+    }
+
+    /// Writes one dataset's artifacts through to the armed store;
+    /// returns the segment size. `None` when no store is armed or the
+    /// write failed — the engine keeps serving from memory either way.
+    fn persist_dataset(
+        &self,
+        id: DatasetId,
+        relation: &Relation,
+        artifacts: &DatasetArtifacts,
+    ) -> Option<u64> {
+        let backend = self.store.as_ref()?;
+        let parts = DatasetParts {
+            relation,
+            tree: artifacts.tree.as_ref().map(|t| t.export()),
+            conservative: artifacts.conservative.as_ref().and_then(|c| c.export()),
+            progressive: artifacts.progressive.as_ref().map(|p| p.export()),
+            trstar: artifacts.trstar.as_ref().map(|t| t.export()),
+        };
+        backend.store.write_dataset(id, self.tag, &parts).ok()
+    }
+
+    /// Runs `read` with the engine's `store_corrupt` fault plan armed as
+    /// the store's tamper hook (a seed-deterministic single-byte flip in
+    /// the named section, applied *before* checksum verification so the
+    /// corruption flows through the store's real detection path), and
+    /// counts the injection if it fired.
+    fn with_store_fault<T>(&self, read: impl FnOnce(Option<msj_store::Tamper<'_>>) -> T) -> T {
+        let session = if self.fault_spent.load(Ordering::Acquire) {
+            FaultSession::inert()
+        } else {
+            FaultSession::new(self.fault)
+        };
+        let mut fired = false;
+        let mut hook = |section: Section, bytes: &mut [u8]| {
+            if let Some(seed) = session.corrupt_store(section.name()) {
+                fired = true;
+                if !bytes.is_empty() {
+                    let idx = (splitmix64(seed) % bytes.len() as u64) as usize;
+                    bytes[idx] ^= 1;
+                }
+            }
+        };
+        let out = read(Some(&mut hook));
+        if fired {
+            self.fault_spent.store(true, Ordering::Release);
+            if self.obs.registry.is_enabled() {
+                self.obs
+                    .registry
+                    .counter("msj_fault_injected_total", &[("site", "store_corrupt")])
+                    .inc();
+            }
+        }
+        out
+    }
+
+    /// Decodes a segment's artifact sections into resident artifacts —
+    /// a linear repack of the stored columns, no Step-0 recomputation.
+    /// Any corrupt or missing section is rebuilt from `relation`
+    /// (answers stay identical; only that section's load speedup is
+    /// lost); failed section names accumulate into `corrupt`.
+    fn artifacts_from_sections(
+        &self,
+        relation: &Arc<Relation>,
+        tree: Option<Result<msj_sam::TreeExport, msj_store::SectionError>>,
+        conservative: Option<Result<msj_approx::ConsExport, msj_store::SectionError>>,
+        progressive: Option<Result<msj_approx::ProgExport, msj_store::SectionError>>,
+        trstar: Option<Result<msj_exact::TrStarExport, msj_store::SectionError>>,
+        corrupt: &mut Vec<&'static str>,
+    ) -> DatasetArtifacts {
+        let tree = match (matches!(self.config.backend, Backend::RStarTraversal), tree) {
+            (false, _) => None,
+            (true, Some(Ok(export))) => match RStarTree::from_export(export) {
+                Ok(t) => Some(Arc::new(t)),
+                Err(_) => {
+                    corrupt.push(Section::Tree.name());
+                    Some(Arc::new(candidates::build_tree(&self.config, relation)))
+                }
+            },
+            (true, other) => {
+                if other.is_some() {
+                    corrupt.push(Section::Tree.name());
+                }
+                Some(Arc::new(candidates::build_tree(&self.config, relation)))
+            }
+        };
+        let conservative = match (self.config.conservative, conservative) {
+            (None, _) => None,
+            (Some(_), Some(Ok(export))) => match ConservativeStore::from_export(export) {
+                Ok(c) => Some(Arc::new(c)),
+                Err(_) => {
+                    corrupt.push(Section::Conservative.name());
+                    let k = self.config.conservative.expect("matched Some");
+                    Some(Arc::new(ConservativeStore::build(k, relation)))
+                }
+            },
+            (Some(k), other) => {
+                if other.is_some() {
+                    corrupt.push(Section::Conservative.name());
+                }
+                Some(Arc::new(ConservativeStore::build(k, relation)))
+            }
+        };
+        let progressive = match (self.config.progressive, progressive) {
+            (None, _) => None,
+            (Some(_), Some(Ok(export))) => match ProgressiveStore::from_export(export) {
+                Ok(p) => Some(Arc::new(p)),
+                Err(_) => {
+                    corrupt.push(Section::Progressive.name());
+                    let k = self.config.progressive.expect("matched Some");
+                    Some(Arc::new(ProgressiveStore::build(k, relation)))
+                }
+            },
+            (Some(k), other) => {
+                if other.is_some() {
+                    corrupt.push(Section::Progressive.name());
+                }
+                Some(Arc::new(ProgressiveStore::build(k, relation)))
+            }
+        };
+        let trstar = match (self.config.exact, trstar) {
+            (ExactAlgorithm::TrStar { .. }, Some(Ok(export))) => {
+                match TrStarStore::from_export(export) {
+                    Ok(t) => Some(Arc::new(t)),
+                    Err(_) => {
+                        corrupt.push(Section::TrStar.name());
+                        let ExactAlgorithm::TrStar { max_entries } = self.config.exact else {
+                            unreachable!("matched TrStar");
+                        };
+                        Some(Arc::new(TrStarStore::build(relation, max_entries)))
+                    }
+                }
+            }
+            (ExactAlgorithm::TrStar { max_entries }, other) => {
+                if other.is_some() {
+                    corrupt.push(Section::TrStar.name());
+                }
+                Some(Arc::new(TrStarStore::build(relation, max_entries)))
+            }
+            _ => None,
+        };
+        let selection = SelectionState::from_shared_with_step1(
+            RelHandle::from(relation.clone()),
+            &self.config,
+            SharedStep1 { tree: tree.clone() },
+            conservative.clone(),
+            progressive.clone(),
+        );
+        DatasetArtifacts {
+            tree,
+            conservative,
+            progressive,
+            trstar,
+            selection,
+        }
+    }
+
+    /// Publishes one finished store load: wall-clock plus any
+    /// per-section failures and the degraded-fallback count.
+    fn record_store_load(&self, nanos: u64, corrupt: &[&'static str]) {
+        if !self.obs.registry.is_enabled() {
+            return;
+        }
+        let reg = &self.obs.registry;
+        reg.histogram("msj_store_load_nanos", &[]).record(nanos);
+        for section in corrupt {
+            reg.counter("msj_store_checksum_failures_total", &[("section", section)])
+                .inc();
+        }
+        if !corrupt.is_empty() {
+            reg.counter("msj_degraded_mode_total", &[("reason", "store_corrupt")])
+                .inc();
+        }
+    }
+
+    /// Registers one persisted dataset on an opening engine — the
+    /// cold-start path of [`SpatialEngine::open`].
+    fn load_dataset(&self, id: DatasetId) -> io::Result<()> {
+        let backend = self.store.as_ref().expect("load_dataset requires a store");
+        let enabled = self.obs.registry.is_enabled();
+        let t_load = enabled.then(Instant::now);
+        let load = self.with_store_fault(|tamper| backend.store.read_dataset(id, tamper))?;
+        let msj_store::DatasetLoad {
+            config_tag,
+            bytes,
+            relation,
+            tree,
+            conservative,
+            progressive,
+            trstar,
+        } = load;
+        let mut corrupt: Vec<&'static str> = Vec::new();
+        let relation = match relation {
+            Ok(rel) => Arc::new(rel),
+            Err(_) => {
+                // The relation is the one section with no rebuild
+                // source; its corruption fails the open.
+                self.record_store_load(
+                    t_load.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                    &[Section::Relation.name()],
+                );
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("dataset {id}: relation section corrupt"),
+                ));
+            }
+        };
+        let (artifacts, bytes) = if config_tag == self.tag {
+            (
+                self.artifacts_from_sections(
+                    &relation,
+                    tree,
+                    conservative,
+                    progressive,
+                    trstar,
+                    &mut corrupt,
+                ),
+                bytes,
+            )
+        } else {
+            // The segment was written under an artifact-shaping
+            // configuration this engine does not run: rebuild everything
+            // from the relation and refresh the segment in place.
+            let artifacts = self.build_artifacts(&relation);
+            let bytes = self
+                .persist_dataset(id, &relation, &artifacts)
+                .unwrap_or(bytes);
+            (artifacts, bytes)
+        };
+        let step0_nanos = t_load.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        self.record_store_load(step0_nanos, &corrupt);
+        let mut datasets = self
+            .datasets
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        debug_assert_eq!(datasets.len() as DatasetId, id, "open loads ids in order");
+        let state = Arc::new(DatasetState {
+            id,
+            relation,
             step0_nanos,
+            bytes,
+            artifacts: RwLock::new(Some(Arc::new(artifacts))),
         });
         datasets.push(state.clone());
-        DatasetHandle { state }
+        drop(datasets);
+        self.note_resident(&state);
+        self.evict_over_budget(id);
+        Ok(())
+    }
+
+    /// The dataset's artifacts, re-materializing them first if the
+    /// residency budget evicted them: a store load when a usable segment
+    /// exists, a Step-0 rebuild from the relation otherwise. Refreshes
+    /// the dataset's LRU recency either way.
+    fn artifacts(&self, state: &Arc<DatasetState>) -> Arc<DatasetArtifacts> {
+        let resident = state
+            .artifacts
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone();
+        if let Some(artifacts) = resident {
+            self.note_resident(state);
+            return artifacts;
+        }
+        // Materialize outside every lock: a concurrent double
+        // materialization is deterministic over the same inputs and the
+        // first publish wins.
+        let built = Arc::new(self.materialize(state));
+        let artifacts = {
+            let mut guard = state
+                .artifacts
+                .write()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if guard.is_none() {
+                *guard = Some(built);
+            }
+            guard.clone().expect("just published")
+        };
+        self.note_resident(state);
+        self.evict_over_budget(state.id);
+        artifacts
+    }
+
+    /// Re-materializes evicted artifacts (see [`SpatialEngine::artifacts`]).
+    fn materialize(&self, state: &DatasetState) -> DatasetArtifacts {
+        if let Some(backend) = &self.store {
+            let enabled = self.obs.registry.is_enabled();
+            let t_load = enabled.then(Instant::now);
+            let load = self.with_store_fault(|tamper| backend.store.read_dataset(state.id, tamper));
+            if let Ok(load) = load {
+                if load.config_tag == self.tag {
+                    let mut corrupt: Vec<&'static str> = Vec::new();
+                    // The relation is already resident; only the
+                    // artifact sections matter here.
+                    let artifacts = self.artifacts_from_sections(
+                        &state.relation,
+                        load.tree,
+                        load.conservative,
+                        load.progressive,
+                        load.trstar,
+                        &mut corrupt,
+                    );
+                    self.record_store_load(
+                        t_load.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                        &corrupt,
+                    );
+                    return artifacts;
+                }
+            }
+        }
+        self.build_artifacts(&state.relation)
+    }
+
+    /// Marks `state` most-recently-used in the residency accounting and
+    /// publishes its resident bytes. No-op without an armed store.
+    fn note_resident(&self, state: &DatasetState) {
+        let Some(backend) = &self.store else { return };
+        backend
+            .residency
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .touch(state.id, state.bytes);
+        if self.obs.registry.is_enabled() {
+            let label = state.id.to_string();
+            self.obs
+                .registry
+                .gauge("msj_store_bytes", &[("dataset", label.as_str())])
+                .set(state.bytes as f64);
+        }
+    }
+
+    /// Evicts least-recently-touched datasets' artifacts until the
+    /// resident total fits the byte budget. `keep` (the dataset that
+    /// triggered the check) is evicted only when nothing else is left —
+    /// a budget smaller than a single dataset still serves correctly,
+    /// just re-materializing on every touch.
+    fn evict_over_budget(&self, keep: DatasetId) {
+        let Some(backend) = &self.store else { return };
+        let Some(budget) = backend.byte_budget else {
+            return;
+        };
+        loop {
+            let victim = {
+                let mut residency = backend
+                    .residency
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                if residency.total() <= budget {
+                    return;
+                }
+                let victim = residency
+                    .stalest(keep)
+                    .or_else(|| residency.resident.keys().next().copied());
+                match victim {
+                    Some(id) => {
+                        residency.resident.remove(&id);
+                        id
+                    }
+                    None => return,
+                }
+            };
+            self.drop_artifacts(victim);
+        }
+    }
+
+    /// Drops one dataset's resident artifacts and every prepared join
+    /// holding them (prepared pair state over an evicted dataset would
+    /// otherwise keep the artifacts alive). In-flight runs keep their
+    /// `Arc`s and finish unaffected.
+    fn drop_artifacts(&self, id: DatasetId) {
+        let state = self
+            .datasets
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(id as usize)
+            .cloned();
+        if let Some(state) = state {
+            *state
+                .artifacts
+                .write()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()) = None;
+        }
+        self.prepared
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .map
+            .retain(|&(a, b), _| a != id && b != id);
+        if self.obs.registry.is_enabled() {
+            let label = id.to_string();
+            self.obs
+                .registry
+                .gauge("msj_store_bytes", &[("dataset", label.as_str())])
+                .set(0.0);
+            self.obs
+                .registry
+                .counter("msj_store_evictions_total", &[])
+                .inc();
+        }
     }
 
     /// The handle of a registered dataset (`None` for unknown ids).
@@ -1203,50 +1856,122 @@ impl SpatialEngine {
         let enabled = self.obs.registry.is_enabled();
         let t_pair = enabled.then(Instant::now);
         let (sa, sb) = (&a.state, &b.state);
+        let arts_a = self.artifacts(sa);
+        let arts_b = if Arc::ptr_eq(sa, sb) {
+            arts_a.clone()
+        } else {
+            self.artifacts(sb)
+        };
         let source = candidates::join_source_with(
             &self.config,
             RelHandle::from(sa.relation.clone()),
             RelHandle::from(sb.relation.clone()),
             SharedStep1 {
-                tree: sa.tree.clone(),
+                tree: arts_a.tree.clone(),
             },
             SharedStep1 {
-                tree: sb.tree.clone(),
+                tree: arts_b.tree.clone(),
             },
         );
-        let filter = GeometricFilter::from_shared(
-            sa.conservative.clone(),
-            sb.conservative.clone(),
-            sa.progressive.clone(),
-            sb.progressive.clone(),
+        let mut filter = GeometricFilter::from_shared(
+            arts_a.conservative.clone(),
+            arts_b.conservative.clone(),
+            arts_a.progressive.clone(),
+            arts_b.progressive.clone(),
             self.config.false_area_test,
         );
-        let mut filter = if self.config.raster.enabled {
-            // Pair-level Step 0: both relations rasterized on one shared
-            // grid (signatures are only comparable on the same grid, so
-            // they cannot be a per-dataset artifact).
-            filter.with_raster(&sa.relation, &sb.relation, self.config.raster.grid_bits)
-        } else {
-            filter
-        };
         // Degraded mode: the raster stores carry build-time checksums;
         // a mismatch (or an injected `raster_corrupt` fault) means Step
-        // 2a would filter with untrustworthy signatures. The fallback
-        // strips the rasters for this pair — every Step-2 survivor goes
-        // to exact geometry, answers stay correct, only the §4 filter
-        // speedup is lost.
+        // 2a would filter with untrustworthy signatures — and a
+        // persisted pair segment whose raster sections fail *their*
+        // checksums means the same thing one media generation earlier.
+        // The fallback strips the rasters for this pair — every Step-2
+        // survivor goes to exact geometry, answers stay correct, only
+        // the §4 filter speedup is lost.
         let mut degraded = None;
         if self.config.raster.enabled {
+            // Store-backed pairs load their persisted signatures (a
+            // linear repack onto the shared grid, checksums verified)
+            // instead of re-rasterizing; misses and stale tags rebuild
+            // and write through.
+            let mut attached = false;
+            let mut corrupt: Vec<&'static str> = Vec::new();
+            if let Some(backend) = &self.store {
+                let read = self.with_store_fault(|tamper| {
+                    backend.store.read_pair_raster(sa.id, sb.id, tamper)
+                });
+                if let Ok(Some(load)) = read {
+                    if load.config_tag == self.tag {
+                        match (load.raster_a, load.raster_b) {
+                            (Ok(ea), Ok(eb)) => {
+                                match (RasterStore::from_export(ea), RasterStore::from_export(eb)) {
+                                    (Ok(ra), Ok(rb)) => {
+                                        filter =
+                                            filter.with_shared_raster(Arc::new(ra), Arc::new(rb));
+                                        attached = true;
+                                    }
+                                    (ra, rb) => {
+                                        if ra.is_err() {
+                                            corrupt.push(Section::RasterA.name());
+                                        }
+                                        if rb.is_err() {
+                                            corrupt.push(Section::RasterB.name());
+                                        }
+                                        degraded = Some("store_corrupt");
+                                    }
+                                }
+                            }
+                            (ra, rb) => {
+                                if ra.is_err() {
+                                    corrupt.push(Section::RasterA.name());
+                                }
+                                if rb.is_err() {
+                                    corrupt.push(Section::RasterB.name());
+                                }
+                                degraded = Some("store_corrupt");
+                            }
+                        }
+                    }
+                }
+            }
+            if enabled {
+                for section in &corrupt {
+                    self.obs
+                        .registry
+                        .counter("msj_store_checksum_failures_total", &[("section", section)])
+                        .inc();
+                }
+            }
+            if degraded.is_none() && !attached {
+                // Pair-level Step 0: both relations rasterized on one
+                // shared grid (signatures are only comparable on the
+                // same grid, so they cannot be a per-dataset artifact).
+                filter =
+                    filter.with_raster(&sa.relation, &sb.relation, self.config.raster.grid_bits);
+                if let Some(backend) = &self.store {
+                    if let Some((ra, rb)) = filter.raster_stores() {
+                        let _ = backend.store.write_pair_raster(
+                            sa.id,
+                            sb.id,
+                            self.tag,
+                            &ra.export(),
+                            &rb.export(),
+                        );
+                    }
+                }
+            }
             let session = if self.fault_spent.load(Ordering::Acquire) {
                 FaultSession::inert()
             } else {
                 FaultSession::new(self.fault)
             };
-            if session.corrupt_raster() {
-                self.fault_spent.store(true, Ordering::Release);
-                degraded = Some("fault_injected");
-            } else if !filter.verify_raster() {
-                degraded = Some("raster_checksum");
+            if degraded.is_none() {
+                if session.corrupt_raster() {
+                    self.fault_spent.store(true, Ordering::Release);
+                    degraded = Some("fault_injected");
+                } else if !filter.verify_raster() {
+                    degraded = Some("raster_checksum");
+                }
             }
             if let Some(reason) = degraded {
                 if !self.config.allow_degraded {
@@ -1286,8 +2011,8 @@ impl SpatialEngine {
             self.config.exact,
             RelHandle::from(sa.relation.clone()),
             RelHandle::from(sb.relation.clone()),
-            sa.trstar.clone(),
-            sb.trstar.clone(),
+            arts_a.trstar.clone(),
+            arts_b.trstar.clone(),
         );
         // A self-join shares one dataset on both sides — count its
         // registration cost once.
@@ -1327,16 +2052,16 @@ impl SpatialEngine {
     /// Point selection against a registered dataset (three steps: index
     /// probe, approximation filter, exact containment).
     pub fn point_query(&self, dataset: &DatasetHandle, point: Point) -> SelectionResponse {
+        let artifacts = self.artifacts(&dataset.state);
         let mut exact_ops = OpCounts::new();
         if !self.obs.registry.is_enabled() {
-            let (ids, stats) = dataset.state.selection.point_query(point, &mut exact_ops);
+            let (ids, stats) = artifacts.selection.point_query(point, &mut exact_ops);
             return self.selection_response(ids, stats, exact_ops);
         }
         let spans = StepSpans::new();
         let t_req = Span::start();
         let (ids, stats) =
-            dataset
-                .state
+            artifacts
                 .selection
                 .point_query_observed(point, &mut exact_ops, Some(&spans));
         self.record_selection(
@@ -1352,16 +2077,16 @@ impl SpatialEngine {
 
     /// Window selection against a registered dataset.
     pub fn window_query(&self, dataset: &DatasetHandle, window: Rect) -> SelectionResponse {
+        let artifacts = self.artifacts(&dataset.state);
         let mut exact_ops = OpCounts::new();
         if !self.obs.registry.is_enabled() {
-            let (ids, stats) = dataset.state.selection.window_query(window, &mut exact_ops);
+            let (ids, stats) = artifacts.selection.window_query(window, &mut exact_ops);
             return self.selection_response(ids, stats, exact_ops);
         }
         let spans = StepSpans::new();
         let t_req = Span::start();
         let (ids, stats) =
-            dataset
-                .state
+            artifacts
                 .selection
                 .window_query_observed(window, &mut exact_ops, Some(&spans));
         self.record_selection(
@@ -1387,10 +2112,10 @@ impl SpatialEngine {
         dataset: &DatasetHandle,
         points: &[Point],
     ) -> Vec<SelectionResponse> {
+        let artifacts = self.artifacts(&dataset.state);
         let mut merged_ops = OpCounts::new();
         if !self.obs.registry.is_enabled() {
-            return dataset
-                .state
+            return artifacts
                 .selection
                 .point_query_batch(points, &mut merged_ops, None)
                 .into_iter()
@@ -1399,8 +2124,7 @@ impl SpatialEngine {
         }
         let spans = StepSpans::new();
         let t_req = Span::start();
-        let raw = dataset
-            .state
+        let raw = artifacts
             .selection
             .point_query_batch(points, &mut merged_ops, Some(&spans));
         self.record_selection_batch("point", dataset, &spans, t_req.elapsed_nanos(), &raw);
@@ -1417,10 +2141,10 @@ impl SpatialEngine {
         dataset: &DatasetHandle,
         windows: &[Rect],
     ) -> Vec<SelectionResponse> {
+        let artifacts = self.artifacts(&dataset.state);
         let mut merged_ops = OpCounts::new();
         if !self.obs.registry.is_enabled() {
-            return dataset
-                .state
+            return artifacts
                 .selection
                 .window_query_batch(windows, &mut merged_ops, None)
                 .into_iter()
@@ -1429,11 +2153,9 @@ impl SpatialEngine {
         }
         let spans = StepSpans::new();
         let t_req = Span::start();
-        let raw =
-            dataset
-                .state
-                .selection
-                .window_query_batch(windows, &mut merged_ops, Some(&spans));
+        let raw = artifacts
+            .selection
+            .window_query_batch(windows, &mut merged_ops, Some(&spans));
         self.record_selection_batch("window", dataset, &spans, t_req.elapsed_nanos(), &raw);
         raw.into_iter()
             .map(|(ids, stats, ops)| self.selection_response(ids, stats, ops))

@@ -186,6 +186,22 @@ impl GeometricFilter {
         self
     }
 
+    /// Attaches pre-built Step-2a raster stores — the engine's
+    /// store-backed cold-start path, where both stores were decoded from
+    /// a persisted pair segment instead of rasterized from the
+    /// relations. Checksums are recorded at attach exactly like
+    /// [`GeometricFilter::with_raster`] records them at build, so
+    /// [`GeometricFilter::verify_raster`] holds the same
+    /// corruption-detection contract on both paths. The caller is
+    /// responsible for the stores sharing one grid (the persisted pair
+    /// segment guarantees it).
+    pub fn with_shared_raster(mut self, a: Arc<RasterStore>, b: Arc<RasterStore>) -> Self {
+        self.raster_checksums = Some((a.checksum(), b.checksum()));
+        self.raster_a = Some(a);
+        self.raster_b = Some(b);
+        self
+    }
+
     /// Recomputes the raster-store checksums and compares them with the
     /// values recorded at build. `true` means intact (vacuously so when
     /// the stage is inactive); `false` means the signatures no longer

@@ -116,7 +116,7 @@ pub use cost::{
 };
 pub use engine::{
     Admission, DatasetHandle, DatasetId, EngineError, JoinResponse, PreparedJoin, Request,
-    Response, SelectionResponse, SpatialEngine, RUN_HISTORY,
+    Response, SelectionResponse, SpatialEngine, StoreConfig, RUN_HISTORY,
 };
 pub use execution::{Execution, ScopedPreparedJoin};
 pub use filter::{FilterOutcome, FilterPlan, GeometricFilter};

@@ -36,5 +36,5 @@ pub use processor::{ExactAlgorithm, ExactProcessor};
 pub use quadratic::quadratic_intersects;
 pub use sweep::sweep_intersects;
 pub use trapezoid::{decompose, Trapezoid};
-pub use trstar::{trees_intersect, TrStarStore, TrStarTree};
+pub use trstar::{trees_intersect, TrStarExport, TrStarStore, TrStarTree};
 pub use window::{region_contains_point, region_intersects_rect};

@@ -501,6 +501,164 @@ impl TrStarStore {
             .sum::<f64>()
             / self.trees.len() as f64
     }
+
+    /// Flattens every per-object tree into one serialization-ready
+    /// [`TrStarExport`]: concatenated node / trapezoid / child arenas
+    /// with per-tree offset tables. Child pointers stay tree-local (leaf
+    /// children index the tree's trapezoids, directory children its
+    /// nodes). Parent pointers are construction bookkeeping and are not
+    /// exported.
+    pub fn export(&self) -> TrStarExport {
+        let total_nodes: usize = self.trees.iter().map(|t| t.nodes.len()).sum();
+        let total_traps: usize = self.trees.iter().map(|t| t.traps.len()).sum();
+        let mut e = TrStarExport {
+            max_entries: self.max_entries as u64,
+            tree_node_offsets: Vec::with_capacity(self.trees.len() + 1),
+            tree_trap_offsets: Vec::with_capacity(self.trees.len() + 1),
+            tree_roots: Vec::with_capacity(self.trees.len()),
+            node_levels: Vec::with_capacity(total_nodes),
+            node_rects: Vec::with_capacity(4 * total_nodes),
+            child_offsets: Vec::with_capacity(total_nodes + 1),
+            children: Vec::new(),
+            traps: Vec::with_capacity(6 * total_traps),
+        };
+        e.tree_node_offsets.push(0);
+        e.tree_trap_offsets.push(0);
+        e.child_offsets.push(0);
+        for tree in &self.trees {
+            e.tree_roots.push(tree.root);
+            for node in &tree.nodes {
+                e.node_levels.push(node.level);
+                let r = node.rect;
+                e.node_rects
+                    .extend_from_slice(&[r.xmin(), r.ymin(), r.xmax(), r.ymax()]);
+                e.children.extend_from_slice(&node.children);
+                e.child_offsets.push(e.children.len() as u32);
+            }
+            for t in &tree.traps {
+                e.traps
+                    .extend_from_slice(&[t.y_lo, t.y_hi, t.x_lo.0, t.x_lo.1, t.x_hi.0, t.x_hi.1]);
+            }
+            e.tree_node_offsets.push(e.node_levels.len() as u32);
+            e.tree_trap_offsets.push((e.traps.len() / 6) as u32);
+        }
+        e
+    }
+
+    /// Reconstructs a store from an export — a linear repack of the
+    /// arenas, no trapezoid decomposition and no R*-style reinsertion
+    /// (unlike [`TrStarTree::from_trapezoids`], which rebuilds). Parent
+    /// pointers are rebuilt from the directory children; the result
+    /// traverses identically to the exported store.
+    pub fn from_export(e: TrStarExport) -> Result<Self, String> {
+        let num_trees = e.tree_roots.len();
+        if e.tree_node_offsets.len() != num_trees + 1
+            || e.tree_trap_offsets.len() != num_trees + 1
+            || e.tree_node_offsets[0] != 0
+            || e.tree_trap_offsets[0] != 0
+        {
+            return Err("tree offset tables malformed".into());
+        }
+        let total_nodes = e.node_levels.len();
+        if e.node_rects.len() != 4 * total_nodes
+            || e.child_offsets.len() != total_nodes + 1
+            || e.child_offsets[0] != 0
+            || e.tree_node_offsets[num_trees] as usize != total_nodes
+            || e.child_offsets[total_nodes] as usize != e.children.len()
+        {
+            return Err("node column lengths mismatch".into());
+        }
+        if !e.traps.len().is_multiple_of(6)
+            || e.tree_trap_offsets[num_trees] as usize != e.traps.len() / 6
+        {
+            return Err("trapezoid arena length mismatch".into());
+        }
+        let max_entries = (e.max_entries as usize).max(2);
+        let min_entries = (max_entries / 2).max(1);
+        let mut trees = Vec::with_capacity(num_trees);
+        for t in 0..num_trees {
+            let n_lo = e.tree_node_offsets[t] as usize;
+            let n_hi = e.tree_node_offsets[t + 1] as usize;
+            let t_lo = e.tree_trap_offsets[t] as usize;
+            let t_hi = e.tree_trap_offsets[t + 1] as usize;
+            if n_lo > n_hi || n_hi > total_nodes || t_lo > t_hi {
+                return Err("tree offsets not monotonic".into());
+            }
+            let n = n_hi - n_lo;
+            let num_traps = t_hi - t_lo;
+            if n == 0 || e.tree_roots[t] as usize >= n {
+                return Err("tree root out of range".into());
+            }
+            let mut nodes = Vec::with_capacity(n);
+            let mut parents: Vec<Option<u32>> = vec![None; n];
+            for i in 0..n {
+                let g = n_lo + i;
+                let level = e.node_levels[g];
+                let c_lo = e.child_offsets[g] as usize;
+                let c_hi = e.child_offsets[g + 1] as usize;
+                if c_lo > c_hi || c_hi > e.children.len() {
+                    return Err("child offsets not monotonic".into());
+                }
+                let children = e.children[c_lo..c_hi].to_vec();
+                for &c in &children {
+                    if level == 0 {
+                        if c as usize >= num_traps {
+                            return Err("leaf child out of range".into());
+                        }
+                    } else {
+                        if c as usize >= n {
+                            return Err("dir child out of range".into());
+                        }
+                        parents[c as usize] = Some(i as u32);
+                    }
+                }
+                let r = &e.node_rects[4 * g..4 * g + 4];
+                nodes.push(Node {
+                    rect: Rect::from_bounds(r[0], r[1], r[2], r[3]),
+                    level,
+                    children,
+                });
+            }
+            let traps = (t_lo..t_hi)
+                .map(|j| {
+                    let s = &e.traps[6 * j..6 * j + 6];
+                    Trapezoid {
+                        y_lo: s[0],
+                        y_hi: s[1],
+                        x_lo: (s[2], s[3]),
+                        x_hi: (s[4], s[5]),
+                    }
+                })
+                .collect();
+            trees.push(TrStarTree {
+                nodes,
+                traps,
+                parents,
+                root: e.tree_roots[t],
+                max_entries,
+                min_entries,
+            });
+        }
+        Ok(TrStarStore { trees, max_entries })
+    }
+}
+
+/// Flat image of a [`TrStarStore`] — the unit `msj-store` persists.
+/// Arenas are concatenated across the per-object trees; the
+/// `tree_*_offsets` tables (one entry per object plus a sentinel) slice
+/// them back apart. Trapezoids are 6 scalars each (`y_lo`, `y_hi`,
+/// bottom x-interval, top x-interval).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrStarExport {
+    pub max_entries: u64,
+    pub tree_node_offsets: Vec<u32>,
+    pub tree_trap_offsets: Vec<u32>,
+    pub tree_roots: Vec<u32>,
+    pub node_levels: Vec<u32>,
+    pub node_rects: Vec<f64>,
+    pub child_offsets: Vec<u32>,
+    pub children: Vec<u32>,
+    pub traps: Vec<f64>,
 }
 
 #[cfg(test)]

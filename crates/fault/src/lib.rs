@@ -26,6 +26,9 @@
 //!   [`FaultAction`] to take: panic, stall, cancel, or proceed.
 //! * [`FaultSession::corrupt_raster`] — consulted when the Step-2a raster
 //!   stores are built/verified; `true` simulates a checksum mismatch.
+//! * [`FaultSession::corrupt_store`] — consulted at the persistent
+//!   store's load seam; a hit flips one seed-derived byte of the named
+//!   section so the corruption travels through the real checksum path.
 //!
 //! The session records the first site that fired ([`FaultSession::fired`])
 //! so the engine can turn every injected fault into a trace event and a
@@ -36,8 +39,9 @@
 //! [`FaultConfig::from_env`] reads:
 //!
 //! * `MSJ_FAULT_PLAN` — `worker_panic`, `slow_worker:<millis>`,
-//!   `raster_corrupt`, or `cancel_at_batch:<n>`; unset or unparsable
-//!   means *disabled*.
+//!   `raster_corrupt`, `cancel_at_batch:<n>`, or
+//!   `store_corrupt:<section>` (a persistent-store section name such as
+//!   `tree` or `raster_a`); unset or unparsable means *disabled*.
 //! * `MSJ_FAULT_SEED` — decimal `u64`, defaults to `0`.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -63,6 +67,14 @@ pub enum FaultKind {
         /// Global 0-based batch index at which cancellation fires.
         batch: u32,
     },
+    /// One byte of the named persistent-store section flips at the load
+    /// seam (seed-deterministic index), so the corruption flows through
+    /// the store's real checksum-verification path and the engine's
+    /// degraded fallbacks.
+    StoreCorrupt {
+        /// Which section of the segment file the flip lands in.
+        section: StoreSection,
+    },
     /// **Wire:** the connection is reset (closed with nothing written)
     /// just before the seed-selected response frame would go out.
     ConnReset,
@@ -82,6 +94,52 @@ pub enum FaultKind {
     DropBeforeReply,
 }
 
+/// The persistent-store section a [`FaultKind::StoreCorrupt`] plan
+/// targets. Mirrors `msj-store`'s section set by *name* (this crate
+/// stays dependency-free); the engine maps between the two at the load
+/// seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreSection {
+    Relation,
+    Tree,
+    Conservative,
+    Progressive,
+    TrStar,
+    RasterA,
+    RasterB,
+}
+
+impl StoreSection {
+    /// Every section, in segment-table order.
+    pub const ALL: [StoreSection; 7] = [
+        StoreSection::Relation,
+        StoreSection::Tree,
+        StoreSection::Conservative,
+        StoreSection::Progressive,
+        StoreSection::TrStar,
+        StoreSection::RasterA,
+        StoreSection::RasterB,
+    ];
+
+    /// The stable name used in fault plans and store metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreSection::Relation => "relation",
+            StoreSection::Tree => "tree",
+            StoreSection::Conservative => "conservative",
+            StoreSection::Progressive => "progressive",
+            StoreSection::TrStar => "trstar",
+            StoreSection::RasterA => "raster_a",
+            StoreSection::RasterB => "raster_b",
+        }
+    }
+
+    /// Parses a section name (the `store_corrupt:<section>` suffix).
+    pub fn parse(text: &str) -> Option<Self> {
+        StoreSection::ALL.into_iter().find(|s| s.name() == text)
+    }
+}
+
 impl FaultKind {
     /// The stable site name used for metrics labels and trace events.
     pub fn site(&self) -> &'static str {
@@ -90,6 +148,7 @@ impl FaultKind {
             FaultKind::SlowWorker { .. } => "slow_worker",
             FaultKind::RasterCorrupt => "raster_corrupt",
             FaultKind::CancelAtBatch { .. } => "cancel_at_batch",
+            FaultKind::StoreCorrupt { .. } => "store_corrupt",
             FaultKind::ConnReset => "conn_reset",
             FaultKind::PartialWrite => "partial_write",
             FaultKind::SlowClient { .. } => "slow_client",
@@ -178,6 +237,9 @@ pub fn parse_plan(text: &str) -> Option<FaultKind> {
             .parse::<u32>()
             .ok()
             .map(|millis| FaultKind::SlowClient { millis });
+    }
+    if let Some(rest) = text.strip_prefix("store_corrupt:") {
+        return StoreSection::parse(rest).map(|section| FaultKind::StoreCorrupt { section });
     }
     match text {
         "worker_panic" => Some(FaultKind::WorkerPanic),
@@ -321,9 +383,10 @@ impl FaultSession {
                     FaultAction::Proceed
                 }
             }
-            // Raster corruption and the wire kinds fire at their own
-            // sites, not at batch boundaries.
+            // Raster/store corruption and the wire kinds fire at their
+            // own sites, not at batch boundaries.
             FaultKind::RasterCorrupt
+            | FaultKind::StoreCorrupt { .. }
             | FaultKind::ConnReset
             | FaultKind::PartialWrite
             | FaultKind::SlowClient { .. }
@@ -374,6 +437,23 @@ impl FaultSession {
             true
         } else {
             false
+        }
+    }
+
+    /// Whether the named persistent-store section should be corrupted on
+    /// this load (consulted at the store's read seam, once per session).
+    /// Returns the seed, which the caller uses to derive the flipped
+    /// byte's index — keeping the *where* of the corruption as
+    /// deterministic as every other fault site.
+    #[inline]
+    pub fn corrupt_store(&self, section: &str) -> Option<u64> {
+        match self.config.kind {
+            Some(FaultKind::StoreCorrupt { section: target })
+                if target.name() == section && self.latch() =>
+            {
+                Some(self.config.seed)
+            }
+            _ => None,
         }
     }
 
@@ -483,6 +563,22 @@ mod tests {
     }
 
     #[test]
+    fn store_corrupt_fires_once_for_the_named_section_only() {
+        let s = FaultSession::new(FaultConfig::seeded(
+            13,
+            FaultKind::StoreCorrupt {
+                section: StoreSection::RasterA,
+            },
+        ));
+        assert_eq!(s.corrupt_store("tree"), None, "other sections untouched");
+        assert_eq!(s.fired(), None, "a miss must not consume the plan");
+        assert_eq!(s.corrupt_store("raster_a"), Some(13));
+        assert_eq!(s.corrupt_store("raster_a"), None, "one-shot");
+        assert_eq!(s.fired(), Some("store_corrupt"));
+        assert_eq!(s.on_batch(0, 1), FaultAction::Proceed);
+    }
+
+    #[test]
     fn plan_parsing_covers_every_kind_and_rejects_noise() {
         assert_eq!(parse_plan("worker_panic"), Some(FaultKind::WorkerPanic));
         assert_eq!(
@@ -504,8 +600,16 @@ mod tests {
             parse_plan("drop_before_reply"),
             Some(FaultKind::DropBeforeReply)
         );
+        for section in StoreSection::ALL {
+            assert_eq!(
+                parse_plan(&format!("store_corrupt:{}", section.name())),
+                Some(FaultKind::StoreCorrupt { section })
+            );
+        }
         assert_eq!(parse_plan("slow_worker:"), None);
         assert_eq!(parse_plan("slow_client:"), None);
+        assert_eq!(parse_plan("store_corrupt:"), None);
+        assert_eq!(parse_plan("store_corrupt:bogus"), None);
         assert_eq!(parse_plan("unplugged"), None);
         assert_eq!(parse_plan(""), None);
     }
@@ -517,6 +621,12 @@ mod tests {
             (FaultKind::SlowWorker { millis: 1 }, "slow_worker"),
             (FaultKind::RasterCorrupt, "raster_corrupt"),
             (FaultKind::CancelAtBatch { batch: 0 }, "cancel_at_batch"),
+            (
+                FaultKind::StoreCorrupt {
+                    section: StoreSection::Tree,
+                },
+                "store_corrupt",
+            ),
             (FaultKind::ConnReset, "conn_reset"),
             (FaultKind::PartialWrite, "partial_write"),
             (FaultKind::SlowClient { millis: 1 }, "slow_client"),

@@ -1,0 +1,128 @@
+//! Byte-level primitives for the persistent Step-0 store: a page-aligned
+//! heap buffer and the FNV-1a checksum.
+//!
+//! `msj-store` serializes every Step-0 artifact (R*-tree node arena,
+//! columnar approximation stores, TR* representations, raster interval
+//! arenas) into 4096-byte-aligned segment files. The two primitives it
+//! needs from the geometry layer live here so the store crate stays a
+//! pure codec: [`AlignedBuf`], a `Vec<u8>` whose payload starts on a
+//! [`PAGE_SIZE`] boundary (segment files are read back into one of these,
+//! mmap-style — one aligned allocation, one read, zero re-parse), and
+//! [`fnv1a64`], the checksum recorded per section in the segment manifest
+//! and re-verified on every load.
+
+/// The store's page size in bytes. Matches the paper's 4 KB R*-tree page
+/// (§3.4) and the common OS page, so an aligned buffer is also
+/// mmap-compatible.
+pub const PAGE_SIZE: usize = 4096;
+
+/// FNV-1a offset basis (64-bit).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a prime (64-bit).
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a hash of `bytes` — the per-section checksum of the
+/// persistent store. Same constants as [`fnv1a64_update`] seeded with
+/// [`FNV_OFFSET`].
+#[inline]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_update(FNV_OFFSET, bytes)
+}
+
+/// Folds `bytes` into a running FNV-1a state `h` — for checksumming data
+/// that arrives in chunks.
+#[inline]
+pub fn fnv1a64_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A heap buffer whose payload starts on a [`PAGE_SIZE`]-aligned address.
+///
+/// Implemented safely by over-allocating a `Vec<u8>` by one page and
+/// offsetting the payload to the first aligned byte — no `unsafe`, no
+/// allocator APIs. The buffer is fixed-size after construction: segment
+/// readers allocate one for the whole file, read into it, and decode in
+/// place.
+#[derive(Debug)]
+pub struct AlignedBuf {
+    raw: Vec<u8>,
+    offset: usize,
+    len: usize,
+}
+
+impl AlignedBuf {
+    /// A zeroed buffer of `len` bytes starting on a page boundary.
+    pub fn zeroed(len: usize) -> Self {
+        let raw = vec![0u8; len + PAGE_SIZE];
+        let offset = {
+            let addr = raw.as_ptr() as usize;
+            (PAGE_SIZE - addr % PAGE_SIZE) % PAGE_SIZE
+        };
+        AlignedBuf { raw, offset, len }
+    }
+
+    /// Number of payload bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The payload, starting on a page-aligned address.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.raw[self.offset..self.offset + self.len]
+    }
+
+    /// Mutable payload, starting on a page-aligned address.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.raw[self.offset..self.offset + self.len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_buf_is_page_aligned_and_sized() {
+        for len in [0usize, 1, 17, PAGE_SIZE, PAGE_SIZE + 1, 3 * PAGE_SIZE] {
+            let mut buf = AlignedBuf::zeroed(len);
+            assert_eq!(buf.len(), len);
+            assert_eq!(buf.as_slice().len(), len);
+            if len > 0 {
+                assert_eq!(buf.as_slice().as_ptr() as usize % PAGE_SIZE, 0);
+                buf.as_mut_slice()[len - 1] = 0xAB;
+                assert_eq!(buf.as_slice()[len - 1], 0xAB);
+            }
+        }
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv_update_chunks_agree_with_one_shot() {
+        let data = b"multi-step processing of spatial joins";
+        let whole = fnv1a64(data);
+        let mut h = FNV_OFFSET;
+        for chunk in data.chunks(7) {
+            h = fnv1a64_update(h, chunk);
+        }
+        assert_eq!(h, whole);
+    }
+}

@@ -26,6 +26,7 @@
 //! *closed* semantics: touching boundaries intersect and containment counts
 //! as intersection, matching the intersection join of the paper.
 
+pub mod bytes;
 pub mod calipers;
 pub mod cancel;
 pub mod clip;
@@ -42,6 +43,7 @@ pub mod svg;
 pub mod validate;
 pub mod wkt;
 
+pub use bytes::{fnv1a64, fnv1a64_update, AlignedBuf, PAGE_SIZE};
 pub use calipers::{min_area_rect, OrientedRect};
 pub use cancel::{CancelReason, CancelToken};
 pub use clip::{clip_convex, convex_intersect, convex_intersection_area, ring_area};

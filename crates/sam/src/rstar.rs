@@ -832,6 +832,155 @@ impl RStarTree {
         }
         Ok(())
     }
+
+    /// Flattens the node arena into a serialization-ready [`TreeExport`]:
+    /// per-node levels and rectangles plus one offset-indexed entry
+    /// column. Entry kind is implied by the owning node's level (level 0
+    /// holds leaf entries, higher levels hold directory entries), so the
+    /// value column packs object ids and child pointers into one `u32`
+    /// lane. Parent pointers, the buffer tag and the SoA repack are
+    /// derived state and are not exported.
+    pub fn export(&self) -> TreeExport {
+        let n = self.nodes.len();
+        let total: usize = self.nodes.iter().map(|nd| nd.entries.len()).sum();
+        let mut e = TreeExport {
+            page_size: self.layout.page_size as u64,
+            leaf_entry_bytes: self.layout.leaf_entry_bytes as u64,
+            dir_entry_bytes: self.layout.dir_entry_bytes as u64,
+            root: self.root,
+            len: self.len as u64,
+            node_levels: Vec::with_capacity(n),
+            node_rects: Vec::with_capacity(4 * n),
+            entry_offsets: Vec::with_capacity(n + 1),
+            entry_rects: Vec::with_capacity(4 * total),
+            entry_vals: Vec::with_capacity(total),
+        };
+        e.entry_offsets.push(0);
+        for node in &self.nodes {
+            e.node_levels.push(node.level);
+            push_rect(&mut e.node_rects, node.rect);
+            for entry in &node.entries {
+                push_rect(&mut e.entry_rects, entry.rect());
+                e.entry_vals.push(match entry {
+                    Entry::Leaf { id, .. } => *id,
+                    Entry::Dir { child, .. } => *child,
+                });
+            }
+            e.entry_offsets.push(e.entry_vals.len() as u32);
+        }
+        e
+    }
+
+    /// Reconstructs a tree from an export — a linear pass over the
+    /// arrays, no STR repacking or reinsertion. Parent pointers are
+    /// rebuilt from the directory entries, and the tree receives a fresh
+    /// buffer tag and an empty SoA cache (both are process-local state).
+    /// Structural validation rejects malformed images; the result
+    /// traverses identically to the exported tree.
+    pub fn from_export(e: TreeExport) -> Result<Self, String> {
+        let n = e.node_levels.len();
+        if n == 0 {
+            return Err("tree export has no nodes".into());
+        }
+        if e.node_rects.len() != 4 * n {
+            return Err("node rect column length mismatch".into());
+        }
+        if e.entry_offsets.len() != n + 1 || e.entry_offsets[0] != 0 {
+            return Err("entry offset table malformed".into());
+        }
+        let total = e.entry_vals.len();
+        if e.entry_offsets[n] as usize != total || e.entry_rects.len() != 4 * total {
+            return Err("entry column length mismatch".into());
+        }
+        if e.root as usize >= n {
+            return Err("root out of range".into());
+        }
+        if e.page_size == 0 || e.leaf_entry_bytes == 0 || e.dir_entry_bytes == 0 {
+            return Err("degenerate page layout".into());
+        }
+        let mut nodes = Vec::with_capacity(n);
+        let mut parents: Vec<Option<u32>> = vec![None; n];
+        let mut leaf_entries = 0usize;
+        for i in 0..n {
+            let level = e.node_levels[i];
+            let lo = e.entry_offsets[i] as usize;
+            let hi = e.entry_offsets[i + 1] as usize;
+            if lo > hi || hi > total {
+                return Err("entry offsets not monotonic".into());
+            }
+            let mut entries = Vec::with_capacity(hi - lo);
+            for j in lo..hi {
+                let rect = read_rect(&e.entry_rects, j);
+                let val = e.entry_vals[j];
+                if level == 0 {
+                    entries.push(Entry::Leaf { rect, id: val });
+                    leaf_entries += 1;
+                } else {
+                    let child = val as usize;
+                    if child >= n {
+                        return Err("child pointer out of range".into());
+                    }
+                    if e.node_levels[child] + 1 != level {
+                        return Err("child level inconsistent".into());
+                    }
+                    parents[child] = Some(i as u32);
+                    entries.push(Entry::Dir { rect, child: val });
+                }
+            }
+            nodes.push(Node {
+                level,
+                rect: read_rect(&e.node_rects, i),
+                entries,
+            });
+        }
+        if leaf_entries != e.len as usize {
+            return Err(format!(
+                "object count mismatch: {leaf_entries} leaf entries, len {}",
+                e.len
+            ));
+        }
+        Ok(RStarTree {
+            layout: PageLayout {
+                page_size: e.page_size as usize,
+                leaf_entry_bytes: e.leaf_entry_bytes as usize,
+                dir_entry_bytes: e.dir_entry_bytes as usize,
+            },
+            nodes,
+            parents,
+            root: e.root,
+            len: e.len as usize,
+            tag: TREE_TAG.fetch_add(1, Ordering::Relaxed),
+            soa: OnceLock::new(),
+        })
+    }
+}
+
+/// Flat image of an [`RStarTree`] — the unit `msj-store` serializes.
+/// Column layout mirrors the in-memory arena: rectangles are 4 `f64`s
+/// (xmin, ymin, xmax, ymax) per element, entries of node `i` live at
+/// `entry_offsets[i]..entry_offsets[i + 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeExport {
+    pub page_size: u64,
+    pub leaf_entry_bytes: u64,
+    pub dir_entry_bytes: u64,
+    pub root: u32,
+    pub len: u64,
+    pub node_levels: Vec<u32>,
+    pub node_rects: Vec<f64>,
+    pub entry_offsets: Vec<u32>,
+    pub entry_rects: Vec<f64>,
+    pub entry_vals: Vec<u32>,
+}
+
+#[inline]
+fn push_rect(col: &mut Vec<f64>, r: Rect) {
+    col.extend_from_slice(&[r.xmin(), r.ymin(), r.xmax(), r.ymax()]);
+}
+
+#[inline]
+fn read_rect(col: &[f64], i: usize) -> Rect {
+    Rect::from_bounds(col[4 * i], col[4 * i + 1], col[4 * i + 2], col[4 * i + 3])
 }
 
 /// One STR tiling pass: sorts `(rect, payload)` items by x-center, cuts

@@ -1,0 +1,126 @@
+//! Little-endian byte codec for section payloads.
+//!
+//! Every multi-byte value is encoded little-endian; `f64`s go through
+//! `to_bits`/`from_bits`, so NaN sentinels (the progressive stores' empty
+//! slots) and every other bit pattern round-trip exactly. Slices carry a
+//! `u64` element-count prefix; the decoder bounds-checks each count
+//! against the remaining payload before allocating, so a corrupted count
+//! degrades to a decode error, never an over-allocation.
+
+/// Append-only encoder over a growable byte buffer.
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    pub fn u32s(&mut self, vs: &[u32]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u32(v);
+        }
+    }
+
+    pub fn f64s(&mut self, vs: &[f64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+}
+
+/// Cursor-style decoder over a section payload. All reads are checked;
+/// a truncated or oversized count yields `Err`, never a panic.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+pub type DecResult<T> = Result<T, &'static str>;
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> DecResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or("length overflow")?;
+        if end > self.buf.len() {
+            return Err("payload truncated");
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub fn u32(&mut self) -> DecResult<u32> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> DecResult<u64> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> DecResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn count(&mut self, elem_bytes: usize) -> DecResult<usize> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| "count overflow")?;
+        let bytes = n.checked_mul(elem_bytes).ok_or("count overflow")?;
+        if self.pos.checked_add(bytes).ok_or("count overflow")? > self.buf.len() {
+            return Err("count exceeds payload");
+        }
+        Ok(n)
+    }
+
+    pub fn u32s(&mut self) -> DecResult<Vec<u32>> {
+        let n = self.count(4)?;
+        let mut vs = Vec::with_capacity(n);
+        for _ in 0..n {
+            vs.push(self.u32()?);
+        }
+        Ok(vs)
+    }
+
+    pub fn f64s(&mut self) -> DecResult<Vec<f64>> {
+        let n = self.count(8)?;
+        let mut vs = Vec::with_capacity(n);
+        for _ in 0..n {
+            vs.push(self.f64()?);
+        }
+        Ok(vs)
+    }
+
+    /// Asserts the payload is fully consumed — trailing garbage means a
+    /// malformed section.
+    pub fn finish(self) -> DecResult<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err("trailing bytes in payload")
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Store agreement: the persistent Step-0 store must be invisible to
+//! answers.
+//!
+//! * **Cold start** — register → persist → drop the engine →
+//!   [`SpatialEngine::open`] from the segment files: every request kind
+//!   (join, self-join, point, window) answers byte-identically across
+//!   the full {backend} × {execution / threads} matrix, with zero
+//!   re-parsing of the source relations.
+//! * **Eviction** — an undersized residency budget keeps evicting cold
+//!   datasets; every touch reloads from disk and still answers
+//!   identically.
+//! * **Corruption** — a seeded `store_corrupt:<section>` fault flips one
+//!   bit in a segment section before checksum verification. Loads must
+//!   degrade (rebuild the artifact, or run the pair filter-only) and
+//!   answer byte-identically — never panic, never wedge. Seeds come from
+//!   `MSJ_FAULT_SEED` when set, mirroring the CI chaos loop.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use msj::core::{
+    Backend, Execution, FaultConfig, FaultKind, JoinConfig, Request, Response, SpatialEngine,
+    StoreConfig,
+};
+use msj::fault::StoreSection;
+use msj::geom::{Point, Rect, Relation};
+
+/// Small batches so fused runs cross several batch boundaries.
+const BATCH: usize = 16;
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh, unique store directory under the OS temp root.
+fn tmp_store(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "msj-store-agreement-{}-{}-{}",
+        std::process::id(),
+        tag,
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("MSJ_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+    {
+        Some(seed) => vec![seed],
+        None => vec![11, 42, 977],
+    }
+}
+
+fn matrix() -> Vec<(Backend, Execution)> {
+    let backends = [
+        Backend::RStarTraversal,
+        Backend::PartitionedSweep {
+            tiles_per_axis: 6,
+            threads: 0,
+        },
+    ];
+    let executions = [
+        Execution::Serial,
+        Execution::Fused { threads: 1 },
+        Execution::Fused { threads: 4 },
+    ];
+    backends
+        .iter()
+        .flat_map(|&b| executions.iter().map(move |&e| (b, e)))
+        .collect()
+}
+
+fn config(backend: Backend, execution: Execution, fault: FaultConfig) -> JoinConfig {
+    JoinConfig::builder()
+        .backend(backend)
+        .execution(execution)
+        .batch_pairs(BATCH)
+        .fault(fault)
+        .build()
+}
+
+/// One request of every kind the engine serves, with selection geometry
+/// derived from the data so every response is non-trivial.
+fn workload(a: &Relation) -> Vec<Request> {
+    let point = a.iter().nth(3).expect("dataset too small").mbr().center();
+    let win = a.iter().nth(7).expect("dataset too small").mbr();
+    let window = Rect::new(
+        Point::new(win.xmin() - 1.0, win.ymin() - 1.0),
+        Point::new(win.xmax() + 1.0, win.ymax() + 1.0),
+    );
+    vec![
+        Request::Join {
+            a: 0,
+            b: 1,
+            execution: None,
+        },
+        Request::SelfJoin {
+            dataset: 0,
+            execution: None,
+        },
+        Request::Point { dataset: 0, point },
+        Request::Window { dataset: 1, window },
+    ]
+}
+
+/// Flattens every response into comparable payload vectors; errors fail
+/// the test at the call site.
+fn run(engine: &SpatialEngine, requests: &[Request]) -> Vec<Vec<u64>> {
+    engine
+        .submit_batch(requests.iter().cloned())
+        .into_iter()
+        .map(|response| match response.expect("request failed") {
+            Response::Join(join) => join
+                .pairs
+                .into_iter()
+                .map(|(x, y)| (u64::from(x) << 32) | u64::from(y))
+                .collect(),
+            Response::Selection(sel) => sel.ids.into_iter().map(u64::from).collect(),
+        })
+        .collect()
+}
+
+#[test]
+fn reopened_engine_answers_identically() {
+    let a = msj::datagen::small_carto(120, 24.0, 9101);
+    let b = msj::datagen::small_carto(120, 24.0, 9102);
+    let requests = workload(&a);
+    for (backend, execution) in matrix() {
+        let dir = tmp_store("reopen");
+        let cfg = config(backend, execution, FaultConfig::disabled());
+        let reference = {
+            let engine = SpatialEngine::new(cfg)
+                .with_store(StoreConfig::new(&dir))
+                .expect("arm store");
+            engine.register(a.clone());
+            engine.register(b.clone());
+            run(&engine, &requests)
+        }; // engine dropped; only the segment files survive
+        assert!(
+            reference.iter().any(|payload| !payload.is_empty()),
+            "degenerate workload for {backend:?}/{execution:?}"
+        );
+
+        let reopened = SpatialEngine::open(cfg, StoreConfig::new(&dir)).expect("cold start");
+        assert_eq!(reopened.num_datasets(), 2, "both datasets restored");
+        assert_eq!(
+            run(&reopened, &requests),
+            reference,
+            "cold start drifted on {backend:?}/{execution:?}"
+        );
+        // A restored store must load clean: no checksum failures, no
+        // degraded fallback.
+        let prom = reopened.metrics().render_prometheus();
+        for section in StoreSection::ALL {
+            assert!(
+                prom.contains(&format!(
+                    "msj_store_checksum_failures_total{{section=\"{}\"}} 0",
+                    section.name()
+                )),
+                "unexpected checksum failure for {} on {backend:?}/{execution:?}",
+                section.name()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn undersized_budget_evicts_and_reloads_identically() {
+    let a = msj::datagen::small_carto(100, 20.0, 9103);
+    let b = msj::datagen::small_carto(100, 20.0, 9104);
+    let c = msj::datagen::small_carto(100, 20.0, 9105);
+    let cfg = JoinConfig::builder().batch_pairs(BATCH).build();
+
+    // Reference: no store, everything resident.
+    let free = SpatialEngine::new(cfg);
+    free.register(a.clone());
+    free.register(b.clone());
+    free.register(c.clone());
+    let pairs = [(0u32, 1u32), (1, 2), (0, 2)];
+    let reference: Vec<_> = pairs
+        .iter()
+        .map(|&(x, y)| {
+            run(
+                &free,
+                &[Request::Join {
+                    a: x,
+                    b: y,
+                    execution: None,
+                }],
+            )
+        })
+        .collect();
+
+    // A budget far below one dataset: every touch evicts the previous
+    // resident and re-materializes from disk.
+    let dir = tmp_store("evict");
+    let engine = SpatialEngine::new(cfg)
+        .with_store(StoreConfig::new(&dir).with_byte_budget(4096))
+        .expect("arm store");
+    engine.register(a);
+    engine.register(b);
+    engine.register(c);
+    for round in 0..2 {
+        for (i, &(x, y)) in pairs.iter().enumerate() {
+            let got = run(
+                &engine,
+                &[Request::Join {
+                    a: x,
+                    b: y,
+                    execution: None,
+                }],
+            );
+            assert_eq!(
+                got, reference[i],
+                "evict-then-touch drifted for pair {x}/{y} (round {round})"
+            );
+        }
+    }
+    let prom = engine.metrics().render_prometheus();
+    let evictions = prom
+        .lines()
+        .find_map(|l| l.strip_prefix("msj_store_evictions_total "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .expect("evictions counter rendered");
+    assert!(evictions > 0, "undersized budget never evicted:\n{prom}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_dataset_sections_degrade_not_wedge() {
+    let a = msj::datagen::small_carto(120, 24.0, 9106);
+    let b = msj::datagen::small_carto(120, 24.0, 9107);
+    let requests = workload(&a);
+    let cfg = config(
+        Backend::RStarTraversal,
+        Execution::Serial,
+        FaultConfig::disabled(),
+    );
+
+    // Seed the store once, clean, and take the reference answers. The
+    // join also writes the pair-raster segment the raster cases corrupt.
+    let dir = tmp_store("chaos");
+    let reference = {
+        let engine = SpatialEngine::new(cfg)
+            .with_store(StoreConfig::new(&dir))
+            .expect("arm store");
+        engine.register(a.clone());
+        engine.register(b.clone());
+        run(&engine, &requests)
+    };
+
+    let dataset_sections = [
+        StoreSection::Tree,
+        StoreSection::Conservative,
+        StoreSection::Progressive,
+        StoreSection::TrStar,
+    ];
+    for &seed in &seeds() {
+        // --- Step-0 sections: the load detects the flip, rebuilds the
+        // artifact from the resident relation, and answers identically.
+        for section in dataset_sections {
+            let faulty = config(
+                Backend::RStarTraversal,
+                Execution::Serial,
+                FaultConfig::seeded(seed, FaultKind::StoreCorrupt { section }),
+            );
+            let engine =
+                SpatialEngine::open(faulty, StoreConfig::new(&dir)).expect("corrupt load wedged");
+            assert_eq!(
+                run(&engine, &requests),
+                reference,
+                "degraded load drifted (seed {seed}, section {})",
+                section.name()
+            );
+            let prom = engine.metrics().render_prometheus();
+            assert!(
+                prom.contains(&format!(
+                    "msj_store_checksum_failures_total{{section=\"{}\"}} 1",
+                    section.name()
+                )),
+                "missing checksum counter for {} (seed {seed}):\n{prom}",
+                section.name()
+            );
+            assert!(
+                prom.contains("msj_degraded_mode_total{reason=\"store_corrupt\"} 1"),
+                "missing degraded counter (seed {seed}, section {}):\n{prom}",
+                section.name()
+            );
+        }
+
+        // --- Pair-raster sections: the prepare detects the flip and
+        // falls back to the PR-8 filter-only path — same answers.
+        for section in [StoreSection::RasterA, StoreSection::RasterB] {
+            let faulty = config(
+                Backend::RStarTraversal,
+                Execution::Serial,
+                FaultConfig::seeded(seed, FaultKind::StoreCorrupt { section }),
+            );
+            let engine = SpatialEngine::open(faulty, StoreConfig::new(&dir)).expect("open wedged");
+            assert_eq!(
+                run(&engine, &requests),
+                reference,
+                "filter-only fallback drifted (seed {seed}, section {})",
+                section.name()
+            );
+            let prom = engine.metrics().render_prometheus();
+            assert!(
+                prom.contains(&format!(
+                    "msj_store_checksum_failures_total{{section=\"{}\"}} 1",
+                    section.name()
+                )),
+                "missing checksum counter for {} (seed {seed}):\n{prom}",
+                section.name()
+            );
+            assert!(
+                prom.contains("msj_degraded_mode_total{reason=\"store_corrupt\"} 1"),
+                "missing degraded counter (seed {seed}, section {}):\n{prom}",
+                section.name()
+            );
+        }
+
+        // --- The relation section is the one artifact with no rebuild
+        // source: the open must fail with a clean error, never panic.
+        let faulty = config(
+            Backend::RStarTraversal,
+            Execution::Serial,
+            FaultConfig::seeded(
+                seed,
+                FaultKind::StoreCorrupt {
+                    section: StoreSection::Relation,
+                },
+            ),
+        );
+        match SpatialEngine::open(faulty, StoreConfig::new(&dir)) {
+            Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}"),
+            Ok(_) => panic!("corrupt relation section must fail the open (seed {seed})"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
